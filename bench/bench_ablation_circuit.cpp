@@ -1,0 +1,152 @@
+// E9 — circuit non-ideality ablations of the ΔΣ readout.
+//
+// DESIGN.md's substitution argument rests on the behavioural model capturing
+// the right circuit effects. This bench turns each non-ideality knob and
+// reports the SNR impact, reproducing the textbook sensitivities a designer
+// of this chip would have used for sizing:
+//   * op-amp DC gain  — integrator leak; 2nd-order loops tolerate low gain,
+//   * op-amp GBW      — incomplete settling; collapses below ~10× fs,
+//   * comparator offset/hysteresis — noise-shaped, nearly free,
+//   * clock jitter    — negligible at 15.6 Hz input,
+//   * kT/C + thermal  — set the final floor together with the 12-bit word.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace tono;
+
+double snr_with(const analog::ModulatorConfig& mc) {
+  return bench::run_tone_test(mc, dsp::DecimationConfig{}, 0.875, 15.625, 4096)
+      .analysis.snr_db;
+}
+
+void run() {
+  bench::print_header("E9", "Circuit non-ideality ablations (SNR at -1.2 dBFS)");
+
+  const analog::ModulatorConfig nominal;
+  const double snr_nom = snr_with(nominal);
+  std::cout << "nominal configuration: SNR = " << format_double(snr_nom, 2) << " dB\n";
+
+  TextTable gt{"Op-amp DC gain (integrator leak)"};
+  gt.set_header({"A0", "SNR [dB]", "delta [dB]"});
+  for (double a0 : {100.0, 300.0, 1000.0, 5000.0, 100000.0}) {
+    analog::ModulatorConfig mc = nominal;
+    mc.opamp1.dc_gain = a0;
+    mc.opamp2.dc_gain = a0;
+    const double snr = snr_with(mc);
+    gt.add_row({format_double(a0, 0), format_double(snr, 2),
+                format_double(snr - snr_nom, 2)});
+  }
+  gt.print(std::cout);
+
+  TextTable bt{"Op-amp gain-bandwidth (linear settling — benign in a 1-bit loop)"};
+  bt.set_header({"GBW [MHz]", "GBW/fs", "SNR [dB]", "delta [dB]"});
+  for (double gbw : {0.05e6, 0.1e6, 0.4e6, 1.5e6, 10e6}) {
+    analog::ModulatorConfig mc = nominal;
+    mc.opamp1.gbw_hz = gbw;
+    mc.opamp2.gbw_hz = gbw;
+    const double snr = snr_with(mc);
+    bt.add_row({format_double(gbw / 1e6, 2), format_double(gbw / 128e3, 1),
+                format_double(snr, 2), format_double(snr - snr_nom, 2)});
+  }
+  bt.print(std::cout);
+  std::cout << "   (incomplete *linear* settling scales signal and feedback charge\n"
+               "    equally — no distortion; the dangerous regime is slewing:)\n";
+
+  TextTable st{"Op-amp slew rate (nonlinear settling)"};
+  st.set_header({"slew [V/us]", "SNR [dB]", "delta [dB]"});
+  for (double sr : {0.05e6, 0.1e6, 0.2e6, 0.5e6, 5e6}) {
+    analog::ModulatorConfig mc = nominal;
+    mc.opamp1.slew_rate_v_per_s = sr;
+    mc.opamp2.slew_rate_v_per_s = sr;
+    const double snr = snr_with(mc);
+    st.add_row({format_double(sr / 1e6, 2), format_double(snr, 2),
+                format_double(snr - snr_nom, 2)});
+  }
+  st.print(std::cout);
+
+  TextTable ct{"Comparator offset / hysteresis (noise-shaped)"};
+  ct.set_header({"offset [mV]", "hysteresis [mV]", "SNR [dB]", "delta [dB]"});
+  for (double mv : {0.0, 5.0, 20.0, 50.0}) {
+    analog::ModulatorConfig mc = nominal;
+    mc.comparator.offset_v = mv * 1e-3;
+    mc.comparator.hysteresis_v = mv * 1e-3;
+    const double snr = snr_with(mc);
+    ct.add_row({format_double(mv, 0), format_double(mv, 0), format_double(snr, 2),
+                format_double(snr - snr_nom, 2)});
+  }
+  ct.print(std::cout);
+
+  TextTable jt{"Clock jitter (15.6 Hz input: slew is tiny)"};
+  jt.set_header({"jitter rms [ns]", "SNR [dB]", "delta [dB]"});
+  for (double ns : {0.0, 1.0, 10.0, 100.0}) {
+    analog::ModulatorConfig mc = nominal;
+    mc.clock_jitter_rms_s = ns * 1e-9;
+    const double snr = snr_with(mc);
+    jt.add_row({format_double(ns, 0), format_double(snr, 2),
+                format_double(snr - snr_nom, 2)});
+  }
+  jt.print(std::cout);
+
+  TextTable lt{"Op-amp flicker noise (corner) with and without CDS"};
+  lt.set_header({"corner [kHz]", "SNR, CDS off [dB]", "SNR, CDS 30x [dB]"});
+  for (double fc : {0.0, 1e3, 10e3, 50e3}) {
+    analog::ModulatorConfig raw = nominal;
+    raw.opamp1.flicker_corner_hz = fc;
+    raw.opamp2.flicker_corner_hz = fc;
+    raw.cds_flicker_rejection = 1.0;
+    analog::ModulatorConfig cds = raw;
+    cds.cds_flicker_rejection = 30.0;
+    lt.add_row({format_double(fc / 1e3, 0), format_double(snr_with(raw), 2),
+                format_double(snr_with(cds), 2)});
+  }
+  lt.print(std::cout);
+  std::cout << "   (at this chip's low white floor, flicker only bites at very\n"
+               "    high corners; the SC integrator's correlated double sampling\n"
+               "    removes even that — why the architecture is 1/f-immune)\n";
+
+  TextTable nt{"Noise sources on/off"};
+  nt.set_header({"configuration", "SNR [dB]", "delta [dB]"});
+  {
+    analog::ModulatorConfig mc = nominal;
+    mc.enable_ktc_noise = false;
+    nt.add_row({"kT/C disabled", format_double(snr_with(mc), 2),
+                format_double(snr_with(mc) - snr_nom, 2)});
+  }
+  {
+    analog::ModulatorConfig mc = nominal;
+    mc.opamp1.noise_vrms = 0.0;
+    mc.opamp2.noise_vrms = 0.0;
+    nt.add_row({"op-amp noise disabled", format_double(snr_with(mc), 2),
+                format_double(snr_with(mc) - snr_nom, 2)});
+  }
+  {
+    analog::ModulatorConfig mc = nominal;
+    mc.enable_ktc_noise = false;
+    mc.enable_settling = false;
+    mc.opamp1.noise_vrms = 0.0;
+    mc.opamp2.noise_vrms = 0.0;
+    mc.ref_noise_vrms = 0.0;
+    mc.comparator.noise_vrms = 0.0;
+    mc.clock_jitter_rms_s = 0.0;
+    nt.add_row({"all analog noise disabled (12-bit + NTF floor)",
+                format_double(snr_with(mc), 2), format_double(snr_with(mc) - snr_nom, 2)});
+  }
+  nt.print(std::cout);
+
+  std::cout << "-> the readout tolerates low op-amp gain, comparator error and\n"
+               "   linear settling error (all shaped or gain-like); only slew\n"
+               "   limiting distorts, and the operating floor is the 12-bit\n"
+               "   output word — the tolerance profile a low-power SC ΔΣ is\n"
+               "   chosen for.\n";
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

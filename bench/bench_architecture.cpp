@@ -1,0 +1,162 @@
+// E11 — architecture justification: why THIS modulator and THIS filter.
+//
+// The paper chose a second-order single-bit ΔΣ and a SINC³+FIR decimator.
+// This bench reproduces the design-space comparison behind those choices:
+//   (a) 1st-order vs 2nd-order modulator: SNR vs OSR (9 vs 15 dB/octave,
+//       idle tones) — why one integrator is not enough for 12 bit at
+//       OSR 128,
+//   (b) SINC³+FIR vs one big single-stage FIR: response quality per
+//       multiply — why the FPGA filter is a CIC cascade.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/analog/incremental.hpp"
+
+namespace {
+
+using namespace tono;
+
+double snr_for(int order, std::size_t osr, std::uint64_t seed = 42) {
+  analog::ModulatorConfig mc;
+  mc.order = order;
+  mc.seed = seed;
+  dsp::DecimationConfig dc;
+  dc.total_decimation = osr;
+  dc.cic_decimation = std::min<std::size_t>(osr, 32);
+  const double rate = 128000.0 / static_cast<double>(osr);
+  dc.cutoff_hz = rate / 2.0;
+  dc.output_bits = 16;  // wide word: compare the modulators, not the word
+  return bench::run_tone_test(mc, dc, 0.7, rate / 64.0, 4096).analysis.snr_db;
+}
+
+void modulator_order_comparison() {
+  std::cout << "\n--- (a) Modulator order: 1st vs 2nd (the paper's choice) ---\n";
+  TextTable t{"SNR vs OSR at -3.1 dBFS, 16-bit decimation word"};
+  t.set_header({"OSR", "rate [S/s]", "1st order [dB]", "2nd order [dB]", "advantage [dB]"});
+  SeriesWriter s1{"arch_order1_snr", "osr", "snr_db"};
+  SeriesWriter s2{"arch_order2_snr", "osr", "snr_db"};
+  for (std::size_t osr : {16u, 32u, 64u, 128u, 256u}) {
+    const double a = snr_for(1, osr);
+    const double b = snr_for(2, osr);
+    t.add_row({format_double(static_cast<double>(osr), 0),
+               format_double(128000.0 / static_cast<double>(osr), 0),
+               format_double(a, 1), format_double(b, 1), format_double(b - a, 1)});
+    s1.add(static_cast<double>(osr), a);
+    s2.add(static_cast<double>(osr), b);
+  }
+  t.print(std::cout);
+  s1.write_csv(std::cout);
+  s2.write_csv(std::cout);
+  std::cout << "-> the 1st-order loop cannot reach the 12-bit class at OSR 128;\n"
+               "   the 2nd-order loop gains ~15 dB/octave and idle-tone immunity\n"
+               "   — the reason the chip spends a second integrator.\n";
+}
+
+void decimation_architecture_comparison() {
+  std::cout << "\n--- (b) Decimation: SINC^3 + FIR32 vs one single-stage FIR ---\n";
+
+  // Paper architecture.
+  dsp::DecimationConfig paper;
+  dsp::DecimationChain chain_paper{paper};
+
+  // Single-stage: the CIC degenerates to pass-through (R=1) and one FIR
+  // running at 128 kHz must both cut at 500 Hz and reject all images —
+  // which takes hundreds of taps.
+  dsp::DecimationConfig single;
+  single.cic_decimation = 1;
+  single.fir_taps = 512;
+  dsp::DecimationChain chain_single{single};
+
+  auto worst_gain = [](const dsp::DecimationChain& c, double f_lo, double f_hi) {
+    double worst = 0.0;
+    for (double f = f_lo; f <= f_hi; f += 25.0) {
+      worst = std::max(worst, c.magnitude_at(f));
+    }
+    return 20.0 * std::log10(std::max(worst, 1e-12));
+  };
+  auto passband_ripple = [](const dsp::DecimationChain& c) {
+    double lo = 1e9;
+    double hi = -1e9;
+    for (double f = 10.0; f <= 350.0; f += 20.0) {
+      const double g = 20.0 * std::log10(c.magnitude_at(f));
+      lo = std::min(lo, g);
+      hi = std::max(hi, g);
+    }
+    return hi - lo;
+  };
+
+  // Work per 1 kS/s output sample.
+  // Paper: CIC is multiplier-free (3 adds / 128-kHz input sample + 3 subs /
+  // 4-kHz sample); FIR32 = 32 multiplies per 1 kHz output.
+  const double paper_mults = 32.0;
+  const double paper_adds = 3.0 * 128.0 + 3.0 * 4.0 + 32.0;
+  // Single-stage 512-tap at 128 kHz, polyphase-decimated by 128:
+  // 512 multiplies per output (each output is one 512-tap inner product).
+  const double single_mults = 512.0;
+  const double single_adds = 512.0;
+
+  TextTable t{"Architecture comparison"};
+  t.set_header({"metric", "SINC^3 + FIR32 (paper)", "single-stage FIR512"});
+  t.add_row({"multiplies / output", format_double(paper_mults, 0),
+             format_double(single_mults, 0)});
+  t.add_row({"adds / output", format_double(paper_adds, 0),
+             format_double(single_adds, 0)});
+  t.add_row({"coefficient memory", "32 words", "512 words"});
+  t.add_row({"passband ripple (10-350 Hz)",
+             format_double(passband_ripple(chain_paper), 3) + " dB",
+             format_double(passband_ripple(chain_single), 3) + " dB"});
+  // The first image band (600-1400 Hz folds onto 0-400 Hz) is limited by
+  // each filter's transition skirt; higher bands show the cascade's nulls.
+  t.add_row({"first image band (0.6-1.4 kHz)",
+             format_double(worst_gain(chain_paper, 600.0, 1400.0), 1) + " dB",
+             format_double(worst_gain(chain_single, 600.0, 1400.0), 1) + " dB"});
+  t.add_row({"higher image bands (1.6-32 kHz)",
+             format_double(worst_gain(chain_paper, 1600.0, 32000.0), 1) + " dB",
+             format_double(worst_gain(chain_single, 1600.0, 32000.0), 1) + " dB"});
+  t.add_row({"group delay", format_double(chain_paper.group_delay_seconds() * 1e3, 2) + " ms",
+             format_double(chain_single.group_delay_seconds() * 1e3, 2) + " ms"});
+  t.print(std::cout);
+  std::cout << "-> the cascade gets comparable passband quality with 16x fewer\n"
+               "   multipliers and 16x less coefficient storage — the standard\n"
+               "   argument for CIC first stages in FPGA decimators (the paper's\n"
+               "   implementation target).\n";
+}
+
+void incremental_mode_comparison() {
+  std::cout << "\n--- (c) Scanned-array readout: free-running vs incremental ΔΣ ---\n";
+  TextTable t{"Per-element conversion cost when scanning the array"};
+  t.set_header({"mode", "time/element", "resolution", "array frame (2x2)"});
+  // Free-running: filter transient (≈ group delay, E4) + dwell.
+  dsp::DecimationChain chain{dsp::DecimationConfig{}};
+  const double transient_s = chain.group_delay_seconds();
+  const double dwell_s = 4.0 / 1000.0;
+  const double free_running = transient_s + dwell_s;
+  t.add_row({"free-running + SINC^3/FIR",
+             format_double((transient_s + dwell_s) * 1e3, 2) + " ms (settle+dwell)",
+             "12 bit", format_double(4.0 * free_running * 1e3, 1) + " ms"});
+  for (std::size_t cycles : {128u, 256u, 512u}) {
+    analog::IncrementalConfig ic;
+    ic.cycles = cycles;
+    analog::IncrementalConverter conv{ic};
+    t.add_row({"incremental, N = " + std::to_string(cycles),
+               format_double(conv.conversion_time_s() * 1e3, 2) + " ms",
+               format_double(conv.ideal_resolution_bits(), 1) + " bit (ideal)",
+               format_double(4.0 * conv.conversion_time_s() * 1e3, 1) + " ms"});
+  }
+  t.print(std::cout);
+  std::cout << "-> resetting the loop per element removes the decimation-filter\n"
+               "   memory: a 2x2 frame drops from ~33 ms to ~8 ms at N = 256 —\n"
+               "   the standard upgrade path for multiplexed sensor arrays and a\n"
+               "   direct answer to the paper's §2.2 settling constraint.\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E11", "Architecture choices: modulator order and filter cascade");
+  modulator_order_comparison();
+  decimation_architecture_comparison();
+  incremental_mode_comparison();
+  return 0;
+}

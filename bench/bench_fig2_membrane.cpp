@@ -1,0 +1,92 @@
+// E5a / Fig. 2 — membrane transducer transfer characteristics.
+//
+// Paper (§2.1): square membranes, 100 µm side, 3 µm thick, CMOS
+// oxide/nitride/Al stack over a polysilicon bottom electrode; pressure
+// deflects the membrane and changes the gap capacitance. The paper gives the
+// geometry but no transfer curve — this bench generates the curve the device
+// physics implies, which everything downstream (modulator range, §4 feedback
+// capacitor sizing) depends on.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/common/units.hpp"
+#include "src/mems/transducer.hpp"
+
+namespace {
+
+using namespace tono;
+
+void run() {
+  bench::print_header("E5a / Fig. 2", "Membrane deflection and capacitance vs pressure");
+
+  const mems::TransducerConfig cfg;  // paper geometry
+  const mems::PressureTransducer t{cfg};
+  const auto& plate = t.capacitor().plate();
+
+  TextTable mt{"Membrane mechanical summary (100 um x 3 um CMOS stack)"};
+  mt.set_header({"quantity", "value", "unit"});
+  mt.add_row("flexural rigidity D", plate.flexural_rigidity() * 1e9, "nN*m", 3);
+  mt.add_row("residual tension N0", plate.residual_tension(), "N/m", 2);
+  mt.add_row("linear stiffness k1", plate.linear_stiffness() / 1e12, "TPa/m", 3);
+  mt.add_row("fundamental resonance", plate.fundamental_resonance_hz() / 1e6, "MHz", 2);
+  mt.add_row("rest capacitance", units::f_to_ff(t.bias_capacitance()), "fF", 2);
+  mt.add_row("sensitivity dC/dp", t.sensitivity() * 1e18 * 1e3, "zF/kPa*1e3", 3);
+  mt.add_row("pull-in voltage", t.capacitor().pull_in_voltage(), "V", 0);
+  mt.add_row("Brownian NEP", units::pa_to_mmhg(t.noise_equivalent_pressure_density()) * 1e6,
+             "ummHg/rtHz", 2);
+  mt.print(std::cout);
+
+  SeriesWriter defl{"fig2_deflection", "pressure_kpa", "center_deflection_nm"};
+  SeriesWriter cap{"fig2_capacitance", "pressure_kpa", "capacitance_ff"};
+  TextTable ct{"Transfer curve"};
+  ct.set_header({"p [kPa]", "p [mmHg]", "w0 [nm]", "C [fF]", "dC [fF]"});
+  const double c0 = t.bias_capacitance();
+  for (double p_kpa = -10.0; p_kpa <= 40.0; p_kpa += 2.5) {
+    const double p = units::kpa_to_pa(p_kpa);
+    const double w0 = t.deflection(p);
+    const double c = t.capacitance(p);
+    defl.add(p_kpa, w0 * 1e9);
+    cap.add(p_kpa, units::f_to_ff(c));
+    ct.add_row({format_double(p_kpa, 1), format_double(units::pa_to_mmhg(p), 0),
+                format_double(w0 * 1e9, 2), format_double(units::f_to_ff(c), 3),
+                format_double(units::f_to_ff(c - c0), 4)});
+  }
+  ct.print(std::cout);
+  defl.write_ascii_plot(std::cout, 64, 12);
+  cap.write_ascii_plot(std::cout, 64, 12);
+  defl.write_csv(std::cout);
+  cap.write_csv(std::cout);
+
+  // Backpressure bias (§3.2: the tube bends membranes upward).
+  TextTable bt{"Backpressure bias (pressure tube, Fig. 8)"};
+  bt.set_header({"backpressure [kPa]", "bias deflection [nm]", "bias C [fF]"});
+  for (double bp_kpa : {0.0, 5.0, 10.0, 15.0, 20.0}) {
+    mems::TransducerConfig biased = cfg;
+    biased.backpressure_pa = units::kpa_to_pa(bp_kpa);
+    const mems::PressureTransducer tb{biased};
+    bt.add_row({format_double(bp_kpa, 1), format_double(tb.deflection(0.0) * 1e9, 2),
+                format_double(units::f_to_ff(tb.bias_capacitance()), 3)});
+  }
+  bt.print(std::cout);
+
+  bench::ComparisonTable cmp{"Paper vs model (§2.1 geometry)"};
+  cmp.add("membrane side", "100 um",
+          format_double(units::m_to_um(cfg.plate.side_length_m), 0) + " um", true);
+  cmp.add("membrane thickness", "3 um",
+          format_double(units::m_to_um(cfg.plate.stack.total_thickness_m()), 1) + " um",
+          true);
+  cmp.add("element capacitance", "~100 fF class",
+          format_double(units::f_to_ff(t.bias_capacitance()), 0) + " fF",
+          t.bias_capacitance() > 50e-15 && t.bias_capacitance() < 200e-15);
+  cmp.add("resonance >> signal band", "implied",
+          format_double(plate.fundamental_resonance_hz() / 1e6, 1) + " MHz >> 500 Hz",
+          plate.fundamental_resonance_hz() > 1e5);
+  cmp.print();
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,153 @@
+// E8 / §4 — the paper's future-work items, implemented.
+//
+// "Future work will include an improvement of the resolution during blood
+// pressure measurements … by adjusting the feedback capacitors of the first
+// modulator stage. Also an increased conversion rate would be desirable.
+// Field tests have to be performed in order [to] evaluate reliability and
+// stability."
+//
+// Three corresponding sub-experiments:
+//   (a) closed-loop feedback-capacitor auto-ranging during a session,
+//   (b) applanation hold-down optimization (field-usability prerequisite),
+//   (c) stability characterization of the sensor output: Welch noise floor
+//       and Allan deviation (white-noise region vs drift).
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/common/statistics.hpp"
+#include "src/core/autorange.hpp"
+#include "src/core/holddown.hpp"
+#include "src/core/monitor.hpp"
+#include "src/core/quality.hpp"
+#include "src/dsp/noise_analysis.hpp"
+
+namespace {
+
+using namespace tono;
+
+void autorange_demo() {
+  std::cout << "\n--- (a) Feedback-capacitor auto-ranging ---\n";
+  auto chip = core::ChipConfig::paper_chip();
+  chip.modulator.c_fb1_f = 50e-15;  // start deliberately coarse
+  core::BloodPressureMonitor mon{chip, core::WristModel{}};
+  auto& pipe = mon.pipeline();
+  auto field = mon.contact_field();
+
+  core::FeedbackAutoRanger ranger{core::AutoRangeConfig{}, 0};
+  TextTable t{"Auto-ranging trace (2 s windows)"};
+  t.set_header({"window", "C_fb [fF]", "peak |value|", "action"});
+  for (int w = 0; w < 8; ++w) {
+    const auto samples = pipe.acquire(field, 2000);
+    std::vector<double> values;
+    for (const auto& s : samples) values.push_back(s.value);
+    double peak = 0.0;
+    for (double v : values) peak = std::max(peak, std::abs(v));
+    const double cfb_before = ranger.current_capacitance_f();
+    const auto d = ranger.update(values);
+    if (d.changed) (void)pipe.set_feedback_capacitor(ranger.current_capacitance_f());
+    t.add_row({std::to_string(w), format_double(cfb_before * 1e15, 0),
+               format_double(peak, 4),
+               d.changed ? "-> " + format_double(ranger.current_capacitance_f() * 1e15, 0) +
+                               " fF"
+                         : "hold"});
+  }
+  t.print(std::cout);
+  std::cout << "-> the controller walks from 50 fF to the finest range the\n"
+               "   tonometric swing allows, multiplying codes-per-mmHg (§4).\n";
+}
+
+void holddown_demo() {
+  std::cout << "\n--- (b) Applanation hold-down optimization ---\n";
+  core::WristModel wrist;
+  core::HoldDownOptimizer opt;
+  const auto r = opt.optimize(core::ChipConfig::paper_chip(), wrist);
+  TextTable t{"Hold-down sweep (pulsation amplitude vs applied pressure)"};
+  t.set_header({"hold-down [mmHg]", "pulsation [FS]"});
+  for (const auto& [hd, amp] : r.profile) {
+    t.add_row({format_double(hd, 1), format_double(amp, 5)});
+  }
+  t.print(std::cout);
+  std::cout << "optimum: " << format_double(r.best_mmhg, 1)
+            << " mmHg (tissue model applanation point: "
+            << format_double(wrist.tissue.optimal_hold_down_mmhg, 1) << " mmHg)\n";
+}
+
+void stability_demo() {
+  std::cout << "\n--- (c) Reliability/stability: noise floor and Allan deviation ---\n";
+  // Static contact pressure → the output stream is pure sensor+converter
+  // noise and drift.
+  core::AcquisitionPipeline pipe{core::ChipConfig::paper_chip()};
+  const double p = 10.0 * 133.322;  // small static load
+  const auto samples = pipe.acquire_uniform([=](double) { return p; }, 60000);
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const auto& s : samples) values.push_back(s.value);
+  // Drop the startup transient.
+  values.erase(values.begin(), values.begin() + 200);
+
+  const auto psd = dsp::welch_psd(values, 1000.0);
+  TextTable nf{"Output noise floor (Welch, 60 s static load)"};
+  nf.set_header({"band [Hz]", "integrated noise [LSB rms]"});
+  for (double hi : {1.0, 10.0, 100.0, 500.0}) {
+    const double pwr = dsp::integrate_psd(psd, 0.5, hi);
+    nf.add_row({"0.5-" + format_double(hi, 0),
+                format_double(std::sqrt(pwr) * 2048.0, 2)});
+  }
+  nf.print(std::cout);
+
+  const auto adev = dsp::allan_deviation(values, 1000.0, 0.002);
+  SeriesWriter s{"allan_deviation", "tau_s", "adev_lsb"};
+  TextTable at{"Allan deviation of the static output"};
+  at.set_header({"tau [s]", "ADEV [LSB]"});
+  for (const auto& pnt : adev) {
+    at.add_row({format_double(pnt.tau_s, 3), format_double(pnt.adev * 2048.0, 3)});
+    s.add(pnt.tau_s, pnt.adev * 2048.0);
+  }
+  at.print(std::cout);
+  s.write_csv(std::cout);
+  std::cout << "-> 1/sqrt(tau) at short tau (white converter noise), flattening\n"
+               "   or rising at long tau (reference/membrane drift) — the\n"
+               "   stability picture the paper's field tests would measure.\n";
+}
+
+void thermal_demo() {
+  std::cout << "\n--- (d) Body-contact thermal drift and recalibration ---\n";
+  core::WristModel wrist;
+  wrist.enable_thermal_drift = true;
+  wrist.thermal_tau_s = 30.0;
+  core::BloodPressureMonitor mon{core::ChipConfig::paper_chip(), wrist};
+  (void)mon.calibrate(10.0);
+  TextTable t{"Baseline drift while the die warms (tempco 30 ppm/K, skin 307 K)"};
+  t.set_header({"window [s]", "die T [K]", "mean dia [mmHg]", "MAP error [mmHg]"});
+  for (int w = 0; w < 4; ++w) {
+    const auto rep = mon.monitor(20.0);
+    t.add_row({format_double(rep.time_s.front(), 0) + "-" +
+                   format_double(rep.time_s.back(), 0),
+               format_double(mon.pipeline().temperature_k(), 2),
+               format_double(rep.beats.mean_diastolic, 1),
+               format_double(rep.map_error_mmhg, 2)});
+  }
+  // One recalibration absorbs the accumulated drift.
+  (void)mon.calibrate(10.0);
+  const auto rep = mon.monitor(20.0);
+  t.add_row({"after recalibration", format_double(mon.pipeline().temperature_k(), 2),
+             format_double(rep.beats.mean_diastolic, 1),
+             format_double(rep.map_error_mmhg, 2)});
+  t.print(std::cout);
+  std::cout << "-> the uncompensated tempco costs several mmHg over the warm-up\n"
+               "   transient; periodic cuff recalibration (or an on-chip\n"
+               "   temperature reference) restores accuracy — a concrete answer\n"
+               "   to the paper's reliability/stability question.\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E8 / §4", "Future-work features: auto-ranging, applanation, stability");
+  autorange_demo();
+  holddown_demo();
+  stability_demo();
+  thermal_demo();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Microbenchmarks (google-benchmark): simulation throughput of the hot
+// paths. Not a paper experiment — this guards the property that makes the
+// repo usable: simulating seconds of 128 kHz operation in real time or
+// faster on a laptop.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/analog/modulator.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/dsp/decimation.hpp"
+#include "src/dsp/fft.hpp"
+#include "src/mems/transducer.hpp"
+
+namespace {
+
+using namespace tono;
+
+void BM_ModulatorStepVoltage(benchmark::State& state) {
+  analog::DeltaSigmaModulator mod{analog::ModulatorConfig{}};
+  double v = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mod.step_voltage(v));
+    v = -v;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ModulatorStepVoltage);
+
+void BM_ModulatorStepCapacitive(benchmark::State& state) {
+  analog::DeltaSigmaModulator mod{analog::ModulatorConfig{}};
+  double c = 100e-15;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mod.step_capacitive(c, 100e-15));
+    c = c == 100e-15 ? 101e-15 : 100e-15;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ModulatorStepCapacitive);
+
+void BM_DecimationPush(benchmark::State& state) {
+  dsp::DecimationChain chain{dsp::DecimationConfig{}};
+  int bit = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.push(bit));
+    bit = -bit;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecimationPush);
+
+void BM_CapacitanceExactIntegral(benchmark::State& state) {
+  mems::PressureTransducer t{mems::TransducerConfig{}};
+  double p = 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.capacitance(p));
+    p = p < 20e3 ? p + 13.0 : 1000.0;
+  }
+}
+BENCHMARK(BM_CapacitanceExactIntegral);
+
+void BM_CapacitanceLut(benchmark::State& state) {
+  core::SensorArray arr{core::ChipConfig::paper_chip()};
+  double p = 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arr.element(0).capacitance(p));
+    p = p < 20e3 ? p + 13.0 : 1000.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CapacitanceLut);
+
+void BM_FullPipelineClock(benchmark::State& state) {
+  core::AcquisitionPipeline pipe{core::ChipConfig::paper_chip()};
+  double t = 0.0;
+  for (auto _ : state) {
+    const double p = 10000.0 + 2000.0 * std::sin(2.0 * std::numbers::pi * 1.2 * t);
+    benchmark::DoNotOptimize(pipe.clock(p));
+    t += 1.0 / 128000.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["realtime_x"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 128000.0, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullPipelineClock);
+
+void BM_Fft8k(benchmark::State& state) {
+  std::vector<dsp::Complex> x(8192);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = dsp::Complex{std::sin(0.01 * static_cast<double>(i)), 0.0};
+  }
+  for (auto _ : state) {
+    auto copy = x;
+    dsp::fft_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_Fft8k);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E2 / §3.1 — electrical operating point of the sensor chip.
+//
+// Paper numbers: fs = 128 kS/s, OSR = 128 → 1 kS/s, 12 bit, SNR > 72 dB,
+// power 11.5 mW at 5 V. The bench reproduces the operating-point table and
+// adds the power model's scaling trends around the nominal point.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/analog/power.hpp"
+#include "src/core/chip_config.hpp"
+
+namespace {
+
+using namespace tono;
+
+void run() {
+  bench::print_header("E2 / §3.1", "Electrical operating point and power");
+
+  const auto chip = core::ChipConfig::paper_chip();
+  const analog::PowerModel pm{chip.power};
+
+  // Headline conversion performance at the operating point.
+  analog::ModulatorConfig mc = chip.modulator;
+  mc.c_fb1_f = 25e-15;  // electrical characterization setting
+  const auto tone = bench::run_tone_test(mc, chip.decimation, 0.875, 15.625);
+
+  bench::ComparisonTable cmp{"Operating point (paper §3.1 vs simulation)"};
+  cmp.add("sampling frequency", "128 kHz",
+          format_double(chip.modulator.sampling_rate_hz / 1e3, 0) + " kHz",
+          chip.modulator.sampling_rate_hz == 128000.0);
+  cmp.add("oversampling ratio", "128",
+          format_double(static_cast<double>(chip.decimation.total_decimation), 0),
+          chip.decimation.total_decimation == 128);
+  cmp.add("conversion rate", "1 kS/s", "1 kS/s",
+          chip.decimation.total_decimation == 128);
+  cmp.add("output resolution", "12 bit",
+          format_double(static_cast<double>(chip.decimation.output_bits), 0) + " bit",
+          chip.decimation.output_bits == 12);
+  cmp.add("SNR", "> 72 dB", format_double(tone.analysis.snr_db, 1) + " dB",
+          tone.analysis.snr_db > 72.0);
+  cmp.add("supply voltage", "5 V", format_double(chip.modulator.supply_v, 1) + " V",
+          chip.modulator.supply_v == 5.0);
+  cmp.add("power @ 5 V / 128 kHz", "11.5 mW",
+          format_double(pm.nominal_w() * 1e3, 2) + " mW",
+          std::abs(pm.nominal_w() - 11.5e-3) < 0.2e-3);
+  cmp.print();
+
+  // Power scaling trends (model predictions around the reported point).
+  TextTable pf{"Power vs sampling frequency (Vdd = 5 V)"};
+  pf.set_header({"fs [kHz]", "static [mW]", "dynamic [mW]", "total [mW]"});
+  for (double fs : {32e3, 64e3, 128e3, 256e3, 512e3}) {
+    pf.add_row({format_double(fs / 1e3, 0), format_double(pm.static_w(5.0) * 1e3, 2),
+                format_double(pm.dynamic_w(5.0, fs) * 1e3, 2),
+                format_double(pm.total_w(5.0, fs) * 1e3, 2)});
+  }
+  pf.print(std::cout);
+
+  TextTable pv{"Power vs supply (fs = 128 kHz)"};
+  pv.set_header({"Vdd [V]", "total [mW]", "energy/conv [uJ]"});
+  for (double vdd : {3.0, 3.3, 4.0, 5.0, 5.5}) {
+    pv.add_row({format_double(vdd, 1), format_double(pm.total_w(vdd, 128e3) * 1e3, 2),
+                format_double(pm.energy_per_conversion_j(vdd, 128e3, 128.0) * 1e6, 2)});
+  }
+  pv.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// bench_util.hpp — shared helpers for the experiment-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper and prints
+// (a) the measured rows/series and (b) a paper-vs-measured comparison where
+// the paper states a number. Output is plain text: aligned tables plus CSV
+// series and coarse ASCII plots for figures.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analog/modulator.hpp"
+#include "src/common/table.hpp"
+#include "src/dsp/decimation.hpp"
+#include "src/dsp/spectrum.hpp"
+
+namespace tono::bench {
+
+inline void print_header(const std::string& experiment_id, const std::string& title) {
+  std::cout << "\n=============================================================\n"
+            << experiment_id << ": " << title << '\n'
+            << "=============================================================\n";
+}
+
+struct ToneTestResult {
+  dsp::SpectrumAnalysis analysis;
+  std::size_t clip_count{0};
+};
+
+/// Runs the Fig. 7 style single-tone test: voltage-mode modulator at
+/// `amp` × full scale, through the two-stage decimation chain, analyzed over
+/// `n_out` output samples.
+inline ToneTestResult run_tone_test(const analog::ModulatorConfig& mc,
+                                    const dsp::DecimationConfig& dc, double amp,
+                                    double target_freq_hz, std::size_t n_out = 8192) {
+  analog::DeltaSigmaModulator mod{mc};
+  dsp::DecimationChain chain{dc};
+  const double fs_out = chain.output_rate_hz();
+  const double f = dsp::coherent_frequency(target_freq_hz, fs_out, n_out);
+  const std::size_t osr = dc.total_decimation;
+  const auto bits = mod.run_voltage(
+      [&](double t) {
+        return amp * mc.vref_v * std::sin(2.0 * 3.14159265358979323846 * f * t);
+      },
+      (n_out + 300) * osr);
+  std::vector<int> ints(bits.begin(), bits.end());
+  const auto vals = chain.process_values(ints);
+  std::vector<double> rec(vals.end() - static_cast<long>(n_out), vals.end());
+  dsp::SpectrumConfig sc;
+  sc.sample_rate_hz = fs_out;
+  return ToneTestResult{dsp::analyze_tone(rec, sc), mod.clip_count()};
+}
+
+/// Prints a paper-vs-measured row table.
+class ComparisonTable {
+ public:
+  explicit ComparisonTable(const std::string& title) : table_(title) {
+    table_.set_header({"quantity", "paper", "measured", "match"});
+  }
+
+  void add(const std::string& quantity, const std::string& paper,
+           const std::string& measured, bool match) {
+    table_.add_row({quantity, paper, measured, match ? "yes" : "NO"});
+  }
+
+  void print() const { table_.print(std::cout); }
+
+ private:
+  TextTable table_;
+};
+
+}  // namespace tono::bench

@@ -1,0 +1,67 @@
+// adc_characterization — using the differential voltage test interface.
+//
+// §3: "The ΔΣ-modulator additionally has a differential voltage interface,
+// so a full characterization of the analog to digital conversion of this
+// circuit can be accomplished, independent of the connected transducer."
+//
+// The example sweeps the input amplitude, prints the SNR/SNDR staircase and
+// locates the converter's dynamic range — the standard ADC bring-up ritual.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "src/analog/modulator.hpp"
+#include "src/dsp/decimation.hpp"
+#include "src/dsp/spectrum.hpp"
+
+namespace {
+
+tono::dsp::SpectrumAnalysis measure(double amp_dbfs) {
+  using namespace tono;
+  analog::ModulatorConfig mc;   // paper configuration
+  dsp::DecimationConfig dc;     // SINC³ + FIR, OSR 128, 12 bit
+  analog::DeltaSigmaModulator mod{mc};
+  dsp::DecimationChain chain{dc};
+
+  const std::size_t n_out = 4096;
+  const double f = dsp::coherent_frequency(15.625, 1000.0, n_out);
+  const double amp = std::pow(10.0, amp_dbfs / 20.0);
+  const auto bits = mod.run_voltage(
+      [&](double t) {
+        return amp * mc.vref_v * std::sin(2.0 * std::numbers::pi * f * t);
+      },
+      (n_out + 300) * 128);
+  std::vector<int> ints(bits.begin(), bits.end());
+  const auto vals = chain.process_values(ints);
+  std::vector<double> rec(vals.end() - static_cast<long>(n_out), vals.end());
+  dsp::SpectrumConfig sc;
+  sc.sample_rate_hz = 1000.0;
+  return dsp::analyze_tone(rec, sc);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("ΔΣ ADC characterization via the differential voltage interface");
+  std::puts("(fs = 128 kHz, OSR = 128, 12-bit SINC³+FIR decimation)\n");
+
+  std::printf("%-12s %-12s %-10s %-10s %-10s\n", "input dBFS", "meas dBFS", "SNR dB",
+              "SNDR dB", "ENOB bit");
+  double peak_snr = 0.0;
+  double dynamic_range_dbfs = 0.0;
+  for (double level = -60.0; level <= -1.0; level += level < -12.0 ? 12.0 : 2.0) {
+    const auto a = measure(level);
+    std::printf("%-12.1f %-12.2f %-10.2f %-10.2f %-10.2f\n", level, a.fundamental_dbfs,
+                a.snr_db, a.sndr_db, a.enob_bits);
+    if (a.snr_db > peak_snr) peak_snr = a.snr_db;
+    if (a.snr_db > 0.0 && level < dynamic_range_dbfs) dynamic_range_dbfs = level;
+  }
+
+  std::printf("\npeak SNR: %.1f dB (paper: better than 72 dB)\n", peak_snr);
+  std::printf("SNR stays positive down to at least %.0f dBFS of input.\n",
+              dynamic_range_dbfs);
+  std::puts("SNR climbs ~1 dB per dB of input: the converter is noise-floor");
+  std::puts("limited (12-bit output word + kT/C), not distortion limited.");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// bp_monitoring — the full clinical-style session of §3.2 / Fig. 9.
+//
+// Protocol: place the sensor, scan the array for the strongest element,
+// take one cuff reading to anchor the calibration, then monitor
+// continuously and report per-beat blood pressure. Demonstrates exactly
+// what a cuff cannot do: a beat-by-beat pressure trend.
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/table.hpp"
+#include "src/core/monitor.hpp"
+
+int main() {
+  using namespace tono;
+
+  core::WristModel wrist;
+  wrist.pulse.systolic_mmhg = 125.0;
+  wrist.pulse.diastolic_mmhg = 82.0;
+  wrist.pulse.heart_rate_bpm = 68.0;
+  wrist.enable_artifacts = true;          // realistic: wander + occasional motion
+  wrist.artifacts.spike_rate_hz = 0.02;
+
+  core::BloodPressureMonitor monitor{core::ChipConfig::paper_chip(), wrist};
+
+  std::puts("== 1. Array scan (strongest-element selection) ==");
+  core::ScanConfig scan_cfg;
+  scan_cfg.dwell_samples = 1500;
+  const auto scan = monitor.localize(scan_cfg);
+  for (const auto& e : scan.elements) {
+    std::printf("  element (%zu,%zu): pulsation %.5f FS%s\n", e.row, e.col, e.amplitude,
+                (e.row == scan.best_row && e.col == scan.best_col) ? "  <= selected" : "");
+  }
+
+  std::puts("\n== 2. Cuff calibration ==");
+  const auto cuff = monitor.calibrate(15.0);
+  std::printf("  cuff: %.1f / %.1f mmHg (took %.0f s — a cuff can do ~%.0f/hour)\n",
+              cuff.systolic_mmhg, cuff.diastolic_mmhg, cuff.duration_s,
+              bio::OscillometricCuff{bio::CuffConfig{}}.max_measurements_per_hour());
+  std::printf("  calibration: mmHg = %.1f x value + %.1f\n",
+              monitor.calibration().gain_mmhg_per_unit(),
+              monitor.calibration().offset_mmhg());
+
+  std::puts("\n== 3. Continuous monitoring (60 s) ==");
+  const auto rep = monitor.monitor(60.0);
+  std::printf("  %zu beats in 60 s; trend (5 s bins):\n", rep.beats.beats.size());
+  // Per-5-second trend of systolic/diastolic.
+  const double t0 = rep.time_s.front();
+  for (int bin = 0; bin < 12; ++bin) {
+    const double lo = t0 + 5.0 * bin;
+    const double hi = lo + 5.0;
+    double sys = 0.0;
+    double dia = 0.0;
+    int n = 0;
+    for (const auto& b : rep.beats.beats) {
+      if (b.peak_s >= lo && b.peak_s < hi) {
+        sys += b.systolic_value;
+        dia += b.diastolic_value;
+        ++n;
+      }
+    }
+    if (n > 0) {
+      std::printf("  t=%3.0f..%3.0f s: %5.1f / %5.1f mmHg (%d beats)\n", lo - t0,
+                  hi - t0, sys / n, dia / n, n);
+    }
+  }
+
+  std::puts("\n== 4. Session summary ==");
+  std::printf("  estimate    : %.1f / %.1f mmHg, MAP %.1f, HR %.1f bpm\n",
+              rep.beats.mean_systolic, rep.beats.mean_diastolic, rep.beats.mean_map,
+              rep.beats.heart_rate_bpm);
+  std::printf("  ground truth: %.1f / %.1f mmHg, MAP %.1f, HR %.1f bpm\n",
+              rep.truth_systolic_mmhg, rep.truth_diastolic_mmhg, rep.truth_map_mmhg,
+              rep.truth_heart_rate_bpm);
+  std::printf("  errors      : sys %+.2f, dia %+.2f, MAP %+.2f mmHg\n",
+              rep.systolic_error_mmhg, rep.diastolic_error_mmhg, rep.map_error_mmhg);
+
+  // A short excerpt of the waveform, Fig. 9 style.
+  std::puts("\n== 5. Waveform excerpt (3 s) ==");
+  SeriesWriter wave{"bp_excerpt", "time_s", "pressure_mmhg"};
+  for (std::size_t i = 0; i < rep.waveform_mmhg.size() && rep.time_s[i] < t0 + 3.0; ++i) {
+    wave.add(rep.time_s[i] - t0, rep.waveform_mmhg[i]);
+  }
+  wave.write_ascii_plot(std::cout, 72, 14);
+  return 0;
+}

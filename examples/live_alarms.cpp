@@ -1,0 +1,63 @@
+// live_alarms — the bedside-monitor loop: sensor → streaming analysis →
+// alarms, on a patient whose pressure crashes mid-session.
+//
+// Combines the full chip chain (BloodPressureMonitor) with the push-based
+// StreamingMonitor: calibrated samples are fed one at a time, beats and
+// limit violations surface as events with seconds of latency — what E10
+// shows a cuff cannot do.
+#include <cstdio>
+#include <memory>
+
+#include "src/bio/scenario.hpp"
+#include "src/core/monitor.hpp"
+#include "src/core/streaming_monitor.hpp"
+
+int main() {
+  using namespace tono;
+
+  // Patient with a hypotensive episode at ~t = 50 s.
+  core::WristModel wrist;
+  wrist.scenario = std::make_shared<bio::ScenarioProfile>(
+      bio::ScenarioProfile::hypotensive_episode(150.0));
+
+  core::BloodPressureMonitor sensor{core::ChipConfig::paper_chip(), wrist};
+  (void)sensor.localize();
+  const auto cuff = sensor.calibrate(12.0);
+  std::printf("calibrated against cuff: %.0f/%.0f mmHg\n\n", cuff.systolic_mmhg,
+              cuff.diastolic_mmhg);
+
+  core::StreamingConfig scfg;
+  scfg.limits.systolic_low_mmhg = 95.0;
+  core::StreamingMonitor live{scfg};
+
+  std::size_t beat_count = 0;
+  live.on_beat([&](const core::Beat& b) {
+    ++beat_count;
+    if (beat_count % 10 == 0) {
+      std::printf("t=%6.1f s  beat %3zu: %5.1f / %5.1f mmHg\n", b.peak_s, beat_count,
+                  b.systolic_value, b.diastolic_value);
+    }
+  });
+  live.on_alarm([](const core::AlarmEvent& a) {
+    std::printf("t=%6.1f s  *** ALARM %s %s (%.1f) ***\n", a.time_s,
+                core::to_string(a.kind).c_str(), a.active ? "RAISED" : "cleared",
+                a.value);
+  });
+  double last_sqi = -1.0;
+  live.on_quality([&](const core::QualityReport& q, double t) {
+    if (last_sqi >= 0.0 && (q.usable != (last_sqi >= 0.5))) {
+      std::printf("t=%6.1f s  signal quality %s (SQI %.2f)\n", t,
+                  q.usable ? "restored" : "degraded", q.sqi);
+    }
+    last_sqi = q.sqi;
+  });
+
+  // Stream the rest of the session sample by sample.
+  const auto rep = sensor.monitor(130.0);
+  for (double mmhg : rep.waveform_mmhg) live.push(mmhg);
+
+  std::printf("\nsession: %zu beats streamed; systolic-low alarm %s at end\n",
+              live.beats_emitted(),
+              live.alarm_active(core::AlarmKind::kSystolicLow) ? "ACTIVE" : "inactive");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// tactile_imaging — the array as a pressure camera.
+//
+// The paper's §2 localizes vessels by selecting the strongest element; its
+// references [3, 4] build full tactile imagers from the same element type.
+// This example scans an extended 4x8 array against a pulsating artery and
+// renders the pressure maps as ASCII frames — watch the artery "light up"
+// along its axis and pulse over time.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+#include <string>
+
+#include "src/common/units.hpp"
+#include "src/core/imaging.hpp"
+#include "src/core/monitor.hpp"
+
+int main() {
+  using namespace tono;
+
+  auto chip = core::ChipConfig::paper_chip();
+  chip.array.rows = 4;
+  chip.array.cols = 8;
+  chip.mux.rows = 4;
+  chip.mux.cols = 8;
+
+  core::WristModel wrist;
+  wrist.tissue.lateral_sigma_m = 0.35e-3;   // sharp artery profile
+  wrist.vessel_x_m = 0.15e-3;               // artery offset right of center
+  core::BloodPressureMonitor monitor{chip, wrist};
+  auto field = monitor.contact_field();
+  auto& pipe = monitor.pipeline();
+
+  core::ImagerConfig icfg;
+  icfg.settle_samples = 10;
+  icfg.dwell_samples = 3;
+  core::TactileImager imager{icfg};
+
+  std::printf("4x8 tactile array, %.1f frames/s — artery along y at x=+0.15 mm\n\n",
+              imager.frame_rate_hz(pipe));
+
+  const auto frames = imager.capture_sequence(pipe, field, 24);
+  const std::size_t rows = frames.front().rows;
+  const std::size_t cols = frames.front().cols;
+  const std::size_t pixels = rows * cols;
+
+  // Fixed-pattern removal (dark-frame subtraction): element mismatch gives
+  // each pixel a static offset far larger than the pulsation, exactly like
+  // fixed-pattern noise in an image sensor. Subtract the per-pixel mean.
+  std::vector<double> mean(pixels, 0.0);
+  for (const auto& f : frames) {
+    for (std::size_t p = 0; p < pixels; ++p) mean[p] += f.pixels[p];
+  }
+  for (auto& m : mean) m /= static_cast<double>(frames.size());
+
+  const char* shades = " .:-=+*#%@";
+  auto render = [&](const std::vector<double>& img, double lo, double hi) {
+    const double span = hi > lo ? hi - lo : 1.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::fputs("  |", stdout);
+      for (std::size_t c = 0; c < cols; ++c) {
+        double norm = (img[r * cols + c] - lo) / span;
+        norm = std::min(std::max(norm, 0.0), 1.0);
+        const auto idx = static_cast<std::size_t>(norm * 9.0 + 0.5);
+        std::printf("%c%c", shades[idx], shades[idx]);
+      }
+      std::puts("|");
+    }
+  };
+
+  // AC frames: the artery column brightens and dims with the pulse.
+  double ac_lo = 1e9;
+  double ac_hi = -1e9;
+  std::vector<std::vector<double>> ac(frames.size(), std::vector<double>(pixels));
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    for (std::size_t p = 0; p < pixels; ++p) {
+      ac[i][p] = frames[i].pixels[p] - mean[p];
+      ac_lo = std::min(ac_lo, ac[i][p]);
+      ac_hi = std::max(ac_hi, ac[i][p]);
+    }
+  }
+  for (std::size_t i = 0; i < frames.size(); i += 3) {
+    std::printf("AC frame %zu (t = %.2f s)\n", i, frames[i].start_s);
+    render(ac[i], ac_lo, ac_hi);
+  }
+
+  // Pulsation-amplitude map: per-pixel peak-to-peak across the sequence —
+  // the §2 localization map in one picture.
+  std::vector<double> amplitude(pixels, 0.0);
+  for (std::size_t p = 0; p < pixels; ++p) {
+    double lo = 1e9;
+    double hi = -1e9;
+    for (const auto& f : ac) {
+      lo = std::min(lo, f[p]);
+      hi = std::max(hi, f[p]);
+    }
+    amplitude[p] = hi - lo;
+  }
+  std::puts("\npulsation-amplitude map (artery = bright column):");
+  double amp_hi = 0.0;
+  for (double a : amplitude) amp_hi = std::max(amp_hi, a);
+  render(amplitude, 0.0, amp_hi);
+
+  std::puts("\nThe bright column marks the artery; its intensity beats with the");
+  std::puts("pulse. Strongest-element selection (§2) is the argmax of this map.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// vessel_localization — finding a buried artery with the sensor array.
+//
+// §2 of the paper: "an array of force detectors is used and the sensor
+// element with the strongest signal is selected during measurement. This can
+// also be used for localizing blood vessels, buried in tissue."
+//
+// The example builds an extended 1x8 array (the mux design is modular),
+// sweeps the device placement across the artery, and shows the per-element
+// pulsation map plus the selected element at every position.
+#include <cstdio>
+#include <string>
+
+#include "src/core/monitor.hpp"
+
+int main() {
+  using namespace tono;
+
+  std::puts("Sweeping an 1x8 tactile array across a radial artery");
+  std::puts("(artery at x = 0; device placement offset varies)\n");
+
+  std::printf("%-14s", "offset [mm]");
+  for (int c = 0; c < 8; ++c) std::printf("  col%-4d", c);
+  std::printf("  selected\n");
+
+  for (double offset_mm = -0.6; offset_mm <= 0.61; offset_mm += 0.2) {
+    auto chip = core::ChipConfig::paper_chip();
+    chip.array.rows = 1;
+    chip.array.cols = 8;
+    chip.mux.rows = 1;
+    chip.mux.cols = 8;
+
+    core::WristModel wrist;
+    wrist.placement_offset_m = offset_mm * 1e-3;
+    wrist.tissue.lateral_sigma_m = 0.5e-3;  // sharp spatial profile
+
+    core::BloodPressureMonitor monitor{chip, wrist};
+    core::ScanConfig scan_cfg;
+    scan_cfg.dwell_samples = 1200;
+    const auto scan = monitor.localize(scan_cfg);
+
+    std::printf("%-14.2f", offset_mm);
+    for (const auto& e : scan.elements) {
+      // Normalize to the best element for a readable "heat map".
+      const double rel = scan.best_amplitude > 0.0 ? e.amplitude / scan.best_amplitude : 0.0;
+      std::printf("  %-7s", std::string(static_cast<std::size_t>(rel * 5.0 + 0.5), '#').c_str());
+    }
+    std::printf("  col %zu\n", scan.best_col);
+  }
+
+  std::puts("\nThe winning column walks across the array as the device moves:");
+  std::puts("placement accuracy is relaxed by array size, as the paper argues.");
+  return 0;
+}

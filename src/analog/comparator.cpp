@@ -1,0 +1,20 @@
+#include "src/analog/comparator.hpp"
+
+#include <cmath>
+
+namespace tono::analog {
+
+int Comparator::decide(double input_v) noexcept {
+  double v = input_v - config_.offset_v;
+  if (config_.noise_vrms > 0.0) v += rng_.gaussian(0.0, config_.noise_vrms);
+  // Hysteresis: the threshold leans toward keeping the previous decision.
+  v -= 0.5 * config_.hysteresis_v * static_cast<double>(-last_);
+  if (std::abs(v) < config_.metastable_band_v) {
+    last_ = rng_.bernoulli(0.5) ? 1 : -1;
+    return last_;
+  }
+  last_ = v >= 0.0 ? 1 : -1;
+  return last_;
+}
+
+}  // namespace tono::analog

@@ -1,0 +1,38 @@
+// comparator.hpp — clocked 1-bit quantizer of the ΔΣ loop.
+//
+// Offset and hysteresis are first-order shaped by the loop (they appear as a
+// DC shift / small limit-cycle perturbation rather than distortion), so the
+// modulator tolerates millivolt-level values — the model lets tests verify
+// exactly that. Metastability is modelled as a random decision inside a
+// narrow band around the threshold.
+#pragma once
+
+#include "src/common/rng.hpp"
+
+namespace tono::analog {
+
+struct ComparatorConfig {
+  double offset_v{0.0};
+  double hysteresis_v{0.0};        ///< full width of the hysteresis band
+  double metastable_band_v{10e-6}; ///< |input| below this → random decision
+  double noise_vrms{50e-6};        ///< input-referred rms noise
+};
+
+class Comparator {
+ public:
+  Comparator(const ComparatorConfig& config, Rng rng) noexcept
+      : config_(config), rng_(rng) {}
+
+  /// Clocked decision: returns +1 or −1.
+  [[nodiscard]] int decide(double input_v) noexcept;
+
+  [[nodiscard]] int last_decision() const noexcept { return last_; }
+  [[nodiscard]] const ComparatorConfig& config() const noexcept { return config_; }
+
+ private:
+  ComparatorConfig config_;
+  Rng rng_;
+  int last_{1};
+};
+
+}  // namespace tono::analog

@@ -1,0 +1,62 @@
+// incremental.hpp — incremental (one-shot) operation of the ΔΣ modulator.
+//
+// E4 shows that scanning the array through the free-running modulator costs
+// a decimation-filter transient (~4 ms) per element switch — the §2.2
+// "settling limited by the signal bandwidth" constraint. The textbook fix
+// for multiplexed sensor arrays is *incremental* ΔΣ conversion: reset the
+// loop, run exactly N cycles on one element, decimate with a cascade-of-
+// integrators (CoI) counter, output one sample, move on. No IIR memory →
+// no transient; conversion time is N clock cycles flat.
+//
+// The digital transfer (CoI₂ weighting → input estimate) is self-calibrated
+// at construction by converting two known inputs through the differential
+// voltage test interface — exactly the bring-up the chip's §3 test mode
+// exists for.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "src/analog/modulator.hpp"
+
+namespace tono::analog {
+
+struct IncrementalConfig {
+  /// Clock cycles per conversion (the accuracy/rate knob).
+  std::size_t cycles{256};
+  ModulatorConfig modulator{};
+};
+
+class IncrementalConverter {
+ public:
+  explicit IncrementalConverter(const IncrementalConfig& config);
+
+  /// One-shot conversion of a differential input voltage. Returns the
+  /// estimated normalized input (full scale ±1).
+  [[nodiscard]] double convert_voltage(double vin_v);
+
+  /// One-shot conversion of a sensor/reference capacitor pair. Returns the
+  /// estimated normalized ΔC / ΔC_FS.
+  [[nodiscard]] double convert_capacitive(double c_sense_f, double c_ref_f);
+
+  /// Conversion time [s].
+  [[nodiscard]] double conversion_time_s() const noexcept;
+
+  /// Ideal resolution of an order-2 incremental with CoI₂ weighting:
+  /// log2(N(N+1)/2) bits (quantization-limited).
+  [[nodiscard]] double ideal_resolution_bits() const noexcept;
+
+  [[nodiscard]] const IncrementalConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Runs one reset-and-count conversion; `raw` is the CoI₂-weighted sum.
+  template <typename StepFn>
+  [[nodiscard]] double run_conversion(StepFn&& step);
+
+  IncrementalConfig config_;
+  std::unique_ptr<DeltaSigmaModulator> modulator_;
+  double gain_{1.0};
+  double offset_{0.0};
+};
+
+}  // namespace tono::analog

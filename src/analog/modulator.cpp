@@ -1,0 +1,203 @@
+#include "src/analog/modulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/units.hpp"
+
+namespace tono::analog {
+
+DeltaSigmaModulator::DeltaSigmaModulator(const ModulatorConfig& config)
+    : config_(config),
+      opamp1_(config.opamp1),
+      opamp2_(config.opamp2),
+      comparator_(config.comparator, Rng{config.seed}.fork_named("comparator")),
+      rng_(Rng{config.seed}.fork_named("modulator")),
+      flicker1_(Rng{config.seed}.fork_named("flicker1"), 20),
+      flicker2_(Rng{config.seed}.fork_named("flicker2"), 20) {
+  flicker_scale1_ = flicker_scale(config_.opamp1);
+  flicker_scale2_ = flicker_scale(config_.opamp2);
+  if (config_.sampling_rate_hz <= 0.0) {
+    throw std::invalid_argument{"DeltaSigmaModulator: sampling rate must be > 0"};
+  }
+  if (config_.vref_v <= 0.0 || config_.vexc_v <= 0.0) {
+    throw std::invalid_argument{"DeltaSigmaModulator: references must be > 0"};
+  }
+  if (config_.c_sample_f <= 0.0 || config_.c_fb1_f <= 0.0 || config_.c_ref_f <= 0.0) {
+    throw std::invalid_argument{"DeltaSigmaModulator: capacitors must be > 0"};
+  }
+  if (config_.order != 1 && config_.order != 2) {
+    throw std::invalid_argument{"DeltaSigmaModulator: order must be 1 or 2"};
+  }
+  Rng mismatch_rng = Rng{config_.seed}.fork_named("mismatch");
+  const double sigma = config_.cap_mismatch_sigma;
+  sample_mismatch_ = 1.0 + mismatch_rng.gaussian(0.0, sigma);
+  fb1_mismatch_ = 1.0 + mismatch_rng.gaussian(0.0, sigma);
+  ref_mismatch_ = 1.0 + mismatch_rng.gaussian(0.0, sigma);
+  g2_mismatch_ = 1.0 + mismatch_rng.gaussian(0.0, sigma);
+}
+
+double DeltaSigmaModulator::flicker_scale(const OpAmpConfig& amp) const noexcept {
+  if (amp.flicker_corner_hz <= 0.0 || amp.noise_vrms <= 0.0) return 0.0;
+  // White PSD: σ_w² / (fs/2). Pink generator: unit variance spread as c/f
+  // over [f_lo, fs/2] with f_lo = fs/2^octaves (20 octaves) →
+  // c = 1/ln(2^19). Scale g so g²·c/f_corner = white PSD, i.e. the flicker
+  // PSD crosses the white floor at the corner; CDS divides the amplitude.
+  const double fs_half = 0.5 * config_.sampling_rate_hz;
+  const double c = 1.0 / (19.0 * std::log(2.0));
+  const double white_psd = amp.noise_vrms * amp.noise_vrms / fs_half;
+  const double g = std::sqrt(white_psd * amp.flicker_corner_hz / c);
+  const double rejection = std::max(config_.cds_flicker_rejection, 1.0);
+  return g / rejection;
+}
+
+void DeltaSigmaModulator::set_feedback_capacitor(double c_fb1_f) {
+  if (c_fb1_f <= 0.0) {
+    throw std::invalid_argument{"set_feedback_capacitor: must be > 0"};
+  }
+  config_.c_fb1_f = c_fb1_f;
+}
+
+double DeltaSigmaModulator::full_scale_delta_c() const noexcept {
+  return config_.c_fb1_f * fb1_mismatch_ * config_.vref_v / config_.vexc_v;
+}
+
+double DeltaSigmaModulator::normalized_input(double delta_c_f) const noexcept {
+  return delta_c_f / full_scale_delta_c();
+}
+
+int DeltaSigmaModulator::step_normalized(double u, double extra_noise_u) {
+  const double vref = config_.vref_v;
+  const double dt = 0.5 / config_.sampling_rate_hz;  // one clock phase
+  const auto& lc = config_.loop;
+  const double scale = lc.state_scale_v;  // volts per unit of loop state
+
+  // Reference noise enters through the feedback charge.
+  double ref_err_u = 0.0;
+  if (config_.ref_noise_vrms > 0.0) {
+    ref_err_u = rng_.gaussian(0.0, config_.ref_noise_vrms) / vref;
+  }
+
+  const double d = static_cast<double>(bit_);
+
+  // ---- First integrator (delaying): x1 += g1·u − a1·d, state in FS units.
+  const double u_total = u + extra_noise_u + ref_err_u * d;
+  double delta1 = lc.g1 * u_total - lc.a1 * d * (1.0 + ref_err_u);
+  // Op-amp thermal + flicker noise, referred to the integrator output node.
+  if (config_.opamp1.noise_vrms > 0.0) {
+    delta1 += rng_.gaussian(0.0, config_.opamp1.noise_vrms) / scale;
+  }
+  if (flicker_scale1_ > 0.0) {
+    delta1 += flicker1_.next() * flicker_scale1_ / scale;
+  }
+  if (config_.enable_settling) {
+    delta1 = opamp1_.settle(delta1 * scale, dt) / scale;
+  }
+  const double x1_prev = x1_;
+  const double x1_new = opamp1_.leak_factor() * x1_ + delta1;
+  const double x1_clipped = opamp1_.clip(x1_new * scale) / scale;
+  if (x1_clipped != x1_new) ++clip_count_;
+  x1_ = x1_clipped;
+
+  max_x1_ = std::max(max_x1_, std::abs(x1_ * scale));
+
+  if (config_.order == 1) {
+    // Single-integrator baseline: the quantizer closes directly on x1.
+    bit_ = comparator_.decide(x1_ * scale);
+    time_s_ += 1.0 / config_.sampling_rate_hz;
+    return bit_;
+  }
+
+  // ---- Second integrator: x2 += g2·x1_prev − a2·d (x1 half-cycle delayed).
+  double delta2 = lc.g2 * g2_mismatch_ * x1_prev - lc.a2 * d;
+  if (config_.opamp2.noise_vrms > 0.0) {
+    delta2 += rng_.gaussian(0.0, config_.opamp2.noise_vrms) / scale;
+  }
+  if (flicker_scale2_ > 0.0) {
+    delta2 += flicker2_.next() * flicker_scale2_ / scale;
+  }
+  if (config_.enable_settling) {
+    delta2 = opamp2_.settle(delta2 * scale, dt) / scale;
+  }
+  const double x2_new = opamp2_.leak_factor() * x2_ + delta2;
+  const double x2_clipped = opamp2_.clip(x2_new * scale) / scale;
+  if (x2_clipped != x2_new) ++clip_count_;
+  x2_ = x2_clipped;
+
+  max_x2_ = std::max(max_x2_, std::abs(x2_ * scale));
+
+  // ---- Quantizer sees the physical second-integrator output voltage.
+  bit_ = comparator_.decide(x2_ * scale);
+  time_s_ += 1.0 / config_.sampling_rate_hz;
+  return bit_;
+}
+
+int DeltaSigmaModulator::step_voltage(double vin_v) {
+  const double c_s = config_.c_sample_f * sample_mismatch_;
+  double noise_u = 0.0;
+  if (config_.enable_ktc_noise) {
+    // Input + feedback branches sample on c_sample twice per period:
+    // variance 4·kT·C in charge, normalized by the full-scale charge.
+    const double q_sigma =
+        std::sqrt(4.0 * units::k_boltzmann * config_.temperature_k * c_s);
+    noise_u = rng_.gaussian(0.0, q_sigma / (c_s * config_.vref_v));
+  }
+  return step_normalized(vin_v / config_.vref_v, noise_u);
+}
+
+int DeltaSigmaModulator::step_capacitive(double c_sense_f, double c_ref_f) {
+  const double c_fb = config_.c_fb1_f * fb1_mismatch_;
+  const double q_fs = c_fb * config_.vref_v;
+  const double q_sig = (c_sense_f - c_ref_f) * config_.vexc_v;
+  double noise_u = 0.0;
+  if (config_.enable_ktc_noise) {
+    // Sensor, reference and feedback branches each contribute kT·C per
+    // phase; two phases per conversion.
+    const double c_total = c_sense_f + c_ref_f + c_fb;
+    const double q_sigma =
+        std::sqrt(2.0 * units::k_boltzmann * config_.temperature_k * c_total * 2.0);
+    noise_u = rng_.gaussian(0.0, q_sigma / q_fs);
+  }
+  return step_normalized(q_sig / q_fs, noise_u);
+}
+
+std::vector<int> DeltaSigmaModulator::run_voltage(
+    const std::function<double(double)>& vin_of_t, std::size_t n) {
+  std::vector<int> bits;
+  bits.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = time_s_;
+    if (config_.clock_jitter_rms_s > 0.0) {
+      t += rng_.gaussian(0.0, config_.clock_jitter_rms_s);
+    }
+    bits.push_back(step_voltage(vin_of_t(t)));
+  }
+  return bits;
+}
+
+std::vector<int> DeltaSigmaModulator::run_capacitive(
+    const std::function<double(double)>& c_sense_of_t, std::size_t n) {
+  std::vector<int> bits;
+  bits.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = time_s_;
+    if (config_.clock_jitter_rms_s > 0.0) {
+      t += rng_.gaussian(0.0, config_.clock_jitter_rms_s);
+    }
+    bits.push_back(step_capacitive(c_sense_of_t(t)));
+  }
+  return bits;
+}
+
+void DeltaSigmaModulator::reset() {
+  x1_ = 0.0;
+  x2_ = 0.0;
+  bit_ = 1;
+  time_s_ = 0.0;
+  max_x1_ = 0.0;
+  max_x2_ = 0.0;
+  clip_count_ = 0;
+}
+
+}  // namespace tono::analog

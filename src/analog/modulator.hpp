@@ -1,0 +1,165 @@
+// modulator.hpp — behavioural model of the chip's second-order, single-bit,
+// fully-differential switched-capacitor ΔΣ modulator (Fig. 6 of the paper).
+//
+// Topology: Boser-Wooley cascade of two delaying SC integrators with 1-bit
+// feedback (coefficients g1 = a1 = 0.5 into the first stage, g2 = a2 = 0.5
+// into the second), giving NTF (1−z⁻¹)² / (1 − 1.5 z⁻¹ + 0.75 z⁻²) — a
+// stable second-order loop for inputs below ≈ −2 dBFS.
+//
+// Two input modes mirror the chip:
+//   * capacitive mode — the sensor/reference branch of Fig. 6: a constant
+//     excitation voltage V_exc is applied to C_sense and (anti-phase) C_ref;
+//     the integrated charge is (C_sense − C_ref)·V_exc against the 1-bit
+//     feedback charge C_fb·V_ref. Full scale is ΔC_FS = C_fb·V_ref/V_exc,
+//     which is why §4 proposes "adjusting the feedback capacitors of the
+//     first modulator stage" to improve resolution — C_fb sets the range.
+//   * voltage mode — the "additional differential voltage interface" used
+//     for the Fig. 7 characterization; full scale is ±V_ref.
+//
+// Modelled non-idealities: kT/C sampling noise on every switched branch,
+// op-amp finite gain (integrator leak), finite GBW/slew (incomplete
+// settling), op-amp thermal noise, comparator offset/hysteresis/
+// metastability, clock jitter (voltage mode), reference noise, capacitor
+// mismatch, and integrator output clipping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/analog/comparator.hpp"
+#include "src/analog/opamp.hpp"
+#include "src/common/pink_noise.hpp"
+#include "src/common/rng.hpp"
+
+namespace tono::analog {
+
+struct LoopCoefficients {
+  double g1{0.5};  ///< first-integrator input gain
+  double a1{0.5};  ///< first-integrator feedback gain
+  double g2{0.5};  ///< second-integrator input gain
+  double a2{0.5};  ///< second-integrator feedback gain
+  /// Dynamic-range scaling: op-amp output volts per unit of normalized loop
+  /// state (full scale = 1). Real SC designs size the integrator caps so the
+  /// state swing fits the op-amp output range; 1 V/FS keeps the 2nd-order
+  /// loop's ±2 FS state excursions inside a ±2.3 V swing.
+  double state_scale_v{1.0};
+};
+
+struct ModulatorConfig {
+  double sampling_rate_hz{128000.0};  ///< paper: 128 kS/s
+  double vref_v{2.5};                 ///< feedback reference (±Vref differential)
+  double vexc_v{2.5};                 ///< sensor excitation voltage
+  double supply_v{5.0};               ///< paper: 5 V supply
+  /// Loop order: 2 = the chip's Boser-Wooley cascade; 1 = a single-
+  /// integrator baseline (what the paper's topology is competing against —
+  /// ~9 dB/octave of OSR instead of 15, plus strong idle tones).
+  int order{2};
+
+  /// Capacitors (single-ended equivalents of the differential pairs).
+  double c_sample_f{0.5e-12};  ///< voltage-mode input/feedback sampling cap
+  double c_fb1_f{25e-15};      ///< capacitive-mode feedback cap (the §4 knob)
+  double c_ref_f{100e-15};     ///< on-chip reference capacitor branch
+
+  LoopCoefficients loop{};
+  OpAmpConfig opamp1{};
+  OpAmpConfig opamp2{};
+  ComparatorConfig comparator{};
+
+  double clock_jitter_rms_s{1e-9};
+  double ref_noise_vrms{20e-6};
+  double cap_mismatch_sigma{0.001};  ///< relative σ of each capacitor
+  /// Correlated-double-sampling rejection of op-amp flicker noise
+  /// (amplitude factor; 1 = no CDS). SC integrators sample the op-amp
+  /// offset/1-f error every phase, which first-order cancels it.
+  double cds_flicker_rejection{30.0};
+  double temperature_k{300.0};
+  bool enable_ktc_noise{true};
+  bool enable_settling{true};
+  std::uint64_t seed{42};
+};
+
+class DeltaSigmaModulator {
+ public:
+  explicit DeltaSigmaModulator(const ModulatorConfig& config);
+
+  /// One clock in voltage mode; `vin_v` is the differential input.
+  /// Returns the output bit (+1 / −1).
+  [[nodiscard]] int step_voltage(double vin_v);
+
+  /// One clock in capacitive mode with explicit sensor and reference
+  /// capacitance values [F].
+  [[nodiscard]] int step_capacitive(double c_sense_f, double c_ref_f);
+
+  /// Capacitive mode against the configured on-chip reference branch.
+  [[nodiscard]] int step_capacitive(double c_sense_f) {
+    return step_capacitive(c_sense_f, config_.c_ref_f * ref_mismatch_);
+  }
+
+  /// Runs `n` clocks in voltage mode with `vin_of_t` evaluated at jittered
+  /// sampling instants. Returns the ±1 bitstream.
+  [[nodiscard]] std::vector<int> run_voltage(
+      const std::function<double(double)>& vin_of_t, std::size_t n);
+
+  /// Runs `n` clocks sampling a time-varying sensor capacitance.
+  [[nodiscard]] std::vector<int> run_capacitive(
+      const std::function<double(double)>& c_sense_of_t, std::size_t n);
+
+  void reset();
+
+  /// Switches the first-stage feedback capacitor bank (§4: "adjusting the
+  /// feedback capacitors of the first modulator stage"). Takes effect on the
+  /// next clock; the per-die mismatch factor is retained. Throws
+  /// std::invalid_argument for non-positive values.
+  void set_feedback_capacitor(double c_fb1_f);
+
+  /// Capacitive-mode full-scale capacitance difference:
+  /// ΔC_FS = C_fb1 · V_ref / V_exc.
+  [[nodiscard]] double full_scale_delta_c() const noexcept;
+
+  /// Normalized input that a given ΔC = C_sense − C_ref produces.
+  [[nodiscard]] double normalized_input(double delta_c_f) const noexcept;
+
+  [[nodiscard]] const ModulatorConfig& config() const noexcept { return config_; }
+  [[nodiscard]] double integrator1_v() const noexcept { return x1_ * config_.loop.state_scale_v; }
+  [[nodiscard]] double integrator2_v() const noexcept { return x2_ * config_.loop.state_scale_v; }
+  /// Largest |integrator| voltages seen since reset (stability telemetry).
+  [[nodiscard]] double max_state1_v() const noexcept { return max_x1_; }
+  [[nodiscard]] double max_state2_v() const noexcept { return max_x2_; }
+  /// Number of clipped integrator updates since reset.
+  [[nodiscard]] std::size_t clip_count() const noexcept { return clip_count_; }
+  [[nodiscard]] double time_s() const noexcept { return time_s_; }
+
+ private:
+  /// Shared loop update; `u` is the normalized input (full scale ±1) and
+  /// `extra_noise_u` is mode-specific input-referred noise.
+  [[nodiscard]] int step_normalized(double u, double extra_noise_u);
+
+  /// Per-sample flicker amplitude for one op-amp (0 if disabled).
+  [[nodiscard]] double flicker_scale(const OpAmpConfig& amp) const noexcept;
+
+  ModulatorConfig config_;
+  OpAmp opamp1_;
+  OpAmp opamp2_;
+  Comparator comparator_;
+  Rng rng_;
+  PinkNoise flicker1_;
+  PinkNoise flicker2_;
+  double flicker_scale1_{0.0};
+  double flicker_scale2_{0.0};
+  double x1_{0.0};  ///< first-integrator state, full-scale units
+  double x2_{0.0};  ///< second-integrator state, full-scale units
+  int bit_{1};
+  double time_s_{0.0};
+  double max_x1_{0.0};
+  double max_x2_{0.0};
+  std::size_t clip_count_{0};
+  // Static mismatch draws (fixed per instance, like a fabricated die).
+  double sample_mismatch_{1.0};
+  double fb1_mismatch_{1.0};
+  double ref_mismatch_{1.0};
+  double g2_mismatch_{1.0};
+};
+
+}  // namespace tono::analog

@@ -1,0 +1,43 @@
+#include "src/analog/mux.hpp"
+
+#include <cmath>
+
+namespace tono::analog {
+
+AnalogMux::AnalogMux(const MuxConfig& config) : config_(config) {
+  if (config_.rows == 0 || config_.cols == 0) {
+    throw std::invalid_argument{"AnalogMux: array dimensions must be nonzero"};
+  }
+  if (config_.on_resistance_ohm <= 0.0 || config_.node_capacitance_f <= 0.0) {
+    throw std::invalid_argument{"AnalogMux: R_on and node capacitance must be > 0"};
+  }
+}
+
+void AnalogMux::select(std::size_t row, std::size_t col) {
+  if (row >= config_.rows || col >= config_.cols) {
+    throw std::out_of_range{"AnalogMux::select: index out of range"};
+  }
+  row_ = row;
+  col_ = col;
+}
+
+double AnalogMux::observed_capacitance(double target_c_f,
+                                       double dt_since_switch_s) const noexcept {
+  const double tau = settling_tau_s();
+  if (dt_since_switch_s < 0.0) dt_since_switch_s = 0.0;
+  const double blend = std::exp(-dt_since_switch_s / tau);
+  // Charge injection appears as a decaying equivalent-capacitance error.
+  const double injection_c = config_.charge_injection_c / config_.excitation_v;
+  return target_c_f + (previous_c_ - target_c_f) * blend + injection_c * blend;
+}
+
+double AnalogMux::settling_tau_s() const noexcept {
+  return config_.on_resistance_ohm * config_.node_capacitance_f;
+}
+
+double AnalogMux::settling_time_s(double relative_error) const noexcept {
+  if (relative_error <= 0.0 || relative_error >= 1.0) return 0.0;
+  return -settling_tau_s() * std::log(relative_error);
+}
+
+}  // namespace tono::analog

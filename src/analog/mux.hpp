@@ -1,0 +1,73 @@
+// mux.hpp — the synchronized row/column analog multiplexers of Fig. 4.
+//
+// "The transducer elements of a sensor array are connected via two
+// synchronized analog multiplexers to the readout circuit … The settling
+// when switching between different sensor elements is limited by the signal
+// bandwidth of the ΔΣ-AD-converter." (§2.2)
+//
+// The analog part of a channel switch is fast (R_on·C ≈ nanoseconds versus
+// the 7.8 µs clock), but we model it anyway: an exponential blend of the
+// previous channel's capacitance into the new one, plus switch charge
+// injection as a transient capacitance offset. The dominant, paper-noted
+// settling through the decimation filter emerges downstream.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace tono::analog {
+
+struct MuxConfig {
+  std::size_t rows{2};
+  std::size_t cols{2};
+  double on_resistance_ohm{2000.0};
+  /// Total capacitance loading the readout node [F] (sensor + wiring).
+  double node_capacitance_f{150e-15};
+  /// Charge injected by the switches at each transition [C].
+  double charge_injection_c{5e-15 * 0.1};  // 5 fF overlap × 100 mV
+  /// Excitation voltage used to convert injected charge into an equivalent
+  /// capacitance error.
+  double excitation_v{2.5};
+};
+
+/// Tracks the selected element and shapes the capacitance seen by the
+/// modulator during channel transitions.
+class AnalogMux {
+ public:
+  explicit AnalogMux(const MuxConfig& config);
+
+  /// Selects (row, col); throws std::out_of_range on invalid indices.
+  void select(std::size_t row, std::size_t col);
+
+  [[nodiscard]] std::size_t selected_row() const noexcept { return row_; }
+  [[nodiscard]] std::size_t selected_col() const noexcept { return col_; }
+  [[nodiscard]] std::size_t selected_index() const noexcept {
+    return row_ * config_.cols + col_;
+  }
+
+  /// Capacitance the readout sees `dt_since_switch` seconds after the last
+  /// select(), given the true capacitance of the new channel and the value
+  /// that was being sampled before the switch.
+  [[nodiscard]] double observed_capacitance(double target_c_f,
+                                            double dt_since_switch_s) const noexcept;
+
+  /// Records the capacitance sampled just before a switch (call from the
+  /// scan controller) so observed_capacitance can blend from it.
+  void note_preswitch_capacitance(double c_f) noexcept { previous_c_ = c_f; }
+
+  /// RC settling time constant of the mux path [s].
+  [[nodiscard]] double settling_tau_s() const noexcept;
+
+  /// Time for the analog path to settle within the given relative error.
+  [[nodiscard]] double settling_time_s(double relative_error) const noexcept;
+
+  [[nodiscard]] const MuxConfig& config() const noexcept { return config_; }
+
+ private:
+  MuxConfig config_;
+  std::size_t row_{0};
+  std::size_t col_{0};
+  double previous_c_{0.0};
+};
+
+}  // namespace tono::analog

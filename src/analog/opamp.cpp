@@ -1,0 +1,52 @@
+#include "src/analog/opamp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tono::analog {
+
+OpAmp::OpAmp(const OpAmpConfig& config) : config_(config) {
+  if (config_.dc_gain <= 1.0) throw std::invalid_argument{"OpAmp: dc_gain must be > 1"};
+  if (config_.gbw_hz <= 0.0) throw std::invalid_argument{"OpAmp: gbw must be > 0"};
+  if (config_.slew_rate_v_per_s <= 0.0) throw std::invalid_argument{"OpAmp: slew must be > 0"};
+  if (config_.feedback_factor <= 0.0 || config_.feedback_factor > 1.0) {
+    throw std::invalid_argument{"OpAmp: feedback factor must be in (0, 1]"};
+  }
+  tau_s_ = 1.0 / (2.0 * std::numbers::pi * config_.feedback_factor * config_.gbw_hz);
+}
+
+double OpAmp::settle(double delta_v, double dt) const noexcept {
+  if (delta_v == 0.0 || dt <= 0.0) return 0.0;
+  const double magnitude = std::abs(delta_v);
+  const double sign = delta_v > 0.0 ? 1.0 : -1.0;
+  const double sr = config_.slew_rate_v_per_s;
+  // Initial error rate under linear settling would be magnitude / tau; if
+  // that exceeds SR the amplifier slews first, then settles exponentially
+  // from the hand-off point (standard two-regime model).
+  const double linear_rate = magnitude / tau_s_;
+  if (linear_rate <= sr) {
+    return sign * magnitude * (1.0 - std::exp(-dt / tau_s_));
+  }
+  // Slewing until remaining error = SR·tau, then exponential.
+  const double handoff_error = sr * tau_s_;
+  const double slew_time = (magnitude - handoff_error) / sr;
+  if (slew_time >= dt) {
+    return sign * sr * dt;  // ran out of time while slewing
+  }
+  const double remaining_dt = dt - slew_time;
+  const double settled =
+      magnitude - handoff_error * std::exp(-remaining_dt / tau_s_);
+  return sign * settled;
+}
+
+double OpAmp::leak_factor() const noexcept {
+  return 1.0 - 1.0 / (config_.dc_gain * config_.feedback_factor);
+}
+
+double OpAmp::clip(double v) const noexcept {
+  return std::clamp(v, -config_.output_swing_v, config_.output_swing_v);
+}
+
+}  // namespace tono::analog

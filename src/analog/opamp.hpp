@@ -1,0 +1,50 @@
+// opamp.hpp — behavioural OTA model for switched-capacitor integrators.
+//
+// Captures the three op-amp non-idealities that matter for ΔΣ behaviour
+// (Boser & Wooley, JSSC 1988; Malcovati et al. behavioural models):
+//   * finite DC gain  → leaky integrator (pole moves off z = 1),
+//   * finite GBW      → incomplete linear settling of each charge transfer,
+//   * finite slew rate→ nonlinear settling for large steps,
+// plus input-referred thermal noise, applied per clock phase.
+#pragma once
+
+namespace tono::analog {
+
+struct OpAmpConfig {
+  double dc_gain{5000.0};          ///< open-loop gain A0 (dimensionless)
+  double gbw_hz{10e6};             ///< gain-bandwidth product
+  double slew_rate_v_per_s{5e6};   ///< output slew limit
+  double noise_vrms{30e-6};        ///< input-referred rms white noise per sample
+  /// 1/f noise corner [Hz]: frequency where the flicker PSD crosses the
+  /// white floor. 0 disables flicker. The switched-capacitor integrator's
+  /// correlated double sampling suppresses it by
+  /// ModulatorConfig::cds_flicker_rejection.
+  double flicker_corner_hz{0.0};
+  double output_swing_v{2.3};      ///< output clips at ±this
+  double feedback_factor{0.6};     ///< β of the integrator charge-transfer phase
+};
+
+/// Stateless settling calculator (state lives in the integrator).
+class OpAmp {
+ public:
+  explicit OpAmp(const OpAmpConfig& config);
+
+  /// Given a desired output step `delta_v` and the available settling time
+  /// `dt`, returns the achieved step after slew-limited + linear settling.
+  [[nodiscard]] double settle(double delta_v, double dt) const noexcept;
+
+  /// Per-update integrator leak factor: an ideal integrator multiplies its
+  /// previous state by 1; finite gain gives ≈ 1 − 1/(A0·β).
+  [[nodiscard]] double leak_factor() const noexcept;
+
+  /// Hard output clip.
+  [[nodiscard]] double clip(double v) const noexcept;
+
+  [[nodiscard]] const OpAmpConfig& config() const noexcept { return config_; }
+
+ private:
+  OpAmpConfig config_;
+  double tau_s_;  ///< closed-loop settling time constant 1 / (2π·β·GBW)
+};
+
+}  // namespace tono::analog

@@ -1,0 +1,36 @@
+#include "src/analog/power.hpp"
+
+#include <stdexcept>
+
+namespace tono::analog {
+
+PowerModel::PowerModel(const PowerModelConfig& config) : config_(config) {
+  if (config_.analog_bias_a < 0.0 || config_.dynamic_capacitance_f < 0.0) {
+    throw std::invalid_argument{"PowerModel: negative parameters"};
+  }
+}
+
+double PowerModel::static_w(double vdd_v) const noexcept {
+  return config_.analog_bias_a * vdd_v;
+}
+
+double PowerModel::dynamic_w(double vdd_v, double sampling_rate_hz) const noexcept {
+  return config_.dynamic_capacitance_f * sampling_rate_hz * vdd_v * vdd_v;
+}
+
+double PowerModel::total_w(double vdd_v, double sampling_rate_hz) const noexcept {
+  return static_w(vdd_v) + dynamic_w(vdd_v, sampling_rate_hz);
+}
+
+double PowerModel::nominal_w() const noexcept {
+  return total_w(config_.nominal_vdd_v, config_.nominal_rate_hz);
+}
+
+double PowerModel::energy_per_conversion_j(double vdd_v, double sampling_rate_hz,
+                                           double osr) const noexcept {
+  if (sampling_rate_hz <= 0.0 || osr <= 0.0) return 0.0;
+  const double conversions_per_s = sampling_rate_hz / osr;
+  return total_w(vdd_v, sampling_rate_hz) / conversions_per_s;
+}
+
+}  // namespace tono::analog

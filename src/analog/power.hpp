@@ -1,0 +1,47 @@
+// power.hpp — analytic power model of the sensor chip.
+//
+// §3.1: "The power consumption of the sensor chip is 11.5 mW at 5 V supply
+// voltage for 128 kHz sampling frequency." The model decomposes that into
+//   * static analog bias (two OTAs, comparator, bias/reference network):
+//     current roughly ∝ Vdd-independent bias, power ∝ Vdd,
+//   * dynamic switched-capacitor / clock / digital power ∝ f·C_eff·Vdd².
+// The split is calibrated so the nominal point reproduces 11.5 mW, and the
+// model then predicts the scaling trends around it (bench E2).
+#pragma once
+
+namespace tono::analog {
+
+struct PowerModelConfig {
+  /// Static analog bias current at nominal Vdd [A].
+  double analog_bias_a{1.85e-3};
+  /// Effective switched capacitance for dynamic power [F].
+  double dynamic_capacitance_f{0.7e-9};
+  /// Nominal operating point used for calibration checks.
+  double nominal_vdd_v{5.0};
+  double nominal_rate_hz{128000.0};
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(const PowerModelConfig& config = {});
+
+  /// Total chip power at the given supply and sampling rate [W].
+  [[nodiscard]] double total_w(double vdd_v, double sampling_rate_hz) const noexcept;
+
+  [[nodiscard]] double static_w(double vdd_v) const noexcept;
+  [[nodiscard]] double dynamic_w(double vdd_v, double sampling_rate_hz) const noexcept;
+
+  /// Power at the paper's nominal operating point (should be ≈ 11.5 mW).
+  [[nodiscard]] double nominal_w() const noexcept;
+
+  /// Energy per output sample at an oversampling ratio [J].
+  [[nodiscard]] double energy_per_conversion_j(double vdd_v, double sampling_rate_hz,
+                                               double osr) const noexcept;
+
+  [[nodiscard]] const PowerModelConfig& config() const noexcept { return config_; }
+
+ private:
+  PowerModelConfig config_;
+};
+
+}  // namespace tono::analog

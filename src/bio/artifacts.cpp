@@ -1,0 +1,46 @@
+#include "src/bio/artifacts.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tono::bio {
+
+ArtifactInjector::ArtifactInjector(const ArtifactConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.spike_rate_hz < 0.0 || config_.spike_decay_s <= 0.0) {
+    throw std::invalid_argument{"ArtifactInjector: bad spike parameters"};
+  }
+  next_spike_in_s_ = config_.spike_rate_hz > 0.0
+                         ? rng_.exponential(config_.spike_rate_hz)
+                         : 1e12;
+}
+
+double ArtifactInjector::next(double dt_s) {
+  if (dt_s <= 0.0) throw std::invalid_argument{"ArtifactInjector: dt must be > 0"};
+  // Baseline wander.
+  wander_mmhg_ += config_.wander_mmhg_per_sqrt_s * std::sqrt(dt_s) * rng_.gaussian();
+  // Spike scheduling (Poisson arrivals) and exponential decay.
+  next_spike_in_s_ -= dt_s;
+  if (next_spike_in_s_ <= 0.0 && config_.spike_rate_hz > 0.0) {
+    const double sign = rng_.bernoulli(0.5) ? 1.0 : -1.0;
+    spike_level_mmhg_ += sign * rng_.exponential(1.0 / config_.spike_amplitude_mmhg);
+    ++spike_count_;
+    next_spike_in_s_ = rng_.exponential(config_.spike_rate_hz);
+  }
+  spike_level_mmhg_ *= std::exp(-dt_s / config_.spike_decay_s);
+  // Contact noise.
+  const double noise = config_.contact_noise_mmhg > 0.0
+                           ? rng_.gaussian(0.0, config_.contact_noise_mmhg)
+                           : 0.0;
+  return wander_mmhg_ + spike_level_mmhg_ + noise;
+}
+
+void ArtifactInjector::apply(std::span<double> samples, double sample_rate_hz) {
+  if (sample_rate_hz <= 0.0) {
+    throw std::invalid_argument{"ArtifactInjector: sample rate must be > 0"};
+  }
+  const double dt = 1.0 / sample_rate_hz;
+  for (double& s : samples) s += next(dt);
+}
+
+}  // namespace tono::bio

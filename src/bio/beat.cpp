@@ -1,0 +1,57 @@
+#include "src/bio/beat.hpp"
+
+#include <cmath>
+
+namespace tono::bio {
+
+BeatMorphology BeatMorphology::radial() { return BeatMorphology{}; }
+
+BeatMorphology BeatMorphology::aortic() {
+  BeatMorphology m;
+  m.lobes = {BeatLobe{1.00, 0.16, 0.075},
+             BeatLobe{0.55, 0.34, 0.110},
+             BeatLobe{0.12, 0.50, 0.060}};
+  m.diastolic_decay = 2.8;
+  return m;
+}
+
+BeatTemplate::BeatTemplate(const BeatMorphology& morphology) : morphology_(morphology) {
+  // Precompute min/max/peak over a fine phase grid.
+  constexpr int kGrid = 2000;
+  double lo = raw(0.0);
+  double hi = lo;
+  double peak_phase = 0.0;
+  for (int i = 1; i < kGrid; ++i) {
+    const double phase = static_cast<double>(i) / kGrid;
+    const double v = raw(phase);
+    if (v < lo) lo = v;
+    if (v > hi) {
+      hi = v;
+      peak_phase = phase;
+    }
+  }
+  raw_min_ = lo;
+  raw_span_ = hi - lo > 0.0 ? hi - lo : 1.0;
+  peak_phase_ = peak_phase;
+}
+
+double BeatTemplate::raw(double phase) const noexcept {
+  double v = 0.0;
+  for (const auto& lobe : morphology_.lobes) {
+    // Wrap-aware distance so lobes near phase 0/1 behave periodically.
+    double d = phase - lobe.center_phase;
+    if (d > 0.5) d -= 1.0;
+    if (d < -0.5) d += 1.0;
+    v += lobe.amplitude * std::exp(-0.5 * d * d / (lobe.width_phase * lobe.width_phase));
+  }
+  // Diastolic runoff: pressure decays toward the end of the beat.
+  v *= std::exp(-morphology_.diastolic_decay * 0.08 * phase);
+  return v;
+}
+
+double BeatTemplate::value(double phase) const noexcept {
+  phase -= std::floor(phase);
+  return (raw(phase) - raw_min_) / raw_span_;
+}
+
+}  // namespace tono::bio

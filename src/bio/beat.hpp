@@ -1,0 +1,59 @@
+// beat.hpp — single-beat arterial pressure morphology.
+//
+// A radial-artery pulse template built from three Gaussian lobes (systolic
+// upstroke, reflected wave, dicrotic wave) on a decaying diastolic baseline —
+// a standard synthetic-ABP construction. The template is normalized to
+// [0, 1] over the beat so the generator can scale it between the diastolic
+// and systolic setpoints.
+#pragma once
+
+#include <array>
+
+namespace tono::bio {
+
+/// One Gaussian lobe of the beat template, in beat-phase units (phase ∈ [0,1)).
+struct BeatLobe {
+  double amplitude{0.0};
+  double center_phase{0.0};
+  double width_phase{0.0};
+};
+
+struct BeatMorphology {
+  std::array<BeatLobe, 3> lobes{
+      BeatLobe{1.00, 0.13, 0.045},   // systolic peak
+      BeatLobe{0.38, 0.33, 0.075},   // reflected (augmentation) wave
+      BeatLobe{0.22, 0.50, 0.040},   // dicrotic wave
+  };
+  /// Diastolic exponential decay rate (per beat phase).
+  double diastolic_decay{3.5};
+
+  /// Radial-artery default shape.
+  [[nodiscard]] static BeatMorphology radial();
+  /// Aortic-like shape (less augmentation, broader systole).
+  [[nodiscard]] static BeatMorphology aortic();
+};
+
+/// Evaluates the beat template, normalized so that over one beat
+/// min = 0 and max = 1 (normalization precomputed at construction).
+class BeatTemplate {
+ public:
+  explicit BeatTemplate(const BeatMorphology& morphology = BeatMorphology::radial());
+
+  /// Normalized pressure at a beat phase in [0, 1) (phase is wrapped).
+  [[nodiscard]] double value(double phase) const noexcept;
+
+  /// Phase of the systolic maximum.
+  [[nodiscard]] double systolic_phase() const noexcept { return peak_phase_; }
+
+  [[nodiscard]] const BeatMorphology& morphology() const noexcept { return morphology_; }
+
+ private:
+  [[nodiscard]] double raw(double phase) const noexcept;
+
+  BeatMorphology morphology_;
+  double raw_min_{0.0};
+  double raw_span_{1.0};
+  double peak_phase_{0.0};
+};
+
+}  // namespace tono::bio

@@ -1,0 +1,116 @@
+#include "src/bio/cuff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tono::bio {
+
+OscillometricCuff::OscillometricCuff(const CuffConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.deflation_rate_mmhg_per_s <= 0.0) {
+    throw std::invalid_argument{"OscillometricCuff: deflation rate must be > 0"};
+  }
+  if (config_.start_pressure_mmhg <= config_.end_pressure_mmhg) {
+    throw std::invalid_argument{"OscillometricCuff: start must exceed end pressure"};
+  }
+  if (config_.systolic_ratio <= 0.0 || config_.systolic_ratio >= 1.0 ||
+      config_.diastolic_ratio <= 0.0 || config_.diastolic_ratio >= 1.0) {
+    throw std::invalid_argument{"OscillometricCuff: ratios must be in (0,1)"};
+  }
+}
+
+CuffReading OscillometricCuff::measure(double true_systolic_mmhg,
+                                       double true_diastolic_mmhg,
+                                       double heart_rate_bpm) {
+  CuffReading reading;
+  if (true_systolic_mmhg <= true_diastolic_mmhg || heart_rate_bpm <= 0.0) return reading;
+  if (true_systolic_mmhg >= config_.start_pressure_mmhg - 5.0 ||
+      true_diastolic_mmhg <= config_.end_pressure_mmhg + 5.0) {
+    return reading;  // outside the deflation window
+  }
+
+  const double pp = true_systolic_mmhg - true_diastolic_mmhg;
+  const double true_map = true_diastolic_mmhg + pp / 3.0;  // clinical estimate
+  const double width = config_.envelope_width_factor * pp;
+
+  // One oscillation-amplitude sample per beat during deflation.
+  const double beat_interval_s = 60.0 / heart_rate_bpm;
+  const double dp = config_.deflation_rate_mmhg_per_s * beat_interval_s;
+  std::vector<double> cuff_p;
+  std::vector<double> amplitude;
+  for (double p = config_.start_pressure_mmhg; p > config_.end_pressure_mmhg; p -= dp) {
+    const double d = (p - true_map) / width;
+    double a = std::exp(-0.5 * d * d);
+    a *= 1.0 + rng_.gaussian(0.0, config_.envelope_noise);
+    cuff_p.push_back(p);
+    amplitude.push_back(std::max(a, 0.0));
+  }
+  if (amplitude.size() < 8) return reading;
+
+  // Envelope smoothing (5-beat moving average), as real oscillometric
+  // devices do: the raw per-beat amplitudes are too noisy for the flat
+  // near-peak region where the diastolic ratio crossing lives.
+  {
+    std::vector<double> smoothed(amplitude.size());
+    const std::size_t half = 2;
+    for (std::size_t i = 0; i < amplitude.size(); ++i) {
+      const std::size_t lo = i > half ? i - half : 0;
+      const std::size_t hi = std::min(i + half, amplitude.size() - 1);
+      double acc = 0.0;
+      for (std::size_t k = lo; k <= hi; ++k) acc += amplitude[k];
+      smoothed[i] = acc / static_cast<double>(hi - lo + 1);
+    }
+    amplitude = std::move(smoothed);
+  }
+
+  // Peak of the envelope → MAP.
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < amplitude.size(); ++i) {
+    if (amplitude[i] > amplitude[peak]) peak = i;
+  }
+  const double a_max = amplitude[peak];
+  if (a_max <= 0.0) return reading;
+  reading.map_mmhg = cuff_p[peak];
+
+  // Fixed-ratio crossings: systolic above the peak (higher cuff pressure),
+  // diastolic below, with linear interpolation between beats.
+  auto crossing = [&](double ratio, bool above) -> double {
+    const double target = ratio * a_max;
+    if (above) {
+      for (std::size_t i = peak; i-- > 0;) {
+        if (amplitude[i] <= target) {
+          const double f = (target - amplitude[i]) / (amplitude[i + 1] - amplitude[i]);
+          return cuff_p[i] + (cuff_p[i + 1] - cuff_p[i]) * f;
+        }
+      }
+      return cuff_p.front();
+    }
+    for (std::size_t i = peak + 1; i < amplitude.size(); ++i) {
+      if (amplitude[i] <= target) {
+        const double f = (target - amplitude[i]) / (amplitude[i - 1] - amplitude[i]);
+        return cuff_p[i] + (cuff_p[i - 1] - cuff_p[i]) * f;
+      }
+    }
+    return cuff_p.back();
+  };
+
+  reading.systolic_mmhg = crossing(config_.systolic_ratio, /*above=*/true);
+  reading.diastolic_mmhg = crossing(config_.diastolic_ratio, /*above=*/false);
+  reading.duration_s =
+      (config_.start_pressure_mmhg - config_.end_pressure_mmhg) /
+      config_.deflation_rate_mmhg_per_s;
+  reading.valid = reading.systolic_mmhg > reading.diastolic_mmhg;
+  return reading;
+}
+
+double OscillometricCuff::max_measurements_per_hour() const noexcept {
+  const double cycle_s =
+      (config_.start_pressure_mmhg - config_.end_pressure_mmhg) /
+          config_.deflation_rate_mmhg_per_s +
+      config_.min_measurement_interval_s;
+  return 3600.0 / cycle_s;
+}
+
+}  // namespace tono::bio

@@ -1,0 +1,69 @@
+// cuff.hpp — oscillometric hand-cuff simulator (the paper's baseline and
+// calibration reference).
+//
+// §1: cuff devices "are only able to accomplish single measurements", and
+// §3.2 uses one to calibrate the tactile sensor's systolic/diastolic values.
+// The simulator runs the actual oscillometric algorithm on a synthetic
+// deflation: cuff pressure ramps down while the oscillation amplitude
+// follows a bell-shaped envelope centred on MAP; systolic/diastolic are read
+// at fixed height ratios of the envelope (the clinical fixed-ratio method).
+// Measurement error therefore emerges from envelope noise and ramp
+// discretization, as in a real device, rather than being postulated.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+
+namespace tono::bio {
+
+struct CuffConfig {
+  double deflation_rate_mmhg_per_s{3.0};
+  double start_pressure_mmhg{180.0};
+  double end_pressure_mmhg{40.0};
+  /// Envelope width relative to pulse pressure. 0.55 makes the classic
+  /// clinical fixed ratios (≈0.5 systolic / ≈0.8 diastolic) self-consistent:
+  /// sys − MAP = (2/3)·PP → exp(−0.5·((2/3)/0.55)²) ≈ 0.48 and
+  /// MAP − dia = (1/3)·PP → exp(−0.5·((1/3)/0.55)²) ≈ 0.833.
+  double envelope_width_factor{0.55};
+  /// Height ratios of the fixed-ratio algorithm (see above).
+  double systolic_ratio{0.48};
+  double diastolic_ratio{0.833};
+  /// Relative rms noise on each oscillation-amplitude sample.
+  double envelope_noise{0.04};
+  /// Minimum time between measurements (a cuff cannot stream) [s].
+  double min_measurement_interval_s{30.0};
+  std::uint64_t seed{1234};
+};
+
+struct CuffReading {
+  double systolic_mmhg{0.0};
+  double diastolic_mmhg{0.0};
+  double map_mmhg{0.0};
+  double duration_s{0.0};  ///< how long the measurement took
+  bool valid{false};
+};
+
+class OscillometricCuff {
+ public:
+  explicit OscillometricCuff(const CuffConfig& config);
+
+  /// Performs one inflation/deflation measurement against the true arterial
+  /// state. `heart_rate_bpm` sets how many envelope samples the deflation
+  /// yields (one per beat). Fails (valid = false) if the pressures are
+  /// outside the deflation range.
+  [[nodiscard]] CuffReading measure(double true_systolic_mmhg, double true_diastolic_mmhg,
+                                    double heart_rate_bpm);
+
+  /// Measurements per hour this device can sustain (for the continuous-vs-
+  /// intermittent comparison of §1).
+  [[nodiscard]] double max_measurements_per_hour() const noexcept;
+
+  [[nodiscard]] const CuffConfig& config() const noexcept { return config_; }
+
+ private:
+  CuffConfig config_;
+  Rng rng_;
+};
+
+}  // namespace tono::bio

@@ -1,0 +1,183 @@
+#include "src/bio/pulse_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/units.hpp"
+
+namespace tono::bio {
+
+ArterialPulseGenerator::ArterialPulseGenerator(const PulseConfig& config)
+    : config_(config), beat_(config.morphology), rng_(config.seed) {
+  if (config_.systolic_mmhg <= config_.diastolic_mmhg) {
+    throw std::invalid_argument{"ArterialPulseGenerator: systolic must exceed diastolic"};
+  }
+  if (config_.heart_rate_bpm <= 20.0 || config_.heart_rate_bpm > 250.0) {
+    throw std::invalid_argument{"ArterialPulseGenerator: implausible heart rate"};
+  }
+  start_new_beat();
+  beat_start_s_ = 0.0;
+}
+
+void ArterialPulseGenerator::start_new_beat() {
+  // Nominal interval modulated by Mayer wave, RSA and white jitter.
+  const double nominal = 60.0 / config_.heart_rate_bpm;
+  const double mayer =
+      config_.mayer_depth * std::sin(units::two_pi * config_.mayer_freq_hz * time_s_);
+  const double rsa =
+      config_.rsa_depth * std::sin(units::two_pi * config_.respiration_freq_hz * time_s_);
+  const double jitter = config_.hrv_jitter * rng_.gaussian();
+  double interval = nominal * (1.0 + mayer + rsa + jitter);
+  // AF-like rhythm: large uniform interval spread on top of the modulation.
+  if (config_.af_irregularity > 0.0) {
+    interval *= 1.0 + config_.af_irregularity * rng_.uniform(-1.0, 1.0);
+  }
+  interval = std::max(interval, 0.3 * nominal);
+  const double prev_interval = beat_interval_s_;
+  beat_interval_s_ = interval;
+  beat_start_s_ = time_s_;
+
+  // Per-beat pressure setpoints: respiration modulates pulse pressure;
+  // drift moves both endpoints.
+  const double resp_pp =
+      1.0 + config_.respiration_pp_depth *
+                std::sin(units::two_pi * config_.respiration_freq_hz * time_s_);
+  double pp = (config_.systolic_mmhg - config_.diastolic_mmhg) * resp_pp;
+  if (config_.af_irregularity > 0.0) {
+    // Short preceding interval → reduced ventricular filling → weaker beat
+    // (the classic AF pulse-deficit mechanism).
+    const double filling = std::clamp(prev_interval / nominal, 0.5, 1.5);
+    pp *= 0.4 + 0.6 * filling;
+  }
+  beat_dia_mmhg_ = config_.diastolic_mmhg + drift_mmhg_;
+  beat_sys_mmhg_ = beat_dia_mmhg_ + pp;
+
+  cur_min_ = 1e9;
+  cur_max_ = -1e9;
+  cur_sum_ = 0.0;
+  cur_n_ = 0;
+}
+
+double ArterialPulseGenerator::sample(double dt_s) {
+  if (dt_s <= 0.0) throw std::invalid_argument{"ArterialPulseGenerator: dt must be > 0"};
+  time_s_ += dt_s;
+
+  // Drift as a random walk, scaled with sqrt(dt).
+  drift_mmhg_ += config_.drift_mmhg_per_sqrt_s * std::sqrt(dt_s) * rng_.gaussian();
+
+  if (time_s_ - beat_start_s_ >= beat_interval_s_) {
+    // Close out the finished beat's ground truth.
+    if (cur_n_ > 0) {
+      truth_.push_back(BeatTruth{beat_start_s_, beat_interval_s_, cur_max_, cur_min_,
+                                 cur_sum_ / static_cast<double>(cur_n_)});
+    }
+    start_new_beat();
+  }
+
+  const double phase = (time_s_ - beat_start_s_) / beat_interval_s_;
+  const double shape = beat_.value(phase);
+  const double resp_baseline =
+      config_.respiration_baseline_mmhg *
+      std::sin(units::two_pi * config_.respiration_freq_hz * time_s_);
+  const double p =
+      beat_dia_mmhg_ + (beat_sys_mmhg_ - beat_dia_mmhg_) * shape + resp_baseline;
+
+  cur_min_ = std::min(cur_min_, p);
+  cur_max_ = std::max(cur_max_, p);
+  cur_sum_ += p;
+  ++cur_n_;
+  return p;
+}
+
+std::vector<double> ArterialPulseGenerator::generate(double sample_rate_hz, std::size_t n) {
+  if (sample_rate_hz <= 0.0) {
+    throw std::invalid_argument{"ArterialPulseGenerator: sample rate must be > 0"};
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  const double dt = 1.0 / sample_rate_hz;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample(dt));
+  return out;
+}
+
+void ArterialPulseGenerator::set_targets(double systolic_mmhg, double diastolic_mmhg,
+                                         double heart_rate_bpm) {
+  if (systolic_mmhg <= diastolic_mmhg) {
+    throw std::invalid_argument{"set_targets: systolic must exceed diastolic"};
+  }
+  if (heart_rate_bpm <= 20.0 || heart_rate_bpm > 250.0) {
+    throw std::invalid_argument{"set_targets: implausible heart rate"};
+  }
+  config_.systolic_mmhg = systolic_mmhg;
+  config_.diastolic_mmhg = diastolic_mmhg;
+  config_.heart_rate_bpm = heart_rate_bpm;
+}
+
+PulseConfig PatientPresets::normotensive() { return PulseConfig{}; }
+
+PulseConfig PatientPresets::hypertensive() {
+  PulseConfig c;
+  c.systolic_mmhg = 165.0;
+  c.diastolic_mmhg = 102.0;
+  c.heart_rate_bpm = 80.0;
+  c.seed = 11;
+  return c;
+}
+
+PulseConfig PatientPresets::hypotensive() {
+  PulseConfig c;
+  c.systolic_mmhg = 95.0;
+  c.diastolic_mmhg = 60.0;
+  c.heart_rate_bpm = 64.0;
+  c.seed = 12;
+  return c;
+}
+
+PulseConfig PatientPresets::tachycardic() {
+  PulseConfig c;
+  c.systolic_mmhg = 118.0;
+  c.diastolic_mmhg = 78.0;
+  c.heart_rate_bpm = 125.0;
+  c.seed = 13;
+  return c;
+}
+
+PulseConfig PatientPresets::elderly_stiff() {
+  PulseConfig c;
+  c.systolic_mmhg = 150.0;
+  c.diastolic_mmhg = 85.0;
+  c.heart_rate_bpm = 68.0;
+  // Stiff arteries reflect early and strongly: boost the augmentation lobe.
+  c.morphology.lobes[1].amplitude = 0.62;
+  c.morphology.lobes[1].center_phase = 0.27;
+  c.seed = 14;
+  return c;
+}
+
+PulseConfig PatientPresets::atrial_fibrillation() {
+  PulseConfig c;
+  c.systolic_mmhg = 130.0;
+  c.diastolic_mmhg = 84.0;
+  c.heart_rate_bpm = 95.0;
+  c.af_irregularity = 0.25;
+  c.hrv_jitter = 0.08;
+  c.seed = 15;
+  return c;
+}
+
+double ArterialPulseGenerator::mean_systolic_mmhg() const noexcept {
+  if (truth_.empty()) return config_.systolic_mmhg;
+  double acc = 0.0;
+  for (const auto& b : truth_) acc += b.systolic_mmhg;
+  return acc / static_cast<double>(truth_.size());
+}
+
+double ArterialPulseGenerator::mean_diastolic_mmhg() const noexcept {
+  if (truth_.empty()) return config_.diastolic_mmhg;
+  double acc = 0.0;
+  for (const auto& b : truth_) acc += b.diastolic_mmhg;
+  return acc / static_cast<double>(truth_.size());
+}
+
+}  // namespace tono::bio

@@ -1,0 +1,112 @@
+// pulse_generator.hpp — continuous arterial blood-pressure waveform with
+// physiological variability and per-beat ground truth.
+//
+// This is the "test person's wrist" of §3.2, made synthetic so the full
+// pipeline can be scored against known truth. Variability sources:
+//   * heart-rate variability: white beat-interval jitter + a slow Mayer-wave
+//     (~0.1 Hz) modulation,
+//   * respiration: baseline and pulse-pressure modulation at ~0.25 Hz
+//     (respiratory sinus arrhythmia on the interval as well),
+//   * slow setpoint drift of systolic/diastolic pressure.
+// Ground truth (beat onsets, per-beat systolic/diastolic/MAP) is recorded as
+// the waveform is generated so benches can compute estimation error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bio/beat.hpp"
+#include "src/common/rng.hpp"
+
+namespace tono::bio {
+
+struct PulseConfig {
+  double systolic_mmhg{120.0};
+  double diastolic_mmhg{80.0};
+  double heart_rate_bpm{72.0};
+  /// White beat-to-beat interval jitter (fraction of the interval).
+  double hrv_jitter{0.03};
+  /// Mayer-wave heart-rate modulation depth (fraction) and frequency.
+  double mayer_depth{0.02};
+  double mayer_freq_hz{0.1};
+  /// Respiration: frequency, baseline swing [mmHg], pulse-pressure depth.
+  double respiration_freq_hz{0.25};
+  double respiration_baseline_mmhg{2.0};
+  double respiration_pp_depth{0.05};
+  /// Respiratory sinus arrhythmia: interval modulation depth (fraction).
+  double rsa_depth{0.03};
+  /// Slow random-walk drift of the pressure setpoints [mmHg/√s].
+  double drift_mmhg_per_sqrt_s{0.15};
+  /// Atrial-fibrillation-like rhythm: beat intervals drawn with this extra
+  /// uniform spread (fraction of the interval; 0 = regular rhythm) and
+  /// pulse pressure varying with the preceding interval (shorter filling
+  /// time → weaker beat).
+  double af_irregularity{0.0};
+  BeatMorphology morphology{BeatMorphology::radial()};
+  std::uint64_t seed{7};
+};
+
+/// Preset patients for examples/benches.
+struct PatientPresets {
+  [[nodiscard]] static PulseConfig normotensive();   ///< 120/80 @ 72
+  [[nodiscard]] static PulseConfig hypertensive();   ///< 165/102 @ 80
+  [[nodiscard]] static PulseConfig hypotensive();    ///< 95/60 @ 64
+  [[nodiscard]] static PulseConfig tachycardic();    ///< 118/78 @ 125
+  [[nodiscard]] static PulseConfig elderly_stiff();  ///< 150/85, augmented reflection
+  [[nodiscard]] static PulseConfig atrial_fibrillation();  ///< irregular rhythm
+};
+
+/// Per-beat ground truth emitted by the generator.
+struct BeatTruth {
+  double onset_s{0.0};       ///< beat start time
+  double interval_s{0.0};    ///< beat duration
+  double systolic_mmhg{0.0};
+  double diastolic_mmhg{0.0};
+  double map_mmhg{0.0};      ///< mean over the beat
+};
+
+class ArterialPulseGenerator {
+ public:
+  explicit ArterialPulseGenerator(const PulseConfig& config);
+
+  /// Advances time by dt and returns the arterial pressure [mmHg].
+  [[nodiscard]] double sample(double dt_s);
+
+  /// Retargets the physiological setpoints at runtime (takes effect from
+  /// the next beat). Lets scenario drivers ramp pressure/heart rate.
+  void set_targets(double systolic_mmhg, double diastolic_mmhg, double heart_rate_bpm);
+
+  /// Generates `n` samples at fixed rate into a vector.
+  [[nodiscard]] std::vector<double> generate(double sample_rate_hz, std::size_t n);
+
+  /// Ground-truth annotations for all *completed* beats so far.
+  [[nodiscard]] const std::vector<BeatTruth>& beat_truth() const noexcept { return truth_; }
+
+  /// Session-level ground truth: mean systolic/diastolic over completed beats.
+  [[nodiscard]] double mean_systolic_mmhg() const noexcept;
+  [[nodiscard]] double mean_diastolic_mmhg() const noexcept;
+
+  [[nodiscard]] double time_s() const noexcept { return time_s_; }
+  [[nodiscard]] const PulseConfig& config() const noexcept { return config_; }
+
+ private:
+  void start_new_beat();
+
+  PulseConfig config_;
+  BeatTemplate beat_;
+  Rng rng_;
+  double time_s_{0.0};
+  double beat_start_s_{0.0};
+  double beat_interval_s_{0.8};
+  double beat_sys_mmhg_{120.0};
+  double beat_dia_mmhg_{80.0};
+  double drift_mmhg_{0.0};
+  // accumulators for the current beat's truth
+  double cur_min_{1e9};
+  double cur_max_{-1e9};
+  double cur_sum_{0.0};
+  std::size_t cur_n_{0};
+  std::vector<BeatTruth> truth_;
+};
+
+}  // namespace tono::bio

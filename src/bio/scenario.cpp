@@ -1,0 +1,85 @@
+#include "src/bio/scenario.hpp"
+
+#include <stdexcept>
+
+namespace tono::bio {
+
+struct ScenarioProfile::Columns {
+  std::vector<double> t;
+  std::vector<double> sys;
+  std::vector<double> dia;
+  std::vector<double> hr;
+
+  static Columns from(const std::vector<ScenarioKeyframe>& frames) {
+    if (frames.size() < 2) {
+      throw std::invalid_argument{"ScenarioProfile: need >= 2 keyframes"};
+    }
+    Columns c;
+    for (const auto& f : frames) {
+      if (!c.t.empty() && f.time_s <= c.t.back()) {
+        throw std::invalid_argument{"ScenarioProfile: keyframes must be time-ordered"};
+      }
+      if (f.systolic_mmhg <= f.diastolic_mmhg) {
+        throw std::invalid_argument{"ScenarioProfile: systolic must exceed diastolic"};
+      }
+      c.t.push_back(f.time_s);
+      c.sys.push_back(f.systolic_mmhg);
+      c.dia.push_back(f.diastolic_mmhg);
+      c.hr.push_back(f.heart_rate_bpm);
+    }
+    return c;
+  }
+};
+
+ScenarioProfile::ScenarioProfile(const Columns& c, std::string name)
+    : name_(std::move(name)),
+      sys_(c.t, c.sys),
+      dia_(c.t, c.dia),
+      hr_(c.t, c.hr),
+      t_min_(c.t.front()),
+      t_max_(c.t.back()) {}
+
+ScenarioProfile::ScenarioProfile(std::vector<ScenarioKeyframe> keyframes, std::string name)
+    : ScenarioProfile(Columns::from(keyframes), std::move(name)) {}
+
+ScenarioKeyframe ScenarioProfile::at(double t_s) const {
+  return ScenarioKeyframe{t_s, sys_(t_s), dia_(t_s), hr_(t_s)};
+}
+
+void ScenarioProfile::apply(ArterialPulseGenerator& generator, double t_s) const {
+  const auto k = at(t_s);
+  generator.set_targets(k.systolic_mmhg, k.diastolic_mmhg, k.heart_rate_bpm);
+}
+
+double ScenarioProfile::duration_s() const noexcept { return t_max_ - t_min_; }
+
+ScenarioProfile ScenarioProfile::exercise(double total_s) {
+  const double t1 = 0.25 * total_s;   // rest ends
+  const double t2 = 0.50 * total_s;   // peak exercise
+  const double t3 = total_s;          // recovered
+  return ScenarioProfile{
+      {
+          ScenarioKeyframe{0.0, 120.0, 80.0, 72.0},
+          ScenarioKeyframe{t1, 120.0, 80.0, 75.0},
+          ScenarioKeyframe{t2, 165.0, 95.0, 130.0},
+          ScenarioKeyframe{0.75 * total_s, 135.0, 85.0, 95.0},
+          ScenarioKeyframe{t3, 122.0, 81.0, 78.0},
+      },
+      "exercise"};
+}
+
+ScenarioProfile ScenarioProfile::hypotensive_episode(double total_s) {
+  const double onset = 0.35 * total_s;
+  const double nadir = 0.50 * total_s;
+  return ScenarioProfile{
+      {
+          ScenarioKeyframe{0.0, 118.0, 78.0, 74.0},
+          ScenarioKeyframe{onset, 116.0, 77.0, 76.0},
+          ScenarioKeyframe{nadir, 82.0, 52.0, 98.0},   // fast crash, reflex tachycardia
+          ScenarioKeyframe{0.7 * total_s, 96.0, 62.0, 90.0},
+          ScenarioKeyframe{total_s, 106.0, 70.0, 82.0},
+      },
+      "hypotensive-episode"};
+}
+
+}  // namespace tono::bio

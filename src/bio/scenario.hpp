@@ -1,0 +1,59 @@
+// scenario.hpp — time-varying physiological scenarios.
+//
+// The paper's §1 motivation is that cuffs "are only able to accomplish
+// single measurements" and so cannot record a blood-pressure *waveform* —
+// or a fast trend. A scenario drives the pulse generator's setpoints over
+// time (exercise ramps, hypotensive episodes, recovery), producing the
+// dynamics that only a continuous sensor can follow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/bio/pulse_generator.hpp"
+#include "src/common/interpolation.hpp"
+
+namespace tono::bio {
+
+/// One setpoint keyframe; values are interpolated linearly between frames.
+struct ScenarioKeyframe {
+  double time_s{0.0};
+  double systolic_mmhg{120.0};
+  double diastolic_mmhg{80.0};
+  double heart_rate_bpm{72.0};
+};
+
+class ScenarioProfile {
+ public:
+  /// Keyframes must be in strictly increasing time order, with >= 2 frames.
+  explicit ScenarioProfile(std::vector<ScenarioKeyframe> keyframes,
+                           std::string name = "scenario");
+
+  /// Interpolated targets at a given time (clamped at the ends).
+  [[nodiscard]] ScenarioKeyframe at(double t_s) const;
+
+  /// Pushes the targets for time t into a generator.
+  void apply(ArterialPulseGenerator& generator, double t_s) const;
+
+  [[nodiscard]] double duration_s() const noexcept;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Preset: rest → exercise ramp (HR 72→130, BP 120/80→165/95) → recovery.
+  [[nodiscard]] static ScenarioProfile exercise(double total_s = 180.0);
+  /// Preset: stable, then a fast hypotensive episode and partial recovery
+  /// (the intensive-care event a cuff cycle would miss, cf. ref. [2]).
+  [[nodiscard]] static ScenarioProfile hypotensive_episode(double total_s = 120.0);
+
+ private:
+  struct Columns;  // keyframes split into per-quantity knot vectors
+  ScenarioProfile(const Columns& columns, std::string name);
+
+  std::string name_;
+  LinearInterpolator sys_;
+  LinearInterpolator dia_;
+  LinearInterpolator hr_;
+  double t_min_;
+  double t_max_;
+};
+
+}  // namespace tono::bio

@@ -1,0 +1,48 @@
+#include "src/bio/tissue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tono::bio {
+
+TissueCoupling::TissueCoupling(const TissueConfig& config) : config_(config) {
+  if (config_.vessel_depth_m < 0.0 || config_.attenuation_length_m <= 0.0) {
+    throw std::invalid_argument{"TissueCoupling: bad depth parameters"};
+  }
+  if (config_.hold_down_width_mmhg <= 0.0 || config_.lateral_sigma_m <= 0.0) {
+    throw std::invalid_argument{"TissueCoupling: bad width parameters"};
+  }
+  if (config_.peak_transmission <= 0.0 || config_.peak_transmission > 1.0) {
+    throw std::invalid_argument{"TissueCoupling: peak transmission must be in (0,1]"};
+  }
+}
+
+double TissueCoupling::transmission(double hold_down_mmhg) const noexcept {
+  const double d = (hold_down_mmhg - config_.optimal_hold_down_mmhg) /
+                   config_.hold_down_width_mmhg;
+  return config_.peak_transmission * std::exp(-0.5 * d * d);
+}
+
+double TissueCoupling::depth_attenuation() const noexcept {
+  return std::exp(-config_.vessel_depth_m / config_.attenuation_length_m);
+}
+
+double TissueCoupling::lateral_attenuation(double offset_m) const noexcept {
+  const double r = offset_m / config_.lateral_sigma_m;
+  return std::exp(-0.5 * r * r);
+}
+
+double TissueCoupling::contact_pressure_mmhg(double arterial_mmhg, double map_mmhg,
+                                             double hold_down_mmhg,
+                                             double lateral_offset_m) const noexcept {
+  const double gain = pulse_gain(hold_down_mmhg, lateral_offset_m);
+  return hold_down_mmhg + gain * (arterial_mmhg - map_mmhg);
+}
+
+double TissueCoupling::pulse_gain(double hold_down_mmhg,
+                                  double lateral_offset_m) const noexcept {
+  return transmission(hold_down_mmhg) * depth_attenuation() *
+         lateral_attenuation(lateral_offset_m);
+}
+
+}  // namespace tono::bio

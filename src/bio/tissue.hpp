@@ -1,0 +1,68 @@
+// tissue.hpp — tonometric coupling from artery to sensor surface.
+//
+// Fig. 1 of the paper: the overpressure inside the vessel moves the vessel
+// wall, displacing the skin surface; a force sensor held against the skin
+// sees a contact pressure proportional to the intravascular pressure. The
+// coupling model captures the three effects that make tonometry hard:
+//   * hold-down dependence — pulse transmission peaks when the applied
+//     hold-down pressure flattens (applanates) the vessel; too little or too
+//     much hold-down attenuates the pulse (bell-shaped transmission),
+//   * depth attenuation — tissue between vessel and skin attenuates the
+//     pulsation exponentially with depth,
+//   * lateral sensitivity — an element offset from the vessel axis sees a
+//     Gaussian-attenuated signal; this is what makes the array's
+//     strongest-element selection (§2) work.
+#pragma once
+
+namespace tono::bio {
+
+struct TissueConfig {
+  /// Vessel depth below the skin surface [m] (radial artery ≈ 2-3 mm).
+  double vessel_depth_m{2.5e-3};
+  /// Exponential depth-attenuation length of the pulsation [m].
+  double attenuation_length_m{4.0e-3};
+  /// Hold-down pressure at which transmission peaks (applanation) [mmHg].
+  double optimal_hold_down_mmhg{80.0};
+  /// Width of the transmission bell over hold-down pressure [mmHg].
+  double hold_down_width_mmhg{60.0};
+  /// Peak pulse-transmission ratio at applanation and at vessel depth 0.
+  double peak_transmission{0.85};
+  /// Lateral 1-σ width of the sensitivity profile on the skin [m].
+  double lateral_sigma_m{1.2e-3};
+  /// PDMS contact layer: low-pass corner of the mechanical coupling [Hz]
+  /// (the soft layer slightly smooths the waveform).
+  double pdms_corner_hz{120.0};
+};
+
+class TissueCoupling {
+ public:
+  explicit TissueCoupling(const TissueConfig& config);
+
+  /// Pulse transmission factor for a given hold-down pressure (bell curve).
+  [[nodiscard]] double transmission(double hold_down_mmhg) const noexcept;
+
+  /// Depth attenuation factor exp(−depth/λ).
+  [[nodiscard]] double depth_attenuation() const noexcept;
+
+  /// Lateral attenuation for an element offset from the vessel axis [m].
+  [[nodiscard]] double lateral_attenuation(double offset_m) const noexcept;
+
+  /// Contact pressure at the sensor face [mmHg]:
+  /// hold_down + T(hold_down)·depth·lateral · (P_art − MAP_art).
+  /// `arterial_mmhg` is the instantaneous arterial pressure and `map_mmhg`
+  /// its running mean (the static component is carried by the hold-down).
+  [[nodiscard]] double contact_pressure_mmhg(double arterial_mmhg, double map_mmhg,
+                                             double hold_down_mmhg,
+                                             double lateral_offset_m) const noexcept;
+
+  /// Overall small-signal gain d(contact)/d(arterial) at given placement.
+  [[nodiscard]] double pulse_gain(double hold_down_mmhg,
+                                  double lateral_offset_m) const noexcept;
+
+  [[nodiscard]] const TissueConfig& config() const noexcept { return config_; }
+
+ private:
+  TissueConfig config_;
+};
+
+}  // namespace tono::bio

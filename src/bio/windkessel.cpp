@@ -1,0 +1,70 @@
+#include "src/bio/windkessel.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tono::bio {
+
+WindkesselModel::WindkesselModel(const WindkesselConfig& config)
+    : config_(config), pressure_mmhg_(config.initial_pressure_mmhg) {
+  if (config_.peripheral_resistance <= 0.0 || config_.compliance <= 0.0) {
+    throw std::invalid_argument{"WindkesselModel: R_p and C must be > 0"};
+  }
+  if (config_.characteristic_impedance < 0.0) {
+    throw std::invalid_argument{"WindkesselModel: R_c must be >= 0"};
+  }
+  if (config_.ejection_fraction_of_cycle <= 0.0 || config_.ejection_fraction_of_cycle >= 1.0) {
+    throw std::invalid_argument{"WindkesselModel: ejection fraction must be in (0,1)"};
+  }
+}
+
+double WindkesselModel::inflow_ml_per_s(double t_s) const noexcept {
+  const double cycle = 60.0 / config_.heart_rate_bpm;
+  const double t_in_cycle = std::fmod(t_s, cycle);
+  const double t_eject = config_.ejection_fraction_of_cycle * cycle;
+  if (t_in_cycle >= t_eject) return 0.0;
+  // Half-sine with area = stroke volume: peak = SV·π / (2·t_eject).
+  const double peak = config_.stroke_volume_ml * std::numbers::pi / (2.0 * t_eject);
+  return peak * std::sin(std::numbers::pi * t_in_cycle / t_eject);
+}
+
+double WindkesselModel::derivative(double p_mmhg, double t_s) const noexcept {
+  const double q_in = inflow_ml_per_s(t_s);
+  return (q_in - p_mmhg / config_.peripheral_resistance) / config_.compliance;
+}
+
+double WindkesselModel::step(double dt_s) noexcept {
+  // RK4 on the 2-element storage pressure.
+  const double t = time_s_;
+  const double p = pressure_mmhg_;
+  const double k1 = derivative(p, t);
+  const double k2 = derivative(p + 0.5 * dt_s * k1, t + 0.5 * dt_s);
+  const double k3 = derivative(p + 0.5 * dt_s * k2, t + 0.5 * dt_s);
+  const double k4 = derivative(p + dt_s * k3, t + dt_s);
+  pressure_mmhg_ = p + dt_s / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+  time_s_ += dt_s;
+  // 3-element: the measured (proximal) pressure adds R_c·Q_in on top of the
+  // storage pressure.
+  return pressure_mmhg_ + config_.characteristic_impedance * inflow_ml_per_s(time_s_);
+}
+
+std::vector<double> WindkesselModel::simulate(double sample_rate_hz, std::size_t n) {
+  if (sample_rate_hz <= 0.0) {
+    throw std::invalid_argument{"WindkesselModel: sample rate must be > 0"};
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  const double dt = 1.0 / sample_rate_hz;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(step(dt));
+  return out;
+}
+
+double WindkesselModel::expected_map_mmhg() const noexcept {
+  const double cardiac_output =
+      config_.stroke_volume_ml * config_.heart_rate_bpm / 60.0;  // mL/s
+  return cardiac_output *
+         (config_.peripheral_resistance + config_.characteristic_impedance);
+}
+
+}  // namespace tono::bio

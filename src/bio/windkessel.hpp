@@ -1,0 +1,55 @@
+// windkessel.hpp — lumped-parameter (Windkessel) arterial models.
+//
+// A physics-grounded alternative to the template-based pulse generator: a
+// half-sine ventricular ejection flow drives a 2- or 3-element Windkessel
+// (peripheral resistance R_p, arterial compliance C, characteristic
+// impedance R_c), integrated with classic RK4. Used by the hemodynamics
+// example and by tests that cross-check the template generator's pressure
+// ranges against a mechanistic model.
+#pragma once
+
+#include <vector>
+
+namespace tono::bio {
+
+struct WindkesselConfig {
+  double peripheral_resistance{1.05};  ///< R_p [mmHg·s/mL]
+  double compliance{1.4};              ///< C [mL/mmHg]
+  double characteristic_impedance{0.05};  ///< R_c [mmHg·s/mL]; 0 → 2-element
+  double heart_rate_bpm{72.0};
+  double stroke_volume_ml{72.0};
+  /// Fraction of the cardiac cycle spent ejecting.
+  double ejection_fraction_of_cycle{0.35};
+  double initial_pressure_mmhg{80.0};
+};
+
+class WindkesselModel {
+ public:
+  explicit WindkesselModel(const WindkesselConfig& config);
+
+  /// Ventricular ejection flow at time t [mL/s] (half-sine during systole).
+  [[nodiscard]] double inflow_ml_per_s(double t_s) const noexcept;
+
+  /// Advances the model by dt and returns the arterial pressure [mmHg].
+  [[nodiscard]] double step(double dt_s) noexcept;
+
+  /// Integrates n samples at the given rate.
+  [[nodiscard]] std::vector<double> simulate(double sample_rate_hz, std::size_t n);
+
+  /// Analytic steady-state mean pressure: MAP = SV·HR/60 · (R_p + R_c).
+  [[nodiscard]] double expected_map_mmhg() const noexcept;
+
+  [[nodiscard]] double time_s() const noexcept { return time_s_; }
+  [[nodiscard]] double pressure_mmhg() const noexcept { return pressure_mmhg_; }
+  [[nodiscard]] const WindkesselConfig& config() const noexcept { return config_; }
+
+ private:
+  /// dP/dt of the 2-element core: (Q_in − P/R_p) / C.
+  [[nodiscard]] double derivative(double p_mmhg, double t_s) const noexcept;
+
+  WindkesselConfig config_;
+  double time_s_{0.0};
+  double pressure_mmhg_;
+};
+
+}  // namespace tono::bio

@@ -1,0 +1,152 @@
+#include "src/common/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace tono {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add(const std::string& name, Kind kind, const std::string& help,
+                    std::optional<std::string> default_value) {
+  if (options_.count(name) != 0) {
+    throw std::invalid_argument{"ArgParser: duplicate option --" + name};
+  }
+  options_[name] = Option{kind, help, std::move(default_value), std::nullopt};
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  add(name, Kind::kFlag, help, std::nullopt);
+}
+
+void ArgParser::add_string(const std::string& name, const std::string& help,
+                           std::optional<std::string> default_value) {
+  add(name, Kind::kString, help, std::move(default_value));
+}
+
+void ArgParser::add_double(const std::string& name, const std::string& help,
+                           std::optional<double> default_value) {
+  std::optional<std::string> def;
+  if (default_value) {
+    std::ostringstream oss;
+    oss << *default_value;
+    def = oss.str();
+  }
+  add(name, Kind::kDouble, help, std::move(def));
+}
+
+void ArgParser::add_int(const std::string& name, const std::string& help,
+                        std::optional<long> default_value) {
+  std::optional<std::string> def;
+  if (default_value) def = std::to_string(*default_value);
+  add(name, Kind::kInt, help, std::move(def));
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string name = arg.substr(2);
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      error_ = "unknown option --" + name;
+      return false;
+    }
+    if (it->second.kind == Kind::kFlag) {
+      it->second.value = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      error_ = "option --" + name + " needs a value";
+      return false;
+    }
+    const std::string value = argv[++i];
+    if (it->second.kind == Kind::kDouble || it->second.kind == Kind::kInt) {
+      char* end = nullptr;
+      (void)std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        error_ = "option --" + name + " expects a number, got '" + value + "'";
+        return false;
+      }
+    }
+    it->second.value = value;
+  }
+  // Required (no-default, non-flag) options must be present.
+  for (const auto& [name, opt] : options_) {
+    if (opt.kind != Kind::kFlag && !opt.value && !opt.default_value) {
+      error_ = "missing required option --" + name;
+      return false;
+    }
+  }
+  return true;
+}
+
+const ArgParser::Option& ArgParser::option_or_throw(const std::string& name,
+                                                    Kind kind) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.kind != kind) {
+    throw std::invalid_argument{"ArgParser: unregistered option --" + name};
+  }
+  return it->second;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  const auto it = options_.find(name);
+  return it != options_.end() && it->second.value.has_value();
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  return option_or_throw(name, Kind::kFlag).value.has_value();
+}
+
+std::string ArgParser::string_value(const std::string& name) const {
+  const auto& opt = option_or_throw(name, Kind::kString);
+  if (opt.value) return *opt.value;
+  return opt.default_value.value_or("");
+}
+
+double ArgParser::double_value(const std::string& name) const {
+  const auto& opt = option_or_throw(name, Kind::kDouble);
+  const std::string raw = opt.value ? *opt.value : opt.default_value.value_or("0");
+  return std::strtod(raw.c_str(), nullptr);
+}
+
+long ArgParser::int_value(const std::string& name) const {
+  const auto& opt = option_or_throw(name, Kind::kInt);
+  const std::string raw = opt.value ? *opt.value : opt.default_value.value_or("0");
+  return std::strtol(raw.c_str(), nullptr, 10);
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream oss;
+  oss << "usage: " << program_ << " [options]\n";
+  if (!description_.empty()) oss << description_ << "\n";
+  oss << "options:\n";
+  for (const auto& name : order_) {
+    const auto& opt = options_.at(name);
+    oss << "  --" << name;
+    switch (opt.kind) {
+      case Kind::kFlag: break;
+      case Kind::kString: oss << " <str>"; break;
+      case Kind::kDouble: oss << " <num>"; break;
+      case Kind::kInt: oss << " <int>"; break;
+    }
+    oss << "  " << opt.help;
+    if (opt.default_value) oss << " (default " << *opt.default_value << ")";
+    oss << '\n';
+  }
+  oss << "  --help  show this message\n";
+  return oss.str();
+}
+
+}  // namespace tono

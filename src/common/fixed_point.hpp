@@ -1,0 +1,91 @@
+// fixed_point.hpp — two's-complement fixed-point arithmetic helpers.
+//
+// The paper's decimation filter runs in an FPGA; our CIC and FIR stages model
+// it bit-exactly with integer arithmetic. This header provides the saturating
+// quantizer and word-width bookkeeping those stages share, so overflow
+// behaviour is explicit rather than accidental.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace tono {
+
+/// Saturates a wide integer into a signed `bits`-wide two's-complement range.
+/// bits must be in [2, 63].
+[[nodiscard]] constexpr std::int64_t saturate_to_bits(std::int64_t value, int bits) {
+  if (bits < 2 || bits > 63) throw std::invalid_argument{"saturate_to_bits: bits out of range"};
+  const std::int64_t max_v = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t min_v = -(std::int64_t{1} << (bits - 1));
+  return std::clamp(value, min_v, max_v);
+}
+
+/// Wraps (modulo) a wide integer into a signed `bits`-wide range — the
+/// natural behaviour of CIC integrators, which rely on modular arithmetic.
+[[nodiscard]] constexpr std::int64_t wrap_to_bits(std::int64_t value, int bits) {
+  if (bits < 2 || bits > 63) throw std::invalid_argument{"wrap_to_bits: bits out of range"};
+  const auto u = static_cast<std::uint64_t>(value);
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  std::uint64_t w = u & mask;
+  // Sign-extend.
+  const std::uint64_t sign_bit = std::uint64_t{1} << (bits - 1);
+  if (w & sign_bit) w |= ~mask;
+  return static_cast<std::int64_t>(w);
+}
+
+/// Quantizes a real value in [-1, 1) to a signed `bits`-wide integer with
+/// round-to-nearest and saturation: the ADC output word format.
+[[nodiscard]] constexpr std::int64_t quantize_to_bits(double value, int bits) {
+  if (bits < 2 || bits > 62) throw std::invalid_argument{"quantize_to_bits: bits out of range"};
+  const double scale = static_cast<double>(std::int64_t{1} << (bits - 1));
+  const double scaled = value * scale;
+  const auto rounded =
+      static_cast<std::int64_t>(scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5);
+  return saturate_to_bits(rounded, bits);
+}
+
+/// Converts a signed `bits`-wide integer code back to a real value in [-1, 1).
+[[nodiscard]] constexpr double dequantize_from_bits(std::int64_t code, int bits) {
+  const double scale = static_cast<double>(std::int64_t{1} << (bits - 1));
+  return static_cast<double>(code) / scale;
+}
+
+/// Signed Q-format value (Q(integer_bits).(frac_bits)) stored in int64.
+/// Minimal operation set used by the FIR coefficient quantization path.
+class QFormat {
+ public:
+  constexpr QFormat(int integer_bits, int frac_bits)
+      : integer_bits_(integer_bits), frac_bits_(frac_bits) {
+    if (integer_bits < 1 || frac_bits < 0 || integer_bits + frac_bits > 62) {
+      throw std::invalid_argument{"QFormat: invalid widths"};
+    }
+  }
+
+  [[nodiscard]] constexpr int total_bits() const noexcept { return integer_bits_ + frac_bits_; }
+  [[nodiscard]] constexpr int frac_bits() const noexcept { return frac_bits_; }
+
+  /// Real → fixed code (round-to-nearest, saturating).
+  [[nodiscard]] constexpr std::int64_t encode(double value) const {
+    const double scaled = value * static_cast<double>(std::int64_t{1} << frac_bits_);
+    const auto rounded =
+        static_cast<std::int64_t>(scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5);
+    return saturate_to_bits(rounded, total_bits());
+  }
+
+  /// Fixed code → real.
+  [[nodiscard]] constexpr double decode(std::int64_t code) const noexcept {
+    return static_cast<double>(code) / static_cast<double>(std::int64_t{1} << frac_bits_);
+  }
+
+  /// Quantization step in real units.
+  [[nodiscard]] constexpr double lsb() const noexcept {
+    return 1.0 / static_cast<double>(std::int64_t{1} << frac_bits_);
+  }
+
+ private:
+  int integer_bits_;
+  int frac_bits_;
+};
+
+}  // namespace tono

@@ -1,0 +1,90 @@
+#include "src/common/interpolation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace tono {
+namespace {
+
+void validate_knots(std::span<const double> xs, std::span<const double> ys,
+                    std::size_t min_points, const char* who) {
+  if (xs.size() != ys.size()) throw std::invalid_argument{std::string{who} + ": size mismatch"};
+  if (xs.size() < min_points) throw std::invalid_argument{std::string{who} + ": too few points"};
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (!(xs[i] > xs[i - 1])) {
+      throw std::invalid_argument{std::string{who} + ": knots must be strictly increasing"};
+    }
+  }
+}
+
+}  // namespace
+
+LinearInterpolator::LinearInterpolator(std::span<const double> xs, std::span<const double> ys)
+    : xs_(xs.begin(), xs.end()), ys_(ys.begin(), ys.end()) {
+  validate_knots(xs, ys, 2, "LinearInterpolator");
+}
+
+double LinearInterpolator::operator()(double x) const noexcept {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const auto hi = static_cast<std::size_t>(it - xs_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+CubicSpline::CubicSpline(std::span<const double> xs, std::span<const double> ys)
+    : xs_(xs.begin(), xs.end()), ys_(ys.begin(), ys.end()) {
+  validate_knots(xs, ys, 3, "CubicSpline");
+  const std::size_t n = xs_.size();
+  second_.assign(n, 0.0);
+  // Thomas algorithm on the tridiagonal system for natural boundary
+  // conditions (second_[0] = second_[n-1] = 0).
+  std::vector<double> c_prime(n, 0.0);
+  std::vector<double> d_prime(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double h_lo = xs_[i] - xs_[i - 1];
+    const double h_hi = xs_[i + 1] - xs_[i];
+    const double diag = 2.0 * (h_lo + h_hi);
+    const double rhs =
+        6.0 * ((ys_[i + 1] - ys_[i]) / h_hi - (ys_[i] - ys_[i - 1]) / h_lo);
+    const double denom = diag - h_lo * c_prime[i - 1];
+    c_prime[i] = h_hi / denom;
+    d_prime[i] = (rhs - h_lo * d_prime[i - 1]) / denom;
+  }
+  for (std::size_t i = n - 1; i-- > 1;) {
+    second_[i] = d_prime[i] - c_prime[i] * second_[i + 1];
+  }
+}
+
+std::size_t CubicSpline::segment_of(double x) const noexcept {
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - xs_.begin());
+  if (idx == 0) return 0;
+  return std::min(idx - 1, xs_.size() - 2);
+}
+
+double CubicSpline::operator()(double x) const noexcept {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const std::size_t i = segment_of(x);
+  const double h = xs_[i + 1] - xs_[i];
+  const double a = (xs_[i + 1] - x) / h;
+  const double b = (x - xs_[i]) / h;
+  return a * ys_[i] + b * ys_[i + 1] +
+         ((a * a * a - a) * second_[i] + (b * b * b - b) * second_[i + 1]) * h * h / 6.0;
+}
+
+double CubicSpline::derivative(double x) const noexcept {
+  if (x <= xs_.front() || x >= xs_.back()) return 0.0;
+  const std::size_t i = segment_of(x);
+  const double h = xs_[i + 1] - xs_[i];
+  const double a = (xs_[i + 1] - x) / h;
+  const double b = (x - xs_[i]) / h;
+  return (ys_[i + 1] - ys_[i]) / h +
+         ((3.0 * b * b - 1.0) * second_[i + 1] - (3.0 * a * a - 1.0) * second_[i]) * h / 6.0;
+}
+
+}  // namespace tono

@@ -1,0 +1,59 @@
+// interpolation.hpp — tabulated-function interpolation.
+//
+// Used by the bio substrate (beat-shape templates, oscillometric envelopes)
+// and by calibration curves. Linear interpolation for monotone lookup tables
+// and natural cubic splines for smooth physiological templates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tono {
+
+/// Piecewise-linear interpolant over strictly increasing knots.
+/// Evaluation outside the knot range clamps to the end values (physiological
+/// templates must never extrapolate wildly).
+class LinearInterpolator {
+ public:
+  /// Throws std::invalid_argument unless xs is strictly increasing and
+  /// xs.size() == ys.size() >= 2.
+  LinearInterpolator(std::span<const double> xs, std::span<const double> ys);
+
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  [[nodiscard]] double x_min() const noexcept { return xs_.front(); }
+  [[nodiscard]] double x_max() const noexcept { return xs_.back(); }
+  [[nodiscard]] std::size_t size() const noexcept { return xs_.size(); }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// Natural cubic spline over strictly increasing knots (second derivative
+/// zero at both ends). Clamped evaluation outside the range like
+/// LinearInterpolator.
+class CubicSpline {
+ public:
+  /// Throws std::invalid_argument unless xs is strictly increasing and
+  /// xs.size() == ys.size() >= 3.
+  CubicSpline(std::span<const double> xs, std::span<const double> ys);
+
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// First derivative of the spline at x (clamped region has slope 0).
+  [[nodiscard]] double derivative(double x) const noexcept;
+
+  [[nodiscard]] double x_min() const noexcept { return xs_.front(); }
+  [[nodiscard]] double x_max() const noexcept { return xs_.back(); }
+
+ private:
+  [[nodiscard]] std::size_t segment_of(double x) const noexcept;
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> second_;  // second derivatives at knots
+};
+
+}  // namespace tono

@@ -1,0 +1,131 @@
+#include "src/common/math_utils.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace tono {
+
+double sinc(double x) noexcept {
+  if (std::abs(x) < 1e-12) return 1.0;
+  const double px = std::numbers::pi * x;
+  return std::sin(px) / px;
+}
+
+double bessel_i0(double x) noexcept {
+  // Power series sum_{k>=0} ((x/2)^k / k!)^2; converges quickly for the
+  // |x| <= ~20 range used by Kaiser window design.
+  const double half_x = 0.5 * std::abs(x);
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k < 64; ++k) {
+    term *= half_x / static_cast<double>(k);
+    const double contrib = term * term;
+    sum += contrib;
+    if (contrib < 1e-16 * sum) break;
+  }
+  return sum;
+}
+
+double power_to_db(double ratio) noexcept {
+  if (ratio <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(ratio);
+}
+
+double amplitude_to_db(double ratio) noexcept {
+  if (ratio <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(ratio);
+}
+
+double db_to_power(double db) noexcept { return std::pow(10.0, db / 10.0); }
+
+double db_to_amplitude(double db) noexcept { return std::pow(10.0, db / 20.0); }
+
+double polyval(std::span<const double> coeffs, double x) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+std::vector<double> solve_linear_system(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n) throw std::invalid_argument{"solve_linear_system: size mismatch"};
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double mag = std::abs(a[row * n + col]);
+      if (mag > best) {
+        best = mag;
+        pivot = row;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error{"solve_linear_system: singular matrix"};
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) std::swap(a[pivot * n + k], a[col * n + k]);
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) a[row * n + k] -= factor * a[col * n + k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t k = row + 1; k < n; ++k) acc -= a[row * n + k] * x[k];
+    x[row] = acc / a[row * n + row];
+  }
+  return x;
+}
+
+std::vector<double> polyfit(std::span<const double> x, std::span<const double> y,
+                            std::size_t degree) {
+  if (x.size() != y.size() || x.size() < degree + 1) {
+    throw std::invalid_argument{"polyfit: need at least degree+1 points"};
+  }
+  const std::size_t m = degree + 1;
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+  std::vector<double> ata(m * m, 0.0);
+  std::vector<double> aty(m, 0.0);
+  for (std::size_t p = 0; p < x.size(); ++p) {
+    double powi = 1.0;
+    std::vector<double> powers(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      powers[i] = powi;
+      powi *= x[p];
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      aty[i] += powers[i] * y[p];
+      for (std::size_t j = 0; j < m; ++j) ata[i * m + j] += powers[i] * powers[j];
+    }
+  }
+  return solve_linear_system(std::move(ata), std::move(aty));
+}
+
+bool approx_equal(double a, double b, double tol_rel, double tol_abs) noexcept {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= tol_abs + tol_rel * scale;
+}
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+double wrap_phase(double phase) noexcept {
+  const double two_pi = 2.0 * std::numbers::pi;
+  phase = std::fmod(phase + std::numbers::pi, two_pi);
+  if (phase < 0.0) phase += two_pi;
+  return phase - std::numbers::pi;
+}
+
+}  // namespace tono

@@ -1,0 +1,92 @@
+// math_utils.hpp — small numeric helpers shared by dsp/mems/analog.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tono {
+
+/// Normalized sinc: sin(pi x) / (pi x), sinc(0) = 1.
+[[nodiscard]] double sinc(double x) noexcept;
+
+/// Modified Bessel function of the first kind, order zero (series expansion,
+/// absolute tolerance ~1e-12 over the range needed by Kaiser windows).
+[[nodiscard]] double bessel_i0(double x) noexcept;
+
+/// Converts a power ratio to decibels; returns -infinity for ratio <= 0.
+[[nodiscard]] double power_to_db(double ratio) noexcept;
+
+/// Converts an amplitude ratio to decibels; returns -infinity for ratio <= 0.
+[[nodiscard]] double amplitude_to_db(double ratio) noexcept;
+
+/// Inverse of power_to_db.
+[[nodiscard]] double db_to_power(double db) noexcept;
+
+/// Inverse of amplitude_to_db.
+[[nodiscard]] double db_to_amplitude(double db) noexcept;
+
+/// Evaluates a polynomial with coefficients c[0] + c[1] x + ... (Horner).
+[[nodiscard]] double polyval(std::span<const double> coeffs, double x) noexcept;
+
+/// Least-squares polynomial fit of given degree through (x, y) points.
+/// Returns coefficients in polyval order. Uses normal equations with
+/// Gaussian elimination and partial pivoting; degree must satisfy
+/// degree + 1 <= x.size(). Throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<double> polyfit(std::span<const double> x,
+                                          std::span<const double> y,
+                                          std::size_t degree);
+
+/// Solves the linear system A x = b in-place (A is n x n row-major).
+/// Gaussian elimination with partial pivoting. Throws std::runtime_error on a
+/// singular matrix.
+[[nodiscard]] std::vector<double> solve_linear_system(std::vector<double> a,
+                                                      std::vector<double> b);
+
+/// True if |a - b| <= tol_abs + tol_rel * max(|a|, |b|).
+[[nodiscard]] bool approx_equal(double a, double b, double tol_rel = 1e-9,
+                                double tol_abs = 1e-12) noexcept;
+
+/// Next power of two >= n (n = 0 maps to 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+/// True if n is a power of two (and nonzero).
+[[nodiscard]] bool is_pow2(std::size_t n) noexcept;
+
+/// Wraps a phase to (-pi, pi].
+[[nodiscard]] double wrap_phase(double phase) noexcept;
+
+/// Numerically integrates f over [a, b] with composite Simpson's rule using
+/// `intervals` subdivisions (rounded up to even).
+template <typename F>
+[[nodiscard]] double integrate_simpson(F&& f, double a, double b, std::size_t intervals) {
+  if (intervals < 2) intervals = 2;
+  if (intervals % 2 != 0) ++intervals;
+  const double h = (b - a) / static_cast<double>(intervals);
+  double sum = f(a) + f(b);
+  for (std::size_t i = 1; i < intervals; ++i) {
+    const double x = a + h * static_cast<double>(i);
+    sum += f(x) * ((i % 2 == 1) ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+/// Finds a root of f in [lo, hi] by bisection; f(lo) and f(hi) must bracket
+/// the root (opposite signs). Returns the midpoint after `iters` halvings.
+template <typename F>
+[[nodiscard]] double bisect(F&& f, double lo, double hi, std::size_t iters = 100) {
+  double flo = f(lo);
+  for (std::size_t i = 0; i < iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if ((flo < 0.0) == (fmid < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace tono

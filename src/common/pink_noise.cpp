@@ -1,0 +1,35 @@
+#include "src/common/pink_noise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tono {
+
+PinkNoise::PinkNoise(Rng rng, std::size_t octaves) : rng_(rng), octaves_(octaves) {
+  if (octaves_ < 2 || octaves_ > kMaxOctaves) {
+    throw std::invalid_argument{"PinkNoise: octaves must be in [2, 24]"};
+  }
+  for (std::size_t k = 0; k < octaves_; ++k) rows_[k] = rng_.gaussian();
+  // Sum of `octaves` unit-variance independent rows → variance = octaves;
+  // normalize to unit variance.
+  white_scale_ = 1.0 / std::sqrt(static_cast<double>(octaves_));
+}
+
+double PinkNoise::next() noexcept {
+  ++counter_;
+  // Voss-McCartney: re-draw row k when bit k of the counter toggles, i.e.
+  // the lowest set bit selects exactly one row per sample.
+  const std::uint64_t ctz_mask = counter_ & (~counter_ + 1);
+  std::size_t row = 0;
+  std::uint64_t m = ctz_mask;
+  while (m > 1 && row + 1 < octaves_) {
+    m >>= 1;
+    ++row;
+  }
+  rows_[row] = rng_.gaussian();
+  double sum = 0.0;
+  for (std::size_t k = 0; k < octaves_; ++k) sum += rows_[k];
+  return sum * white_scale_;
+}
+
+}  // namespace tono

@@ -1,0 +1,37 @@
+// pink_noise.hpp — 1/f (flicker) noise generation.
+//
+// CMOS op-amps have large low-frequency flicker noise; for a sensor whose
+// signal band is 0.5–20 Hz that matters more than the white floor. The
+// generator uses the Voss-McCartney octave algorithm: K white sources, the
+// k-th re-drawn every 2^k samples; their sum has a PSD within ~0.5 dB of
+// 1/f over K−2 decades of bandwidth.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "src/common/rng.hpp"
+
+namespace tono {
+
+class PinkNoise {
+ public:
+  /// `octaves` sets the low-frequency extent: the spectrum is pink from
+  /// ~fs/2^octaves up to fs/2. Output is scaled to unit variance.
+  explicit PinkNoise(Rng rng, std::size_t octaves = 16);
+
+  /// Next sample (zero mean, unit variance, PSD ∝ 1/f).
+  [[nodiscard]] double next() noexcept;
+
+  [[nodiscard]] std::size_t octaves() const noexcept { return octaves_; }
+
+ private:
+  static constexpr std::size_t kMaxOctaves = 24;
+  Rng rng_;
+  std::size_t octaves_;
+  std::array<double, kMaxOctaves> rows_{};
+  std::uint64_t counter_{0};
+  double white_scale_;
+};
+
+}  // namespace tono

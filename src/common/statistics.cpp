@@ -1,0 +1,146 @@
+#include "src/common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tono {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  sum_sq_ += x * x;
+}
+
+void RunningStats::add(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::sample_variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::rms() const noexcept {
+  return n_ > 0 ? std::sqrt(sum_sq_ / static_cast<double>(n_)) : 0.0;
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  sum_sq_ += other.sum_sq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double mean(std::span<const double> xs) noexcept {
+  RunningStats s;
+  s.add(xs);
+  return s.mean();
+}
+
+double variance(std::span<const double> xs) noexcept {
+  RunningStats s;
+  s.add(xs);
+  return s.variance();
+}
+
+double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+
+double rms(std::span<const double> xs) noexcept {
+  RunningStats s;
+  s.add(xs);
+  return s.rms();
+}
+
+double min_value(std::span<const double> xs) noexcept {
+  RunningStats s;
+  s.add(xs);
+  return s.min();
+}
+
+double max_value(std::span<const double> xs) noexcept {
+  RunningStats s;
+  s.add(xs);
+  return s.max();
+}
+
+double peak_to_peak(std::span<const double> xs) noexcept {
+  RunningStats s;
+  s.add(xs);
+  return s.max() - s.min();
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double pearson_correlation(std::span<const double> a, std::span<const double> b) noexcept {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double num = 0.0;
+  double da = 0.0;
+  double db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double xa = a[i] - ma;
+    const double xb = b[i] - mb;
+    num += xa * xb;
+    da += xa * xa;
+    db += xb * xb;
+  }
+  if (da == 0.0 || db == 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) noexcept {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double mae(std::span<const double> a, std::span<const double> b) noexcept {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+}  // namespace tono

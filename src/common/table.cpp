@@ -1,0 +1,134 @@
+#include "src/common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace tono {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream oss;
+  if (std::isinf(value)) {
+    oss << (value > 0 ? "inf" : "-inf");
+  } else if (std::isnan(value)) {
+    oss << "nan";
+  } else {
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << value;
+  }
+  return oss.str();
+}
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row(const std::string& label, double value, const std::string& unit,
+                        int precision) {
+  add_row({label, format_double(value, precision), unit});
+}
+
+std::string TextTable::to_string() const {
+  // Compute column widths across header and all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream oss;
+  oss << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      oss << cell;
+      if (c + 1 < ncols) oss << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    oss << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    for (std::size_t c = 0; c < ncols; ++c) {
+      oss << std::string(widths[c], '-');
+      if (c + 1 < ncols) oss << "  ";
+    }
+    oss << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+void SeriesWriter::add(double x, double y) {
+  xs_.push_back(x);
+  ys_.push_back(y);
+}
+
+void SeriesWriter::reserve(std::size_t n) {
+  xs_.reserve(n);
+  ys_.reserve(n);
+}
+
+void SeriesWriter::write_csv(std::ostream& os) const {
+  os << "# series " << name_ << '\n';
+  os << x_label_ << ',' << y_label_ << '\n';
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    os << format_double(xs_[i], 6) << ',' << format_double(ys_[i], 6) << '\n';
+  }
+}
+
+void SeriesWriter::write_ascii_plot(std::ostream& os, std::size_t width,
+                                    std::size_t height) const {
+  if (xs_.empty() || width < 8 || height < 4) return;
+  double y_lo = std::numeric_limits<double>::infinity();
+  double y_hi = -std::numeric_limits<double>::infinity();
+  for (double y : ys_) {
+    if (std::isfinite(y)) {
+      y_lo = std::min(y_lo, y);
+      y_hi = std::max(y_hi, y);
+    }
+  }
+  if (!std::isfinite(y_lo) || y_hi == y_lo) {
+    y_hi = y_lo + 1.0;
+  }
+  const double x_lo = xs_.front();
+  const double x_hi = xs_.back() == x_lo ? x_lo + 1.0 : xs_.back();
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    if (!std::isfinite(ys_[i])) continue;
+    const double fx = (xs_[i] - x_lo) / (x_hi - x_lo);
+    const double fy = (ys_[i] - y_lo) / (y_hi - y_lo);
+    auto col = static_cast<std::size_t>(fx * static_cast<double>(width - 1) + 0.5);
+    auto row = static_cast<std::size_t>((1.0 - fy) * static_cast<double>(height - 1) + 0.5);
+    col = std::min(col, width - 1);
+    row = std::min(row, height - 1);
+    grid[row][col] = '*';
+  }
+  os << "-- " << name_ << " (" << y_label_ << " vs " << x_label_ << ") --\n";
+  os << format_double(y_hi, 3) << '\n';
+  for (const auto& line : grid) os << '|' << line << '\n';
+  os << format_double(y_lo, 3) << " +" << std::string(width, '-') << '\n';
+  os << "  x: " << format_double(x_lo, 3) << " .. " << format_double(x_hi, 3) << '\n';
+}
+
+SeriesWriter SeriesWriter::decimated(std::size_t max_points) const {
+  if (max_points == 0 || xs_.size() <= max_points) return *this;
+  SeriesWriter out{name_, x_label_, y_label_};
+  const std::size_t stride = (xs_.size() + max_points - 1) / max_points;
+  for (std::size_t i = 0; i < xs_.size(); i += stride) out.add(xs_[i], ys_[i]);
+  if ((xs_.size() - 1) % stride != 0) out.add(xs_.back(), ys_.back());
+  return out;
+}
+
+}  // namespace tono

@@ -1,0 +1,86 @@
+// table.hpp — report formatting for benchmark output.
+//
+// The benchmark harness reproduces the paper's tables and figures as text:
+// aligned ASCII tables for tables, and CSV series (plus coarse ASCII plots)
+// for figures. Everything funnels through these two classes so all bench
+// binaries print consistently.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tono {
+
+/// Column-aligned ASCII table with a title row, e.g.
+///
+///   == Electrical operating point ==
+///   parameter            value      unit
+///   -------------------  ---------  -----
+///   sampling frequency   128.000    kHz
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers (fixes the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for mixed text/numeric rows; numbers are formatted with
+  /// `precision` significant decimal digits.
+  void add_row(const std::string& label, double value, const std::string& unit = "",
+               int precision = 4);
+
+  [[nodiscard]] std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Named (x, y) series writer: CSV block plus an optional ASCII plot, used to
+/// regenerate the paper's figures in text form.
+class SeriesWriter {
+ public:
+  SeriesWriter(std::string name, std::string x_label, std::string y_label)
+      : name_(std::move(name)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+  void add(double x, double y);
+  void reserve(std::size_t n);
+
+  /// Emits "# series <name>" followed by "x_label,y_label" CSV rows.
+  void write_csv(std::ostream& os) const;
+
+  /// Renders a coarse ASCII line plot (width x height characters) so figure
+  /// shape is visible directly in bench output.
+  void write_ascii_plot(std::ostream& os, std::size_t width = 72,
+                        std::size_t height = 16) const;
+
+  /// Downsamples to at most `max_points` by keeping every k-th point
+  /// (always keeps the last point). Used before CSV dumps of long waveforms.
+  [[nodiscard]] SeriesWriter decimated(std::size_t max_points) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return xs_.size(); }
+  [[nodiscard]] const std::vector<double>& xs() const noexcept { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const noexcept { return ys_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// Formats a double with fixed precision (report helper).
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+}  // namespace tono

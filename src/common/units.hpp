@@ -1,0 +1,60 @@
+// units.hpp — physical constants and unit conversions used across tonosim.
+//
+// All internal computation is SI (pascal, metre, farad, second, volt).
+// Clinical blood-pressure values are expressed in mmHg at the API boundary;
+// use the conversion helpers here rather than ad-hoc factors.
+#pragma once
+
+#include <numbers>
+
+namespace tono::units {
+
+// ---------------------------------------------------------------- constants
+
+/// Boltzmann constant [J/K]. Used for kT/C switched-capacitor noise.
+inline constexpr double k_boltzmann = 1.380649e-23;
+
+/// Vacuum permittivity [F/m]. Membrane gap capacitance.
+inline constexpr double epsilon0 = 8.8541878128e-12;
+
+/// Standard simulation temperature [K] (body-contact operation, ~310 K would
+/// also be defensible; the paper characterizes electrically at room temp).
+inline constexpr double room_temperature_kelvin = 300.0;
+
+/// One standard atmosphere [Pa].
+inline constexpr double atmosphere_pa = 101325.0;
+
+// ------------------------------------------------------------- pressure
+
+/// Pascals per mmHg (torr), exact by definition of the conventional mmHg.
+inline constexpr double pa_per_mmhg = 133.322387415;
+
+[[nodiscard]] constexpr double mmhg_to_pa(double mmhg) noexcept { return mmhg * pa_per_mmhg; }
+[[nodiscard]] constexpr double pa_to_mmhg(double pa) noexcept { return pa / pa_per_mmhg; }
+
+/// kPa helpers (membrane mechanics is most readable in kPa).
+[[nodiscard]] constexpr double kpa_to_pa(double kpa) noexcept { return kpa * 1e3; }
+[[nodiscard]] constexpr double pa_to_kpa(double pa) noexcept { return pa * 1e-3; }
+
+// ------------------------------------------------------------- geometry
+
+[[nodiscard]] constexpr double um_to_m(double um) noexcept { return um * 1e-6; }
+[[nodiscard]] constexpr double m_to_um(double m) noexcept { return m * 1e6; }
+[[nodiscard]] constexpr double mm_to_m(double mm) noexcept { return mm * 1e-3; }
+
+// ------------------------------------------------------------- electrical
+
+[[nodiscard]] constexpr double ff_to_f(double ff) noexcept { return ff * 1e-15; }
+[[nodiscard]] constexpr double pf_to_f(double pf) noexcept { return pf * 1e-12; }
+[[nodiscard]] constexpr double f_to_ff(double f) noexcept { return f * 1e15; }
+[[nodiscard]] constexpr double f_to_pf(double f) noexcept { return f * 1e12; }
+
+// ------------------------------------------------------------- frequency
+
+inline constexpr double two_pi = 2.0 * std::numbers::pi;
+
+[[nodiscard]] constexpr double hz_to_rad(double hz) noexcept { return hz * two_pi; }
+[[nodiscard]] constexpr double bpm_to_hz(double bpm) noexcept { return bpm / 60.0; }
+[[nodiscard]] constexpr double hz_to_bpm(double hz) noexcept { return hz * 60.0; }
+
+}  // namespace tono::units

@@ -1,0 +1,68 @@
+#include "src/core/autorange.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tono::core {
+
+FeedbackAutoRanger::FeedbackAutoRanger(const AutoRangeConfig& config,
+                                       std::size_t initial_index)
+    : config_(config), index_(initial_index) {
+  if (config_.bank_f.empty()) throw std::invalid_argument{"FeedbackAutoRanger: empty bank"};
+  for (std::size_t i = 1; i < config_.bank_f.size(); ++i) {
+    if (!(config_.bank_f[i] < config_.bank_f[i - 1]) || config_.bank_f[i] <= 0.0) {
+      throw std::invalid_argument{
+          "FeedbackAutoRanger: bank must be strictly decreasing and positive"};
+    }
+  }
+  if (config_.target_headroom <= 0.0 || config_.target_headroom >= 1.0 ||
+      config_.overload_threshold <= config_.target_headroom ||
+      config_.overload_threshold > 1.0) {
+    throw std::invalid_argument{"FeedbackAutoRanger: need 0 < headroom < overload <= 1"};
+  }
+  if (index_ >= config_.bank_f.size()) {
+    throw std::invalid_argument{"FeedbackAutoRanger: initial index out of range"};
+  }
+}
+
+std::size_t FeedbackAutoRanger::best_range_for_peak(double observed_peak) const noexcept {
+  // Signal in physical units: peak × current full scale. Predicted peak at
+  // range i: that, divided by the candidate full scale (∝ C_fb).
+  const double c_now = config_.bank_f[index_];
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < config_.bank_f.size(); ++i) {
+    const double predicted = observed_peak * c_now / config_.bank_f[i];
+    if (predicted <= config_.target_headroom) best = i;
+  }
+  return best;
+}
+
+AutoRangeDecision FeedbackAutoRanger::update(std::span<const double> window_values) {
+  AutoRangeDecision d;
+  d.range_index = index_;
+  if (window_values.empty()) return d;
+
+  double peak = 0.0;
+  for (double v : window_values) peak = std::max(peak, std::abs(v));
+
+  std::size_t next = index_;
+  if (peak >= config_.overload_threshold && index_ > 0) {
+    // Overloaded: step one range coarser immediately.
+    next = index_ - 1;
+  } else {
+    // Consider finer ranges only; never skip past the predicted-safe one.
+    const std::size_t best = best_range_for_peak(peak);
+    if (best > index_) next = index_ + 1;  // one step at a time
+  }
+
+  if (next != index_) {
+    d.full_scale_ratio = config_.bank_f[next] / config_.bank_f[index_];
+    index_ = next;
+    d.changed = true;
+  }
+  d.range_index = index_;
+  return d;
+}
+
+}  // namespace tono::core

@@ -1,0 +1,60 @@
+// autorange.hpp — automatic feedback-capacitor ranging (§4 future work).
+//
+// "An improvement of the resolution during blood pressure measurements …
+// can be achieved by adjusting the feedback capacitors of the first
+// modulator stage."
+//
+// The controller watches the raw output swing and walks the feedback-
+// capacitor bank so the tonometric signal uses as much of the ±1 range as
+// possible without overload: smaller C_fb → smaller ΔC full scale → more
+// codes per mmHg. Hysteresis between the up- and down-thresholds prevents
+// range chatter at a band edge.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tono::core {
+
+struct AutoRangeConfig {
+  /// Capacitor bank, largest (coarsest) to smallest (finest) [F].
+  std::vector<double> bank_f{50e-15, 25e-15, 10e-15, 5e-15, 2e-15};
+  /// Step to a finer range when the predicted peak there stays below this.
+  double target_headroom{0.60};
+  /// Step to a coarser range when the observed peak exceeds this.
+  double overload_threshold{0.85};
+};
+
+/// Decision produced by one update.
+struct AutoRangeDecision {
+  std::size_t range_index{0};     ///< index into the bank after the update
+  bool changed{false};
+  double full_scale_ratio{1.0};   ///< new/old ΔC full scale (1.0 if unchanged)
+};
+
+class FeedbackAutoRanger {
+ public:
+  /// `initial_index` selects the starting bank entry.
+  explicit FeedbackAutoRanger(const AutoRangeConfig& config = {},
+                              std::size_t initial_index = 0);
+
+  /// Chooses the next range from a window of raw output values (normalized
+  /// full scale). Pure decision — the caller applies it to the pipeline.
+  [[nodiscard]] AutoRangeDecision update(std::span<const double> window_values);
+
+  [[nodiscard]] std::size_t range_index() const noexcept { return index_; }
+  [[nodiscard]] double current_capacitance_f() const noexcept { return config_.bank_f[index_]; }
+  [[nodiscard]] const AutoRangeConfig& config() const noexcept { return config_; }
+
+  /// Finest range whose predicted peak stays under the headroom target,
+  /// given the observed peak at the current range (static helper used by
+  /// update and by tests).
+  [[nodiscard]] std::size_t best_range_for_peak(double observed_peak) const noexcept;
+
+ private:
+  AutoRangeConfig config_;
+  std::size_t index_;
+};
+
+}  // namespace tono::core

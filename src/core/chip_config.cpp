@@ -1,0 +1,39 @@
+#include "src/core/chip_config.hpp"
+
+namespace tono::core {
+
+ChipConfig ChipConfig::paper_chip() {
+  ChipConfig c;
+  // Defaults of the member structs already encode the paper's values
+  // (see each module's header); repeat the load-bearing ones explicitly so
+  // this factory is self-documenting and robust to default drift.
+  c.array = ArrayGeometry{2, 2, 150e-6};
+
+  c.transducer.plate.side_length_m = 100e-6;
+  c.transducer.plate.stack = mems::LayerStack::cmos_membrane_stack();
+  c.transducer.backpressure_pa = 0.0;
+
+  c.modulator.sampling_rate_hz = 128000.0;
+  c.modulator.vref_v = 2.5;
+  c.modulator.vexc_v = 2.5;
+  c.modulator.supply_v = 5.0;
+  // Feedback capacitor sized for tonometry: ΔC_FS = C_fb·V_ref/V_exc = 5 fF
+  // maps the millimetre-of-mercury-scale capacitance swings onto a useful
+  // fraction of the 12-bit range (§4's "adjusting the feedback capacitors").
+  c.modulator.c_fb1_f = 5e-15;
+
+  c.mux.rows = 2;
+  c.mux.cols = 2;
+
+  c.decimation.total_decimation = 128;   // OSR 128 → 1 kS/s
+  c.decimation.cic_decimation = 32;
+  c.decimation.cic_order = 3;            // 3rd-order SINC
+  c.decimation.fir_taps = 32;            // 32-tap FIR
+  c.decimation.cutoff_hz = 500.0;
+  c.decimation.input_rate_hz = 128000.0;
+  c.decimation.output_bits = 12;
+
+  return c;
+}
+
+}  // namespace tono::core

@@ -1,0 +1,64 @@
+// chip_config.hpp — the full parameter set of the fabricated demonstrator.
+//
+// One struct gathers every number the paper reports so that examples, tests
+// and benches all simulate the same die:
+//   §2.1  2x2 array, 100 µm membranes, 3 µm thick, 150 µm pitch,
+//         oxide/nitride/Al stack over a poly bottom electrode
+//   §2.2  2nd-order 1-bit ΔΣ, analog row/column mux, external SINC³+FIR
+//   §3    0.8 µm CMOS, 2.6 × 1.9 mm² die, fs = 128 kHz, OSR = 128 → 1 kS/s,
+//         12 bit, SNR > 72 dB, 11.5 mW @ 5 V
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/analog/modulator.hpp"
+#include "src/analog/mux.hpp"
+#include "src/analog/power.hpp"
+#include "src/dsp/decimation.hpp"
+#include "src/mems/transducer.hpp"
+
+namespace tono::core {
+
+struct ArrayGeometry {
+  std::size_t rows{2};
+  std::size_t cols{2};
+  double pitch_m{150e-6};  ///< §2.1: 150 µm membrane pitch
+};
+
+/// Fabrication faults of the post-CMOS release (§2.1's KOH etch is the
+/// yield-critical step). A faulty element still reads electrically but
+/// carries no (or a saturated) pressure signal.
+enum class ElementFault {
+  kNone,
+  kNotReleased,   ///< sacrificial metal never etched: fixed capacitance
+  kStuckDown,     ///< membrane collapsed to the bottom electrode
+};
+
+struct ElementFaultSpec {
+  std::size_t row{0};
+  std::size_t col{0};
+  ElementFault fault{ElementFault::kNone};
+};
+
+struct ChipConfig {
+  ArrayGeometry array{};
+  mems::TransducerConfig transducer{};
+  analog::ModulatorConfig modulator{};
+  analog::MuxConfig mux{};
+  dsp::DecimationConfig decimation{};
+  analog::PowerModelConfig power{};
+  /// Die size, for reporting only (§3: 2.6 × 1.9 mm²).
+  double die_width_m{2.6e-3};
+  double die_height_m{1.9e-3};
+  /// Per-element capacitance mismatch σ (fabrication gradient across die).
+  double element_mismatch_sigma{0.002};
+  /// Release-yield faults (empty = fully yielding die).
+  std::vector<ElementFaultSpec> faults;
+  std::uint64_t seed{2004};
+
+  /// The demonstrator exactly as published.
+  [[nodiscard]] static ChipConfig paper_chip();
+};
+
+}  // namespace tono::core

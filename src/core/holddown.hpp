@@ -1,0 +1,53 @@
+// holddown.hpp — applanation (hold-down pressure) optimization.
+//
+// Tonometry only transmits the full pulse when the vessel is partially
+// flattened: too little hold-down and tissue absorbs the pulsation, too much
+// and the occluded vessel stops moving (the bell-shaped transmission in
+// bio::TissueCoupling). Clinical tonometers servo the hold-down; this module
+// implements that search on the simulated chip: coarse sweep, then
+// golden-section refinement of the pulsation amplitude.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/monitor.hpp"
+
+namespace tono::core {
+
+struct HoldDownConfig {
+  double min_mmhg{30.0};
+  double max_mmhg{160.0};
+  std::size_t coarse_steps{7};
+  std::size_t refine_iterations{4};
+  /// Output samples acquired per candidate (must cover ≥ 1 beat).
+  std::size_t dwell_samples{1500};
+};
+
+struct HoldDownResult {
+  double best_mmhg{0.0};
+  double best_amplitude{0.0};  ///< robust pulsation amplitude at the optimum
+  /// (hold-down, amplitude) pairs of every evaluation, in evaluation order.
+  std::vector<std::pair<double, double>> profile;
+};
+
+class HoldDownOptimizer {
+ public:
+  explicit HoldDownOptimizer(const HoldDownConfig& config = {});
+
+  /// Finds the hold-down pressure maximizing the pulsation amplitude for
+  /// this chip/patient combination. Each candidate is evaluated on a fresh
+  /// monitor (the backpressure bias tracks the hold-down, as in §3.2).
+  [[nodiscard]] HoldDownResult optimize(const ChipConfig& chip,
+                                        const WristModel& wrist) const;
+
+  [[nodiscard]] const HoldDownConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] double evaluate(const ChipConfig& chip, const WristModel& wrist,
+                                double hold_down_mmhg) const;
+
+  HoldDownConfig config_;
+};
+
+}  // namespace tono::core

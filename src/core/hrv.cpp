@@ -1,0 +1,64 @@
+#include "src/core/hrv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/statistics.hpp"
+
+namespace tono::core {
+
+HrvMetrics compute_hrv(std::span<const double> intervals_s) {
+  HrvMetrics m;
+  if (intervals_s.size() < 3) return m;
+  m.beat_count = intervals_s.size() + 1;
+  m.mean_rr_s = mean(intervals_s);
+  m.sdnn_s = stddev(intervals_s);
+
+  double ssd_acc = 0.0;
+  std::size_t nn50 = 0;
+  for (std::size_t i = 1; i < intervals_s.size(); ++i) {
+    const double d = intervals_s[i] - intervals_s[i - 1];
+    ssd_acc += d * d;
+    if (std::abs(d) > 0.050) ++nn50;
+  }
+  const auto n_diff = static_cast<double>(intervals_s.size() - 1);
+  m.rmssd_s = std::sqrt(ssd_acc / n_diff);
+  m.pnn50 = static_cast<double>(nn50) / n_diff;
+
+  // Poincaré: SD1² = var(RRn − RRn+1)/2, SD2² = 2·SDNN² − SD1².
+  m.sd1_s = m.rmssd_s / std::sqrt(2.0);
+  const double sd2_sq = 2.0 * m.sdnn_s * m.sdnn_s - m.sd1_s * m.sd1_s;
+  m.sd2_s = sd2_sq > 0.0 ? std::sqrt(sd2_sq) : 0.0;
+  return m;
+}
+
+HrvMetrics compute_hrv(const BeatAnalysis& beats) {
+  std::vector<double> intervals;
+  if (beats.beats.size() >= 2) {
+    intervals.reserve(beats.beats.size() - 1);
+    for (std::size_t i = 1; i < beats.beats.size(); ++i) {
+      intervals.push_back(beats.beats[i].upstroke_s - beats.beats[i - 1].upstroke_s);
+    }
+  }
+  return compute_hrv(intervals);
+}
+
+RhythmClassification classify_rhythm(const HrvMetrics& hrv) {
+  RhythmClassification out;
+  out.beat_count = hrv.beat_count;
+  if (hrv.beat_count < 8 || hrv.mean_rr_s <= 0.0) return out;
+
+  // Normalized RMSSD: beat-to-beat irregularity relative to the rate.
+  // Sinus rhythm — including strong respiratory sinus arrhythmia at ~5
+  // beats/breath — stays below ~0.08; AF's irregularly-irregular intervals
+  // sit above ~0.15. (The Poincaré SD1/SD2 ratio is reported in HrvMetrics
+  // but is not discriminative when white beat-interval jitter dominates the
+  // short axis, as it does for wearable-grade interval series.)
+  const double nrmssd = hrv.rmssd_s / hrv.mean_rr_s;
+  out.irregularity_score = std::clamp((nrmssd - 0.04) / 0.16, 0.0, 1.0);
+  out.likely_af = out.irregularity_score >= 0.5;
+  return out;
+}
+
+}  // namespace tono::core

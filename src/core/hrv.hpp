@@ -1,0 +1,51 @@
+// hrv.hpp — heart-rate-variability metrics and rhythm classification.
+//
+// A continuous per-beat record (which the tactile sensor provides and a
+// cuff cannot) enables the standard time-domain HRV battery: SDNN, RMSSD,
+// pNN50 and the Poincaré ellipse (SD1/SD2). On top of those, a simple
+// screen separates normal sinus rhythm from the irregularly-irregular
+// pattern of atrial fibrillation — a clinically valuable by-product of
+// beat-resolved blood pressure.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "src/core/beat_detection.hpp"
+
+namespace tono::core {
+
+struct HrvMetrics {
+  std::size_t beat_count{0};
+  double mean_rr_s{0.0};   ///< mean beat interval
+  double sdnn_s{0.0};      ///< standard deviation of intervals
+  double rmssd_s{0.0};     ///< rms of successive interval differences
+  double pnn50{0.0};       ///< fraction of successive diffs > 50 ms
+  double sd1_s{0.0};       ///< Poincaré short-axis (beat-to-beat)
+  double sd2_s{0.0};       ///< Poincaré long-axis (long-term)
+  /// Coefficient of variation, sdnn / mean_rr.
+  [[nodiscard]] double cv() const noexcept {
+    return mean_rr_s > 0.0 ? sdnn_s / mean_rr_s : 0.0;
+  }
+};
+
+/// Computes the metrics from beat intervals [s]. Needs >= 3 intervals;
+/// returns a zeroed struct otherwise.
+[[nodiscard]] HrvMetrics compute_hrv(std::span<const double> intervals_s);
+
+/// Convenience: intervals from a detector result.
+[[nodiscard]] HrvMetrics compute_hrv(const BeatAnalysis& beats);
+
+struct RhythmClassification {
+  bool likely_af{false};
+  /// 0 (clean sinus) … 1 (maximally irregular); AF flags above ~0.5.
+  double irregularity_score{0.0};
+  std::size_t beat_count{0};
+};
+
+/// Screens for an AF-like rhythm from HRV metrics. Normalized RMSSD and the
+/// Poincaré SD1/SD2 ratio both rise sharply for the irregularly-irregular
+/// pattern; respiration-driven sinus arrhythmia does not trip it.
+[[nodiscard]] RhythmClassification classify_rhythm(const HrvMetrics& hrv);
+
+}  // namespace tono::core

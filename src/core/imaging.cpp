@@ -1,0 +1,54 @@
+#include "src/core/imaging.hpp"
+
+#include <stdexcept>
+
+namespace tono::core {
+
+TactileImager::TactileImager(const ImagerConfig& config) : config_(config) {
+  if (config_.dwell_samples == 0) {
+    throw std::invalid_argument{"TactileImager: dwell must be > 0"};
+  }
+}
+
+TactileFrame TactileImager::capture(AcquisitionPipeline& pipeline,
+                                    const ContactField& field) const {
+  TactileFrame frame;
+  frame.rows = pipeline.array().rows();
+  frame.cols = pipeline.array().cols();
+  frame.start_s = pipeline.time_s();
+  frame.pixels.reserve(frame.rows * frame.cols);
+  for (std::size_t r = 0; r < frame.rows; ++r) {
+    for (std::size_t c = 0; c < frame.cols; ++c) {
+      pipeline.select(r, c);
+      if (config_.settle_samples > 0) {
+        (void)pipeline.acquire(field, config_.settle_samples);
+      }
+      const auto window = pipeline.acquire(field, config_.dwell_samples);
+      double acc = 0.0;
+      for (const auto& s : window) acc += s.value;
+      frame.pixels.push_back(acc / static_cast<double>(window.size()));
+    }
+  }
+  frame.end_s = pipeline.time_s();
+  return frame;
+}
+
+std::vector<TactileFrame> TactileImager::capture_sequence(AcquisitionPipeline& pipeline,
+                                                          const ContactField& field,
+                                                          std::size_t frames) const {
+  std::vector<TactileFrame> out;
+  out.reserve(frames);
+  for (std::size_t i = 0; i < frames; ++i) out.push_back(capture(pipeline, field));
+  return out;
+}
+
+double TactileImager::frame_rate_hz(const AcquisitionPipeline& pipeline) const {
+  const double per_element =
+      static_cast<double>(config_.settle_samples + config_.dwell_samples) /
+      pipeline.output_rate_hz();
+  const auto elements =
+      static_cast<double>(pipeline.array().rows() * pipeline.array().cols());
+  return 1.0 / (per_element * elements);
+}
+
+}  // namespace tono::core

@@ -1,0 +1,219 @@
+#include "src/core/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/units.hpp"
+
+namespace tono::core {
+namespace {
+
+/// Time constant of the MAP reference used to split the arterial signal
+/// into the static component (carried by the hold-down equilibrium) and the
+/// transmitted deviation.
+constexpr double kMapEmaTauS = 5.0;
+
+/// The reference only adapts during placement/settling; after this it is
+/// frozen, like a tonometer zeroed at setup. A running reference would
+/// AC-couple the sensor and erase slow pressure trends — the very thing
+/// continuous monitoring must catch.
+constexpr double kMapReferenceFreezeS = 10.0;
+
+ChipConfig with_backpressure(ChipConfig chip, double hold_down_mmhg) {
+  // §3.2: the backside pressure tube biases the membranes upward so they
+  // protrude into the contact layer; operationally this nulls the static
+  // hold-down load so the converter range is spent on the pulsation.
+  chip.transducer.backpressure_pa = units::mmhg_to_pa(hold_down_mmhg);
+  return chip;
+}
+
+}  // namespace
+
+BloodPressureMonitor::BloodPressureMonitor(const ChipConfig& chip, const WristModel& wrist)
+    : chip_(with_backpressure(chip, wrist.hold_down_mmhg)),
+      wrist_(wrist),
+      pipeline_(chip_),
+      pulse_(std::make_unique<bio::ArterialPulseGenerator>(wrist.pulse)),
+      tissue_(wrist.tissue) {
+  if (wrist_.enable_artifacts) {
+    artifacts_ = std::make_unique<bio::ArtifactInjector>(wrist_.artifacts);
+  }
+  arterial_mmhg_ = wrist_.pulse.diastolic_mmhg;
+  map_estimate_mmhg_ =
+      (wrist_.pulse.systolic_mmhg + 2.0 * wrist_.pulse.diastolic_mmhg) / 3.0;
+}
+
+void BloodPressureMonitor::advance_to(double t_s) {
+  const double dt = 1.0 / chip_.modulator.sampling_rate_hz;
+  if (wrist_.scenario && t_s - last_scenario_apply_s_ > 0.1) {
+    wrist_.scenario->apply(*pulse_, t_s);
+    last_scenario_apply_s_ = t_s;
+  }
+  while (sim_time_s_ + dt * 0.5 < t_s) {
+    arterial_mmhg_ = pulse_->sample(dt);
+    if (artifacts_) artifact_mmhg_ = artifacts_->next(dt);
+    if (sim_time_s_ < kMapReferenceFreezeS) {
+      const double alpha = dt / kMapEmaTauS;
+      map_estimate_mmhg_ += alpha * (arterial_mmhg_ - map_estimate_mmhg_);
+    }
+    sim_time_s_ += dt;
+  }
+  if (wrist_.enable_thermal_drift) {
+    const double warm = 1.0 - std::exp(-t_s / wrist_.thermal_tau_s);
+    pipeline_.set_temperature(
+        wrist_.ambient_temperature_k +
+        (wrist_.skin_temperature_k - wrist_.ambient_temperature_k) * warm);
+  }
+}
+
+ContactField BloodPressureMonitor::contact_field() {
+  return [this](double x_m, double y_m, double t_s) -> double {
+    (void)y_m;  // the artery runs along y; only the x offset attenuates
+    advance_to(t_s);
+    const double offset =
+        std::abs(x_m + wrist_.placement_offset_m - wrist_.vessel_x_m);
+    const double contact_mmhg =
+        tissue_.contact_pressure_mmhg(arterial_mmhg_, map_estimate_mmhg_,
+                                      wrist_.hold_down_mmhg, offset) +
+        artifact_mmhg_;
+    return units::mmhg_to_pa(contact_mmhg);
+  };
+}
+
+ScanResult BloodPressureMonitor::localize(const ScanConfig& scan) {
+  return ScanController{scan}.scan(pipeline_, contact_field());
+}
+
+bio::CuffReading BloodPressureMonitor::calibrate(double window_s,
+                                                 const bio::CuffConfig& cuff_config,
+                                                 bool enforce_quality) {
+  // 1. Cuff reading against the patient's current ground truth.
+  double truth_sys = wrist_.pulse.systolic_mmhg;
+  double truth_dia = wrist_.pulse.diastolic_mmhg;
+  const auto& truth = pulse_->beat_truth();
+  if (truth.size() >= 5) {
+    double sys_acc = 0.0;
+    double dia_acc = 0.0;
+    const std::size_t take = std::min<std::size_t>(truth.size(), 20);
+    for (std::size_t i = truth.size() - take; i < truth.size(); ++i) {
+      sys_acc += truth[i].systolic_mmhg;
+      dia_acc += truth[i].diastolic_mmhg;
+    }
+    truth_sys = sys_acc / static_cast<double>(take);
+    truth_dia = dia_acc / static_cast<double>(take);
+  }
+  bio::OscillometricCuff cuff{cuff_config};
+  const auto reading = cuff.measure(truth_sys, truth_dia, wrist_.pulse.heart_rate_bpm);
+  if (!reading.valid) {
+    throw std::runtime_error{"BloodPressureMonitor: cuff measurement failed"};
+  }
+
+  // 2. Acquire the calibration window on the selected element.
+  const auto n = static_cast<std::size_t>(window_s * pipeline_.output_rate_hz());
+  const auto samples = pipeline_.acquire(contact_field(), n);
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const auto& s : samples) values.push_back(s.value);
+
+  // 3. Gate on signal quality: anchoring the calibration to noise-triggered
+  //    "beats" (bad placement, dead elements) would silently produce garbage
+  //    pressures.
+  BeatDetectorConfig det;
+  det.sample_rate_hz = pipeline_.output_rate_hz();
+  if (enforce_quality) {
+    QualityConfig qc;
+    qc.detector = det;
+    const auto quality = SignalQualityAssessor{qc}.assess(values);
+    if (!quality.usable) {
+      throw std::runtime_error{
+          "BloodPressureMonitor: calibration window has no usable pulse signal (SQI " +
+          std::to_string(quality.sqi) + ")"};
+    }
+  }
+
+  // 4. Anchor per-beat extrema to the cuff systolic/diastolic values.
+  calibration_ =
+      TwoPointCalibration::from_waveform(values, det, reading.systolic_mmhg,
+                                         reading.diastolic_mmhg);
+  return reading;
+}
+
+MonitoringReport BloodPressureMonitor::monitor(double duration_s) {
+  MonitoringReport report;
+  const double fs_out = pipeline_.output_rate_hz();
+  const auto n = static_cast<std::size_t>(duration_s * fs_out);
+  const double t_start = pipeline_.time_s();
+
+  const auto samples = pipeline_.acquire(contact_field(), n);
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const auto& s : samples) values.push_back(s.value);
+
+  report.waveform_mmhg = calibration_.apply(values);
+  report.time_s.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    report.time_s.push_back(t_start + static_cast<double>(i) / fs_out);
+  }
+
+  BeatDetectorConfig det;
+  det.sample_rate_hz = fs_out;
+  report.beats = BeatDetector{det}.analyze(report.waveform_mmhg, t_start);
+
+  QualityConfig qc;
+  qc.detector = det;
+  report.quality = SignalQualityAssessor{qc}.assess(report.waveform_mmhg);
+  report.pulse_wave =
+      PulseWaveAnalyzer{fs_out}.analyze(report.waveform_mmhg, report.beats, t_start);
+
+  // Ground truth over the same interval.
+  const double t_end = pipeline_.time_s();
+  double sys_acc = 0.0;
+  double dia_acc = 0.0;
+  double map_acc = 0.0;
+  double interval_acc = 0.0;
+  std::size_t nb = 0;
+  for (const auto& b : pulse_->beat_truth()) {
+    if (b.onset_s >= t_start && b.onset_s < t_end) {
+      sys_acc += b.systolic_mmhg;
+      dia_acc += b.diastolic_mmhg;
+      map_acc += b.map_mmhg;
+      interval_acc += b.interval_s;
+      ++nb;
+    }
+  }
+  if (nb > 0) {
+    const auto nbd = static_cast<double>(nb);
+    report.truth_systolic_mmhg = sys_acc / nbd;
+    report.truth_diastolic_mmhg = dia_acc / nbd;
+    report.truth_map_mmhg = map_acc / nbd;
+    report.truth_heart_rate_bpm = 60.0 / (interval_acc / nbd);
+    report.systolic_error_mmhg = report.beats.mean_systolic - report.truth_systolic_mmhg;
+    report.diastolic_error_mmhg =
+        report.beats.mean_diastolic - report.truth_diastolic_mmhg;
+    report.map_error_mmhg = report.beats.mean_map - report.truth_map_mmhg;
+  }
+  return report;
+}
+
+BloodPressureMonitor::AdaptiveReport BloodPressureMonitor::monitor_adaptive(
+    double duration_s, const AdaptiveConfig& config) {
+  AdaptiveReport report;
+  double remaining = duration_s;
+  while (remaining > 0.5 * config.chunk_s) {
+    const double chunk = std::min(config.chunk_s, remaining);
+    auto rep = monitor(chunk);
+    report.chunk_sqi.push_back(rep.quality.sqi);
+    const bool degraded = !rep.quality.usable;
+    report.chunks.push_back(std::move(rep));
+    remaining -= chunk;
+    if (degraded && report.rescans < config.max_rescans) {
+      // Re-acquire the strongest element; the signal may have moved.
+      (void)ScanController{config.scan}.scan(pipeline_, contact_field());
+      ++report.rescans;
+    }
+  }
+  return report;
+}
+
+}  // namespace tono::core

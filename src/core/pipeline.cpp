@@ -1,0 +1,89 @@
+#include "src/core/pipeline.hpp"
+
+namespace tono::core {
+namespace {
+
+analog::MuxConfig mux_config_for(const ChipConfig& config) {
+  analog::MuxConfig m = config.mux;
+  m.rows = config.array.rows;
+  m.cols = config.array.cols;
+  m.excitation_v = config.modulator.vexc_v;
+  return m;
+}
+
+}  // namespace
+
+AcquisitionPipeline::AcquisitionPipeline(const ChipConfig& config)
+    : config_(config),
+      array_(config),
+      mux_(mux_config_for(config)),
+      modulator_(config.modulator),
+      chain_(config.decimation) {
+  // The modulator's reference branch is the chip's reference structure.
+  last_capacitance_ = array_.reference_capacitance();
+  mux_.note_preswitch_capacitance(last_capacitance_);
+}
+
+void AcquisitionPipeline::select(std::size_t row, std::size_t col) {
+  if (row == mux_.selected_row() && col == mux_.selected_col()) return;
+  mux_.note_preswitch_capacitance(last_capacitance_);
+  mux_.select(row, col);
+  last_switch_s_ = time_s_;
+}
+
+std::optional<dsp::DecimatedSample> AcquisitionPipeline::clock(double contact_pressure_pa) {
+  const auto& elem = array_.element(mux_.selected_row(), mux_.selected_col());
+  const double c_target = elem.capacitance(contact_pressure_pa, temperature_k_);
+  const double c_seen = mux_.observed_capacitance(c_target, time_s_ - last_switch_s_);
+  last_capacitance_ = c_seen;
+  const int bit = modulator_.step_capacitive(c_seen, array_.reference_capacitance());
+  time_s_ += 1.0 / clock_rate_hz();
+  return chain_.push(bit);
+}
+
+std::vector<dsp::DecimatedSample> AcquisitionPipeline::acquire(const ContactField& field,
+                                                               std::size_t n_out) {
+  const auto& pos = array_.element(mux_.selected_row(), mux_.selected_col()).position();
+  std::vector<dsp::DecimatedSample> out;
+  out.reserve(n_out);
+  while (out.size() < n_out) {
+    const double p = field(pos.x_m, pos.y_m, time_s_);
+    if (auto s = clock(p)) out.push_back(*s);
+  }
+  return out;
+}
+
+std::vector<dsp::DecimatedSample> AcquisitionPipeline::acquire_uniform(
+    const std::function<double(double)>& pressure_pa_of_t, std::size_t n_out) {
+  std::vector<dsp::DecimatedSample> out;
+  out.reserve(n_out);
+  while (out.size() < n_out) {
+    if (auto s = clock(pressure_pa_of_t(time_s_))) out.push_back(*s);
+  }
+  return out;
+}
+
+void AcquisitionPipeline::reset() {
+  modulator_.reset();
+  chain_.reset();
+  time_s_ = 0.0;
+  last_switch_s_ = 0.0;
+  last_capacitance_ = array_.reference_capacitance();
+}
+
+double AcquisitionPipeline::set_feedback_capacitor(double c_fb1_f) {
+  const double before = modulator_.full_scale_delta_c();
+  modulator_.set_feedback_capacitor(c_fb1_f);
+  config_.modulator.c_fb1_f = c_fb1_f;
+  return modulator_.full_scale_delta_c() / before;
+}
+
+double AcquisitionPipeline::clock_rate_hz() const noexcept {
+  return config_.modulator.sampling_rate_hz;
+}
+
+double AcquisitionPipeline::output_rate_hz() const noexcept {
+  return chain_.output_rate_hz();
+}
+
+}  // namespace tono::core

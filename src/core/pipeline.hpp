@@ -1,0 +1,89 @@
+// pipeline.hpp — the complete on-chip signal path of Fig. 3.
+//
+// contact pressure → membrane capacitance → analog mux → ΔΣ modulator →
+// (external) SINC³ + FIR decimation → 12-bit samples at 1 kS/s.
+//
+// The pipeline is clocked at the modulator rate (128 kHz); every
+// `total_decimation` clocks one output sample emerges, exactly as on the
+// FPGA-attached demonstrator.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/analog/modulator.hpp"
+#include "src/analog/mux.hpp"
+#include "src/core/sensor_array.hpp"
+#include "src/dsp/decimation.hpp"
+
+namespace tono::core {
+
+/// Contact pressure [Pa] at a point on the chip surface at a given time.
+/// x/y are die coordinates relative to the array center.
+using ContactField = std::function<double(double x_m, double y_m, double t_s)>;
+
+class AcquisitionPipeline {
+ public:
+  explicit AcquisitionPipeline(const ChipConfig& config);
+
+  /// Routes element (row, col) to the modulator (Fig. 4 row/column mux).
+  void select(std::size_t row, std::size_t col);
+
+  [[nodiscard]] std::size_t selected_row() const noexcept { return mux_.selected_row(); }
+  [[nodiscard]] std::size_t selected_col() const noexcept { return mux_.selected_col(); }
+
+  /// One modulator clock: samples the selected element under the given
+  /// contact pressure. Returns a decimated sample every OSR clocks.
+  [[nodiscard]] std::optional<dsp::DecimatedSample> clock(double contact_pressure_pa);
+
+  /// Runs until `n_out` output samples are produced, evaluating the contact
+  /// field at the selected element's position each clock.
+  [[nodiscard]] std::vector<dsp::DecimatedSample> acquire(const ContactField& field,
+                                                          std::size_t n_out);
+
+  /// Same, with a spatially uniform pressure-vs-time function.
+  [[nodiscard]] std::vector<dsp::DecimatedSample> acquire_uniform(
+      const std::function<double(double)>& pressure_pa_of_t, std::size_t n_out);
+
+  /// Resets modulator, decimation filter and time (array state is static).
+  void reset();
+
+  [[nodiscard]] double clock_rate_hz() const noexcept;
+  [[nodiscard]] double output_rate_hz() const noexcept;
+  [[nodiscard]] double time_s() const noexcept { return time_s_; }
+
+  /// Capacitance difference corresponding to a full-scale output.
+  [[nodiscard]] double delta_c_full_scale() const noexcept {
+    return modulator_.full_scale_delta_c();
+  }
+
+  /// Switches the modulator's feedback-capacitor bank (§4 resolution knob).
+  /// Returns the ratio new/old full scale, which is also the factor an
+  /// existing calibration gain must be multiplied by.
+  double set_feedback_capacitor(double c_fb1_f);
+
+  /// Die temperature [K]; body contact warms the chip and drifts the
+  /// membrane capacitance through its tempco.
+  void set_temperature(double kelvin) noexcept { temperature_k_ = kelvin; }
+  [[nodiscard]] double temperature_k() const noexcept { return temperature_k_; }
+
+  [[nodiscard]] const SensorArray& array() const noexcept { return array_; }
+  [[nodiscard]] analog::DeltaSigmaModulator& modulator() noexcept { return modulator_; }
+  [[nodiscard]] const dsp::DecimationChain& decimation() const noexcept { return chain_; }
+  [[nodiscard]] const ChipConfig& config() const noexcept { return config_; }
+
+ private:
+  ChipConfig config_;
+  SensorArray array_;
+  analog::AnalogMux mux_;
+  analog::DeltaSigmaModulator modulator_;
+  dsp::DecimationChain chain_;
+  double time_s_{0.0};
+  double last_switch_s_{0.0};
+  double last_capacitance_{0.0};
+  double temperature_k_{300.0};
+};
+
+}  // namespace tono::core

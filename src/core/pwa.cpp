@@ -1,0 +1,117 @@
+#include "src/core/pwa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/dsp/biquad.hpp"
+
+namespace tono::core {
+namespace {
+
+/// Index clamp helper.
+std::size_t clamp_index(double t_s, double t0_s, double fs, std::size_t n) {
+  const double idx = (t_s - t0_s) * fs;
+  if (idx <= 0.0) return 0;
+  const auto i = static_cast<std::size_t>(idx);
+  return std::min(i, n - 1);
+}
+
+}  // namespace
+
+PulseWaveAnalyzer::PulseWaveAnalyzer(double sample_rate_hz) : fs_(sample_rate_hz) {
+  if (fs_ <= 0.0) throw std::invalid_argument{"PulseWaveAnalyzer: sample rate must be > 0"};
+}
+
+PulseWaveSummary PulseWaveAnalyzer::analyze(std::span<const double> samples,
+                                            const BeatAnalysis& beats, double t0_s) const {
+  PulseWaveSummary out;
+  if (samples.empty() || beats.beats.empty()) return out;
+
+  // Smooth once for derivative/notch work (25 Hz keeps the notch, kills
+  // quantization steps).
+  dsp::BiquadCascade smooth;
+  smooth.add(dsp::Biquad::lowpass(25.0, fs_));
+  const auto sm = smooth.process(samples);
+
+  double dpdt_acc = 0.0;
+  double pp_acc = 0.0;
+  double ef_acc = 0.0;
+  std::size_t ef_n = 0;
+  double aix_acc = 0.0;
+  std::size_t aix_n = 0;
+
+  for (std::size_t b = 0; b < beats.beats.size(); ++b) {
+    const auto& beat = beats.beats[b];
+    PulseWaveFeatures f;
+    f.pulse_pressure = beat.systolic_value - beat.diastolic_value;
+
+    const std::size_t i_foot = clamp_index(beat.foot_s, t0_s, fs_, sm.size());
+    const std::size_t i_peak = clamp_index(beat.peak_s, t0_s, fs_, sm.size());
+    const double next_time = (b + 1 < beats.beats.size())
+                                 ? beats.beats[b + 1].foot_s
+                                 : beat.peak_s + 0.6;
+    const std::size_t i_end = clamp_index(next_time, t0_s, fs_, sm.size());
+
+    // dP/dt max on the upstroke.
+    double best_slope = 0.0;
+    std::size_t best_i = i_foot;
+    for (std::size_t i = i_foot + 1; i <= i_peak && i < sm.size(); ++i) {
+      const double slope = (sm[i] - sm[i - 1]) * fs_;
+      if (slope > best_slope) {
+        best_slope = slope;
+        best_i = i;
+      }
+    }
+    f.dpdt_max = best_slope;
+    f.dpdt_max_time_s = t0_s + static_cast<double>(best_i) / fs_;
+
+    // Dicrotic notch: the most prominent local minimum between the systolic
+    // peak and 70 % of the way to the next foot.
+    if (i_end > i_peak + 4) {
+      const std::size_t search_end = i_peak + (i_end - i_peak) * 7 / 10;
+      std::optional<std::size_t> notch;
+      for (std::size_t i = i_peak + 2; i + 2 < search_end && i + 2 < sm.size(); ++i) {
+        if (sm[i] < sm[i - 1] && sm[i] < sm[i - 2] && sm[i] <= sm[i + 1] &&
+            sm[i] < sm[i + 2]) {
+          notch = i;
+          break;  // first clean local minimum after the peak
+        }
+      }
+      if (notch) {
+        f.notch_time_s = t0_s + static_cast<double>(*notch) / fs_;
+        const double interval = next_time - beat.foot_s;
+        if (interval > 0.0) {
+          f.ejection_fraction_of_beat = (*f.notch_time_s - beat.foot_s) / interval;
+          ef_acc += *f.ejection_fraction_of_beat;
+          ++ef_n;
+        }
+        // Augmentation: secondary (reflected) maximum after the notch.
+        std::size_t p2 = *notch;
+        for (std::size_t i = *notch; i < i_end && i < sm.size(); ++i) {
+          if (sm[i] > sm[p2]) p2 = i;
+        }
+        const double p1 = beat.systolic_value - beat.diastolic_value;
+        const double p2_height = sm[p2] - beat.diastolic_value;
+        if (p1 > 0.0 && p2 > *notch) {
+          f.augmentation_index = p2_height / p1;
+          aix_acc += *f.augmentation_index;
+          ++aix_n;
+        }
+      }
+    }
+
+    dpdt_acc += f.dpdt_max;
+    pp_acc += f.pulse_pressure;
+    out.per_beat.push_back(f);
+  }
+
+  const auto nb = static_cast<double>(out.per_beat.size());
+  out.mean_dpdt_max = dpdt_acc / nb;
+  out.mean_pulse_pressure = pp_acc / nb;
+  if (ef_n > 0) out.mean_ejection_fraction = ef_acc / static_cast<double>(ef_n);
+  if (aix_n > 0) out.mean_augmentation_index = aix_acc / static_cast<double>(aix_n);
+  return out;
+}
+
+}  // namespace tono::core

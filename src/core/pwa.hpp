@@ -1,0 +1,52 @@
+// pwa.hpp — pulse wave analysis: per-beat morphology features.
+//
+// Once a continuous calibrated waveform exists (the capability the paper
+// demonstrates), clinically interesting quantities beyond systolic/diastolic
+// become available from the morphology: maximum upstroke slope (dP/dt max,
+// a contractility surrogate), the dicrotic notch (ejection duration), and
+// the augmentation of the reflected wave (arterial-stiffness surrogate).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/core/beat_detection.hpp"
+
+namespace tono::core {
+
+/// Morphology features of one beat.
+struct PulseWaveFeatures {
+  double pulse_pressure{0.0};          ///< systolic − diastolic
+  double dpdt_max{0.0};                ///< max upstroke slope [units/s]
+  double dpdt_max_time_s{0.0};
+  std::optional<double> notch_time_s;  ///< dicrotic notch (if found)
+  std::optional<double> ejection_fraction_of_beat;  ///< foot→notch / interval
+  std::optional<double> augmentation_index;  ///< (P2 − dia)/(P1 − dia), stiffness proxy
+};
+
+struct PulseWaveSummary {
+  std::vector<PulseWaveFeatures> per_beat;
+  double mean_dpdt_max{0.0};
+  double mean_pulse_pressure{0.0};
+  std::optional<double> mean_ejection_fraction;
+  std::optional<double> mean_augmentation_index;
+};
+
+class PulseWaveAnalyzer {
+ public:
+  explicit PulseWaveAnalyzer(double sample_rate_hz = 1000.0);
+
+  /// Extracts features for every beat found by `beats` over `samples`
+  /// (`t0_s` must match the one passed to the beat detector).
+  [[nodiscard]] PulseWaveSummary analyze(std::span<const double> samples,
+                                         const BeatAnalysis& beats,
+                                         double t0_s = 0.0) const;
+
+  [[nodiscard]] double sample_rate_hz() const noexcept { return fs_; }
+
+ private:
+  double fs_;
+};
+
+}  // namespace tono::core

@@ -1,0 +1,62 @@
+// scan.hpp — array scanning and strongest-element selection.
+//
+// §2: "an array of force detectors is used and the sensor element with the
+// strongest signal is selected during measurement. This can also be used for
+// localizing blood vessels, buried in tissue."
+//
+// The controller dwells on each element through the shared pipeline,
+// discards the decimation-filter transient after each mux switch, measures
+// the pulsation strength, and selects the element with the largest signal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/pipeline.hpp"
+
+namespace tono::core {
+
+struct ScanConfig {
+  /// Dwell per element, in output samples (at 1 kS/s). Must be long enough
+  /// to cover ≥ 1 heart beat for a meaningful amplitude estimate.
+  std::size_t dwell_samples{1500};
+  /// Output samples discarded after each switch (filter transient; the
+  /// §2.2 settling limited by the converter's signal bandwidth).
+  std::size_t settle_samples{64};
+  /// Amplitude metric percentile span (robust peak-to-peak).
+  double low_percentile{5.0};
+  double high_percentile{95.0};
+};
+
+/// Signal strength measured on one element.
+struct ElementSignal {
+  std::size_t row{0};
+  std::size_t col{0};
+  double amplitude{0.0};   ///< robust peak-to-peak of the normalized output
+  double mean_level{0.0};  ///< DC level (placement/contact indicator)
+};
+
+struct ScanResult {
+  std::vector<ElementSignal> elements;  ///< row-major
+  std::size_t best_row{0};
+  std::size_t best_col{0};
+  double best_amplitude{0.0};
+};
+
+class ScanController {
+ public:
+  explicit ScanController(const ScanConfig& config = {});
+
+  /// Scans every element of the pipeline's array under the given contact
+  /// field and selects the strongest. Leaves the pipeline routed to the
+  /// winning element.
+  [[nodiscard]] ScanResult scan(AcquisitionPipeline& pipeline,
+                                const ContactField& field) const;
+
+  [[nodiscard]] const ScanConfig& config() const noexcept { return config_; }
+
+ private:
+  ScanConfig config_;
+};
+
+}  // namespace tono::core

@@ -1,0 +1,108 @@
+#include "src/core/sensor_array.hpp"
+
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+
+namespace tono::core {
+namespace {
+
+constexpr std::size_t kLutPoints = 241;
+
+CubicSpline build_lut(const mems::PressureTransducer& transducer, double lo_pa,
+                      double hi_pa) {
+  std::vector<double> ps(kLutPoints);
+  std::vector<double> cs(kLutPoints);
+  for (std::size_t i = 0; i < kLutPoints; ++i) {
+    const double p =
+        lo_pa + (hi_pa - lo_pa) * static_cast<double>(i) / (kLutPoints - 1);
+    ps[i] = p;
+    cs[i] = transducer.capacitance(p);
+  }
+  return CubicSpline{ps, cs};
+}
+
+}  // namespace
+
+ArrayElement::ArrayElement(const mems::TransducerConfig& config, ElementPosition position,
+                           double pressure_min_pa, double pressure_max_pa,
+                           ElementFault fault)
+    : transducer_(config),
+      position_(position),
+      lut_(build_lut(transducer_, pressure_min_pa, pressure_max_pa)),
+      fault_(fault) {
+  switch (fault_) {
+    case ElementFault::kNone:
+      break;
+    case ElementFault::kNotReleased:
+      // The sacrificial layer is still in place: the reference-structure
+      // capacitance, pressure-independent.
+      fault_capacitance_ = transducer_.reference_capacitance();
+      break;
+    case ElementFault::kStuckDown:
+      // Collapsed membrane: the touch-down (gap-limited) capacitance.
+      fault_capacitance_ =
+          transducer_.capacitance(5e6);  // far past touch-down, clamped
+      break;
+  }
+}
+
+double ArrayElement::capacitance(double contact_pressure_pa,
+                                 double temperature_k) const noexcept {
+  const double drift = 1.0 + transducer_.config().capacitance_tempco_per_k *
+                                 (temperature_k - 300.0);
+  if (fault_ != ElementFault::kNone) return fault_capacitance_ * drift;
+  return lut_(contact_pressure_pa) * drift;
+}
+
+double ArrayElement::capacitance_exact(double contact_pressure_pa,
+                                       double temperature_k) const noexcept {
+  return transducer_.capacitance(contact_pressure_pa, temperature_k);
+}
+
+SensorArray::SensorArray(const ChipConfig& config, double lut_min_pa, double lut_max_pa)
+    : rows_(config.array.rows), cols_(config.array.cols) {
+  if (rows_ == 0 || cols_ == 0) throw std::invalid_argument{"SensorArray: empty array"};
+  if (lut_min_pa >= lut_max_pa) throw std::invalid_argument{"SensorArray: bad LUT range"};
+
+  Rng rng = Rng{config.seed}.fork_named("array-mismatch");
+  const double pitch = config.array.pitch_m;
+  const double x0 = -0.5 * pitch * static_cast<double>(cols_ - 1);
+  const double y0 = -0.5 * pitch * static_cast<double>(rows_ - 1);
+
+  elements_.reserve(rows_ * cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      mems::TransducerConfig tc = config.transducer;
+      tc.capacitance_mismatch =
+          config.transducer.capacitance_mismatch *
+          (1.0 + rng.gaussian(0.0, config.element_mismatch_sigma));
+      const ElementPosition pos{x0 + pitch * static_cast<double>(c),
+                                y0 + pitch * static_cast<double>(r)};
+      ElementFault fault = ElementFault::kNone;
+      for (const auto& spec : config.faults) {
+        if (spec.row == r && spec.col == c) fault = spec.fault;
+      }
+      elements_.emplace_back(tc, pos, lut_min_pa, lut_max_pa, fault);
+    }
+  }
+  // Reference structure: unreleased membrane, nominal mismatch.
+  c_ref_ = mems::PressureTransducer{config.transducer}.reference_capacitance();
+}
+
+const ArrayElement& SensorArray::element(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_) throw std::out_of_range{"SensorArray::element"};
+  return elements_[row * cols_ + col];
+}
+
+const ArrayElement& SensorArray::element(std::size_t index) const {
+  if (index >= elements_.size()) throw std::out_of_range{"SensorArray::element"};
+  return elements_[index];
+}
+
+double SensorArray::capacitance(std::size_t row, std::size_t col,
+                                double contact_pressure_pa) const {
+  return element(row, col).capacitance(contact_pressure_pa);
+}
+
+}  // namespace tono::core

@@ -1,0 +1,117 @@
+// streaming_monitor.hpp — online (push-based) monitoring with alarms.
+//
+// The batch BloodPressureMonitor answers "what happened in this window";
+// a bedside instrument needs the push form: samples arrive one at a time,
+// beats and limit violations must surface with bounded latency (the E10
+// experiment shows why — a hypotensive crash gives seconds, not a cuff
+// cycle). StreamingMonitor wraps the beat detector in a sliding window,
+// de-duplicates beats across window hops, evaluates alarm limits with
+// N-beat confirmation and latching, and reports signal quality per window.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/beat_detection.hpp"
+#include "src/core/quality.hpp"
+
+namespace tono::core {
+
+enum class AlarmKind {
+  kSystolicLow,
+  kSystolicHigh,
+  kDiastolicLow,
+  kDiastolicHigh,
+  kRateLow,
+  kRateHigh,
+};
+
+[[nodiscard]] std::string to_string(AlarmKind kind);
+
+struct AlarmLimits {
+  double systolic_low_mmhg{90.0};
+  double systolic_high_mmhg{160.0};
+  double diastolic_low_mmhg{50.0};
+  double diastolic_high_mmhg{100.0};
+  double rate_low_bpm{45.0};
+  double rate_high_bpm{130.0};
+  /// Consecutive violating beats required to raise (and clear) an alarm —
+  /// the standard artefact guard of clinical monitors.
+  std::size_t confirm_beats{3};
+};
+
+struct AlarmEvent {
+  AlarmKind kind{AlarmKind::kSystolicLow};
+  bool active{true};   ///< raised (true) or cleared (false)
+  double time_s{0.0};
+  double value{0.0};   ///< the measurement that confirmed the transition
+};
+
+struct StreamingConfig {
+  double sample_rate_hz{1000.0};
+  /// Detection runs on a trailing window of this length…
+  double window_s{8.0};
+  /// …re-evaluated every hop.
+  double hop_s{2.0};
+  BeatDetectorConfig detector{};
+  QualityConfig quality{};
+  AlarmLimits limits{};
+  /// Alarms and beats are suppressed while the window is unusable.
+  bool gate_on_quality{true};
+};
+
+class StreamingMonitor {
+ public:
+  using BeatCallback = std::function<void(const Beat&)>;
+  using AlarmCallback = std::function<void(const AlarmEvent&)>;
+  using QualityCallback = std::function<void(const QualityReport&, double time_s)>;
+
+  explicit StreamingMonitor(const StreamingConfig& config);
+
+  void on_beat(BeatCallback cb) { beat_cb_ = std::move(cb); }
+  void on_alarm(AlarmCallback cb) { alarm_cb_ = std::move(cb); }
+  void on_quality(QualityCallback cb) { quality_cb_ = std::move(cb); }
+
+  /// Feeds one calibrated sample (mmHg). Triggers callbacks as windows
+  /// complete.
+  void push(double mmhg);
+
+  /// Convenience batch feed.
+  void push(const std::vector<double>& mmhg);
+
+  [[nodiscard]] double time_s() const noexcept { return time_s_; }
+  [[nodiscard]] std::size_t beats_emitted() const noexcept { return beats_emitted_; }
+  [[nodiscard]] bool alarm_active(AlarmKind kind) const;
+  [[nodiscard]] const StreamingConfig& config() const noexcept { return config_; }
+
+ private:
+  void process_window();
+  void evaluate_alarms(const Beat& beat, double rate_bpm);
+  void check_limit(AlarmKind kind, double value, double low, double high, double time_s);
+
+  StreamingConfig config_;
+  BeatCallback beat_cb_;
+  AlarmCallback alarm_cb_;
+  QualityCallback quality_cb_;
+
+  std::vector<double> buffer_;       // trailing window
+  std::size_t window_samples_;
+  std::size_t hop_samples_;
+  std::size_t since_hop_{0};
+  double time_s_{0.0};
+  double buffer_start_s_{0.0};
+  double last_emitted_beat_s_{-1.0};
+  std::size_t beats_emitted_{0};
+  double last_rate_bpm_{0.0};
+
+  struct AlarmState {
+    std::size_t violations{0};
+    std::size_t recoveries{0};
+    bool active{false};
+  };
+  std::vector<AlarmState> alarm_states_;  // indexed by AlarmKind
+};
+
+}  // namespace tono::core

@@ -1,0 +1,153 @@
+#include "src/core/telemetry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tono::core {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 6;  // sync(2) + flags(1) + seq(2) + count(1)
+constexpr std::size_t kCrcBytes = 2;
+
+std::size_t payload_bytes(std::size_t n_samples) { return (n_samples * 12 + 7) / 8; }
+
+}  // namespace
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) noexcept {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t byte : data) {
+    crc = static_cast<std::uint16_t>(crc ^ (static_cast<std::uint16_t>(byte) << 8));
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 0x8000) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+std::vector<std::uint8_t> FrameEncoder::encode(std::span<const std::int16_t> samples) {
+  if (samples.empty() || samples.size() > kMaxSamplesPerFrame) {
+    throw std::invalid_argument{"FrameEncoder: 1..80 samples per frame"};
+  }
+  for (std::int16_t s : samples) {
+    if (s < -2048 || s > 2047) {
+      throw std::invalid_argument{"FrameEncoder: sample outside 12-bit range"};
+    }
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + payload_bytes(samples.size()) + kCrcBytes);
+  frame.push_back(kFrameSync0);
+  frame.push_back(kFrameSync1);
+  frame.push_back(kProtocolVersion);
+  frame.push_back(static_cast<std::uint8_t>(sequence_ & 0xFF));
+  frame.push_back(static_cast<std::uint8_t>(sequence_ >> 8));
+  frame.push_back(static_cast<std::uint8_t>(samples.size()));
+
+  // Pack 12-bit two's-complement values MSB-first into a bit stream.
+  std::uint32_t bitbuf = 0;
+  int bits = 0;
+  for (std::int16_t s : samples) {
+    const auto u = static_cast<std::uint16_t>(s & 0x0FFF);
+    bitbuf = (bitbuf << 12) | u;
+    bits += 12;
+    while (bits >= 8) {
+      bits -= 8;
+      frame.push_back(static_cast<std::uint8_t>((bitbuf >> bits) & 0xFF));
+    }
+  }
+  if (bits > 0) {
+    frame.push_back(static_cast<std::uint8_t>((bitbuf << (8 - bits)) & 0xFF));
+  }
+
+  const std::uint16_t crc =
+      crc16_ccitt(std::span<const std::uint8_t>{frame.data() + 2, frame.size() - 2});
+  frame.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+  ++sequence_;
+  return frame;
+}
+
+std::size_t FrameDecoder::try_parse_at(std::size_t offset,
+                                       std::optional<DecodedFrame>& out) {
+  out.reset();
+  const std::size_t avail = buffer_.size() - offset;
+  const std::uint8_t* p = buffer_.data() + offset;
+  if (avail < 2) return 0;
+  if (p[0] != kFrameSync0 || p[1] != kFrameSync1) {
+    ++stats_.resyncs;
+    return 1;  // skip one byte, hunt for sync
+  }
+  if (avail < kHeaderBytes) return 0;
+  const std::size_t n = p[5];
+  if (n == 0 || n > kMaxSamplesPerFrame || p[2] != kProtocolVersion) {
+    ++stats_.resyncs;
+    return 1;  // implausible header: treat as noise
+  }
+  const std::size_t total = kHeaderBytes + payload_bytes(n) + kCrcBytes;
+  if (avail < total) return 0;
+
+  const std::uint16_t wire_crc = static_cast<std::uint16_t>(
+      p[total - 2] | (static_cast<std::uint16_t>(p[total - 1]) << 8));
+  const std::uint16_t calc_crc =
+      crc16_ccitt(std::span<const std::uint8_t>{p + 2, total - 2 - kCrcBytes});
+  if (wire_crc != calc_crc) {
+    ++stats_.crc_errors;
+    return 1;  // corrupt: resync from the next byte
+  }
+
+  DecodedFrame frame;
+  frame.sequence =
+      static_cast<std::uint16_t>(p[3] | (static_cast<std::uint16_t>(p[4]) << 8));
+  frame.samples.reserve(n);
+  std::uint32_t bitbuf = 0;
+  int bits = 0;
+  std::size_t pos = kHeaderBytes;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (bits < 12) {
+      bitbuf = (bitbuf << 8) | p[pos++];
+      bits += 8;
+    }
+    bits -= 12;
+    auto u = static_cast<std::uint16_t>((bitbuf >> bits) & 0x0FFF);
+    // Sign-extend 12 → 16 bits.
+    if (u & 0x0800) u = static_cast<std::uint16_t>(u | 0xF000);
+    frame.samples.push_back(static_cast<std::int16_t>(u));
+  }
+
+  if (last_sequence_) {
+    const std::uint16_t expected = static_cast<std::uint16_t>(*last_sequence_ + 1);
+    if (frame.sequence != expected) {
+      stats_.lost_frames += static_cast<std::uint16_t>(frame.sequence - expected);
+    }
+  }
+  last_sequence_ = frame.sequence;
+  ++stats_.frames_ok;
+  out = std::move(frame);
+  return total;
+}
+
+std::vector<DecodedFrame> FrameDecoder::push(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  std::vector<DecodedFrame> frames;
+  std::size_t start = 0;
+  for (;;) {
+    std::optional<DecodedFrame> frame;
+    const std::size_t consumed = try_parse_at(start, frame);
+    if (frame) frames.push_back(std::move(*frame));
+    if (consumed == 0) break;
+    start += consumed;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(start));
+  return frames;
+}
+
+void FrameDecoder::reset() {
+  buffer_.clear();
+  stats_ = LinkStats{};
+  last_sequence_.reset();
+}
+
+}  // namespace tono::core

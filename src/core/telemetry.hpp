@@ -1,0 +1,82 @@
+// telemetry.hpp — the FPGA→computer data link of Fig. 3.
+//
+// "The output of the modulator is connected to an external digital
+// decimation filter. Currently this filter is implemented in an FPGA, which
+// also provides an interface (USB) to a computer system."
+//
+// Frame format (little-endian within fields):
+//   2 B  sync  0xA5 0x5A
+//   1 B  flags/version
+//   2 B  sequence number (wraps)
+//   1 B  payload sample count n (≤ 80)
+//   ceil(n·12/8) B  packed 12-bit two's-complement samples
+//   2 B  CRC-16/CCITT-FALSE over everything after the sync word
+//
+// The decoder is a resynchronizing byte-stream parser: it survives garbage
+// between frames, detects CRC corruption, and reports sequence gaps (lost
+// frames) — what a host-side driver for the demonstrator needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace tono::core {
+
+inline constexpr std::uint8_t kFrameSync0 = 0xA5;
+inline constexpr std::uint8_t kFrameSync1 = 0x5A;
+inline constexpr std::size_t kMaxSamplesPerFrame = 80;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection).
+[[nodiscard]] std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) noexcept;
+
+/// Packs signed 12-bit codes (range checked) into the wire format.
+class FrameEncoder {
+ public:
+  /// Encodes one frame from up to kMaxSamplesPerFrame 12-bit codes.
+  /// Throws std::invalid_argument on range violations or empty/oversize input.
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::span<const std::int16_t> samples);
+
+  [[nodiscard]] std::uint16_t next_sequence() const noexcept { return sequence_; }
+
+ private:
+  std::uint16_t sequence_{0};
+};
+
+/// One decoded frame.
+struct DecodedFrame {
+  std::uint16_t sequence{0};
+  std::vector<std::int16_t> samples;
+};
+
+struct LinkStats {
+  std::size_t frames_ok{0};
+  std::size_t crc_errors{0};
+  std::size_t resyncs{0};        ///< bytes skipped hunting for sync
+  std::size_t lost_frames{0};    ///< inferred from sequence gaps
+};
+
+/// Streaming decoder; feed arbitrary byte chunks, collect frames.
+class FrameDecoder {
+ public:
+  /// Consumes a chunk; returns frames completed within it.
+  [[nodiscard]] std::vector<DecodedFrame> push(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  void reset();
+
+ private:
+  /// Tries to parse one frame at buffer_[offset..]; returns consumed bytes
+  /// (0 = need more data; 1 = resync step).
+  [[nodiscard]] std::size_t try_parse_at(std::size_t offset,
+                                         std::optional<DecodedFrame>& out);
+
+  std::vector<std::uint8_t> buffer_;
+  LinkStats stats_;
+  std::optional<std::uint16_t> last_sequence_;
+};
+
+}  // namespace tono::core

@@ -1,0 +1,101 @@
+#include "src/dsp/biquad.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+namespace tono::dsp {
+namespace {
+
+void check_freq(double f, double fs, const char* who) {
+  if (f <= 0.0 || f >= fs / 2.0) {
+    throw std::invalid_argument{std::string{who} + ": frequency must be in (0, fs/2)"};
+  }
+}
+
+}  // namespace
+
+double Biquad::push(double x) noexcept {
+  const double y = b0_ * x + s1_;
+  s1_ = b1_ * x - a1_ * y + s2_;
+  s2_ = b2_ * x - a2_ * y;
+  return y;
+}
+
+double Biquad::magnitude_at(double freq_hz, double sample_rate_hz) const noexcept {
+  const double w = 2.0 * std::numbers::pi * freq_hz / sample_rate_hz;
+  const std::complex<double> z{std::cos(w), std::sin(w)};
+  const std::complex<double> z1 = 1.0 / z;
+  const std::complex<double> z2 = z1 * z1;
+  const std::complex<double> num = b0_ + b1_ * z1 + b2_ * z2;
+  const std::complex<double> den = 1.0 + a1_ * z1 + a2_ * z2;
+  return std::abs(num / den);
+}
+
+Biquad Biquad::lowpass(double cutoff_hz, double sample_rate_hz) {
+  check_freq(cutoff_hz, sample_rate_hz, "Biquad::lowpass");
+  const double w0 = 2.0 * std::numbers::pi * cutoff_hz / sample_rate_hz;
+  const double q = 1.0 / std::sqrt(2.0);  // Butterworth
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  return Biquad{(1.0 - cw) / 2.0 / a0, (1.0 - cw) / a0, (1.0 - cw) / 2.0 / a0,
+                -2.0 * cw / a0, (1.0 - alpha) / a0};
+}
+
+Biquad Biquad::highpass(double cutoff_hz, double sample_rate_hz) {
+  check_freq(cutoff_hz, sample_rate_hz, "Biquad::highpass");
+  const double w0 = 2.0 * std::numbers::pi * cutoff_hz / sample_rate_hz;
+  const double q = 1.0 / std::sqrt(2.0);
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  return Biquad{(1.0 + cw) / 2.0 / a0, -(1.0 + cw) / a0, (1.0 + cw) / 2.0 / a0,
+                -2.0 * cw / a0, (1.0 - alpha) / a0};
+}
+
+Biquad Biquad::bandpass(double center_hz, double q, double sample_rate_hz) {
+  check_freq(center_hz, sample_rate_hz, "Biquad::bandpass");
+  if (q <= 0.0) throw std::invalid_argument{"Biquad::bandpass: q must be > 0"};
+  const double w0 = 2.0 * std::numbers::pi * center_hz / sample_rate_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  return Biquad{alpha / a0, 0.0, -alpha / a0, -2.0 * cw / a0, (1.0 - alpha) / a0};
+}
+
+Biquad Biquad::notch(double center_hz, double q, double sample_rate_hz) {
+  check_freq(center_hz, sample_rate_hz, "Biquad::notch");
+  if (q <= 0.0) throw std::invalid_argument{"Biquad::notch: q must be > 0"};
+  const double w0 = 2.0 * std::numbers::pi * center_hz / sample_rate_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  return Biquad{1.0 / a0, -2.0 * cw / a0, 1.0 / a0, -2.0 * cw / a0, (1.0 - alpha) / a0};
+}
+
+double BiquadCascade::push(double x) noexcept {
+  for (auto& s : sections_) x = s.push(x);
+  return x;
+}
+
+std::vector<double> BiquadCascade::process(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(push(x));
+  return out;
+}
+
+void BiquadCascade::reset() noexcept {
+  for (auto& s : sections_) s.reset();
+}
+
+double BiquadCascade::magnitude_at(double freq_hz, double sample_rate_hz) const noexcept {
+  double mag = 1.0;
+  for (const auto& s : sections_) mag *= s.magnitude_at(freq_hz, sample_rate_hz);
+  return mag;
+}
+
+}  // namespace tono::dsp

@@ -1,0 +1,59 @@
+// biquad.hpp — IIR biquad sections and Butterworth designs.
+//
+// Used on the sample-rate side of the system: baseline-wander removal and
+// beat-detection band-limiting of the 1 kS/s blood-pressure stream.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tono::dsp {
+
+/// Direct-form-II-transposed biquad: y = b0 x + s1; s1 = b1 x - a1 y + s2;
+/// s2 = b2 x - a2 y. Coefficients are normalized (a0 = 1).
+class Biquad {
+ public:
+  Biquad(double b0, double b1, double b2, double a1, double a2) noexcept
+      : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+  [[nodiscard]] double push(double x) noexcept;
+  void reset() noexcept { s1_ = s2_ = 0.0; }
+
+  /// Magnitude response at frequency f for sample rate fs.
+  [[nodiscard]] double magnitude_at(double freq_hz, double sample_rate_hz) const noexcept;
+
+  /// Second-order Butterworth lowpass (bilinear transform).
+  [[nodiscard]] static Biquad lowpass(double cutoff_hz, double sample_rate_hz);
+  /// Second-order Butterworth highpass.
+  [[nodiscard]] static Biquad highpass(double cutoff_hz, double sample_rate_hz);
+  /// Band-pass, constant 0 dB peak gain, quality factor q.
+  [[nodiscard]] static Biquad bandpass(double center_hz, double q, double sample_rate_hz);
+  /// Notch at center_hz with quality factor q.
+  [[nodiscard]] static Biquad notch(double center_hz, double q, double sample_rate_hz);
+
+ private:
+  double b0_, b1_, b2_, a1_, a2_;
+  double s1_{0.0}, s2_{0.0};
+};
+
+/// Cascade of biquads applied in sequence.
+class BiquadCascade {
+ public:
+  BiquadCascade() = default;
+  explicit BiquadCascade(std::vector<Biquad> sections) : sections_(std::move(sections)) {}
+
+  void add(Biquad section) { sections_.push_back(section); }
+
+  [[nodiscard]] double push(double x) noexcept;
+  [[nodiscard]] std::vector<double> process(std::span<const double> xs);
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t section_count() const noexcept { return sections_.size(); }
+  [[nodiscard]] double magnitude_at(double freq_hz, double sample_rate_hz) const noexcept;
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+}  // namespace tono::dsp

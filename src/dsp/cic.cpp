@@ -1,0 +1,96 @@
+#include "src/dsp/cic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tono::dsp {
+
+CicDecimator::CicDecimator(int order, std::size_t decimation, int input_bits,
+                           int differential_delay)
+    : order_(order), decimation_(decimation), differential_delay_(differential_delay) {
+  if (order_ < 1 || order_ > 8) throw std::invalid_argument{"CicDecimator: order out of range"};
+  if (decimation_ < 1) throw std::invalid_argument{"CicDecimator: decimation must be >= 1"};
+  if (differential_delay_ < 1 || differential_delay_ > 2) {
+    throw std::invalid_argument{"CicDecimator: differential delay must be 1 or 2"};
+  }
+  if (input_bits < 1 || input_bits > 32) {
+    throw std::invalid_argument{"CicDecimator: input_bits out of range"};
+  }
+  input_bits_checked_ = input_bits;
+  if (required_register_bits() > 63) {
+    throw std::invalid_argument{"CicDecimator: register growth exceeds 63 bits"};
+  }
+  integrators_.assign(static_cast<std::size_t>(order_), 0);
+  comb_delays_.assign(static_cast<std::size_t>(order_),
+                      std::vector<std::int64_t>(static_cast<std::size_t>(differential_delay_), 0));
+  comb_pos_.assign(static_cast<std::size_t>(order_), 0);
+}
+
+std::optional<std::int64_t> CicDecimator::push(std::int64_t x) {
+  // Integrator cascade at input rate. int64 wraparound is the intended
+  // modular arithmetic of the Hogenauer structure (width-checked in ctor).
+  std::int64_t v = x;
+  for (auto& acc : integrators_) {
+    acc = static_cast<std::int64_t>(static_cast<std::uint64_t>(acc) +
+                                    static_cast<std::uint64_t>(v));
+    v = acc;
+  }
+  phase_ = (phase_ + 1) % decimation_;
+  if (phase_ != 0) return std::nullopt;
+  // Comb cascade at output rate.
+  for (std::size_t s = 0; s < comb_delays_.size(); ++s) {
+    auto& line = comb_delays_[s];
+    auto& pos = comb_pos_[s];
+    const std::int64_t delayed = line[pos];
+    line[pos] = v;
+    pos = (pos + 1) % line.size();
+    v = static_cast<std::int64_t>(static_cast<std::uint64_t>(v) -
+                                  static_cast<std::uint64_t>(delayed));
+  }
+  return v;
+}
+
+std::vector<std::int64_t> CicDecimator::process(std::span<const std::int64_t> xs) {
+  std::vector<std::int64_t> out;
+  out.reserve(xs.size() / decimation_ + 1);
+  for (std::int64_t x : xs) {
+    if (auto y = push(x)) out.push_back(*y);
+  }
+  return out;
+}
+
+void CicDecimator::reset() {
+  for (auto& acc : integrators_) acc = 0;
+  for (auto& line : comb_delays_) line.assign(line.size(), 0);
+  for (auto& pos : comb_pos_) pos = 0;
+  phase_ = 0;
+}
+
+std::int64_t CicDecimator::gain() const noexcept {
+  std::int64_t g = 1;
+  const auto rm =
+      static_cast<std::int64_t>(decimation_) * static_cast<std::int64_t>(differential_delay_);
+  for (int i = 0; i < order_; ++i) g *= rm;
+  return g;
+}
+
+int CicDecimator::required_register_bits() const noexcept {
+  const double rm =
+      static_cast<double>(decimation_) * static_cast<double>(differential_delay_);
+  const double growth = static_cast<double>(order_) * std::log2(std::max(rm, 1.0));
+  return input_bits_checked_ + static_cast<int>(std::ceil(growth));
+}
+
+double CicDecimator::magnitude_at(double freq_hz, double input_rate_hz) const noexcept {
+  if (freq_hz == 0.0) return 1.0;
+  const double rm =
+      static_cast<double>(decimation_) * static_cast<double>(differential_delay_);
+  const double x = std::numbers::pi * freq_hz / input_rate_hz;
+  const double num = std::sin(x * rm);
+  const double den = rm * std::sin(x);
+  if (den == 0.0) return 1.0;
+  return std::pow(std::abs(num / den), order_);
+}
+
+}  // namespace tono::dsp

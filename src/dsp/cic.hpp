@@ -1,0 +1,61 @@
+// cic.hpp — bit-exact cascaded integrator-comb (SINC^N) decimator.
+//
+// First stage of the paper's decimation filter: a 3rd-order SINC running at
+// the 128 kHz modulator rate. Implemented with Hogenauer's architecture —
+// N integrators at the input rate, rate change R, N combs at the output
+// rate — using modular int64 arithmetic, which is exact as long as the
+// register width >= input_bits + N*log2(R*M) (checked in the constructor).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace tono::dsp {
+
+class CicDecimator {
+ public:
+  /// - `order`: number of integrator/comb pairs (paper: 3)
+  /// - `decimation`: rate change R (>= 1)
+  /// - `input_bits`: width of the input samples (1-bit ΔΣ stream → 2, since
+  ///   we encode ±1); used only for the width check
+  /// - `differential_delay`: comb delay M (usually 1)
+  CicDecimator(int order, std::size_t decimation, int input_bits = 2,
+               int differential_delay = 1);
+
+  /// Feeds one input sample; returns the comb-section output every
+  /// `decimation` samples. Output is the raw (gain-unnormalized) integer.
+  [[nodiscard]] std::optional<std::int64_t> push(std::int64_t x);
+
+  [[nodiscard]] std::vector<std::int64_t> process(std::span<const std::int64_t> xs);
+
+  void reset();
+
+  /// DC gain = (R*M)^N; divide outputs by this to recover unit gain.
+  [[nodiscard]] std::int64_t gain() const noexcept;
+
+  /// Register bits actually required: input_bits + N*ceil(log2(R*M)).
+  [[nodiscard]] int required_register_bits() const noexcept;
+
+  /// Analytic magnitude response at input-rate frequency f [Hz] for input
+  /// sample rate fs [Hz], normalized to unity at DC:
+  /// |sin(pi f R M / fs) / (R M sin(pi f / fs))|^N.
+  [[nodiscard]] double magnitude_at(double freq_hz, double input_rate_hz) const noexcept;
+
+  [[nodiscard]] int order() const noexcept { return order_; }
+  [[nodiscard]] std::size_t decimation() const noexcept { return decimation_; }
+
+ private:
+  int order_;
+  std::size_t decimation_;
+  int differential_delay_;
+  int input_bits_checked_{2};
+  std::vector<std::int64_t> integrators_;
+  std::vector<std::vector<std::int64_t>> comb_delays_;  // M-deep per comb
+  std::vector<std::size_t> comb_pos_;
+  std::size_t phase_{0};
+};
+
+}  // namespace tono::dsp

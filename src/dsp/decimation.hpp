@@ -1,0 +1,85 @@
+// decimation.hpp — the paper's two-stage decimation filter as one unit.
+//
+// §2.2/§3.1: "The decimation filter was implemented as a two stage filter
+// architecture, comprising a 3rd order SINC-filter as first stage and a
+// 32 tap FIR-filter as second stage. The cutoff frequency of the filter is
+// 500 Hz and the output resolution is 12 bit."
+//
+// DecimationChain splits the total OSR (128) between the CIC and the FIR,
+// runs both bit-exactly, and rescales the result to a signed 12-bit code /
+// normalized double. The split (CIC 32 ×, FIR 4 ×) keeps the 32-tap FIR's
+// transition band feasible while the CIC absorbs the bulk rate change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/dsp/cic.hpp"
+#include "src/dsp/fir_filter.hpp"
+
+namespace tono::dsp {
+
+struct DecimationConfig {
+  std::size_t total_decimation{128};  ///< overall OSR (paper: 128)
+  std::size_t cic_decimation{32};     ///< first-stage rate change
+  int cic_order{3};                   ///< SINC order (paper: 3)
+  std::size_t fir_taps{32};           ///< second-stage length (paper: 32)
+  double cutoff_hz{500.0};            ///< passband edge at the output (paper: 500 Hz)
+  double input_rate_hz{128000.0};     ///< modulator rate (paper: 128 kS/s)
+  int output_bits{12};                ///< output resolution (paper: 12 bit)
+  int fir_coeff_frac_bits{14};        ///< FPGA coefficient precision
+  bool compensate_cic_droop{true};    ///< fold inverse-sinc³ into the FIR
+};
+
+/// One output sample: both the integer code and its normalized value.
+struct DecimatedSample {
+  std::int64_t code{0};   ///< signed `output_bits`-wide word
+  double value{0.0};      ///< code scaled to [-1, 1)
+};
+
+class DecimationChain {
+ public:
+  /// Throws std::invalid_argument if the config is inconsistent (decimation
+  /// split must multiply to total, cutoff must be below output Nyquist).
+  explicit DecimationChain(const DecimationConfig& config);
+
+  /// Feeds one ±1 modulator bit (any small integer is accepted); outputs a
+  /// 12-bit sample every `total_decimation` inputs.
+  [[nodiscard]] std::optional<DecimatedSample> push(int modulator_bit);
+
+  /// Batch form over a bitstream of ±1 values.
+  [[nodiscard]] std::vector<DecimatedSample> process(std::span<const int> bits);
+
+  /// Batch form returning only normalized values.
+  [[nodiscard]] std::vector<double> process_values(std::span<const int> bits);
+
+  void reset();
+
+  [[nodiscard]] double output_rate_hz() const noexcept;
+  [[nodiscard]] const DecimationConfig& config() const noexcept { return config_; }
+
+  /// End-to-end magnitude response at frequency f (input-rate referred),
+  /// CIC × FIR, normalized to unity at DC.
+  [[nodiscard]] double magnitude_at(double freq_hz) const;
+
+  /// Latency through both stages, in seconds at the input rate.
+  [[nodiscard]] double group_delay_seconds() const noexcept;
+
+  /// The designed (float) FIR coefficients, for inspection/tests.
+  [[nodiscard]] const std::vector<double>& fir_coefficients() const noexcept {
+    return fir_coeffs_;
+  }
+
+ private:
+  DecimationConfig config_;
+  CicDecimator cic_;
+  FixedPointFir fir_;
+  std::vector<double> fir_coeffs_;
+  double cic_scale_;  ///< maps raw CIC output to FIR input word
+  int fir_input_bits_;
+};
+
+}  // namespace tono::dsp

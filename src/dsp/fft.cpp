@@ -1,0 +1,98 @@
+#include "src/dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/common/math_utils.hpp"
+
+namespace tono::dsp {
+namespace {
+
+void bit_reverse_permute(std::span<Complex> x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+void fft_core(std::span<Complex> x, bool inverse) {
+  const std::size_t n = x.size();
+  if (!is_pow2(n)) throw std::invalid_argument{"fft: size must be a power of two"};
+  if (n <= 1) return;
+  bit_reverse_permute(x);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex w_len{std::cos(angle), std::sin(angle)};
+    for (std::size_t start = 0; start < n; start += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex even = x[start + k];
+        const Complex odd = x[start + k + len / 2] * w;
+        x[start + k] = even + odd;
+        x[start + k + len / 2] = even - odd;
+        w *= w_len;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<Complex> x) { fft_core(x, /*inverse=*/false); }
+
+void ifft_inplace(std::span<Complex> x) { fft_core(x, /*inverse=*/true); }
+
+std::vector<Complex> fft_real(std::span<const double> x) {
+  const std::size_t n = next_pow2(x.size());
+  std::vector<Complex> buf(n, Complex{0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = Complex{x[i], 0.0};
+  fft_inplace(buf);
+  return buf;
+}
+
+std::vector<double> magnitude_spectrum(std::span<const double> x) {
+  if (!is_pow2(x.size())) {
+    throw std::invalid_argument{"magnitude_spectrum: size must be a power of two"};
+  }
+  const auto spec = fft_real(x);
+  const std::size_t n = spec.size();
+  const std::size_t half = n / 2;
+  std::vector<double> mag(half + 1, 0.0);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (std::size_t k = 0; k <= half; ++k) {
+    const double factor = (k == 0 || k == half) ? 1.0 : 2.0;
+    mag[k] = factor * std::abs(spec[k]) * scale;
+  }
+  return mag;
+}
+
+std::vector<double> power_spectrum(std::span<const double> x) {
+  if (!is_pow2(x.size())) {
+    throw std::invalid_argument{"power_spectrum: size must be a power of two"};
+  }
+  const auto spec = fft_real(x);
+  const std::size_t n = spec.size();
+  const std::size_t half = n / 2;
+  std::vector<double> pwr(half + 1, 0.0);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (std::size_t k = 0; k <= half; ++k) {
+    const double mag = std::abs(spec[k]) * scale;
+    // One-sided power: double everything except DC/Nyquist, then the power
+    // of an amplitude-A sine is A^2/2 at its bin.
+    const double factor = (k == 0 || k == half) ? 1.0 : 2.0;
+    pwr[k] = factor * mag * mag;
+  }
+  return pwr;
+}
+
+}  // namespace tono::dsp

@@ -1,0 +1,38 @@
+// fft.hpp — radix-2 complex FFT and real-signal helpers.
+//
+// Self-contained (no external FFT dependency) because the repo must build
+// offline. An iterative in-place Cooley-Tukey radix-2 is plenty for the
+// 2^13..2^20-point spectra used in the ADC characterization benches.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tono::dsp {
+
+using Complex = std::complex<double>;
+
+/// In-place forward FFT; x.size() must be a power of two
+/// (throws std::invalid_argument otherwise).
+void fft_inplace(std::span<Complex> x);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft_inplace(std::span<Complex> x);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two if
+/// needed. Returns the full complex spectrum (size = padded length).
+[[nodiscard]] std::vector<Complex> fft_real(std::span<const double> x);
+
+/// One-sided magnitude spectrum of a real signal: bins 0..N/2 inclusive,
+/// scaled so that a full-scale coherent sine of amplitude A yields A at its
+/// bin (i.e. 2/N scaling except at DC and Nyquist). Input length must be a
+/// power of two.
+[[nodiscard]] std::vector<double> magnitude_spectrum(std::span<const double> x);
+
+/// One-sided power spectrum (magnitude squared with the same scaling
+/// convention; power of a sine of amplitude A is (A^2)/2 spread over its bin).
+[[nodiscard]] std::vector<double> power_spectrum(std::span<const double> x);
+
+}  // namespace tono::dsp

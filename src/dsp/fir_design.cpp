@@ -1,0 +1,159 @@
+#include "src/dsp/fir_design.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/common/math_utils.hpp"
+
+namespace tono::dsp {
+namespace {
+
+void normalize_dc_gain(std::vector<double>& h) {
+  double sum = 0.0;
+  for (double c : h) sum += c;
+  if (sum == 0.0) throw std::runtime_error{"fir_design: zero DC gain"};
+  for (double& c : h) c /= sum;
+}
+
+/// Ideal lowpass impulse response sample at offset m from center, cutoff as a
+/// fraction fc of the sample rate.
+double ideal_lp(double m, double fc) { return 2.0 * fc * sinc(2.0 * fc * m); }
+
+}  // namespace
+
+std::vector<double> design_lowpass(std::size_t taps, double cutoff_hz, double sample_rate_hz,
+                                   WindowKind window, double kaiser_beta) {
+  if (taps < 2) throw std::invalid_argument{"design_lowpass: need >= 2 taps"};
+  if (cutoff_hz <= 0.0 || cutoff_hz >= sample_rate_hz / 2.0) {
+    throw std::invalid_argument{"design_lowpass: cutoff must be in (0, fs/2)"};
+  }
+  const double fc = cutoff_hz / sample_rate_hz;
+  const double center = (static_cast<double>(taps) - 1.0) / 2.0;
+  // Symmetric (type I/II) windows for filter design: use the symmetric form
+  // w[i] over n-1, approximated by sampling the periodic window of length
+  // taps at shifted points. For design purposes we build the symmetric window
+  // directly here.
+  std::vector<double> w(taps, 1.0);
+  {
+    auto periodic = make_window(window, taps == 1 ? 1 : taps - 1, kaiser_beta);
+    periodic.push_back(periodic.empty() ? 1.0 : periodic.front());
+    for (std::size_t i = 0; i < taps; ++i) w[i] = periodic[i];
+  }
+  std::vector<double> h(taps);
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double m = static_cast<double>(i) - center;
+    h[i] = ideal_lp(m, fc) * w[i];
+  }
+  normalize_dc_gain(h);
+  return h;
+}
+
+std::vector<double> design_cic_compensator(std::size_t taps, double cutoff_hz,
+                                           double sample_rate_hz, int cic_order,
+                                           std::size_t cic_decimation, WindowKind window) {
+  if (cic_order < 1 || cic_decimation < 1) {
+    throw std::invalid_argument{"design_cic_compensator: bad CIC parameters"};
+  }
+  // Frequency-sampling design: sample the desired response
+  //   D(f) = LP(f) / |Hcic(f)|  for f in [0, fs/2]
+  // on a dense grid, inverse-DFT to an impulse response, window, normalize.
+  const std::size_t grid = next_pow2(std::max<std::size_t>(taps * 16, 512));
+  const double fc = cutoff_hz / sample_rate_hz;
+  const double r = static_cast<double>(cic_decimation);
+
+  // |Hcic| at output-rate frequency f (normalized to output fs): the CIC ran
+  // at rate r*fs, response sinc(f)^N / sinc(f/r)^N in normalized terms.
+  auto cic_mag = [&](double f_norm) {
+    if (f_norm == 0.0) return 1.0;
+    const double num = sinc(f_norm);
+    const double den = sinc(f_norm / r);
+    const double ratio = den != 0.0 ? num / den : 0.0;
+    return std::pow(std::abs(ratio), cic_order);
+  };
+
+  std::vector<double> desired(grid / 2 + 1, 0.0);
+  for (std::size_t k = 0; k <= grid / 2; ++k) {
+    const double f_norm = static_cast<double>(k) / static_cast<double>(grid);
+    if (f_norm <= fc) {
+      const double mag = cic_mag(f_norm);
+      // Cap boost at 20 dB to avoid noise amplification near deep droop.
+      desired[k] = mag > 0.1 ? 1.0 / mag : 10.0;
+    }
+  }
+  // Real-even inverse DFT → symmetric impulse response of length `grid`;
+  // take the central `taps` samples.
+  std::vector<double> impulse(taps, 0.0);
+  const double center = (static_cast<double>(taps) - 1.0) / 2.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double m = static_cast<double>(i) - center;
+    double acc = desired[0];
+    for (std::size_t k = 1; k <= grid / 2; ++k) {
+      const double ang =
+          2.0 * std::numbers::pi * static_cast<double>(k) * m / static_cast<double>(grid);
+      const double factor = (k == grid / 2) ? 1.0 : 2.0;
+      acc += factor * desired[k] * std::cos(ang);
+    }
+    impulse[i] = acc / static_cast<double>(grid);
+  }
+  // Window and normalize.
+  {
+    auto periodic = make_window(window, taps - 1);
+    periodic.push_back(periodic.front());
+    for (std::size_t i = 0; i < taps; ++i) impulse[i] *= periodic[i];
+  }
+  normalize_dc_gain(impulse);
+  return impulse;
+}
+
+std::vector<double> design_kaiser_lowpass(double cutoff_hz, double transition_hz,
+                                          double stopband_atten_db, double sample_rate_hz,
+                                          std::size_t* taps_out) {
+  if (transition_hz <= 0.0) throw std::invalid_argument{"design_kaiser_lowpass: bad transition"};
+  const double a = stopband_atten_db;
+  double beta = 0.0;
+  if (a > 50.0) {
+    beta = 0.1102 * (a - 8.7);
+  } else if (a >= 21.0) {
+    beta = 0.5842 * std::pow(a - 21.0, 0.4) + 0.07886 * (a - 21.0);
+  }
+  const double delta_omega = 2.0 * std::numbers::pi * transition_hz / sample_rate_hz;
+  auto taps = static_cast<std::size_t>(std::ceil((a - 7.95) / (2.285 * delta_omega))) + 1;
+  if (taps % 2 == 0) ++taps;  // force type-I symmetric
+  if (taps < 3) taps = 3;
+  if (taps_out != nullptr) *taps_out = taps;
+  return design_lowpass(taps, cutoff_hz, sample_rate_hz, WindowKind::kKaiser, beta);
+}
+
+std::vector<std::int32_t> quantize_coefficients(const std::vector<double>& coeffs,
+                                                int frac_bits) {
+  if (frac_bits < 1 || frac_bits > 30) {
+    throw std::invalid_argument{"quantize_coefficients: frac_bits out of range"};
+  }
+  const double scale = static_cast<double>(std::int64_t{1} << frac_bits);
+  const auto max_code = static_cast<std::int64_t>(scale * 2.0) - 1;  // 2 integer bits total
+  std::vector<std::int32_t> out;
+  out.reserve(coeffs.size());
+  for (double c : coeffs) {
+    const double scaled = c * scale;
+    auto code = static_cast<std::int64_t>(scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5);
+    code = std::min(std::max(code, -max_code - 1), max_code);
+    out.push_back(static_cast<std::int32_t>(code));
+  }
+  return out;
+}
+
+double fir_magnitude_at(const std::vector<double>& coeffs, double freq_hz,
+                        double sample_rate_hz) noexcept {
+  const double omega = 2.0 * std::numbers::pi * freq_hz / sample_rate_hz;
+  double re = 0.0;
+  double im = 0.0;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    const double phase = omega * static_cast<double>(i);
+    re += coeffs[i] * std::cos(phase);
+    im -= coeffs[i] * std::sin(phase);
+  }
+  return std::sqrt(re * re + im * im);
+}
+
+}  // namespace tono::dsp

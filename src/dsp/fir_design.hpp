@@ -1,0 +1,55 @@
+// fir_design.hpp — linear-phase FIR design (windowed-sinc / Kaiser) plus the
+// CIC-droop-compensating variant used by the paper's second decimation stage.
+//
+// The paper's FPGA filter is a 3rd-order SINC followed by a 32-tap FIR with a
+// 500 Hz cutoff. We design that FIR here at runtime so the coefficient set is
+// reproducible from specs rather than a magic table, then optionally quantize
+// the taps to fixed point exactly as an FPGA implementation would.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/dsp/window.hpp"
+
+namespace tono::dsp {
+
+/// Windowed-sinc lowpass prototype.
+/// - `taps`: filter length (the paper uses 32)
+/// - `cutoff_hz` / `sample_rate_hz`: -6 dB point of the ideal prototype
+/// Coefficients are normalized to unity DC gain.
+[[nodiscard]] std::vector<double> design_lowpass(std::size_t taps, double cutoff_hz,
+                                                 double sample_rate_hz,
+                                                 WindowKind window = WindowKind::kHamming,
+                                                 double kaiser_beta = 8.6);
+
+/// Lowpass with inverse-sinc^N pre-emphasis that flattens the passband droop
+/// of an upstream N-stage CIC decimator (differential delay 1, rate change
+/// `cic_decimation`). The compensation is applied as a frequency-sampled
+/// correction to the ideal prototype before windowing.
+[[nodiscard]] std::vector<double> design_cic_compensator(
+    std::size_t taps, double cutoff_hz, double sample_rate_hz, int cic_order,
+    std::size_t cic_decimation, WindowKind window = WindowKind::kHamming);
+
+/// Kaiser-window design from attenuation/transition specs (Kaiser's
+/// empirical formulas). Returns the coefficient vector; `taps_out` reports
+/// the chosen length (forced odd for a symmetric type-I filter).
+[[nodiscard]] std::vector<double> design_kaiser_lowpass(double cutoff_hz,
+                                                        double transition_hz,
+                                                        double stopband_atten_db,
+                                                        double sample_rate_hz,
+                                                        std::size_t* taps_out = nullptr);
+
+/// Quantizes coefficients to signed fixed point with `frac_bits` fractional
+/// bits (round-to-nearest, saturating at ±1 integer bit), as the FPGA stores
+/// them. Returns integer codes; real value = code / 2^frac_bits.
+[[nodiscard]] std::vector<std::int32_t> quantize_coefficients(
+    const std::vector<double>& coeffs, int frac_bits);
+
+/// Complex-free magnitude response |H(e^{j2πf/fs})| of an FIR at one
+/// frequency, by direct evaluation.
+[[nodiscard]] double fir_magnitude_at(const std::vector<double>& coeffs, double freq_hz,
+                                      double sample_rate_hz) noexcept;
+
+}  // namespace tono::dsp

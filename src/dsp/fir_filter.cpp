@@ -1,0 +1,97 @@
+#include "src/dsp/fir_filter.hpp"
+
+#include <stdexcept>
+
+#include "src/common/fixed_point.hpp"
+
+namespace tono::dsp {
+
+FirFilter::FirFilter(std::vector<double> coefficients, std::size_t decimation)
+    : coeffs_(std::move(coefficients)),
+      delay_(coeffs_.size(), 0.0),
+      decimation_(decimation) {
+  if (coeffs_.empty()) throw std::invalid_argument{"FirFilter: empty coefficients"};
+  if (decimation_ == 0) throw std::invalid_argument{"FirFilter: decimation must be >= 1"};
+}
+
+std::optional<double> FirFilter::push(double x) {
+  delay_[write_pos_] = x;
+  write_pos_ = (write_pos_ + 1) % delay_.size();
+  phase_ = (phase_ + 1) % decimation_;
+  if (phase_ != 0) return std::nullopt;
+  // Convolve: newest sample (at write_pos_-1) pairs with coeffs_[0].
+  double acc = 0.0;
+  std::size_t pos = (write_pos_ + delay_.size() - 1) % delay_.size();
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    acc += coeffs_[k] * delay_[pos];
+    pos = (pos + delay_.size() - 1) % delay_.size();
+  }
+  return acc;
+}
+
+std::vector<double> FirFilter::process(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size() / decimation_ + 1);
+  for (double x : xs) {
+    if (auto y = push(x)) out.push_back(*y);
+  }
+  return out;
+}
+
+void FirFilter::reset() {
+  delay_.assign(delay_.size(), 0.0);
+  write_pos_ = 0;
+  phase_ = 0;
+}
+
+FixedPointFir::FixedPointFir(std::vector<std::int32_t> coefficient_codes, int coeff_frac_bits,
+                             int output_bits, std::size_t decimation)
+    : coeffs_(std::move(coefficient_codes)),
+      delay_(coeffs_.size(), 0),
+      coeff_frac_bits_(coeff_frac_bits),
+      output_bits_(output_bits),
+      decimation_(decimation) {
+  if (coeffs_.empty()) throw std::invalid_argument{"FixedPointFir: empty coefficients"};
+  if (decimation_ == 0) throw std::invalid_argument{"FixedPointFir: decimation must be >= 1"};
+  if (coeff_frac_bits_ < 1 || coeff_frac_bits_ > 30) {
+    throw std::invalid_argument{"FixedPointFir: coeff_frac_bits out of range"};
+  }
+  if (output_bits_ < 2 || output_bits_ > 62) {
+    throw std::invalid_argument{"FixedPointFir: output_bits out of range"};
+  }
+}
+
+std::optional<std::int64_t> FixedPointFir::push(std::int64_t x) {
+  delay_[write_pos_] = x;
+  write_pos_ = (write_pos_ + 1) % delay_.size();
+  phase_ = (phase_ + 1) % decimation_;
+  if (phase_ != 0) return std::nullopt;
+  std::int64_t acc = 0;
+  std::size_t pos = (write_pos_ + delay_.size() - 1) % delay_.size();
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    acc += static_cast<std::int64_t>(coeffs_[k]) * delay_[pos];
+    pos = (pos + delay_.size() - 1) % delay_.size();
+  }
+  // Shift out the coefficient fraction with rounding, then saturate to the
+  // output word — exactly what the FPGA's post-MAC stage does.
+  const std::int64_t half = std::int64_t{1} << (coeff_frac_bits_ - 1);
+  const std::int64_t rounded = (acc + half) >> coeff_frac_bits_;
+  return saturate_to_bits(rounded, output_bits_);
+}
+
+std::vector<std::int64_t> FixedPointFir::process(std::span<const std::int64_t> xs) {
+  std::vector<std::int64_t> out;
+  out.reserve(xs.size() / decimation_ + 1);
+  for (std::int64_t x : xs) {
+    if (auto y = push(x)) out.push_back(*y);
+  }
+  return out;
+}
+
+void FixedPointFir::reset() {
+  delay_.assign(delay_.size(), 0);
+  write_pos_ = 0;
+  phase_ = 0;
+}
+
+}  // namespace tono::dsp

@@ -1,0 +1,81 @@
+// fir_filter.hpp — streaming FIR filters (floating point and bit-exact
+// fixed point) with optional decimation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace tono::dsp {
+
+/// Streaming direct-form FIR with optional decimation.
+/// push() accepts one input sample and yields an output only on the
+/// decimation phase, matching how the FPGA filter clocks.
+class FirFilter {
+ public:
+  /// `decimation` >= 1; 1 means no rate change.
+  explicit FirFilter(std::vector<double> coefficients, std::size_t decimation = 1);
+
+  /// Feeds one sample; returns an output every `decimation` inputs.
+  [[nodiscard]] std::optional<double> push(double x);
+
+  /// Convenience batch form.
+  [[nodiscard]] std::vector<double> process(std::span<const double> xs);
+
+  /// Clears the delay line and phase.
+  void reset();
+
+  [[nodiscard]] std::size_t tap_count() const noexcept { return coeffs_.size(); }
+  [[nodiscard]] std::size_t decimation() const noexcept { return decimation_; }
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept { return coeffs_; }
+
+  /// Group delay in input samples (linear phase assumed): (N-1)/2.
+  [[nodiscard]] double group_delay_samples() const noexcept {
+    return (static_cast<double>(coeffs_.size()) - 1.0) / 2.0;
+  }
+
+ private:
+  std::vector<double> coeffs_;
+  std::vector<double> delay_;   // circular delay line
+  std::size_t write_pos_{0};
+  std::size_t decimation_;
+  std::size_t phase_{0};
+};
+
+/// Bit-exact fixed-point FIR: integer inputs, integer coefficients
+/// (value = code / 2^coeff_frac_bits), accumulator truncated to the output
+/// word. Models the FPGA's 32-tap second stage including coefficient and
+/// accumulator quantization.
+class FixedPointFir {
+ public:
+  /// - `coefficient_codes`: quantized taps (see quantize_coefficients)
+  /// - `coeff_frac_bits`: fractional bits of the coefficient format
+  /// - `output_bits`: saturating output word width (the paper's 12)
+  /// - `decimation`: output rate divider
+  FixedPointFir(std::vector<std::int32_t> coefficient_codes, int coeff_frac_bits,
+                int output_bits, std::size_t decimation = 1);
+
+  /// Feeds one integer sample; returns the saturated output word on the
+  /// decimation phase.
+  [[nodiscard]] std::optional<std::int64_t> push(std::int64_t x);
+
+  [[nodiscard]] std::vector<std::int64_t> process(std::span<const std::int64_t> xs);
+
+  void reset();
+
+  [[nodiscard]] int output_bits() const noexcept { return output_bits_; }
+  [[nodiscard]] std::size_t tap_count() const noexcept { return coeffs_.size(); }
+
+ private:
+  std::vector<std::int32_t> coeffs_;
+  std::vector<std::int64_t> delay_;
+  std::size_t write_pos_{0};
+  int coeff_frac_bits_;
+  int output_bits_;
+  std::size_t decimation_;
+  std::size_t phase_{0};
+};
+
+}  // namespace tono::dsp

@@ -1,0 +1,36 @@
+#include "src/dsp/goertzel.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tono::dsp {
+
+std::complex<double> goertzel(std::span<const double> x, double freq_hz,
+                              double sample_rate_hz) {
+  if (sample_rate_hz <= 0.0) throw std::invalid_argument{"goertzel: bad sample rate"};
+  if (x.empty()) return {0.0, 0.0};
+  const double omega = 2.0 * std::numbers::pi * freq_hz / sample_rate_hz;
+  const double coeff = 2.0 * std::cos(omega);
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  for (double v : x) {
+    s0 = v + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  // X(ω) = e^{jωN}·(s1 − e^{-jω} s2); the leading phase factor is dropped —
+  // callers use magnitude or relative phase.
+  const std::complex<double> e{std::cos(omega), -std::sin(omega)};
+  return s1 - e * s2;
+}
+
+double goertzel_amplitude(std::span<const double> x, double freq_hz,
+                          double sample_rate_hz) {
+  if (x.empty()) return 0.0;
+  return 2.0 * std::abs(goertzel(x, freq_hz, sample_rate_hz)) /
+         static_cast<double>(x.size());
+}
+
+}  // namespace tono::dsp

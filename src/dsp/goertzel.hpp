@@ -1,0 +1,23 @@
+// goertzel.hpp — single-bin DFT (Goertzel algorithm).
+//
+// When only one frequency matters (the settling benches measure a known
+// test tone; lock-in style amplitude tracking), Goertzel evaluates that bin
+// in O(N) without the power-of-two restriction of the FFT path.
+#pragma once
+
+#include <complex>
+#include <span>
+
+namespace tono::dsp {
+
+/// Complex DFT value of `x` at frequency `freq_hz` (same scaling as the
+/// corresponding FFT bin: no 1/N normalization).
+[[nodiscard]] std::complex<double> goertzel(std::span<const double> x, double freq_hz,
+                                            double sample_rate_hz);
+
+/// Amplitude of a sinusoid at `freq_hz` present in `x` (2|X|/N scaling, so a
+/// sine of amplitude A returns ≈ A when the record holds whole cycles).
+[[nodiscard]] double goertzel_amplitude(std::span<const double> x, double freq_hz,
+                                        double sample_rate_hz);
+
+}  // namespace tono::dsp

@@ -1,0 +1,107 @@
+#include "src/dsp/noise_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/math_utils.hpp"
+#include "src/dsp/fft.hpp"
+
+namespace tono::dsp {
+
+PsdEstimate welch_psd(std::span<const double> x, double sample_rate_hz,
+                      const WelchConfig& config) {
+  if (!is_pow2(config.segment_length) || config.segment_length < 16) {
+    throw std::invalid_argument{"welch_psd: segment length must be a power of two >= 16"};
+  }
+  if (config.overlap < 0.0 || config.overlap > 0.9) {
+    throw std::invalid_argument{"welch_psd: overlap must be in [0, 0.9]"};
+  }
+  if (sample_rate_hz <= 0.0) throw std::invalid_argument{"welch_psd: bad sample rate"};
+  const std::size_t seg = config.segment_length;
+  if (x.size() < seg) throw std::invalid_argument{"welch_psd: record shorter than segment"};
+
+  const auto window = make_window(config.window, seg);
+  double window_power = 0.0;  // sum of w² for density normalization
+  for (double w : window) window_power += w * w;
+
+  const auto hop = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(seg) * (1.0 - config.overlap)));
+
+  PsdEstimate out;
+  out.psd.assign(seg / 2 + 1, 0.0);
+  std::vector<double> buf(seg);
+  for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
+    // Remove the segment mean so DC leakage does not pollute low bins.
+    double m = 0.0;
+    for (std::size_t i = 0; i < seg; ++i) m += x[start + i];
+    m /= static_cast<double>(seg);
+    for (std::size_t i = 0; i < seg; ++i) buf[i] = (x[start + i] - m) * window[i];
+
+    auto spec = fft_real(buf);
+    for (std::size_t k = 0; k <= seg / 2; ++k) {
+      const double mag2 = std::norm(spec[k]);
+      const double one_sided = (k == 0 || k == seg / 2) ? 1.0 : 2.0;
+      // Density normalization: / (fs · Σw²).
+      out.psd[k] += one_sided * mag2 / (sample_rate_hz * window_power);
+    }
+    ++out.segments;
+  }
+  if (out.segments == 0) throw std::invalid_argument{"welch_psd: no full segments"};
+  for (auto& p : out.psd) p /= static_cast<double>(out.segments);
+
+  out.freq_hz.resize(out.psd.size());
+  const double bin_hz = sample_rate_hz / static_cast<double>(seg);
+  for (std::size_t k = 0; k < out.freq_hz.size(); ++k) {
+    out.freq_hz[k] = bin_hz * static_cast<double>(k);
+  }
+  return out;
+}
+
+double integrate_psd(const PsdEstimate& psd, double f_lo_hz, double f_hi_hz) {
+  if (psd.freq_hz.size() < 2) return 0.0;
+  const double bin_hz = psd.freq_hz[1] - psd.freq_hz[0];
+  double acc = 0.0;
+  for (std::size_t k = 0; k < psd.freq_hz.size(); ++k) {
+    if (psd.freq_hz[k] >= f_lo_hz && psd.freq_hz[k] <= f_hi_hz) acc += psd.psd[k] * bin_hz;
+  }
+  return acc;
+}
+
+std::vector<AllanPoint> allan_deviation(std::span<const double> x, double sample_rate_hz,
+                                        double tau_min_s, std::size_t points_per_decade) {
+  if (sample_rate_hz <= 0.0) throw std::invalid_argument{"allan_deviation: bad sample rate"};
+  if (x.size() < 16) throw std::invalid_argument{"allan_deviation: record too short"};
+  if (points_per_decade == 0) points_per_decade = 1;
+  const double dt = 1.0 / sample_rate_hz;
+  if (tau_min_s < dt) tau_min_s = dt;
+  const double tau_max_s = static_cast<double>(x.size()) * dt / 4.0;
+
+  std::vector<AllanPoint> out;
+  const double log_step = 1.0 / static_cast<double>(points_per_decade);
+  for (double log_tau = std::log10(tau_min_s); log_tau <= std::log10(tau_max_s);
+       log_tau += log_step) {
+    const auto m = static_cast<std::size_t>(std::pow(10.0, log_tau) / dt + 0.5);
+    if (m == 0 || 2 * m >= x.size()) continue;
+    // Overlapping Allan variance on averaged bins of length m.
+    double acc = 0.0;
+    std::size_t terms = 0;
+    // Prefix sums for O(1) bin means.
+    std::vector<double> prefix(x.size() + 1, 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i) prefix[i + 1] = prefix[i] + x[i];
+    auto bin_mean = [&](std::size_t start) {
+      return (prefix[start + m] - prefix[start]) / static_cast<double>(m);
+    };
+    for (std::size_t i = 0; i + 2 * m <= x.size(); ++i) {
+      const double d = bin_mean(i + m) - bin_mean(i);
+      acc += d * d;
+      ++terms;
+    }
+    if (terms == 0) continue;
+    const double avar = acc / (2.0 * static_cast<double>(terms));
+    out.push_back(AllanPoint{static_cast<double>(m) * dt, std::sqrt(avar)});
+  }
+  return out;
+}
+
+}  // namespace tono::dsp

@@ -1,0 +1,51 @@
+// noise_analysis.hpp — noise-floor and stability characterization.
+//
+// Two standard instruments for §4's "reliability and stability" question:
+//   * Welch's averaged periodogram — a consistent PSD estimate of the
+//     converter/sensor noise floor (the single-shot FFT of Fig. 7 has 100 %
+//     variance per bin; Welch trades resolution for variance),
+//   * Allan deviation — separates white noise (σ ∝ 1/√τ) from drift
+//     (σ rising with τ), the canonical sensor-stability plot.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/dsp/window.hpp"
+
+namespace tono::dsp {
+
+struct WelchConfig {
+  std::size_t segment_length{1024};  ///< power of two
+  double overlap{0.5};               ///< fraction of segment, in [0, 0.9]
+  WindowKind window{WindowKind::kHann};
+};
+
+struct PsdEstimate {
+  std::vector<double> freq_hz;
+  std::vector<double> psd;  ///< one-sided density [unit²/Hz]
+  std::size_t segments{0};
+};
+
+/// Welch PSD of a real record. Throws std::invalid_argument for a bad
+/// config or a record shorter than one segment.
+[[nodiscard]] PsdEstimate welch_psd(std::span<const double> x, double sample_rate_hz,
+                                    const WelchConfig& config = {});
+
+/// Integrated noise power of a PSD between two frequencies [unit²].
+[[nodiscard]] double integrate_psd(const PsdEstimate& psd, double f_lo_hz, double f_hi_hz);
+
+struct AllanPoint {
+  double tau_s{0.0};
+  double adev{0.0};
+};
+
+/// Overlapping Allan deviation at logarithmically spaced averaging times
+/// from `tau_min_s` up to a quarter of the record. Throws on bad input.
+[[nodiscard]] std::vector<AllanPoint> allan_deviation(std::span<const double> x,
+                                                      double sample_rate_hz,
+                                                      double tau_min_s = 0.0,
+                                                      std::size_t points_per_decade = 4);
+
+}  // namespace tono::dsp

@@ -1,0 +1,70 @@
+// spectrum.hpp — ADC-style spectral metrics (SNR, SNDR, THD, SFDR, ENOB).
+//
+// Implements the standard single-tone FFT test used to characterize the ΔΣ
+// converter in §3.1 / Fig. 7 of the paper: window the record, locate the
+// fundamental, integrate signal power over the leakage bins, separate
+// harmonic power from noise power, and report dB metrics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/dsp/window.hpp"
+
+namespace tono::dsp {
+
+/// Configuration for a single-tone spectral analysis.
+struct SpectrumConfig {
+  double sample_rate_hz{1000.0};
+  WindowKind window{WindowKind::kBlackmanHarris4};
+  double kaiser_beta{8.6};
+  /// Harmonics (2nd..n-th) treated as distortion rather than noise.
+  std::size_t harmonics{5};
+  /// Bins around DC excluded from both signal and noise (offset leakage).
+  std::size_t dc_exclude_bins{4};
+  /// Optional: force the fundamental bin instead of peak-searching
+  /// (0 = auto-detect).
+  std::size_t forced_fundamental_bin{0};
+};
+
+/// Result of analyzing one record.
+struct SpectrumAnalysis {
+  double fundamental_hz{0.0};
+  double fundamental_dbfs{0.0};     ///< amplitude relative to full scale = 1.0
+  double signal_power{0.0};
+  double noise_power{0.0};
+  double distortion_power{0.0};
+  double snr_db{0.0};               ///< signal / noise (excl. harmonics)
+  double sndr_db{0.0};              ///< signal / (noise + distortion)
+  double thd_db{0.0};               ///< distortion / signal (negative value)
+  double sfdr_db{0.0};              ///< fundamental / largest spur
+  double enob_bits{0.0};            ///< (SNDR - 1.76) / 6.02
+  std::size_t fundamental_bin{0};
+  std::vector<double> psd_dbfs;     ///< one-sided windowed spectrum in dBFS
+  std::vector<double> freq_hz;      ///< bin center frequencies
+};
+
+/// Runs the single-tone test on a real record whose length is a power of two
+/// (throws std::invalid_argument otherwise). Full scale is amplitude 1.0.
+[[nodiscard]] SpectrumAnalysis analyze_tone(std::span<const double> record,
+                                            const SpectrumConfig& config);
+
+/// Chooses a coherent test frequency near `target_hz`: an odd number of
+/// whole cycles in `record_length` samples at `sample_rate_hz` (odd avoids
+/// harmonics folding onto the fundamental's image), which eliminates
+/// spectral leakage entirely for periodic records.
+[[nodiscard]] double coherent_frequency(double target_hz, double sample_rate_hz,
+                                        std::size_t record_length) noexcept;
+
+/// Theoretical SNR limit of an ideal L-th order 1-bit ΔΣ modulator at the
+/// given oversampling ratio:
+/// SNR = 6.02·B + 1.76 + (20L+10)·log10(OSR) − 20·log10(π^L/√(2L+1)) with
+/// B = 1. Used by tests/benches as the shape reference.
+[[nodiscard]] double ideal_delta_sigma_snr_db(int order, double osr,
+                                              double input_dbfs = 0.0) noexcept;
+
+/// ENOB from an SNDR figure: (sndr_db − 1.76) / 6.02.
+[[nodiscard]] double enob_from_sndr(double sndr_db) noexcept;
+
+}  // namespace tono::dsp

@@ -1,0 +1,102 @@
+#include "src/dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/common/math_utils.hpp"
+
+namespace tono::dsp {
+
+std::vector<double> make_window(WindowKind kind, std::size_t n, double kaiser_beta) {
+  if (n == 0) return {};
+  std::vector<double> w(n, 1.0);
+  const double nn = static_cast<double>(n);  // periodic windows divide by n
+  const double two_pi = 2.0 * std::numbers::pi;
+  switch (kind) {
+    case WindowKind::kRectangular:
+      break;
+    case WindowKind::kHann:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.5 - 0.5 * std::cos(two_pi * static_cast<double>(i) / nn);
+      }
+      break;
+    case WindowKind::kHamming:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.54 - 0.46 * std::cos(two_pi * static_cast<double>(i) / nn);
+      }
+      break;
+    case WindowKind::kBlackman:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = two_pi * static_cast<double>(i) / nn;
+        w[i] = 0.42 - 0.5 * std::cos(t) + 0.08 * std::cos(2.0 * t);
+      }
+      break;
+    case WindowKind::kBlackmanHarris4:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = two_pi * static_cast<double>(i) / nn;
+        w[i] = 0.35875 - 0.48829 * std::cos(t) + 0.14128 * std::cos(2.0 * t) -
+               0.01168 * std::cos(3.0 * t);
+      }
+      break;
+    case WindowKind::kKaiser: {
+      const double denom = bessel_i0(kaiser_beta);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = 2.0 * static_cast<double>(i) / nn - 1.0;
+        w[i] = bessel_i0(kaiser_beta * std::sqrt(std::max(0.0, 1.0 - r * r))) / denom;
+      }
+      break;
+    }
+  }
+  return w;
+}
+
+double coherent_gain(const std::vector<double>& window) noexcept {
+  if (window.empty()) return 0.0;
+  double sum = 0.0;
+  for (double w : window) sum += w;
+  return sum / static_cast<double>(window.size());
+}
+
+double enbw_bins(const std::vector<double>& window) noexcept {
+  if (window.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double w : window) {
+    sum += w;
+    sum_sq += w * w;
+  }
+  if (sum == 0.0) return 0.0;
+  return static_cast<double>(window.size()) * sum_sq / (sum * sum);
+}
+
+std::size_t leakage_halfwidth_bins(WindowKind kind) noexcept {
+  switch (kind) {
+    case WindowKind::kRectangular:
+      return 1;
+    case WindowKind::kHann:
+    case WindowKind::kHamming:
+      return 3;
+    case WindowKind::kBlackman:
+      return 4;
+    case WindowKind::kBlackmanHarris4:
+      return 6;
+    case WindowKind::kKaiser:
+      return 6;
+  }
+  return 3;
+}
+
+std::string to_string(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRectangular: return "rectangular";
+    case WindowKind::kHann: return "hann";
+    case WindowKind::kHamming: return "hamming";
+    case WindowKind::kBlackman: return "blackman";
+    case WindowKind::kBlackmanHarris4: return "blackman-harris4";
+    case WindowKind::kKaiser: return "kaiser";
+  }
+  throw std::invalid_argument{"unknown WindowKind"};
+}
+
+}  // namespace tono::dsp

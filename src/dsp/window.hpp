@@ -1,0 +1,42 @@
+// window.hpp — spectral analysis window functions.
+//
+// Fig. 7 of the paper shows a windowed FFT of the ΔΣ ADC output; the SNR
+// computation needs the window's coherent gain and equivalent noise bandwidth
+// (ENBW) to normalize signal and noise power correctly. Window choice is an
+// explicit parameter everywhere so tests can pin exact values.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tono::dsp {
+
+enum class WindowKind {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+  kBlackmanHarris4,  // 4-term, -92 dB sidelobes; default for ADC spectra
+  kKaiser,           // parameterized by beta
+};
+
+/// Returns the window samples w[0..n-1] (periodic form, suitable for FFT
+/// analysis). `kaiser_beta` is only used for WindowKind::kKaiser.
+[[nodiscard]] std::vector<double> make_window(WindowKind kind, std::size_t n,
+                                              double kaiser_beta = 8.6);
+
+/// Sum(w)/n — amplitude scaling of a coherent sinusoid under the window.
+[[nodiscard]] double coherent_gain(const std::vector<double>& window) noexcept;
+
+/// Normalized equivalent noise bandwidth in bins:
+/// n * sum(w^2) / sum(w)^2. Rectangular = 1.0, Hann = 1.5, BH4 ≈ 2.0.
+[[nodiscard]] double enbw_bins(const std::vector<double>& window) noexcept;
+
+/// Number of bins on each side of a peak that contain significant window
+/// leakage; spectral metrics exclude these when integrating noise.
+[[nodiscard]] std::size_t leakage_halfwidth_bins(WindowKind kind) noexcept;
+
+[[nodiscard]] std::string to_string(WindowKind kind);
+
+}  // namespace tono::dsp

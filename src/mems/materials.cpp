@@ -1,0 +1,104 @@
+#include "src/mems/materials.hpp"
+
+#include <stdexcept>
+
+namespace tono::mems {
+
+Material silicon_dioxide() {
+  return Material{"SiO2", 70e9, 0.17, 2200.0, -100e6};
+}
+
+Material silicon_nitride() {
+  return Material{"Si3N4 (PECVD)", 250e9, 0.23, 3100.0, 400e6};
+}
+
+Material aluminum() {
+  return Material{"Al", 70e9, 0.35, 2700.0, 50e6};
+}
+
+Material polysilicon() {
+  return Material{"poly-Si", 160e9, 0.22, 2330.0, -20e6};
+}
+
+LayerStack::LayerStack(std::vector<Layer> layers) : layers_(std::move(layers)) {
+  for (const auto& l : layers_) {
+    if (l.thickness_m <= 0.0) throw std::invalid_argument{"LayerStack: non-positive thickness"};
+  }
+}
+
+void LayerStack::add_layer(const Material& material, double thickness_m) {
+  if (thickness_m <= 0.0) throw std::invalid_argument{"LayerStack: non-positive thickness"};
+  layers_.push_back(Layer{material, thickness_m});
+}
+
+double LayerStack::total_thickness_m() const noexcept {
+  double t = 0.0;
+  for (const auto& l : layers_) t += l.thickness_m;
+  return t;
+}
+
+double LayerStack::neutral_axis_m() const noexcept {
+  double num = 0.0;
+  double den = 0.0;
+  double z = 0.0;
+  for (const auto& l : layers_) {
+    const double ep = l.material.plate_modulus_pa();
+    const double mid = z + 0.5 * l.thickness_m;
+    num += ep * l.thickness_m * mid;
+    den += ep * l.thickness_m;
+    z += l.thickness_m;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double LayerStack::flexural_rigidity() const noexcept {
+  const double zn = neutral_axis_m();
+  double d = 0.0;
+  double z = 0.0;
+  for (const auto& l : layers_) {
+    const double ep = l.material.plate_modulus_pa();
+    const double zb = z - zn;
+    const double zt = z + l.thickness_m - zn;
+    d += ep * (zt * zt * zt - zb * zb * zb) / 3.0;
+    z += l.thickness_m;
+  }
+  return d;
+}
+
+double LayerStack::residual_tension() const noexcept {
+  double n = 0.0;
+  for (const auto& l : layers_) n += l.material.residual_stress_pa * l.thickness_m;
+  return n;
+}
+
+double LayerStack::areal_density() const noexcept {
+  double rho = 0.0;
+  for (const auto& l : layers_) rho += l.material.density_kg_m3 * l.thickness_m;
+  return rho;
+}
+
+double LayerStack::effective_youngs_modulus() const noexcept {
+  const double t = total_thickness_m();
+  if (t <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (const auto& l : layers_) acc += l.material.youngs_modulus_pa * l.thickness_m;
+  return acc / t;
+}
+
+double LayerStack::effective_poisson_ratio() const noexcept {
+  const double t = total_thickness_m();
+  if (t <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (const auto& l : layers_) acc += l.material.poisson_ratio * l.thickness_m;
+  return acc / t;
+}
+
+LayerStack LayerStack::cmos_membrane_stack() {
+  LayerStack stack;
+  stack.add_layer(silicon_dioxide(), 1.9e-6);
+  stack.add_layer(silicon_nitride(), 0.5e-6);
+  stack.add_layer(aluminum(), 0.6e-6);
+  return stack;
+}
+
+}  // namespace tono::mems

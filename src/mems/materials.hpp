@@ -1,0 +1,81 @@
+// materials.hpp — thin-film material properties and the CMOS membrane stack.
+//
+// The paper's membrane is "made of CMOS dielectric layers (silicon oxide /
+// nitride) and metallization (aluminum)" released by a KOH back-etch that
+// sacrifices the first metal layer (§2.1). We model it as a laminated plate:
+// each layer contributes to the composite flexural rigidity about the common
+// neutral axis and to the net residual membrane tension.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tono::mems {
+
+/// Isotropic thin-film material.
+struct Material {
+  std::string name;
+  double youngs_modulus_pa{0.0};
+  double poisson_ratio{0.0};
+  double density_kg_m3{0.0};
+  /// Residual (as-deposited) stress; positive = tensile.
+  double residual_stress_pa{0.0};
+
+  /// Plane-strain (biaxial plate) modulus E / (1 - ν²).
+  [[nodiscard]] double plate_modulus_pa() const noexcept {
+    return youngs_modulus_pa / (1.0 - poisson_ratio * poisson_ratio);
+  }
+};
+
+/// Representative 0.8 µm CMOS back-end films (typical published values for
+/// the era's processes; exact foundry numbers are proprietary).
+[[nodiscard]] Material silicon_dioxide();   ///< thermal/CVD oxide
+[[nodiscard]] Material silicon_nitride();   ///< PECVD passivation nitride
+[[nodiscard]] Material aluminum();          ///< Al-1%Si metallization
+[[nodiscard]] Material polysilicon();       ///< bottom-electrode poly
+
+/// One layer of the laminated membrane, bottom-up order.
+struct Layer {
+  Material material;
+  double thickness_m{0.0};
+};
+
+/// The laminated membrane cross-section (Fig. 2 of the paper).
+class LayerStack {
+ public:
+  LayerStack() = default;
+  explicit LayerStack(std::vector<Layer> layers);
+
+  void add_layer(const Material& material, double thickness_m);
+
+  [[nodiscard]] const std::vector<Layer>& layers() const noexcept { return layers_; }
+  [[nodiscard]] double total_thickness_m() const noexcept;
+
+  /// Distance of the composite neutral axis from the stack bottom,
+  /// z_n = Σ E'_i t_i z̄_i / Σ E'_i t_i.
+  [[nodiscard]] double neutral_axis_m() const noexcept;
+
+  /// Composite flexural rigidity D = Σ E'_i (z_top³ − z_bot³)/3 about the
+  /// neutral axis [N·m].
+  [[nodiscard]] double flexural_rigidity() const noexcept;
+
+  /// Net residual line tension N₀ = Σ σ_i t_i [N/m]; positive = tensile.
+  [[nodiscard]] double residual_tension() const noexcept;
+
+  /// Area mass density ρ_A = Σ ρ_i t_i [kg/m²].
+  [[nodiscard]] double areal_density() const noexcept;
+
+  /// Thickness-weighted average Young's modulus / Poisson ratio, used by the
+  /// large-deflection (von Kármán) stiffening term.
+  [[nodiscard]] double effective_youngs_modulus() const noexcept;
+  [[nodiscard]] double effective_poisson_ratio() const noexcept;
+
+  /// The paper's membrane: oxide (1.9 µm) + nitride (0.5 µm) + Al (0.6 µm),
+  /// 3 µm total as stated in §2.1.
+  [[nodiscard]] static LayerStack cmos_membrane_stack();
+
+ private:
+  std::vector<Layer> layers_;
+};
+
+}  // namespace tono::mems

@@ -1,0 +1,129 @@
+// Tests for the §4 feedback-capacitor auto-ranging controller.
+#include "src/core/autorange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/calibration.hpp"
+#include "src/core/pipeline.hpp"
+
+namespace tono::core {
+namespace {
+
+std::vector<double> window_with_peak(double peak) {
+  return {0.0, peak * 0.5, peak, -peak * 0.3, peak * 0.8};
+}
+
+TEST(AutoRanger, StaysPutWhenSignalFitsCurrentRange) {
+  FeedbackAutoRanger ar{AutoRangeConfig{}, 3};  // 5 fF
+  // Peak 0.5 at 5 fF: next range (2 fF) would predict 1.25 → stay.
+  const auto d = ar.update(window_with_peak(0.5));
+  EXPECT_FALSE(d.changed);
+  EXPECT_EQ(d.range_index, 3u);
+  EXPECT_DOUBLE_EQ(d.full_scale_ratio, 1.0);
+}
+
+TEST(AutoRanger, StepsFinerForSmallSignal) {
+  FeedbackAutoRanger ar{AutoRangeConfig{}, 0};  // 50 fF
+  // Peak 0.05 at 50 fF → at 25 fF predicted 0.1, well below headroom.
+  const auto d = ar.update(window_with_peak(0.05));
+  EXPECT_TRUE(d.changed);
+  EXPECT_EQ(d.range_index, 1u);
+  EXPECT_NEAR(d.full_scale_ratio, 25.0 / 50.0, 1e-12);
+}
+
+TEST(AutoRanger, WalksToFinestOverRepeatedUpdates) {
+  FeedbackAutoRanger ar{AutoRangeConfig{}, 0};
+  // A tiny signal: repeated updates walk one step at a time to the finest
+  // range that keeps it under headroom. In physical units the signal is
+  // peak₀ × bank[0]; once at range i the observed peak is that / bank[i].
+  const double physical = 0.01 * 50e-15;
+  for (int i = 0; i < 10; ++i) {
+    const double observed = physical / ar.current_capacitance_f();
+    (void)ar.update(window_with_peak(observed));
+  }
+  // At 2 fF the signal is 0.25 — comfortably inside, and no finer range
+  // exists.
+  EXPECT_EQ(ar.range_index(), 4u);
+}
+
+TEST(AutoRanger, BacksOffOnOverload) {
+  FeedbackAutoRanger ar{AutoRangeConfig{}, 4};  // finest, 2 fF
+  const auto d = ar.update(window_with_peak(0.95));
+  EXPECT_TRUE(d.changed);
+  EXPECT_EQ(d.range_index, 3u);
+  EXPECT_NEAR(d.full_scale_ratio, 5.0 / 2.0, 1e-12);
+}
+
+TEST(AutoRanger, NoBackOffAtCoarsestRange) {
+  FeedbackAutoRanger ar{AutoRangeConfig{}, 0};
+  const auto d = ar.update(window_with_peak(0.99));
+  EXPECT_FALSE(d.changed);
+  EXPECT_EQ(d.range_index, 0u);
+}
+
+TEST(AutoRanger, HysteresisBandHolds) {
+  // Peak between headroom and overload: no move in either direction.
+  FeedbackAutoRanger ar{AutoRangeConfig{}, 2};
+  const auto d = ar.update(window_with_peak(0.7));
+  EXPECT_FALSE(d.changed);
+}
+
+TEST(AutoRanger, EmptyWindowNoChange) {
+  FeedbackAutoRanger ar{AutoRangeConfig{}, 2};
+  const auto d = ar.update({});
+  EXPECT_FALSE(d.changed);
+}
+
+TEST(AutoRanger, BestRangeForPeakMonotone) {
+  FeedbackAutoRanger ar{AutoRangeConfig{}, 0};
+  EXPECT_GE(ar.best_range_for_peak(0.01), ar.best_range_for_peak(0.3));
+}
+
+TEST(AutoRanger, RejectsBadConfig) {
+  AutoRangeConfig bad;
+  bad.bank_f = {};
+  EXPECT_THROW((FeedbackAutoRanger{bad}), std::invalid_argument);
+  AutoRangeConfig bad2;
+  bad2.bank_f = {10e-15, 20e-15};  // not decreasing
+  EXPECT_THROW((FeedbackAutoRanger{bad2}), std::invalid_argument);
+  AutoRangeConfig bad3;
+  bad3.target_headroom = 0.9;
+  bad3.overload_threshold = 0.8;  // below headroom
+  EXPECT_THROW((FeedbackAutoRanger{bad3}), std::invalid_argument);
+  EXPECT_THROW((FeedbackAutoRanger{AutoRangeConfig{}, 99}), std::invalid_argument);
+}
+
+TEST(AutoRanger, PipelineRangeSwitchRescalesValues) {
+  // End-to-end: halving C_fb doubles the raw value of the same pressure,
+  // and TwoPointCalibration::rescaled keeps the mmHg mapping consistent.
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  auto settle_mean = [&](double p_pa) {
+    const auto out = pipe.acquire_uniform([=](double) { return p_pa; }, 300);
+    double acc = 0.0;
+    for (std::size_t i = 150; i < out.size(); ++i) acc += out[i].value;
+    return acc / 150.0;
+  };
+  const double p = 2000.0;
+  const double v_before = settle_mean(p);
+  const double ratio = pipe.set_feedback_capacitor(2.5e-15);  // 5 fF → 2.5 fF
+  EXPECT_NEAR(ratio, 0.5, 1e-9);
+  const double v_after = settle_mean(p);
+  EXPECT_NEAR(v_after, v_before / ratio, 0.05 * std::abs(v_after) + 5.0 / 2048.0);
+
+  // A calibration built before the switch maps the new values identically
+  // after rescaling.
+  const TwoPointCalibration cal{0.5, 0.1, 120.0, 80.0};
+  const auto cal2 = cal.rescaled(ratio);
+  EXPECT_NEAR(cal.to_mmhg(v_before), cal2.to_mmhg(v_before / ratio), 1e-9);
+}
+
+TEST(AutoRanger, CalibrationRescaleRejectsBadRatio) {
+  const TwoPointCalibration cal{0.5, 0.1, 120.0, 80.0};
+  EXPECT_THROW((void)cal.rescaled(0.0), std::invalid_argument);
+  EXPECT_THROW((void)cal.rescaled(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tono::core

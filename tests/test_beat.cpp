@@ -1,0 +1,83 @@
+// Tests for the single-beat pressure template.
+#include "src/bio/beat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tono::bio {
+namespace {
+
+TEST(BeatTemplate, NormalizedToUnitRange) {
+  const BeatTemplate beat;
+  double lo = 1e9;
+  double hi = -1e9;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = beat.value(i / 2000.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_NEAR(lo, 0.0, 1e-3);
+  EXPECT_NEAR(hi, 1.0, 1e-3);
+}
+
+TEST(BeatTemplate, PhaseWraps) {
+  const BeatTemplate beat;
+  EXPECT_NEAR(beat.value(0.3), beat.value(1.3), 1e-12);
+  EXPECT_NEAR(beat.value(0.3), beat.value(-0.7), 1e-12);
+}
+
+TEST(BeatTemplate, SystolicPeakEarlyInBeat) {
+  const BeatTemplate beat;
+  EXPECT_GT(beat.systolic_phase(), 0.05);
+  EXPECT_LT(beat.systolic_phase(), 0.30);
+  EXPECT_NEAR(beat.value(beat.systolic_phase()), 1.0, 1e-3);
+}
+
+TEST(BeatTemplate, DiastolicRunoffDecays) {
+  // Pressure falls from the dicrotic wave through mid-diastole; the minimum
+  // (the next beat's foot) sits in the last third of the beat.
+  const BeatTemplate beat;
+  EXPECT_GT(beat.value(0.60), beat.value(0.85));
+  double min_phase = 0.0;
+  double min_val = 1e9;
+  for (double p = 0.0; p < 1.0; p += 0.002) {
+    if (beat.value(p) < min_val) {
+      min_val = beat.value(p);
+      min_phase = p;
+    }
+  }
+  EXPECT_GT(min_phase, 0.6);
+}
+
+TEST(BeatTemplate, HasSecondaryWave) {
+  // A local maximum exists after the systolic peak (reflected/dicrotic wave)
+  // in the radial template: find any interior rise between 0.25 and 0.6.
+  const BeatTemplate beat;
+  bool rising_after_peak = false;
+  double prev = beat.value(0.25);
+  for (double p = 0.26; p < 0.60; p += 0.01) {
+    const double v = beat.value(p);
+    if (v > prev + 1e-4) rising_after_peak = true;
+    prev = v;
+  }
+  EXPECT_TRUE(rising_after_peak);
+}
+
+TEST(BeatTemplate, AorticDiffersFromRadial) {
+  const BeatTemplate radial{BeatMorphology::radial()};
+  const BeatTemplate aortic{BeatMorphology::aortic()};
+  double max_diff = 0.0;
+  for (double p = 0.0; p < 1.0; p += 0.01) {
+    max_diff = std::max(max_diff, std::abs(radial.value(p) - aortic.value(p)));
+  }
+  EXPECT_GT(max_diff, 0.05);
+}
+
+TEST(BeatTemplate, ContinuousAcrossWrap) {
+  const BeatTemplate beat;
+  EXPECT_NEAR(beat.value(0.999), beat.value(0.0), 0.12);
+}
+
+}  // namespace
+}  // namespace tono::bio

@@ -1,0 +1,125 @@
+// Tests for biquad IIR sections.
+#include "src/dsp/biquad.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace tono::dsp {
+namespace {
+
+double measure_gain(Biquad f, double freq, double fs) {
+  // Steady-state sine amplitude after settling.
+  const std::size_t n = static_cast<std::size_t>(fs * 4.0);
+  double peak = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double y = f.push(std::sin(2.0 * std::numbers::pi * freq * i / fs));
+    if (i > n / 2) peak = std::max(peak, std::abs(y));
+  }
+  return peak;
+}
+
+TEST(Biquad, LowpassDcGainUnity) {
+  auto f = Biquad::lowpass(50.0, 1000.0);
+  double y = 0.0;
+  for (int i = 0; i < 2000; ++i) y = f.push(1.0);
+  EXPECT_NEAR(y, 1.0, 1e-6);
+}
+
+TEST(Biquad, LowpassAttenuatesHighFrequency) {
+  auto f = Biquad::lowpass(50.0, 1000.0);
+  EXPECT_LT(measure_gain(f, 400.0, 1000.0), 0.05);
+}
+
+TEST(Biquad, LowpassMinusThreeDbAtCutoff) {
+  auto f = Biquad::lowpass(50.0, 1000.0);
+  EXPECT_NEAR(f.magnitude_at(50.0, 1000.0), 1.0 / std::sqrt(2.0), 0.01);
+}
+
+TEST(Biquad, HighpassBlocksDc) {
+  auto f = Biquad::highpass(1.0, 1000.0);
+  double y = 1.0;
+  for (int i = 0; i < 20000; ++i) y = f.push(1.0);
+  EXPECT_NEAR(y, 0.0, 1e-3);
+}
+
+TEST(Biquad, HighpassPassesHighFrequency) {
+  auto f = Biquad::highpass(1.0, 1000.0);
+  EXPECT_NEAR(f.magnitude_at(100.0, 1000.0), 1.0, 0.01);
+}
+
+TEST(Biquad, BandpassPeaksAtCenter) {
+  auto f = Biquad::bandpass(10.0, 2.0, 1000.0);
+  EXPECT_NEAR(f.magnitude_at(10.0, 1000.0), 1.0, 0.01);
+  EXPECT_LT(f.magnitude_at(1.0, 1000.0), 0.3);
+  EXPECT_LT(f.magnitude_at(100.0, 1000.0), 0.3);
+}
+
+TEST(Biquad, NotchNullsCenter) {
+  auto f = Biquad::notch(50.0, 10.0, 1000.0);
+  EXPECT_LT(f.magnitude_at(50.0, 1000.0), 1e-6);
+  EXPECT_NEAR(f.magnitude_at(5.0, 1000.0), 1.0, 0.05);
+  EXPECT_NEAR(f.magnitude_at(300.0, 1000.0), 1.0, 0.05);
+}
+
+TEST(Biquad, MagnitudeMatchesMeasurement) {
+  auto design = Biquad::lowpass(30.0, 1000.0);
+  for (double f : {10.0, 30.0, 60.0, 120.0}) {
+    auto fresh = Biquad::lowpass(30.0, 1000.0);
+    EXPECT_NEAR(measure_gain(fresh, f, 1000.0), design.magnitude_at(f, 1000.0), 0.02)
+        << "f = " << f;
+  }
+}
+
+TEST(Biquad, RejectsBadFrequencies) {
+  EXPECT_THROW((void)Biquad::lowpass(0.0, 1000.0), std::invalid_argument);
+  EXPECT_THROW((void)Biquad::lowpass(500.0, 1000.0), std::invalid_argument);
+  EXPECT_THROW((void)Biquad::bandpass(50.0, 0.0, 1000.0), std::invalid_argument);
+  EXPECT_THROW((void)Biquad::notch(50.0, -1.0, 1000.0), std::invalid_argument);
+}
+
+TEST(Biquad, ResetClearsState) {
+  auto f = Biquad::lowpass(50.0, 1000.0);
+  for (int i = 0; i < 100; ++i) (void)f.push(1.0);
+  f.reset();
+  EXPECT_NEAR(f.push(0.0), 0.0, 1e-15);
+}
+
+TEST(BiquadCascade, EmptyCascadeIsIdentity) {
+  BiquadCascade c;
+  EXPECT_DOUBLE_EQ(c.push(3.7), 3.7);
+}
+
+TEST(BiquadCascade, MagnitudeIsProduct) {
+  BiquadCascade c;
+  c.add(Biquad::lowpass(100.0, 1000.0));
+  c.add(Biquad::highpass(1.0, 1000.0));
+  const double expected = Biquad::lowpass(100.0, 1000.0).magnitude_at(50.0, 1000.0) *
+                          Biquad::highpass(1.0, 1000.0).magnitude_at(50.0, 1000.0);
+  EXPECT_NEAR(c.magnitude_at(50.0, 1000.0), expected, 1e-12);
+}
+
+TEST(BiquadCascade, ProcessAndReset) {
+  BiquadCascade c;
+  c.add(Biquad::lowpass(100.0, 1000.0));
+  std::vector<double> in(100, 1.0);
+  const auto a = c.process(in);
+  c.reset();
+  const auto b = c.process(in);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(c.section_count(), 1u);
+}
+
+TEST(BiquadCascade, BandpassCascadeSharpens) {
+  BiquadCascade one;
+  one.add(Biquad::bandpass(10.0, 1.0, 1000.0));
+  BiquadCascade two;
+  two.add(Biquad::bandpass(10.0, 1.0, 1000.0));
+  two.add(Biquad::bandpass(10.0, 1.0, 1000.0));
+  EXPECT_LT(two.magnitude_at(40.0, 1000.0), one.magnitude_at(40.0, 1000.0));
+}
+
+}  // namespace
+}  // namespace tono::dsp

@@ -1,0 +1,171 @@
+// Tests for the membrane gap capacitance.
+#include "src/mems/capacitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/units.hpp"
+
+namespace tono::mems {
+namespace {
+
+MembraneCapacitor make_cap(CapacitorGeometry geom = {}) {
+  return MembraneCapacitor{SquarePlate{PlateGeometry{}}, geom};
+}
+
+TEST(MembraneCapacitor, RestCapacitanceMatchesParallelPlate) {
+  CapacitorGeometry geom;
+  geom.electrode_coverage = 1.0;
+  geom.parasitic_f = 0.0;
+  const auto cap = make_cap(geom);
+  const double a = 100e-6;
+  const double expected = units::epsilon0 * a * a / geom.gap_m;
+  EXPECT_NEAR(cap.rest_capacitance(), expected, 1e-3 * expected);
+}
+
+TEST(MembraneCapacitor, RestCapacitanceIncludesParasitic) {
+  CapacitorGeometry geom;
+  geom.parasitic_f = 20e-15;
+  const auto with = make_cap(geom);
+  geom.parasitic_f = 0.0;
+  const auto without = make_cap(geom);
+  EXPECT_NEAR(with.rest_capacitance() - without.rest_capacitance(), 20e-15, 1e-20);
+}
+
+TEST(MembraneCapacitor, PaperElementAboutHundredFemtofarad) {
+  // 100 µm × 100 µm over ≈ 0.9 µm gap → order 100 fF, matching the design
+  // point the readout circuit is built around.
+  const auto cap = make_cap();
+  EXPECT_GT(cap.rest_capacitance(), 50e-15);
+  EXPECT_LT(cap.rest_capacitance(), 200e-15);
+}
+
+TEST(MembraneCapacitor, PressureIncreasesCapacitance) {
+  const auto cap = make_cap();
+  const double c0 = cap.capacitance_at_pressure(0.0);
+  const double c1 = cap.capacitance_at_pressure(units::mmhg_to_pa(100.0));
+  EXPECT_GT(c1, c0);
+}
+
+TEST(MembraneCapacitor, NegativePressureDecreasesCapacitance) {
+  const auto cap = make_cap();
+  EXPECT_LT(cap.capacitance_at_pressure(-units::mmhg_to_pa(100.0)),
+            cap.capacitance_at_pressure(0.0));
+}
+
+TEST(MembraneCapacitor, MonotoneOverOperatingRange) {
+  const auto cap = make_cap();
+  double prev = cap.capacitance_at_pressure(-30e3);
+  for (double p = -25e3; p <= 50e3; p += 5e3) {
+    const double c = cap.capacitance_at_pressure(p);
+    EXPECT_GT(c, prev) << "p = " << p;
+    prev = c;
+  }
+}
+
+TEST(MembraneCapacitor, SensitivityPositiveAndPlausible) {
+  const auto cap = make_cap();
+  const double s = cap.sensitivity_at(0.0);
+  EXPECT_GT(s, 0.0);
+  // Order of magnitude: tens of zeptofarad per pascal.
+  EXPECT_GT(s, 1e-21);
+  EXPECT_LT(s, 1e-18);
+}
+
+TEST(MembraneCapacitor, DeflectionTowardSubstrateIncreasesC) {
+  const auto cap = make_cap();
+  // Negative w0 = toward bottom electrode in the deflection convention.
+  EXPECT_GT(cap.capacitance_at_deflection(-100e-9), cap.capacitance_at_deflection(0.0));
+  EXPECT_LT(cap.capacitance_at_deflection(+100e-9), cap.capacitance_at_deflection(0.0));
+}
+
+TEST(MembraneCapacitor, TouchDownClampsDivergence) {
+  const auto cap = make_cap();
+  const double c_touch = cap.capacitance_at_deflection(-cap.geometry().gap_m);
+  const double c_beyond = cap.capacitance_at_deflection(-2.0 * cap.geometry().gap_m);
+  EXPECT_TRUE(std::isfinite(c_touch));
+  EXPECT_DOUBLE_EQ(c_touch, c_beyond);  // clamped
+}
+
+TEST(MembraneCapacitor, SmallerCoverageSmallerCapacitance) {
+  CapacitorGeometry g1;
+  g1.electrode_coverage = 1.0;
+  g1.parasitic_f = 0.0;
+  CapacitorGeometry g2 = g1;
+  g2.electrode_coverage = 0.5;
+  EXPECT_GT(make_cap(g1).rest_capacitance(), make_cap(g2).rest_capacitance());
+  // Quarter area → quarter capacitance (approximately; gap uniform at rest).
+  EXPECT_NEAR(make_cap(g2).rest_capacitance() / make_cap(g1).rest_capacitance(), 0.25,
+              0.01);
+}
+
+TEST(MembraneCapacitor, CentralElectrodeMoreSensitivePerArea) {
+  // The center deflects most, so a 50 %-coverage central electrode keeps
+  // more than 25 % of the full-coverage pressure response.
+  CapacitorGeometry full;
+  full.parasitic_f = 0.0;
+  full.electrode_coverage = 1.0;
+  CapacitorGeometry half = full;
+  half.electrode_coverage = 0.5;
+  const auto cf = make_cap(full);
+  const auto ch = make_cap(half);
+  const double p = 20e3;
+  const double dc_full = cf.capacitance_at_pressure(p) - cf.rest_capacitance();
+  const double dc_half = ch.capacitance_at_pressure(p) - ch.rest_capacitance();
+  EXPECT_GT(dc_half / dc_full, 0.25);
+}
+
+TEST(MembraneCapacitor, PullInVoltagePlausible) {
+  const auto cap = make_cap();
+  const double v_pi = cap.pull_in_voltage();
+  // Stiff CMOS membrane over a sub-micron gap: pull-in far above the 5 V
+  // supply (the device must not pull in during operation).
+  EXPECT_GT(v_pi, 5.0);
+  EXPECT_LT(v_pi, 1e4);
+}
+
+TEST(MembraneCapacitor, TouchDownDeflectionBelowGap) {
+  const auto cap = make_cap();
+  EXPECT_LT(cap.touch_down_deflection(), cap.geometry().gap_m);
+  EXPECT_GT(cap.touch_down_deflection(), 0.5 * cap.geometry().gap_m);
+}
+
+TEST(MembraneCapacitor, RejectsBadGeometry) {
+  CapacitorGeometry bad;
+  bad.gap_m = 0.0;
+  EXPECT_THROW(make_cap(bad), std::invalid_argument);
+  CapacitorGeometry bad2;
+  bad2.electrode_coverage = 0.0;
+  EXPECT_THROW(make_cap(bad2), std::invalid_argument);
+  CapacitorGeometry bad3;
+  bad3.electrode_coverage = 1.5;
+  EXPECT_THROW(make_cap(bad3), std::invalid_argument);
+}
+
+TEST(MembraneCapacitor, HigherPermittivityScalesPlateTerm) {
+  CapacitorGeometry g;
+  g.parasitic_f = 0.0;
+  g.gap_permittivity = 1.0;
+  const auto air = make_cap(g);
+  g.gap_permittivity = 2.0;
+  const auto dielectric = make_cap(g);
+  EXPECT_NEAR(dielectric.rest_capacitance() / air.rest_capacitance(), 2.0, 1e-9);
+}
+
+// Property: quadrature converges — finer grids agree with the default.
+class QuadratureTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuadratureTest, ConvergedCapacitance) {
+  const MembraneCapacitor coarse{SquarePlate{PlateGeometry{}}, CapacitorGeometry{},
+                                 GetParam()};
+  const MembraneCapacitor fine{SquarePlate{PlateGeometry{}}, CapacitorGeometry{}, 64};
+  const double p = 30e3;
+  EXPECT_NEAR(coarse.capacitance_at_pressure(p), fine.capacitance_at_pressure(p),
+              1e-4 * fine.capacitance_at_pressure(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, QuadratureTest, ::testing::Values(16u, 24u, 32u, 48u));
+
+}  // namespace
+}  // namespace tono::mems

@@ -1,0 +1,117 @@
+// Tests for the command-line flag parser.
+#include "src/common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tono {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p{"prog", "test program"};
+  p.add_flag("verbose", "say more");
+  p.add_string("name", "a name", "default-name");
+  p.add_double("rate", "a rate", 1.5);
+  p.add_int("count", "a count", 7);
+  p.add_string("required-thing", "no default");
+  return p;
+}
+
+TEST(ArgParser, DefaultsApply) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--required-thing", "x"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_FALSE(p.flag("verbose"));
+  EXPECT_EQ(p.string_value("name"), "default-name");
+  EXPECT_DOUBLE_EQ(p.double_value("rate"), 1.5);
+  EXPECT_EQ(p.int_value("count"), 7);
+}
+
+TEST(ArgParser, ValuesOverrideDefaults) {
+  auto p = make_parser();
+  const char* argv[] = {"prog",    "--verbose", "--name", "alice",      "--rate",
+                        "2.75",    "--count",   "42",     "--required-thing", "y"};
+  ASSERT_TRUE(p.parse(10, argv));
+  EXPECT_TRUE(p.flag("verbose"));
+  EXPECT_EQ(p.string_value("name"), "alice");
+  EXPECT_DOUBLE_EQ(p.double_value("rate"), 2.75);
+  EXPECT_EQ(p.int_value("count"), 42);
+}
+
+TEST(ArgParser, MissingRequiredFails) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  EXPECT_FALSE(p.parse(1, argv));
+  EXPECT_NE(p.error().find("required-thing"), std::string::npos);
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--nope", "--required-thing", "x"};
+  EXPECT_FALSE(p.parse(4, argv));
+  EXPECT_NE(p.error().find("unknown option"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--required-thing", "x", "--rate"};
+  EXPECT_FALSE(p.parse(4, argv));
+  EXPECT_NE(p.error().find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParser, NonNumericValueFails) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--required-thing", "x", "--rate", "fast"};
+  EXPECT_FALSE(p.parse(5, argv));
+  EXPECT_NE(p.error().find("expects a number"), std::string::npos);
+}
+
+TEST(ArgParser, NegativeNumbersAccepted) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--required-thing", "x", "--rate", "-2.5"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_DOUBLE_EQ(p.double_value("rate"), -2.5);
+}
+
+TEST(ArgParser, HelpRequested) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+  EXPECT_TRUE(p.help_requested());
+  EXPECT_NE(p.help_text().find("--rate"), std::string::npos);
+  EXPECT_NE(p.help_text().find("default 1.5"), std::string::npos);
+}
+
+TEST(ArgParser, PositionalCollected) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "pos1", "--required-thing", "x", "pos2"};
+  ASSERT_TRUE(p.parse(5, argv));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "pos1");
+  EXPECT_EQ(p.positional()[1], "pos2");
+}
+
+TEST(ArgParser, HasReportsExplicitOnly) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--required-thing", "x", "--name", "bob"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_TRUE(p.has("name"));
+  EXPECT_FALSE(p.has("rate"));
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  ArgParser p{"prog"};
+  p.add_flag("x", "flag");
+  EXPECT_THROW(p.add_double("x", "again"), std::invalid_argument);
+}
+
+TEST(ArgParser, WrongTypeAccessThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--required-thing", "x"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_THROW((void)p.flag("rate"), std::invalid_argument);
+  EXPECT_THROW((void)p.double_value("verbose"), std::invalid_argument);
+  EXPECT_THROW((void)p.string_value("missing"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tono

@@ -1,0 +1,87 @@
+// Tests for the clocked comparator.
+#include "src/analog/comparator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tono::analog {
+namespace {
+
+ComparatorConfig quiet() {
+  ComparatorConfig c;
+  c.noise_vrms = 0.0;
+  c.metastable_band_v = 0.0;
+  return c;
+}
+
+TEST(Comparator, SignDecisions) {
+  Comparator cmp{quiet(), tono::Rng{1}};
+  EXPECT_EQ(cmp.decide(0.5), 1);
+  EXPECT_EQ(cmp.decide(-0.5), -1);
+}
+
+TEST(Comparator, OffsetShiftsThreshold) {
+  ComparatorConfig c = quiet();
+  c.offset_v = 0.1;
+  Comparator cmp{c, tono::Rng{1}};
+  EXPECT_EQ(cmp.decide(0.05), -1);  // below offset
+  EXPECT_EQ(cmp.decide(0.15), 1);
+}
+
+TEST(Comparator, HysteresisFavorsLastDecision) {
+  ComparatorConfig c = quiet();
+  c.hysteresis_v = 0.2;
+  Comparator cmp{c, tono::Rng{1}};
+  EXPECT_EQ(cmp.decide(1.0), 1);
+  // Slightly negative input stays high inside the hysteresis band.
+  EXPECT_EQ(cmp.decide(-0.05), 1);
+  // Beyond the band it flips.
+  EXPECT_EQ(cmp.decide(-0.15), -1);
+  // And now slightly positive stays low.
+  EXPECT_EQ(cmp.decide(0.05), -1);
+}
+
+TEST(Comparator, MetastableBandRandomizes) {
+  ComparatorConfig c = quiet();
+  c.metastable_band_v = 1e-3;
+  Comparator cmp{c, tono::Rng{7}};
+  int pos = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (cmp.decide(0.0) > 0) ++pos;
+  }
+  EXPECT_GT(pos, 300);
+  EXPECT_LT(pos, 700);
+}
+
+TEST(Comparator, DeterministicWithSameSeed) {
+  ComparatorConfig c;
+  c.noise_vrms = 1e-3;
+  Comparator a{c, tono::Rng{42}};
+  Comparator b{c, tono::Rng{42}};
+  for (int i = 0; i < 200; ++i) {
+    const double v = (i % 7 - 3) * 1e-4;
+    EXPECT_EQ(a.decide(v), b.decide(v));
+  }
+}
+
+TEST(Comparator, NoiseFlipsMarginalDecisions) {
+  ComparatorConfig c = quiet();
+  c.noise_vrms = 10e-3;
+  Comparator cmp{c, tono::Rng{3}};
+  int pos = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (cmp.decide(1e-3) > 0) ++pos;  // input well inside the noise
+  }
+  EXPECT_GT(pos, 900);    // biased positive…
+  EXPECT_LT(pos, 1500);   // …but not deterministic
+}
+
+TEST(Comparator, LastDecisionTracks) {
+  Comparator cmp{quiet(), tono::Rng{1}};
+  (void)cmp.decide(1.0);
+  EXPECT_EQ(cmp.last_decision(), 1);
+  (void)cmp.decide(-1.0);
+  EXPECT_EQ(cmp.last_decision(), -1);
+}
+
+}  // namespace
+}  // namespace tono::analog

@@ -1,0 +1,117 @@
+// Tests for the oscillometric cuff simulator (baseline device).
+#include "src/bio/cuff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tono::bio {
+namespace {
+
+TEST(Cuff, ReadingCloseToTruth) {
+  OscillometricCuff cuff{CuffConfig{}};
+  const auto r = cuff.measure(120.0, 80.0, 72.0);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.systolic_mmhg, 120.0, 5.0);
+  EXPECT_NEAR(r.diastolic_mmhg, 80.0, 5.0);
+  EXPECT_NEAR(r.map_mmhg, 80.0 + 40.0 / 3.0, 6.0);
+}
+
+TEST(Cuff, LowBiasAcrossSeeds) {
+  double sys_bias = 0.0;
+  double dia_bias = 0.0;
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    CuffConfig c;
+    c.seed = static_cast<std::uint64_t>(100 + i);
+    OscillometricCuff cuff{c};
+    const auto r = cuff.measure(120.0, 80.0, 72.0);
+    ASSERT_TRUE(r.valid);
+    sys_bias += r.systolic_mmhg - 120.0;
+    dia_bias += r.diastolic_mmhg - 80.0;
+  }
+  EXPECT_LT(std::abs(sys_bias / n), 2.0);
+  EXPECT_LT(std::abs(dia_bias / n), 2.0);
+}
+
+TEST(Cuff, OrderingPreserved) {
+  OscillometricCuff cuff{CuffConfig{}};
+  const auto r = cuff.measure(140.0, 90.0, 80.0);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.systolic_mmhg, r.map_mmhg);
+  EXPECT_GT(r.map_mmhg, r.diastolic_mmhg);
+}
+
+TEST(Cuff, FailsOutsideDeflationWindow) {
+  OscillometricCuff cuff{CuffConfig{}};
+  EXPECT_FALSE(cuff.measure(200.0, 120.0, 72.0).valid);  // sys above start
+  EXPECT_FALSE(cuff.measure(70.0, 40.0, 72.0).valid);    // dia below end
+}
+
+TEST(Cuff, FailsOnDegenerateInputs) {
+  OscillometricCuff cuff{CuffConfig{}};
+  EXPECT_FALSE(cuff.measure(80.0, 80.0, 72.0).valid);
+  EXPECT_FALSE(cuff.measure(120.0, 80.0, 0.0).valid);
+}
+
+TEST(Cuff, MeasurementTakesDeflationTime) {
+  OscillometricCuff cuff{CuffConfig{}};
+  const auto r = cuff.measure(120.0, 80.0, 72.0);
+  // 140 mmHg at 3 mmHg/s ≈ 47 s — the §1 argument for a continuous sensor.
+  EXPECT_NEAR(r.duration_s, (180.0 - 40.0) / 3.0, 1e-9);
+}
+
+TEST(Cuff, MaxMeasurementRateLimited) {
+  OscillometricCuff cuff{CuffConfig{}};
+  const double per_hour = cuff.max_measurements_per_hour();
+  EXPECT_LT(per_hour, 60.0);  // far below beat-to-beat
+  EXPECT_GT(per_hour, 10.0);
+}
+
+TEST(Cuff, RejectsBadConfig) {
+  CuffConfig bad;
+  bad.deflation_rate_mmhg_per_s = 0.0;
+  EXPECT_THROW((OscillometricCuff{bad}), std::invalid_argument);
+  CuffConfig bad2;
+  bad2.start_pressure_mmhg = 30.0;
+  EXPECT_THROW((OscillometricCuff{bad2}), std::invalid_argument);
+  CuffConfig bad3;
+  bad3.systolic_ratio = 1.5;
+  EXPECT_THROW((OscillometricCuff{bad3}), std::invalid_argument);
+}
+
+struct CuffCase {
+  double sys;
+  double dia;
+  double hr;
+};
+
+class CuffSweepTest : public ::testing::TestWithParam<CuffCase> {};
+
+TEST_P(CuffSweepTest, AccurateAcrossClinicalRange) {
+  // Average several repeated measurements (different noise draws).
+  double sys_acc = 0.0;
+  double dia_acc = 0.0;
+  const int reps = 10;
+  for (int i = 0; i < reps; ++i) {
+    CuffConfig c;
+    c.seed = static_cast<std::uint64_t>(7000 + i);
+    OscillometricCuff cuff{c};
+    const auto r = cuff.measure(GetParam().sys, GetParam().dia, GetParam().hr);
+    ASSERT_TRUE(r.valid);
+    sys_acc += r.systolic_mmhg;
+    dia_acc += r.diastolic_mmhg;
+  }
+  EXPECT_NEAR(sys_acc / reps, GetParam().sys, 4.0);
+  EXPECT_NEAR(dia_acc / reps, GetParam().dia, 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClinicalRange, CuffSweepTest,
+                         ::testing::Values(CuffCase{110.0, 70.0, 60.0},
+                                           CuffCase{120.0, 80.0, 72.0},
+                                           CuffCase{135.0, 85.0, 85.0},
+                                           CuffCase{150.0, 95.0, 95.0},
+                                           CuffCase{165.0, 105.0, 110.0}));
+
+}  // namespace
+}  // namespace tono::bio

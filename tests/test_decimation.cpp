@@ -1,0 +1,227 @@
+// Tests for the two-stage (SINC³ + 32-tap FIR) decimation chain.
+#include "src/dsp/decimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace tono::dsp {
+namespace {
+
+std::vector<int> constant_bitstream(double mean, std::size_t n) {
+  // First-order ΔΣ encoding of a constant: deterministic error feedback.
+  std::vector<int> bits(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += mean;
+    if (acc >= 0.0) {
+      bits[i] = 1;
+      acc -= 1.0;
+    } else {
+      bits[i] = -1;
+      acc += 1.0;
+    }
+  }
+  return bits;
+}
+
+TEST(DecimationChain, PaperConfigIsValid) {
+  EXPECT_NO_THROW((DecimationChain{DecimationConfig{}}));
+}
+
+TEST(DecimationChain, OutputRate) {
+  DecimationChain chain{DecimationConfig{}};
+  EXPECT_DOUBLE_EQ(chain.output_rate_hz(), 1000.0);
+}
+
+TEST(DecimationChain, OutputCount) {
+  DecimationChain chain{DecimationConfig{}};
+  const auto bits = constant_bitstream(0.0, 128 * 50);
+  EXPECT_EQ(chain.process(bits).size(), 50u);
+}
+
+TEST(DecimationChain, DcMapsToCode) {
+  for (double dc : {0.0, 0.25, -0.5, 0.7}) {
+    DecimationChain chain{DecimationConfig{}};
+    const auto bits = constant_bitstream(dc, 128 * 100);
+    const auto out = chain.process(bits);
+    ASSERT_GT(out.size(), 20u);
+    // Steady state (skip the filter transient).
+    EXPECT_NEAR(out.back().value, dc, 0.01) << "dc " << dc;
+    EXPECT_NEAR(static_cast<double>(out.back().code), dc * 2048.0, 24.0);
+  }
+}
+
+TEST(DecimationChain, TwelveBitCodesInRange) {
+  DecimationChain chain{DecimationConfig{}};
+  const auto bits = constant_bitstream(0.9, 128 * 100);
+  for (const auto& s : chain.process(bits)) {
+    EXPECT_GE(s.code, -2048);
+    EXPECT_LE(s.code, 2047);
+    EXPECT_GE(s.value, -1.0);
+    EXPECT_LT(s.value, 1.0);
+  }
+}
+
+TEST(DecimationChain, OverloadSaturatesGracefully) {
+  DecimationConfig cfg;
+  DecimationChain chain{cfg};
+  // All-ones bitstream = +FS; the chain must clip at the top code.
+  std::vector<int> bits(128 * 60, 1);
+  const auto out = chain.process(bits);
+  EXPECT_EQ(out.back().code, 2047);
+}
+
+TEST(DecimationChain, PassbandUnityGain) {
+  // A 100 Hz sine encoded at 128 kHz should come through at amplitude.
+  DecimationChain chain{DecimationConfig{}};
+  const double fs = 128000.0;
+  const double f = 100.0;
+  const std::size_t n = 128 * 3000;
+  std::vector<int> bits(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = 0.5 * std::sin(2.0 * std::numbers::pi * f * i / fs);
+    acc += v;
+    if (acc >= 0.0) {
+      bits[i] = 1;
+      acc -= 1.0;
+    } else {
+      bits[i] = -1;
+      acc += 1.0;
+    }
+  }
+  const auto out = chain.process_values(bits);
+  double peak = 0.0;
+  for (std::size_t i = out.size() / 2; i < out.size(); ++i) {
+    peak = std::max(peak, std::abs(out[i]));
+  }
+  EXPECT_NEAR(peak, 0.5, 0.05);
+}
+
+TEST(DecimationChain, MagnitudeRespectsCutoff) {
+  DecimationChain chain{DecimationConfig{}};
+  EXPECT_NEAR(chain.magnitude_at(50.0), 1.0, 0.1);
+  EXPECT_NEAR(chain.magnitude_at(200.0), 1.0, 0.15);
+  EXPECT_LT(chain.magnitude_at(900.0), 0.2);     // beyond output Nyquist image
+  EXPECT_LT(chain.magnitude_at(4000.0), 0.02);   // deep stopband
+}
+
+TEST(DecimationChain, DroopCompensationFlattensPassband) {
+  DecimationConfig with;
+  with.compensate_cic_droop = true;
+  DecimationConfig without;
+  without.compensate_cic_droop = false;
+  DecimationChain a{with};
+  DecimationChain b{without};
+  // Compare deviation from unity at 400 Hz (big CIC droop region).
+  const double dev_with = std::abs(a.magnitude_at(400.0) - 1.0);
+  const double dev_without = std::abs(b.magnitude_at(400.0) - 1.0);
+  EXPECT_LT(dev_with, dev_without);
+}
+
+TEST(DecimationChain, AliasRejectionAtImageOfPassband) {
+  // Signals near k·f_out ± f alias into the passband after decimation; the
+  // CIC nulls sit exactly there. Check the chain is deeply attenuating.
+  DecimationChain chain{DecimationConfig{}};
+  const double f_intermediate = 4000.0;  // CIC output rate
+  for (double offset : {-100.0, 100.0}) {
+    EXPECT_LT(chain.magnitude_at(f_intermediate + offset), 0.01);
+  }
+}
+
+TEST(DecimationChain, GroupDelayPositiveAndSane) {
+  DecimationChain chain{DecimationConfig{}};
+  const double gd = chain.group_delay_seconds();
+  EXPECT_GT(gd, 0.0);
+  EXPECT_LT(gd, 0.05);  // tens of ms at most
+}
+
+TEST(DecimationChain, ResetReproducesOutput) {
+  DecimationChain chain{DecimationConfig{}};
+  const auto bits = constant_bitstream(0.3, 128 * 30);
+  const auto a = chain.process(bits);
+  chain.reset();
+  const auto b = chain.process(bits);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].code, b[i].code);
+}
+
+TEST(DecimationChain, RejectsInvalidConfigs) {
+  DecimationConfig bad;
+  bad.cic_decimation = 33;  // does not divide 128
+  EXPECT_THROW((DecimationChain{bad}), std::invalid_argument);
+  DecimationConfig bad2;
+  bad2.cutoff_hz = 600.0;  // above output Nyquist (500 Hz)
+  EXPECT_THROW((DecimationChain{bad2}), std::invalid_argument);
+  DecimationConfig bad3;
+  bad3.fir_taps = 2;
+  EXPECT_THROW((DecimationChain{bad3}), std::invalid_argument);
+  DecimationConfig bad4;
+  bad4.output_bits = 1;
+  EXPECT_THROW((DecimationChain{bad4}), std::invalid_argument);
+}
+
+TEST(DecimationChain, FirCoefficientCount) {
+  DecimationChain chain{DecimationConfig{}};
+  EXPECT_EQ(chain.fir_coefficients().size(), 32u);
+}
+
+TEST(DecimationChain, QuantizedFirTracksFloatReference) {
+  // The bit-exact chain must agree with a floating-point reference chain
+  // (same CIC, float FIR) to within ~1 LSB of the 12-bit output.
+  DecimationConfig cfg;
+  DecimationChain chain{cfg};
+  CicDecimator cic{cfg.cic_order, cfg.cic_decimation, 2};
+  FirFilter fir{chain.fir_coefficients(), cfg.total_decimation / cfg.cic_decimation};
+  const double cic_gain = static_cast<double>(cic.gain());
+
+  // 60 Hz sine bitstream at 0.4 FS.
+  const double fs = 128000.0;
+  std::vector<int> bits;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < 128 * 2000; ++i) {
+    const double v = 0.4 * std::sin(2.0 * std::numbers::pi * 60.0 * i / fs);
+    acc += v;
+    if (acc >= 0.0) {
+      bits.push_back(1);
+      acc -= 1.0;
+    } else {
+      bits.push_back(-1);
+      acc += 1.0;
+    }
+  }
+  std::vector<double> ref;
+  for (int b : bits) {
+    if (auto c = cic.push(b)) {
+      if (auto y = fir.push(static_cast<double>(*c) / cic_gain)) ref.push_back(*y);
+    }
+  }
+  const auto out = chain.process_values(bits);
+  ASSERT_EQ(out.size(), ref.size());
+  double worst = 0.0;
+  for (std::size_t i = 20; i < out.size(); ++i) {
+    worst = std::max(worst, std::abs(out[i] - ref[i]));
+  }
+  EXPECT_LT(worst, 2.5 / 2048.0);  // ≤ ~2 LSB incl. coefficient quantization
+}
+
+// Property: different CIC/FIR splits of the same total OSR all decode DC.
+class SplitTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SplitTest, DcDecodes) {
+  DecimationConfig cfg;
+  cfg.cic_decimation = GetParam();
+  DecimationChain chain{cfg};
+  const auto bits = constant_bitstream(0.4, 128 * 80);
+  const auto out = chain.process(bits);
+  ASSERT_FALSE(out.empty());
+  EXPECT_NEAR(out.back().value, 0.4, 0.02) << "cic R = " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(CicSplits, SplitTest, ::testing::Values(16u, 32u, 64u, 128u));
+
+}  // namespace
+}  // namespace tono::dsp

@@ -1,0 +1,95 @@
+// Tests for release-yield fault injection and graceful degradation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/units.hpp"
+#include "src/core/monitor.hpp"
+#include "src/core/scan.hpp"
+#include "src/core/sensor_array.hpp"
+
+namespace tono::core {
+namespace {
+
+ChipConfig chip_with_fault(std::size_t row, std::size_t col, ElementFault fault) {
+  auto chip = ChipConfig::paper_chip();
+  chip.faults.push_back(ElementFaultSpec{row, col, fault});
+  return chip;
+}
+
+TEST(Faults, HealthyByDefault) {
+  SensorArray arr{ChipConfig::paper_chip()};
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    EXPECT_TRUE(arr.element(i).is_healthy());
+    EXPECT_EQ(arr.element(i).fault(), ElementFault::kNone);
+  }
+}
+
+TEST(Faults, NotReleasedIsPressureIndependent) {
+  SensorArray arr{chip_with_fault(0, 0, ElementFault::kNotReleased)};
+  const auto& dead = arr.element(0, 0);
+  EXPECT_FALSE(dead.is_healthy());
+  const double c0 = dead.capacitance(0.0);
+  const double c1 = dead.capacitance(units::mmhg_to_pa(150.0));
+  EXPECT_DOUBLE_EQ(c0, c1);
+  // Healthy neighbours still respond.
+  const auto& ok = arr.element(0, 1);
+  EXPECT_GT(ok.capacitance(units::mmhg_to_pa(150.0)), ok.capacitance(0.0));
+}
+
+TEST(Faults, StuckDownReadsHighAndFlat) {
+  SensorArray arr{chip_with_fault(1, 1, ElementFault::kStuckDown)};
+  const auto& stuck = arr.element(1, 1);
+  const auto& ok = arr.element(0, 0);
+  // Collapsed gap → well above the healthy rest capacitance.
+  EXPECT_GT(stuck.capacitance(0.0), 1.5 * ok.capacitance(0.0));
+  EXPECT_DOUBLE_EQ(stuck.capacitance(0.0), stuck.capacitance(units::mmhg_to_pa(100.0)));
+}
+
+TEST(Faults, TempcoStillAppliesToFaultyElement) {
+  SensorArray arr{chip_with_fault(0, 0, ElementFault::kNotReleased)};
+  const auto& dead = arr.element(0, 0);
+  EXPECT_GT(dead.capacitance(0.0, 310.0), dead.capacitance(0.0, 300.0));
+}
+
+TEST(Faults, ScanAvoidsDeadElement) {
+  // The dead element carries no pulsation; strongest-element selection must
+  // pick a released one — yield tolerance through the array (§2).
+  BloodPressureMonitor mon{chip_with_fault(0, 0, ElementFault::kNotReleased),
+                           WristModel{}};
+  ScanConfig sc;
+  sc.dwell_samples = 1200;
+  const auto scan = mon.localize(sc);
+  EXPECT_FALSE(scan.best_row == 0 && scan.best_col == 0);
+}
+
+TEST(Faults, MonitoringSurvivesOneDeadElement) {
+  BloodPressureMonitor mon{chip_with_fault(0, 1, ElementFault::kStuckDown),
+                           WristModel{}};
+  ScanConfig sc;
+  sc.dwell_samples = 1200;
+  (void)mon.localize(sc);
+  (void)mon.calibrate(10.0);
+  const auto rep = mon.monitor(20.0);
+  EXPECT_GE(rep.beats.beats.size(), 15u);
+  EXPECT_LT(std::abs(rep.map_error_mmhg), 6.0);
+}
+
+TEST(Faults, AllDeadArrayYieldsNoPulsation) {
+  auto chip = ChipConfig::paper_chip();
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      chip.faults.push_back(ElementFaultSpec{r, c, ElementFault::kNotReleased});
+    }
+  }
+  BloodPressureMonitor mon{chip, WristModel{}};
+  ScanConfig sc;
+  sc.dwell_samples = 1200;
+  const auto scan = mon.localize(sc);
+  // Converter noise only: amplitude far below a healthy element's.
+  EXPECT_LT(scan.best_amplitude, 0.003);
+  EXPECT_THROW((void)mon.calibrate(10.0), std::exception);
+}
+
+}  // namespace
+}  // namespace tono::core

@@ -1,0 +1,162 @@
+// Tests for the radix-2 FFT.
+#include "src/dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace tono::dsp {
+namespace {
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> x(64, Complex{0.0, 0.0});
+  x[0] = Complex{1.0, 0.0};
+  fft_inplace(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcGivesSingleBin) {
+  std::vector<Complex> x(32, Complex{2.0, 0.0});
+  fft_inplace(x);
+  EXPECT_NEAR(x[0].real(), 64.0, 1e-10);
+  for (std::size_t k = 1; k < x.size(); ++k) EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-10);
+}
+
+TEST(Fft, SineLandsOnItsBin) {
+  const std::size_t n = 256;
+  const std::size_t bin = 17;
+  std::vector<Complex> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = Complex{std::sin(2.0 * std::numbers::pi * bin * i / n), 0.0};
+  }
+  fft_inplace(x);
+  EXPECT_NEAR(std::abs(x[bin]), n / 2.0, 1e-8);
+  EXPECT_NEAR(std::abs(x[n - bin]), n / 2.0, 1e-8);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    if (k != bin) EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-8) << "bin " << k;
+  }
+}
+
+TEST(Fft, RoundTripRestoresSignal) {
+  Rng rng{3};
+  std::vector<Complex> x(128);
+  for (auto& v : x) v = Complex{rng.gaussian(), rng.gaussian()};
+  const auto original = x;
+  fft_inplace(x);
+  ifft_inplace(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(x[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng{4};
+  std::vector<Complex> x(512);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = Complex{rng.gaussian(), 0.0};
+    time_energy += std::norm(v);
+  }
+  fft_inplace(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / x.size(), time_energy, 1e-8 * time_energy);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> x(100);
+  EXPECT_THROW(fft_inplace(x), std::invalid_argument);
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<Complex> x{Complex{3.0, 4.0}};
+  EXPECT_NO_THROW(fft_inplace(x));
+  EXPECT_NEAR(x[0].real(), 3.0, 1e-15);
+}
+
+TEST(FftReal, PadsToPowerOfTwo) {
+  std::vector<double> x(100, 1.0);
+  const auto spec = fft_real(x);
+  EXPECT_EQ(spec.size(), 128u);
+}
+
+TEST(MagnitudeSpectrum, FullScaleSineReadsAmplitude) {
+  const std::size_t n = 1024;
+  const std::size_t bin = 33;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.7 * std::sin(2.0 * std::numbers::pi * bin * i / n);
+  }
+  const auto mag = magnitude_spectrum(x);
+  ASSERT_EQ(mag.size(), n / 2 + 1);
+  EXPECT_NEAR(mag[bin], 0.7, 1e-9);
+}
+
+TEST(MagnitudeSpectrum, DcReadsMean) {
+  std::vector<double> x(256, 0.25);
+  const auto mag = magnitude_spectrum(x);
+  EXPECT_NEAR(mag[0], 0.25, 1e-12);
+}
+
+TEST(PowerSpectrum, SinePowerIsHalfAmplitudeSquared) {
+  const std::size_t n = 1024;
+  const std::size_t bin = 5;
+  const double amp = 0.6;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::sin(2.0 * std::numbers::pi * bin * i / n);
+  }
+  const auto pwr = power_spectrum(x);
+  EXPECT_NEAR(pwr[bin], amp * amp / 2.0, 1e-10);
+}
+
+TEST(PowerSpectrum, TotalPowerMatchesTimeDomain) {
+  Rng rng{12};
+  const std::size_t n = 2048;
+  std::vector<double> x(n);
+  double p_time = 0.0;
+  for (auto& v : x) {
+    v = rng.gaussian();
+    p_time += v * v;
+  }
+  p_time /= static_cast<double>(n);
+  const auto pwr = power_spectrum(x);
+  double p_freq = 0.0;
+  for (double p : pwr) p_freq += p;
+  EXPECT_NEAR(p_freq, p_time, 1e-9 * p_time);
+}
+
+TEST(PowerSpectrum, RejectsNonPowerOfTwo) {
+  std::vector<double> x(100, 0.0);
+  EXPECT_THROW((void)power_spectrum(x), std::invalid_argument);
+}
+
+// Property: linearity of the FFT across scales.
+class FftScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FftScaleTest, Linearity) {
+  Rng rng{42};
+  std::vector<Complex> x(64);
+  for (auto& v : x) v = Complex{rng.gaussian(), 0.0};
+  auto scaled = x;
+  for (auto& v : scaled) v *= GetParam();
+  fft_inplace(x);
+  fft_inplace(scaled);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(scaled[i]), GetParam() * std::abs(x[i]),
+                1e-9 * (1.0 + std::abs(x[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, FftScaleTest, ::testing::Values(0.5, 2.0, 10.0));
+
+}  // namespace
+}  // namespace tono::dsp

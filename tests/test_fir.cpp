@@ -1,0 +1,211 @@
+// Tests for FIR design and filtering (floating and fixed point).
+#include "src/dsp/fir_design.hpp"
+#include "src/dsp/fir_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace tono::dsp {
+namespace {
+
+TEST(FirDesign, UnityDcGain) {
+  const auto h = design_lowpass(32, 500.0, 4000.0);
+  double sum = 0.0;
+  for (double c : h) sum += c;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(FirDesign, SymmetricCoefficients) {
+  const auto h = design_lowpass(32, 500.0, 4000.0);
+  for (std::size_t i = 0; i < h.size() / 2; ++i) {
+    EXPECT_NEAR(h[i], h[h.size() - 1 - i], 1e-12) << "tap " << i;
+  }
+}
+
+TEST(FirDesign, CutoffIsMinusSixDb) {
+  // A windowed-sinc lowpass passes half amplitude at the design cutoff.
+  const auto h = design_lowpass(63, 500.0, 4000.0, WindowKind::kHamming);
+  const double mag = fir_magnitude_at(h, 500.0, 4000.0);
+  EXPECT_NEAR(mag, 0.5, 0.05);
+}
+
+TEST(FirDesign, PassbandFlatStopbandDown) {
+  const auto h = design_lowpass(63, 500.0, 4000.0, WindowKind::kHamming);
+  EXPECT_NEAR(fir_magnitude_at(h, 50.0, 4000.0), 1.0, 0.01);
+  EXPECT_LT(fir_magnitude_at(h, 1500.0, 4000.0), 0.01);  // > 40 dB down
+}
+
+TEST(FirDesign, RejectsBadParams) {
+  EXPECT_THROW((void)design_lowpass(1, 500.0, 4000.0), std::invalid_argument);
+  EXPECT_THROW((void)design_lowpass(32, 0.0, 4000.0), std::invalid_argument);
+  EXPECT_THROW((void)design_lowpass(32, 2500.0, 4000.0), std::invalid_argument);
+}
+
+TEST(FirDesign, CicCompensatorBoostsPassbandEdge) {
+  // The compensator pre-emphasizes where the CIC droops: its gain at the
+  // passband edge exceeds the plain lowpass's.
+  const double fs = 4000.0;
+  const auto plain = design_lowpass(32, 500.0, fs);
+  const auto comp = design_cic_compensator(32, 500.0, fs, 3, 32);
+  const double g_plain = fir_magnitude_at(plain, 450.0, fs);
+  const double g_comp = fir_magnitude_at(comp, 450.0, fs);
+  EXPECT_GT(g_comp, g_plain);
+}
+
+TEST(FirDesign, CicCompensatorUnityDc) {
+  const auto comp = design_cic_compensator(32, 500.0, 4000.0, 3, 32);
+  double sum = 0.0;
+  for (double c : comp) sum += c;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FirDesign, KaiserMeetsAttenuationSpec) {
+  std::size_t taps = 0;
+  const auto h = design_kaiser_lowpass(500.0, 200.0, 60.0, 4000.0, &taps);
+  EXPECT_EQ(h.size(), taps);
+  EXPECT_EQ(taps % 2, 1u);
+  // Check stopband attenuation past cutoff + transition.
+  for (double f = 750.0; f < 1900.0; f += 100.0) {
+    EXPECT_LT(fir_magnitude_at(h, f, 4000.0), std::pow(10.0, -55.0 / 20.0))
+        << "f = " << f;
+  }
+}
+
+TEST(QuantizeCoefficients, RoundTripAccuracy) {
+  const auto h = design_lowpass(32, 500.0, 4000.0);
+  const auto q = quantize_coefficients(h, 14);
+  ASSERT_EQ(q.size(), h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(q[i]) / 16384.0, h[i], 1.0 / 16384.0);
+  }
+}
+
+TEST(QuantizeCoefficients, RejectsBadFracBits) {
+  EXPECT_THROW((void)quantize_coefficients({0.5}, 0), std::invalid_argument);
+  EXPECT_THROW((void)quantize_coefficients({0.5}, 31), std::invalid_argument);
+}
+
+TEST(FirFilter, ImpulseResponseEqualsCoefficients) {
+  const std::vector<double> h{0.1, 0.2, 0.4, 0.2, 0.1};
+  FirFilter f{h};
+  std::vector<double> in(8, 0.0);
+  in[0] = 1.0;
+  const auto out = f.process(in);
+  ASSERT_EQ(out.size(), 8u);
+  for (std::size_t i = 0; i < h.size(); ++i) EXPECT_NEAR(out[i], h[i], 1e-15);
+  for (std::size_t i = h.size(); i < 8; ++i) EXPECT_NEAR(out[i], 0.0, 1e-15);
+}
+
+TEST(FirFilter, MatchesDirectConvolution) {
+  tono::Rng rng{5};
+  std::vector<double> h(16);
+  for (auto& c : h) c = rng.gaussian();
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.gaussian();
+  FirFilter f{h};
+  const auto y = f.process(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < h.size() && k <= i; ++k) acc += h[k] * x[i - k];
+    EXPECT_NEAR(y[i], acc, 1e-12) << "sample " << i;
+  }
+}
+
+TEST(FirFilter, DecimationKeepsEveryNth) {
+  FirFilter f{std::vector<double>{1.0}, 4};
+  std::vector<double> x(16);
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<double>(i);
+  const auto y = f.process(x);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);  // output on 4th input
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_DOUBLE_EQ(y[3], 15.0);
+}
+
+TEST(FirFilter, ResetClearsState) {
+  FirFilter f{std::vector<double>{0.5, 0.5}};
+  (void)f.push(10.0);
+  f.reset();
+  const auto y = f.push(0.0);
+  ASSERT_TRUE(y.has_value());
+  EXPECT_DOUBLE_EQ(*y, 0.0);
+}
+
+TEST(FirFilter, GroupDelay) {
+  FirFilter f{std::vector<double>(33, 1.0 / 33.0)};
+  EXPECT_DOUBLE_EQ(f.group_delay_samples(), 16.0);
+}
+
+TEST(FirFilter, RejectsEmptyAndZeroDecimation) {
+  EXPECT_THROW((FirFilter{std::vector<double>{}}), std::invalid_argument);
+  EXPECT_THROW((FirFilter{std::vector<double>{1.0}, 0}), std::invalid_argument);
+}
+
+TEST(FixedPointFir, MatchesFloatWithinQuantization) {
+  const auto h = design_lowpass(32, 500.0, 4000.0);
+  const int frac = 14;
+  const auto q = quantize_coefficients(h, frac);
+  FirFilter fl{h};
+  FixedPointFir fx{q, frac, 20};
+  tono::Rng rng{9};
+  double max_err = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double xin = rng.uniform(-1.0, 1.0);
+    const auto code = static_cast<std::int64_t>(std::lround(xin * 32767.0));
+    const auto yf = fl.push(static_cast<double>(code));
+    const auto yq = fx.push(code);
+    ASSERT_TRUE(yf.has_value());
+    ASSERT_TRUE(yq.has_value());
+    max_err = std::max(max_err, std::abs(*yf - static_cast<double>(*yq)));
+  }
+  // Coefficient quantization error bound: taps × input_scale × lsb.
+  EXPECT_LT(max_err, 32.0 * 32768.0 / 16384.0 + 1.0);
+}
+
+TEST(FixedPointFir, SaturatesAtOutputWord) {
+  FixedPointFir fx{std::vector<std::int32_t>{1 << 14}, 14, 8};  // unity gain, 8-bit out
+  std::optional<std::int64_t> y;
+  y = fx.push(1000);  // exceeds ±128
+  ASSERT_TRUE(y.has_value());
+  EXPECT_EQ(*y, 127);
+  y = fx.push(-1000);
+  EXPECT_EQ(*y, -128);
+}
+
+TEST(FixedPointFir, DecimatesLikeFloat) {
+  const auto q = quantize_coefficients(std::vector<double>{0.25, 0.25, 0.25, 0.25}, 10);
+  FixedPointFir fx{q, 10, 16, 2};
+  std::vector<std::int64_t> in{100, 100, 100, 100, 100, 100};
+  const auto out = fx.process(in);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(FixedPointFir, RejectsBadConfig) {
+  EXPECT_THROW((FixedPointFir{{}, 14, 12}), std::invalid_argument);
+  EXPECT_THROW((FixedPointFir{{1}, 0, 12}), std::invalid_argument);
+  EXPECT_THROW((FixedPointFir{{1}, 14, 1}), std::invalid_argument);
+  EXPECT_THROW((FixedPointFir{{1}, 14, 12, 0}), std::invalid_argument);
+}
+
+// Property: magnitude response of the designed filter is monotone-ish
+// decreasing across the transition band for various tap counts.
+class FirTransitionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FirTransitionTest, StopbandBelowPassband) {
+  const auto h = design_lowpass(GetParam(), 500.0, 4000.0);
+  const double pass = fir_magnitude_at(h, 100.0, 4000.0);
+  const double stop = fir_magnitude_at(h, 1800.0, 4000.0);
+  EXPECT_GT(pass, 0.9);
+  EXPECT_LT(stop, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(TapCounts, FirTransitionTest,
+                         ::testing::Values(16u, 24u, 32u, 48u, 64u, 128u));
+
+}  // namespace
+}  // namespace tono::dsp

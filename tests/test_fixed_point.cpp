@@ -1,0 +1,109 @@
+// Tests for fixed-point arithmetic helpers.
+#include "src/common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tono {
+namespace {
+
+TEST(SaturateToBits, WithinRangeUnchanged) {
+  EXPECT_EQ(saturate_to_bits(100, 12), 100);
+  EXPECT_EQ(saturate_to_bits(-100, 12), -100);
+  EXPECT_EQ(saturate_to_bits(2047, 12), 2047);
+  EXPECT_EQ(saturate_to_bits(-2048, 12), -2048);
+}
+
+TEST(SaturateToBits, Clips) {
+  EXPECT_EQ(saturate_to_bits(2048, 12), 2047);
+  EXPECT_EQ(saturate_to_bits(-2049, 12), -2048);
+  EXPECT_EQ(saturate_to_bits(1000000, 12), 2047);
+}
+
+TEST(SaturateToBits, RejectsBadWidths) {
+  EXPECT_THROW((void)saturate_to_bits(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)saturate_to_bits(0, 64), std::invalid_argument);
+}
+
+TEST(WrapToBits, WithinRangeUnchanged) {
+  EXPECT_EQ(wrap_to_bits(7, 4), 7);
+  EXPECT_EQ(wrap_to_bits(-8, 4), -8);
+}
+
+TEST(WrapToBits, WrapsModulo) {
+  EXPECT_EQ(wrap_to_bits(8, 4), -8);    // 0b1000 sign-extends
+  EXPECT_EQ(wrap_to_bits(16, 4), 0);
+  EXPECT_EQ(wrap_to_bits(17, 4), 1);
+  EXPECT_EQ(wrap_to_bits(-9, 4), 7);
+}
+
+TEST(QuantizeToBits, MidScaleValues) {
+  EXPECT_EQ(quantize_to_bits(0.0, 12), 0);
+  EXPECT_EQ(quantize_to_bits(0.5, 12), 1024);
+  EXPECT_EQ(quantize_to_bits(-0.5, 12), -1024);
+}
+
+TEST(QuantizeToBits, FullScaleSaturates) {
+  EXPECT_EQ(quantize_to_bits(1.0, 12), 2047);   // +FS saturates to max code
+  EXPECT_EQ(quantize_to_bits(-1.0, 12), -2048);
+  EXPECT_EQ(quantize_to_bits(5.0, 12), 2047);
+}
+
+TEST(QuantizeToBits, RoundsToNearest) {
+  const double lsb = 1.0 / 2048.0;
+  EXPECT_EQ(quantize_to_bits(0.4 * lsb, 12), 0);
+  EXPECT_EQ(quantize_to_bits(0.6 * lsb, 12), 1);
+  EXPECT_EQ(quantize_to_bits(-0.6 * lsb, 12), -1);
+}
+
+TEST(DequantizeFromBits, RoundTripWithinLsb) {
+  const double lsb = 1.0 / 2048.0;
+  for (double v = -0.99; v < 0.99; v += 0.0173) {
+    const auto code = quantize_to_bits(v, 12);
+    EXPECT_NEAR(dequantize_from_bits(code, 12), v, 0.51 * lsb);
+  }
+}
+
+TEST(QFormat, EncodeDecodeRoundTrip) {
+  const QFormat q{2, 14};
+  const double lsb = q.lsb();
+  for (double v = -1.9; v < 1.9; v += 0.037) {
+    EXPECT_NEAR(q.decode(q.encode(v)), v, 0.51 * lsb);
+  }
+}
+
+TEST(QFormat, Lsb) {
+  const QFormat q{2, 10};
+  EXPECT_DOUBLE_EQ(q.lsb(), 1.0 / 1024.0);
+  EXPECT_EQ(q.total_bits(), 12);
+}
+
+TEST(QFormat, SaturatesAtRangeEdge) {
+  const QFormat q{2, 14};  // 16-bit total: range ≈ ±2
+  EXPECT_EQ(q.encode(100.0), (std::int64_t{1} << 15) - 1);
+  EXPECT_EQ(q.encode(-100.0), -(std::int64_t{1} << 15));
+}
+
+TEST(QFormat, RejectsInvalidWidths) {
+  EXPECT_THROW((QFormat{0, 10}), std::invalid_argument);
+  EXPECT_THROW((QFormat{1, -1}), std::invalid_argument);
+  EXPECT_THROW((QFormat{32, 32}), std::invalid_argument);
+}
+
+// Property: quantization error is bounded by LSB/2 across formats.
+class QuantizeErrorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizeErrorTest, ErrorBounded) {
+  const int bits = GetParam();
+  const double lsb = 2.0 / (std::int64_t{1} << bits);
+  // Stay clear of +FS, where the missing top code makes saturation error
+  // exceed LSB/2 by design.
+  for (double v = -0.999; v < 0.999 - lsb; v += 0.0137) {
+    const auto code = quantize_to_bits(v, bits);
+    EXPECT_LE(std::abs(dequantize_from_bits(code, bits) - v), 0.5 * lsb + 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantizeErrorTest, ::testing::Values(4, 8, 12, 16, 20));
+
+}  // namespace
+}  // namespace tono

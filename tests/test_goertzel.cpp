@@ -1,0 +1,84 @@
+// Tests for the single-bin Goertzel DFT.
+#include "src/dsp/goertzel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/dsp/fft.hpp"
+
+namespace tono::dsp {
+namespace {
+
+std::vector<double> tone(double amp, double f, double fs, std::size_t n,
+                         double phase = 0.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::sin(2.0 * std::numbers::pi * f * i / fs + phase);
+  }
+  return x;
+}
+
+TEST(Goertzel, RecoversToneAmplitude) {
+  const double fs = 1000.0;
+  const std::size_t n = 2000;
+  const double f = 50.0;  // whole cycles in the record
+  for (double amp : {0.1, 1.0, 3.5}) {
+    const auto x = tone(amp, f, fs, n);
+    EXPECT_NEAR(goertzel_amplitude(x, f, fs), amp, 1e-9 * amp + 1e-12);
+  }
+}
+
+TEST(Goertzel, PhaseInvariantAmplitude) {
+  const double fs = 1000.0;
+  const auto a = tone(1.0, 40.0, fs, 2000, 0.0);
+  const auto b = tone(1.0, 40.0, fs, 2000, 1.234);
+  EXPECT_NEAR(goertzel_amplitude(a, 40.0, fs), goertzel_amplitude(b, 40.0, fs), 1e-9);
+}
+
+TEST(Goertzel, RejectsOffFrequency) {
+  const double fs = 1000.0;
+  const auto x = tone(1.0, 50.0, fs, 2000);
+  EXPECT_LT(goertzel_amplitude(x, 125.0, fs), 0.01);
+}
+
+TEST(Goertzel, MatchesFftBin) {
+  tono::Rng rng{17};
+  const std::size_t n = 1024;
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.gaussian();
+  const auto spec = fft_real(x);
+  const double fs = 1000.0;
+  for (std::size_t k : {3u, 17u, 100u, 400u}) {
+    const double f = fs * static_cast<double>(k) / static_cast<double>(n);
+    const auto g = goertzel(x, f, fs);
+    EXPECT_NEAR(std::abs(g), std::abs(spec[k]), 1e-6 * (1.0 + std::abs(spec[k])))
+        << "bin " << k;
+  }
+}
+
+TEST(Goertzel, WorksOnNonPowerOfTwoLengths) {
+  const double fs = 997.0;  // awkward rate
+  const std::size_t n = 1777;
+  const double f = fs * 30.0 / static_cast<double>(n);  // whole cycles
+  const auto x = tone(0.8, f, fs, n);
+  EXPECT_NEAR(goertzel_amplitude(x, f, fs), 0.8, 1e-6);
+}
+
+TEST(Goertzel, EmptyAndErrors) {
+  EXPECT_DOUBLE_EQ(goertzel_amplitude({}, 10.0, 1000.0), 0.0);
+  const std::vector<double> x(10, 0.0);
+  EXPECT_THROW((void)goertzel(x, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(Goertzel, DcBin) {
+  std::vector<double> x(500, 2.0);
+  const auto g = goertzel(x, 0.0, 1000.0);
+  EXPECT_NEAR(std::abs(g), 1000.0, 1e-6);  // N·mean
+}
+
+}  // namespace
+}  // namespace tono::dsp

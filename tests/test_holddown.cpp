@@ -1,0 +1,72 @@
+// Tests for the applanation hold-down optimizer.
+#include "src/core/holddown.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tono::core {
+namespace {
+
+HoldDownConfig quick() {
+  HoldDownConfig c;
+  c.coarse_steps = 5;
+  c.refine_iterations = 2;
+  c.dwell_samples = 900;
+  return c;
+}
+
+TEST(HoldDown, FindsNearOptimalPressure) {
+  // The tissue model peaks at optimal_hold_down_mmhg (default 80).
+  core::WristModel wrist;
+  HoldDownOptimizer opt{quick()};
+  const auto r = opt.optimize(ChipConfig::paper_chip(), wrist);
+  EXPECT_NEAR(r.best_mmhg, wrist.tissue.optimal_hold_down_mmhg, 25.0);
+  EXPECT_GT(r.best_amplitude, 0.0);
+}
+
+TEST(HoldDown, TracksShiftedOptimum) {
+  core::WristModel wrist;
+  wrist.tissue.optimal_hold_down_mmhg = 110.0;
+  HoldDownOptimizer opt{quick()};
+  const auto r = opt.optimize(ChipConfig::paper_chip(), wrist);
+  EXPECT_NEAR(r.best_mmhg, 110.0, 30.0);
+}
+
+TEST(HoldDown, OptimumBeatsExtremes) {
+  core::WristModel wrist;
+  HoldDownOptimizer opt{quick()};
+  const auto r = opt.optimize(ChipConfig::paper_chip(), wrist);
+  double amp_lo = 0.0;
+  double amp_hi = 0.0;
+  for (const auto& [hd, amp] : r.profile) {
+    if (std::abs(hd - 30.0) < 1.0) amp_lo = amp;
+    if (std::abs(hd - 160.0) < 1.0) amp_hi = amp;
+  }
+  EXPECT_GT(r.best_amplitude, amp_lo);
+  EXPECT_GT(r.best_amplitude, amp_hi);
+}
+
+TEST(HoldDown, ProfileCoversRangeAndRefines) {
+  HoldDownOptimizer opt{quick()};
+  const auto r = opt.optimize(ChipConfig::paper_chip(), core::WristModel{});
+  // coarse_steps + 2 initial golden points + refine_iterations evaluations.
+  EXPECT_EQ(r.profile.size(), 5u + 2u + 2u);
+  EXPECT_NEAR(r.profile.front().first, 30.0, 1e-9);
+}
+
+TEST(HoldDown, RejectsBadConfig) {
+  HoldDownConfig bad;
+  bad.min_mmhg = 100.0;
+  bad.max_mmhg = 50.0;
+  EXPECT_THROW((HoldDownOptimizer{bad}), std::invalid_argument);
+  HoldDownConfig bad2;
+  bad2.coarse_steps = 2;
+  EXPECT_THROW((HoldDownOptimizer{bad2}), std::invalid_argument);
+  HoldDownConfig bad3;
+  bad3.dwell_samples = 10;
+  EXPECT_THROW((HoldDownOptimizer{bad3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tono::core

@@ -1,0 +1,128 @@
+// Tests for HRV metrics and rhythm classification.
+#include "src/core/hrv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/bio/pulse_generator.hpp"
+#include "src/core/monitor.hpp"
+
+namespace tono::core {
+namespace {
+
+HrvMetrics hrv_of(const bio::PulseConfig& cfg, double duration_s = 120.0) {
+  bio::ArterialPulseGenerator gen{cfg};
+  (void)gen.generate(250.0, static_cast<std::size_t>(duration_s * 250.0));
+  std::vector<double> intervals;
+  for (const auto& b : gen.beat_truth()) intervals.push_back(b.interval_s);
+  return compute_hrv(intervals);
+}
+
+TEST(Hrv, ConstantIntervalsZeroVariability) {
+  const std::vector<double> rr(20, 0.8);
+  const auto m = compute_hrv(rr);
+  EXPECT_EQ(m.beat_count, 21u);
+  EXPECT_DOUBLE_EQ(m.mean_rr_s, 0.8);
+  EXPECT_DOUBLE_EQ(m.sdnn_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.rmssd_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.pnn50, 0.0);
+}
+
+TEST(Hrv, KnownAlternatingPattern) {
+  // RR alternates 0.8/0.9: every successive difference is 0.1 s.
+  std::vector<double> rr;
+  for (int i = 0; i < 40; ++i) rr.push_back(i % 2 == 0 ? 0.8 : 0.9);
+  const auto m = compute_hrv(rr);
+  EXPECT_NEAR(m.mean_rr_s, 0.85, 1e-9);
+  EXPECT_NEAR(m.rmssd_s, 0.1, 1e-9);
+  EXPECT_NEAR(m.pnn50, 1.0, 1e-9);  // all diffs exceed 50 ms
+  EXPECT_NEAR(m.sdnn_s, 0.05, 1e-3);
+  EXPECT_NEAR(m.sd1_s, 0.1 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Hrv, TooFewIntervalsZeroed) {
+  const std::vector<double> rr{0.8, 0.82};
+  const auto m = compute_hrv(rr);
+  EXPECT_EQ(m.beat_count, 0u);
+}
+
+TEST(Hrv, PoincareIdentity) {
+  // SD1² + SD2² = 2·SDNN² must hold by construction.
+  auto m = hrv_of(bio::PatientPresets::normotensive());
+  EXPECT_NEAR(m.sd1_s * m.sd1_s + m.sd2_s * m.sd2_s, 2.0 * m.sdnn_s * m.sdnn_s,
+              1e-12);
+}
+
+TEST(Hrv, FromBeatAnalysisMatchesIntervals) {
+  BeatAnalysis beats;
+  for (int i = 0; i < 10; ++i) {
+    Beat b;
+    b.upstroke_s = 0.85 * i;
+    beats.beats.push_back(b);
+  }
+  const auto m = compute_hrv(beats);
+  EXPECT_EQ(m.beat_count, 10u);
+  EXPECT_NEAR(m.mean_rr_s, 0.85, 1e-9);
+}
+
+TEST(Rhythm, SinusRhythmNotFlagged) {
+  const auto m = hrv_of(bio::PatientPresets::normotensive());
+  const auto r = classify_rhythm(m);
+  EXPECT_FALSE(r.likely_af);
+  EXPECT_LT(r.irregularity_score, 0.5);
+}
+
+TEST(Rhythm, RespiratorySinusArrhythmiaNotFlagged) {
+  // Strong RSA: large slow modulation, still regular beat to beat.
+  bio::PulseConfig cfg;
+  cfg.rsa_depth = 0.08;
+  cfg.mayer_depth = 0.04;
+  cfg.hrv_jitter = 0.01;
+  const auto r = classify_rhythm(hrv_of(cfg));
+  EXPECT_FALSE(r.likely_af);
+}
+
+TEST(Rhythm, AtrialFibrillationFlagged) {
+  const auto m = hrv_of(bio::PatientPresets::atrial_fibrillation());
+  const auto r = classify_rhythm(m);
+  EXPECT_TRUE(r.likely_af);
+  EXPECT_GT(r.irregularity_score, 0.5);
+}
+
+TEST(Rhythm, ScoreOrdering) {
+  const auto nsr = classify_rhythm(hrv_of(bio::PatientPresets::normotensive()));
+  const auto af = classify_rhythm(hrv_of(bio::PatientPresets::atrial_fibrillation()));
+  EXPECT_GT(af.irregularity_score, nsr.irregularity_score + 0.2);
+}
+
+TEST(Rhythm, TooFewBeatsNeverFlags) {
+  HrvMetrics m;
+  m.beat_count = 4;
+  m.mean_rr_s = 0.8;
+  m.rmssd_s = 0.5;
+  const auto r = classify_rhythm(m);
+  EXPECT_FALSE(r.likely_af);
+}
+
+TEST(Rhythm, EndToEndThroughSensorChain) {
+  // AF detection works on the *measured* waveform, not just ground truth.
+  WristModel wrist;
+  wrist.pulse = bio::PatientPresets::atrial_fibrillation();
+  BloodPressureMonitor mon{ChipConfig::paper_chip(), wrist};
+  (void)mon.calibrate(12.0);
+  const auto rep = mon.monitor(60.0);
+  const auto r = classify_rhythm(compute_hrv(rep.beats));
+  EXPECT_TRUE(r.likely_af);
+
+  WristModel normal;
+  BloodPressureMonitor mon2{ChipConfig::paper_chip(), normal};
+  (void)mon2.calibrate(12.0);
+  const auto rep2 = mon2.monitor(60.0);
+  const auto r2 = classify_rhythm(compute_hrv(rep2.beats));
+  EXPECT_FALSE(r2.likely_af);
+}
+
+}  // namespace
+}  // namespace tono::core

@@ -1,0 +1,126 @@
+// Tests for the incremental (one-shot) ΔΣ conversion mode.
+#include "src/analog/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tono::analog {
+namespace {
+
+IncrementalConfig quiet_config(std::size_t cycles = 256) {
+  IncrementalConfig c;
+  c.cycles = cycles;
+  c.modulator.enable_ktc_noise = false;
+  c.modulator.enable_settling = false;
+  c.modulator.clock_jitter_rms_s = 0.0;
+  c.modulator.ref_noise_vrms = 0.0;
+  c.modulator.cap_mismatch_sigma = 0.0;
+  c.modulator.opamp1.noise_vrms = 0.0;
+  c.modulator.opamp2.noise_vrms = 0.0;
+  c.modulator.comparator.noise_vrms = 0.0;
+  c.modulator.comparator.metastable_band_v = 0.0;
+  return c;
+}
+
+TEST(Incremental, ConvertsKnownVoltages) {
+  IncrementalConverter conv{quiet_config()};
+  const double vref = 2.5;
+  for (double u : {-0.7, -0.3, 0.0, 0.2, 0.6}) {
+    EXPECT_NEAR(conv.convert_voltage(u * vref), u, 0.01) << "u = " << u;
+  }
+}
+
+TEST(Incremental, LinearityAcrossRange) {
+  IncrementalConverter conv{quiet_config(512)};
+  const double vref = 2.5;
+  double worst = 0.0;
+  for (double u = -0.75; u <= 0.75; u += 0.05) {
+    worst = std::max(worst, std::abs(conv.convert_voltage(u * vref) - u));
+  }
+  EXPECT_LT(worst, 0.005);
+}
+
+TEST(Incremental, AccuracyImprovesWithCycles) {
+  auto worst_err = [](std::size_t cycles) {
+    IncrementalConverter conv{quiet_config(cycles)};
+    double worst = 0.0;
+    for (double u = -0.6; u <= 0.6; u += 0.1) {
+      worst = std::max(worst, std::abs(conv.convert_voltage(u * 2.5) - u));
+    }
+    return worst;
+  };
+  EXPECT_LT(worst_err(512), worst_err(32));
+}
+
+TEST(Incremental, CapacitiveModeTracksDeltaC) {
+  IncrementalConfig cfg = quiet_config();
+  cfg.modulator.c_fb1_f = 25e-15;
+  IncrementalConverter conv{cfg};
+  const double c_ref = 100e-15;
+  // ΔC = 10 fF of 25 fF full scale → u = 0.4.
+  EXPECT_NEAR(conv.convert_capacitive(c_ref + 10e-15, c_ref), 0.4, 0.01);
+  EXPECT_NEAR(conv.convert_capacitive(c_ref - 5e-15, c_ref), -0.2, 0.01);
+}
+
+TEST(Incremental, NoMemoryBetweenConversions) {
+  // A full-scale conversion must not bias the next small one (the whole
+  // point versus the free-running chain).
+  IncrementalConverter conv{quiet_config()};
+  (void)conv.convert_voltage(0.8 * 2.5);
+  const double small = conv.convert_voltage(0.05 * 2.5);
+  EXPECT_NEAR(small, 0.05, 0.01);
+}
+
+TEST(Incremental, ConversionTimeAndResolution) {
+  IncrementalConfig cfg = quiet_config(256);
+  IncrementalConverter conv{cfg};
+  EXPECT_NEAR(conv.conversion_time_s(), 256.0 / 128000.0, 1e-12);
+  EXPECT_NEAR(conv.ideal_resolution_bits(), std::log2(256.0 * 257.0 / 2.0), 1e-9);
+  EXPECT_GT(conv.ideal_resolution_bits(), 14.9);
+}
+
+TEST(Incremental, MuchFasterThanFreeRunningSettling) {
+  // One 256-cycle conversion = 2 ms; the free-running chain needs ~4 ms of
+  // transient plus dwell per element (E4).
+  IncrementalConverter conv{quiet_config(256)};
+  EXPECT_LT(conv.conversion_time_s(), 0.0025);
+}
+
+TEST(Incremental, WithNoiseStillAccurate) {
+  IncrementalConfig cfg;  // full non-idealities
+  cfg.cycles = 256;
+  IncrementalConverter conv{cfg};
+  double acc = 0.0;
+  const int reps = 20;
+  for (int i = 0; i < reps; ++i) acc += conv.convert_voltage(0.3 * 2.5);
+  EXPECT_NEAR(acc / reps, 0.3, 0.02);
+}
+
+TEST(Incremental, RejectsTooFewCycles) {
+  IncrementalConfig bad;
+  bad.cycles = 4;
+  EXPECT_THROW((IncrementalConverter{bad}), std::invalid_argument);
+}
+
+// Property: conversion error scales roughly with 1/N² (CoI₂ quantization).
+class IncrementalCyclesTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IncrementalCyclesTest, BoundedQuantizationError) {
+  IncrementalConverter conv{quiet_config(GetParam())};
+  const auto n = static_cast<double>(GetParam());
+  const double lsb = 2.0 / (n * (n + 1.0) / 2.0);
+  double worst = 0.0;
+  for (double u = -0.5; u <= 0.5; u += 0.037) {
+    worst = std::max(worst, std::abs(conv.convert_voltage(u * 2.5) - u));
+  }
+  // Calibration residue + loop-specific transfer keep the error within a
+  // modest multiple of the ideal step.
+  EXPECT_LT(worst, 60.0 * lsb + 2e-3) << "N = " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(CycleCounts, IncrementalCyclesTest,
+                         ::testing::Values(64u, 128u, 256u, 512u));
+
+}  // namespace
+}  // namespace tono::analog

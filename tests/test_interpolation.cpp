@@ -1,0 +1,119 @@
+// Tests for linear and cubic-spline interpolation.
+#include "src/common/interpolation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tono {
+namespace {
+
+TEST(LinearInterpolator, ExactAtKnots) {
+  const std::vector<double> xs{0.0, 1.0, 3.0};
+  const std::vector<double> ys{2.0, 5.0, -1.0};
+  LinearInterpolator f{xs, ys};
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_DOUBLE_EQ(f(xs[i]), ys[i]);
+}
+
+TEST(LinearInterpolator, Midpoints) {
+  LinearInterpolator f{std::vector<double>{0.0, 2.0}, std::vector<double>{0.0, 10.0}};
+  EXPECT_DOUBLE_EQ(f(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 2.5);
+}
+
+TEST(LinearInterpolator, ClampsOutsideRange) {
+  LinearInterpolator f{std::vector<double>{0.0, 1.0}, std::vector<double>{3.0, 7.0}};
+  EXPECT_DOUBLE_EQ(f(-5.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(99.0), 7.0);
+}
+
+TEST(LinearInterpolator, RejectsBadInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((LinearInterpolator{one, one}), std::invalid_argument);
+  EXPECT_THROW((LinearInterpolator{std::vector<double>{1.0, 1.0},
+                                   std::vector<double>{0.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((LinearInterpolator{std::vector<double>{0.0, 1.0},
+                                   std::vector<double>{0.0}}),
+               std::invalid_argument);
+}
+
+TEST(CubicSpline, ExactAtKnots) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{0.0, 1.0, 0.0, -1.0};
+  CubicSpline s{xs, ys};
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_NEAR(s(xs[i]), ys[i], 1e-12);
+}
+
+TEST(CubicSpline, ReproducesLinearFunction) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + 1.0);
+  }
+  CubicSpline s{xs, ys};
+  for (double x = 0.25; x < 10.0; x += 0.5) EXPECT_NEAR(s(x), 2.0 * x + 1.0, 1e-10);
+}
+
+TEST(CubicSpline, ApproximatesSmoothFunction) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 50; ++i) {
+    const double x = i * 0.1;
+    xs.push_back(x);
+    ys.push_back(std::sin(x));
+  }
+  CubicSpline s{xs, ys};
+  // Natural boundary conditions cost accuracy near the ends; check interior.
+  for (double x = 0.5; x < 4.5; x += 0.07) {
+    EXPECT_NEAR(s(x), std::sin(x), 1e-4);
+  }
+}
+
+TEST(CubicSpline, DerivativeApproximatesCosine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 100; ++i) {
+    const double x = i * 0.05;
+    xs.push_back(x);
+    ys.push_back(std::sin(x));
+  }
+  CubicSpline s{xs, ys};
+  for (double x = 0.5; x < 4.5; x += 0.3) {
+    EXPECT_NEAR(s.derivative(x), std::cos(x), 1e-3);
+  }
+}
+
+TEST(CubicSpline, ClampsOutsideRange) {
+  CubicSpline s{std::vector<double>{0.0, 1.0, 2.0}, std::vector<double>{1.0, 2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(s(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.derivative(-1.0), 0.0);
+}
+
+TEST(CubicSpline, RejectsTooFewPoints) {
+  EXPECT_THROW((CubicSpline{std::vector<double>{0.0, 1.0}, std::vector<double>{0.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(CubicSpline, RejectsNonMonotonicKnots) {
+  EXPECT_THROW((CubicSpline{std::vector<double>{0.0, 2.0, 1.0},
+                            std::vector<double>{0.0, 1.0, 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(CubicSpline, ContinuityAtKnots) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{0.0, 2.0, -1.0, 3.0, 0.0};
+  CubicSpline s{xs, ys};
+  for (std::size_t i = 1; i + 1 < xs.size(); ++i) {
+    const double eps = 1e-9;
+    EXPECT_NEAR(s(xs[i] - eps), s(xs[i] + eps), 1e-6);
+    EXPECT_NEAR(s.derivative(xs[i] - eps), s.derivative(xs[i] + eps), 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace tono

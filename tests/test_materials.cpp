@@ -1,0 +1,123 @@
+// Tests for thin-film materials and the laminated membrane stack.
+#include "src/mems/materials.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tono::mems {
+namespace {
+
+TEST(Material, PlateModulusExceedsYoungs) {
+  const auto m = silicon_nitride();
+  EXPECT_GT(m.plate_modulus_pa(), m.youngs_modulus_pa);
+}
+
+TEST(Material, DatabaseValuesPlausible) {
+  EXPECT_NEAR(silicon_dioxide().youngs_modulus_pa, 70e9, 20e9);
+  EXPECT_NEAR(silicon_nitride().youngs_modulus_pa, 250e9, 100e9);
+  EXPECT_NEAR(aluminum().youngs_modulus_pa, 70e9, 20e9);
+  EXPECT_GT(polysilicon().youngs_modulus_pa, 100e9);
+  // Nitride deposits tensile, oxide compressive — the release relies on it.
+  EXPECT_GT(silicon_nitride().residual_stress_pa, 0.0);
+  EXPECT_LT(silicon_dioxide().residual_stress_pa, 0.0);
+}
+
+TEST(LayerStack, PaperStackThicknessIsThreeMicrons) {
+  const auto s = LayerStack::cmos_membrane_stack();
+  EXPECT_NEAR(s.total_thickness_m(), 3.0e-6, 1e-9);  // §2.1: 3 µm
+}
+
+TEST(LayerStack, PaperStackIsNetTensile) {
+  // A released membrane must not buckle → net tension > 0.
+  EXPECT_GT(LayerStack::cmos_membrane_stack().residual_tension(), 0.0);
+}
+
+TEST(LayerStack, NeutralAxisInsideStack) {
+  const auto s = LayerStack::cmos_membrane_stack();
+  EXPECT_GT(s.neutral_axis_m(), 0.0);
+  EXPECT_LT(s.neutral_axis_m(), s.total_thickness_m());
+}
+
+TEST(LayerStack, HomogeneousNeutralAxisIsMidplane) {
+  LayerStack s;
+  s.add_layer(silicon_dioxide(), 2e-6);
+  EXPECT_NEAR(s.neutral_axis_m(), 1e-6, 1e-12);
+}
+
+TEST(LayerStack, HomogeneousRigidityMatchesFormula) {
+  // D = E t³ / (12 (1 − ν²)) for a single layer.
+  const auto m = silicon_dioxide();
+  const double t = 3e-6;
+  LayerStack s;
+  s.add_layer(m, t);
+  const double expected = m.plate_modulus_pa() * t * t * t / 12.0;
+  EXPECT_NEAR(s.flexural_rigidity(), expected, 1e-6 * expected);
+}
+
+TEST(LayerStack, RigidityGrowsCubicallyWithThickness) {
+  LayerStack s1;
+  s1.add_layer(silicon_dioxide(), 1e-6);
+  LayerStack s2;
+  s2.add_layer(silicon_dioxide(), 2e-6);
+  EXPECT_NEAR(s2.flexural_rigidity() / s1.flexural_rigidity(), 8.0, 1e-9);
+}
+
+TEST(LayerStack, SplitLayerEqualsSingleLayer) {
+  // Two half-thickness layers of the same material = one full layer.
+  LayerStack split;
+  split.add_layer(silicon_dioxide(), 1.5e-6);
+  split.add_layer(silicon_dioxide(), 1.5e-6);
+  LayerStack whole;
+  whole.add_layer(silicon_dioxide(), 3.0e-6);
+  EXPECT_NEAR(split.flexural_rigidity(), whole.flexural_rigidity(),
+              1e-9 * whole.flexural_rigidity());
+  EXPECT_NEAR(split.residual_tension(), whole.residual_tension(), 1e-12);
+}
+
+TEST(LayerStack, ResidualTensionIsSumOfSigmaT) {
+  LayerStack s;
+  s.add_layer(silicon_dioxide(), 1e-6);   // −100 MPa · 1 µm = −100 N/m·µm…
+  s.add_layer(silicon_nitride(), 0.5e-6);
+  const double expected =
+      silicon_dioxide().residual_stress_pa * 1e-6 +
+      silicon_nitride().residual_stress_pa * 0.5e-6;
+  EXPECT_NEAR(s.residual_tension(), expected, 1e-9);
+}
+
+TEST(LayerStack, ArealDensity) {
+  LayerStack s;
+  s.add_layer(aluminum(), 1e-6);
+  EXPECT_NEAR(s.areal_density(), 2700.0 * 1e-6, 1e-12);
+}
+
+TEST(LayerStack, EffectiveModuliAreThicknessWeighted) {
+  LayerStack s;
+  s.add_layer(silicon_dioxide(), 1e-6);
+  s.add_layer(silicon_nitride(), 1e-6);
+  const double e_mid =
+      0.5 * (silicon_dioxide().youngs_modulus_pa + silicon_nitride().youngs_modulus_pa);
+  EXPECT_NEAR(s.effective_youngs_modulus(), e_mid, 1.0);
+}
+
+TEST(LayerStack, RejectsNonPositiveThickness) {
+  LayerStack s;
+  EXPECT_THROW(s.add_layer(silicon_dioxide(), 0.0), std::invalid_argument);
+  EXPECT_THROW(s.add_layer(silicon_dioxide(), -1e-6), std::invalid_argument);
+}
+
+TEST(LayerStack, EmptyStackZeroes) {
+  LayerStack s;
+  EXPECT_DOUBLE_EQ(s.total_thickness_m(), 0.0);
+  EXPECT_DOUBLE_EQ(s.flexural_rigidity(), 0.0);
+  EXPECT_DOUBLE_EQ(s.residual_tension(), 0.0);
+}
+
+TEST(LayerStack, StiffLayerPullsNeutralAxis) {
+  // Nitride on top of oxide pulls the neutral axis up.
+  LayerStack s;
+  s.add_layer(silicon_dioxide(), 1.5e-6);
+  s.add_layer(silicon_nitride(), 1.5e-6);
+  EXPECT_GT(s.neutral_axis_m(), 1.5e-6);
+}
+
+}  // namespace
+}  // namespace tono::mems

@@ -1,0 +1,169 @@
+// Tests for numeric helpers.
+#include "src/common/math_utils.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace tono {
+namespace {
+
+TEST(Sinc, AtZeroIsOne) { EXPECT_DOUBLE_EQ(sinc(0.0), 1.0); }
+
+TEST(Sinc, ZerosAtIntegers) {
+  for (int k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(sinc(static_cast<double>(k)), 0.0, 1e-12);
+    EXPECT_NEAR(sinc(static_cast<double>(-k)), 0.0, 1e-12);
+  }
+}
+
+TEST(Sinc, HalfPoint) { EXPECT_NEAR(sinc(0.5), 2.0 / std::numbers::pi, 1e-12); }
+
+TEST(BesselI0, KnownValues) {
+  EXPECT_NEAR(bessel_i0(0.0), 1.0, 1e-14);
+  EXPECT_NEAR(bessel_i0(1.0), 1.2660658777520084, 1e-10);
+  EXPECT_NEAR(bessel_i0(2.0), 2.2795853023360673, 1e-10);
+  EXPECT_NEAR(bessel_i0(5.0), 27.239871823604442, 1e-7);
+}
+
+TEST(BesselI0, EvenFunction) {
+  EXPECT_DOUBLE_EQ(bessel_i0(3.0), bessel_i0(-3.0));
+}
+
+TEST(Decibels, PowerRoundTrip) {
+  EXPECT_NEAR(power_to_db(db_to_power(-23.5)), -23.5, 1e-12);
+  EXPECT_NEAR(power_to_db(100.0), 20.0, 1e-12);
+}
+
+TEST(Decibels, AmplitudeRoundTrip) {
+  EXPECT_NEAR(amplitude_to_db(db_to_amplitude(6.0)), 6.0, 1e-12);
+  EXPECT_NEAR(amplitude_to_db(10.0), 20.0, 1e-12);
+}
+
+TEST(Decibels, NonPositiveIsNegInfinity) {
+  EXPECT_TRUE(std::isinf(power_to_db(0.0)));
+  EXPECT_LT(power_to_db(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(amplitude_to_db(-1.0)));
+}
+
+TEST(Polyval, ConstantAndLinear) {
+  const std::vector<double> c{3.0};
+  EXPECT_DOUBLE_EQ(polyval(c, 100.0), 3.0);
+  const std::vector<double> lin{1.0, 2.0};  // 1 + 2x
+  EXPECT_DOUBLE_EQ(polyval(lin, 3.0), 7.0);
+}
+
+TEST(Polyval, Cubic) {
+  const std::vector<double> c{1.0, -2.0, 0.0, 4.0};  // 1 - 2x + 4x^3
+  EXPECT_DOUBLE_EQ(polyval(c, 2.0), 1.0 - 4.0 + 32.0);
+}
+
+TEST(Polyfit, RecoversExactPolynomial) {
+  const std::vector<double> coeffs{2.0, -1.0, 0.5};
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 10; ++i) {
+    const double x = -2.0 + 0.5 * i;
+    xs.push_back(x);
+    ys.push_back(polyval(coeffs, x));
+  }
+  const auto fit = polyfit(xs, ys, 2);
+  ASSERT_EQ(fit.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(fit[i], coeffs[i], 1e-9);
+}
+
+TEST(Polyfit, ThrowsOnTooFewPoints) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW((void)polyfit(xs, ys, 2), std::invalid_argument);
+}
+
+TEST(SolveLinearSystem, TwoByTwo) {
+  // 2x + y = 5; x - y = 1 → x = 2, y = 1.
+  const auto x = solve_linear_system({2.0, 1.0, 1.0, -1.0}, {5.0, 1.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, NeedsPivoting) {
+  // First pivot is zero; solvable only with row exchange.
+  const auto x = solve_linear_system({0.0, 1.0, 1.0, 0.0}, {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  EXPECT_THROW((void)solve_linear_system({1.0, 2.0, 2.0, 4.0}, {1.0, 2.0}),
+               std::runtime_error);
+}
+
+TEST(SolveLinearSystem, SizeMismatchThrows) {
+  EXPECT_THROW((void)solve_linear_system({1.0, 2.0, 3.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(ApproxEqual, Basics) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+  EXPECT_TRUE(approx_equal(1e9, 1e9 * (1.0 + 1e-10)));
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(IsPow2, Values) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(4097));
+}
+
+TEST(WrapPhase, InRange) {
+  for (double p : {-100.0, -3.2, 0.0, 3.2, 100.0}) {
+    const double w = wrap_phase(p);
+    EXPECT_GT(w, -std::numbers::pi - 1e-12);
+    EXPECT_LE(w, std::numbers::pi + 1e-12);
+  }
+}
+
+TEST(WrapPhase, PreservesValueModTwoPi) {
+  const double p = 7.5;
+  const double w = wrap_phase(p);
+  EXPECT_NEAR(std::sin(p), std::sin(w), 1e-12);
+  EXPECT_NEAR(std::cos(p), std::cos(w), 1e-12);
+}
+
+TEST(IntegrateSimpson, Polynomial) {
+  // ∫₀¹ x² dx = 1/3 — Simpson is exact for cubics.
+  const double v = integrate_simpson([](double x) { return x * x; }, 0.0, 1.0, 4);
+  EXPECT_NEAR(v, 1.0 / 3.0, 1e-14);
+}
+
+TEST(IntegrateSimpson, SineOverPeriod) {
+  const double v =
+      integrate_simpson([](double x) { return std::sin(x); }, 0.0, std::numbers::pi, 128);
+  EXPECT_NEAR(v, 2.0, 1e-7);  // composite-Simpson error bound ~6e-9 at 128 intervals
+}
+
+TEST(Bisect, FindsRoot) {
+  const double r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Bisect, DecreasingFunction) {
+  const double r = bisect([](double x) { return 1.0 - x; }, 0.0, 3.0);
+  EXPECT_NEAR(r, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tono

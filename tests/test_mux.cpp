@@ -1,0 +1,108 @@
+// Tests for the analog row/column multiplexer.
+#include "src/analog/mux.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tono::analog {
+namespace {
+
+TEST(AnalogMux, DefaultSelectionIsOrigin) {
+  AnalogMux mux{MuxConfig{}};
+  EXPECT_EQ(mux.selected_row(), 0u);
+  EXPECT_EQ(mux.selected_col(), 0u);
+  EXPECT_EQ(mux.selected_index(), 0u);
+}
+
+TEST(AnalogMux, SelectUpdatesIndices) {
+  AnalogMux mux{MuxConfig{}};
+  mux.select(1, 1);
+  EXPECT_EQ(mux.selected_row(), 1u);
+  EXPECT_EQ(mux.selected_col(), 1u);
+  EXPECT_EQ(mux.selected_index(), 3u);
+}
+
+TEST(AnalogMux, RejectsOutOfRange) {
+  AnalogMux mux{MuxConfig{}};
+  EXPECT_THROW(mux.select(2, 0), std::out_of_range);
+  EXPECT_THROW(mux.select(0, 2), std::out_of_range);
+}
+
+TEST(AnalogMux, LargerArraysSupported) {
+  MuxConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  AnalogMux mux{cfg};
+  EXPECT_NO_THROW(mux.select(7, 7));
+  EXPECT_EQ(mux.selected_index(), 63u);
+}
+
+TEST(AnalogMux, SettlingTauIsRonTimesC) {
+  MuxConfig cfg;
+  cfg.on_resistance_ohm = 2000.0;
+  cfg.node_capacitance_f = 150e-15;
+  AnalogMux mux{cfg};
+  EXPECT_NEAR(mux.settling_tau_s(), 3e-10, 1e-16);
+}
+
+TEST(AnalogMux, ObservedCapacitanceConvergesToTarget) {
+  AnalogMux mux{MuxConfig{}};
+  mux.note_preswitch_capacitance(120e-15);
+  const double target = 100e-15;
+  const double after = mux.observed_capacitance(target, 100.0 * mux.settling_tau_s());
+  EXPECT_NEAR(after, target, 1e-21);
+}
+
+TEST(AnalogMux, ObservedCapacitanceStartsNearPrevious) {
+  AnalogMux mux{MuxConfig{}};
+  mux.note_preswitch_capacitance(120e-15);
+  const double at_zero = mux.observed_capacitance(100e-15, 0.0);
+  // previous + injection at t = 0.
+  EXPECT_NEAR(at_zero, 120e-15 + MuxConfig{}.charge_injection_c / MuxConfig{}.excitation_v,
+              1e-18);
+}
+
+TEST(AnalogMux, SettlingIsExponential) {
+  AnalogMux mux{MuxConfig{}};
+  mux.note_preswitch_capacitance(200e-15);
+  const double target = 100e-15;
+  const double tau = mux.settling_tau_s();
+  const double e1 = mux.observed_capacitance(target, tau) - target;
+  const double e2 = mux.observed_capacitance(target, 2.0 * tau) - target;
+  EXPECT_NEAR(e2 / e1, std::exp(-1.0), 1e-6);
+}
+
+TEST(AnalogMux, SettlingTimeForRelativeError) {
+  AnalogMux mux{MuxConfig{}};
+  EXPECT_NEAR(mux.settling_time_s(std::exp(-5.0)), 5.0 * mux.settling_tau_s(), 1e-15);
+  EXPECT_DOUBLE_EQ(mux.settling_time_s(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(mux.settling_time_s(1.5), 0.0);
+}
+
+TEST(AnalogMux, AnalogSettlingFastRelativeToClock) {
+  // The paper notes the *converter bandwidth* limits element switching; the
+  // raw analog mux path settles in nanoseconds versus the 7.8 µs clock.
+  AnalogMux mux{MuxConfig{}};
+  const double clock_period = 1.0 / 128000.0;
+  EXPECT_LT(mux.settling_time_s(1e-6), 0.01 * clock_period);
+}
+
+TEST(AnalogMux, NegativeTimeTreatedAsZero) {
+  AnalogMux mux{MuxConfig{}};
+  mux.note_preswitch_capacitance(200e-15);
+  EXPECT_DOUBLE_EQ(mux.observed_capacitance(100e-15, -1.0),
+                   mux.observed_capacitance(100e-15, 0.0));
+}
+
+TEST(AnalogMux, RejectsBadConfig) {
+  MuxConfig bad;
+  bad.rows = 0;
+  EXPECT_THROW((AnalogMux{bad}), std::invalid_argument);
+  MuxConfig bad2;
+  bad2.on_resistance_ohm = 0.0;
+  EXPECT_THROW((AnalogMux{bad2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tono::analog

@@ -1,0 +1,108 @@
+// Tests for the behavioural OTA settling model.
+#include "src/analog/opamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tono::analog {
+namespace {
+
+TEST(OpAmp, FullSettlingForSlowClock) {
+  OpAmp amp{OpAmpConfig{}};
+  // Default GBW 10 MHz, half-period 3.9 µs: error < 1e-60.
+  const double dt = 0.5 / 128000.0;
+  EXPECT_NEAR(amp.settle(0.5, dt), 0.5, 1e-12);
+}
+
+TEST(OpAmp, PartialSettlingForFastClock) {
+  OpAmpConfig cfg;
+  cfg.gbw_hz = 100e3;  // deliberately slow amp
+  OpAmp amp{cfg};
+  const double dt = 0.5 / 128000.0;
+  const double settled = amp.settle(0.1, dt);
+  EXPECT_GT(settled, 0.05);
+  EXPECT_LT(settled, 0.1);
+}
+
+TEST(OpAmp, SettleIsSignSymmetric) {
+  OpAmp amp{OpAmpConfig{}};
+  const double dt = 1e-7;
+  EXPECT_DOUBLE_EQ(amp.settle(0.3, dt), -amp.settle(-0.3, dt));
+}
+
+TEST(OpAmp, ZeroStepZeroOutput) {
+  OpAmp amp{OpAmpConfig{}};
+  EXPECT_DOUBLE_EQ(amp.settle(0.0, 1e-6), 0.0);
+  EXPECT_DOUBLE_EQ(amp.settle(1.0, 0.0), 0.0);
+}
+
+TEST(OpAmp, SlewLimitsLargeFastSteps) {
+  OpAmpConfig cfg;
+  cfg.slew_rate_v_per_s = 1e6;  // 1 V/µs
+  OpAmp amp{cfg};
+  // 2 V step in 0.5 µs: can only slew 0.5 V.
+  const double out = amp.settle(2.0, 0.5e-6);
+  EXPECT_NEAR(out, 0.5, 1e-9);
+}
+
+TEST(OpAmp, SlewThenSettleConvergesForLongerTime) {
+  OpAmpConfig cfg;
+  cfg.slew_rate_v_per_s = 1e6;
+  OpAmp amp{cfg};
+  const double out = amp.settle(2.0, 10e-6);
+  EXPECT_NEAR(out, 2.0, 1e-3);
+}
+
+TEST(OpAmp, SettlingMonotoneInTime) {
+  OpAmpConfig cfg;
+  cfg.gbw_hz = 1e6;
+  OpAmp amp{cfg};
+  double prev = 0.0;
+  for (double dt = 1e-8; dt < 1e-5; dt *= 2.0) {
+    const double out = amp.settle(1.0, dt);
+    EXPECT_GE(out, prev);
+    prev = out;
+  }
+}
+
+TEST(OpAmp, LeakFactorBelowOne) {
+  OpAmp amp{OpAmpConfig{}};
+  EXPECT_LT(amp.leak_factor(), 1.0);
+  EXPECT_GT(amp.leak_factor(), 0.99);  // A0 = 5000, β = 0.6
+}
+
+TEST(OpAmp, HigherGainLessLeak) {
+  OpAmpConfig lo;
+  lo.dc_gain = 100.0;
+  OpAmpConfig hi;
+  hi.dc_gain = 100000.0;
+  EXPECT_LT(OpAmp{lo}.leak_factor(), OpAmp{hi}.leak_factor());
+}
+
+TEST(OpAmp, ClipSymmetric) {
+  OpAmpConfig cfg;
+  cfg.output_swing_v = 2.0;
+  OpAmp amp{cfg};
+  EXPECT_DOUBLE_EQ(amp.clip(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(amp.clip(-3.0), -2.0);
+  EXPECT_DOUBLE_EQ(amp.clip(1.5), 1.5);
+}
+
+TEST(OpAmp, RejectsBadConfig) {
+  OpAmpConfig bad;
+  bad.dc_gain = 0.5;
+  EXPECT_THROW((OpAmp{bad}), std::invalid_argument);
+  OpAmpConfig bad2;
+  bad2.gbw_hz = 0.0;
+  EXPECT_THROW((OpAmp{bad2}), std::invalid_argument);
+  OpAmpConfig bad3;
+  bad3.slew_rate_v_per_s = -1.0;
+  EXPECT_THROW((OpAmp{bad3}), std::invalid_argument);
+  OpAmpConfig bad4;
+  bad4.feedback_factor = 0.0;
+  EXPECT_THROW((OpAmp{bad4}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tono::analog

@@ -1,0 +1,111 @@
+// Tests for patient presets and the AF rhythm model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/bio/pulse_generator.hpp"
+#include "src/common/statistics.hpp"
+
+namespace tono::bio {
+namespace {
+
+std::vector<double> intervals_of(const PulseConfig& cfg, double duration_s = 120.0) {
+  ArterialPulseGenerator gen{cfg};
+  (void)gen.generate(250.0, static_cast<std::size_t>(duration_s * 250.0));
+  std::vector<double> out;
+  for (const auto& b : gen.beat_truth()) out.push_back(b.interval_s);
+  return out;
+}
+
+TEST(PatientPresets, AllConstructible) {
+  for (const auto& cfg :
+       {PatientPresets::normotensive(), PatientPresets::hypertensive(),
+        PatientPresets::hypotensive(), PatientPresets::tachycardic(),
+        PatientPresets::elderly_stiff(), PatientPresets::atrial_fibrillation()}) {
+    EXPECT_NO_THROW((ArterialPulseGenerator{cfg}));
+  }
+}
+
+TEST(PatientPresets, PressureOrdering) {
+  EXPECT_GT(PatientPresets::hypertensive().systolic_mmhg,
+            PatientPresets::normotensive().systolic_mmhg);
+  EXPECT_LT(PatientPresets::hypotensive().systolic_mmhg,
+            PatientPresets::normotensive().systolic_mmhg);
+  EXPECT_GT(PatientPresets::tachycardic().heart_rate_bpm, 100.0);
+}
+
+TEST(PatientPresets, SetpointsReproduced) {
+  auto cfg = PatientPresets::hypertensive();
+  cfg.drift_mmhg_per_sqrt_s = 0.0;
+  ArterialPulseGenerator gen{cfg};
+  (void)gen.generate(250.0, 250 * 40);
+  EXPECT_NEAR(gen.mean_systolic_mmhg(), 165.0, 5.0);
+  EXPECT_NEAR(gen.mean_diastolic_mmhg(), 102.0, 5.0);
+}
+
+TEST(AtrialFibrillation, IntervalsFarMoreIrregular) {
+  auto af = PatientPresets::atrial_fibrillation();
+  auto nsr = PatientPresets::normotensive();
+  const auto iv_af = intervals_of(af);
+  const auto iv_nsr = intervals_of(nsr);
+  ASSERT_GE(iv_af.size(), 30u);
+  ASSERT_GE(iv_nsr.size(), 30u);
+  const double cv_af = stddev(iv_af) / mean(iv_af);
+  const double cv_nsr = stddev(iv_nsr) / mean(iv_nsr);
+  EXPECT_GT(cv_af, 3.0 * cv_nsr);
+  EXPECT_GT(cv_af, 0.10);
+}
+
+TEST(AtrialFibrillation, PulseDeficitAfterShortIntervals) {
+  // Short preceding interval → weaker beat (smaller pulse pressure).
+  auto cfg = PatientPresets::atrial_fibrillation();
+  cfg.drift_mmhg_per_sqrt_s = 0.0;
+  cfg.respiration_pp_depth = 0.0;
+  ArterialPulseGenerator gen{cfg};
+  (void)gen.generate(250.0, 250 * 180);
+  const auto& truth = gen.beat_truth();
+  ASSERT_GE(truth.size(), 100u);
+  // Correlate preceding interval with this beat's pulse pressure.
+  std::vector<double> prev_iv;
+  std::vector<double> pp;
+  for (std::size_t i = 1; i < truth.size(); ++i) {
+    prev_iv.push_back(truth[i - 1].interval_s);
+    pp.push_back(truth[i].systolic_mmhg - truth[i].diastolic_mmhg);
+  }
+  EXPECT_GT(pearson_correlation(prev_iv, pp), 0.4);
+}
+
+TEST(AtrialFibrillation, RegularRhythmUnaffectedByMechanism) {
+  // af_irregularity = 0: pulse pressure independent of preceding interval.
+  // Respiration is disabled entirely here — RSA modulates the intervals and
+  // the baseline swing leaks into measured extrema at the same phase, which
+  // would correlate the two through a common cause rather than the AF
+  // filling mechanism under test.
+  PulseConfig cfg;
+  cfg.drift_mmhg_per_sqrt_s = 0.0;
+  cfg.respiration_pp_depth = 0.0;
+  cfg.respiration_baseline_mmhg = 0.0;
+  cfg.rsa_depth = 0.0;
+  cfg.mayer_depth = 0.0;
+  ArterialPulseGenerator gen{cfg};
+  (void)gen.generate(250.0, 250 * 120);
+  const auto& truth = gen.beat_truth();
+  std::vector<double> prev_iv;
+  std::vector<double> pp;
+  for (std::size_t i = 1; i < truth.size(); ++i) {
+    prev_iv.push_back(truth[i - 1].interval_s);
+    pp.push_back(truth[i].systolic_mmhg - truth[i].diastolic_mmhg);
+  }
+  EXPECT_LT(std::abs(pearson_correlation(prev_iv, pp)), 0.3);
+}
+
+TEST(ElderlyStiff, AugmentedReflectionInTemplate) {
+  const BeatTemplate normal{BeatMorphology::radial()};
+  const BeatTemplate stiff{PatientPresets::elderly_stiff().morphology};
+  // The reflected-wave region carries more relative pressure for the stiff
+  // morphology.
+  EXPECT_GT(stiff.value(0.30), normal.value(0.30));
+}
+
+}  // namespace
+}  // namespace tono::bio

@@ -1,0 +1,144 @@
+// Tests for the full acquisition pipeline (Fig. 3 signal path).
+#include "src/core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/statistics.hpp"
+#include "src/common/units.hpp"
+
+namespace tono::core {
+namespace {
+
+TEST(Pipeline, RatesMatchPaper) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  EXPECT_DOUBLE_EQ(pipe.clock_rate_hz(), 128000.0);
+  EXPECT_DOUBLE_EQ(pipe.output_rate_hz(), 1000.0);
+}
+
+TEST(Pipeline, ProducesRequestedSampleCount) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  const auto out = pipe.acquire_uniform([](double) { return 0.0; }, 100);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(Pipeline, TimeAdvancesWithClock) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  (void)pipe.acquire_uniform([](double) { return 0.0; }, 10);
+  EXPECT_NEAR(pipe.time_s(), 10.0 * 128.0 / 128000.0, 1e-9);
+}
+
+TEST(Pipeline, ConstantPressureGivesStableOutput) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  const double p = units::mmhg_to_pa(20.0);
+  const auto out = pipe.acquire_uniform([=](double) { return p; }, 400);
+  std::vector<double> tail;
+  for (std::size_t i = 200; i < out.size(); ++i) tail.push_back(out[i].value);
+  // Converter noise only: the spread stays within a few LSB.
+  EXPECT_LT(stddev(tail), 6.0 / 2048.0);
+}
+
+TEST(Pipeline, OutputTracksPressureDirection) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  auto settle_mean = [&](double p_mmhg) {
+    pipe.reset();
+    const auto out =
+        pipe.acquire_uniform([=](double) { return units::mmhg_to_pa(p_mmhg); }, 300);
+    std::vector<double> tail;
+    for (std::size_t i = 150; i < out.size(); ++i) tail.push_back(out[i].value);
+    return mean(tail);
+  };
+  const double lo = settle_mean(0.0);
+  const double hi = settle_mean(40.0);
+  EXPECT_GT(hi, lo);  // more contact pressure → more capacitance → higher code
+}
+
+TEST(Pipeline, SinusoidalPressureComesThrough) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  const double f = 5.0;  // heart-beat-scale frequency
+  const auto out = pipe.acquire_uniform(
+      [&](double t) {
+        return units::mmhg_to_pa(20.0 + 15.0 * std::sin(2.0 * std::numbers::pi * f * t));
+      },
+      2000);
+  std::vector<double> tail;
+  for (std::size_t i = 1000; i < out.size(); ++i) tail.push_back(out[i].value);
+  // Oscillation must be clearly visible above the noise.
+  EXPECT_GT(peak_to_peak(tail), 20.0 / 2048.0);
+  // And roughly periodic at 5 Hz: count zero crossings of the centered tail.
+  const double m = mean(tail);
+  int crossings = 0;
+  for (std::size_t i = 1; i < tail.size(); ++i) {
+    if ((tail[i - 1] - m) * (tail[i] - m) < 0.0) ++crossings;
+  }
+  EXPECT_NEAR(crossings, 10, 4);  // 5 Hz over 1 s → 10 crossings
+}
+
+TEST(Pipeline, SelectSwitchesElement) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  pipe.select(1, 1);
+  EXPECT_EQ(pipe.selected_row(), 1u);
+  EXPECT_EQ(pipe.selected_col(), 1u);
+}
+
+TEST(Pipeline, SwitchTransientSettlesWithinGroupDelay) {
+  // §2.2: settling after a mux switch is limited by the converter's signal
+  // bandwidth — i.e. the decimation-chain transient, not the analog mux.
+  auto cfg = ChipConfig::paper_chip();
+  AcquisitionPipeline pipe{cfg};
+  const double p = units::mmhg_to_pa(30.0);
+  auto field = [=](double, double, double) { return p; };
+  (void)pipe.acquire(field, 200);  // settle on element (0,0)
+  // Capture steady level of element (1,1) for reference.
+  pipe.select(1, 1);
+  const auto after = pipe.acquire(field, 200);
+  std::vector<double> tail;
+  for (std::size_t i = 100; i < after.size(); ++i) tail.push_back(after[i].value);
+  const double steady = mean(tail);
+  // The first samples after the switch differ (transient), later ones match.
+  const double gd_samples = pipe.decimation().group_delay_seconds() * 1000.0;
+  const std::size_t settle_n = static_cast<std::size_t>(4.0 * gd_samples) + 8;
+  for (std::size_t i = settle_n; i < 100; ++i) {
+    EXPECT_NEAR(after[i].value, steady, 8.0 / 2048.0) << "sample " << i;
+  }
+}
+
+TEST(Pipeline, DeltaCFullScaleMatchesModulator) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  // paper_chip uses C_fb1 = 5 fF with V_exc = V_ref.
+  EXPECT_NEAR(pipe.delta_c_full_scale(), 5e-15, 0.2e-15);
+}
+
+TEST(Pipeline, ResetRestartsCleanly) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  (void)pipe.acquire_uniform([](double) { return 1000.0; }, 50);
+  pipe.reset();
+  EXPECT_DOUBLE_EQ(pipe.time_s(), 0.0);
+  const auto out = pipe.acquire_uniform([](double) { return 0.0; }, 10);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(Pipeline, FieldSeesElementCoordinates) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  // A field with a strong x-gradient produces different outputs on the two
+  // columns.
+  auto field = [](double x, double, double) {
+    return units::mmhg_to_pa(x > 0.0 ? 40.0 : 0.0);
+  };
+  pipe.select(0, 0);
+  const auto left = pipe.acquire(field, 300);
+  pipe.select(0, 1);
+  const auto right = pipe.acquire(field, 300);
+  std::vector<double> lt;
+  std::vector<double> rt;
+  for (std::size_t i = 150; i < 300; ++i) {
+    lt.push_back(left[i].value);
+    rt.push_back(right[i].value);
+  }
+  EXPECT_GT(mean(rt), mean(lt) + 5.0 / 2048.0);
+}
+
+}  // namespace
+}  // namespace tono::core

@@ -1,0 +1,174 @@
+// Tests for the clamped square plate mechanics.
+#include "src/mems/plate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/units.hpp"
+
+namespace tono::mems {
+namespace {
+
+PlateGeometry paper_geometry() { return PlateGeometry{}; }
+
+PlateGeometry stress_free_geometry() {
+  PlateGeometry g;
+  // Single stress-free oxide layer, 3 µm: pure bending case.
+  Material m = silicon_dioxide();
+  m.residual_stress_pa = 0.0;
+  LayerStack s;
+  s.add_layer(m, 3e-6);
+  g.stack = s;
+  return g;
+}
+
+TEST(SquarePlate, SmallDeflectionMatchesTimoshenko) {
+  // w0 = 0.00126 · p a⁴ / D for a stress-free clamped square plate.
+  const SquarePlate plate{stress_free_geometry()};
+  const double a = plate.geometry().side_length_m;
+  const double d = plate.flexural_rigidity();
+  const double p = 100.0;  // small load, linear regime
+  const double expected = 0.00126 * p * a * a * a * a / d;
+  EXPECT_NEAR(plate.center_deflection(p), expected, 1e-3 * expected);
+}
+
+TEST(SquarePlate, TensionStiffens) {
+  const SquarePlate tensioned{paper_geometry()};
+  const SquarePlate free_plate{stress_free_geometry()};
+  // The paper stack is net tensile → at the same rigidity scale it deflects
+  // less per pascal than the hypothetical stress-free plate of the same D.
+  const double k_t = tensioned.linear_stiffness();
+  const double k_f = free_plate.linear_stiffness() *
+                     (tensioned.flexural_rigidity() / free_plate.flexural_rigidity());
+  EXPECT_GT(k_t, k_f);
+  EXPECT_GT(tensioned.residual_tension(), 0.0);
+}
+
+TEST(SquarePlate, DeflectionIsOddInPressure) {
+  const SquarePlate plate{paper_geometry()};
+  const double p = 5e3;
+  EXPECT_NEAR(plate.center_deflection(p), -plate.center_deflection(-p), 1e-18);
+}
+
+TEST(SquarePlate, ZeroPressureZeroDeflection) {
+  const SquarePlate plate{paper_geometry()};
+  EXPECT_DOUBLE_EQ(plate.center_deflection(0.0), 0.0);
+}
+
+TEST(SquarePlate, InverseConsistency) {
+  const SquarePlate plate{paper_geometry()};
+  for (double p : {10.0, 1e3, 1e4, 1e5, 1e6}) {
+    const double w = plate.center_deflection(p);
+    EXPECT_NEAR(plate.pressure_for_deflection(w), p, 1e-6 * p) << "p = " << p;
+  }
+}
+
+TEST(SquarePlate, CubicStiffeningReducesLargeDeflection) {
+  const SquarePlate plate{paper_geometry()};
+  const double w_small = plate.center_deflection(1e3);
+  const double w_large = plate.center_deflection(1e6);
+  // Sub-linear growth: 1000× pressure gives < 1000× deflection.
+  EXPECT_LT(w_large, 1000.0 * w_small);
+  EXPECT_GT(w_large, w_small);
+}
+
+TEST(SquarePlate, ComplianceDecreasesWithBias) {
+  const SquarePlate plate{paper_geometry()};
+  EXPECT_GT(plate.compliance_at(0.0), plate.compliance_at(1e6));
+}
+
+TEST(SquarePlate, ComplianceAtZeroIsInverseK1) {
+  const SquarePlate plate{paper_geometry()};
+  EXPECT_NEAR(plate.compliance_at(0.0), 1.0 / plate.linear_stiffness(), 1e-18);
+}
+
+TEST(SquarePlate, ModeShapeSatisfiesClampedBoundary) {
+  const SquarePlate plate{paper_geometry()};
+  const double a = plate.geometry().side_length_m;
+  const double w0 = 1e-7;
+  EXPECT_NEAR(plate.deflection_at(0.0, a / 2, w0), 0.0, 1e-20);
+  EXPECT_NEAR(plate.deflection_at(a, a / 2, w0), 0.0, 1e-20);
+  EXPECT_NEAR(plate.deflection_at(a / 2, 0.0, w0), 0.0, 1e-20);
+  EXPECT_NEAR(plate.deflection_at(a / 2, a / 2, w0), w0, 1e-15);
+}
+
+TEST(SquarePlate, ModeShapeOutsideMembraneIsZero) {
+  const SquarePlate plate{paper_geometry()};
+  const double a = plate.geometry().side_length_m;
+  EXPECT_DOUBLE_EQ(plate.deflection_at(-1e-6, a / 2, 1e-7), 0.0);
+  EXPECT_DOUBLE_EQ(plate.deflection_at(a + 1e-6, a / 2, 1e-7), 0.0);
+}
+
+TEST(SquarePlate, MeanDeflectionIsQuarterOfCenter) {
+  const SquarePlate plate{paper_geometry()};
+  EXPECT_DOUBLE_EQ(plate.mean_deflection(4e-8), 1e-8);
+}
+
+TEST(SquarePlate, PaperMembraneDeflectionScale) {
+  // Sanity anchor: at MAP-scale contact pressure (100 mmHg ≈ 13.3 kPa) the
+  // 100 µm / 3 µm membrane deflects nanometres — the regime that motivates
+  // the ΔΣ capacitive readout.
+  const SquarePlate plate{paper_geometry()};
+  const double w = plate.center_deflection(units::mmhg_to_pa(100.0));
+  EXPECT_GT(w, 1e-9);
+  EXPECT_LT(w, 100e-9);
+}
+
+TEST(SquarePlate, ResonanceInMegahertzRange) {
+  // 100 µm CMOS membranes resonate around a few hundred kHz to a few MHz —
+  // far above the 500 Hz signal band, justifying the static transfer model.
+  const SquarePlate plate{paper_geometry()};
+  const double f0 = plate.fundamental_resonance_hz();
+  EXPECT_GT(f0, 200e3);
+  EXPECT_LT(f0, 20e6);
+}
+
+TEST(SquarePlate, ResonanceScalesInverselyWithAreaForBendingPlate) {
+  // Stress-free plate: f ∝ 1/a². (The tension term breaks this, so use the
+  // stress-free stack.)
+  PlateGeometry small = stress_free_geometry();
+  PlateGeometry large = stress_free_geometry();
+  large.side_length_m = 2.0 * small.side_length_m;
+  const double f_small = SquarePlate{small}.fundamental_resonance_hz();
+  const double f_large = SquarePlate{large}.fundamental_resonance_hz();
+  EXPECT_NEAR(f_small / f_large, 4.0, 0.01);
+}
+
+TEST(SquarePlate, RejectsBadGeometry) {
+  PlateGeometry g;
+  g.side_length_m = 0.0;
+  EXPECT_THROW((SquarePlate{g}), std::invalid_argument);
+  PlateGeometry g2;
+  g2.stack = LayerStack{};
+  EXPECT_THROW((SquarePlate{g2}), std::invalid_argument);
+}
+
+TEST(SquarePlate, RejectsBuckledStack) {
+  // A strongly compressive stack makes k1 negative → constructor refuses.
+  PlateGeometry g;
+  Material m = silicon_dioxide();
+  m.residual_stress_pa = -3e9;  // extreme compression
+  LayerStack s;
+  s.add_layer(m, 3e-6);
+  g.stack = s;
+  EXPECT_THROW((SquarePlate{g}), std::invalid_argument);
+}
+
+// Property: linearity holds within 1 % for small loads across sizes.
+class PlateLinearityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlateLinearityTest, SmallLoadLinear) {
+  PlateGeometry g;
+  g.side_length_m = GetParam();
+  const SquarePlate plate{g};
+  const double w1 = plate.center_deflection(100.0);
+  const double w2 = plate.center_deflection(200.0);
+  EXPECT_NEAR(w2 / w1, 2.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlateLinearityTest,
+                         ::testing::Values(50e-6, 100e-6, 200e-6, 500e-6));
+
+}  // namespace
+}  // namespace tono::mems

@@ -1,0 +1,72 @@
+// Tests for the chip power model.
+#include "src/analog/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tono::analog {
+namespace {
+
+TEST(PowerModel, NominalPointMatchesPaper) {
+  // §3.1: 11.5 mW at 5 V / 128 kHz.
+  PowerModel pm;
+  EXPECT_NEAR(pm.nominal_w(), 11.5e-3, 0.2e-3);
+}
+
+TEST(PowerModel, StaticScalesLinearlyWithVdd) {
+  PowerModel pm;
+  EXPECT_NEAR(pm.static_w(5.0) / pm.static_w(2.5), 2.0, 1e-12);
+}
+
+TEST(PowerModel, DynamicScalesWithFrequency) {
+  PowerModel pm;
+  EXPECT_NEAR(pm.dynamic_w(5.0, 256e3) / pm.dynamic_w(5.0, 128e3), 2.0, 1e-12);
+}
+
+TEST(PowerModel, DynamicScalesWithVddSquared) {
+  PowerModel pm;
+  EXPECT_NEAR(pm.dynamic_w(5.0, 128e3) / pm.dynamic_w(2.5, 128e3), 4.0, 1e-12);
+}
+
+TEST(PowerModel, TotalIsSum) {
+  PowerModel pm;
+  EXPECT_DOUBLE_EQ(pm.total_w(5.0, 128e3), pm.static_w(5.0) + pm.dynamic_w(5.0, 128e3));
+}
+
+TEST(PowerModel, MonotoneInFrequency) {
+  PowerModel pm;
+  double prev = 0.0;
+  for (double f = 32e3; f <= 1024e3; f *= 2.0) {
+    const double p = pm.total_w(5.0, f);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, EnergyPerConversion) {
+  PowerModel pm;
+  // 11.5 mW at 1 kS/s output → 11.5 µJ per conversion.
+  EXPECT_NEAR(pm.energy_per_conversion_j(5.0, 128e3, 128.0), 11.5e-6, 0.3e-6);
+}
+
+TEST(PowerModel, EnergyPerConversionZeroGuards) {
+  PowerModel pm;
+  EXPECT_DOUBLE_EQ(pm.energy_per_conversion_j(5.0, 0.0, 128.0), 0.0);
+  EXPECT_DOUBLE_EQ(pm.energy_per_conversion_j(5.0, 128e3, 0.0), 0.0);
+}
+
+TEST(PowerModel, RejectsNegativeParameters) {
+  PowerModelConfig bad;
+  bad.analog_bias_a = -1.0;
+  EXPECT_THROW((PowerModel{bad}), std::invalid_argument);
+}
+
+TEST(PowerModel, StaticDominatesAtNominal) {
+  // The SC converter is bias-dominated; dynamic power is the minority share
+  // at 128 kHz (it would take ~MHz rates to flip that).
+  PowerModel pm;
+  EXPECT_GT(pm.static_w(5.0), pm.dynamic_w(5.0, 128e3));
+  EXPECT_LT(pm.static_w(5.0), pm.dynamic_w(5.0, 3e6));
+}
+
+}  // namespace
+}  // namespace tono::analog

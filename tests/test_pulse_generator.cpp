@@ -1,0 +1,163 @@
+// Tests for the arterial pulse generator with physiological variability.
+#include "src/bio/pulse_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/statistics.hpp"
+
+namespace tono::bio {
+namespace {
+
+TEST(PulseGenerator, PressureWithinPhysiologicalBand) {
+  ArterialPulseGenerator gen{PulseConfig{}};
+  const auto wave = gen.generate(250.0, 250 * 30);
+  EXPECT_GT(min_value(wave), 60.0);
+  EXPECT_LT(max_value(wave), 140.0);
+}
+
+TEST(PulseGenerator, MeanSetpointsTrackConfig) {
+  PulseConfig cfg;
+  cfg.drift_mmhg_per_sqrt_s = 0.0;
+  ArterialPulseGenerator gen{cfg};
+  (void)gen.generate(250.0, 250 * 60);
+  EXPECT_NEAR(gen.mean_systolic_mmhg(), 120.0, 3.0);
+  EXPECT_NEAR(gen.mean_diastolic_mmhg(), 80.0, 3.0);
+}
+
+TEST(PulseGenerator, BeatIntervalsMatchHeartRate) {
+  PulseConfig cfg;
+  cfg.heart_rate_bpm = 60.0;
+  cfg.hrv_jitter = 0.0;
+  cfg.mayer_depth = 0.0;
+  cfg.rsa_depth = 0.0;
+  ArterialPulseGenerator gen{cfg};
+  (void)gen.generate(500.0, 500 * 30);
+  const auto& truth = gen.beat_truth();
+  ASSERT_GE(truth.size(), 25u);
+  for (const auto& b : truth) EXPECT_NEAR(b.interval_s, 1.0, 0.01);
+}
+
+TEST(PulseGenerator, HrvJitterSpreadsIntervals) {
+  PulseConfig cfg;
+  cfg.hrv_jitter = 0.05;
+  cfg.mayer_depth = 0.0;
+  cfg.rsa_depth = 0.0;
+  ArterialPulseGenerator gen{cfg};
+  (void)gen.generate(500.0, 500 * 120);
+  std::vector<double> intervals;
+  for (const auto& b : gen.beat_truth()) intervals.push_back(b.interval_s);
+  ASSERT_GE(intervals.size(), 50u);
+  EXPECT_GT(stddev(intervals) / mean(intervals), 0.02);
+}
+
+TEST(PulseGenerator, TruthBeatsAreOrderedAndContiguous) {
+  ArterialPulseGenerator gen{PulseConfig{}};
+  (void)gen.generate(500.0, 500 * 20);
+  const auto& truth = gen.beat_truth();
+  ASSERT_GE(truth.size(), 2u);
+  for (std::size_t i = 1; i < truth.size(); ++i) {
+    EXPECT_GT(truth[i].onset_s, truth[i - 1].onset_s);
+    EXPECT_NEAR(truth[i].onset_s, truth[i - 1].onset_s + truth[i - 1].interval_s, 0.01);
+  }
+}
+
+TEST(PulseGenerator, TruthSysAboveDia) {
+  ArterialPulseGenerator gen{PulseConfig{}};
+  (void)gen.generate(500.0, 500 * 30);
+  for (const auto& b : gen.beat_truth()) {
+    EXPECT_GT(b.systolic_mmhg, b.diastolic_mmhg);
+    EXPECT_GT(b.map_mmhg, b.diastolic_mmhg);
+    EXPECT_LT(b.map_mmhg, b.systolic_mmhg);
+  }
+}
+
+TEST(PulseGenerator, MapClosestToDiastolic) {
+  // Arterial MAP sits in the lower half of the pulse (diastole dominates).
+  PulseConfig cfg;
+  cfg.drift_mmhg_per_sqrt_s = 0.0;
+  ArterialPulseGenerator gen{cfg};
+  (void)gen.generate(500.0, 500 * 30);
+  for (const auto& b : gen.beat_truth()) {
+    EXPECT_LT(b.map_mmhg, (b.systolic_mmhg + b.diastolic_mmhg) / 2.0);
+  }
+}
+
+TEST(PulseGenerator, DeterministicAcrossRuns) {
+  ArterialPulseGenerator a{PulseConfig{}};
+  ArterialPulseGenerator b{PulseConfig{}};
+  const auto wa = a.generate(250.0, 1000);
+  const auto wb = b.generate(250.0, 1000);
+  EXPECT_EQ(wa, wb);
+}
+
+TEST(PulseGenerator, SeedChangesWaveform) {
+  PulseConfig c1;
+  c1.seed = 1;
+  PulseConfig c2;
+  c2.seed = 2;
+  const auto wa = ArterialPulseGenerator{c1}.generate(250.0, 2000);
+  const auto wb = ArterialPulseGenerator{c2}.generate(250.0, 2000);
+  EXPECT_NE(wa, wb);
+}
+
+TEST(PulseGenerator, RespirationModulatesBaseline) {
+  PulseConfig with;
+  with.respiration_baseline_mmhg = 5.0;
+  with.drift_mmhg_per_sqrt_s = 0.0;
+  PulseConfig without = with;
+  without.respiration_baseline_mmhg = 0.0;
+  const auto ww = ArterialPulseGenerator{with}.generate(100.0, 100 * 30);
+  const auto wo = ArterialPulseGenerator{without}.generate(100.0, 100 * 30);
+  // Respiration widens the overall range.
+  EXPECT_GT(peak_to_peak(ww), peak_to_peak(wo) + 2.0);
+}
+
+TEST(PulseGenerator, RejectsBadConfig) {
+  PulseConfig bad;
+  bad.systolic_mmhg = 70.0;  // below diastolic
+  EXPECT_THROW((ArterialPulseGenerator{bad}), std::invalid_argument);
+  PulseConfig bad2;
+  bad2.heart_rate_bpm = 10.0;
+  EXPECT_THROW((ArterialPulseGenerator{bad2}), std::invalid_argument);
+}
+
+TEST(PulseGenerator, RejectsBadDt) {
+  ArterialPulseGenerator gen{PulseConfig{}};
+  EXPECT_THROW((void)gen.sample(0.0), std::invalid_argument);
+  EXPECT_THROW((void)gen.generate(0.0, 10), std::invalid_argument);
+}
+
+// Property: generator honours different clinical setpoints.
+struct Setpoint {
+  double sys;
+  double dia;
+  double hr;
+};
+
+class SetpointTest : public ::testing::TestWithParam<Setpoint> {};
+
+TEST_P(SetpointTest, TracksTarget) {
+  PulseConfig cfg;
+  cfg.systolic_mmhg = GetParam().sys;
+  cfg.diastolic_mmhg = GetParam().dia;
+  cfg.heart_rate_bpm = GetParam().hr;
+  cfg.drift_mmhg_per_sqrt_s = 0.0;
+  ArterialPulseGenerator gen{cfg};
+  (void)gen.generate(250.0, 250 * 40);
+  EXPECT_NEAR(gen.mean_systolic_mmhg(), GetParam().sys, 4.0);
+  EXPECT_NEAR(gen.mean_diastolic_mmhg(), GetParam().dia, 4.0);
+  const auto& truth = gen.beat_truth();
+  const double expected_beats = 40.0 * GetParam().hr / 60.0;
+  EXPECT_NEAR(static_cast<double>(truth.size()), expected_beats, expected_beats * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Clinical, SetpointTest,
+                         ::testing::Values(Setpoint{120.0, 80.0, 72.0},
+                                           Setpoint{100.0, 65.0, 55.0},
+                                           Setpoint{150.0, 95.0, 90.0},
+                                           Setpoint{180.0, 110.0, 110.0}));
+
+}  // namespace
+}  // namespace tono::bio

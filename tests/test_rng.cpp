@@ -1,0 +1,187 @@
+// Tests for the deterministic random number generator.
+#include "src/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tono {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{8};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{9};
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformBelowInRange) {
+  Rng rng{10};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBelowCoversAllValues) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng{12};
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianMeanSigma) {
+  Rng rng{13};
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{14};
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng{15};
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng{16};
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng{17};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng parent{42};
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1{42};
+  Rng p2{42};
+  Rng a = p1.fork(5);
+  Rng b = p2.fork(5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkNamedDistinctNames) {
+  Rng p{42};
+  Rng a = Rng{42}.fork_named("comparator");
+  Rng b = Rng{42}.fork_named("modulator");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, GaussianSpareCacheConsistency) {
+  // Two generators with the same seed must stay in lockstep even when
+  // gaussian() caching interleaves with other draws.
+  Rng a{99};
+  Rng b{99};
+  (void)a.gaussian();
+  (void)b.gaussian();
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_DOUBLE_EQ(a.gaussian(), b.gaussian());
+}
+
+// Chi-squared sanity check on uniform byte distribution.
+TEST(Rng, UniformBytesChiSquared) {
+  Rng rng{2024};
+  std::vector<int> counts(256, 0);
+  const int n = 256 * 1000;
+  for (int i = 0; i < n / 8; ++i) {
+    std::uint64_t v = rng.next_u64();
+    for (int k = 0; k < 8; ++k) {
+      counts[static_cast<std::size_t>(v & 0xff)]++;
+      v >>= 8;
+    }
+  }
+  const double expected = n / 256.0;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 255 dof: mean 255, σ ≈ 22.6; accept ±5σ.
+  EXPECT_GT(chi2, 255.0 - 113.0);
+  EXPECT_LT(chi2, 255.0 + 113.0);
+}
+
+}  // namespace
+}  // namespace tono

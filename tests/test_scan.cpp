@@ -1,0 +1,120 @@
+// Tests for array scanning and strongest-element selection.
+#include "src/core/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/units.hpp"
+
+namespace tono::core {
+namespace {
+
+/// Pulsating field whose amplitude is a Gaussian in x around x0.
+ContactField pulsating_field(double x0_m, double sigma_m = 100e-6) {
+  return [=](double x, double, double t) {
+    const double d = (x - x0_m) / sigma_m;
+    const double amp = 15.0 * std::exp(-0.5 * d * d);
+    const double p =
+        20.0 + amp * std::sin(2.0 * std::numbers::pi * 5.0 * t);
+    return units::mmhg_to_pa(p);
+  };
+}
+
+ScanConfig fast_scan() {
+  ScanConfig s;
+  s.dwell_samples = 600;  // 3 cycles of the 5 Hz test pulsation
+  s.settle_samples = 64;
+  return s;
+}
+
+TEST(Scan, SelectsStrongestColumnRight) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  ScanController scan{fast_scan()};
+  // Pulsation centered on the right column (+75 µm).
+  const auto result = scan.scan(pipe, pulsating_field(+75e-6));
+  EXPECT_EQ(result.best_col, 1u);
+  EXPECT_EQ(pipe.selected_col(), 1u);
+}
+
+TEST(Scan, SelectsStrongestColumnLeft) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  ScanController scan{fast_scan()};
+  const auto result = scan.scan(pipe, pulsating_field(-75e-6));
+  EXPECT_EQ(result.best_col, 0u);
+}
+
+TEST(Scan, ReportsAllElements) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  ScanController scan{fast_scan()};
+  const auto result = scan.scan(pipe, pulsating_field(0.0));
+  EXPECT_EQ(result.elements.size(), 4u);
+  for (const auto& e : result.elements) {
+    EXPECT_GT(e.amplitude, 0.0);
+    EXPECT_LT(e.row, 2u);
+    EXPECT_LT(e.col, 2u);
+  }
+}
+
+TEST(Scan, BestAmplitudeIsMaximum) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  ScanController scan{fast_scan()};
+  const auto result = scan.scan(pipe, pulsating_field(+75e-6));
+  for (const auto& e : result.elements) {
+    EXPECT_LE(e.amplitude, result.best_amplitude + 1e-15);
+  }
+}
+
+TEST(Scan, AmplitudeOrderingFollowsDistance) {
+  // With the pulsation on the right column, right elements must beat left.
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  ScanController scan{fast_scan()};
+  const auto result = scan.scan(pipe, pulsating_field(+75e-6, 60e-6));
+  double left = 0.0;
+  double right = 0.0;
+  for (const auto& e : result.elements) {
+    (e.col == 0 ? left : right) += e.amplitude;
+  }
+  EXPECT_GT(right, left * 1.2);
+}
+
+TEST(Scan, UniformFieldGivesComparableAmplitudes) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  ScanController scan{fast_scan()};
+  const auto result = scan.scan(pipe, pulsating_field(0.0, 1.0));  // σ = 1 m: flat
+  double lo = 1e18;
+  double hi = 0.0;
+  for (const auto& e : result.elements) {
+    lo = std::min(lo, e.amplitude);
+    hi = std::max(hi, e.amplitude);
+  }
+  EXPECT_LT(hi / lo, 1.3);
+}
+
+TEST(Scan, WorksOnLargerArray) {
+  auto cfg = ChipConfig::paper_chip();
+  cfg.array.rows = 1;
+  cfg.array.cols = 8;
+  cfg.mux.rows = 1;
+  cfg.mux.cols = 8;
+  AcquisitionPipeline pipe{cfg};
+  ScanController scan{fast_scan()};
+  // Pulsation centered on column 6 of 8 (x = (6 − 3.5) · 150 µm = 375 µm).
+  const auto result = scan.scan(pipe, pulsating_field(375e-6, 200e-6));
+  EXPECT_EQ(result.elements.size(), 8u);
+  EXPECT_NEAR(static_cast<double>(result.best_col), 6.0, 1.0);
+}
+
+TEST(Scan, RejectsBadConfig) {
+  ScanConfig bad;
+  bad.dwell_samples = 0;
+  EXPECT_THROW((ScanController{bad}), std::invalid_argument);
+  ScanConfig bad2;
+  bad2.low_percentile = 90.0;
+  bad2.high_percentile = 10.0;
+  EXPECT_THROW((ScanController{bad2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tono::core

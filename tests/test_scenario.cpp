@@ -1,0 +1,98 @@
+// Tests for time-varying physiological scenarios and monitor tracking.
+#include "src/bio/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/core/monitor.hpp"
+
+namespace tono::bio {
+namespace {
+
+TEST(Scenario, InterpolatesBetweenKeyframes) {
+  ScenarioProfile p{{ScenarioKeyframe{0.0, 120.0, 80.0, 70.0},
+                     ScenarioKeyframe{10.0, 140.0, 90.0, 90.0}},
+                    "ramp"};
+  const auto mid = p.at(5.0);
+  EXPECT_NEAR(mid.systolic_mmhg, 130.0, 1e-9);
+  EXPECT_NEAR(mid.diastolic_mmhg, 85.0, 1e-9);
+  EXPECT_NEAR(mid.heart_rate_bpm, 80.0, 1e-9);
+}
+
+TEST(Scenario, ClampsOutsideRange) {
+  ScenarioProfile p{{ScenarioKeyframe{0.0, 120.0, 80.0, 70.0},
+                     ScenarioKeyframe{10.0, 140.0, 90.0, 90.0}}};
+  EXPECT_NEAR(p.at(-5.0).systolic_mmhg, 120.0, 1e-9);
+  EXPECT_NEAR(p.at(100.0).systolic_mmhg, 140.0, 1e-9);
+  EXPECT_NEAR(p.duration_s(), 10.0, 1e-12);
+}
+
+TEST(Scenario, RejectsBadKeyframes) {
+  EXPECT_THROW((ScenarioProfile{{ScenarioKeyframe{}}}), std::invalid_argument);
+  EXPECT_THROW((ScenarioProfile{{ScenarioKeyframe{5.0}, ScenarioKeyframe{1.0}}}),
+               std::invalid_argument);
+  EXPECT_THROW((ScenarioProfile{{ScenarioKeyframe{0.0, 80.0, 90.0, 70.0},
+                                 ScenarioKeyframe{1.0}}}),
+               std::invalid_argument);
+}
+
+TEST(Scenario, PresetsWellFormed) {
+  const auto ex = ScenarioProfile::exercise();
+  EXPECT_GT(ex.duration_s(), 60.0);
+  // Peak exercise raises both pressure and heart rate.
+  EXPECT_GT(ex.at(90.0).systolic_mmhg, ex.at(0.0).systolic_mmhg + 20.0);
+  EXPECT_GT(ex.at(90.0).heart_rate_bpm, ex.at(0.0).heart_rate_bpm + 30.0);
+
+  const auto hypo = ScenarioProfile::hypotensive_episode();
+  EXPECT_LT(hypo.at(60.0).systolic_mmhg, hypo.at(0.0).systolic_mmhg - 25.0);
+}
+
+TEST(Scenario, GeneratorFollowsAppliedTargets) {
+  PulseConfig cfg;
+  cfg.drift_mmhg_per_sqrt_s = 0.0;
+  ArterialPulseGenerator gen{cfg};
+  const ScenarioProfile ramp{{ScenarioKeyframe{0.0, 120.0, 80.0, 70.0},
+                              ScenarioKeyframe{30.0, 150.0, 95.0, 100.0}}};
+  for (int i = 0; i < 30 * 250; ++i) {
+    const double t = i / 250.0;
+    if (i % 25 == 0) ramp.apply(gen, t);
+    (void)gen.sample(1.0 / 250.0);
+  }
+  const auto& truth = gen.beat_truth();
+  ASSERT_GE(truth.size(), 20u);
+  // Late beats track the raised setpoints.
+  const auto& late = truth.back();
+  EXPECT_GT(late.systolic_mmhg, 140.0);
+  EXPECT_LT(late.interval_s, 0.7);  // ~100 bpm
+}
+
+TEST(Scenario, SetTargetsValidates) {
+  ArterialPulseGenerator gen{PulseConfig{}};
+  EXPECT_THROW(gen.set_targets(80.0, 90.0, 70.0), std::invalid_argument);
+  EXPECT_THROW(gen.set_targets(120.0, 80.0, 5.0), std::invalid_argument);
+  EXPECT_NO_THROW(gen.set_targets(140.0, 90.0, 95.0));
+}
+
+TEST(Scenario, MonitorTracksHypotensiveEpisode) {
+  core::WristModel wrist;
+  wrist.scenario =
+      std::make_shared<ScenarioProfile>(ScenarioProfile::hypotensive_episode(120.0));
+  core::BloodPressureMonitor mon{core::ChipConfig::paper_chip(), wrist};
+  (void)mon.calibrate(12.0);
+  // Monitor through the crash (which happens around t = 42..60 s).
+  const auto before = mon.monitor(15.0);   // ~t 12-27 s: still stable
+  (void)mon.monitor(25.0);                 // ride through the onset
+  const auto nadir = mon.monitor(15.0);    // ~t 52-67 s: deep in the episode
+  ASSERT_GE(before.beats.beats.size(), 10u);
+  ASSERT_GE(nadir.beats.beats.size(), 10u);
+  // The sensor sees the crash: systolic falls by tens of mmHg and HR rises.
+  EXPECT_LT(nadir.beats.mean_systolic, before.beats.mean_systolic - 20.0);
+  EXPECT_GT(nadir.beats.heart_rate_bpm, before.beats.heart_rate_bpm + 10.0);
+  // And it still tracks the (changing) ground truth decently.
+  EXPECT_LT(std::abs(nadir.map_error_mmhg), 10.0);
+}
+
+}  // namespace
+}  // namespace tono::bio

@@ -1,0 +1,189 @@
+// Tests for single-tone spectral metrics (SNR/SNDR/THD/ENOB).
+#include "src/dsp/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/common/math_utils.hpp"
+#include "src/common/rng.hpp"
+
+namespace tono::dsp {
+namespace {
+
+std::vector<double> make_tone(double amp, double freq, double fs, std::size_t n,
+                              double noise_rms = 0.0, std::uint64_t seed = 1) {
+  tono::Rng rng{seed};
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = amp * std::sin(2.0 * std::numbers::pi * freq * t);
+    if (noise_rms > 0.0) x[i] += rng.gaussian(0.0, noise_rms);
+  }
+  return x;
+}
+
+TEST(CoherentFrequency, OddCycleCount) {
+  const double f = coherent_frequency(15.625, 1000.0, 8192);
+  const double cycles = f * 8192.0 / 1000.0;
+  EXPECT_NEAR(cycles, std::round(cycles), 1e-9);
+  EXPECT_EQ(static_cast<long long>(std::llround(cycles)) % 2, 1);
+  EXPECT_NEAR(f, 15.625, 1.0);
+}
+
+TEST(CoherentFrequency, NeverBelowOneCycle) {
+  EXPECT_GT(coherent_frequency(0.0001, 1000.0, 1024), 0.0);
+}
+
+TEST(AnalyzeTone, FindsFundamental) {
+  const double fs = 1000.0;
+  const double f = coherent_frequency(50.0, fs, 4096);
+  const auto x = make_tone(0.5, f, fs, 4096);
+  SpectrumConfig cfg;
+  cfg.sample_rate_hz = fs;
+  const auto a = analyze_tone(x, cfg);
+  EXPECT_NEAR(a.fundamental_hz, f, fs / 4096.0);
+}
+
+TEST(AnalyzeTone, AmplitudeIndBfsAccurate) {
+  const double fs = 1000.0;
+  const double f = coherent_frequency(60.0, fs, 8192);
+  for (double amp : {1.0, 0.5, 0.25, 0.1}) {
+    const auto x = make_tone(amp, f, fs, 8192);
+    SpectrumConfig cfg;
+    cfg.sample_rate_hz = fs;
+    const auto a = analyze_tone(x, cfg);
+    EXPECT_NEAR(a.fundamental_dbfs, 20.0 * std::log10(amp), 0.1) << "amp " << amp;
+  }
+}
+
+TEST(AnalyzeTone, SnrMatchesInjectedNoise) {
+  const double fs = 1000.0;
+  const std::size_t n = 16384;
+  const double f = coherent_frequency(97.0, fs, n);
+  const double amp = 0.5;
+  const double noise = 1e-3;
+  const auto x = make_tone(amp, f, fs, n, noise);
+  SpectrumConfig cfg;
+  cfg.sample_rate_hz = fs;
+  const auto a = analyze_tone(x, cfg);
+  const double expected_snr =
+      10.0 * std::log10((amp * amp / 2.0) / (noise * noise));
+  EXPECT_NEAR(a.snr_db, expected_snr, 1.0);
+}
+
+TEST(AnalyzeTone, WindowChoiceDoesNotChangeSnr) {
+  const double fs = 1000.0;
+  const std::size_t n = 16384;
+  const double f = coherent_frequency(77.0, fs, n);
+  const auto x = make_tone(0.5, f, fs, n, 5e-4);
+  double snrs[2];
+  int i = 0;
+  for (auto w : {WindowKind::kHann, WindowKind::kBlackmanHarris4}) {
+    SpectrumConfig cfg;
+    cfg.sample_rate_hz = fs;
+    cfg.window = w;
+    snrs[i++] = analyze_tone(x, cfg).snr_db;
+  }
+  EXPECT_NEAR(snrs[0], snrs[1], 1.0);
+}
+
+TEST(AnalyzeTone, DetectsHarmonicDistortion) {
+  const double fs = 1000.0;
+  const std::size_t n = 8192;
+  const double f = coherent_frequency(31.0, fs, n);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    const double s = std::sin(2.0 * std::numbers::pi * f * t);
+    x[i] = 0.5 * s + 0.005 * std::sin(2.0 * std::numbers::pi * 2.0 * f * t) +
+           1e-4 * std::sin(2.0 * std::numbers::pi * 7.77 * t);
+  }
+  SpectrumConfig cfg;
+  cfg.sample_rate_hz = fs;
+  const auto a = analyze_tone(x, cfg);
+  // HD2 = 0.005/0.5 = -40 dB.
+  EXPECT_NEAR(a.thd_db, -40.0, 1.0);
+  EXPECT_LT(a.sndr_db, a.snr_db + 0.1);
+}
+
+TEST(AnalyzeTone, EnobConsistentWithSndr) {
+  const double fs = 1000.0;
+  const std::size_t n = 8192;
+  const double f = coherent_frequency(40.0, fs, n);
+  const auto x = make_tone(0.9, f, fs, n, 2e-3);
+  SpectrumConfig cfg;
+  cfg.sample_rate_hz = fs;
+  const auto a = analyze_tone(x, cfg);
+  EXPECT_NEAR(a.enob_bits, (a.sndr_db - 1.76) / 6.02, 1e-9);
+}
+
+TEST(AnalyzeTone, PsdVectorsSized) {
+  const auto x = make_tone(0.5, 50.0, 1000.0, 1024);
+  SpectrumConfig cfg;
+  const auto a = analyze_tone(x, cfg);
+  EXPECT_EQ(a.psd_dbfs.size(), 513u);
+  EXPECT_EQ(a.freq_hz.size(), 513u);
+  EXPECT_DOUBLE_EQ(a.freq_hz[0], 0.0);
+}
+
+TEST(AnalyzeTone, RejectsBadRecord) {
+  std::vector<double> x(1000, 0.0);  // not a power of two
+  SpectrumConfig cfg;
+  EXPECT_THROW((void)analyze_tone(x, cfg), std::invalid_argument);
+  std::vector<double> tiny(8, 0.0);
+  EXPECT_THROW((void)analyze_tone(tiny, cfg), std::invalid_argument);
+}
+
+TEST(AnalyzeTone, DcOffsetDoesNotBecomeFundamental) {
+  const double fs = 1000.0;
+  const std::size_t n = 4096;
+  const double f = coherent_frequency(50.0, fs, n);
+  auto x = make_tone(0.1, f, fs, n);
+  for (auto& v : x) v += 0.5;  // big DC
+  SpectrumConfig cfg;
+  cfg.sample_rate_hz = fs;
+  const auto a = analyze_tone(x, cfg);
+  EXPECT_NEAR(a.fundamental_hz, f, 2.0 * fs / n);
+}
+
+TEST(IdealDeltaSigmaSnr, SecondOrderValues) {
+  // 2nd-order 1-bit: each doubling of OSR buys 15 dB.
+  const double snr64 = ideal_delta_sigma_snr_db(2, 64.0);
+  const double snr128 = ideal_delta_sigma_snr_db(2, 128.0);
+  EXPECT_NEAR(snr128 - snr64, 15.05, 0.1);
+  EXPECT_NEAR(ideal_delta_sigma_snr_db(2, 128.0), 100.2, 0.5);
+}
+
+TEST(IdealDeltaSigmaSnr, InputLevelShifts) {
+  EXPECT_NEAR(ideal_delta_sigma_snr_db(2, 128.0, -6.0),
+              ideal_delta_sigma_snr_db(2, 128.0) - 6.0, 1e-12);
+}
+
+TEST(EnobFromSndr, TwelveBitPoint) {
+  EXPECT_NEAR(enob_from_sndr(74.0), 12.0, 0.01);
+}
+
+// Property sweep: measured SNR tracks injected noise across levels.
+class SnrSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SnrSweepTest, TracksInjectedNoise) {
+  const double noise = GetParam();
+  const double fs = 1000.0;
+  const std::size_t n = 16384;
+  const double f = coherent_frequency(123.0, fs, n);
+  const auto x = make_tone(0.7, f, fs, n, noise, 321);
+  SpectrumConfig cfg;
+  cfg.sample_rate_hz = fs;
+  const auto a = analyze_tone(x, cfg);
+  const double expected = 10.0 * std::log10((0.7 * 0.7 / 2.0) / (noise * noise));
+  EXPECT_NEAR(a.snr_db, expected, 1.5) << "noise " << noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, SnrSweepTest,
+                         ::testing::Values(1e-4, 3e-4, 1e-3, 3e-3, 1e-2));
+
+}  // namespace
+}  // namespace tono::dsp

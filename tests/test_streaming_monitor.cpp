@@ -1,0 +1,189 @@
+// Tests for the push-based streaming monitor with alarms.
+#include "src/core/streaming_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/bio/pulse_generator.hpp"
+#include "src/common/rng.hpp"
+#include "src/bio/scenario.hpp"
+
+namespace tono::core {
+namespace {
+
+std::vector<double> pulse_wave(const bio::PulseConfig& cfg, double duration_s) {
+  bio::ArterialPulseGenerator gen{cfg};
+  return gen.generate(1000.0, static_cast<std::size_t>(duration_s * 1000.0));
+}
+
+bio::PulseConfig steady() {
+  bio::PulseConfig cfg;
+  cfg.drift_mmhg_per_sqrt_s = 0.0;
+  return cfg;
+}
+
+TEST(StreamingMonitor, EmitsEachBeatOnce) {
+  StreamingMonitor mon{StreamingConfig{}};
+  std::vector<Beat> beats;
+  mon.on_beat([&](const Beat& b) { beats.push_back(b); });
+  mon.push(pulse_wave(steady(), 30.0));
+  // ~36 beats at 72 bpm minus warmup/window edges.
+  EXPECT_GE(beats.size(), 25u);
+  EXPECT_LE(beats.size(), 40u);
+  for (std::size_t i = 1; i < beats.size(); ++i) {
+    EXPECT_GT(beats[i].upstroke_s, beats[i - 1].upstroke_s);  // strictly ordered
+    EXPECT_GT(beats[i].upstroke_s - beats[i - 1].upstroke_s, 0.3);  // no duplicates
+  }
+  EXPECT_EQ(mon.beats_emitted(), beats.size());
+}
+
+TEST(StreamingMonitor, BeatValuesPhysiological) {
+  StreamingMonitor mon{StreamingConfig{}};
+  std::vector<Beat> beats;
+  mon.on_beat([&](const Beat& b) { beats.push_back(b); });
+  mon.push(pulse_wave(steady(), 25.0));
+  ASSERT_GE(beats.size(), 15u);
+  for (const auto& b : beats) {
+    EXPECT_NEAR(b.systolic_value, 120.0, 8.0);
+    EXPECT_NEAR(b.diastolic_value, 80.0, 8.0);
+  }
+}
+
+TEST(StreamingMonitor, NoAlarmOnNormotensivePatient) {
+  StreamingMonitor mon{StreamingConfig{}};
+  std::vector<AlarmEvent> alarms;
+  mon.on_alarm([&](const AlarmEvent& a) { alarms.push_back(a); });
+  mon.push(pulse_wave(steady(), 30.0));
+  EXPECT_TRUE(alarms.empty());
+}
+
+TEST(StreamingMonitor, HypotensionRaisesAndClears) {
+  // Feed a scenario that crashes below the systolic-low limit and recovers.
+  bio::PulseConfig cfg = steady();
+  bio::ArterialPulseGenerator gen{cfg};
+  const bio::ScenarioProfile crash{{
+      bio::ScenarioKeyframe{0.0, 120.0, 80.0, 72.0},
+      bio::ScenarioKeyframe{20.0, 118.0, 78.0, 74.0},
+      bio::ScenarioKeyframe{30.0, 80.0, 52.0, 95.0},
+      bio::ScenarioKeyframe{45.0, 80.0, 52.0, 95.0},
+      bio::ScenarioKeyframe{60.0, 115.0, 76.0, 78.0},
+      bio::ScenarioKeyframe{90.0, 118.0, 78.0, 74.0},
+  }};
+  StreamingMonitor mon{StreamingConfig{}};
+  std::vector<AlarmEvent> alarms;
+  mon.on_alarm([&](const AlarmEvent& a) { alarms.push_back(a); });
+  for (int i = 0; i < 90 * 1000; ++i) {
+    const double t = i / 1000.0;
+    if (i % 100 == 0) crash.apply(gen, t);
+    mon.push(gen.sample(0.001));
+  }
+  // A systolic-low alarm must raise during the crash…
+  bool raised = false;
+  double raise_time = 0.0;
+  for (const auto& a : alarms) {
+    if (a.kind == AlarmKind::kSystolicLow && a.active) {
+      raised = true;
+      raise_time = a.time_s;
+      break;
+    }
+  }
+  ASSERT_TRUE(raised);
+  EXPECT_GT(raise_time, 20.0);
+  EXPECT_LT(raise_time, 45.0);  // bounded latency: within the crash
+  // …and clear after recovery.
+  bool cleared = false;
+  for (const auto& a : alarms) {
+    if (a.kind == AlarmKind::kSystolicLow && !a.active && a.time_s > raise_time) {
+      cleared = true;
+    }
+  }
+  EXPECT_TRUE(cleared);
+  EXPECT_FALSE(mon.alarm_active(AlarmKind::kSystolicLow));
+}
+
+TEST(StreamingMonitor, ConfirmationSuppressesSingleOutlierBeat) {
+  // One artefactual deep beat must not alarm with confirm_beats = 3.
+  auto wave = pulse_wave(steady(), 30.0);
+  // Carve one fake "beat" far below the limit at t = 15 s.
+  for (std::size_t i = 15000; i < 15400; ++i) {
+    wave[i] = 60.0 + 25.0 * std::sin(2.0 * 3.14159 * (i - 15000) / 800.0);
+  }
+  StreamingMonitor mon{StreamingConfig{}};
+  std::vector<AlarmEvent> alarms;
+  mon.on_alarm([&](const AlarmEvent& a) { alarms.push_back(a); });
+  mon.push(wave);
+  for (const auto& a : alarms) {
+    EXPECT_NE(a.kind, AlarmKind::kSystolicLow);
+  }
+}
+
+TEST(StreamingMonitor, TachycardiaRaisesRateAlarm) {
+  bio::PulseConfig fast = steady();
+  fast.heart_rate_bpm = 150.0;
+  StreamingMonitor mon{StreamingConfig{}};
+  std::vector<AlarmEvent> alarms;
+  mon.on_alarm([&](const AlarmEvent& a) { alarms.push_back(a); });
+  mon.push(pulse_wave(fast, 30.0));
+  bool rate_high = false;
+  for (const auto& a : alarms) {
+    if (a.kind == AlarmKind::kRateHigh && a.active) rate_high = true;
+  }
+  EXPECT_TRUE(rate_high);
+  EXPECT_TRUE(mon.alarm_active(AlarmKind::kRateHigh));
+}
+
+TEST(StreamingMonitor, QualityCallbackFires) {
+  StreamingMonitor mon{StreamingConfig{}};
+  std::size_t quality_events = 0;
+  double last_sqi = 0.0;
+  mon.on_quality([&](const QualityReport& q, double) {
+    ++quality_events;
+    last_sqi = q.sqi;
+  });
+  mon.push(pulse_wave(steady(), 20.0));
+  // (20 − 8) / 2 s hops ≈ 7 windows.
+  EXPECT_GE(quality_events, 5u);
+  EXPECT_GT(last_sqi, 0.5);
+}
+
+TEST(StreamingMonitor, QualityGateSuppressesNoise) {
+  StreamingMonitor mon{StreamingConfig{}};
+  std::size_t beats = 0;
+  mon.on_beat([&](const Beat&) { ++beats; });
+  // Baseline wander + white converter floor, no pulse.
+  std::vector<double> noise(20000);
+  double state = 0.0;
+  tono::Rng rng{5};
+  for (auto& v : noise) {
+    state = 0.98 * state + rng.gaussian(0.0, 0.2);   // wander, sigma ~= 1
+    v = 90.0 + state + rng.gaussian(0.0, 1.0);       // white converter floor
+  }
+  mon.push(noise);
+  EXPECT_EQ(beats, 0u);
+}
+
+TEST(StreamingMonitor, RejectsBadConfig) {
+  StreamingConfig bad;
+  bad.sample_rate_hz = 0.0;
+  EXPECT_THROW((StreamingMonitor{bad}), std::invalid_argument);
+  StreamingConfig bad2;
+  bad2.window_s = 1.0;
+  EXPECT_THROW((StreamingMonitor{bad2}), std::invalid_argument);
+  StreamingConfig bad3;
+  bad3.hop_s = 20.0;
+  EXPECT_THROW((StreamingMonitor{bad3}), std::invalid_argument);
+  StreamingConfig bad4;
+  bad4.limits.confirm_beats = 0;
+  EXPECT_THROW((StreamingMonitor{bad4}), std::invalid_argument);
+}
+
+TEST(StreamingMonitor, AlarmToString) {
+  EXPECT_EQ(to_string(AlarmKind::kSystolicLow), "systolic-low");
+  EXPECT_EQ(to_string(AlarmKind::kRateHigh), "rate-high");
+}
+
+}  // namespace
+}  // namespace tono::core

@@ -1,0 +1,136 @@
+// Tests for report formatting (TextTable / SeriesWriter).
+#include "src/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace tono {
+namespace {
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+}
+
+TEST(FormatDouble, SpecialValues) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+}
+
+TEST(TextTable, TitleAppears) {
+  TextTable t{"My Table"};
+  EXPECT_NE(t.to_string().find("== My Table =="), std::string::npos);
+}
+
+TEST(TextTable, HeaderAndRows) {
+  TextTable t{"T"};
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, NumericRowHelper) {
+  TextTable t{"T"};
+  t.set_header({"param", "value", "unit"});
+  t.add_row("frequency", 128.0, "kHz", 1);
+  EXPECT_NE(t.to_string().find("128.0"), std::string::npos);
+  EXPECT_NE(t.to_string().find("kHz"), std::string::npos);
+}
+
+TEST(TextTable, RowsPaddedToHeaderWidth) {
+  TextTable t{"T"};
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW((void)t.to_string());
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t{"T"};
+  t.set_header({"x", "y"});
+  t.add_row({"longvalue", "1"});
+  t.add_row({"s", "2"});
+  const std::string s = t.to_string();
+  // Both data rows must place 'y'-column values at the same offset.
+  std::istringstream iss{s};
+  std::string line;
+  std::getline(iss, line);  // title
+  std::getline(iss, line);  // header
+  std::getline(iss, line);  // separator
+  std::string r1, r2;
+  std::getline(iss, r1);
+  std::getline(iss, r2);
+  EXPECT_EQ(r1.find('1'), r2.find('2'));
+}
+
+TEST(SeriesWriter, CsvFormat) {
+  SeriesWriter s{"demo", "t", "v"};
+  s.add(0.0, 1.0);
+  s.add(1.0, 2.0);
+  std::ostringstream oss;
+  s.write_csv(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("# series demo"), std::string::npos);
+  EXPECT_NE(out.find("t,v"), std::string::npos);
+  EXPECT_NE(out.find("1.000000,2.000000"), std::string::npos);
+}
+
+TEST(SeriesWriter, SizeAndAccessors) {
+  SeriesWriter s{"x", "a", "b"};
+  s.add(1.0, 2.0);
+  s.add(3.0, 4.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.xs()[1], 3.0);
+  EXPECT_DOUBLE_EQ(s.ys()[1], 4.0);
+}
+
+TEST(SeriesWriter, DecimatedKeepsEndpoints) {
+  SeriesWriter s{"d", "x", "y"};
+  for (int i = 0; i < 1000; ++i) s.add(i, 2.0 * i);
+  const auto dec = s.decimated(100);
+  EXPECT_LE(dec.size(), 102u);
+  EXPECT_DOUBLE_EQ(dec.xs().front(), 0.0);
+  EXPECT_DOUBLE_EQ(dec.xs().back(), 999.0);
+}
+
+TEST(SeriesWriter, DecimatedNoOpWhenSmall) {
+  SeriesWriter s{"d", "x", "y"};
+  s.add(1.0, 1.0);
+  EXPECT_EQ(s.decimated(100).size(), 1u);
+}
+
+TEST(SeriesWriter, AsciiPlotProducesGrid) {
+  SeriesWriter s{"p", "x", "y"};
+  for (int i = 0; i < 100; ++i) s.add(i, std::sin(0.1 * i));
+  std::ostringstream oss;
+  s.write_ascii_plot(oss, 40, 10);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("-- p"), std::string::npos);
+}
+
+TEST(SeriesWriter, AsciiPlotHandlesConstantSeries) {
+  SeriesWriter s{"c", "x", "y"};
+  for (int i = 0; i < 10; ++i) s.add(i, 5.0);
+  std::ostringstream oss;
+  EXPECT_NO_THROW(s.write_ascii_plot(oss));
+}
+
+TEST(SeriesWriter, AsciiPlotEmptySeriesIsNoop) {
+  SeriesWriter s{"e", "x", "y"};
+  std::ostringstream oss;
+  s.write_ascii_plot(oss);
+  EXPECT_TRUE(oss.str().empty());
+}
+
+}  // namespace
+}  // namespace tono

@@ -1,0 +1,115 @@
+// Tests for the body-contact thermal-drift path (§4 stability effect).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/statistics.hpp"
+#include "src/common/units.hpp"
+#include "src/core/monitor.hpp"
+#include "src/core/pipeline.hpp"
+
+namespace tono::core {
+namespace {
+
+TEST(ThermalDrift, ElementCapacitanceFollowsTempco) {
+  SensorArray arr{ChipConfig::paper_chip()};
+  const auto& e = arr.element(0);
+  const double c300 = e.capacitance(0.0, 300.0);
+  const double c310 = e.capacitance(0.0, 310.0);
+  const double alpha = ChipConfig::paper_chip().transducer.capacitance_tempco_per_k;
+  EXPECT_NEAR(c310 / c300, 1.0 + alpha * 10.0, 1e-9);
+}
+
+TEST(ThermalDrift, LutMatchesExactAcrossTemperature) {
+  SensorArray arr{ChipConfig::paper_chip()};
+  const auto& e = arr.element(0);
+  for (double t : {290.0, 300.0, 310.0}) {
+    const double p = units::mmhg_to_pa(40.0);
+    EXPECT_NEAR(e.capacitance(p, t), e.capacitance_exact(p, t),
+                1e-4 * e.capacitance_exact(p, t))
+        << "T = " << t;
+  }
+}
+
+TEST(ThermalDrift, PipelineTemperatureShiftsOutput) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  auto settle_mean = [&](double kelvin) {
+    pipe.set_temperature(kelvin);
+    const auto out = pipe.acquire_uniform([](double) { return 0.0; }, 400);
+    std::vector<double> tail;
+    for (std::size_t i = 200; i < out.size(); ++i) tail.push_back(out[i].value);
+    return mean(tail);
+  };
+  const double v300 = settle_mean(300.0);
+  const double v307 = settle_mean(307.0);
+  // ΔC = C0 · α · ΔT ≈ 95 fF · 30 ppm/K · 7 K ≈ 20 aF ≈ 0.4 % of the 5 fF
+  // full scale — several LSB of baseline shift.
+  EXPECT_GT(v307 - v300, 2.0 / 2048.0);
+}
+
+TEST(ThermalDrift, MonitorBaselineDriftsDuringWarmup) {
+  WristModel wrist;
+  wrist.enable_thermal_drift = true;
+  wrist.thermal_tau_s = 20.0;  // fast warm-up so the test stays short
+  BloodPressureMonitor mon{ChipConfig::paper_chip(), wrist};
+  (void)mon.calibrate(8.0);
+  const auto rep = mon.monitor(40.0);
+  // Compare waveform baseline (per-beat diastolic mean) early vs late.
+  double early = 0.0;
+  double late = 0.0;
+  std::size_t ne = 0;
+  std::size_t nl = 0;
+  const double mid = rep.time_s.front() + 20.0;
+  for (const auto& b : rep.beats.beats) {
+    if (b.foot_s < mid) {
+      early += b.diastolic_value;
+      ++ne;
+    } else {
+      late += b.diastolic_value;
+      ++nl;
+    }
+  }
+  ASSERT_GT(ne, 5u);
+  ASSERT_GT(nl, 5u);
+  const double drift = late / static_cast<double>(nl) - early / static_cast<double>(ne);
+  EXPECT_GT(std::abs(drift), 1.0);  // mmHg-scale drift appears...
+  // ...and without the thermal path it does not.
+  WristModel stable = wrist;
+  stable.enable_thermal_drift = false;
+  BloodPressureMonitor mon2{ChipConfig::paper_chip(), stable};
+  (void)mon2.calibrate(8.0);
+  const auto rep2 = mon2.monitor(40.0);
+  double early2 = 0.0;
+  double late2 = 0.0;
+  std::size_t ne2 = 0;
+  std::size_t nl2 = 0;
+  const double mid2 = rep2.time_s.front() + 20.0;
+  for (const auto& b : rep2.beats.beats) {
+    if (b.foot_s < mid2) {
+      early2 += b.diastolic_value;
+      ++ne2;
+    } else {
+      late2 += b.diastolic_value;
+      ++nl2;
+    }
+  }
+  const double drift2 =
+      late2 / static_cast<double>(nl2) - early2 / static_cast<double>(ne2);
+  EXPECT_GT(std::abs(drift), std::abs(drift2));
+}
+
+TEST(ThermalDrift, RecalibrationRestoresAccuracy) {
+  WristModel wrist;
+  wrist.enable_thermal_drift = true;
+  wrist.thermal_tau_s = 10.0;
+  BloodPressureMonitor mon{ChipConfig::paper_chip(), wrist};
+  (void)mon.calibrate(8.0);
+  // Let the die warm through several time constants, then recalibrate.
+  (void)mon.monitor(40.0);
+  (void)mon.calibrate(8.0);
+  const auto rep = mon.monitor(20.0);
+  EXPECT_LT(std::abs(rep.map_error_mmhg), 6.0);
+}
+
+}  // namespace
+}  // namespace tono::core

@@ -1,0 +1,119 @@
+// Tests for the tonometric tissue-coupling model.
+#include "src/bio/tissue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tono::bio {
+namespace {
+
+TEST(TissueCoupling, TransmissionPeaksAtOptimalHoldDown) {
+  TissueCoupling tc{TissueConfig{}};
+  const double opt = tc.config().optimal_hold_down_mmhg;
+  EXPECT_GT(tc.transmission(opt), tc.transmission(opt - 40.0));
+  EXPECT_GT(tc.transmission(opt), tc.transmission(opt + 40.0));
+  EXPECT_NEAR(tc.transmission(opt), tc.config().peak_transmission, 1e-12);
+}
+
+TEST(TissueCoupling, TransmissionBellSymmetric) {
+  TissueCoupling tc{TissueConfig{}};
+  const double opt = tc.config().optimal_hold_down_mmhg;
+  EXPECT_NEAR(tc.transmission(opt - 30.0), tc.transmission(opt + 30.0), 1e-12);
+}
+
+TEST(TissueCoupling, DepthAttenuationExponential) {
+  TissueConfig shallow;
+  shallow.vessel_depth_m = 1e-3;
+  TissueConfig deep;
+  deep.vessel_depth_m = 5e-3;
+  EXPECT_GT(TissueCoupling{shallow}.depth_attenuation(),
+            TissueCoupling{deep}.depth_attenuation());
+  TissueConfig surface;
+  surface.vessel_depth_m = 0.0;
+  EXPECT_DOUBLE_EQ(TissueCoupling{surface}.depth_attenuation(), 1.0);
+}
+
+TEST(TissueCoupling, LateralAttenuationGaussian) {
+  TissueCoupling tc{TissueConfig{}};
+  EXPECT_DOUBLE_EQ(tc.lateral_attenuation(0.0), 1.0);
+  const double sigma = tc.config().lateral_sigma_m;
+  EXPECT_NEAR(tc.lateral_attenuation(sigma), std::exp(-0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(tc.lateral_attenuation(2e-3), tc.lateral_attenuation(-2e-3));
+}
+
+TEST(TissueCoupling, ContactPressureAtMapEqualsHoldDown) {
+  TissueCoupling tc{TissueConfig{}};
+  // When arterial pressure equals its mean, only the hold-down remains.
+  EXPECT_DOUBLE_EQ(tc.contact_pressure_mmhg(93.0, 93.0, 80.0, 0.0), 80.0);
+}
+
+TEST(TissueCoupling, ContactPressureFollowsPulse) {
+  TissueCoupling tc{TissueConfig{}};
+  const double up = tc.contact_pressure_mmhg(120.0, 93.0, 80.0, 0.0);
+  const double down = tc.contact_pressure_mmhg(80.0, 93.0, 80.0, 0.0);
+  EXPECT_GT(up, 80.0);
+  EXPECT_LT(down, 80.0);
+}
+
+TEST(TissueCoupling, PulseGainIsProductOfFactors) {
+  TissueCoupling tc{TissueConfig{}};
+  const double g = tc.pulse_gain(80.0, 1e-3);
+  EXPECT_NEAR(g, tc.transmission(80.0) * tc.depth_attenuation() *
+                     tc.lateral_attenuation(1e-3),
+              1e-15);
+}
+
+TEST(TissueCoupling, PulseGainBelowUnity) {
+  TissueCoupling tc{TissueConfig{}};
+  for (double hd : {20.0, 60.0, 80.0, 120.0}) {
+    EXPECT_LT(tc.pulse_gain(hd, 0.0), 1.0);
+    EXPECT_GT(tc.pulse_gain(hd, 0.0), 0.0);
+  }
+}
+
+TEST(TissueCoupling, GainLinearInArterialPressure) {
+  TissueCoupling tc{TissueConfig{}};
+  const double map = 90.0;
+  const double g = tc.pulse_gain(80.0, 0.0);
+  const double c1 = tc.contact_pressure_mmhg(map + 10.0, map, 80.0, 0.0);
+  const double c2 = tc.contact_pressure_mmhg(map + 20.0, map, 80.0, 0.0);
+  EXPECT_NEAR(c2 - c1, 10.0 * g, 1e-12);
+}
+
+TEST(TissueCoupling, RejectsBadConfig) {
+  TissueConfig bad;
+  bad.attenuation_length_m = 0.0;
+  EXPECT_THROW((TissueCoupling{bad}), std::invalid_argument);
+  TissueConfig bad2;
+  bad2.lateral_sigma_m = 0.0;
+  EXPECT_THROW((TissueCoupling{bad2}), std::invalid_argument);
+  TissueConfig bad3;
+  bad3.peak_transmission = 1.5;
+  EXPECT_THROW((TissueCoupling{bad3}), std::invalid_argument);
+  TissueConfig bad4;
+  bad4.vessel_depth_m = -1.0;
+  EXPECT_THROW((TissueCoupling{bad4}), std::invalid_argument);
+}
+
+// Property: the applanation sweep (hold-down vs gain) has a single maximum —
+// the physiological basis for hold-down optimization.
+TEST(TissueCoupling, HoldDownSweepUnimodal) {
+  TissueCoupling tc{TissueConfig{}};
+  double prev = tc.pulse_gain(0.0, 0.0);
+  bool rising = true;
+  int direction_changes = 0;
+  for (double hd = 5.0; hd <= 200.0; hd += 5.0) {
+    const double g = tc.pulse_gain(hd, 0.0);
+    const bool now_rising = g > prev;
+    if (now_rising != rising) {
+      ++direction_changes;
+      rising = now_rising;
+    }
+    prev = g;
+  }
+  EXPECT_LE(direction_changes, 1);
+}
+
+}  // namespace
+}  // namespace tono::bio

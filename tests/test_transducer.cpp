@@ -1,0 +1,114 @@
+// Tests for the complete pressure transducer element.
+#include "src/mems/transducer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.hpp"
+
+namespace tono::mems {
+namespace {
+
+TEST(PressureTransducer, ContactPressureRaisesCapacitance) {
+  const PressureTransducer t{TransducerConfig{}};
+  EXPECT_GT(t.capacitance(units::mmhg_to_pa(100.0)), t.capacitance(0.0));
+}
+
+TEST(PressureTransducer, BackpressureLowersBiasCapacitance) {
+  TransducerConfig biased;
+  biased.backpressure_pa = 10e3;
+  const PressureTransducer with{biased};
+  const PressureTransducer without{TransducerConfig{}};
+  // Backpressure bends the membrane away from the bottom electrode.
+  EXPECT_LT(with.bias_capacitance(), without.bias_capacitance());
+}
+
+TEST(PressureTransducer, BackpressureNullsEqualContactPressure) {
+  TransducerConfig cfg;
+  cfg.backpressure_pa = units::mmhg_to_pa(80.0);
+  const PressureTransducer t{cfg};
+  const PressureTransducer rest{TransducerConfig{}};
+  // Contact pressure equal to the backpressure restores the rest capacitance.
+  EXPECT_NEAR(t.capacitance(units::mmhg_to_pa(80.0)), rest.capacitance(0.0),
+              1e-6 * rest.capacitance(0.0));
+}
+
+TEST(PressureTransducer, SensitivityPositive) {
+  const PressureTransducer t{TransducerConfig{}};
+  EXPECT_GT(t.sensitivity(), 0.0);
+}
+
+TEST(PressureTransducer, MismatchScalesCapacitance) {
+  TransducerConfig cfg;
+  cfg.capacitance_mismatch = 1.02;
+  const PressureTransducer t{cfg};
+  const PressureTransducer nominal{TransducerConfig{}};
+  EXPECT_NEAR(t.bias_capacitance() / nominal.bias_capacitance(), 1.02, 1e-9);
+}
+
+TEST(PressureTransducer, TemperatureDrift) {
+  TransducerConfig cfg;
+  cfg.capacitance_tempco_per_k = 100e-6;
+  const PressureTransducer t{cfg};
+  const double c300 = t.capacitance(0.0, 300.0);
+  const double c310 = t.capacitance(0.0, 310.0);
+  EXPECT_NEAR(c310 / c300, 1.0 + 100e-6 * 10.0, 1e-9);
+}
+
+TEST(PressureTransducer, DeflectionSignConvention) {
+  const PressureTransducer t{TransducerConfig{}};
+  EXPECT_GT(t.deflection(units::mmhg_to_pa(100.0)), 0.0);
+  TransducerConfig biased;
+  biased.backpressure_pa = 10e3;
+  const PressureTransducer tb{biased};
+  EXPECT_LT(tb.deflection(0.0), 0.0);  // pushed up by backpressure
+}
+
+TEST(PressureTransducer, TouchDownAtExtremePressure) {
+  const PressureTransducer t{TransducerConfig{}};
+  EXPECT_FALSE(t.touches_down(units::mmhg_to_pa(200.0)));
+  // Gap ≈ 0.9 µm, stiffness ~1.5e12 Pa/m → touch-down needs ~10 atm.
+  EXPECT_TRUE(t.touches_down(5e6));
+}
+
+TEST(PressureTransducer, ReferenceCapacitanceIsPressureFree) {
+  const PressureTransducer t{TransducerConfig{}};
+  const double c_ref = t.reference_capacitance();
+  EXPECT_GT(c_ref, 0.0);
+  // The reference tracks the rest geometry, not the applied pressure.
+  EXPECT_NEAR(c_ref, t.capacitance(0.0), 1e-3 * c_ref);
+}
+
+TEST(PressureTransducer, NoiseEquivalentPressureSmall) {
+  const PressureTransducer t{TransducerConfig{}};
+  const double nep = t.noise_equivalent_pressure_density();
+  EXPECT_GT(nep, 0.0);
+  // Brownian noise of a stiff micro-membrane: far below 1 mmHg/√Hz.
+  EXPECT_LT(nep, units::mmhg_to_pa(0.1));
+}
+
+TEST(PressureTransducer, NepGrowsWithTemperature) {
+  const PressureTransducer t{TransducerConfig{}};
+  EXPECT_GT(t.noise_equivalent_pressure_density(400.0),
+            t.noise_equivalent_pressure_density(300.0));
+}
+
+// Property: capacitance monotone in contact pressure for several bias points.
+class BiasSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BiasSweepTest, MonotoneAroundBias) {
+  TransducerConfig cfg;
+  cfg.backpressure_pa = GetParam();
+  const PressureTransducer t{cfg};
+  double prev = t.capacitance(-5e3);
+  for (double p = -4e3; p <= 30e3; p += 1e3) {
+    const double c = t.capacitance(p);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backpressures, BiasSweepTest,
+                         ::testing::Values(0.0, 5e3, 10e3, 15e3));
+
+}  // namespace
+}  // namespace tono::mems

@@ -1,0 +1,52 @@
+// Tests for unit conversions — the boundary between clinical and SI units.
+#include "src/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tono::units {
+namespace {
+
+TEST(Units, MmhgRoundTrip) {
+  for (double v : {0.0, 1.0, 80.0, 120.0, 300.0}) {
+    EXPECT_NEAR(pa_to_mmhg(mmhg_to_pa(v)), v, 1e-12);
+  }
+}
+
+TEST(Units, MmhgKnownValues) {
+  EXPECT_NEAR(mmhg_to_pa(1.0), 133.322, 0.001);
+  EXPECT_NEAR(mmhg_to_pa(760.0), atmosphere_pa, 30.0);  // 760 mmHg ≈ 1 atm
+  EXPECT_NEAR(pa_to_mmhg(101325.0), 760.0, 0.01);
+}
+
+TEST(Units, KpaConversions) {
+  EXPECT_DOUBLE_EQ(kpa_to_pa(13.3), 13300.0);
+  EXPECT_DOUBLE_EQ(pa_to_kpa(kpa_to_pa(7.7)), 7.7);
+}
+
+TEST(Units, LengthConversions) {
+  EXPECT_DOUBLE_EQ(um_to_m(100.0), 100e-6);
+  EXPECT_DOUBLE_EQ(m_to_um(um_to_m(3.0)), 3.0);
+  EXPECT_DOUBLE_EQ(mm_to_m(2.5), 2.5e-3);
+}
+
+TEST(Units, CapacitanceConversions) {
+  EXPECT_DOUBLE_EQ(ff_to_f(100.0), 100e-15);
+  EXPECT_DOUBLE_EQ(f_to_ff(ff_to_f(25.0)), 25.0);
+  EXPECT_DOUBLE_EQ(pf_to_f(1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(f_to_pf(pf_to_f(0.5)), 0.5);
+}
+
+TEST(Units, FrequencyConversions) {
+  EXPECT_NEAR(hz_to_rad(1.0), two_pi, 1e-15);
+  EXPECT_DOUBLE_EQ(bpm_to_hz(60.0), 1.0);
+  EXPECT_DOUBLE_EQ(hz_to_bpm(bpm_to_hz(72.0)), 72.0);
+}
+
+TEST(Units, PhysicalConstants) {
+  EXPECT_NEAR(k_boltzmann, 1.380649e-23, 1e-29);
+  EXPECT_NEAR(epsilon0, 8.854e-12, 1e-15);
+  EXPECT_GT(room_temperature_kelvin, 270.0);
+}
+
+}  // namespace
+}  // namespace tono::units

@@ -1,0 +1,123 @@
+// Tests for the Windkessel lumped arterial model.
+#include "src/bio/windkessel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/statistics.hpp"
+
+namespace tono::bio {
+namespace {
+
+TEST(Windkessel, MapConvergesToAnalytic) {
+  WindkesselModel wk{WindkesselConfig{}};
+  const double fs = 1000.0;
+  // Run 30 s; average the last 10 s.
+  const auto wave = wk.simulate(fs, 30000);
+  std::vector<double> tail(wave.end() - 10000, wave.end());
+  EXPECT_NEAR(mean(tail), wk.expected_map_mmhg(), 0.05 * wk.expected_map_mmhg());
+}
+
+TEST(Windkessel, ExpectedMapIsPhysiological) {
+  WindkesselModel wk{WindkesselConfig{}};
+  EXPECT_GT(wk.expected_map_mmhg(), 70.0);
+  EXPECT_LT(wk.expected_map_mmhg(), 120.0);
+}
+
+TEST(Windkessel, PulsePressurePositive) {
+  WindkesselModel wk{WindkesselConfig{}};
+  const auto wave = wk.simulate(1000.0, 20000);
+  std::vector<double> tail(wave.end() - 5000, wave.end());
+  const double pp = peak_to_peak(tail);
+  EXPECT_GT(pp, 10.0);
+  EXPECT_LT(pp, 80.0);
+}
+
+TEST(Windkessel, HigherComplianceSmallerPulsePressure) {
+  WindkesselConfig stiff;
+  stiff.compliance = 0.8;
+  WindkesselConfig soft;
+  soft.compliance = 2.0;
+  auto run = [](const WindkesselConfig& cfg) {
+    WindkesselModel wk{cfg};
+    const auto w = wk.simulate(1000.0, 20000);
+    std::vector<double> tail(w.end() - 5000, w.end());
+    return peak_to_peak(tail);
+  };
+  EXPECT_GT(run(stiff), run(soft));
+}
+
+TEST(Windkessel, CharacteristicImpedanceRaisesSystolicPeak) {
+  WindkesselConfig two;
+  two.characteristic_impedance = 0.0;
+  WindkesselConfig three;
+  three.characteristic_impedance = 0.08;
+  auto sys_of = [](const WindkesselConfig& cfg) {
+    WindkesselModel wk{cfg};
+    const auto w = wk.simulate(1000.0, 20000);
+    std::vector<double> tail(w.end() - 5000, w.end());
+    return max_value(tail);
+  };
+  EXPECT_GT(sys_of(three), sys_of(two));
+}
+
+TEST(Windkessel, InflowIntegratesToStrokeVolume) {
+  WindkesselModel wk{WindkesselConfig{}};
+  const double cycle = 60.0 / wk.config().heart_rate_bpm;
+  const int n = 20000;
+  double sv = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sv += wk.inflow_ml_per_s(cycle * i / n) * (cycle / n);
+  }
+  EXPECT_NEAR(sv, wk.config().stroke_volume_ml, 0.01 * wk.config().stroke_volume_ml);
+}
+
+TEST(Windkessel, InflowZeroInDiastole) {
+  WindkesselModel wk{WindkesselConfig{}};
+  const double cycle = 60.0 / wk.config().heart_rate_bpm;
+  EXPECT_DOUBLE_EQ(wk.inflow_ml_per_s(0.9 * cycle), 0.0);
+  EXPECT_GT(wk.inflow_ml_per_s(0.1 * cycle), 0.0);
+}
+
+TEST(Windkessel, PressureStaysPositiveAndBounded) {
+  WindkesselModel wk{WindkesselConfig{}};
+  const auto wave = wk.simulate(2000.0, 60000);
+  for (double p : wave) {
+    EXPECT_GT(p, 20.0);
+    EXPECT_LT(p, 250.0);
+  }
+}
+
+TEST(Windkessel, FasterHeartRateRaisesMap) {
+  WindkesselConfig slow;
+  slow.heart_rate_bpm = 60.0;
+  WindkesselConfig fast;
+  fast.heart_rate_bpm = 100.0;
+  EXPECT_GT(WindkesselModel{fast}.expected_map_mmhg(),
+            WindkesselModel{slow}.expected_map_mmhg());
+}
+
+TEST(Windkessel, RejectsBadConfig) {
+  WindkesselConfig bad;
+  bad.peripheral_resistance = 0.0;
+  EXPECT_THROW((WindkesselModel{bad}), std::invalid_argument);
+  WindkesselConfig bad2;
+  bad2.characteristic_impedance = -0.1;
+  EXPECT_THROW((WindkesselModel{bad2}), std::invalid_argument);
+  WindkesselConfig bad3;
+  bad3.ejection_fraction_of_cycle = 1.5;
+  EXPECT_THROW((WindkesselModel{bad3}), std::invalid_argument);
+  WindkesselModel ok{WindkesselConfig{}};
+  EXPECT_THROW((void)ok.simulate(0.0, 10), std::invalid_argument);
+}
+
+TEST(Windkessel, TimeAdvances) {
+  WindkesselModel wk{WindkesselConfig{}};
+  (void)wk.step(0.001);
+  (void)wk.step(0.001);
+  EXPECT_NEAR(wk.time_s(), 0.002, 1e-12);
+}
+
+}  // namespace
+}  // namespace tono::bio

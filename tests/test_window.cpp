@@ -1,0 +1,89 @@
+// Tests for spectral window functions.
+#include "src/dsp/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tono::dsp {
+namespace {
+
+TEST(Window, SizesMatch) {
+  for (auto kind : {WindowKind::kRectangular, WindowKind::kHann, WindowKind::kHamming,
+                    WindowKind::kBlackman, WindowKind::kBlackmanHarris4,
+                    WindowKind::kKaiser}) {
+    EXPECT_EQ(make_window(kind, 256).size(), 256u) << to_string(kind);
+  }
+}
+
+TEST(Window, EmptyRequestGivesEmpty) {
+  EXPECT_TRUE(make_window(WindowKind::kHann, 0).empty());
+}
+
+TEST(Window, RectangularIsAllOnes) {
+  for (double w : make_window(WindowKind::kRectangular, 64)) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(Window, HannEndpointsAndPeak) {
+  const auto w = make_window(WindowKind::kHann, 256);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);        // periodic form starts at 0
+  EXPECT_NEAR(w[128], 1.0, 1e-12);      // peak at n/2
+}
+
+TEST(Window, AllWindowsNonNegativeAndBounded) {
+  for (auto kind : {WindowKind::kHann, WindowKind::kHamming, WindowKind::kBlackman,
+                    WindowKind::kBlackmanHarris4, WindowKind::kKaiser}) {
+    for (double w : make_window(kind, 512)) {
+      EXPECT_GE(w, -1e-6) << to_string(kind);
+      EXPECT_LE(w, 1.0 + 1e-12) << to_string(kind);
+    }
+  }
+}
+
+TEST(Window, CoherentGainRectangular) {
+  EXPECT_DOUBLE_EQ(coherent_gain(make_window(WindowKind::kRectangular, 128)), 1.0);
+}
+
+TEST(Window, CoherentGainHann) {
+  EXPECT_NEAR(coherent_gain(make_window(WindowKind::kHann, 4096)), 0.5, 1e-6);
+}
+
+TEST(Window, EnbwRectangularIsOne) {
+  EXPECT_NEAR(enbw_bins(make_window(WindowKind::kRectangular, 128)), 1.0, 1e-12);
+}
+
+TEST(Window, EnbwHannIsOnePointFive) {
+  EXPECT_NEAR(enbw_bins(make_window(WindowKind::kHann, 8192)), 1.5, 1e-3);
+}
+
+TEST(Window, EnbwBlackmanHarris) {
+  // Published ENBW of the 4-term Blackman-Harris window: ≈ 2.0044 bins.
+  EXPECT_NEAR(enbw_bins(make_window(WindowKind::kBlackmanHarris4, 8192)), 2.0044, 5e-3);
+}
+
+TEST(Window, KaiserBetaZeroIsRectangular) {
+  const auto w = make_window(WindowKind::kKaiser, 64, 0.0);
+  for (double v : w) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(Window, KaiserLargerBetaNarrowerWindow) {
+  const auto w5 = make_window(WindowKind::kKaiser, 256, 5.0);
+  const auto w12 = make_window(WindowKind::kKaiser, 256, 12.0);
+  // Higher beta concentrates energy: edge samples smaller.
+  EXPECT_LT(w12[10], w5[10]);
+}
+
+TEST(Window, LeakageHalfwidthOrdering) {
+  EXPECT_LE(leakage_halfwidth_bins(WindowKind::kRectangular),
+            leakage_halfwidth_bins(WindowKind::kHann));
+  EXPECT_LE(leakage_halfwidth_bins(WindowKind::kHann),
+            leakage_halfwidth_bins(WindowKind::kBlackmanHarris4));
+}
+
+TEST(Window, ToStringNamesAll) {
+  EXPECT_EQ(to_string(WindowKind::kHann), "hann");
+  EXPECT_EQ(to_string(WindowKind::kBlackmanHarris4), "blackman-harris4");
+}
+
+}  // namespace
+}  // namespace tono::dsp
