@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cfb_osr"
+  "../bench/bench_ablation_cfb_osr.pdb"
+  "CMakeFiles/bench_ablation_cfb_osr.dir/bench_ablation_cfb_osr.cpp.o"
+  "CMakeFiles/bench_ablation_cfb_osr.dir/bench_ablation_cfb_osr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cfb_osr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_circuit"
+  "../bench/bench_ablation_circuit.pdb"
+  "CMakeFiles/bench_ablation_circuit.dir/bench_ablation_circuit.cpp.o"
+  "CMakeFiles/bench_ablation_circuit.dir/bench_ablation_circuit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_decimation_filter"
+  "../bench/bench_decimation_filter.pdb"
+  "CMakeFiles/bench_decimation_filter.dir/bench_decimation_filter.cpp.o"
+  "CMakeFiles/bench_decimation_filter.dir/bench_decimation_filter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decimation_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

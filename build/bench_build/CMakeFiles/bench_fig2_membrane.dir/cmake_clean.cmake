@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_membrane"
+  "../bench/bench_fig2_membrane.pdb"
+  "CMakeFiles/bench_fig2_membrane.dir/bench_fig2_membrane.cpp.o"
+  "CMakeFiles/bench_fig2_membrane.dir/bench_fig2_membrane.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_membrane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_mux_settling"
+  "../bench/bench_fig4_mux_settling.pdb"
+  "CMakeFiles/bench_fig4_mux_settling.dir/bench_fig4_mux_settling.cpp.o"
+  "CMakeFiles/bench_fig4_mux_settling.dir/bench_fig4_mux_settling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mux_settling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_mux_settling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_adc_spectrum"
+  "../bench/bench_fig7_adc_spectrum.pdb"
+  "CMakeFiles/bench_fig7_adc_spectrum.dir/bench_fig7_adc_spectrum.cpp.o"
+  "CMakeFiles/bench_fig7_adc_spectrum.dir/bench_fig7_adc_spectrum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_adc_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

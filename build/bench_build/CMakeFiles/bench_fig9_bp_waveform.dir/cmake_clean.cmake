@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_bp_waveform"
+  "../bench/bench_fig9_bp_waveform.pdb"
+  "CMakeFiles/bench_fig9_bp_waveform.dir/bench_fig9_bp_waveform.cpp.o"
+  "CMakeFiles/bench_fig9_bp_waveform.dir/bench_fig9_bp_waveform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_bp_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

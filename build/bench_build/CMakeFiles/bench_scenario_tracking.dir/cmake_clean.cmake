@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scenario_tracking"
+  "../bench/bench_scenario_tracking.pdb"
+  "CMakeFiles/bench_scenario_tracking.dir/bench_scenario_tracking.cpp.o"
+  "CMakeFiles/bench_scenario_tracking.dir/bench_scenario_tracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_electrical"
+  "../bench/bench_tab_electrical.pdb"
+  "CMakeFiles/bench_tab_electrical.dir/bench_tab_electrical.cpp.o"
+  "CMakeFiles/bench_tab_electrical.dir/bench_tab_electrical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_electrical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

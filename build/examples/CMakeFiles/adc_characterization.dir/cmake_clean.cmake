@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_characterization.dir/adc_characterization.cpp.o"
+  "CMakeFiles/adc_characterization.dir/adc_characterization.cpp.o.d"
+  "adc_characterization"
+  "adc_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_monitoring.dir/bp_monitoring.cpp.o"
+  "CMakeFiles/bp_monitoring.dir/bp_monitoring.cpp.o.d"
+  "bp_monitoring"
+  "bp_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

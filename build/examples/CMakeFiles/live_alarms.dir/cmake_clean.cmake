@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_alarms.dir/live_alarms.cpp.o"
+  "CMakeFiles/live_alarms.dir/live_alarms.cpp.o.d"
+  "live_alarms"
+  "live_alarms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_alarms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

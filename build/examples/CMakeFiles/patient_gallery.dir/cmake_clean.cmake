@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patient_gallery.dir/patient_gallery.cpp.o"
+  "CMakeFiles/patient_gallery.dir/patient_gallery.cpp.o.d"
+  "patient_gallery"
+  "patient_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patient_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

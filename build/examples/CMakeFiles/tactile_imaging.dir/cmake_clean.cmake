@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactile_imaging.dir/tactile_imaging.cpp.o"
+  "CMakeFiles/tactile_imaging.dir/tactile_imaging.cpp.o.d"
+  "tactile_imaging"
+  "tactile_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactile_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tonosim_cli.dir/tonosim_cli.cpp.o"
+  "CMakeFiles/tonosim_cli.dir/tonosim_cli.cpp.o.d"
+  "tonosim_cli"
+  "tonosim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tonosim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vessel_localization.dir/vessel_localization.cpp.o"
+  "CMakeFiles/vessel_localization.dir/vessel_localization.cpp.o.d"
+  "vessel_localization"
+  "vessel_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vessel_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vessel_localization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/comparator.cpp" "src/analog/CMakeFiles/tono_analog.dir/comparator.cpp.o" "gcc" "src/analog/CMakeFiles/tono_analog.dir/comparator.cpp.o.d"
+  "/root/repo/src/analog/incremental.cpp" "src/analog/CMakeFiles/tono_analog.dir/incremental.cpp.o" "gcc" "src/analog/CMakeFiles/tono_analog.dir/incremental.cpp.o.d"
+  "/root/repo/src/analog/modulator.cpp" "src/analog/CMakeFiles/tono_analog.dir/modulator.cpp.o" "gcc" "src/analog/CMakeFiles/tono_analog.dir/modulator.cpp.o.d"
+  "/root/repo/src/analog/mux.cpp" "src/analog/CMakeFiles/tono_analog.dir/mux.cpp.o" "gcc" "src/analog/CMakeFiles/tono_analog.dir/mux.cpp.o.d"
+  "/root/repo/src/analog/opamp.cpp" "src/analog/CMakeFiles/tono_analog.dir/opamp.cpp.o" "gcc" "src/analog/CMakeFiles/tono_analog.dir/opamp.cpp.o.d"
+  "/root/repo/src/analog/power.cpp" "src/analog/CMakeFiles/tono_analog.dir/power.cpp.o" "gcc" "src/analog/CMakeFiles/tono_analog.dir/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tono_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

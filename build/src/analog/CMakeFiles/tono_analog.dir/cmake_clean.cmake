@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tono_analog.dir/comparator.cpp.o"
+  "CMakeFiles/tono_analog.dir/comparator.cpp.o.d"
+  "CMakeFiles/tono_analog.dir/incremental.cpp.o"
+  "CMakeFiles/tono_analog.dir/incremental.cpp.o.d"
+  "CMakeFiles/tono_analog.dir/modulator.cpp.o"
+  "CMakeFiles/tono_analog.dir/modulator.cpp.o.d"
+  "CMakeFiles/tono_analog.dir/mux.cpp.o"
+  "CMakeFiles/tono_analog.dir/mux.cpp.o.d"
+  "CMakeFiles/tono_analog.dir/opamp.cpp.o"
+  "CMakeFiles/tono_analog.dir/opamp.cpp.o.d"
+  "CMakeFiles/tono_analog.dir/power.cpp.o"
+  "CMakeFiles/tono_analog.dir/power.cpp.o.d"
+  "libtono_analog.a"
+  "libtono_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tono_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/artifacts.cpp" "src/bio/CMakeFiles/tono_bio.dir/artifacts.cpp.o" "gcc" "src/bio/CMakeFiles/tono_bio.dir/artifacts.cpp.o.d"
+  "/root/repo/src/bio/beat.cpp" "src/bio/CMakeFiles/tono_bio.dir/beat.cpp.o" "gcc" "src/bio/CMakeFiles/tono_bio.dir/beat.cpp.o.d"
+  "/root/repo/src/bio/cuff.cpp" "src/bio/CMakeFiles/tono_bio.dir/cuff.cpp.o" "gcc" "src/bio/CMakeFiles/tono_bio.dir/cuff.cpp.o.d"
+  "/root/repo/src/bio/pulse_generator.cpp" "src/bio/CMakeFiles/tono_bio.dir/pulse_generator.cpp.o" "gcc" "src/bio/CMakeFiles/tono_bio.dir/pulse_generator.cpp.o.d"
+  "/root/repo/src/bio/scenario.cpp" "src/bio/CMakeFiles/tono_bio.dir/scenario.cpp.o" "gcc" "src/bio/CMakeFiles/tono_bio.dir/scenario.cpp.o.d"
+  "/root/repo/src/bio/tissue.cpp" "src/bio/CMakeFiles/tono_bio.dir/tissue.cpp.o" "gcc" "src/bio/CMakeFiles/tono_bio.dir/tissue.cpp.o.d"
+  "/root/repo/src/bio/windkessel.cpp" "src/bio/CMakeFiles/tono_bio.dir/windkessel.cpp.o" "gcc" "src/bio/CMakeFiles/tono_bio.dir/windkessel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tono_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

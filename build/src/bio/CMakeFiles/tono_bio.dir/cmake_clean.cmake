@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tono_bio.dir/artifacts.cpp.o"
+  "CMakeFiles/tono_bio.dir/artifacts.cpp.o.d"
+  "CMakeFiles/tono_bio.dir/beat.cpp.o"
+  "CMakeFiles/tono_bio.dir/beat.cpp.o.d"
+  "CMakeFiles/tono_bio.dir/cuff.cpp.o"
+  "CMakeFiles/tono_bio.dir/cuff.cpp.o.d"
+  "CMakeFiles/tono_bio.dir/pulse_generator.cpp.o"
+  "CMakeFiles/tono_bio.dir/pulse_generator.cpp.o.d"
+  "CMakeFiles/tono_bio.dir/scenario.cpp.o"
+  "CMakeFiles/tono_bio.dir/scenario.cpp.o.d"
+  "CMakeFiles/tono_bio.dir/tissue.cpp.o"
+  "CMakeFiles/tono_bio.dir/tissue.cpp.o.d"
+  "CMakeFiles/tono_bio.dir/windkessel.cpp.o"
+  "CMakeFiles/tono_bio.dir/windkessel.cpp.o.d"
+  "libtono_bio.a"
+  "libtono_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tono_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cli.cpp" "src/common/CMakeFiles/tono_common.dir/cli.cpp.o" "gcc" "src/common/CMakeFiles/tono_common.dir/cli.cpp.o.d"
+  "/root/repo/src/common/interpolation.cpp" "src/common/CMakeFiles/tono_common.dir/interpolation.cpp.o" "gcc" "src/common/CMakeFiles/tono_common.dir/interpolation.cpp.o.d"
+  "/root/repo/src/common/math_utils.cpp" "src/common/CMakeFiles/tono_common.dir/math_utils.cpp.o" "gcc" "src/common/CMakeFiles/tono_common.dir/math_utils.cpp.o.d"
+  "/root/repo/src/common/pink_noise.cpp" "src/common/CMakeFiles/tono_common.dir/pink_noise.cpp.o" "gcc" "src/common/CMakeFiles/tono_common.dir/pink_noise.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/tono_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/tono_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/statistics.cpp" "src/common/CMakeFiles/tono_common.dir/statistics.cpp.o" "gcc" "src/common/CMakeFiles/tono_common.dir/statistics.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/tono_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/tono_common.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

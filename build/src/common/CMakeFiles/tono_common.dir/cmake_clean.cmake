@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tono_common.dir/cli.cpp.o"
+  "CMakeFiles/tono_common.dir/cli.cpp.o.d"
+  "CMakeFiles/tono_common.dir/interpolation.cpp.o"
+  "CMakeFiles/tono_common.dir/interpolation.cpp.o.d"
+  "CMakeFiles/tono_common.dir/math_utils.cpp.o"
+  "CMakeFiles/tono_common.dir/math_utils.cpp.o.d"
+  "CMakeFiles/tono_common.dir/pink_noise.cpp.o"
+  "CMakeFiles/tono_common.dir/pink_noise.cpp.o.d"
+  "CMakeFiles/tono_common.dir/rng.cpp.o"
+  "CMakeFiles/tono_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tono_common.dir/statistics.cpp.o"
+  "CMakeFiles/tono_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/tono_common.dir/table.cpp.o"
+  "CMakeFiles/tono_common.dir/table.cpp.o.d"
+  "libtono_common.a"
+  "libtono_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tono_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autorange.cpp" "src/core/CMakeFiles/tono_core.dir/autorange.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/autorange.cpp.o.d"
+  "/root/repo/src/core/beat_detection.cpp" "src/core/CMakeFiles/tono_core.dir/beat_detection.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/beat_detection.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/tono_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/chip_config.cpp" "src/core/CMakeFiles/tono_core.dir/chip_config.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/chip_config.cpp.o.d"
+  "/root/repo/src/core/holddown.cpp" "src/core/CMakeFiles/tono_core.dir/holddown.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/holddown.cpp.o.d"
+  "/root/repo/src/core/hrv.cpp" "src/core/CMakeFiles/tono_core.dir/hrv.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/hrv.cpp.o.d"
+  "/root/repo/src/core/imaging.cpp" "src/core/CMakeFiles/tono_core.dir/imaging.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/imaging.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/tono_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/tono_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/pwa.cpp" "src/core/CMakeFiles/tono_core.dir/pwa.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/pwa.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/core/CMakeFiles/tono_core.dir/quality.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/quality.cpp.o.d"
+  "/root/repo/src/core/scan.cpp" "src/core/CMakeFiles/tono_core.dir/scan.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/scan.cpp.o.d"
+  "/root/repo/src/core/sensor_array.cpp" "src/core/CMakeFiles/tono_core.dir/sensor_array.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/sensor_array.cpp.o.d"
+  "/root/repo/src/core/streaming_monitor.cpp" "src/core/CMakeFiles/tono_core.dir/streaming_monitor.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/streaming_monitor.cpp.o.d"
+  "/root/repo/src/core/telemetry.cpp" "src/core/CMakeFiles/tono_core.dir/telemetry.cpp.o" "gcc" "src/core/CMakeFiles/tono_core.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tono_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tono_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mems/CMakeFiles/tono_mems.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/tono_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/tono_bio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

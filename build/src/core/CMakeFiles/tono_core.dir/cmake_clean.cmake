@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tono_core.dir/autorange.cpp.o"
+  "CMakeFiles/tono_core.dir/autorange.cpp.o.d"
+  "CMakeFiles/tono_core.dir/beat_detection.cpp.o"
+  "CMakeFiles/tono_core.dir/beat_detection.cpp.o.d"
+  "CMakeFiles/tono_core.dir/calibration.cpp.o"
+  "CMakeFiles/tono_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/tono_core.dir/chip_config.cpp.o"
+  "CMakeFiles/tono_core.dir/chip_config.cpp.o.d"
+  "CMakeFiles/tono_core.dir/holddown.cpp.o"
+  "CMakeFiles/tono_core.dir/holddown.cpp.o.d"
+  "CMakeFiles/tono_core.dir/hrv.cpp.o"
+  "CMakeFiles/tono_core.dir/hrv.cpp.o.d"
+  "CMakeFiles/tono_core.dir/imaging.cpp.o"
+  "CMakeFiles/tono_core.dir/imaging.cpp.o.d"
+  "CMakeFiles/tono_core.dir/monitor.cpp.o"
+  "CMakeFiles/tono_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/tono_core.dir/pipeline.cpp.o"
+  "CMakeFiles/tono_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/tono_core.dir/pwa.cpp.o"
+  "CMakeFiles/tono_core.dir/pwa.cpp.o.d"
+  "CMakeFiles/tono_core.dir/quality.cpp.o"
+  "CMakeFiles/tono_core.dir/quality.cpp.o.d"
+  "CMakeFiles/tono_core.dir/scan.cpp.o"
+  "CMakeFiles/tono_core.dir/scan.cpp.o.d"
+  "CMakeFiles/tono_core.dir/sensor_array.cpp.o"
+  "CMakeFiles/tono_core.dir/sensor_array.cpp.o.d"
+  "CMakeFiles/tono_core.dir/streaming_monitor.cpp.o"
+  "CMakeFiles/tono_core.dir/streaming_monitor.cpp.o.d"
+  "CMakeFiles/tono_core.dir/telemetry.cpp.o"
+  "CMakeFiles/tono_core.dir/telemetry.cpp.o.d"
+  "libtono_core.a"
+  "libtono_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tono_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

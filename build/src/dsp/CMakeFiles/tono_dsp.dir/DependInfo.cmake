@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/biquad.cpp" "src/dsp/CMakeFiles/tono_dsp.dir/biquad.cpp.o" "gcc" "src/dsp/CMakeFiles/tono_dsp.dir/biquad.cpp.o.d"
+  "/root/repo/src/dsp/cic.cpp" "src/dsp/CMakeFiles/tono_dsp.dir/cic.cpp.o" "gcc" "src/dsp/CMakeFiles/tono_dsp.dir/cic.cpp.o.d"
+  "/root/repo/src/dsp/decimation.cpp" "src/dsp/CMakeFiles/tono_dsp.dir/decimation.cpp.o" "gcc" "src/dsp/CMakeFiles/tono_dsp.dir/decimation.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/tono_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/tono_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir_design.cpp" "src/dsp/CMakeFiles/tono_dsp.dir/fir_design.cpp.o" "gcc" "src/dsp/CMakeFiles/tono_dsp.dir/fir_design.cpp.o.d"
+  "/root/repo/src/dsp/fir_filter.cpp" "src/dsp/CMakeFiles/tono_dsp.dir/fir_filter.cpp.o" "gcc" "src/dsp/CMakeFiles/tono_dsp.dir/fir_filter.cpp.o.d"
+  "/root/repo/src/dsp/goertzel.cpp" "src/dsp/CMakeFiles/tono_dsp.dir/goertzel.cpp.o" "gcc" "src/dsp/CMakeFiles/tono_dsp.dir/goertzel.cpp.o.d"
+  "/root/repo/src/dsp/noise_analysis.cpp" "src/dsp/CMakeFiles/tono_dsp.dir/noise_analysis.cpp.o" "gcc" "src/dsp/CMakeFiles/tono_dsp.dir/noise_analysis.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/dsp/CMakeFiles/tono_dsp.dir/spectrum.cpp.o" "gcc" "src/dsp/CMakeFiles/tono_dsp.dir/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/tono_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/tono_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tono_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tono_dsp.dir/biquad.cpp.o"
+  "CMakeFiles/tono_dsp.dir/biquad.cpp.o.d"
+  "CMakeFiles/tono_dsp.dir/cic.cpp.o"
+  "CMakeFiles/tono_dsp.dir/cic.cpp.o.d"
+  "CMakeFiles/tono_dsp.dir/decimation.cpp.o"
+  "CMakeFiles/tono_dsp.dir/decimation.cpp.o.d"
+  "CMakeFiles/tono_dsp.dir/fft.cpp.o"
+  "CMakeFiles/tono_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/tono_dsp.dir/fir_design.cpp.o"
+  "CMakeFiles/tono_dsp.dir/fir_design.cpp.o.d"
+  "CMakeFiles/tono_dsp.dir/fir_filter.cpp.o"
+  "CMakeFiles/tono_dsp.dir/fir_filter.cpp.o.d"
+  "CMakeFiles/tono_dsp.dir/goertzel.cpp.o"
+  "CMakeFiles/tono_dsp.dir/goertzel.cpp.o.d"
+  "CMakeFiles/tono_dsp.dir/noise_analysis.cpp.o"
+  "CMakeFiles/tono_dsp.dir/noise_analysis.cpp.o.d"
+  "CMakeFiles/tono_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/tono_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/tono_dsp.dir/window.cpp.o"
+  "CMakeFiles/tono_dsp.dir/window.cpp.o.d"
+  "libtono_dsp.a"
+  "libtono_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tono_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mems/capacitor.cpp" "src/mems/CMakeFiles/tono_mems.dir/capacitor.cpp.o" "gcc" "src/mems/CMakeFiles/tono_mems.dir/capacitor.cpp.o.d"
+  "/root/repo/src/mems/materials.cpp" "src/mems/CMakeFiles/tono_mems.dir/materials.cpp.o" "gcc" "src/mems/CMakeFiles/tono_mems.dir/materials.cpp.o.d"
+  "/root/repo/src/mems/plate.cpp" "src/mems/CMakeFiles/tono_mems.dir/plate.cpp.o" "gcc" "src/mems/CMakeFiles/tono_mems.dir/plate.cpp.o.d"
+  "/root/repo/src/mems/transducer.cpp" "src/mems/CMakeFiles/tono_mems.dir/transducer.cpp.o" "gcc" "src/mems/CMakeFiles/tono_mems.dir/transducer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tono_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tono_mems.dir/capacitor.cpp.o"
+  "CMakeFiles/tono_mems.dir/capacitor.cpp.o.d"
+  "CMakeFiles/tono_mems.dir/materials.cpp.o"
+  "CMakeFiles/tono_mems.dir/materials.cpp.o.d"
+  "CMakeFiles/tono_mems.dir/plate.cpp.o"
+  "CMakeFiles/tono_mems.dir/plate.cpp.o.d"
+  "CMakeFiles/tono_mems.dir/transducer.cpp.o"
+  "CMakeFiles/tono_mems.dir/transducer.cpp.o.d"
+  "libtono_mems.a"
+  "libtono_mems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tono_mems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tono_mems.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_monitor.dir/test_adaptive_monitor.cpp.o"
+  "CMakeFiles/test_adaptive_monitor.dir/test_adaptive_monitor.cpp.o.d"
+  "test_adaptive_monitor"
+  "test_adaptive_monitor.pdb"
+  "test_adaptive_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

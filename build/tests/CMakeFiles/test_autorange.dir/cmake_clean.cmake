@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autorange.dir/test_autorange.cpp.o"
+  "CMakeFiles/test_autorange.dir/test_autorange.cpp.o.d"
+  "test_autorange"
+  "test_autorange.pdb"
+  "test_autorange[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autorange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

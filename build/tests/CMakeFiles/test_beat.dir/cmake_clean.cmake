@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beat.dir/test_beat.cpp.o"
+  "CMakeFiles/test_beat.dir/test_beat.cpp.o.d"
+  "test_beat"
+  "test_beat.pdb"
+  "test_beat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

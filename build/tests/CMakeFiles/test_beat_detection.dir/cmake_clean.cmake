@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beat_detection.dir/test_beat_detection.cpp.o"
+  "CMakeFiles/test_beat_detection.dir/test_beat_detection.cpp.o.d"
+  "test_beat_detection"
+  "test_beat_detection.pdb"
+  "test_beat_detection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beat_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

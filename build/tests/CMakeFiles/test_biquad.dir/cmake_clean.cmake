@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_biquad.dir/test_biquad.cpp.o"
+  "CMakeFiles/test_biquad.dir/test_biquad.cpp.o.d"
+  "test_biquad"
+  "test_biquad.pdb"
+  "test_biquad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_biquad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

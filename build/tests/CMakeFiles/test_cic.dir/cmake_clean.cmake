@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cic.dir/test_cic.cpp.o"
+  "CMakeFiles/test_cic.dir/test_cic.cpp.o.d"
+  "test_cic"
+  "test_cic.pdb"
+  "test_cic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

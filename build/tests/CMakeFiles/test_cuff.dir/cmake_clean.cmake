@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuff.dir/test_cuff.cpp.o"
+  "CMakeFiles/test_cuff.dir/test_cuff.cpp.o.d"
+  "test_cuff"
+  "test_cuff.pdb"
+  "test_cuff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decimation.dir/test_decimation.cpp.o"
+  "CMakeFiles/test_decimation.dir/test_decimation.cpp.o.d"
+  "test_decimation"
+  "test_decimation.pdb"
+  "test_decimation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

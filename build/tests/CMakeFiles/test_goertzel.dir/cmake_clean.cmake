@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_goertzel.dir/test_goertzel.cpp.o"
+  "CMakeFiles/test_goertzel.dir/test_goertzel.cpp.o.d"
+  "test_goertzel"
+  "test_goertzel.pdb"
+  "test_goertzel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_goertzel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_holddown.dir/test_holddown.cpp.o"
+  "CMakeFiles/test_holddown.dir/test_holddown.cpp.o.d"
+  "test_holddown"
+  "test_holddown.pdb"
+  "test_holddown[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_holddown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hrv.dir/test_hrv.cpp.o"
+  "CMakeFiles/test_hrv.dir/test_hrv.cpp.o.d"
+  "test_hrv"
+  "test_hrv.pdb"
+  "test_hrv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hrv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

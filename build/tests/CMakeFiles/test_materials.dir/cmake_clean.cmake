@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_materials.dir/test_materials.cpp.o"
+  "CMakeFiles/test_materials.dir/test_materials.cpp.o.d"
+  "test_materials"
+  "test_materials.pdb"
+  "test_materials[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_materials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patient_presets.dir/test_patient_presets.cpp.o"
+  "CMakeFiles/test_patient_presets.dir/test_patient_presets.cpp.o.d"
+  "test_patient_presets"
+  "test_patient_presets.pdb"
+  "test_patient_presets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patient_presets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

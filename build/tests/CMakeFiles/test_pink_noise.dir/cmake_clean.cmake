@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pink_noise.dir/test_pink_noise.cpp.o"
+  "CMakeFiles/test_pink_noise.dir/test_pink_noise.cpp.o.d"
+  "test_pink_noise"
+  "test_pink_noise.pdb"
+  "test_pink_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pink_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_plate.cpp" "tests/CMakeFiles/test_plate.dir/test_plate.cpp.o" "gcc" "tests/CMakeFiles/test_plate.dir/test_plate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tono_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/tono_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/tono_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/mems/CMakeFiles/tono_mems.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tono_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tono_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plate.dir/test_plate.cpp.o"
+  "CMakeFiles/test_plate.dir/test_plate.cpp.o.d"
+  "test_plate"
+  "test_plate.pdb"
+  "test_plate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

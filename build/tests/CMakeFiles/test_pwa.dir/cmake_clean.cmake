@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pwa.dir/test_pwa.cpp.o"
+  "CMakeFiles/test_pwa.dir/test_pwa.cpp.o.d"
+  "test_pwa"
+  "test_pwa.pdb"
+  "test_pwa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pwa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensor_array.dir/test_sensor_array.cpp.o"
+  "CMakeFiles/test_sensor_array.dir/test_sensor_array.cpp.o.d"
+  "test_sensor_array"
+  "test_sensor_array.pdb"
+  "test_sensor_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensor_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

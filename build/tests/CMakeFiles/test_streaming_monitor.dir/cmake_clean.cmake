@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streaming_monitor.dir/test_streaming_monitor.cpp.o"
+  "CMakeFiles/test_streaming_monitor.dir/test_streaming_monitor.cpp.o.d"
+  "test_streaming_monitor"
+  "test_streaming_monitor.pdb"
+  "test_streaming_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streaming_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

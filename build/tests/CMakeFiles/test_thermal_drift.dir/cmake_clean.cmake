@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal_drift.dir/test_thermal_drift.cpp.o"
+  "CMakeFiles/test_thermal_drift.dir/test_thermal_drift.cpp.o.d"
+  "test_thermal_drift"
+  "test_thermal_drift.pdb"
+  "test_thermal_drift[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_windkessel.dir/test_windkessel.cpp.o"
+  "CMakeFiles/test_windkessel.dir/test_windkessel.cpp.o.d"
+  "test_windkessel"
+  "test_windkessel.pdb"
+  "test_windkessel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_windkessel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
