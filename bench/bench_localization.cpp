@@ -15,6 +15,7 @@
 #include "bench/bench_util.hpp"
 #include "src/common/units.hpp"
 #include "src/core/monitor.hpp"
+#include "src/core/sweep_runner.hpp"
 
 namespace {
 
@@ -28,8 +29,11 @@ struct SweepPoint {
 };
 
 std::vector<SweepPoint> sweep(std::size_t cols, const std::vector<double>& offsets_mm) {
-  std::vector<SweepPoint> out;
-  for (double off : offsets_mm) {
+  // Offsets are independent trials: fan them across the deterministic sweep
+  // engine. Results are bit-identical to the old serial loop (each monitor
+  // seeds itself from its config, not from the sweep RNG).
+  core::SweepRunner runner{{.stream_name = "localization"}};
+  return runner.map(offsets_mm, [cols](double off) {
     auto chip = core::ChipConfig::paper_chip();
     chip.array.rows = cols == 4 ? 2 : 1;
     chip.array.cols = cols;
@@ -47,9 +51,8 @@ std::vector<SweepPoint> sweep(std::size_t cols, const std::vector<double>& offse
     for (const auto& e : scan.elements) {
       if (e.col == cols / 2) center_amp = std::max(center_amp, e.amplitude);
     }
-    out.push_back(SweepPoint{off, scan.best_col, scan.best_amplitude, center_amp});
-  }
-  return out;
+    return SweepPoint{off, scan.best_col, scan.best_amplitude, center_amp};
+  });
 }
 
 void run() {

@@ -2,13 +2,33 @@
 // paths. Not a paper experiment — this guards the property that makes the
 // repo usable: simulating seconds of 128 kHz operation in real time or
 // faster on a laptop.
+//
+// Beyond the console table, the run appends one entry to a BENCH_perf.json
+// trajectory file (path overridable via the TONO_BENCH_JSON environment
+// variable) so throughput regressions are visible across commits. The
+// `derived` block reports the headline ratios: block-mode vs scalar
+// throughput and the parallel-sweep scaling factor.
+//
+// Items are always *modulator clocks* (or input samples) so scalar and
+// block benchmarks of the same stage are directly comparable.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <map>
 #include <numbers>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/analog/modulator.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/core/sweep_runner.hpp"
 #include "src/dsp/decimation.hpp"
 #include "src/dsp/fft.hpp"
 #include "src/mems/transducer.hpp"
@@ -16,6 +36,8 @@
 namespace {
 
 using namespace tono;
+
+constexpr std::size_t kOsr = 128;  // paper OSR: clocks per output sample
 
 void BM_ModulatorStepVoltage(benchmark::State& state) {
   analog::DeltaSigmaModulator mod{analog::ModulatorConfig{}};
@@ -39,6 +61,20 @@ void BM_ModulatorStepCapacitive(benchmark::State& state) {
 }
 BENCHMARK(BM_ModulatorStepCapacitive);
 
+void BM_ModulatorStepCapacitiveBlock(benchmark::State& state) {
+  analog::DeltaSigmaModulator mod{analog::ModulatorConfig{}};
+  std::vector<int> bits(kOsr);
+  double c = 100e-15;
+  for (auto _ : state) {
+    mod.step_capacitive_block(c, 100e-15, bits.data(), bits.size());
+    benchmark::DoNotOptimize(bits.data());
+    c = c == 100e-15 ? 101e-15 : 100e-15;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kOsr));
+}
+BENCHMARK(BM_ModulatorStepCapacitiveBlock);
+
 void BM_DecimationPush(benchmark::State& state) {
   dsp::DecimationChain chain{dsp::DecimationConfig{}};
   int bit = 1;
@@ -49,6 +85,18 @@ void BM_DecimationPush(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_DecimationPush);
+
+void BM_DecimationPushFrame(benchmark::State& state) {
+  dsp::DecimationChain chain{dsp::DecimationConfig{}};
+  std::vector<int> bits(kOsr);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = i % 3 == 0 ? -1 : 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.push_frame(bits));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kOsr));
+}
+BENCHMARK(BM_DecimationPushFrame);
 
 void BM_CapacitanceExactIntegral(benchmark::State& state) {
   mems::PressureTransducer t{mems::TransducerConfig{}};
@@ -85,19 +133,192 @@ void BM_FullPipelineClock(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipelineClock);
 
+void BM_FullPipelineClockBlock(benchmark::State& state) {
+  // One iteration = one output frame = kOsr modulator clocks; items are
+  // clocks so the rate is directly comparable to BM_FullPipelineClock.
+  core::AcquisitionPipeline pipe{core::ChipConfig::paper_chip()};
+  double t = 0.0;
+  for (auto _ : state) {
+    const double p = 10000.0 + 2000.0 * std::sin(2.0 * std::numbers::pi * 1.2 * t);
+    benchmark::DoNotOptimize(pipe.clock_block(p));
+    t += static_cast<double>(kOsr) / 128000.0;
+  }
+  const auto clocks =
+      static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(kOsr);
+  state.SetItemsProcessed(clocks);
+  state.counters["realtime_x"] = benchmark::Counter(
+      static_cast<double>(clocks) / 128000.0, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullPipelineClockBlock);
+
+// One sweep trial: a short seeded acquisition, the unit of work the parallel
+// scaling benchmarks fan out.
+std::int64_t sweep_trial(Rng& rng) {
+  core::ChipConfig chip = core::ChipConfig::paper_chip();
+  chip.modulator.seed = rng.next_u64();
+  core::AcquisitionPipeline pipe{chip};
+  const auto samples =
+      pipe.acquire_uniform_block([](double) { return 9000.0; }, 10);
+  std::int64_t sum = 0;
+  for (const auto& s : samples) sum += s.code;
+  return sum;
+}
+
+void BM_SweepTrials(benchmark::State& state) {
+  // Arg = worker threads. Items are trials; compare items_per_second across
+  // thread counts for the scaling factor. Results are bit-identical across
+  // thread counts (tested in test_sweep_runner.cpp), so this measures pure
+  // scheduling overhead/speedup.
+  core::SweepRunner runner{{.threads = static_cast<std::size_t>(state.range(0)),
+                            .base_seed = 11,
+                            .stream_name = "bench"}};
+  constexpr std::size_t kTrials = 16;
+  for (auto _ : state) {
+    auto out = runner.run(kTrials, [](std::size_t, Rng& rng) { return sweep_trial(rng); });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTrials));
+}
+BENCHMARK(BM_SweepTrials)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 void BM_Fft8k(benchmark::State& state) {
   std::vector<dsp::Complex> x(8192);
   for (std::size_t i = 0; i < x.size(); ++i) {
     x[i] = dsp::Complex{std::sin(0.01 * static_cast<double>(i)), 0.0};
   }
+  // Scratch is allocated once; each iteration pays only the copy + the
+  // transform, not a fresh 8k-complex allocation.
+  std::vector<dsp::Complex> scratch(x.size());
   for (auto _ : state) {
-    auto copy = x;
-    dsp::fft_inplace(copy);
-    benchmark::DoNotOptimize(copy.data());
+    std::copy(x.begin(), x.end(), scratch.begin());
+    dsp::fft_inplace(scratch);
+    benchmark::DoNotOptimize(scratch.data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(x.size()));
 }
 BENCHMARK(BM_Fft8k);
 
+// ---------------------------------------------------------------------------
+// Trajectory output: capture finished runs, then append one JSON entry.
+
+struct CapturedRun {
+  double items_per_second{0.0};
+  double ns_per_iteration{0.0};
+};
+
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      CapturedRun c;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) c.items_per_second = it->second.value;
+      const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      c.ns_per_iteration = run.real_accumulated_time * 1e9 / iters;
+      results_[run.benchmark_name()] = c;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::map<std::string, CapturedRun>& results() const {
+    return results_;
+  }
+
+ private:
+  std::map<std::string, CapturedRun> results_;
+};
+
+double rate_of(const std::map<std::string, CapturedRun>& r, const std::string& name) {
+  const auto it = r.find(name);
+  return it == r.end() ? 0.0 : it->second.items_per_second;
+}
+
+double ratio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "  {\n";
+  os << "    \"timestamp\": \"" << utc_timestamp() << "\",\n";
+  os << "    \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "    \"benchmarks\": {\n";
+  bool first = true;
+  for (const auto& [name, run] : results) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "      \"" << name << "\": {\"items_per_second\": " << run.items_per_second
+       << ", \"ns_per_iteration\": " << run.ns_per_iteration << "}";
+  }
+  os << "\n    },\n";
+  const double scalar_pipe = rate_of(results, "BM_FullPipelineClock");
+  const double block_pipe = rate_of(results, "BM_FullPipelineClockBlock");
+  const double scalar_mod = rate_of(results, "BM_ModulatorStepCapacitive");
+  const double block_mod = rate_of(results, "BM_ModulatorStepCapacitiveBlock");
+  const double scalar_dec = rate_of(results, "BM_DecimationPush");
+  const double frame_dec = rate_of(results, "BM_DecimationPushFrame");
+  const double sweep1 = rate_of(results, "BM_SweepTrials/1/real_time");
+  const double sweep2 = rate_of(results, "BM_SweepTrials/2/real_time");
+  const double sweep4 = rate_of(results, "BM_SweepTrials/4/real_time");
+  os << "    \"derived\": {\n";
+  os << "      \"pipeline_block_vs_scalar\": " << ratio(block_pipe, scalar_pipe) << ",\n";
+  os << "      \"modulator_block_vs_scalar\": " << ratio(block_mod, scalar_mod) << ",\n";
+  os << "      \"decimation_frame_vs_push\": " << ratio(frame_dec, scalar_dec) << ",\n";
+  os << "      \"pipeline_block_realtime_x\": " << block_pipe / 128000.0 << ",\n";
+  os << "      \"sweep_speedup_2t\": " << ratio(sweep2, sweep1) << ",\n";
+  os << "      \"sweep_speedup_4t\": " << ratio(sweep4, sweep1) << "\n";
+  os << "    }\n";
+  os << "  }";
+  return os.str();
+}
+
+/// Appends `entry` to the JSON array in `path` (created if missing), keeping
+/// the file a valid JSON document after every run.
+void append_trajectory(const std::string& path, const std::string& entry) {
+  std::string existing;
+  {
+    std::ifstream in{path};
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+  }
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) return;
+  const auto close_bracket = existing.find_last_of(']');
+  if (close_bracket == std::string::npos) {
+    out << "[\n" << entry << "\n]\n";
+    return;
+  }
+  // Keep everything up to the final ']' and splice the new entry in front.
+  std::string head = existing.substr(0, close_bracket);
+  while (!head.empty() && (head.back() == '\n' || head.back() == ' ')) head.pop_back();
+  const bool empty_array = head.find('{') == std::string::npos;
+  out << head << (empty_array ? "\n" : ",\n") << entry << "\n]\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const char* path = std::getenv("TONO_BENCH_JSON");
+  append_trajectory(path != nullptr ? path : "BENCH_perf.json",
+                    make_entry_json(reporter.results()));
+  return 0;
+}

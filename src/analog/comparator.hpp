@@ -7,6 +7,8 @@
 // narrow band around the threshold.
 #pragma once
 
+#include <cmath>
+
 #include "src/common/rng.hpp"
 
 namespace tono::analog {
@@ -23,8 +25,20 @@ class Comparator {
   Comparator(const ComparatorConfig& config, Rng rng) noexcept
       : config_(config), rng_(rng) {}
 
-  /// Clocked decision: returns +1 or −1.
-  [[nodiscard]] int decide(double input_v) noexcept;
+  /// Clocked decision: returns +1 or −1. Inline: one call per modulator
+  /// clock, and the noise draw benefits from inlining into the loop.
+  [[nodiscard]] int decide(double input_v) noexcept {
+    double v = input_v - config_.offset_v;
+    if (config_.noise_vrms > 0.0) v += rng_.gaussian(0.0, config_.noise_vrms);
+    // Hysteresis: the threshold leans toward keeping the previous decision.
+    v -= 0.5 * config_.hysteresis_v * static_cast<double>(-last_);
+    if (std::abs(v) < config_.metastable_band_v) {
+      last_ = rng_.bernoulli(0.5) ? 1 : -1;
+      return last_;
+    }
+    last_ = v >= 0.0 ? 1 : -1;
+    return last_;
+  }
 
   [[nodiscard]] int last_decision() const noexcept { return last_; }
   [[nodiscard]] const ComparatorConfig& config() const noexcept { return config_; }

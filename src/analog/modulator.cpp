@@ -162,6 +162,30 @@ int DeltaSigmaModulator::step_capacitive(double c_sense_f, double c_ref_f) {
   return step_normalized(q_sig / q_fs, noise_u);
 }
 
+void DeltaSigmaModulator::step_capacitive_block(double c_sense_f, double c_ref_f,
+                                                int* bits_out, std::size_t n) {
+  // Everything that depends only on the capacitances is loop-invariant; the
+  // expressions below are copied verbatim from step_capacitive so the hoisted
+  // values are bit-identical to what each scalar call would recompute.
+  const double c_fb = config_.c_fb1_f * fb1_mismatch_;
+  const double q_fs = c_fb * config_.vref_v;
+  const double q_sig = (c_sense_f - c_ref_f) * config_.vexc_v;
+  const double u = q_sig / q_fs;
+  if (config_.enable_ktc_noise) {
+    const double c_total = c_sense_f + c_ref_f + c_fb;
+    const double q_sigma =
+        std::sqrt(2.0 * units::k_boltzmann * config_.temperature_k * c_total * 2.0);
+    const double sigma_u = q_sigma / q_fs;
+    for (std::size_t i = 0; i < n; ++i) {
+      bits_out[i] = step_normalized(u, rng_.gaussian(0.0, sigma_u));
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      bits_out[i] = step_normalized(u, 0.0);
+    }
+  }
+}
+
 std::vector<int> DeltaSigmaModulator::run_voltage(
     const std::function<double(double)>& vin_of_t, std::size_t n) {
   std::vector<int> bits;

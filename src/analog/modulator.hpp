@@ -97,6 +97,16 @@ class DeltaSigmaModulator {
     return step_capacitive(c_sense_f, config_.c_ref_f * ref_mismatch_);
   }
 
+  /// Runs `n` clocks in capacitive mode at fixed sensor/reference
+  /// capacitances, writing the ±1 bitstream to `bits_out` (room for n).
+  /// Bit-identical to n step_capacitive(c_sense_f, c_ref_f) calls: the
+  /// full-scale charge, normalized input and kT/C sigma (its sqrt and
+  /// division included) are loop-invariant and hoisted; the per-clock noise
+  /// draws and loop dynamics are byte-for-byte unchanged. This is the
+  /// acquisition pipeline's block hot path.
+  void step_capacitive_block(double c_sense_f, double c_ref_f, int* bits_out,
+                             std::size_t n);
+
   /// Runs `n` clocks in voltage mode with `vin_of_t` evaluated at jittered
   /// sampling instants. Returns the ±1 bitstream.
   [[nodiscard]] std::vector<int> run_voltage(

@@ -58,6 +58,15 @@ class AnalogMux {
   /// RC settling time constant of the mux path [s].
   [[nodiscard]] double settling_tau_s() const noexcept;
 
+  /// True once the switching transient has *exactly* decayed: for
+  /// dt ≥ 800·τ, exp(−dt/τ) is +0.0 in double precision (e⁻⁸⁰⁰ is far below
+  /// the smallest subnormal), so observed_capacitance(c, dt') == c
+  /// bit-for-bit for every dt' ≥ dt. Lets block-mode callers skip the
+  /// per-clock blend without changing a single output bit.
+  [[nodiscard]] bool is_settled(double dt_since_switch_s) const noexcept {
+    return dt_since_switch_s >= 800.0 * settling_tau_s();
+  }
+
   /// Time for the analog path to settle within the given relative error.
   [[nodiscard]] double settling_time_s(double relative_error) const noexcept;
 

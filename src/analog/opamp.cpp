@@ -15,6 +15,13 @@ OpAmp::OpAmp(const OpAmpConfig& config) : config_(config) {
     throw std::invalid_argument{"OpAmp: feedback factor must be in (0, 1]"};
   }
   tau_s_ = 1.0 / (2.0 * std::numbers::pi * config_.feedback_factor * config_.gbw_hz);
+  leak_factor_ = 1.0 - 1.0 / (config_.dc_gain * config_.feedback_factor);
+  handoff_v_ = config_.slew_rate_v_per_s * tau_s_;
+  // Thresholds for the exact fast paths in settle(). 38τ: e⁻³⁸ ≈ 3.1e−17 is
+  // below 2⁻⁵⁴, so 1 − exp rounds to exactly 1.0. 800τ: e⁻⁸⁰⁰ is far below
+  // the smallest subnormal, so exp returns exactly +0.0.
+  linear_exact_dt_s_ = 38.0 * tau_s_;
+  zero_exp_dt_s_ = 800.0 * tau_s_;
 }
 
 double OpAmp::settle(double delta_v, double dt) const noexcept {
@@ -27,22 +34,24 @@ double OpAmp::settle(double delta_v, double dt) const noexcept {
   // from the hand-off point (standard two-regime model).
   const double linear_rate = magnitude / tau_s_;
   if (linear_rate <= sr) {
+    // Fast path: 1 − exp(−dt/τ) is exactly 1.0 here, so the step settles
+    // completely — bit-identical to evaluating the exponential.
+    if (dt >= linear_exact_dt_s_) return sign * magnitude;
     return sign * magnitude * (1.0 - std::exp(-dt / tau_s_));
   }
   // Slewing until remaining error = SR·tau, then exponential.
-  const double handoff_error = sr * tau_s_;
+  const double handoff_error = handoff_v_;
   const double slew_time = (magnitude - handoff_error) / sr;
   if (slew_time >= dt) {
     return sign * sr * dt;  // ran out of time while slewing
   }
   const double remaining_dt = dt - slew_time;
+  // Fast path: exp(−remaining/τ) is exactly +0.0, so the settled value is
+  // exactly the full magnitude.
+  if (remaining_dt >= zero_exp_dt_s_) return sign * magnitude;
   const double settled =
       magnitude - handoff_error * std::exp(-remaining_dt / tau_s_);
   return sign * settled;
-}
-
-double OpAmp::leak_factor() const noexcept {
-  return 1.0 - 1.0 / (config_.dc_gain * config_.feedback_factor);
 }
 
 double OpAmp::clip(double v) const noexcept {

@@ -5,10 +5,6 @@
 namespace tono {
 namespace {
 
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   state += 0x9E3779B97F4A7C15ull;
   std::uint64_t z = state;
@@ -33,27 +29,6 @@ Rng::Rng(std::uint64_t seed) noexcept {
   for (auto& word : state_) word = splitmix64(sm);
 }
 
-std::uint64_t Rng::next_u64() noexcept {
-  // xoshiro256++
-  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::uniform() noexcept {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) noexcept {
-  return lo + (hi - lo) * uniform();
-}
-
 std::uint64_t Rng::uniform_below(std::uint64_t n) noexcept {
   // Lemire-style rejection to avoid modulo bias.
   const std::uint64_t threshold = (0ull - n) % n;
@@ -63,11 +38,7 @@ std::uint64_t Rng::uniform_below(std::uint64_t n) noexcept {
   }
 }
 
-double Rng::gaussian() noexcept {
-  if (has_spare_gaussian_) {
-    has_spare_gaussian_ = false;
-    return spare_gaussian_;
-  }
+double Rng::gaussian_pair_() noexcept {
   double u = 0.0;
   double v = 0.0;
   double s = 0.0;
@@ -82,16 +53,10 @@ double Rng::gaussian() noexcept {
   return u * factor;
 }
 
-double Rng::gaussian(double mean, double sigma) noexcept {
-  return mean + sigma * gaussian();
-}
-
 double Rng::exponential(double lambda) noexcept {
   // 1 - uniform() is in (0, 1], so the log is finite.
   return -std::log(1.0 - uniform()) / lambda;
 }
-
-bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 Rng Rng::fork(std::uint64_t salt) noexcept {
   return Rng{next_u64() ^ (salt * 0x9E3779B97F4A7C15ull + 0x632BE59BD9B4E019ull)};

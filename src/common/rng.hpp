@@ -30,28 +30,54 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
 
   /// Next raw 64-bit draw.
-  [[nodiscard]] std::uint64_t next_u64() noexcept;
+  /// Defined inline: the circuit noise models draw several values per
+  /// 128 kHz modulator clock, so the draw path must not cost a function
+  /// call per sample.
+  [[nodiscard]] std::uint64_t next_u64() noexcept {
+    // xoshiro256++
+    const std::uint64_t result = rotl_(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl_(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1) with 53-bit resolution.
-  [[nodiscard]] double uniform() noexcept;
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
 
   /// Uniform integer in [0, n). n must be > 0.
   [[nodiscard]] std::uint64_t uniform_below(std::uint64_t n) noexcept;
 
   /// Standard normal draw (Marsaglia polar method; caches the spare value).
-  [[nodiscard]] double gaussian() noexcept;
+  [[nodiscard]] double gaussian() noexcept {
+    if (has_spare_gaussian_) {
+      has_spare_gaussian_ = false;
+      return spare_gaussian_;
+    }
+    return gaussian_pair_();
+  }
 
   /// Normal draw with given mean and standard deviation.
-  [[nodiscard]] double gaussian(double mean, double sigma) noexcept;
+  [[nodiscard]] double gaussian(double mean, double sigma) noexcept {
+    return mean + sigma * gaussian();
+  }
 
   /// Exponential draw with given rate lambda (> 0).
   [[nodiscard]] double exponential(double lambda) noexcept;
 
   /// Bernoulli trial with success probability p in [0, 1].
-  [[nodiscard]] bool bernoulli(double p) noexcept;
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
 
   /// Derives an independent child stream. The child is seeded from this
   /// stream's output mixed with `salt`, so distinct salts give distinct,
@@ -63,6 +89,14 @@ class Rng {
   [[nodiscard]] Rng fork_named(std::string_view name) noexcept;
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// Slow path of gaussian(): runs one polar-method rejection loop and
+  /// stores the spare value.
+  double gaussian_pair_() noexcept;
+
   std::array<std::uint64_t, 4> state_{};
   double spare_gaussian_{0.0};
   bool has_spare_gaussian_{false};

@@ -1,0 +1,58 @@
+#include "src/common/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tono {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop_(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{mutex_};
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock{mutex_};
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock{mutex_};
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::worker_loop_() {
+  std::unique_lock lock{mutex_};
+  for (;;) {
+    work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    // Drain remaining work even when stopping, so the destructor never
+    // abandons queued tasks.
+    if (queue_.empty()) return;
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --running_;
+    if (queue_.empty() && running_ == 0) idle_.notify_all();
+  }
+}
+
+}  // namespace tono

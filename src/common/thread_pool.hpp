@@ -1,0 +1,51 @@
+// thread_pool.hpp — a small fixed-size worker pool for the sweep engine.
+//
+// Plain std::thread workers draining one mutex-guarded task queue. Nothing
+// clever on purpose: SweepRunner, built on top, guarantees bit-identical
+// results regardless of scheduling, so the pool only has to be correct —
+// throughput is dominated by the trials themselves, not queue overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tono {
+
+class ThreadPool {
+ public:
+  /// `thread_count` 0 → std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t thread_count = 0);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw — capture exceptions inside the
+  /// task (SweepRunner stores them per trial and rethrows on the caller).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop_();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t running_{0};  ///< tasks currently executing
+  bool stop_{false};
+};
+
+}  // namespace tono

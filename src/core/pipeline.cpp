@@ -18,7 +18,8 @@ AcquisitionPipeline::AcquisitionPipeline(const ChipConfig& config)
       array_(config),
       mux_(mux_config_for(config)),
       modulator_(config.modulator),
-      chain_(config.decimation) {
+      chain_(config.decimation),
+      bit_scratch_(config.decimation.total_decimation) {
   // The modulator's reference branch is the chip's reference structure.
   last_capacitance_ = array_.reference_capacitance();
   mux_.note_preswitch_capacitance(last_capacitance_);
@@ -41,6 +42,34 @@ std::optional<dsp::DecimatedSample> AcquisitionPipeline::clock(double contact_pr
   return chain_.push(bit);
 }
 
+dsp::DecimatedSample AcquisitionPipeline::clock_block(double contact_pressure_pa) {
+  const std::size_t n = config_.decimation.total_decimation;
+  if (!mux_.is_settled(time_s_ - last_switch_s_)) {
+    // Mux transient still decaying (only right after select() / reset()):
+    // the per-clock blend matters, so run the frame through the scalar path.
+    // Any `n` consecutive clocks contain exactly one output instant.
+    std::optional<dsp::DecimatedSample> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (auto s = clock(contact_pressure_pa)) out = s;
+    }
+    return *out;
+  }
+  const auto& elem = array_.element(mux_.selected_row(), mux_.selected_col());
+  const double c_target = elem.capacitance(contact_pressure_pa, temperature_k_);
+  // Settled ⇒ observed_capacitance returns c_target bit-for-bit every clock,
+  // so the lookup hoists and the scalar path's last_capacitance_ tracking
+  // collapses to one store.
+  last_capacitance_ = c_target;
+  modulator_.step_capacitive_block(c_target, array_.reference_capacitance(),
+                                   bit_scratch_.data(), n);
+  // Advance time with the same n sequential additions as n scalar clocks:
+  // double addition is order-sensitive, and time_s_ must stay bit-identical
+  // between the scalar and block paths.
+  const double dt = 1.0 / clock_rate_hz();
+  for (std::size_t i = 0; i < n; ++i) time_s_ += dt;
+  return chain_.push_frame({bit_scratch_.data(), n});
+}
+
 std::vector<dsp::DecimatedSample> AcquisitionPipeline::acquire(const ContactField& field,
                                                                std::size_t n_out) {
   const auto& pos = array_.element(mux_.selected_row(), mux_.selected_col()).position();
@@ -59,6 +88,28 @@ std::vector<dsp::DecimatedSample> AcquisitionPipeline::acquire_uniform(
   out.reserve(n_out);
   while (out.size() < n_out) {
     if (auto s = clock(pressure_pa_of_t(time_s_))) out.push_back(*s);
+  }
+  return out;
+}
+
+std::vector<dsp::DecimatedSample> AcquisitionPipeline::acquire_block(const ContactField& field,
+                                                                     std::size_t n_out) {
+  const auto& pos = array_.element(mux_.selected_row(), mux_.selected_col()).position();
+  std::vector<dsp::DecimatedSample> out;
+  out.reserve(n_out);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const double p = field(pos.x_m, pos.y_m, time_s_);
+    out.push_back(clock_block(p));
+  }
+  return out;
+}
+
+std::vector<dsp::DecimatedSample> AcquisitionPipeline::acquire_uniform_block(
+    const std::function<double(double)>& pressure_pa_of_t, std::size_t n_out) {
+  std::vector<dsp::DecimatedSample> out;
+  out.reserve(n_out);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    out.push_back(clock_block(pressure_pa_of_t(time_s_)));
   }
   return out;
 }

@@ -1,0 +1,66 @@
+#include "src/core/sweep_runner.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace tono::core {
+
+SweepRunner::SweepRunner(SweepConfig config) : config_(std::move(config)) {
+  if (config_.threads != 1) pool_ = std::make_unique<ThreadPool>(config_.threads);
+}
+
+Rng SweepRunner::trial_rng(std::size_t trial_index) const {
+  // Re-derived from scratch on every call: the chain touches no shared
+  // mutable state, so concurrent calls from different workers are safe and
+  // the stream depends only on (base_seed, stream_name, trial_index).
+  return Rng{config_.base_seed}
+      .fork_named(config_.stream_name)
+      .fork(static_cast<std::uint64_t>(trial_index));
+}
+
+void SweepRunner::run_indexed_(std::size_t n,
+                               const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  std::vector<std::exception_ptr> errors(n);
+  const std::size_t strands = std::min(thread_count(), n);
+  if (strands <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    // One strand per worker; each pulls the next unclaimed trial index. The
+    // claim order is nondeterministic but harmless: trial i's randomness and
+    // result slot depend only on i.
+    std::atomic<std::size_t> next{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t live = strands;
+    for (std::size_t s = 0; s < strands; ++s) {
+      pool_->submit([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) break;
+          try {
+            body(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+        std::lock_guard lock{done_mutex};
+        if (--live == 0) done_cv.notify_all();
+      });
+    }
+    std::unique_lock lock{done_mutex};
+    done_cv.wait(lock, [&] { return live == 0; });
+  }
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace tono::core

@@ -36,8 +36,12 @@ std::optional<std::int64_t> CicDecimator::push(std::int64_t x) {
                                     static_cast<std::uint64_t>(v));
     v = acc;
   }
-  phase_ = (phase_ + 1) % decimation_;
-  if (phase_ != 0) return std::nullopt;
+  if (++phase_ != decimation_) return std::nullopt;
+  phase_ = 0;
+  return comb_(v);
+}
+
+std::int64_t CicDecimator::comb_(std::int64_t v) noexcept {
   // Comb cascade at output rate.
   for (std::size_t s = 0; s < comb_delays_.size(); ++s) {
     auto& line = comb_delays_[s];

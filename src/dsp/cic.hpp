@@ -7,6 +7,7 @@
 // register width >= input_bits + N*log2(R*M) (checked in the constructor).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -29,6 +30,50 @@ class CicDecimator {
   /// `decimation` samples. Output is the raw (gain-unnormalized) integer.
   [[nodiscard]] std::optional<std::int64_t> push(std::int64_t x);
 
+  /// Block form of push(): feeds `n` samples from `xs`, writing every comb
+  /// output to `out` (caller provides room for (phase + n) / decimation
+  /// values). Bit-identical to n push() calls — the integrators use the same
+  /// modular uint64 arithmetic — but runs them as a tight loop between
+  /// output instants, with the paper's 3rd-order cascade fully unrolled.
+  /// Accepts any integer sample type (the ΔΣ bitstream arrives as int).
+  /// Returns the number of outputs produced.
+  template <typename T>
+  std::size_t push_block(const T* xs, std::size_t n, std::int64_t* out) noexcept {
+    std::size_t produced = 0;
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t run = std::min(n - i, decimation_ - phase_);
+      if (order_ == 3) {
+        std::uint64_t a0 = static_cast<std::uint64_t>(integrators_[0]);
+        std::uint64_t a1 = static_cast<std::uint64_t>(integrators_[1]);
+        std::uint64_t a2 = static_cast<std::uint64_t>(integrators_[2]);
+        for (std::size_t j = 0; j < run; ++j) {
+          a0 += static_cast<std::uint64_t>(static_cast<std::int64_t>(xs[i + j]));
+          a1 += a0;
+          a2 += a1;
+        }
+        integrators_[0] = static_cast<std::int64_t>(a0);
+        integrators_[1] = static_cast<std::int64_t>(a1);
+        integrators_[2] = static_cast<std::int64_t>(a2);
+      } else {
+        for (std::size_t j = 0; j < run; ++j) {
+          std::uint64_t v = static_cast<std::uint64_t>(static_cast<std::int64_t>(xs[i + j]));
+          for (auto& acc : integrators_) {
+            v += static_cast<std::uint64_t>(acc);
+            acc = static_cast<std::int64_t>(v);
+          }
+        }
+      }
+      i += run;
+      phase_ += run;
+      if (phase_ == decimation_) {
+        phase_ = 0;
+        out[produced++] = comb_(integrators_.back());
+      }
+    }
+    return produced;
+  }
+
   [[nodiscard]] std::vector<std::int64_t> process(std::span<const std::int64_t> xs);
 
   void reset();
@@ -48,6 +93,9 @@ class CicDecimator {
   [[nodiscard]] std::size_t decimation() const noexcept { return decimation_; }
 
  private:
+  /// Comb cascade at the output rate; shared by push() and push_block().
+  std::int64_t comb_(std::int64_t v) noexcept;
+
   int order_;
   std::size_t decimation_;
   int differential_delay_;

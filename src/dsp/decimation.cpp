@@ -1,5 +1,6 @@
 #include "src/dsp/decimation.hpp"
 
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -49,7 +50,8 @@ DecimationChain::DecimationChain(const DecimationConfig& config)
            config_.output_bits + kFirGuardBits,
            config_.total_decimation / config_.cic_decimation),
       fir_coeffs_(design_second_stage(config_)),
-      fir_input_bits_(config_.output_bits + kFirGuardBits) {
+      fir_input_bits_(config_.output_bits + kFirGuardBits),
+      cic_scratch_(config_.total_decimation / config_.cic_decimation) {
   // Map the raw CIC output (full scale = ±gain for a ±1 bitstream) onto the
   // FIR's input word so the chain's unity gain lands on the output word's
   // full scale.
@@ -71,21 +73,59 @@ std::optional<DecimatedSample> DecimationChain::push(int modulator_bit) {
   return DecimatedSample{code, dequantize_from_bits(code, config_.output_bits)};
 }
 
+DecimatedSample DecimationChain::push_frame(std::span<const int> bits) {
+  assert(bits.size() == config_.total_decimation);
+  // One frame spans exactly fir_decimation CIC output instants and exactly
+  // one FIR output instant, at any phase alignment: with R = cic_decimation
+  // and phase p, floor((p + R·k)/R) − floor(p/R) = k, and the same argument
+  // applies one stage up.
+  const std::size_t m = cic_.push_block(bits.data(), bits.size(), cic_scratch_.data());
+  DecimatedSample out{};
+#ifndef NDEBUG
+  bool produced = false;
+#endif
+  for (std::size_t j = 0; j < m; ++j) {
+    const double scaled = static_cast<double>(cic_scratch_[j]) * cic_scale_;
+    const auto fir_in = static_cast<std::int64_t>(scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5);
+    const auto fir_out = fir_.push(fir_in);
+    if (!fir_out) continue;
+    const int shift = kFirGuardBits;
+    const std::int64_t half = std::int64_t{1} << (shift - 1);
+    const std::int64_t code = saturate_to_bits((*fir_out + half) >> shift, config_.output_bits);
+    out = DecimatedSample{code, dequantize_from_bits(code, config_.output_bits)};
+#ifndef NDEBUG
+    produced = true;
+#endif
+  }
+  assert(produced);
+  return out;
+}
+
+void DecimationChain::push_block(std::span<const int> bits,
+                                 std::vector<DecimatedSample>& out) {
+  const std::size_t frame = config_.total_decimation;
+  std::size_t i = 0;
+  for (; bits.size() - i >= frame; i += frame) {
+    out.push_back(push_frame(bits.subspan(i, frame)));
+  }
+  // A partial tail can still cross an output instant depending on phase.
+  for (; i < bits.size(); ++i) {
+    if (auto s = push(bits[i])) out.push_back(*s);
+  }
+}
+
 std::vector<DecimatedSample> DecimationChain::process(std::span<const int> bits) {
   std::vector<DecimatedSample> out;
   out.reserve(bits.size() / config_.total_decimation + 1);
-  for (int b : bits) {
-    if (auto s = push(b)) out.push_back(*s);
-  }
+  push_block(bits, out);
   return out;
 }
 
 std::vector<double> DecimationChain::process_values(std::span<const int> bits) {
+  const auto samples = process(bits);
   std::vector<double> out;
-  out.reserve(bits.size() / config_.total_decimation + 1);
-  for (int b : bits) {
-    if (auto s = push(b)) out.push_back(s->value);
-  }
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.value);
   return out;
 }
 

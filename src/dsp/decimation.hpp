@@ -50,7 +50,22 @@ class DecimationChain {
   /// 12-bit sample every `total_decimation` inputs.
   [[nodiscard]] std::optional<DecimatedSample> push(int modulator_bit);
 
-  /// Batch form over a bitstream of ±1 values.
+  /// Feeds exactly one output frame — `total_decimation` consecutive bits —
+  /// and returns the single sample it produces. Any `total_decimation`
+  /// consecutive clocks contain exactly one FIR output instant regardless of
+  /// the chain's current phase, so this works mid-stream too. Bit-identical
+  /// to pushing the bits one at a time, but the CIC integrators run as a
+  /// tight block loop and the FIR only fires at its output instants.
+  /// Precondition (asserted): bits.size() == config().total_decimation.
+  [[nodiscard]] DecimatedSample push_frame(std::span<const int> bits);
+
+  /// Batch form of push() over an arbitrary number of bits: appends every
+  /// produced sample to `out`. Whole frames go through push_frame(); a
+  /// trailing partial frame falls back to per-bit push(). Bit-identical to
+  /// the per-bit loop.
+  void push_block(std::span<const int> bits, std::vector<DecimatedSample>& out);
+
+  /// Batch form over a bitstream of ±1 values (routed through push_block).
   [[nodiscard]] std::vector<DecimatedSample> process(std::span<const int> bits);
 
   /// Batch form returning only normalized values.
@@ -80,6 +95,9 @@ class DecimationChain {
   std::vector<double> fir_coeffs_;
   double cic_scale_;  ///< maps raw CIC output to FIR input word
   int fir_input_bits_;
+  /// Per-frame CIC output scratch for push_frame (total/cic values), kept as
+  /// a member so the hot path never allocates.
+  std::vector<std::int64_t> cic_scratch_;
 };
 
 }  // namespace tono::dsp

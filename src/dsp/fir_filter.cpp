@@ -63,14 +63,23 @@ FixedPointFir::FixedPointFir(std::vector<std::int32_t> coefficient_codes, int co
 
 std::optional<std::int64_t> FixedPointFir::push(std::int64_t x) {
   delay_[write_pos_] = x;
-  write_pos_ = (write_pos_ + 1) % delay_.size();
-  phase_ = (phase_ + 1) % decimation_;
-  if (phase_ != 0) return std::nullopt;
+  if (++write_pos_ == delay_.size()) write_pos_ = 0;
+  if (++phase_ != decimation_) return std::nullopt;
+  phase_ = 0;
+  // Convolve the circular delay line as two contiguous segments instead of
+  // stepping the index modulo per tap: newest sample (just before write_pos_)
+  // pairs with coeffs_[0], walking backwards to the start of the buffer, then
+  // wrapping to the end. Integer addition is associative, so the MAC result is
+  // bit-identical; the contiguous walks let the compiler vectorize.
+  const std::size_t n = delay_.size();
+  const std::size_t newest = write_pos_ == 0 ? n - 1 : write_pos_ - 1;
   std::int64_t acc = 0;
-  std::size_t pos = (write_pos_ + delay_.size() - 1) % delay_.size();
-  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
-    acc += static_cast<std::int64_t>(coeffs_[k]) * delay_[pos];
-    pos = (pos + delay_.size() - 1) % delay_.size();
+  std::size_t k = 0;
+  for (std::size_t pos = newest + 1; pos-- > 0;) {
+    acc += static_cast<std::int64_t>(coeffs_[k++]) * delay_[pos];
+  }
+  for (std::size_t pos = n; pos-- > newest + 1;) {
+    acc += static_cast<std::int64_t>(coeffs_[k++]) * delay_[pos];
   }
   // Shift out the coefficient fraction with rounding, then saturate to the
   // output word — exactly what the FPGA's post-MAC stage does.

@@ -223,5 +223,83 @@ TEST_P(SplitTest, DcDecodes) {
 
 INSTANTIATE_TEST_SUITE_P(CicSplits, SplitTest, ::testing::Values(16u, 32u, 64u, 128u));
 
+TEST(DecimationBlock, ProcessMatchesPerSamplePush) {
+  // process() now routes through the block hot path; it must stay
+  // bit-identical to the naive per-bit loop, including a ragged tail that is
+  // not a multiple of the frame size.
+  for (std::size_t n : {128u * 50u, 128u * 50u + 37u, 100u, 0u}) {
+    DecimationChain block_chain{DecimationConfig{}};
+    DecimationChain scalar_chain{DecimationConfig{}};
+    const auto bits = constant_bitstream(0.3, n);
+    const auto got = block_chain.process(bits);
+    std::vector<DecimatedSample> want;
+    for (int b : bits) {
+      if (auto s = scalar_chain.push(b)) want.push_back(*s);
+    }
+    ASSERT_EQ(got.size(), want.size()) << "n = " << n;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].code, want[i].code) << "n = " << n << " sample " << i;
+      EXPECT_EQ(got[i].value, want[i].value) << "n = " << n << " sample " << i;
+    }
+  }
+}
+
+TEST(DecimationBlock, PushFrameMatchesPushAtAnyPhase) {
+  // push_frame() accepts any 128 consecutive bits, not just aligned frames:
+  // offset the chain by a prime number of scalar pushes first.
+  const auto bits = constant_bitstream(-0.25, 37 + 128 * 20);
+  DecimationChain frame_chain{DecimationConfig{}};
+  DecimationChain scalar_chain{DecimationConfig{}};
+  std::vector<DecimatedSample> got;
+  std::vector<DecimatedSample> want;
+  for (std::size_t i = 0; i < 37; ++i) {
+    if (auto s = frame_chain.push(bits[i])) got.push_back(*s);
+    if (auto s = scalar_chain.push(bits[i])) want.push_back(*s);
+  }
+  for (std::size_t i = 37; i + 128 <= bits.size(); i += 128) {
+    got.push_back(frame_chain.push_frame(std::span{bits}.subspan(i, 128)));
+    for (std::size_t j = i; j < i + 128; ++j) {
+      if (auto s = scalar_chain.push(bits[j])) want.push_back(*s);
+    }
+  }
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].code, want[i].code) << "sample " << i;
+  }
+}
+
+TEST(DecimationBlock, ProcessValuesMatchesProcess) {
+  DecimationChain a{DecimationConfig{}};
+  DecimationChain b{DecimationConfig{}};
+  const auto bits = constant_bitstream(0.1, 128 * 30 + 5);
+  const auto samples = a.process(bits);
+  const auto values = b.process_values(bits);
+  ASSERT_EQ(samples.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], samples[i].value);
+  }
+}
+
+TEST(DecimationBlock, NonDefaultSplitsStayBitExact) {
+  // The frame path's phase argument holds for every CIC/FIR split, including
+  // a degenerate all-CIC chain (FIR decimation 1).
+  for (std::size_t cic_r : {16u, 64u, 128u}) {
+    DecimationConfig cfg;
+    cfg.cic_decimation = cic_r;
+    DecimationChain block_chain{cfg};
+    DecimationChain scalar_chain{cfg};
+    const auto bits = constant_bitstream(0.2, 128 * 25 + 13);
+    const auto got = block_chain.process(bits);
+    std::vector<DecimatedSample> want;
+    for (int b : bits) {
+      if (auto s = scalar_chain.push(b)) want.push_back(*s);
+    }
+    ASSERT_EQ(got.size(), want.size()) << "cic R = " << cic_r;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].code, want[i].code) << "cic R = " << cic_r << " sample " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tono::dsp

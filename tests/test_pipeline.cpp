@@ -140,5 +140,99 @@ TEST(Pipeline, FieldSeesElementCoordinates) {
   EXPECT_GT(mean(rt), mean(lt) + 5.0 / 2048.0);
 }
 
+TEST(PipelineBlock, ClockBlockMatchesScalarBitIdentical) {
+  // The block-mode contract: clock_block() must emit exactly the same sample
+  // sequence — code AND value — as OSR scalar clock() calls, including every
+  // RNG draw, and leave the pipeline in an identical state.
+  AcquisitionPipeline scalar{ChipConfig::paper_chip()};
+  AcquisitionPipeline block{ChipConfig::paper_chip()};
+  const std::size_t osr = scalar.config().decimation.total_decimation;
+  const double p = units::mmhg_to_pa(35.0);
+  for (int frame = 0; frame < 40; ++frame) {
+    std::optional<dsp::DecimatedSample> want;
+    for (std::size_t i = 0; i < osr; ++i) {
+      if (auto s = scalar.clock(p)) want = s;
+    }
+    ASSERT_TRUE(want.has_value());
+    const auto got = block.clock_block(p);
+    ASSERT_EQ(got.code, want->code) << "frame " << frame;
+    ASSERT_EQ(got.value, want->value) << "frame " << frame;
+  }
+  EXPECT_EQ(block.time_s(), scalar.time_s());  // exact: same addition sequence
+}
+
+TEST(PipelineBlock, MatchesScalarAcrossMuxTransient) {
+  // Right after select() the mux transient forces the scalar fallback inside
+  // clock_block(); the sequence must still be bit-identical.
+  AcquisitionPipeline scalar{ChipConfig::paper_chip()};
+  AcquisitionPipeline block{ChipConfig::paper_chip()};
+  const std::size_t osr = scalar.config().decimation.total_decimation;
+  const double p = units::mmhg_to_pa(25.0);
+  auto run_frames = [&](int n_frames) {
+    for (int f = 0; f < n_frames; ++f) {
+      std::optional<dsp::DecimatedSample> want;
+      for (std::size_t i = 0; i < osr; ++i) {
+        if (auto s = scalar.clock(p)) want = s;
+      }
+      const auto got = block.clock_block(p);
+      ASSERT_TRUE(want.has_value());
+      ASSERT_EQ(got.code, want->code);
+      ASSERT_EQ(got.value, want->value);
+    }
+  };
+  run_frames(3);
+  scalar.select(1, 1);
+  block.select(1, 1);
+  run_frames(5);  // first frame lands inside the transient window
+}
+
+TEST(PipelineBlock, BlockMatchesScalarAtArbitraryChainPhase) {
+  // Mix scalar clocks and block frames on one pipeline: 37 scalar clocks
+  // leave the chain mid-frame, after which clock_block() must still return
+  // exactly one sample per call and agree with an all-scalar twin.
+  AcquisitionPipeline scalar{ChipConfig::paper_chip()};
+  AcquisitionPipeline mixed{ChipConfig::paper_chip()};
+  const std::size_t osr = mixed.config().decimation.total_decimation;
+  const double p = units::mmhg_to_pa(15.0);
+  for (std::size_t i = 0; i < 37; ++i) {
+    (void)scalar.clock(p);
+    (void)mixed.clock(p);
+  }
+  for (int frame = 0; frame < 10; ++frame) {
+    std::optional<dsp::DecimatedSample> want;
+    for (std::size_t i = 0; i < osr; ++i) {
+      if (auto s = scalar.clock(p)) want = s;
+    }
+    const auto got = mixed.clock_block(p);
+    ASSERT_TRUE(want.has_value());
+    ASSERT_EQ(got.code, want->code) << "frame " << frame;
+  }
+}
+
+TEST(PipelineBlock, AcquireUniformBlockProducesRequestedCount) {
+  AcquisitionPipeline pipe{ChipConfig::paper_chip()};
+  const auto out =
+      pipe.acquire_uniform_block([](double) { return units::mmhg_to_pa(20.0); }, 100);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_NEAR(pipe.time_s(), 100.0 * 128.0 / 128000.0, 1e-9);
+}
+
+TEST(PipelineBlock, AcquireBlockTracksAcquireClosely) {
+  // acquire_block() holds pressure constant within each output frame, so it
+  // is not bit-identical to acquire() — but for physiological signal rates
+  // (~1 Hz against a 1 kHz frame rate) the two must agree to a few LSB.
+  AcquisitionPipeline a{ChipConfig::paper_chip()};
+  AcquisitionPipeline b{ChipConfig::paper_chip()};
+  auto wave = [](double t) {
+    return units::mmhg_to_pa(20.0 + 10.0 * std::sin(2.0 * std::numbers::pi * 1.2 * t));
+  };
+  const auto sa = a.acquire_uniform(wave, 300);
+  const auto sb = b.acquire_uniform_block(wave, 300);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 50; i < sa.size(); ++i) {
+    EXPECT_NEAR(sa[i].value, sb[i].value, 8.0 / 2048.0) << "sample " << i;
+  }
+}
+
 }  // namespace
 }  // namespace tono::core
