@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/analog/modulator.hpp"
+#include "src/common/metrics.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/sweep_runner.hpp"
 #include "src/dsp/decimation.hpp"
@@ -320,5 +321,12 @@ int main(int argc, char** argv) {
   const char* path = std::getenv("TONO_BENCH_JSON");
   append_trajectory(path != nullptr ? path : "BENCH_perf.json",
                     make_entry_json(reporter.results()));
+  // Registry snapshot alongside the trajectory: the benchmarks above drove
+  // the instrumented hot paths, so this doubles as an end-to-end check that
+  // the counters move under load.
+  metrics::register_standard_instruments();
+  const char* mpath = std::getenv("TONO_BENCH_METRICS");
+  metrics::Registry::global().write_jsonl_file(
+      mpath != nullptr ? mpath : "BENCH_perf.metrics.jsonl");
   return 0;
 }

@@ -5,13 +5,21 @@
 // continuously and report per-beat blood pressure. Demonstrates exactly
 // what a cuff cannot do: a beat-by-beat pressure trend.
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
+#include "src/common/metrics.hpp"
 #include "src/common/table.hpp"
 #include "src/core/monitor.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tono;
+
+  // Optional: --metrics <path> writes the runtime-metrics snapshot as JSONL.
+  std::string metrics_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+  }
 
   core::WristModel wrist;
   wrist.pulse.systolic_mmhg = 125.0;
@@ -81,5 +89,18 @@ int main() {
     wave.add(rep.time_s[i] - t0, rep.waveform_mmhg[i]);
   }
   wave.write_ascii_plot(std::cout, 72, 14);
+
+  // Runtime observability: what the session cost and what the link carried.
+  std::puts("\n== 6. Runtime metrics ==");
+  metrics::register_standard_instruments();
+  metrics::Registry::global().export_table(std::cout);
+  if (!metrics_path.empty()) {
+    if (metrics::Registry::global().write_jsonl_file(metrics_path)) {
+      std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to %s\n", metrics_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "src/common/cli.hpp"
+#include "src/common/metrics.hpp"
 #include "src/common/units.hpp"
 #include "src/core/monitor.hpp"
 #include "src/dsp/spectrum.hpp"
@@ -23,6 +24,21 @@
 namespace {
 
 using namespace tono;
+
+/// Writes a JSONL snapshot of the full instrument catalogue to `path`
+/// (no-op for an empty path). Pre-registering the standard set means the
+/// snapshot covers every subsystem, zero-valued where the run did not
+/// touch it — consumers can rely on the keys being present.
+int write_metrics_snapshot(const std::string& path) {
+  if (path.empty()) return 0;
+  metrics::register_standard_instruments();
+  if (!metrics::Registry::global().write_jsonl_file(path)) {
+    std::cerr << "cannot write metrics to " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote metrics snapshot to " << path << "\n";
+  return 0;
+}
 
 int cmd_monitor(int argc, const char* const* argv) {
   ArgParser args{"tonosim_cli monitor", "run a full monitoring session"};
@@ -33,6 +49,7 @@ int cmd_monitor(int argc, const char* const* argv) {
   args.add_flag("artifacts", "enable motion artefacts");
   args.add_flag("thermal", "enable body-contact thermal drift");
   args.add_string("csv", "write the calibrated waveform to this CSV file", "");
+  args.add_string("metrics", "write a JSONL runtime-metrics snapshot to this file", "");
   if (!args.parse(argc, argv)) {
     std::cerr << (args.help_requested() ? args.help_text() : args.error() + "\n");
     return args.help_requested() ? 0 : 2;
@@ -73,13 +90,14 @@ int cmd_monitor(int argc, const char* const* argv) {
     }
     std::cout << "wrote " << rep.waveform_mmhg.size() << " samples to " << csv << "\n";
   }
-  return 0;
+  return write_metrics_snapshot(args.string_value("metrics"));
 }
 
 int cmd_adc(int argc, const char* const* argv) {
   ArgParser args{"tonosim_cli adc", "single-tone ADC characterization"};
   args.add_double("amp-dbfs", "input amplitude [dBFS]", -2.0);
   args.add_double("freq", "target input frequency [Hz]", 15.625);
+  args.add_string("metrics", "write a JSONL runtime-metrics snapshot to this file", "");
   if (!args.parse(argc, argv)) {
     std::cerr << (args.help_requested() ? args.help_text() : args.error() + "\n");
     return args.help_requested() ? 0 : 2;
@@ -104,7 +122,7 @@ int cmd_adc(int argc, const char* const* argv) {
   std::cout << "f = " << a.fundamental_hz << " Hz @ " << a.fundamental_dbfs
             << " dBFS\nSNR " << a.snr_db << " dB | SNDR " << a.sndr_db << " dB | ENOB "
             << a.enob_bits << " bit | THD " << a.thd_db << " dB\n";
-  return 0;
+  return write_metrics_snapshot(args.string_value("metrics"));
 }
 
 int cmd_membrane(int argc, const char* const* argv) {
@@ -128,6 +146,7 @@ int cmd_localize(int argc, const char* const* argv) {
   ArgParser args{"tonosim_cli localize", "array scan over a displaced artery"};
   args.add_double("offset-mm", "device placement offset [mm]", 0.0);
   args.add_int("cols", "array columns", 8);
+  args.add_string("metrics", "write a JSONL runtime-metrics snapshot to this file", "");
   if (!args.parse(argc, argv)) {
     std::cerr << (args.help_requested() ? args.help_text() : args.error() + "\n");
     return args.help_requested() ? 0 : 2;
@@ -146,7 +165,7 @@ int cmd_localize(int argc, const char* const* argv) {
     std::cout << "col " << e.col << ": " << e.amplitude
               << (e.col == scan.best_col ? "  <= selected" : "") << "\n";
   }
-  return 0;
+  return write_metrics_snapshot(args.string_value("metrics"));
 }
 
 }  // namespace

@@ -6,6 +6,10 @@
 namespace tono {
 
 ThreadPool::ThreadPool(std::size_t thread_count) {
+  auto& reg = metrics::Registry::global();
+  tasks_submitted_ = &reg.counter(metrics::names::kPoolTasksSubmitted);
+  tasks_executed_ = &reg.counter(metrics::names::kPoolTasksExecuted);
+  peak_queue_depth_ = &reg.gauge(metrics::names::kPoolPeakQueueDepth);
   if (thread_count == 0) {
     thread_count = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
   }
@@ -28,7 +32,9 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock{mutex_};
     queue_.push_back(std::move(task));
+    peak_queue_depth_->record_max(static_cast<double>(queue_.size()));
   }
+  tasks_submitted_->add(1);
   work_available_.notify_one();
 }
 
@@ -49,6 +55,7 @@ void ThreadPool::worker_loop_() {
     ++running_;
     lock.unlock();
     task();
+    tasks_executed_->add(1);
     lock.lock();
     --running_;
     if (queue_.empty() && running_ == 0) idle_.notify_all();

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/metrics.hpp"
+
 namespace tono {
 
 class ThreadPool {
@@ -46,6 +48,11 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t running_{0};  ///< tasks currently executing
   bool stop_{false};
+  // Observability (resolved once here; updated lock-free or under the
+  // queue lock already held — see docs/OBSERVABILITY.md).
+  metrics::Counter* tasks_submitted_;
+  metrics::Counter* tasks_executed_;
+  metrics::Gauge* peak_queue_depth_;
 };
 
 }  // namespace tono

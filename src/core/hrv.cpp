@@ -10,7 +10,12 @@ namespace tono::core {
 
 HrvMetrics compute_hrv(std::span<const double> intervals_s) {
   HrvMetrics m;
+  // < 3 intervals would put 0 or 1 successive differences into the RMSSD
+  // denominator below — a silent 0/0 NaN for the single-interval case.
+  // Return all-zero (and valid == false) instead of propagating NaN into
+  // reports and JSON exports.
   if (intervals_s.size() < 3) return m;
+  m.valid = true;
   m.beat_count = intervals_s.size() + 1;
   m.mean_rr_s = mean(intervals_s);
   m.sdnn_s = stddev(intervals_s);

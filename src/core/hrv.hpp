@@ -16,6 +16,9 @@
 namespace tono::core {
 
 struct HrvMetrics {
+  /// False when too few intervals were supplied for the battery to be
+  /// meaningful (< 3); every numeric field is then a finite zero, never NaN.
+  bool valid{false};
   std::size_t beat_count{0};
   double mean_rr_s{0.0};   ///< mean beat interval
   double sdnn_s{0.0};      ///< standard deviation of intervals
@@ -29,8 +32,13 @@ struct HrvMetrics {
   }
 };
 
-/// Computes the metrics from beat intervals [s]. Needs >= 3 intervals;
-/// returns a zeroed struct otherwise.
+/// Computes the metrics from beat intervals [s].
+///
+/// Edge cases are total and finite: fewer than 3 intervals (0, 1 or 2 —
+/// RMSSD needs two successive differences and the Poincaré axes need the
+/// same) return a zeroed struct with valid == false; no field is ever NaN
+/// or infinite. Negative or zero intervals are the caller's bug but still
+/// produce finite output.
 [[nodiscard]] HrvMetrics compute_hrv(std::span<const double> intervals_s);
 
 /// Convenience: intervals from a detector result.

@@ -42,6 +42,34 @@ BloodPressureMonitor::BloodPressureMonitor(const ChipConfig& chip, const WristMo
   arterial_mmhg_ = wrist_.pulse.diastolic_mmhg;
   map_estimate_mmhg_ =
       (wrist_.pulse.systolic_mmhg + 2.0 * wrist_.pulse.diastolic_mmhg) / 3.0;
+  auto& reg = metrics::Registry::global();
+  sessions_metric_ = &reg.counter(metrics::names::kMonitorSessions);
+  beats_metric_ = &reg.counter(metrics::names::kMonitorBeats);
+  quality_rejections_metric_ = &reg.counter(metrics::names::kMonitorQualityRejections);
+  rescans_metric_ = &reg.counter(metrics::names::kMonitorRescans);
+  last_sqi_gauge_ = &reg.gauge(metrics::names::kMonitorLastSqi);
+  session_wall_ = &reg.timer(metrics::names::kMonitorSessionWall);
+}
+
+void BloodPressureMonitor::stream_over_link_(
+    const std::vector<dsp::DecimatedSample>& samples) {
+  // Fig. 3: the decimated words leave the FPGA as framed USB telemetry. The
+  // simulated wire is clean, so this feeds the link instrumentation with the
+  // session's true frame volume (errors stay 0 unless a harness corrupts the
+  // bytes deliberately).
+  // The wire format carries exactly 12-bit words; ablation configs with a
+  // different output width bypass the link rather than faking a narrower code.
+  if (pipeline_.config().decimation.output_bits != 12) return;
+  std::vector<std::int16_t> frame;
+  frame.reserve(kMaxSamplesPerFrame);
+  for (std::size_t i = 0; i < samples.size(); i += kMaxSamplesPerFrame) {
+    frame.clear();
+    const std::size_t end = std::min(samples.size(), i + kMaxSamplesPerFrame);
+    for (std::size_t j = i; j < end; ++j) {
+      frame.push_back(static_cast<std::int16_t>(samples[j].code));
+    }
+    (void)link_decoder_.push(link_encoder_.encode(frame));
+  }
 }
 
 void BloodPressureMonitor::advance_to(double t_s) {
@@ -126,6 +154,7 @@ bio::CuffReading BloodPressureMonitor::calibrate(double window_s,
     qc.detector = det;
     const auto quality = SignalQualityAssessor{qc}.assess(values);
     if (!quality.usable) {
+      quality_rejections_metric_->add(1);
       throw std::runtime_error{
           "BloodPressureMonitor: calibration window has no usable pulse signal (SQI " +
           std::to_string(quality.sqi) + ")"};
@@ -140,12 +169,15 @@ bio::CuffReading BloodPressureMonitor::calibrate(double window_s,
 }
 
 MonitoringReport BloodPressureMonitor::monitor(double duration_s) {
+  metrics::TraceSpan span{*session_wall_};
+  sessions_metric_->add(1);
   MonitoringReport report;
   const double fs_out = pipeline_.output_rate_hz();
   const auto n = static_cast<std::size_t>(duration_s * fs_out);
   const double t_start = pipeline_.time_s();
 
   const auto samples = pipeline_.acquire(contact_field(), n);
+  stream_over_link_(samples);
   std::vector<double> values;
   values.reserve(samples.size());
   for (const auto& s : samples) values.push_back(s.value);
@@ -163,6 +195,8 @@ MonitoringReport BloodPressureMonitor::monitor(double duration_s) {
   QualityConfig qc;
   qc.detector = det;
   report.quality = SignalQualityAssessor{qc}.assess(report.waveform_mmhg);
+  beats_metric_->add(report.beats.beats.size());
+  last_sqi_gauge_->set(report.quality.sqi);
   report.pulse_wave =
       PulseWaveAnalyzer{fs_out}.analyze(report.waveform_mmhg, report.beats, t_start);
 
@@ -205,12 +239,14 @@ BloodPressureMonitor::AdaptiveReport BloodPressureMonitor::monitor_adaptive(
     auto rep = monitor(chunk);
     report.chunk_sqi.push_back(rep.quality.sqi);
     const bool degraded = !rep.quality.usable;
+    if (degraded) quality_rejections_metric_->add(1);
     report.chunks.push_back(std::move(rep));
     remaining -= chunk;
     if (degraded && report.rescans < config.max_rescans) {
       // Re-acquire the strongest element; the signal may have moved.
       (void)ScanController{config.scan}.scan(pipeline_, contact_field());
       ++report.rescans;
+      rescans_metric_->add(1);
     }
   }
   return report;

@@ -17,11 +17,13 @@
 #include "src/bio/pulse_generator.hpp"
 #include "src/bio/scenario.hpp"
 #include "src/bio/tissue.hpp"
+#include "src/common/metrics.hpp"
 #include "src/core/calibration.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/pwa.hpp"
 #include "src/core/quality.hpp"
 #include "src/core/scan.hpp"
+#include "src/core/telemetry.hpp"
 
 namespace tono::core {
 
@@ -116,6 +118,13 @@ class BloodPressureMonitor {
   /// The contact field the chip sees (exposed for benches/tests).
   [[nodiscard]] ContactField contact_field();
 
+  /// Link statistics of the simulated FPGA→host connection every monitor()
+  /// call streams its 12-bit codes through (Fig. 3: decimation filter →
+  /// USB → computer).
+  [[nodiscard]] const LinkStats& link_stats() const noexcept {
+    return link_decoder_.stats();
+  }
+
   [[nodiscard]] AcquisitionPipeline& pipeline() noexcept { return pipeline_; }
   [[nodiscard]] const TwoPointCalibration& calibration() const noexcept {
     return calibration_;
@@ -126,6 +135,10 @@ class BloodPressureMonitor {
  private:
   /// Arterial pressure and artefacts advanced to pipeline time.
   void advance_to(double t_s);
+
+  /// Runs the acquired 12-bit codes over the simulated FPGA→host frame
+  /// protocol, feeding the telemetry instrumentation.
+  void stream_over_link_(const std::vector<dsp::DecimatedSample>& samples);
 
   ChipConfig chip_;
   WristModel wrist_;
@@ -140,6 +153,16 @@ class BloodPressureMonitor {
   double artifact_mmhg_{0.0};
   double map_estimate_mmhg_{0.0};
   double last_scenario_apply_s_{-1.0};
+  // Simulated FPGA→host link (Fig. 3); exercised once per monitor() call.
+  FrameEncoder link_encoder_;
+  FrameDecoder link_decoder_;
+  // Observability (resolved once at construction; session-rate updates).
+  metrics::Counter* sessions_metric_;
+  metrics::Counter* beats_metric_;
+  metrics::Counter* quality_rejections_metric_;
+  metrics::Counter* rescans_metric_;
+  metrics::Gauge* last_sqi_gauge_;
+  metrics::Timer* session_wall_;
 };
 
 }  // namespace tono::core

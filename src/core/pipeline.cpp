@@ -23,6 +23,22 @@ AcquisitionPipeline::AcquisitionPipeline(const ChipConfig& config)
   // The modulator's reference branch is the chip's reference structure.
   last_capacitance_ = array_.reference_capacitance();
   mux_.note_preswitch_capacitance(last_capacitance_);
+  auto& reg = metrics::Registry::global();
+  frames_metric_ = &reg.counter(metrics::names::kPipelineFrames);
+  frames_block_metric_ = &reg.counter(metrics::names::kPipelineFramesBlock);
+  frames_scalar_metric_ = &reg.counter(metrics::names::kPipelineFramesScalar);
+  mux_fallbacks_metric_ = &reg.counter(metrics::names::kPipelineMuxFallbacks);
+  peak_state1_gauge_ = &reg.gauge(metrics::names::kModulatorPeakState1V);
+  peak_state2_gauge_ = &reg.gauge(metrics::names::kModulatorPeakState2V);
+  clip_count_gauge_ = &reg.gauge(metrics::names::kModulatorClipCount);
+}
+
+void AcquisitionPipeline::record_frame_(bool block_path) {
+  frames_metric_->add(1);
+  (block_path ? frames_block_metric_ : frames_scalar_metric_)->add(1);
+  peak_state1_gauge_->record_max(modulator_.max_state1_v());
+  peak_state2_gauge_->record_max(modulator_.max_state2_v());
+  clip_count_gauge_->record_max(static_cast<double>(modulator_.clip_count()));
 }
 
 void AcquisitionPipeline::select(std::size_t row, std::size_t col) {
@@ -39,7 +55,9 @@ std::optional<dsp::DecimatedSample> AcquisitionPipeline::clock(double contact_pr
   last_capacitance_ = c_seen;
   const int bit = modulator_.step_capacitive(c_seen, array_.reference_capacitance());
   time_s_ += 1.0 / clock_rate_hz();
-  return chain_.push(bit);
+  auto sample = chain_.push(bit);
+  if (sample) record_frame_(/*block_path=*/false);
+  return sample;
 }
 
 dsp::DecimatedSample AcquisitionPipeline::clock_block(double contact_pressure_pa) {
@@ -52,6 +70,7 @@ dsp::DecimatedSample AcquisitionPipeline::clock_block(double contact_pressure_pa
     for (std::size_t i = 0; i < n; ++i) {
       if (auto s = clock(contact_pressure_pa)) out = s;
     }
+    mux_fallbacks_metric_->add(1);  // the frame itself was counted by clock()
     return *out;
   }
   const auto& elem = array_.element(mux_.selected_row(), mux_.selected_col());
@@ -67,7 +86,9 @@ dsp::DecimatedSample AcquisitionPipeline::clock_block(double contact_pressure_pa
   // between the scalar and block paths.
   const double dt = 1.0 / clock_rate_hz();
   for (std::size_t i = 0; i < n; ++i) time_s_ += dt;
-  return chain_.push_frame({bit_scratch_.data(), n});
+  const auto sample = chain_.push_frame({bit_scratch_.data(), n});
+  record_frame_(/*block_path=*/true);
+  return sample;
 }
 
 std::vector<dsp::DecimatedSample> AcquisitionPipeline::acquire(const ContactField& field,

@@ -15,6 +15,7 @@
 
 #include "src/analog/modulator.hpp"
 #include "src/analog/mux.hpp"
+#include "src/common/metrics.hpp"
 #include "src/core/sensor_array.hpp"
 #include "src/dsp/decimation.hpp"
 
@@ -98,6 +99,11 @@ class AcquisitionPipeline {
   [[nodiscard]] const ChipConfig& config() const noexcept { return config_; }
 
  private:
+  /// Frame-rate (1 kHz) instrumentation hook: counts the produced frame and
+  /// publishes the modulator's saturation telemetry as gauges. Never called
+  /// from the 128 kHz clock loop itself — only when a sample emerges.
+  void record_frame_(bool block_path);
+
   ChipConfig config_;
   SensorArray array_;
   analog::AnalogMux mux_;
@@ -108,6 +114,16 @@ class AcquisitionPipeline {
   double last_capacitance_{0.0};
   double temperature_k_{300.0};
   std::vector<int> bit_scratch_;  ///< per-frame modulator bits for clock_block
+  // Observability (resolved once at construction; lock-free updates at
+  // frame rate). Shared across pipeline instances: the gauges aggregate as
+  // process-wide peaks.
+  metrics::Counter* frames_metric_;
+  metrics::Counter* frames_block_metric_;
+  metrics::Counter* frames_scalar_metric_;
+  metrics::Counter* mux_fallbacks_metric_;
+  metrics::Gauge* peak_state1_gauge_;
+  metrics::Gauge* peak_state2_gauge_;
+  metrics::Gauge* clip_count_gauge_;
 };
 
 }  // namespace tono::core

@@ -82,7 +82,10 @@ QualityReport SignalQualityAssessor::assess(std::span<const double> window) cons
 
   // Pulse significance: a real pulse towers over the waveform's sample-to-
   // sample noise; detections locked onto filtered converter noise do not.
-  {
+  // The size() - 1 denominator underflows (wraps to SIZE_MAX) for a
+  // single-sample window; min_beats normally screens those out, but the
+  // guard keeps the division total for any caller.
+  if (window.size() >= 2) {
     double diff_acc = 0.0;
     for (std::size_t i = 1; i < window.size(); ++i) {
       const double d = window[i] - window[i - 1];

@@ -61,6 +61,10 @@ class SignalQualityAssessor {
  public:
   explicit SignalQualityAssessor(const QualityConfig& config = {});
 
+  /// Assesses one waveform window. Total over all inputs: empty and
+  /// single-sample windows return a finite all-zero report (usable ==
+  /// false), never NaN — degenerate windows are exactly where an unattended
+  /// monitor needs a trustworthy "not usable" verdict.
   [[nodiscard]] QualityReport assess(std::span<const double> window) const;
 
   [[nodiscard]] const QualityConfig& config() const noexcept { return config_; }

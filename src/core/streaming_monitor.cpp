@@ -31,6 +31,9 @@ StreamingMonitor::StreamingMonitor(const StreamingConfig& config) : config_(conf
   hop_samples_ = static_cast<std::size_t>(config_.hop_s * config_.sample_rate_hz);
   buffer_.reserve(window_samples_);
   alarm_states_.assign(6, AlarmState{});
+  auto& reg = metrics::Registry::global();
+  alarms_raised_metric_ = &reg.counter(metrics::names::kMonitorAlarmsRaised);
+  alarm_latency_gauge_ = &reg.gauge(metrics::names::kMonitorAlarmLatencyS);
   config_.detector.sample_rate_hz = config_.sample_rate_hz;
   config_.quality.detector = config_.detector;
 }
@@ -90,10 +93,15 @@ void StreamingMonitor::check_limit(AlarmKind kind, double value, double low, dou
                              : value > high;
   if (violating) {
     state.recoveries = 0;
-    if (!state.active && ++state.violations >= config_.limits.confirm_beats) {
-      state.active = true;
-      state.violations = 0;
-      if (alarm_cb_) alarm_cb_(AlarmEvent{kind, true, time_s, value});
+    if (!state.active) {
+      if (state.violations == 0) state.first_violation_s = time_s;
+      if (++state.violations >= config_.limits.confirm_beats) {
+        state.active = true;
+        state.violations = 0;
+        alarms_raised_metric_->add(1);
+        alarm_latency_gauge_->set(time_s - state.first_violation_s);
+        if (alarm_cb_) alarm_cb_(AlarmEvent{kind, true, time_s, value});
+      }
     }
   } else {
     state.violations = 0;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.hpp"
 #include "src/core/beat_detection.hpp"
 #include "src/core/quality.hpp"
 
@@ -110,8 +111,15 @@ class StreamingMonitor {
     std::size_t violations{0};
     std::size_t recoveries{0};
     bool active{false};
+    /// Time of the first beat in the current violation run; the raise
+    /// latency (alarm time − first violating beat) is published as a gauge.
+    double first_violation_s{0.0};
   };
   std::vector<AlarmState> alarm_states_;  // indexed by AlarmKind
+
+  // Observability (resolved once at construction; beat-rate updates).
+  metrics::Counter* alarms_raised_metric_;
+  metrics::Gauge* alarm_latency_gauge_;
 };
 
 }  // namespace tono::core

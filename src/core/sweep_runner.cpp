@@ -8,6 +8,14 @@ namespace tono::core {
 
 SweepRunner::SweepRunner(SweepConfig config) : config_(std::move(config)) {
   if (config_.threads != 1) pool_ = std::make_unique<ThreadPool>(config_.threads);
+  auto& reg = metrics::Registry::global();
+  runs_metric_ = &reg.counter(metrics::names::kSweepRuns);
+  trials_metric_ = &reg.counter(metrics::names::kSweepTrials);
+  static constexpr double kStrandBounds[] = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
+                                             64.0, 128.0, 256.0, 1024.0};
+  trials_per_strand_ = &reg.histogram(metrics::names::kSweepTrialsPerStrand, kStrandBounds);
+  run_wall_ = &reg.timer(metrics::names::kSweepRunWall);
+  threads_gauge_ = &reg.gauge(metrics::names::kSweepThreads);
 }
 
 Rng SweepRunner::trial_rng(std::size_t trial_index) const {
@@ -22,6 +30,10 @@ Rng SweepRunner::trial_rng(std::size_t trial_index) const {
 void SweepRunner::run_indexed_(std::size_t n,
                                const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  runs_metric_->add(1);
+  trials_metric_->add(n);
+  threads_gauge_->set(static_cast<double>(thread_count()));
+  metrics::TraceSpan span{*run_wall_};
   std::vector<std::exception_ptr> errors(n);
   const std::size_t strands = std::min(thread_count(), n);
   if (strands <= 1) {
@@ -32,6 +44,7 @@ void SweepRunner::run_indexed_(std::size_t n,
         errors[i] = std::current_exception();
       }
     }
+    trials_per_strand_->observe(static_cast<double>(n));
   } else {
     // One strand per worker; each pulls the next unclaimed trial index. The
     // claim order is nondeterministic but harmless: trial i's randomness and
@@ -42,15 +55,18 @@ void SweepRunner::run_indexed_(std::size_t n,
     std::size_t live = strands;
     for (std::size_t s = 0; s < strands; ++s) {
       pool_->submit([&] {
+        std::size_t claimed = 0;
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= n) break;
+          ++claimed;
           try {
             body(i);
           } catch (...) {
             errors[i] = std::current_exception();
           }
         }
+        trials_per_strand_->observe(static_cast<double>(claimed));
         std::lock_guard lock{done_mutex};
         if (--live == 0) done_cv.notify_all();
       });

@@ -26,6 +26,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/common/metrics.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/thread_pool.hpp"
 
@@ -102,6 +103,13 @@ class SweepRunner {
 
   SweepConfig config_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when threads == 1
+  // Observability (resolved once at construction; updated at sweep/strand
+  // granularity only, never inside a trial).
+  metrics::Counter* runs_metric_;
+  metrics::Counter* trials_metric_;
+  metrics::Histogram* trials_per_strand_;
+  metrics::Timer* run_wall_;
+  metrics::Gauge* threads_gauge_;
 };
 
 }  // namespace tono::core

@@ -70,6 +70,14 @@ std::vector<std::uint8_t> FrameEncoder::encode(std::span<const std::int16_t> sam
   return frame;
 }
 
+FrameDecoder::FrameDecoder() {
+  auto& reg = metrics::Registry::global();
+  frames_ok_metric_ = &reg.counter(metrics::names::kTelemetryFramesOk);
+  crc_errors_metric_ = &reg.counter(metrics::names::kTelemetryCrcErrors);
+  resyncs_metric_ = &reg.counter(metrics::names::kTelemetryResyncs);
+  lost_frames_metric_ = &reg.counter(metrics::names::kTelemetryLostFrames);
+}
+
 std::size_t FrameDecoder::try_parse_at(std::size_t offset,
                                        std::optional<DecodedFrame>& out) {
   out.reset();
@@ -78,12 +86,14 @@ std::size_t FrameDecoder::try_parse_at(std::size_t offset,
   if (avail < 2) return 0;
   if (p[0] != kFrameSync0 || p[1] != kFrameSync1) {
     ++stats_.resyncs;
+    resyncs_metric_->add(1);
     return 1;  // skip one byte, hunt for sync
   }
   if (avail < kHeaderBytes) return 0;
   const std::size_t n = p[5];
   if (n == 0 || n > kMaxSamplesPerFrame || p[2] != kProtocolVersion) {
     ++stats_.resyncs;
+    resyncs_metric_->add(1);
     return 1;  // implausible header: treat as noise
   }
   const std::size_t total = kHeaderBytes + payload_bytes(n) + kCrcBytes;
@@ -95,6 +105,7 @@ std::size_t FrameDecoder::try_parse_at(std::size_t offset,
       crc16_ccitt(std::span<const std::uint8_t>{p + 2, total - 2 - kCrcBytes});
   if (wire_crc != calc_crc) {
     ++stats_.crc_errors;
+    crc_errors_metric_->add(1);
     return 1;  // corrupt: resync from the next byte
   }
 
@@ -120,11 +131,14 @@ std::size_t FrameDecoder::try_parse_at(std::size_t offset,
   if (last_sequence_) {
     const std::uint16_t expected = static_cast<std::uint16_t>(*last_sequence_ + 1);
     if (frame.sequence != expected) {
-      stats_.lost_frames += static_cast<std::uint16_t>(frame.sequence - expected);
+      const auto gap = static_cast<std::uint16_t>(frame.sequence - expected);
+      stats_.lost_frames += gap;
+      lost_frames_metric_->add(gap);
     }
   }
   last_sequence_ = frame.sequence;
   ++stats_.frames_ok;
+  frames_ok_metric_->add(1);
   out = std::move(frame);
   return total;
 }

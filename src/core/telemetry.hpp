@@ -23,6 +23,8 @@
 #include <span>
 #include <vector>
 
+#include "src/common/metrics.hpp"
+
 namespace tono::core {
 
 inline constexpr std::uint8_t kFrameSync0 = 0xA5;
@@ -59,9 +61,14 @@ struct LinkStats {
   std::size_t lost_frames{0};    ///< inferred from sequence gaps
 };
 
-/// Streaming decoder; feed arbitrary byte chunks, collect frames.
+/// Streaming decoder; feed arbitrary byte chunks, collect frames. The
+/// per-decoder LinkStats are mirrored into the process-wide metrics registry
+/// (telemetry.* counters aggregate across decoder instances); reset() clears
+/// only the per-decoder view.
 class FrameDecoder {
  public:
+  FrameDecoder();
+
   /// Consumes a chunk; returns frames completed within it.
   [[nodiscard]] std::vector<DecodedFrame> push(std::span<const std::uint8_t> bytes);
 
@@ -77,6 +84,11 @@ class FrameDecoder {
   std::vector<std::uint8_t> buffer_;
   LinkStats stats_;
   std::optional<std::uint16_t> last_sequence_;
+  // Registry mirrors of LinkStats (resolved once at construction).
+  metrics::Counter* frames_ok_metric_;
+  metrics::Counter* crc_errors_metric_;
+  metrics::Counter* resyncs_metric_;
+  metrics::Counter* lost_frames_metric_;
 };
 
 }  // namespace tono::core

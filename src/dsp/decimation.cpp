@@ -57,6 +57,20 @@ DecimationChain::DecimationChain(const DecimationConfig& config)
   // full scale.
   const double full_scale = static_cast<double>(std::int64_t{1} << (fir_input_bits_ - 1));
   cic_scale_ = full_scale / static_cast<double>(cic_.gain());
+  auto& reg = metrics::Registry::global();
+  samples_metric_ = &reg.counter(metrics::names::kDecimationSamples);
+  saturations_metric_ = &reg.counter(metrics::names::kDecimationFirSaturations);
+}
+
+DecimatedSample DecimationChain::finalize_output_(std::int64_t fir_out) {
+  // Round the guard bits away and saturate into the final output word.
+  const int shift = kFirGuardBits;
+  const std::int64_t half = std::int64_t{1} << (shift - 1);
+  const std::int64_t raw = (fir_out + half) >> shift;
+  const std::int64_t code = saturate_to_bits(raw, config_.output_bits);
+  samples_metric_->add(1);
+  if (code != raw) saturations_metric_->add(1);
+  return DecimatedSample{code, dequantize_from_bits(code, config_.output_bits)};
 }
 
 std::optional<DecimatedSample> DecimationChain::push(int modulator_bit) {
@@ -66,11 +80,7 @@ std::optional<DecimatedSample> DecimationChain::push(int modulator_bit) {
   const auto fir_in = static_cast<std::int64_t>(scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5);
   const auto fir_out = fir_.push(fir_in);
   if (!fir_out) return std::nullopt;
-  // Round the guard bits away and saturate into the final output word.
-  const int shift = kFirGuardBits;
-  const std::int64_t half = std::int64_t{1} << (shift - 1);
-  const std::int64_t code = saturate_to_bits((*fir_out + half) >> shift, config_.output_bits);
-  return DecimatedSample{code, dequantize_from_bits(code, config_.output_bits)};
+  return finalize_output_(*fir_out);
 }
 
 DecimatedSample DecimationChain::push_frame(std::span<const int> bits) {
@@ -89,10 +99,7 @@ DecimatedSample DecimationChain::push_frame(std::span<const int> bits) {
     const auto fir_in = static_cast<std::int64_t>(scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5);
     const auto fir_out = fir_.push(fir_in);
     if (!fir_out) continue;
-    const int shift = kFirGuardBits;
-    const std::int64_t half = std::int64_t{1} << (shift - 1);
-    const std::int64_t code = saturate_to_bits((*fir_out + half) >> shift, config_.output_bits);
-    out = DecimatedSample{code, dequantize_from_bits(code, config_.output_bits)};
+    out = finalize_output_(*fir_out);
 #ifndef NDEBUG
     produced = true;
 #endif

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/metrics.hpp"
 #include "src/dsp/cic.hpp"
 #include "src/dsp/fir_filter.hpp"
 
@@ -89,6 +90,10 @@ class DecimationChain {
   }
 
  private:
+  /// Rounds/saturates a raw FIR word into the output sample and records the
+  /// output-rate (1 kHz) instrumentation: samples produced and saturations.
+  [[nodiscard]] DecimatedSample finalize_output_(std::int64_t fir_out);
+
   DecimationConfig config_;
   CicDecimator cic_;
   FixedPointFir fir_;
@@ -98,6 +103,10 @@ class DecimationChain {
   /// Per-frame CIC output scratch for push_frame (total/cic values), kept as
   /// a member so the hot path never allocates.
   std::vector<std::int64_t> cic_scratch_;
+  // Observability (resolved once at construction; updated at the 1 kHz
+  // output rate only, never per input bit).
+  metrics::Counter* samples_metric_;
+  metrics::Counter* saturations_metric_;
 };
 
 }  // namespace tono::dsp

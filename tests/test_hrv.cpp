@@ -46,6 +46,29 @@ TEST(Hrv, TooFewIntervalsZeroed) {
   const std::vector<double> rr{0.8, 0.82};
   const auto m = compute_hrv(rr);
   EXPECT_EQ(m.beat_count, 0u);
+  EXPECT_FALSE(m.valid);
+}
+
+TEST(Hrv, DegenerateInputsStayFiniteAndInvalid) {
+  // 0, 1 and 2 intervals: the single-interval case would hit a 0/0 RMSSD
+  // denominator without the guard. Every field must come back a finite zero
+  // with valid == false — never NaN, which would poison downstream reports.
+  for (const auto& rr : {std::vector<double>{}, std::vector<double>{0.8},
+                         std::vector<double>{0.8, 0.82}}) {
+    const auto m = compute_hrv(rr);
+    EXPECT_FALSE(m.valid) << rr.size();
+    EXPECT_EQ(m.beat_count, 0u) << rr.size();
+    for (double v : {m.mean_rr_s, m.sdnn_s, m.rmssd_s, m.pnn50, m.sd1_s, m.sd2_s,
+                     m.cv()}) {
+      EXPECT_TRUE(std::isfinite(v)) << rr.size();
+      EXPECT_DOUBLE_EQ(v, 0.0) << rr.size();
+    }
+  }
+  // The threshold case: 3 intervals is the smallest valid battery.
+  const auto m = compute_hrv(std::vector<double>{0.8, 0.82, 0.79});
+  EXPECT_TRUE(m.valid);
+  EXPECT_EQ(m.beat_count, 4u);
+  EXPECT_TRUE(std::isfinite(m.rmssd_s));
 }
 
 TEST(Hrv, PoincareIdentity) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "src/bio/artifacts.hpp"
@@ -43,6 +44,25 @@ TEST(SignalQuality, EmptyWindowZero) {
   const auto rep = q.assess({});
   EXPECT_DOUBLE_EQ(rep.sqi, 0.0);
   EXPECT_FALSE(rep.usable);
+}
+
+TEST(SignalQuality, TinyWindowsFiniteAndUnusable) {
+  // 1- and 2-sample windows: the pulse-SNR denominator (size − 1) would
+  // wrap to SIZE_MAX for a single sample without its guard. Reports must
+  // stay finite and unusable, even with min_beats lowered to force the
+  // later scoring stages to run on whatever the detector returns.
+  QualityConfig cfg;
+  cfg.min_beats = 1;
+  SignalQualityAssessor q{cfg};
+  for (const auto& window :
+       {std::vector<double>{95.0}, std::vector<double>{95.0, 96.0}}) {
+    const auto rep = q.assess(window);
+    EXPECT_FALSE(rep.usable) << window.size();
+    for (double v : {rep.sqi, rep.interval_cv, rep.amplitude_cv,
+                     rep.artifact_fraction, rep.pulse_snr, rep.shape_consistency}) {
+      EXPECT_TRUE(std::isfinite(v)) << window.size();
+    }
+  }
 }
 
 TEST(SignalQuality, SpikesLowerTheIndex) {

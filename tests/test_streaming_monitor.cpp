@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/bio/pulse_generator.hpp"
+#include "src/common/metrics.hpp"
 #include "src/common/rng.hpp"
 #include "src/bio/scenario.hpp"
 
@@ -75,6 +76,8 @@ TEST(StreamingMonitor, HypotensionRaisesAndClears) {
   StreamingMonitor mon{StreamingConfig{}};
   std::vector<AlarmEvent> alarms;
   mon.on_alarm([&](const AlarmEvent& a) { alarms.push_back(a); });
+  auto& reg = metrics::Registry::global();
+  const auto raised0 = reg.counter(metrics::names::kMonitorAlarmsRaised).value();
   for (int i = 0; i < 90 * 1000; ++i) {
     const double t = i / 1000.0;
     if (i % 100 == 0) crash.apply(gen, t);
@@ -102,6 +105,13 @@ TEST(StreamingMonitor, HypotensionRaisesAndClears) {
   }
   EXPECT_TRUE(cleared);
   EXPECT_FALSE(mon.alarm_active(AlarmKind::kSystolicLow));
+  // The raise must also surface in the observability layer: at least one
+  // alarm counted and a positive confirmation latency (confirm_beats = 3
+  // spans roughly two beat intervals at these rates).
+  EXPECT_GE(reg.counter(metrics::names::kMonitorAlarmsRaised).value() - raised0, 1u);
+  const double latency = reg.gauge(metrics::names::kMonitorAlarmLatencyS).value();
+  EXPECT_GT(latency, 0.0);
+  EXPECT_LT(latency, 10.0);
 }
 
 TEST(StreamingMonitor, ConfirmationSuppressesSingleOutlierBeat) {

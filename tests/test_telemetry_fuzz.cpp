@@ -1,0 +1,187 @@
+// Property/fuzz tests for the FPGA→host frame protocol decoder: randomized
+// garbage between frames, truncated frames, single-bit CRC corruption and
+// sequence-number wrap. Every scenario checks the decoder's LinkStats
+// against ground truth computed by the harness — the decoder must never
+// hand a corrupt frame to the application, and its loss accounting must be
+// exact, because the monitor's trust in the waveform rests on it.
+#include "src/core/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace tono::core {
+namespace {
+
+std::vector<std::int16_t> random_samples(Rng& rng, std::size_t n) {
+  std::vector<std::int16_t> v(n);
+  for (auto& s : v) {
+    s = static_cast<std::int16_t>(static_cast<std::int64_t>(rng.uniform_below(4096)) - 2048);
+  }
+  return v;
+}
+
+/// Feeds `wire` to `dec` in random-sized chunks (1..max_chunk bytes); the
+/// decoder must be insensitive to how the byte stream is fragmented.
+std::vector<DecodedFrame> push_chunked(FrameDecoder& dec,
+                                       const std::vector<std::uint8_t>& wire, Rng& rng,
+                                       std::size_t max_chunk = 17) {
+  std::vector<DecodedFrame> out;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const std::size_t n =
+        std::min(wire.size() - pos, 1 + rng.uniform_below(max_chunk));
+    auto frames = dec.push(
+        std::span<const std::uint8_t>{wire.data() + pos, n});
+    for (auto& f : frames) out.push_back(std::move(f));
+    pos += n;
+  }
+  return out;
+}
+
+TEST(TelemetryFuzz, GarbageBetweenFramesIsSkippedExactly) {
+  Rng rng{0xF00DBEEF};
+  FrameEncoder enc;
+  FrameDecoder dec;
+
+  constexpr std::size_t kFrames = 60;
+  std::vector<std::vector<std::int16_t>> sent;
+  std::vector<std::uint8_t> wire;
+  std::size_t garbage_bytes = 0;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    // Garbage before each frame. Bytes equal to the first sync byte could
+    // legitimately cost extra resync steps (a false sync takes a header
+    // check), so exclude 0xA5 to keep the expected count exact.
+    const std::size_t g = rng.uniform_below(12);
+    for (std::size_t k = 0; k < g; ++k) {
+      std::uint8_t b;
+      do {
+        b = static_cast<std::uint8_t>(rng.uniform_below(256));
+      } while (b == kFrameSync0);
+      wire.push_back(b);
+      ++garbage_bytes;
+    }
+    sent.push_back(random_samples(rng, 1 + rng.uniform_below(kMaxSamplesPerFrame)));
+    const auto frame = enc.encode(sent.back());
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+
+  const auto frames = push_chunked(dec, wire, rng);
+  ASSERT_EQ(frames.size(), kFrames);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(frames[i].samples, sent[i]) << i;
+    EXPECT_EQ(frames[i].sequence, static_cast<std::uint16_t>(i)) << i;
+  }
+  EXPECT_EQ(dec.stats().frames_ok, kFrames);
+  EXPECT_EQ(dec.stats().resyncs, garbage_bytes);
+  EXPECT_EQ(dec.stats().crc_errors, 0u);
+  EXPECT_EQ(dec.stats().lost_frames, 0u);
+}
+
+TEST(TelemetryFuzz, SingleBitFlipsNeverDecodeTheCorruptFrame) {
+  Rng rng{0xBADC0DE5};
+  // 40 independent scenarios: 3 frames, one random bit of the middle frame
+  // flipped. The corrupted frame must never reach the application; the two
+  // good frames must decode exactly; the middle frame is accounted as lost.
+  for (int scenario = 0; scenario < 40; ++scenario) {
+    FrameEncoder enc;
+    FrameDecoder dec;
+    const auto a = random_samples(rng, 1 + rng.uniform_below(40));
+    const auto b = random_samples(rng, 1 + rng.uniform_below(40));
+    const auto c = random_samples(rng, 1 + rng.uniform_below(40));
+    std::vector<std::uint8_t> wire;
+    const auto fa = enc.encode(a);
+    auto fb = enc.encode(b);
+    const auto fc = enc.encode(c);
+    const std::size_t bit = rng.uniform_below(fb.size() * 8);
+    fb[bit / 8] = static_cast<std::uint8_t>(fb[bit / 8] ^ (1u << (bit % 8)));
+    wire.insert(wire.end(), fa.begin(), fa.end());
+    wire.insert(wire.end(), fb.begin(), fb.end());
+    wire.insert(wire.end(), fc.begin(), fc.end());
+    // A flip inside the header can fabricate a frame that claims more
+    // payload than the stream holds, stalling the parse at end-of-stream.
+    // A real link keeps talking; emulate that with trailing idle bytes so
+    // the false frame resolves (CRC fail) instead of waiting forever.
+    wire.insert(wire.end(), 128, 0x00);
+
+    const auto frames = push_chunked(dec, wire, rng);
+    // Frame b must never appear with corrupted payload: every decoded frame
+    // must equal one of the originals (a or c always; b only if the flip
+    // landed in garbage-tolerant padding bits, which CRC coverage rules out
+    // entirely — the CRC covers everything after the sync word, and a sync
+    // flip makes the frame undecodable).
+    bool saw_a = false;
+    bool saw_c = false;
+    for (const auto& f : frames) {
+      const bool is_a = f.samples == a && f.sequence == 0;
+      const bool is_c = f.samples == c && f.sequence == 2;
+      EXPECT_TRUE(is_a || is_c) << "corrupt or fabricated frame decoded, scenario "
+                                << scenario << " bit " << bit;
+      saw_a = saw_a || is_a;
+      saw_c = saw_c || is_c;
+    }
+    EXPECT_TRUE(saw_a) << scenario;
+    EXPECT_TRUE(saw_c) << scenario;
+    EXPECT_EQ(frames.size(), 2u) << scenario;
+    EXPECT_EQ(dec.stats().frames_ok, 2u) << scenario;
+    EXPECT_EQ(dec.stats().lost_frames, 1u) << scenario;
+  }
+}
+
+TEST(TelemetryFuzz, TruncatedFrameIsDroppedFollowerSurvives) {
+  Rng rng{0x7123456};
+  for (int scenario = 0; scenario < 30; ++scenario) {
+    FrameEncoder enc;
+    FrameDecoder dec;
+    const auto good = random_samples(rng, 5 + rng.uniform_below(60));
+    const auto a = random_samples(rng, 5 + rng.uniform_below(60));
+    const auto b = random_samples(rng, 5 + rng.uniform_below(60));
+    const auto fg = enc.encode(good);  // seq 0, anchors the loss accounting
+    auto fa = enc.encode(a);           // seq 1, truncated below
+    const auto fb = enc.encode(b);     // seq 2
+    // Cut the middle frame short (keep at least the sync word so the cut is
+    // a mid-frame truncation, not inter-frame garbage).
+    const std::size_t keep = 2 + rng.uniform_below(fa.size() - 2);
+    fa.resize(keep);
+    std::vector<std::uint8_t> wire{fg.begin(), fg.end()};
+    wire.insert(wire.end(), fa.begin(), fa.end());
+    wire.insert(wire.end(), fb.begin(), fb.end());
+    wire.insert(wire.end(), 128, 0x00);  // idle tail flushes any stalled parse
+
+    const auto frames = push_chunked(dec, wire, rng);
+    ASSERT_EQ(frames.size(), 2u) << scenario;
+    EXPECT_EQ(frames[0].samples, good) << scenario;
+    EXPECT_EQ(frames[1].samples, b) << scenario;
+    EXPECT_EQ(frames[1].sequence, 2u) << scenario;
+    EXPECT_EQ(dec.stats().frames_ok, 2u) << scenario;
+    EXPECT_EQ(dec.stats().lost_frames, 1u) << scenario;
+  }
+}
+
+TEST(TelemetryFuzz, SequenceWrapsWithoutPhantomLoss) {
+  FrameEncoder enc;
+  FrameDecoder dec;
+  // Drive the 16-bit sequence counter through its wrap at 0xFFFF → 0x0000.
+  constexpr std::size_t kFrames = 65536 + 64;
+  const std::vector<std::int16_t> payload{-2048, -1, 0, 1, 2047};
+  std::size_t decoded = 0;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    const auto frames = dec.push(enc.encode(payload));
+    for (const auto& f : frames) {
+      EXPECT_EQ(f.sequence, static_cast<std::uint16_t>(i)) << i;
+      EXPECT_EQ(f.samples, payload) << i;
+      ++decoded;
+    }
+  }
+  EXPECT_EQ(decoded, kFrames);
+  EXPECT_EQ(dec.stats().frames_ok, kFrames);
+  EXPECT_EQ(dec.stats().lost_frames, 0u) << "wrap misread as a 65535-frame gap";
+  EXPECT_EQ(dec.stats().crc_errors, 0u);
+  EXPECT_EQ(dec.stats().resyncs, 0u);
+}
+
+}  // namespace
+}  // namespace tono::core
