@@ -10,7 +10,9 @@
 // throughput and the parallel-sweep scaling factor.
 //
 // Items are always *modulator clocks* (or input samples) so scalar and
-// block benchmarks of the same stage are directly comparable.
+// block benchmarks of the same stage are directly comparable. Trajectory
+// entries are schema_version 2: per-benchmark time is `ns_per_item`
+// (per-iteration times were meaningless across scalar/block pairs).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -27,6 +29,7 @@
 #include <vector>
 
 #include "src/analog/modulator.hpp"
+#include "src/analog/modulator_bank.hpp"
 #include "src/common/metrics.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/sweep_runner.hpp"
@@ -75,6 +78,51 @@ void BM_ModulatorStepCapacitiveBlock(benchmark::State& state) {
                           static_cast<std::int64_t>(kOsr));
 }
 BENCHMARK(BM_ModulatorStepCapacitiveBlock);
+
+void BM_ModulatorBankBlock(benchmark::State& state) {
+  // The paper's 2×2 array as four lockstep lanes. Items are *lane-clocks*
+  // (lanes × modulator clocks), so items_per_second is the aggregate
+  // conversion rate and the derived modulator_bank_vs_scalar ratio reads as
+  // "how many scalar-stepped single modulators one bank is worth". Lane
+  // seeds come from the sweep engine's per-trial stream so the bench uses
+  // the same decorrelation path as a real sweep.
+  constexpr std::size_t kLanes = 4;
+  core::SweepRunner seeder{{.threads = 1, .base_seed = 11, .stream_name = "bank-bench"}};
+  std::vector<analog::ModulatorConfig> configs(kLanes);
+  for (std::size_t k = 0; k < kLanes; ++k) configs[k].seed = seeder.trial_seed(k);
+  analog::ModulatorBank bank{configs};
+  const std::vector<double> c_sense{95e-15, 104e-15, 112e-15, 99e-15};
+  const std::vector<double> c_ref(kLanes, 100e-15);
+  std::vector<int> bits(kLanes * kOsr);
+  for (auto _ : state) {
+    bank.step_capacitive_block(c_sense.data(), c_ref.data(), bits.data(), kOsr);
+    benchmark::DoNotOptimize(bits.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kLanes * kOsr));
+}
+BENCHMARK(BM_ModulatorBankBlock);
+
+void BM_ArrayAcquisitionFrame(benchmark::State& state) {
+  // Full parallel readout: one 2×2 image (4 lanes × kOsr clocks + 4
+  // decimation chains) per iteration. Items are lane-clocks, comparable to
+  // BM_ModulatorBankBlock; the gap between the two is the per-lane
+  // decimation + field-evaluation overhead.
+  core::ArrayAcquisition array{core::ChipConfig::paper_chip()};
+  std::vector<dsp::DecimatedSample> out(array.size());
+  double t = 0.0;
+  const core::ContactField field = [&t](double, double, double) {
+    return 10000.0 + 2000.0 * std::sin(2.0 * std::numbers::pi * 1.2 * t);
+  };
+  for (auto _ : state) {
+    array.acquire_frame(field, out.data());
+    benchmark::DoNotOptimize(out.data());
+    t += static_cast<double>(kOsr) / 128000.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(array.size() * kOsr));
+}
+BENCHMARK(BM_ArrayAcquisitionFrame);
 
 void BM_DecimationPush(benchmark::State& state) {
   dsp::DecimationChain chain{dsp::DecimationConfig{}};
@@ -206,7 +254,7 @@ BENCHMARK(BM_Fft8k);
 
 struct CapturedRun {
   double items_per_second{0.0};
-  double ns_per_iteration{0.0};
+  double ns_per_item{0.0};
 };
 
 class CapturingReporter : public benchmark::ConsoleReporter {
@@ -217,8 +265,18 @@ class CapturingReporter : public benchmark::ConsoleReporter {
       CapturedRun c;
       const auto it = run.counters.find("items_per_second");
       if (it != run.counters.end()) c.items_per_second = it->second.value;
+      // Schema v2: time is always normalized per *item* (one modulator
+      // clock / input sample / trial), never per benchmark iteration —
+      // block benchmarks process kOsr (or lanes × kOsr) items per
+      // iteration, so per-iteration times were not comparable to their
+      // scalar counterparts. Benchmarks that don't set items default to
+      // one item per iteration.
       const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
-      c.ns_per_iteration = run.real_accumulated_time * 1e9 / iters;
+      if (c.items_per_second > 0.0) {
+        c.ns_per_item = 1e9 / c.items_per_second;
+      } else {
+        c.ns_per_item = run.real_accumulated_time * 1e9 / iters;
+      }
       results_[run.benchmark_name()] = c;
     }
     ConsoleReporter::ReportRuns(runs);
@@ -252,6 +310,7 @@ std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
   std::ostringstream os;
   os.precision(6);
   os << "  {\n";
+  os << "    \"schema_version\": 2,\n";
   os << "    \"timestamp\": \"" << utc_timestamp() << "\",\n";
   os << "    \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
   os << "    \"benchmarks\": {\n";
@@ -260,13 +319,14 @@ std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
     if (!first) os << ",\n";
     first = false;
     os << "      \"" << name << "\": {\"items_per_second\": " << run.items_per_second
-       << ", \"ns_per_iteration\": " << run.ns_per_iteration << "}";
+       << ", \"ns_per_item\": " << run.ns_per_item << "}";
   }
   os << "\n    },\n";
   const double scalar_pipe = rate_of(results, "BM_FullPipelineClock");
   const double block_pipe = rate_of(results, "BM_FullPipelineClockBlock");
   const double scalar_mod = rate_of(results, "BM_ModulatorStepCapacitive");
   const double block_mod = rate_of(results, "BM_ModulatorStepCapacitiveBlock");
+  const double bank_mod = rate_of(results, "BM_ModulatorBankBlock");
   const double scalar_dec = rate_of(results, "BM_DecimationPush");
   const double frame_dec = rate_of(results, "BM_DecimationPushFrame");
   const double sweep1 = rate_of(results, "BM_SweepTrials/1/real_time");
@@ -275,6 +335,7 @@ std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
   os << "    \"derived\": {\n";
   os << "      \"pipeline_block_vs_scalar\": " << ratio(block_pipe, scalar_pipe) << ",\n";
   os << "      \"modulator_block_vs_scalar\": " << ratio(block_mod, scalar_mod) << ",\n";
+  os << "      \"modulator_bank_vs_scalar\": " << ratio(bank_mod, scalar_mod) << ",\n";
   os << "      \"decimation_frame_vs_push\": " << ratio(frame_dec, scalar_dec) << ",\n";
   os << "      \"pipeline_block_realtime_x\": " << block_pipe / 128000.0 << ",\n";
   os << "      \"sweep_speedup_2t\": " << ratio(sweep2, sweep1) << ",\n";

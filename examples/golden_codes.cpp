@@ -1,0 +1,90 @@
+// golden_codes — prints a deterministic transcript of converter output so CI
+// can assert cross-compiler bit-identity (gcc and clang must produce
+// byte-identical output; see the golden-compare job in ci.yml).
+//
+// Everything here is seeded and double-precision deterministic: with
+// -ffp-contract=off pinned in the root CMakeLists, any diff between two
+// builds means a real reordering/contraction of floating-point math crept
+// into the hot path, not "benign" noise. The transcript covers the three
+// determinism-critical paths: the scalar pipeline, block mode (noise-plan
+// path), and the lockstep ModulatorBank.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "src/analog/modulator_bank.hpp"
+#include "src/core/pipeline.hpp"
+
+namespace {
+
+// FNV-1a over the raw ±1 bit sequence: compresses kilobits of modulator
+// output into one line without losing sensitivity to any single bit.
+std::uint64_t fnv1a_bits(const std::vector<int>& bits) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const int b : bits) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(b > 0 ? 1 : 0));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double pressure_at(double t_s) {
+  return 9000.0 + 2500.0 * std::sin(2.0 * std::numbers::pi * 1.2 * t_s);
+}
+
+}  // namespace
+
+int main() {
+  using namespace tono;
+  const core::ChipConfig chip = core::ChipConfig::paper_chip();
+
+  // 1) Scalar pipeline: 16 output samples, field sampled every clock.
+  {
+    core::AcquisitionPipeline pipe{chip};
+    const auto samples = pipe.acquire_uniform(pressure_at, 16);
+    std::printf("pipeline_scalar\n");
+    for (const auto& s : samples) std::printf("%lld\n", static_cast<long long>(s.code));
+  }
+
+  // 2) Block-mode pipeline (noise-plan path): 64 output samples.
+  {
+    core::AcquisitionPipeline pipe{chip};
+    const auto samples = pipe.acquire_uniform_block(pressure_at, 64);
+    std::printf("pipeline_block\n");
+    for (const auto& s : samples) std::printf("%lld\n", static_cast<long long>(s.code));
+  }
+
+  // 3) ModulatorBank: 4 decorrelated lanes, 1024 lockstep clocks; one hash
+  //    line per lane over the raw bitstream.
+  {
+    analog::ModulatorBank bank{chip.modulator, 4};
+    const std::vector<double> c_sense{95e-15, 104e-15, 112e-15, 99e-15};
+    const std::vector<double> c_ref(4, 100e-15);
+    constexpr std::size_t kClocks = 1024;
+    std::vector<int> bits(4 * kClocks);
+    bank.step_capacitive_block(c_sense.data(), c_ref.data(), bits.data(), kClocks);
+    std::printf("modulator_bank\n");
+    for (std::size_t k = 0; k < 4; ++k) {
+      const std::vector<int> lane(bits.begin() + static_cast<std::ptrdiff_t>(k * kClocks),
+                                  bits.begin() + static_cast<std::ptrdiff_t>((k + 1) * kClocks));
+      std::printf("lane%zu %016llx\n", k,
+                  static_cast<unsigned long long>(fnv1a_bits(lane)));
+    }
+  }
+
+  // 4) Parallel array readout: 4 elements × 8 frames under a gradient field.
+  {
+    core::ArrayAcquisition array{chip};
+    const auto out = array.acquire_block(
+        [](double x_m, double, double t_s) { return pressure_at(t_s) + 4.0e7 * x_m; }, 8);
+    std::printf("array_acquisition\n");
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      for (const auto& s : out[k]) {
+        std::printf("%zu %lld\n", k, static_cast<long long>(s.code));
+      }
+    }
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 
 #include "src/common/rng.hpp"
 
@@ -40,13 +41,51 @@ class Comparator {
     return last_;
   }
 
+  /// Pre-draws the noise for the next `n` decide_planned() calls into the
+  /// caller-owned `noise_dest` (the modulator's per-frame noise plan).
+  /// decide_planned() then consumes one entry per call and stays
+  /// bit-identical to decide(): the only draw that cannot be planned is the
+  /// metastable Bernoulli — it depends on the decision input — and when one
+  /// fires, the out-of-line slow path rewinds to a snapshot of the stream,
+  /// replays the Gaussians consumed so far, interleaves the Bernoulli at its
+  /// scalar position, and refills the rest of the plan from the new state.
+  /// Metastable events are rare at the paper's operating point (band is µV
+  /// against ~100 mV quantizer swing), so the resync cost is amortized away.
+  void plan(double* noise_dest, std::size_t n) noexcept;
+
+  /// Planned variant of decide(): same decision logic, noise read from the
+  /// plan() buffer instead of drawn inline. Requires an active plan with at
+  /// least one unconsumed entry.
+  [[nodiscard]] int decide_planned(double input_v) noexcept {
+    double v = input_v - config_.offset_v;
+    if (config_.noise_vrms > 0.0) v += plan_buf_[plan_idx_++];
+    v -= 0.5 * config_.hysteresis_v * static_cast<double>(-last_);
+    if (std::abs(v) < config_.metastable_band_v) {
+      last_ = planned_metastable_() ? 1 : -1;
+      return last_;
+    }
+    last_ = v >= 0.0 ? 1 : -1;
+    return last_;
+  }
+
   [[nodiscard]] int last_decision() const noexcept { return last_; }
   [[nodiscard]] const ComparatorConfig& config() const noexcept { return config_; }
 
  private:
+  /// Slow path: metastable Bernoulli during a planned block (see plan()).
+  bool planned_metastable_() noexcept;
+
   ComparatorConfig config_;
   Rng rng_;
   int last_{1};
+  // Planned-block state. `plan_snapshot_` is the rng state at the start of
+  // the current fill segment (plan entries [segment_start_, plan_len_) were
+  // bulk-generated from it); it is what makes the metastable resync exact.
+  double* plan_buf_{nullptr};
+  std::size_t plan_len_{0};
+  std::size_t plan_idx_{0};
+  std::size_t segment_start_{0};
+  Rng plan_snapshot_{0};
 };
 
 }  // namespace tono::analog

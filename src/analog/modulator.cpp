@@ -36,6 +36,16 @@ DeltaSigmaModulator::DeltaSigmaModulator(const ModulatorConfig& config)
   fb1_mismatch_ = 1.0 + mismatch_rng.gaussian(0.0, sigma);
   ref_mismatch_ = 1.0 + mismatch_rng.gaussian(0.0, sigma);
   g2_mismatch_ = 1.0 + mismatch_rng.gaussian(0.0, sigma);
+  // Block-path invariants: the clock phase is fixed by the config, so the
+  // exact-settle thresholds can be resolved once here instead of per clock.
+  dt_phase_s_ = 0.5 / config_.sampling_rate_hz;
+  clock_period_s_ = 1.0 / config_.sampling_rate_hz;
+  settle_exact1_v_ = opamp1_.full_settle_threshold(dt_phase_s_);
+  settle_exact2_v_ = opamp2_.full_settle_threshold(dt_phase_s_);
+  swing1_v_ = config_.opamp1.output_swing_v;
+  swing2_v_ = config_.opamp2.output_swing_v;
+  noise_plan_fills_metric_ =
+      &metrics::Registry::global().counter(metrics::names::kModulatorNoisePlanFills);
 }
 
 double DeltaSigmaModulator::flicker_scale(const OpAmpConfig& amp) const noexcept {
@@ -162,27 +172,90 @@ int DeltaSigmaModulator::step_capacitive(double c_sense_f, double c_ref_f) {
   return step_normalized(q_sig / q_fs, noise_u);
 }
 
-void DeltaSigmaModulator::step_capacitive_block(double c_sense_f, double c_ref_f,
-                                                int* bits_out, std::size_t n) {
+DeltaSigmaModulator::CapacitiveInput DeltaSigmaModulator::capacitive_input_(
+    double c_sense_f, double c_ref_f) const noexcept {
   // Everything that depends only on the capacitances is loop-invariant; the
   // expressions below are copied verbatim from step_capacitive so the hoisted
   // values are bit-identical to what each scalar call would recompute.
+  CapacitiveInput in;
   const double c_fb = config_.c_fb1_f * fb1_mismatch_;
   const double q_fs = c_fb * config_.vref_v;
   const double q_sig = (c_sense_f - c_ref_f) * config_.vexc_v;
-  const double u = q_sig / q_fs;
-  if (config_.enable_ktc_noise) {
+  in.u = q_sig / q_fs;
+  in.ktc = config_.enable_ktc_noise;
+  if (in.ktc) {
     const double c_total = c_sense_f + c_ref_f + c_fb;
     const double q_sigma =
         std::sqrt(2.0 * units::k_boltzmann * config_.temperature_k * c_total * 2.0);
-    const double sigma_u = q_sigma / q_fs;
+    in.sigma_u = q_sigma / q_fs;
+  }
+  return in;
+}
+
+void DeltaSigmaModulator::fill_noise_plan_(std::size_t n, double sigma_u,
+                                           bool ktc) noexcept {
+  // The shared stream's draw order per clock is [kT/C, ref, op-amp1,
+  // op-amp2], each present only when its source is enabled — and
+  // gaussian(mean, sigma) is an affine map over gaussian(), so the standard
+  // normals behind all of them form ONE sequence. Generate the whole frame's
+  // worth in a single bulk fill (same end state as the interleaved scalar
+  // draws), then de-interleave into the SoA buffers applying each source's
+  // exact draw-site expression, including its `0.0 +` (which turns a −0.0
+  // product into +0.0, as the scalar path's mean addition does).
+  const bool ref_on = config_.ref_noise_vrms > 0.0;
+  const bool op1_on = config_.opamp1.noise_vrms > 0.0;
+  const bool op2_on = config_.order == 2 && config_.opamp2.noise_vrms > 0.0;
+  const std::size_t per_clock =
+      static_cast<std::size_t>(ktc) + static_cast<std::size_t>(ref_on) +
+      static_cast<std::size_t>(op1_on) + static_cast<std::size_t>(op2_on);
+  double raw[4 * NoisePlan::kFrame];
+  rng_.fill_gaussian(raw, n * per_clock);
+  const double vref = config_.vref_v;
+  const double scale = config_.loop.state_scale_v;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ktc) plan_.ktc[i] = 0.0 + sigma_u * raw[j++];
+    if (ref_on) plan_.ref[i] = (0.0 + config_.ref_noise_vrms * raw[j++]) / vref;
+    if (op1_on) plan_.op1[i] = (0.0 + config_.opamp1.noise_vrms * raw[j++]) / scale;
+    if (op2_on) plan_.op2[i] = (0.0 + config_.opamp2.noise_vrms * raw[j++]) / scale;
+  }
+  const bool flick1_on = flicker_scale1_ > 0.0;
+  if (flick1_on) {
+    flicker1_.fill_next(plan_.flick1.data(), n);
     for (std::size_t i = 0; i < n; ++i) {
-      bits_out[i] = step_normalized(u, rng_.gaussian(0.0, sigma_u));
+      plan_.flick1[i] = plan_.flick1[i] * flicker_scale1_ / scale;
     }
-  } else {
+  }
+  const bool flick2_on = config_.order == 2 && flicker_scale2_ > 0.0;
+  if (flick2_on) {
+    flicker2_.fill_next(plan_.flick2.data(), n);
     for (std::size_t i = 0; i < n; ++i) {
-      bits_out[i] = step_normalized(u, 0.0);
+      plan_.flick2[i] = plan_.flick2[i] * flicker_scale2_ / scale;
     }
+  }
+  comparator_.plan(plan_.comp.data(), n);
+  plan_.len = n;
+  plan_.idx = 0;
+  plan_.ktc_on = ktc;
+  plan_.ref_on = ref_on;
+  plan_.op1_on = op1_on;
+  plan_.flick1_on = flick1_on;
+  plan_.op2_on = op2_on;
+  plan_.flick2_on = flick2_on;
+  noise_plan_fills_metric_->add(1);  // frame rate — inside the hot-path contract
+}
+
+void DeltaSigmaModulator::step_capacitive_block(double c_sense_f, double c_ref_f,
+                                                int* bits_out, std::size_t n) {
+  const CapacitiveInput in = capacitive_input_(c_sense_f, c_ref_f);
+  while (n > 0) {
+    const std::size_t frame = std::min<std::size_t>(n, NoisePlan::kFrame);
+    fill_noise_plan_(frame, in.sigma_u, in.ktc);
+    for (std::size_t i = 0; i < frame; ++i) {
+      bits_out[i] = step_planned_(in.u);
+    }
+    bits_out += frame;
+    n -= frame;
   }
 }
 

@@ -1,0 +1,87 @@
+#include "src/analog/modulator_bank.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tono::analog {
+namespace {
+
+std::vector<ModulatorConfig> derived_configs(const ModulatorConfig& base,
+                                             std::size_t lanes) {
+  std::vector<ModulatorConfig> configs(lanes, base);
+  for (std::size_t k = 1; k < lanes; ++k) {
+    // Same mixing Rng::fork applies to its salt; splitmix64 seeding then
+    // scrambles whatever structure remains. Plain `seed + k` would hand
+    // splitmix sequential states and give overlapping xoshiro states.
+    configs[k].seed =
+        base.seed ^ (k * 0x9E3779B97F4A7C15ull + 0x632BE59BD9B4E019ull);
+  }
+  return configs;
+}
+
+}  // namespace
+
+ModulatorBank::ModulatorBank(const std::vector<ModulatorConfig>& configs) {
+  if (configs.empty()) {
+    throw std::invalid_argument{"ModulatorBank: need at least one lane"};
+  }
+  lanes_.reserve(configs.size());
+  for (const auto& config : configs) lanes_.emplace_back(config);
+  inputs_.resize(configs.size());
+  init_metrics_();
+}
+
+ModulatorBank::ModulatorBank(const ModulatorConfig& base, std::size_t lanes)
+    : ModulatorBank(derived_configs(base, lanes)) {}
+
+void ModulatorBank::init_metrics_() {
+  auto& reg = metrics::Registry::global();
+  bank_lanes_gauge_ = &reg.gauge(metrics::names::kModulatorBankLanes);
+  step_block_timer_ = &reg.timer(metrics::names::kBankStepBlock);
+  bank_lanes_gauge_->set(static_cast<double>(lanes_.size()));
+}
+
+void ModulatorBank::step_capacitive_block(const double* c_sense_f,
+                                          const double* c_ref_f, int* bits_out,
+                                          std::size_t n) {
+  metrics::TraceSpan span(*step_block_timer_);
+  const std::size_t k_lanes = lanes_.size();
+  for (std::size_t k = 0; k < k_lanes; ++k) {
+    inputs_[k] = lanes_[k].capacitive_input_(c_sense_f[k], c_ref_f[k]);
+  }
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t frame = std::min<std::size_t>(
+        n - done, DeltaSigmaModulator::NoisePlan::kFrame);
+    // Bulk phase: every lane's noise for the frame, one source group at a
+    // time per lane (long tight fill loops).
+    for (std::size_t k = 0; k < k_lanes; ++k) {
+      lanes_[k].fill_noise_plan_(frame, inputs_[k].sigma_u, inputs_[k].ktc);
+    }
+    // Lockstep phase: clock-outer / lane-inner, so the K loop recurrences'
+    // independent FP chains overlap in the core instead of serializing.
+    for (std::size_t i = 0; i < frame; ++i) {
+      for (std::size_t k = 0; k < k_lanes; ++k) {
+        bits_out[k * n + done + i] = lanes_[k].step_planned_(inputs_[k].u);
+      }
+    }
+    done += frame;
+  }
+}
+
+void ModulatorBank::step_capacitive_block(const double* c_sense_f, int* bits_out,
+                                          std::size_t n) {
+  // Mirror DeltaSigmaModulator::step_capacitive(c_sense): the reference
+  // branch is each lane's configured on-chip capacitor with its die mismatch.
+  std::vector<double> c_ref(lanes_.size());
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    c_ref[k] = lanes_[k].config_.c_ref_f * lanes_[k].ref_mismatch_;
+  }
+  step_capacitive_block(c_sense_f, c_ref.data(), bits_out, n);
+}
+
+void ModulatorBank::reset() {
+  for (auto& lane : lanes_) lane.reset();
+}
+
+}  // namespace tono::analog

@@ -1,0 +1,68 @@
+// modulator_bank.hpp — K independent ΔΣ modulators stepped in lockstep.
+//
+// The paper's sensor is a 2×2 array (§3: four electrodes over the pressure
+// membrane), and characterization sweeps run hundreds of independent trials;
+// both want "step K modulators over the same clock window" as one operation.
+// The bank does that over the modulators' per-frame noise plans: each frame,
+// every lane's noise is bulk-generated (one Rng::fill_gaussian per lane per
+// source group), then the lanes advance clock-by-clock in lockstep so their
+// state (integrators, bits, plan cursors) is touched in a cache-friendly
+// round-robin.
+//
+// Lane semantics — the contract tests pin:
+//   * each lane is a full DeltaSigmaModulator with its own config, seed and
+//     noise streams; lanes never share draws;
+//   * lane k's bitstream is bit-identical to running that modulator alone
+//     through step_capacitive_block (and therefore to n scalar
+//     step_capacitive calls) — the bank changes scheduling, never values;
+//   * outputs are lane-major: bits_out[k * n + i] is lane k, clock i.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/analog/modulator.hpp"
+#include "src/common/metrics.hpp"
+
+namespace tono::analog {
+
+class ModulatorBank {
+ public:
+  /// One lane per config. Lanes may differ in every respect (seed, caps,
+  /// noise settings) — heterogeneous banks are how sweeps use this.
+  explicit ModulatorBank(const std::vector<ModulatorConfig>& configs);
+
+  /// Convenience: K lanes sharing `base`, with per-lane seeds decorrelated
+  /// by the same golden-ratio salting Rng::fork uses. Lane 0 keeps
+  /// `base.seed` unchanged, so lane 0 reproduces the single-modulator run.
+  ModulatorBank(const ModulatorConfig& base, std::size_t lanes);
+
+  /// Runs `n` clocks on every lane in capacitive mode. `c_sense_f` /
+  /// `c_ref_f` hold one capacitance per lane; `bits_out` has room for
+  /// lanes()·n ints and is filled lane-major (lane k at bits_out[k*n]).
+  void step_capacitive_block(const double* c_sense_f, const double* c_ref_f,
+                             int* bits_out, std::size_t n);
+
+  /// Per-lane variant against each lane's configured on-chip reference
+  /// branch (mirrors DeltaSigmaModulator::step_capacitive(c_sense)).
+  void step_capacitive_block(const double* c_sense_f, int* bits_out,
+                             std::size_t n);
+
+  void reset();
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_.size(); }
+  [[nodiscard]] DeltaSigmaModulator& lane(std::size_t k) { return lanes_[k]; }
+  [[nodiscard]] const DeltaSigmaModulator& lane(std::size_t k) const {
+    return lanes_[k];
+  }
+
+ private:
+  void init_metrics_();
+
+  std::vector<DeltaSigmaModulator> lanes_;
+  std::vector<DeltaSigmaModulator::CapacitiveInput> inputs_;  ///< scratch
+  metrics::Gauge* bank_lanes_gauge_{nullptr};
+  metrics::Timer* step_block_timer_{nullptr};
+};
+
+}  // namespace tono::analog

@@ -54,6 +54,23 @@ double OpAmp::settle(double delta_v, double dt) const noexcept {
   return sign * settled;
 }
 
+double OpAmp::full_settle_threshold(double dt) const noexcept {
+  // For |delta_v| = m ≤ the returned bound T(dt) = handoff + SR·(dt − 40τ):
+  //  * linear regime (m ≤ handoff = SR·τ): dt ≥ 40τ > 38τ, so settle()'s
+  //    existing fast path returns sign·m == delta_v exactly;
+  //  * slew regime (handoff < m ≤ T): slew_time = (m − handoff)/SR ≤
+  //    dt − 40τ < dt, and the remaining settling time r ≥ 40τ (minus a few
+  //    ulps of threshold arithmetic, hence the 40τ margin over the 38τ
+  //    proof bound), so the residual handoff·exp(−r/τ) ≤ handoff·e⁻³⁹ <
+  //    m·2⁻⁵⁴ < half the gap below m in doubles — m − residual rounds to
+  //    exactly m, and settle() returns sign·m == delta_v even though it
+  //    evaluates the exponential.
+  // Either way settle(delta_v, dt) == delta_v for 0 < |delta_v| ≤ T(dt).
+  const double margin = 40.0 * tau_s_;
+  if (dt < margin) return 0.0;
+  return handoff_v_ + config_.slew_rate_v_per_s * (dt - margin);
+}
+
 double OpAmp::clip(double v) const noexcept {
   return std::clamp(v, -config_.output_swing_v, config_.output_swing_v);
 }

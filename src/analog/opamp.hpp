@@ -39,6 +39,15 @@ class OpAmp {
   /// step bit-for-bit, and the fast path returns it without calling exp().
   [[nodiscard]] double settle(double delta_v, double dt) const noexcept;
 
+  /// Largest |delta_v| for which settle(delta_v, dt) provably returns
+  /// delta_v bit-for-bit (settling is *exactly* complete in double
+  /// precision), or 0 when no such bound exists for this dt. Lets a caller
+  /// with a loop-invariant dt — the modulator's block path, where dt is
+  /// fixed by the clock — hoist the whole settle() call behind one
+  /// magnitude compare per step. The bound covers both regimes; see the
+  /// rounding proof at the definition.
+  [[nodiscard]] double full_settle_threshold(double dt) const noexcept;
+
   /// Per-update integrator leak factor: an ideal integrator multiplies its
   /// previous state by 1; finite gain gives ≈ 1 − 1/(A0·β). Precomputed at
   /// construction (the division is too expensive for twice per clock).

@@ -236,22 +236,23 @@ void register_standard_instruments(Registry& r) {
   using namespace names;
   for (const char* name :
        {kPipelineFrames, kPipelineFramesBlock, kPipelineFramesScalar,
-        kPipelineMuxFallbacks, kDecimationSamples, kDecimationFirSaturations,
-        kSweepRuns, kSweepTrials, kPoolTasksSubmitted, kPoolTasksExecuted,
-        kTelemetryFramesOk, kTelemetryCrcErrors, kTelemetryResyncs,
-        kTelemetryLostFrames, kMonitorSessions, kMonitorBeats,
+        kPipelineMuxFallbacks, kModulatorNoisePlanFills, kDecimationSamples,
+        kDecimationFirSaturations, kSweepRuns, kSweepTrials, kPoolTasksSubmitted,
+        kPoolTasksExecuted, kTelemetryFramesOk, kTelemetryCrcErrors,
+        kTelemetryResyncs, kTelemetryLostFrames, kMonitorSessions, kMonitorBeats,
         kMonitorQualityRejections, kMonitorRescans, kMonitorAlarmsRaised}) {
     (void)r.counter(name);
   }
   for (const char* name :
        {kModulatorPeakState1V, kModulatorPeakState2V, kModulatorClipCount,
-        kSweepThreads, kPoolPeakQueueDepth, kMonitorLastSqi, kMonitorAlarmLatencyS}) {
+        kModulatorBankLanes, kSweepThreads, kPoolPeakQueueDepth, kMonitorLastSqi,
+        kMonitorAlarmLatencyS}) {
     (void)r.gauge(name);
   }
   static constexpr double kStrandBounds[] = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
                                              64.0, 128.0, 256.0, 1024.0};
   (void)r.histogram(kSweepTrialsPerStrand, kStrandBounds);
-  for (const char* name : {kSweepRunWall, kMonitorSessionWall}) {
+  for (const char* name : {kSweepRunWall, kMonitorSessionWall, kBankStepBlock}) {
     (void)r.timer(name);
   }
 }

@@ -191,6 +191,11 @@ inline constexpr const char* kPipelineMuxFallbacks = "pipeline.mux_fallbacks";
 inline constexpr const char* kModulatorPeakState1V = "modulator.peak_state1_v";
 inline constexpr const char* kModulatorPeakState2V = "modulator.peak_state2_v";
 inline constexpr const char* kModulatorClipCount = "modulator.clip_count";
+/// Noise-plan frames generated by the block path (one per 128-clock frame).
+inline constexpr const char* kModulatorNoisePlanFills = "modulator.noise_plan_fills";
+// ModulatorBank
+inline constexpr const char* kModulatorBankLanes = "modulator.bank_lanes";
+inline constexpr const char* kBankStepBlock = "bank.step_block";
 // DecimationChain (output rate, 1 kHz)
 inline constexpr const char* kDecimationSamples = "decimation.samples";
 inline constexpr const char* kDecimationFirSaturations = "decimation.fir_saturations";

@@ -32,4 +32,33 @@ double PinkNoise::next() noexcept {
   return sum * white_scale_;
 }
 
+void PinkNoise::fill_next(double* dest, std::size_t n) noexcept {
+  // next() consumes exactly one Gaussian per sample regardless of state, so
+  // the draws bulk-generate; the Voss-McCartney row replacement and the
+  // full-row sum then replay in the scalar order (the sum must be recomputed
+  // per sample — a running sum would reorder the additions and break
+  // bit-identity with next()).
+  double draws[kFillChunk];
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t chunk = std::min(n - done, kFillChunk);
+    rng_.fill_gaussian(draws, chunk);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      ++counter_;
+      const std::uint64_t ctz_mask = counter_ & (~counter_ + 1);
+      std::size_t row = 0;
+      std::uint64_t m = ctz_mask;
+      while (m > 1 && row + 1 < octaves_) {
+        m >>= 1;
+        ++row;
+      }
+      rows_[row] = draws[j];
+      double sum = 0.0;
+      for (std::size_t k = 0; k < octaves_; ++k) sum += rows_[k];
+      dest[done + j] = sum * white_scale_;
+    }
+    done += chunk;
+  }
+}
+
 }  // namespace tono

@@ -23,10 +23,19 @@ class PinkNoise {
   /// Next sample (zero mean, unit variance, PSD ∝ 1/f).
   [[nodiscard]] double next() noexcept;
 
+  /// Fills dest[0..n) with the bit-identical sequence n next() calls would
+  /// produce (each sample re-draws exactly one row, so the whole block's
+  /// Gaussians can be generated up front via Rng::fill_gaussian; the row
+  /// updates and sums are replayed in the scalar order). Used by the ΔΣ
+  /// modulator's per-frame noise plan.
+  void fill_next(double* dest, std::size_t n) noexcept;
+
   [[nodiscard]] std::size_t octaves() const noexcept { return octaves_; }
 
  private:
   static constexpr std::size_t kMaxOctaves = 24;
+  /// Stack chunk for fill_next's bulk Gaussian draws (one modulator frame).
+  static constexpr std::size_t kFillChunk = 128;
   Rng rng_;
   std::size_t octaves_;
   std::array<double, kMaxOctaves> rows_{};

@@ -53,6 +53,61 @@ double Rng::gaussian_pair_() noexcept {
   return u * factor;
 }
 
+void Rng::fill_gaussian(double* dest, std::size_t n) noexcept {
+  // Same polar-method draws as gaussian(), restructured so the xoshiro state
+  // lives in locals for the whole fill and each rejection loop emits both
+  // pair values directly (the per-call spare-cache branch disappears).
+  // Every expression below matches the scalar path operation-for-operation;
+  // fill_gaussian's bit-identity to a scalar loop is pinned by test_rng.cpp.
+  std::size_t i = 0;
+  if (i < n && has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    dest[i++] = spare_gaussian_;
+  }
+  std::array<std::uint64_t, 4> s = state_;
+  const auto next_local = [&s]() noexcept {
+    const std::uint64_t result = rotl_(s[0] + s[3], 23) + s[0];
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl_(s[3], 45);
+    return result;
+  };
+  // uniform(-1, 1) as gaussian_pair_ computes it: lo + (hi - lo) * uniform().
+  const auto uniform_pm1 = [&next_local]() noexcept {
+    return -1.0 + 2.0 * (static_cast<double>(next_local() >> 11) * 0x1.0p-53);
+  };
+  while (i < n) {
+    double u = 0.0;
+    double v = 0.0;
+    double sq = 0.0;
+    do {
+      u = uniform_pm1();
+      v = uniform_pm1();
+      sq = u * u + v * v;
+    } while (sq >= 1.0 || sq == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(sq) / sq);
+    dest[i++] = u * factor;
+    if (i < n) {
+      dest[i++] = v * factor;
+    } else {
+      spare_gaussian_ = v * factor;
+      has_spare_gaussian_ = true;
+    }
+  }
+  state_ = s;
+}
+
+void Rng::fill_gaussian(double* dest, std::size_t n, double mean, double sigma) noexcept {
+  fill_gaussian(dest, n);
+  // gaussian(mean, sigma) is mean + sigma * gaussian(); applying the same
+  // affine map after the fact gives the same doubles.
+  for (std::size_t i = 0; i < n; ++i) dest[i] = mean + sigma * dest[i];
+}
+
 double Rng::exponential(double lambda) noexcept {
   // 1 - uniform() is in (0, 1], so the log is finite.
   return -std::log(1.0 - uniform()) / lambda;

@@ -73,6 +73,21 @@ class Rng {
     return mean + sigma * gaussian();
   }
 
+  /// Fills dest[0..n) with the bit-identical sequence that n sequential
+  /// gaussian() calls would produce, and leaves this generator in the
+  /// bit-identical end state — including the spare-value cache: a spare
+  /// pending on entry becomes dest[0], and an odd tail leaves the pair's
+  /// second value cached for the next draw (bulk or scalar).
+  ///
+  /// Exists because the ΔΣ modulator's per-clock draw count is fixed by its
+  /// config, so a whole output frame of noise can be generated up front in
+  /// one tight loop (state in registers, no spare-cache branch per draw)
+  /// instead of interleaved with the loop recurrence.
+  void fill_gaussian(double* dest, std::size_t n) noexcept;
+
+  /// Same, matching n sequential gaussian(mean, sigma) calls.
+  void fill_gaussian(double* dest, std::size_t n, double mean, double sigma) noexcept;
+
   /// Exponential draw with given rate lambda (> 0).
   [[nodiscard]] double exponential(double lambda) noexcept;
 

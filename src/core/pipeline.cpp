@@ -158,4 +158,60 @@ double AcquisitionPipeline::output_rate_hz() const noexcept {
   return chain_.output_rate_hz();
 }
 
+ArrayAcquisition::ArrayAcquisition(const ChipConfig& config)
+    : config_(config),
+      array_(config),
+      bank_(config.modulator, array_.size()) {  // array_ initialized first
+  const std::size_t lanes = bank_.lanes();
+  chains_.reserve(lanes);
+  for (std::size_t k = 0; k < lanes; ++k) chains_.emplace_back(config.decimation);
+  c_sense_.resize(lanes);
+  c_ref_.assign(lanes, array_.reference_capacitance());
+  bit_scratch_.resize(lanes * config.decimation.total_decimation);
+}
+
+void ArrayAcquisition::acquire_frame(const ContactField& field,
+                                     dsp::DecimatedSample* out) {
+  const std::size_t lanes = bank_.lanes();
+  const std::size_t n = config_.decimation.total_decimation;
+  for (std::size_t k = 0; k < lanes; ++k) {
+    const auto& elem = array_.element(k);
+    const auto& pos = elem.position();
+    c_sense_[k] =
+        elem.capacitance(field(pos.x_m, pos.y_m, time_s_), temperature_k_);
+  }
+  bank_.step_capacitive_block(c_sense_.data(), c_ref_.data(),
+                              bit_scratch_.data(), n);
+  // Same n sequential additions as n single-pipeline clocks, so time stamps
+  // agree bit-for-bit with the mux-free single-element pipeline.
+  const double dt = 1.0 / clock_rate_hz();
+  for (std::size_t i = 0; i < n; ++i) time_s_ += dt;
+  for (std::size_t k = 0; k < lanes; ++k) {
+    out[k] = chains_[k].push_frame({bit_scratch_.data() + k * n, n});
+  }
+}
+
+std::vector<std::vector<dsp::DecimatedSample>> ArrayAcquisition::acquire_block(
+    const ContactField& field, std::size_t n_out) {
+  const std::size_t lanes = bank_.lanes();
+  std::vector<std::vector<dsp::DecimatedSample>> out(lanes);
+  for (auto& lane : out) lane.reserve(n_out);
+  std::vector<dsp::DecimatedSample> frame(lanes);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    acquire_frame(field, frame.data());
+    for (std::size_t k = 0; k < lanes; ++k) out[k].push_back(frame[k]);
+  }
+  return out;
+}
+
+void ArrayAcquisition::reset() {
+  bank_.reset();
+  for (auto& chain : chains_) chain.reset();
+  time_s_ = 0.0;
+}
+
+double ArrayAcquisition::output_rate_hz() const noexcept {
+  return chains_.front().output_rate_hz();
+}
+
 }  // namespace tono::core

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/analog/modulator.hpp"
+#include "src/analog/modulator_bank.hpp"
 #include "src/analog/mux.hpp"
 #include "src/common/metrics.hpp"
 #include "src/core/sensor_array.hpp"
@@ -124,6 +125,56 @@ class AcquisitionPipeline {
   metrics::Gauge* peak_state1_gauge_;
   metrics::Gauge* peak_state2_gauge_;
   metrics::Gauge* clip_count_gauge_;
+};
+
+/// Parallel readout of the whole array: one ΔΣ modulator lane per element
+/// plus one decimation chain per lane, stepped in lockstep by a
+/// ModulatorBank. This is the §4 scaling direction — replacing the Fig. 4
+/// row/column mux with per-element converters — so unlike
+/// AcquisitionPipeline there is no mux and no element switching: every
+/// element converts continuously and a full array image emerges every output
+/// period instead of every rows·cols periods.
+///
+/// Lane k reads element k (row-major). Per-lane modulator seeds are
+/// decorrelated from ChipConfig::modulator.seed; lane 0 keeps it, so lane 0
+/// is bit-identical to a single converter (modulator + decimation chain, no
+/// mux) reading element 0. Pressure is evaluated per element at each frame
+/// start and held for the frame, exactly like
+/// AcquisitionPipeline::acquire_block.
+class ArrayAcquisition {
+ public:
+  explicit ArrayAcquisition(const ChipConfig& config);
+
+  /// One output frame for every element: `out` receives size() samples,
+  /// element-indexed row-major.
+  void acquire_frame(const ContactField& field, dsp::DecimatedSample* out);
+
+  /// `n_out` frames; result[k][i] is element k's i-th output sample.
+  [[nodiscard]] std::vector<std::vector<dsp::DecimatedSample>> acquire_block(
+      const ContactField& field, std::size_t n_out);
+
+  void reset();
+
+  [[nodiscard]] std::size_t size() const noexcept { return bank_.lanes(); }
+  [[nodiscard]] double clock_rate_hz() const noexcept {
+    return config_.modulator.sampling_rate_hz;
+  }
+  [[nodiscard]] double output_rate_hz() const noexcept;
+  [[nodiscard]] double time_s() const noexcept { return time_s_; }
+  void set_temperature(double kelvin) noexcept { temperature_k_ = kelvin; }
+  [[nodiscard]] const SensorArray& array() const noexcept { return array_; }
+  [[nodiscard]] analog::ModulatorBank& bank() noexcept { return bank_; }
+
+ private:
+  ChipConfig config_;
+  SensorArray array_;
+  analog::ModulatorBank bank_;
+  std::vector<dsp::DecimationChain> chains_;  ///< one per lane
+  double time_s_{0.0};
+  double temperature_k_{300.0};
+  std::vector<double> c_sense_;  ///< per-lane scratch
+  std::vector<double> c_ref_;
+  std::vector<int> bit_scratch_;  ///< lane-major, lanes · total_decimation
 };
 
 }  // namespace tono::core

@@ -27,6 +27,10 @@ Rng SweepRunner::trial_rng(std::size_t trial_index) const {
       .fork(static_cast<std::uint64_t>(trial_index));
 }
 
+std::uint64_t SweepRunner::trial_seed(std::size_t trial_index) const {
+  return trial_rng(trial_index).next_u64();
+}
+
 void SweepRunner::run_indexed_(std::size_t n,
                                const std::function<void(std::size_t)>& body) {
   if (n == 0) return;

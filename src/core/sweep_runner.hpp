@@ -51,6 +51,14 @@ class SweepRunner {
   /// scheduling, and of any other trial.
   [[nodiscard]] Rng trial_rng(std::size_t trial_index) const;
 
+  /// A deterministic 64-bit seed for one trial, with the same
+  /// (base_seed, stream_name, trial_index)-only dependence as trial_rng().
+  /// For trials that build seeded components (ModulatorConfig::seed,
+  /// ModulatorBank lanes) rather than drawing from an Rng directly: the
+  /// component re-forks its internal streams from this seed, so two trials
+  /// never share draws.
+  [[nodiscard]] std::uint64_t trial_seed(std::size_t trial_index) const;
+
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return pool_ ? pool_->thread_count() : 1;
   }

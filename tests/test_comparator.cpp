@@ -83,5 +83,49 @@ TEST(Comparator, LastDecisionTracks) {
   EXPECT_EQ(cmp.last_decision(), -1);
 }
 
+// decide_planned must be bit-identical to decide for any input sequence —
+// including when metastable events force the plan to resync mid-frame.
+void expect_planned_matches_scalar(const ComparatorConfig& c,
+                                   std::uint64_t seed, int frames,
+                                   std::size_t frame_len) {
+  Comparator scalar{c, tono::Rng{seed}};
+  Comparator planned{c, tono::Rng{seed}};
+  std::vector<double> noise(frame_len);
+  tono::Rng inputs{seed ^ 0xABCDu};
+  for (int f = 0; f < frames; ++f) {
+    planned.plan(noise.data(), frame_len);
+    for (std::size_t i = 0; i < frame_len; ++i) {
+      const double v = inputs.uniform(-0.2, 0.2);
+      ASSERT_EQ(scalar.decide(v), planned.decide_planned(v))
+          << "frame=" << f << " i=" << i;
+    }
+  }
+}
+
+TEST(Comparator, PlannedMatchesScalarWithNoise) {
+  ComparatorConfig c;  // defaults: noise on, 10 µV metastable band
+  expect_planned_matches_scalar(c, 2025, 8, 128);
+}
+
+TEST(Comparator, PlannedMatchesScalarUnderHeavyMetastability) {
+  ComparatorConfig c;
+  c.metastable_band_v = 0.15;  // most decisions inside the band → resyncs
+  expect_planned_matches_scalar(c, 7, 8, 128);
+}
+
+TEST(Comparator, PlannedMatchesScalarWithNoiseDisabled) {
+  ComparatorConfig c = quiet();
+  c.metastable_band_v = 0.05;  // Bernoulli draws straight off the stream
+  expect_planned_matches_scalar(c, 11, 4, 64);
+}
+
+TEST(Comparator, PlannedMatchesScalarWithHysteresisAndOffset) {
+  ComparatorConfig c;
+  c.offset_v = 5e-3;
+  c.hysteresis_v = 20e-3;
+  c.metastable_band_v = 0.02;
+  expect_planned_matches_scalar(c, 99, 6, 128);
+}
+
 }  // namespace
 }  // namespace tono::analog

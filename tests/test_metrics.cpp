@@ -312,5 +312,45 @@ TEST(MetricsWiring, BitstreamIsIdenticalWithMetricsOnAndOff) {
   }
 }
 
+// Same contract for the ModulatorBank / ArrayAcquisition path: its
+// noise-plan fills, lane gauge and block timer must never touch the signal.
+TEST(MetricsWiring, BankBitstreamIsIdenticalWithMetricsOnAndOff) {
+  EnabledGuard guard;
+  const auto chip = core::ChipConfig::paper_chip();
+  const auto field = [](double x_m, double, double t) {
+    return 4000.0 + 2.0e7 * x_m + 800.0 * t;
+  };
+  constexpr std::size_t kFrames = 24;
+
+  set_enabled(true);
+  core::ArrayAcquisition on{chip};
+  const auto with_metrics = on.acquire_block(field, kFrames);
+
+  set_enabled(false);
+  core::ArrayAcquisition off{chip};
+  const auto without_metrics = off.acquire_block(field, kFrames);
+  set_enabled(true);
+
+  ASSERT_EQ(with_metrics.size(), without_metrics.size());
+  for (std::size_t k = 0; k < with_metrics.size(); ++k) {
+    ASSERT_EQ(with_metrics[k].size(), without_metrics[k].size());
+    for (std::size_t i = 0; i < with_metrics[k].size(); ++i) {
+      EXPECT_EQ(with_metrics[k][i].code, without_metrics[k][i].code)
+          << "lane=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(MetricsWiring, NoisePlanFillsCountFrames) {
+  EnabledGuard guard;
+  set_enabled(true);
+  auto& counter = Registry::global().counter(names::kModulatorNoisePlanFills);
+  const auto fills0 = counter.value();
+  analog::DeltaSigmaModulator mod{analog::ModulatorConfig{}};
+  std::vector<int> bits(128 * 5);
+  mod.step_capacitive_block(104e-15, 100e-15, bits.data(), bits.size());
+  EXPECT_EQ(counter.value() - fills0, 5u);
+}
+
 }  // namespace
 }  // namespace tono::metrics

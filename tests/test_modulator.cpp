@@ -377,5 +377,79 @@ TEST_P(OsrSweepTest, SnrFollowsSecondOrderLaw) {
 
 INSTANTIATE_TEST_SUITE_P(Osrs, OsrSweepTest, ::testing::Values(32u, 64u, 128u, 256u));
 
+// step_capacitive_block (the noise-plan path) must be bit-identical to n
+// scalar step_capacitive calls — across every noise source, including the
+// plan's hardest cases: flicker streams, comparator metastable resyncs, and
+// frame lengths that are not a multiple of the plan size.
+void expect_block_matches_scalar(const ModulatorConfig& c, double c_sense_f,
+                                 std::size_t n) {
+  DeltaSigmaModulator scalar{c};
+  DeltaSigmaModulator block{c};
+  const double c_ref = c.c_ref_f;
+  std::vector<int> want(n);
+  for (auto& b : want) b = scalar.step_capacitive(c_sense_f, c_ref);
+  std::vector<int> got(n);
+  block.step_capacitive_block(c_sense_f, c_ref, got.data(), n);
+  ASSERT_EQ(want, got);
+  EXPECT_EQ(scalar.integrator1_v(), block.integrator1_v());
+  EXPECT_EQ(scalar.integrator2_v(), block.integrator2_v());
+  EXPECT_EQ(scalar.time_s(), block.time_s());
+  EXPECT_EQ(scalar.clip_count(), block.clip_count());
+  EXPECT_EQ(scalar.max_state1_v(), block.max_state1_v());
+  EXPECT_EQ(scalar.max_state2_v(), block.max_state2_v());
+  // The generators must also land in the same state: continuing scalar on
+  // both instances stays in lockstep.
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(scalar.step_capacitive(c_sense_f, c_ref),
+              block.step_capacitive(c_sense_f, c_ref));
+  }
+}
+
+TEST(ModulatorBlock, MatchesScalarWithDefaultNoise) {
+  expect_block_matches_scalar(ModulatorConfig{}, 112e-15, 1280);
+}
+
+TEST(ModulatorBlock, MatchesScalarOnPartialAndOddFrames) {
+  for (std::size_t n : {1u, 5u, 127u, 128u, 129u, 383u}) {
+    expect_block_matches_scalar(ModulatorConfig{}, 95e-15, n);
+  }
+}
+
+TEST(ModulatorBlock, MatchesScalarWithFlickerEnabled) {
+  ModulatorConfig c;
+  c.opamp1.flicker_corner_hz = 1000.0;
+  c.opamp2.flicker_corner_hz = 500.0;
+  expect_block_matches_scalar(c, 108e-15, 640);
+}
+
+TEST(ModulatorBlock, MatchesScalarUnderHeavyMetastability) {
+  ModulatorConfig c;
+  c.comparator.metastable_band_v = 0.5;  // constant mid-frame plan resyncs
+  expect_block_matches_scalar(c, 104e-15, 512);
+}
+
+TEST(ModulatorBlock, MatchesScalarWithNoiseSourcesDisabled) {
+  expect_block_matches_scalar(ideal_config(), 100e-15, 256);
+  ModulatorConfig c = ideal_config();
+  c.enable_settling = true;  // settle-skip fast path with all noise off
+  expect_block_matches_scalar(c, 120e-15, 256);
+}
+
+TEST(ModulatorBlock, MatchesScalarFirstOrderLoop) {
+  ModulatorConfig c;
+  c.order = 1;
+  c.opamp1.flicker_corner_hz = 2000.0;
+  expect_block_matches_scalar(c, 90e-15, 384);
+}
+
+TEST(ModulatorBlock, MatchesScalarWithSlowAmpPartialSettling) {
+  // τ large enough that the full-settle threshold is 0: every planned step
+  // must fall back to the real settle() call and still match.
+  ModulatorConfig c;
+  c.opamp1.gbw_hz = 100e3;
+  c.opamp2.gbw_hz = 100e3;
+  expect_block_matches_scalar(c, 110e-15, 512);
+}
+
 }  // namespace
 }  // namespace tono::analog

@@ -104,5 +104,43 @@ TEST(OpAmp, RejectsBadConfig) {
   EXPECT_THROW((OpAmp{bad4}), std::invalid_argument);
 }
 
+// full_settle_threshold's contract is *bitwise*: settle(v, dt) == v exactly
+// for every |v| ≤ the threshold. The modulator's block path skips settle()
+// based on this, so an off-by-one-ulp here would silently fork the block and
+// scalar bitstreams.
+TEST(OpAmp, FullSettleThresholdIsBitExact) {
+  for (double gbw : {10e6, 5e6, 40e6}) {
+    for (double sr : {5e6, 0.5e6, 50e6}) {
+      OpAmpConfig cfg;
+      cfg.gbw_hz = gbw;
+      cfg.slew_rate_v_per_s = sr;
+      OpAmp amp{cfg};
+      const double dt = 0.5 / 128000.0;
+      const double t = amp.full_settle_threshold(dt);
+      ASSERT_GT(t, 0.0);
+      // Sweep magnitudes across both regimes up to exactly the threshold,
+      // including the threshold itself and values straddling the
+      // linear/slew hand-off (SR·τ).
+      for (double frac : {1e-9, 1e-4, 0.01, 0.3, 0.7, 0.999, 1.0}) {
+        const double v = t * frac;
+        ASSERT_EQ(amp.settle(v, dt), v) << "gbw=" << gbw << " sr=" << sr
+                                        << " v=" << v;
+        ASSERT_EQ(amp.settle(-v, dt), -v);
+      }
+      const double next_up = std::nextafter(t, 2.0 * t);
+      // Just above the threshold settle may (and for slow amps will) fall
+      // short; it must never overshoot.
+      EXPECT_LE(std::abs(amp.settle(next_up, dt)), next_up);
+    }
+  }
+}
+
+TEST(OpAmp, FullSettleThresholdZeroWhenClockTooFast) {
+  OpAmpConfig cfg;
+  cfg.gbw_hz = 100e3;  // τ ≈ 2.7 µs; 40τ ≫ the 3.9 µs half-period
+  OpAmp amp{cfg};
+  EXPECT_EQ(amp.full_settle_threshold(0.5 / 128000.0), 0.0);
+}
+
 }  // namespace
 }  // namespace tono::analog

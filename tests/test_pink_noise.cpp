@@ -72,6 +72,32 @@ TEST(PinkNoise, RejectsBadOctaves) {
   EXPECT_THROW((PinkNoise{Rng{1}, 30}), std::invalid_argument);
 }
 
+TEST(PinkNoise, FillNextBitIdenticalToScalarNext) {
+  for (std::size_t n : {1u, 2u, 127u, 128u, 129u, 300u}) {
+    PinkNoise scalar{Rng{91}, 20};
+    PinkNoise bulk{Rng{91}, 20};
+    std::vector<double> want(n);
+    for (auto& v : want) v = scalar.next();
+    std::vector<double> got(n);
+    bulk.fill_next(got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(want[i], got[i]) << "n=" << n << " i=" << i;
+    // Generator state (row table, counter, rng incl. spare) identical after.
+    for (int i = 0; i < 50; ++i) ASSERT_EQ(scalar.next(), bulk.next());
+  }
+}
+
+TEST(PinkNoise, FillNextInterleavesWithScalarNext) {
+  PinkNoise scalar{Rng{17}, 16};
+  PinkNoise mixed{Rng{17}, 16};
+  std::vector<double> want(40);
+  for (auto& v : want) v = scalar.next();
+  std::vector<double> got(40);
+  mixed.fill_next(got.data(), 13);            // odd count: rng spare cached
+  for (int i = 13; i < 20; ++i) got[i] = mixed.next();
+  mixed.fill_next(got.data() + 20, 20);
+  for (std::size_t i = 0; i < 40; ++i) ASSERT_EQ(want[i], got[i]) << i;
+}
+
 TEST(PinkNoise, LowFrequencyPowerDominates) {
   const auto x = generate(1 << 16, 21);
   // The running mean over long blocks wanders far more than white noise's

@@ -160,6 +160,67 @@ TEST(Rng, GaussianSpareCacheConsistency) {
   EXPECT_DOUBLE_EQ(a.gaussian(), b.gaussian());
 }
 
+// fill_gaussian must be indistinguishable from a scalar draw loop: same
+// values, same end state, same spare-cache behaviour. These tests pin the
+// contract the modulator's noise plan depends on.
+TEST(RngFill, BitIdenticalToScalarDraws) {
+  for (std::size_t n : {0u, 1u, 2u, 3u, 7u, 64u, 127u, 128u, 129u, 513u}) {
+    Rng scalar{777};
+    Rng bulk{777};
+    std::vector<double> want(n);
+    for (auto& v : want) v = scalar.gaussian();
+    std::vector<double> got(n);
+    bulk.fill_gaussian(got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(want[i], got[i]) << "n=" << n << " i=" << i;
+    }
+    // End state identical, including the spare cache: the next draws agree.
+    EXPECT_EQ(scalar.gaussian(), bulk.gaussian()) << "n=" << n;
+    EXPECT_EQ(scalar.next_u64(), bulk.next_u64()) << "n=" << n;
+  }
+}
+
+TEST(RngFill, SpareCarriesAcrossCalls) {
+  // Odd-length fills leave a spare; the next fill (or scalar draw) must
+  // consume it exactly as a scalar loop would.
+  Rng scalar{31337};
+  Rng bulk{31337};
+  std::vector<double> want(10);
+  for (auto& v : want) v = scalar.gaussian();
+  std::vector<double> got(10);
+  bulk.fill_gaussian(got.data(), 3);       // odd: spare cached
+  bulk.fill_gaussian(got.data() + 3, 1);   // consumes the spare only
+  bulk.fill_gaussian(got.data() + 4, 5);   // odd again
+  got[9] = bulk.gaussian();                // scalar consumes the spare
+  for (std::size_t i = 0; i < 10; ++i) ASSERT_EQ(want[i], got[i]) << i;
+}
+
+TEST(RngFill, SpareFromScalarDrawSeedsTheFill) {
+  // A spare pending from a scalar gaussian() becomes dest[0].
+  Rng scalar{5};
+  Rng bulk{5};
+  (void)scalar.gaussian();  // leaves a spare in both
+  (void)bulk.gaussian();
+  std::vector<double> want(4);
+  for (auto& v : want) v = scalar.gaussian();
+  std::vector<double> got(4);
+  bulk.fill_gaussian(got.data(), 4);
+  for (std::size_t i = 0; i < 4; ++i) ASSERT_EQ(want[i], got[i]) << i;
+}
+
+TEST(RngFill, MeanSigmaMatchesScalarAffineDraws) {
+  Rng scalar{123456};
+  Rng bulk{123456};
+  const double mean = 1.5e-3;
+  const double sigma = 30e-6;
+  std::vector<double> want(257);
+  for (auto& v : want) v = scalar.gaussian(mean, sigma);
+  std::vector<double> got(257);
+  bulk.fill_gaussian(got.data(), 257, mean, sigma);
+  for (std::size_t i = 0; i < 257; ++i) ASSERT_EQ(want[i], got[i]) << i;
+  EXPECT_EQ(scalar.gaussian(), bulk.gaussian());
+}
+
 // Chi-squared sanity check on uniform byte distribution.
 TEST(Rng, UniformBytesChiSquared) {
   Rng rng{2024};
