@@ -35,6 +35,7 @@
 #include "src/core/sweep_runner.hpp"
 #include "src/dsp/decimation.hpp"
 #include "src/dsp/fft.hpp"
+#include "src/fleet/fleet_scheduler.hpp"
 #include "src/mems/transducer.hpp"
 
 namespace {
@@ -231,6 +232,52 @@ void BM_SweepTrials(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepTrials)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+// A pre-admitted ward at steady state, reused across iterations so the
+// one-time admission cost (localization-free cuff calibration per session)
+// stays out of the timed region. Sessions keep streaming across iterations —
+// exactly the serving loop's steady state.
+struct FleetFixture {
+  fleet::WardAggregator ward;
+  std::unique_ptr<fleet::FleetScheduler> scheduler;
+
+  explicit FleetFixture(std::size_t n_sessions) {
+    fleet::FleetConfig config;  // threads = 0: hardware concurrency
+    config.base_seed = 11;
+    scheduler = std::make_unique<fleet::FleetScheduler>(config, ward);
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+      (void)scheduler->admit(fleet::SessionConfig{});
+    }
+    (void)scheduler->step_all();  // admission + calibration, untimed
+  }
+};
+
+FleetFixture& fleet_fixture(std::size_t n_sessions) {
+  static std::map<std::size_t, std::unique_ptr<FleetFixture>> cache;
+  auto& slot = cache[n_sessions];
+  if (!slot) slot = std::make_unique<FleetFixture>(n_sessions);
+  return *slot;
+}
+
+void BM_FleetSteadyState(benchmark::State& state) {
+  // Arg = admitted sessions. One iteration = one scheduler batch (every
+  // session advances frames_per_step output frames, ward drained). Items
+  // are output codes across the whole ward, so items_per_second at
+  // different Args gives the fleet scaling factor directly, and
+  // items_per_second / 1 kHz is how many real-time patients this host
+  // serves at that ward size.
+  auto& fixture = fleet_fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.scheduler->step_all());
+  }
+  const auto codes = static_cast<std::int64_t>(state.iterations()) *
+                     state.range(0) *
+                     static_cast<std::int64_t>(fixture.scheduler->config().frames_per_step);
+  state.SetItemsProcessed(codes);
+  state.counters["realtime_sessions"] = benchmark::Counter(
+      static_cast<double>(codes) / 1000.0, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetSteadyState)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->UseRealTime();
+
 void BM_Fft8k(benchmark::State& state) {
   std::vector<dsp::Complex> x(8192);
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -332,6 +379,9 @@ std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
   const double sweep1 = rate_of(results, "BM_SweepTrials/1/real_time");
   const double sweep2 = rate_of(results, "BM_SweepTrials/2/real_time");
   const double sweep4 = rate_of(results, "BM_SweepTrials/4/real_time");
+  const double fleet1 = rate_of(results, "BM_FleetSteadyState/1/real_time");
+  const double fleet16 = rate_of(results, "BM_FleetSteadyState/16/real_time");
+  const double fleet64 = rate_of(results, "BM_FleetSteadyState/64/real_time");
   os << "    \"derived\": {\n";
   os << "      \"pipeline_block_vs_scalar\": " << ratio(block_pipe, scalar_pipe) << ",\n";
   os << "      \"modulator_block_vs_scalar\": " << ratio(block_mod, scalar_mod) << ",\n";
@@ -339,7 +389,9 @@ std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
   os << "      \"decimation_frame_vs_push\": " << ratio(frame_dec, scalar_dec) << ",\n";
   os << "      \"pipeline_block_realtime_x\": " << block_pipe / 128000.0 << ",\n";
   os << "      \"sweep_speedup_2t\": " << ratio(sweep2, sweep1) << ",\n";
-  os << "      \"sweep_speedup_4t\": " << ratio(sweep4, sweep1) << "\n";
+  os << "      \"sweep_speedup_4t\": " << ratio(sweep4, sweep1) << ",\n";
+  os << "      \"fleet_scaling_16_vs_1\": " << ratio(fleet16, fleet1) << ",\n";
+  os << "      \"fleet_realtime_sessions_64\": " << fleet64 / 1000.0 << "\n";
   os << "    }\n";
   os << "  }";
   return os.str();

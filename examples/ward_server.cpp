@@ -1,0 +1,150 @@
+// ward_server — the fleet serving loop: N concurrent patient sessions,
+// bounded telemetry rings, ward-level alarm aggregation.
+//
+//   ward_server --sessions 16 --duration 10 --seed 11
+//               [--threads 0] [--frames-per-step 64] [--code-policy drop]
+//               [--snapshot ward.jsonl] [--metrics metrics.jsonl] [--verbose]
+//
+// Each session is a full vertical slice (scenario → transducer → ΔΣ →
+// decimation → streaming monitor); the scheduler steps them in deterministic
+// parallel batches (bit-identical to serial, see docs/FLEET.md) and the
+// ward aggregator drains codes/events concurrently, escalating unresolved
+// alarms. The session mix cycles through the patient presets and scenarios
+// so a default run exercises alarms, quality gating and escalation.
+#include <iostream>
+#include <fstream>
+#include <string>
+
+#include "src/common/cli.hpp"
+#include "src/common/metrics.hpp"
+#include "src/fleet/fleet_scheduler.hpp"
+
+namespace {
+
+using namespace tono;
+
+/// The admission mix: clinically distinct presets so a ward of any size has
+/// quiet patients, alarm-worthy ones, and one scenario-driven crash.
+fleet::SessionConfig session_mix(std::size_t index) {
+  fleet::SessionConfig config;
+  switch (index % 5) {
+    case 0:
+      break;  // normotensive at rest
+    case 1:
+      config.wrist.pulse = bio::PatientPresets::hypertensive();
+      break;
+    case 2:
+      config.wrist.pulse = bio::PatientPresets::tachycardic();
+      break;
+    case 3:
+      config.scenario = "hypotensive";  // the E10 crash a cuff would miss
+      break;
+    case 4:
+      config.scenario = "exercise";
+      break;
+  }
+  return config;
+}
+
+const char* mix_label(std::size_t index) {
+  switch (index % 5) {
+    case 0: return "rest";
+    case 1: return "hypertensive";
+    case 2: return "tachycardic";
+    case 3: return "hypotensive-episode";
+    case 4: return "exercise";
+  }
+  return "rest";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args{"ward_server", "serve N concurrent patient monitoring sessions"};
+  args.add_int("sessions", "number of patient sessions to admit", 16);
+  args.add_double("duration", "monitoring stream per session [s]", 10.0);
+  args.add_int("seed", "fleet base seed (per-session seeds derive from it)", 11);
+  args.add_int("threads", "worker threads (0 = hardware, 1 = serial reference)", 0);
+  args.add_int("frames-per-step", "output frames per session per batch", 64);
+  args.add_string("code-policy", "codes-ring backpressure: drop | block", "drop");
+  args.add_string("snapshot", "write the ward JSONL snapshot to this file", "");
+  args.add_string("metrics", "write a JSONL runtime-metrics snapshot to this file", "");
+  args.add_flag("verbose", "print per-session rows (always printed for quarantines)");
+  if (!args.parse(argc, argv)) {
+    std::cerr << (args.help_requested() ? args.help_text() : args.error() + "\n");
+    return args.help_requested() ? 0 : 2;
+  }
+  const auto n_sessions = static_cast<std::size_t>(args.int_value("sessions"));
+  const double duration_s = args.double_value("duration");
+  const std::string policy_name = args.string_value("code-policy");
+  if (policy_name != "drop" && policy_name != "block") {
+    std::cerr << "--code-policy must be 'drop' or 'block'\n";
+    return 2;
+  }
+
+  fleet::WardConfig ward_config;
+  fleet::WardAggregator ward{ward_config};
+  fleet::FleetConfig fleet_config;
+  fleet_config.threads = static_cast<std::size_t>(args.int_value("threads"));
+  fleet_config.base_seed = static_cast<std::uint64_t>(args.int_value("seed"));
+  fleet_config.frames_per_step =
+      static_cast<std::size_t>(args.int_value("frames-per-step"));
+  fleet::FleetScheduler scheduler{fleet_config, ward};
+
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    fleet::SessionConfig config = session_mix(i);
+    config.code_policy = policy_name == "block" ? BackpressurePolicy::kBlock
+                                                : BackpressurePolicy::kDropOldest;
+    (void)scheduler.admit(std::move(config), mix_label(i));
+  }
+  std::cout << "ward_server: " << n_sessions << " sessions admitted, "
+            << scheduler.thread_count() << " worker thread(s), " << duration_s
+            << " s per session\n";
+
+  scheduler.run(duration_s);
+
+  std::size_t quarantined = 0;
+  for (const auto& s : ward.sessions()) {
+    if (s.lifecycle == fleet::SessionState::kQuarantined) ++quarantined;
+    if (args.flag("verbose") || s.lifecycle == fleet::SessionState::kQuarantined) {
+      std::cout << "  [" << s.id << "] " << s.label << " (" << to_string(s.lifecycle)
+                << "): " << s.codes << " codes, " << s.beats << " beats, BP "
+                << s.last_systolic_mmhg << "/" << s.last_diastolic_mmhg << " mmHg, SQI "
+                << s.last_sqi << ", alarms " << s.alarms_active << ", drops "
+                << s.code_drops + s.event_drops
+                << (s.note.empty() ? "" : " — " + s.note) << "\n";
+    }
+  }
+  std::cout << "ward: " << ward.codes_consumed() << " codes, "
+            << ward.events_consumed() << " events consumed; alarms active "
+            << ward.alarms_active() << " (queue " << ward.alarm_queue().size()
+            << ", escalations " << ward.escalations() << "); drops "
+            << ward.total_drops() << " (events " << ward.event_drops()
+            << "); quarantined " << quarantined << "\n";
+
+  const std::string snapshot = args.string_value("snapshot");
+  if (!snapshot.empty()) {
+    std::ofstream out{snapshot};
+    if (!out) {
+      std::cerr << "cannot write snapshot to " << snapshot << "\n";
+      return 1;
+    }
+    ward.export_jsonl(out);
+    std::cout << "wrote ward snapshot to " << snapshot << "\n";
+  }
+  const std::string metrics_path = args.string_value("metrics");
+  if (!metrics_path.empty()) {
+    metrics::register_standard_instruments();
+    if (!metrics::Registry::global().write_jsonl_file(metrics_path)) {
+      std::cerr << "cannot write metrics to " << metrics_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote metrics snapshot to " << metrics_path << "\n";
+  }
+  // The blocking events ring is the clinical contract: nothing may be lost.
+  if (ward.event_drops() != 0) {
+    std::cerr << "ERROR: " << ward.event_drops() << " beat/alarm events dropped\n";
+    return 1;
+  }
+  return 0;
+}

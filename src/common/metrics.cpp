@@ -240,19 +240,24 @@ void register_standard_instruments(Registry& r) {
         kDecimationFirSaturations, kSweepRuns, kSweepTrials, kPoolTasksSubmitted,
         kPoolTasksExecuted, kTelemetryFramesOk, kTelemetryCrcErrors,
         kTelemetryResyncs, kTelemetryLostFrames, kMonitorSessions, kMonitorBeats,
-        kMonitorQualityRejections, kMonitorRescans, kMonitorAlarmsRaised}) {
+        kMonitorQualityRejections, kMonitorRescans, kMonitorAlarmsRaised,
+        kFleetSessionsAdmitted, kFleetSessionsDischarged, kFleetSessionsQuarantined,
+        kFleetBatches, kFleetFrames, kFleetRingDrops, kFleetRingBlocks,
+        kWardCodesConsumed, kWardEventsConsumed, kWardEscalations}) {
     (void)r.counter(name);
   }
   for (const char* name :
        {kModulatorPeakState1V, kModulatorPeakState2V, kModulatorClipCount,
-        kModulatorBankLanes, kSweepThreads, kPoolPeakQueueDepth, kMonitorLastSqi,
-        kMonitorAlarmLatencyS}) {
+        kModulatorBankLanes, kSweepThreads, kPoolPeakQueueDepth, kPoolQueueDepth,
+        kMonitorLastSqi, kMonitorAlarmLatencyS, kFleetSessionsActive,
+        kWardAlarmsActive}) {
     (void)r.gauge(name);
   }
   static constexpr double kStrandBounds[] = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
                                              64.0, 128.0, 256.0, 1024.0};
   (void)r.histogram(kSweepTrialsPerStrand, kStrandBounds);
-  for (const char* name : {kSweepRunWall, kMonitorSessionWall, kBankStepBlock}) {
+  for (const char* name :
+       {kSweepRunWall, kMonitorSessionWall, kBankStepBlock, kFleetBatchWall}) {
     (void)r.timer(name);
   }
 }

@@ -208,6 +208,9 @@ inline constexpr const char* kSweepThreads = "sweep.threads";
 inline constexpr const char* kPoolTasksSubmitted = "threadpool.tasks_submitted";
 inline constexpr const char* kPoolTasksExecuted = "threadpool.tasks_executed";
 inline constexpr const char* kPoolPeakQueueDepth = "threadpool.peak_queue_depth";
+/// Instantaneous queue depth (set on every submit/claim under the queue
+/// lock); the fleet scheduler reads this to spot a starved batch.
+inline constexpr const char* kPoolQueueDepth = "threadpool.queue_depth";
 // Telemetry link (FrameDecoder / LinkStats)
 inline constexpr const char* kTelemetryFramesOk = "telemetry.frames_ok";
 inline constexpr const char* kTelemetryCrcErrors = "telemetry.crc_errors";
@@ -222,6 +225,21 @@ inline constexpr const char* kMonitorLastSqi = "monitor.last_sqi";
 inline constexpr const char* kMonitorSessionWall = "monitor.session_wall";
 inline constexpr const char* kMonitorAlarmsRaised = "monitor.alarms_raised";
 inline constexpr const char* kMonitorAlarmLatencyS = "monitor.alarm_latency_s";
+// Fleet serving layer (FleetScheduler / PatientSession / WardAggregator;
+// see docs/FLEET.md)
+inline constexpr const char* kFleetSessionsAdmitted = "fleet.sessions_admitted";
+inline constexpr const char* kFleetSessionsDischarged = "fleet.sessions_discharged";
+inline constexpr const char* kFleetSessionsQuarantined = "fleet.sessions_quarantined";
+inline constexpr const char* kFleetBatches = "fleet.batches";
+inline constexpr const char* kFleetFrames = "fleet.frames";
+inline constexpr const char* kFleetBatchWall = "fleet.batch_wall";
+inline constexpr const char* kFleetSessionsActive = "fleet.sessions_active";
+inline constexpr const char* kFleetRingDrops = "fleet.ring_drops";
+inline constexpr const char* kFleetRingBlocks = "fleet.ring_blocks";
+inline constexpr const char* kWardCodesConsumed = "ward.codes_consumed";
+inline constexpr const char* kWardEventsConsumed = "ward.events_consumed";
+inline constexpr const char* kWardAlarmsActive = "ward.alarms_active";
+inline constexpr const char* kWardEscalations = "ward.escalations";
 }  // namespace names
 
 /// Pre-registers the full canonical instrument set in `r` (all zero until

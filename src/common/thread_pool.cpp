@@ -10,6 +10,7 @@ ThreadPool::ThreadPool(std::size_t thread_count) {
   tasks_submitted_ = &reg.counter(metrics::names::kPoolTasksSubmitted);
   tasks_executed_ = &reg.counter(metrics::names::kPoolTasksExecuted);
   peak_queue_depth_ = &reg.gauge(metrics::names::kPoolPeakQueueDepth);
+  queue_depth_ = &reg.gauge(metrics::names::kPoolQueueDepth);
   if (thread_count == 0) {
     thread_count = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
   }
@@ -33,14 +34,25 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard lock{mutex_};
     queue_.push_back(std::move(task));
     peak_queue_depth_->record_max(static_cast<double>(queue_.size()));
+    queue_depth_->set(static_cast<double>(queue_.size()));
   }
   tasks_submitted_->add(1);
   work_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock{mutex_};
-  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  std::exception_ptr pending;
+  {
+    std::unique_lock lock{mutex_};
+    idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+    pending = std::exchange(first_exception_, nullptr);
+  }
+  if (pending) std::rethrow_exception(pending);
+}
+
+std::exception_ptr ThreadPool::first_exception() const {
+  std::lock_guard lock{mutex_};
+  return first_exception_;
 }
 
 void ThreadPool::worker_loop_() {
@@ -52,11 +64,18 @@ void ThreadPool::worker_loop_() {
     if (queue_.empty()) return;
     auto task = std::move(queue_.front());
     queue_.pop_front();
+    queue_depth_->set(static_cast<double>(queue_.size()));
     ++running_;
     lock.unlock();
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     tasks_executed_->add(1);
     lock.lock();
+    if (error && !first_exception_) first_exception_ = error;
     --running_;
     if (queue_.empty() && running_ == 0) idle_.notify_all();
   }

@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -29,12 +30,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw — capture exceptions inside the
-  /// task (SweepRunner stores them per trial and rethrows on the caller).
+  /// Enqueues a task. A throwing task no longer takes the process down:
+  /// the pool captures the first uncaught exception and rethrows it on the
+  /// next wait_idle() (callers that need per-task granularity — SweepRunner,
+  /// FleetScheduler — still catch inside the task; they never see this path).
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and every worker is idle.
+  /// Blocks until the queue is empty and every worker is idle, then rethrows
+  /// the first exception that escaped a task since the last wait_idle().
   void wait_idle();
+
+  /// The first captured-and-not-yet-rethrown worker exception, or null.
+  /// Non-destructive peek; wait_idle() clears it when it rethrows.
+  [[nodiscard]] std::exception_ptr first_exception() const;
 
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
 
@@ -43,16 +51,18 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::size_t running_{0};  ///< tasks currently executing
   bool stop_{false};
+  std::exception_ptr first_exception_;  ///< first uncaught task exception
   // Observability (resolved once here; updated lock-free or under the
   // queue lock already held — see docs/OBSERVABILITY.md).
   metrics::Counter* tasks_submitted_;
   metrics::Counter* tasks_executed_;
   metrics::Gauge* peak_queue_depth_;
+  metrics::Gauge* queue_depth_;
 };
 
 }  // namespace tono

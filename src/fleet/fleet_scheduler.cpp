@@ -1,0 +1,217 @@
+#include "src/fleet/fleet_scheduler.hpp"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/common/rng.hpp"
+
+namespace tono::fleet {
+
+FleetScheduler::FleetScheduler(FleetConfig config, WardAggregator& ward)
+    : config_(std::move(config)), ward_(ward) {
+  if (config_.frames_per_step == 0) {
+    throw std::invalid_argument{"FleetScheduler: frames_per_step must be > 0"};
+  }
+  if (config_.threads != 1) pool_ = std::make_unique<ThreadPool>(config_.threads);
+  auto& reg = metrics::Registry::global();
+  admitted_metric_ = &reg.counter(metrics::names::kFleetSessionsAdmitted);
+  discharged_metric_ = &reg.counter(metrics::names::kFleetSessionsDischarged);
+  quarantined_metric_ = &reg.counter(metrics::names::kFleetSessionsQuarantined);
+  batches_metric_ = &reg.counter(metrics::names::kFleetBatches);
+  frames_metric_ = &reg.counter(metrics::names::kFleetFrames);
+  batch_wall_ = &reg.timer(metrics::names::kFleetBatchWall);
+  active_gauge_ = &reg.gauge(metrics::names::kFleetSessionsActive);
+}
+
+FleetScheduler::~FleetScheduler() = default;
+
+std::uint64_t FleetScheduler::session_seed(std::size_t admission_index) const {
+  // The SweepRunner derivation: depends only on (base_seed, stream_name,
+  // index), so a solo harness can reproduce any fleet session exactly.
+  return Rng{config_.base_seed}
+      .fork_named(config_.stream_name)
+      .fork(static_cast<std::uint64_t>(admission_index))
+      .next_u64();
+}
+
+std::uint32_t FleetScheduler::admit(SessionConfig config, std::string label) {
+  const auto index = sessions_.size();
+  if (config.seed == 0) config.seed = session_seed(index);
+  if (config.code_ring_capacity < config_.frames_per_step) {
+    // In serial mode nothing drains mid-batch; a ring smaller than one
+    // batch would wedge a blocking push forever.
+    throw std::invalid_argument{
+        "FleetScheduler: code ring capacity must cover one batch "
+        "(frames_per_step)"};
+  }
+  const auto id = static_cast<std::uint32_t>(index);
+  Slot slot;
+  slot.session = std::make_unique<PatientSession>(id, std::move(config));
+  ward_.attach(*slot.session, std::move(label));
+  ward_.set_lifecycle(id, SessionState::kAdmitted);
+  sessions_.push_back(std::move(slot));
+  admitted_metric_->add(1);
+  active_gauge_->set(static_cast<double>(active_sessions()));
+  return id;
+}
+
+FleetScheduler::Slot* FleetScheduler::find_(std::uint32_t id) {
+  return id < sessions_.size() ? &sessions_[id] : nullptr;
+}
+
+const FleetScheduler::Slot* FleetScheduler::find_(std::uint32_t id) const {
+  return id < sessions_.size() ? &sessions_[id] : nullptr;
+}
+
+void FleetScheduler::pause(std::uint32_t id) {
+  Slot* slot = find_(id);
+  if (slot == nullptr) return;
+  if (slot->state == SessionState::kRunning || slot->state == SessionState::kAdmitted) {
+    slot->state = SessionState::kPaused;
+    ward_.set_lifecycle(id, slot->state);
+    active_gauge_->set(static_cast<double>(active_sessions()));
+  }
+}
+
+void FleetScheduler::resume(std::uint32_t id) {
+  Slot* slot = find_(id);
+  if (slot == nullptr || slot->state != SessionState::kPaused) return;
+  slot->state = slot->session->admitted() ? SessionState::kRunning
+                                          : SessionState::kAdmitted;
+  ward_.set_lifecycle(id, slot->state);
+  active_gauge_->set(static_cast<double>(active_sessions()));
+}
+
+void FleetScheduler::discharge(std::uint32_t id) {
+  Slot* slot = find_(id);
+  if (slot == nullptr) return;
+  if (slot->state == SessionState::kDischarged ||
+      slot->state == SessionState::kQuarantined) {
+    return;
+  }
+  slot->state = SessionState::kDischarged;
+  ward_.set_lifecycle(id, slot->state);
+  (void)ward_.drain_once();  // collect anything still queued
+  discharged_metric_->add(1);
+  active_gauge_->set(static_cast<double>(active_sessions()));
+}
+
+SessionState FleetScheduler::state(std::uint32_t id) const {
+  const Slot* slot = find_(id);
+  if (slot == nullptr) throw std::out_of_range{"FleetScheduler: unknown session id"};
+  return slot->state;
+}
+
+const std::string& FleetScheduler::quarantine_reason(std::uint32_t id) const {
+  const Slot* slot = find_(id);
+  if (slot == nullptr) throw std::out_of_range{"FleetScheduler: unknown session id"};
+  return slot->quarantine_reason;
+}
+
+PatientSession* FleetScheduler::session(std::uint32_t id) {
+  Slot* slot = find_(id);
+  return slot != nullptr ? slot->session.get() : nullptr;
+}
+
+std::size_t FleetScheduler::active_sessions() const {
+  std::size_t n = 0;
+  for (const auto& slot : sessions_) {
+    if (slot.state == SessionState::kAdmitted || slot.state == SessionState::kRunning) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void FleetScheduler::quarantine_(Slot& slot, const std::exception_ptr& error) {
+  slot.state = SessionState::kQuarantined;
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    slot.quarantine_reason = e.what();
+  } catch (...) {
+    slot.quarantine_reason = "unknown exception";
+  }
+  ward_.set_lifecycle(slot.session->id(), slot.state, slot.quarantine_reason);
+  quarantined_metric_->add(1);
+}
+
+std::size_t FleetScheduler::step_all(double until_s) {
+  // Batch membership decided up front on the caller thread; workers never
+  // touch lifecycle state.
+  std::vector<Slot*> batch;
+  batch.reserve(sessions_.size());
+  for (auto& slot : sessions_) {
+    if (slot.state != SessionState::kAdmitted && slot.state != SessionState::kRunning) {
+      continue;
+    }
+    if (slot.session->stream_time_s() >= until_s) continue;
+    batch.push_back(&slot);
+  }
+  if (batch.empty()) return 0;
+
+  batches_metric_->add(1);
+  metrics::TraceSpan span{*batch_wall_};
+  const std::size_t frames = config_.frames_per_step;
+  std::vector<std::exception_ptr> errors(batch.size());
+
+  if (pool_ == nullptr) {
+    // Serial reference execution. Rings hold a full batch (enforced at
+    // admit), so nothing blocks with the consumer waiting below.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      try {
+        batch[i]->session->step(frames);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    // One task per session; the caller drains the ward while the workers
+    // produce, which is what un-blocks a full ring under the blocking
+    // policy.
+    std::atomic<std::size_t> remaining{batch.size()};
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      PatientSession* session = batch[i]->session.get();
+      std::exception_ptr* error = &errors[i];
+      pool_->submit([session, error, frames, &remaining] {
+        try {
+          session->step(frames);
+        } catch (...) {
+          *error = std::current_exception();
+        }
+        remaining.fetch_sub(1, std::memory_order_release);
+      });
+    }
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      if (ward_.drain_once() == 0) std::this_thread::yield();
+    }
+  }
+
+  std::size_t stepped = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (errors[i]) {
+      quarantine_(*batch[i], errors[i]);
+      continue;
+    }
+    if (batch[i]->state == SessionState::kAdmitted) {
+      batch[i]->state = SessionState::kRunning;
+      ward_.set_lifecycle(batch[i]->session->id(), SessionState::kRunning);
+    }
+    frames_metric_->add(frames);
+    ++stepped;
+  }
+  active_gauge_->set(static_cast<double>(active_sessions()));
+  (void)ward_.drain_once();
+  return stepped;
+}
+
+void FleetScheduler::run(double duration_s) {
+  while (step_all(duration_s) > 0) {
+  }
+  (void)ward_.drain_once();
+}
+
+}  // namespace tono::fleet

@@ -1,0 +1,117 @@
+// fleet_scheduler.hpp — deterministic batch stepping of many sessions.
+//
+// The serving loop of the fleet layer (docs/FLEET.md): sessions advance in
+// lockstep batches of `frames_per_step` output frames, fanned across the
+// shared ThreadPool — one task per session per batch, so a session is never
+// stepped by two threads at once. While workers produce, the caller thread
+// drains the ward aggregator, which is what lets tiny rings with blocking
+// backpressure make progress (and why the blocking policy cannot deadlock:
+// with threads == 1 there is no concurrent consumer, so ring capacities
+// must cover one whole batch — enforced at admission).
+//
+// Determinism reuses the SweepRunner pattern: session i's seed derives from
+// (base_seed, stream_name, admission index) alone, every session owns all
+// of its mutable state, and each batch is a barrier — so the parallel fleet
+// is bit-identical to stepping the same sessions serially, regardless of
+// thread count or scheduling (tests/test_fleet.cpp).
+//
+// Crash isolation: an admit()/step() that throws quarantines that session —
+// the exception is recorded as the quarantine reason, the batch and every
+// other session continue, and nothing propagates to the caller.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/fleet/patient_session.hpp"
+#include "src/fleet/ward_aggregator.hpp"
+
+namespace tono::fleet {
+
+struct FleetConfig {
+  /// Worker threads. 0 → hardware concurrency; 1 → serial reference loop
+  /// (no pool), the execution every parallel run must be bit-identical to.
+  std::size_t threads{0};
+  std::uint64_t base_seed{0x70A05EEDull};
+  /// Seed-stream family name; two fleets with different names draw
+  /// decorrelated session seeds from the same base seed.
+  std::string stream_name{"fleet"};
+  /// Output frames (1 ms each at the paper rate) per session per batch.
+  std::size_t frames_per_step{64};
+};
+
+class FleetScheduler {
+ public:
+  FleetScheduler(FleetConfig config, WardAggregator& ward);
+  ~FleetScheduler();
+
+  FleetScheduler(const FleetScheduler&) = delete;
+  FleetScheduler& operator=(const FleetScheduler&) = delete;
+
+  /// The deterministic seed of admission index i — depends only on
+  /// (base_seed, stream_name, i). A solo harness reproducing fleet session
+  /// i bit-for-bit seeds its session with this value.
+  [[nodiscard]] std::uint64_t session_seed(std::size_t admission_index) const;
+
+  /// Registers a session (state kAdmitted) and attaches it to the ward.
+  /// config.seed == 0 is replaced with session_seed(admission index).
+  /// Admission work (localization + calibration) runs inside the session's
+  /// first batch task, so it parallelizes and quarantines like a step.
+  /// Throws std::invalid_argument if the code ring cannot hold one batch
+  /// (frames_per_step) — the serial-mode deadlock guard.
+  std::uint32_t admit(SessionConfig config, std::string label = "");
+
+  void pause(std::uint32_t id);
+  void resume(std::uint32_t id);
+  void discharge(std::uint32_t id);
+
+  [[nodiscard]] SessionState state(std::uint32_t id) const;
+  /// Exception text of a quarantined session ("" otherwise).
+  [[nodiscard]] const std::string& quarantine_reason(std::uint32_t id) const;
+  [[nodiscard]] PatientSession* session(std::uint32_t id);
+  [[nodiscard]] std::size_t size() const noexcept { return sessions_.size(); }
+  [[nodiscard]] std::size_t active_sessions() const;
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return pool_ ? pool_->thread_count() : 1;
+  }
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+
+  /// One batch: every admitted/running session with stream_time_s() <
+  /// `until_s` advances frames_per_step frames. Returns sessions stepped.
+  std::size_t step_all(double until_s = 1e300);
+
+  /// Batches until every admitted/running session has produced `duration_s`
+  /// of monitoring stream (or quarantined trying), then fully drains the
+  /// ward. Paused sessions are skipped, not waited for.
+  void run(double duration_s);
+
+ private:
+  struct Slot {
+    std::unique_ptr<PatientSession> session;
+    SessionState state{SessionState::kAdmitted};
+    std::string quarantine_reason;
+  };
+
+  [[nodiscard]] Slot* find_(std::uint32_t id);
+  [[nodiscard]] const Slot* find_(std::uint32_t id) const;
+  void quarantine_(Slot& slot, const std::exception_ptr& error);
+
+  FleetConfig config_;
+  WardAggregator& ward_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when threads == 1
+  std::vector<Slot> sessions_;
+  // Observability (resolved once at construction; batch-rate updates).
+  metrics::Counter* admitted_metric_;
+  metrics::Counter* discharged_metric_;
+  metrics::Counter* quarantined_metric_;
+  metrics::Counter* batches_metric_;
+  metrics::Counter* frames_metric_;
+  metrics::Timer* batch_wall_;
+  metrics::Gauge* active_gauge_;
+};
+
+}  // namespace tono::fleet

@@ -1,0 +1,174 @@
+#include "src/fleet/patient_session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/bio/cuff.hpp"
+#include "src/core/quality.hpp"
+#include "src/core/scan.hpp"
+
+namespace tono::fleet {
+namespace {
+
+/// Per-session stream decorrelation: every random consumer in the slice
+/// forks its own stream from the session seed, so two sessions with
+/// different seeds never share a draw — and a session's draws are identical
+/// whether it runs solo or inside a 64-session fleet.
+struct DerivedSeeds {
+  std::uint64_t chip;
+  std::uint64_t modulator;
+  std::uint64_t pulse;
+  std::uint64_t artifacts;
+  std::uint64_t cuff;
+};
+
+DerivedSeeds derive_seeds(std::uint64_t session_seed) {
+  Rng root{session_seed};
+  return DerivedSeeds{
+      .chip = root.fork_named("chip").next_u64(),
+      .modulator = root.fork_named("modulator").next_u64(),
+      .pulse = root.fork_named("pulse").next_u64(),
+      .artifacts = root.fork_named("artifacts").next_u64(),
+      .cuff = root.fork_named("cuff").next_u64(),
+  };
+}
+
+std::shared_ptr<const bio::ScenarioProfile> make_scenario(const std::string& name) {
+  if (name == "rest") return nullptr;  // static setpoints
+  if (name == "exercise") {
+    return std::make_shared<bio::ScenarioProfile>(bio::ScenarioProfile::exercise());
+  }
+  if (name == "hypotensive") {
+    return std::make_shared<bio::ScenarioProfile>(
+        bio::ScenarioProfile::hypotensive_episode());
+  }
+  throw std::invalid_argument{"PatientSession: unknown scenario '" + name + "'"};
+}
+
+}  // namespace
+
+std::string to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kAdmitted: return "admitted";
+    case SessionState::kRunning: return "running";
+    case SessionState::kPaused: return "paused";
+    case SessionState::kDischarged: return "discharged";
+    case SessionState::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+PatientSession::PatientSession(std::uint32_t id, SessionConfig config)
+    : id_(id),
+      config_(std::move(config)),
+      codes_(config_.code_ring_capacity),
+      events_(config_.event_ring_capacity) {
+  const DerivedSeeds seeds = derive_seeds(config_.seed);
+  config_.chip.seed = seeds.chip;
+  config_.chip.modulator.seed = seeds.modulator;
+  config_.wrist.pulse.seed = seeds.pulse;
+  config_.wrist.artifacts.seed = seeds.artifacts;
+  config_.wrist.scenario = make_scenario(config_.scenario);
+  inner_ = std::make_unique<core::BloodPressureMonitor>(config_.chip, config_.wrist);
+  field_ = inner_->contact_field();
+}
+
+PatientSession::~PatientSession() = default;
+
+double PatientSession::output_rate_hz() const noexcept {
+  return inner_->pipeline().output_rate_hz();
+}
+
+double PatientSession::stream_time_s() const noexcept {
+  return static_cast<double>(frames_produced_) / output_rate_hz();
+}
+
+void PatientSession::admit() {
+  if (admitted_) return;
+  auto& pipeline = inner_->pipeline();
+  if (config_.localize) {
+    (void)core::ScanController{}.scan(pipeline, field_);
+  }
+
+  // Cuff-anchored calibration (§3.2), but on the block-mode acquisition
+  // path: admission must stay cheap enough to run 64 of them — the scalar
+  // path BloodPressureMonitor::calibrate uses re-evaluates the contact
+  // field every 128 kHz clock, ~OSR× more field work for the same window.
+  bio::CuffConfig cuff_config;
+  cuff_config.seed = derive_seeds(config_.seed).cuff;
+  bio::OscillometricCuff cuff{cuff_config};
+  const auto reading =
+      cuff.measure(config_.wrist.pulse.systolic_mmhg, config_.wrist.pulse.diastolic_mmhg,
+                   config_.wrist.pulse.heart_rate_bpm);
+  if (!reading.valid) {
+    throw std::runtime_error{"PatientSession: cuff measurement failed"};
+  }
+
+  const auto n =
+      static_cast<std::size_t>(config_.calibration_window_s * pipeline.output_rate_hz());
+  const auto samples = pipeline.acquire_block(field_, n);
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const auto& s : samples) values.push_back(s.value);
+
+  core::BeatDetectorConfig det;
+  det.sample_rate_hz = pipeline.output_rate_hz();
+  if (config_.enforce_quality) {
+    core::QualityConfig qc;
+    qc.detector = det;
+    const auto quality = core::SignalQualityAssessor{qc}.assess(values);
+    if (!quality.usable) {
+      throw std::runtime_error{
+          "PatientSession: calibration window has no usable pulse signal (SQI " +
+          std::to_string(quality.sqi) + ")"};
+    }
+  }
+  calibration_ = core::TwoPointCalibration::from_waveform(
+      values, det, reading.systolic_mmhg, reading.diastolic_mmhg);
+
+  config_.streaming.sample_rate_hz = pipeline.output_rate_hz();
+  stream_ = std::make_unique<core::StreamingMonitor>(config_.streaming);
+  stream_->on_beat([this](const core::Beat& b) {
+    publish_event_(FleetEvent{.kind = FleetEventKind::kBeat,
+                              .session_id = id_,
+                              .time_s = b.peak_s,
+                              .value_a = b.systolic_value,
+                              .value_b = b.diastolic_value});
+  });
+  stream_->on_alarm([this](const core::AlarmEvent& a) {
+    publish_event_(FleetEvent{.kind = FleetEventKind::kAlarm,
+                              .session_id = id_,
+                              .alarm_kind = a.kind,
+                              .flag = a.active,
+                              .time_s = a.time_s,
+                              .value_a = a.value});
+  });
+  stream_->on_quality([this](const core::QualityReport& q, double t_s) {
+    publish_event_(FleetEvent{.kind = FleetEventKind::kQuality,
+                              .session_id = id_,
+                              .flag = q.usable,
+                              .time_s = t_s,
+                              .value_a = q.sqi});
+  });
+  admitted_ = true;
+}
+
+void PatientSession::step(std::size_t frames) {
+  if (!admitted_) admit();
+  if (frames == 0) return;
+  auto& pipeline = inner_->pipeline();
+  const auto samples = pipeline.acquire_block(field_, frames);
+  for (const auto& s : samples) {
+    (void)codes_.push(static_cast<std::int16_t>(s.code), config_.code_policy);
+    // The streaming monitor's callbacks fire inside push(): beats and
+    // alarms land in the events ring with bounded latency (one hop).
+    stream_->push(calibration_.to_mmhg(s.value));
+  }
+  frames_produced_ += frames;
+}
+
+void PatientSession::publish_event_(const FleetEvent& event) {
+  (void)events_.push(event, config_.event_policy);
+}
+
+}  // namespace tono::fleet

@@ -1,0 +1,147 @@
+// patient_session.hpp — one admitted patient's full vertical slice.
+//
+// The repo simulates one bedside chain end-to-end (Fig. 3: wrist →
+// transducer → ΔΣ modulator → decimation → calibrated mmHg stream); the
+// fleet layer (docs/FLEET.md) serves many of them concurrently. A
+// PatientSession owns everything one patient needs — bio scenario, chip
+// pipeline, cuff-anchored calibration, push-based StreamingMonitor — and
+// publishes its outputs into two bounded rings:
+//
+//   * codes ring  — every 12-bit converter word (1 kS/s), default
+//                   drop-oldest backpressure (stale telemetry is droppable,
+//                   and every drop is counted),
+//   * events ring — beats, alarms, quality reports, default blocking
+//                   backpressure (a lost alarm is a clinical failure).
+//
+// Determinism contract: a session's code stream depends only on its
+// SessionConfig (including the seed) and the step schedule — never on
+// which thread steps it or what other sessions exist. All randomness is
+// forked from `seed`, all state is owned by the session, and the shared
+// metrics registry never feeds back into the signal path. This is what
+// makes the N-session parallel fleet bit-identical to N solo runs
+// (tests/test_fleet.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/ring_buffer.hpp"
+#include "src/core/monitor.hpp"
+#include "src/core/streaming_monitor.hpp"
+
+namespace tono::fleet {
+
+/// Lifecycle of a session inside the scheduler (docs/FLEET.md):
+///
+///   kAdmitted ──step──► kRunning ◄──resume── kPaused
+///       │                  │  │──pause──────────▲
+///       │                  └──discharge──► kDischarged
+///       └──────── admit()/step() throws ──► kQuarantined
+///
+/// Quarantine is crash isolation: a throwing session is parked with its
+/// reason recorded; the batch and every other session continue.
+enum class SessionState : std::uint8_t {
+  kAdmitted,     ///< registered, not yet calibrated
+  kRunning,      ///< producing frames every batch
+  kPaused,       ///< retained but skipped by the scheduler
+  kDischarged,   ///< finished; rings drained and retired
+  kQuarantined,  ///< threw during admit/step; isolated, not fatal
+};
+
+[[nodiscard]] std::string to_string(SessionState state);
+
+enum class FleetEventKind : std::uint8_t { kBeat, kAlarm, kQuality };
+
+/// One beat/alarm/quality occurrence, trivially copyable for the ring.
+struct FleetEvent {
+  FleetEventKind kind{FleetEventKind::kBeat};
+  std::uint32_t session_id{0};
+  core::AlarmKind alarm_kind{core::AlarmKind::kSystolicLow};
+  bool flag{false};     ///< alarm: raised/cleared; quality: usable
+  double time_s{0.0};   ///< session stream time (0 = monitoring start)
+  double value_a{0.0};  ///< beat: systolic mmHg; alarm: confirming value; quality: SQI
+  double value_b{0.0};  ///< beat: diastolic mmHg
+};
+
+struct SessionConfig {
+  /// Root seed of every random stream in the slice (chip mismatch,
+  /// modulator noise, physiology). 0 lets the scheduler derive one from
+  /// (fleet base_seed, admission index) — the SweepRunner pattern.
+  std::uint64_t seed{0};
+  /// Bio scenario preset: "rest", "exercise" or "hypotensive".
+  std::string scenario{"rest"};
+  core::ChipConfig chip{core::ChipConfig::paper_chip()};
+  core::WristModel wrist{};
+  core::StreamingConfig streaming{};
+  /// Admission: optional localization scan, then a cuff-anchored two-point
+  /// calibration fitted on this acquisition window.
+  bool localize{false};
+  double calibration_window_s{8.0};
+  /// Reject admission when the calibration window has no usable pulse
+  /// (bad placement → quarantine instead of streaming garbage pressures).
+  bool enforce_quality{true};
+  /// Ring capacities (rounded up to powers of two) and policies. The codes
+  /// capacity must exceed the scheduler's frames_per_step, or a serial
+  /// (threads == 1) batch could block with nobody draining.
+  std::size_t code_ring_capacity{4096};
+  std::size_t event_ring_capacity{256};
+  BackpressurePolicy code_policy{BackpressurePolicy::kDropOldest};
+  BackpressurePolicy event_policy{BackpressurePolicy::kBlock};
+};
+
+class PatientSession {
+ public:
+  PatientSession(std::uint32_t id, SessionConfig config);
+  ~PatientSession();
+
+  PatientSession(const PatientSession&) = delete;
+  PatientSession& operator=(const PatientSession&) = delete;
+
+  /// Localizes (optional) and calibrates. Called once, before the first
+  /// step — by the scheduler inside the session's first batch task, so slow
+  /// admissions parallelize and a throwing admission quarantines cleanly.
+  void admit();
+
+  /// Produces `frames` output samples (1 ms each at the paper rate):
+  /// acquires via the block-mode pipeline, publishes every 12-bit code to
+  /// the codes ring, converts to mmHg through the calibration and feeds the
+  /// streaming monitor, whose beat/alarm/quality callbacks publish to the
+  /// events ring. Must only run on one thread at a time (the scheduler
+  /// guarantees one task per session per batch).
+  void step(std::size_t frames);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] const SessionConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool admitted() const noexcept { return admitted_; }
+  /// Monitoring stream time: frames produced / output rate. Excludes the
+  /// admission (localization + calibration) acquisition.
+  [[nodiscard]] double stream_time_s() const noexcept;
+  [[nodiscard]] std::uint64_t frames_produced() const noexcept { return frames_produced_; }
+  [[nodiscard]] double output_rate_hz() const noexcept;
+
+  [[nodiscard]] RingBuffer<std::int16_t>& codes() noexcept { return codes_; }
+  [[nodiscard]] RingBuffer<FleetEvent>& events() noexcept { return events_; }
+
+  /// The inner single-patient chain (tests/benches introspection).
+  [[nodiscard]] core::BloodPressureMonitor& monitor() noexcept { return *inner_; }
+  [[nodiscard]] const core::TwoPointCalibration& calibration() const noexcept {
+    return calibration_;
+  }
+
+ private:
+  void publish_event_(const FleetEvent& event);
+
+  std::uint32_t id_;
+  SessionConfig config_;
+  std::unique_ptr<core::BloodPressureMonitor> inner_;
+  core::ContactField field_;
+  core::TwoPointCalibration calibration_;
+  std::unique_ptr<core::StreamingMonitor> stream_;
+  RingBuffer<std::int16_t> codes_;
+  RingBuffer<FleetEvent> events_;
+  bool admitted_{false};
+  std::uint64_t frames_produced_{0};
+};
+
+}  // namespace tono::fleet

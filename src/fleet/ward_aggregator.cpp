@@ -1,0 +1,247 @@
+#include "src/fleet/ward_aggregator.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace tono::fleet {
+namespace {
+
+/// Minimal JSON string escape (labels and notes are simulator-generated,
+/// but a quarantine reason can carry arbitrary exception text).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(WardAlarmLevel level) {
+  switch (level) {
+    case WardAlarmLevel::kNotice: return "notice";
+    case WardAlarmLevel::kUrgent: return "urgent";
+    case WardAlarmLevel::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+WardAggregator::WardAggregator(WardConfig config) : config_(config) {
+  auto& reg = metrics::Registry::global();
+  codes_metric_ = &reg.counter(metrics::names::kWardCodesConsumed);
+  events_metric_ = &reg.counter(metrics::names::kWardEventsConsumed);
+  drops_metric_ = &reg.counter(metrics::names::kFleetRingDrops);
+  blocks_metric_ = &reg.counter(metrics::names::kFleetRingBlocks);
+  escalations_metric_ = &reg.counter(metrics::names::kWardEscalations);
+  alarms_active_gauge_ = &reg.gauge(metrics::names::kWardAlarmsActive);
+}
+
+void WardAggregator::attach(PatientSession& session, std::string label) {
+  WardSessionState state;
+  state.id = session.id();
+  state.label = label.empty() ? "session-" + std::to_string(session.id())
+                              : std::move(label);
+  sessions_.push_back(std::move(state));
+  entries_.push_back(Entry{.codes = &session.codes(),
+                           .events = &session.events(),
+                           .output_rate_hz = session.output_rate_hz(),
+                           .code_log = {}});
+}
+
+void WardAggregator::set_lifecycle(std::uint32_t session_id, SessionState state,
+                                   std::string note) {
+  for (auto& s : sessions_) {
+    if (s.id == session_id) {
+      s.lifecycle = state;
+      if (!note.empty()) s.note = std::move(note);
+      return;
+    }
+  }
+}
+
+const WardSessionState* WardAggregator::session(std::uint32_t session_id) const {
+  for (const auto& s : sessions_) {
+    if (s.id == session_id) return &s;
+  }
+  return nullptr;
+}
+
+std::size_t WardAggregator::drain_once() {
+  std::size_t consumed = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    WardSessionState& state = sessions_[i];
+
+    code_scratch_.clear();
+    const std::size_t n_codes = entry.codes->pop_all(code_scratch_);
+    if (n_codes > 0) {
+      state.codes += n_codes;
+      state.last_code = code_scratch_.back();
+      if (config_.record_codes) {
+        entry.code_log.insert(entry.code_log.end(), code_scratch_.begin(),
+                              code_scratch_.end());
+      }
+      codes_consumed_ += n_codes;
+      codes_metric_->add(n_codes);
+    }
+
+    event_scratch_.clear();
+    const std::size_t n_events = entry.events->pop_all(event_scratch_);
+    for (const auto& e : event_scratch_) consume_event_(state, e);
+    if (n_events > 0) {
+      state.events += n_events;
+      events_consumed_ += n_events;
+      events_metric_->add(n_events);
+    }
+
+    // Mirror ring-loss accounting; counters in the registry advance by the
+    // delta since the last drain.
+    const std::uint64_t code_drops = entry.codes->dropped();
+    const std::uint64_t event_drops = entry.events->dropped();
+    const std::uint64_t blocks =
+        entry.codes->block_events() + entry.events->block_events();
+    drops_metric_->add((code_drops - state.code_drops) +
+                       (event_drops - state.event_drops));
+    blocks_metric_->add(blocks - state.block_events);
+    state.code_drops = code_drops;
+    state.event_drops = event_drops;
+    state.block_events = blocks;
+
+    consumed += n_codes + n_events;
+  }
+  run_escalations_();
+  alarms_active_gauge_->set(static_cast<double>(alarms_active()));
+  return consumed;
+}
+
+void WardAggregator::consume_event_(WardSessionState& state, const FleetEvent& event) {
+  switch (event.kind) {
+    case FleetEventKind::kBeat:
+      ++state.beats;
+      state.last_systolic_mmhg = event.value_a;
+      state.last_diastolic_mmhg = event.value_b;
+      state.last_beat_s = event.time_s;
+      break;
+    case FleetEventKind::kQuality:
+      state.last_sqi = event.value_a;
+      state.sqi_usable = event.flag;
+      break;
+    case FleetEventKind::kAlarm:
+      if (event.flag) {
+        WardAlarm alarm{.session_id = event.session_id,
+                        .kind = event.alarm_kind,
+                        .level = WardAlarmLevel::kNotice,
+                        .raised_s = event.time_s,
+                        .value = event.value_a,
+                        .active = true};
+        // Multi-vital deterioration: enough distinct kinds active at once
+        // on one patient escalates straight to critical.
+        std::size_t active_kinds = 1;
+        for (const auto& a : alarm_queue_) {
+          if (a.active && a.session_id == event.session_id && a.kind != event.alarm_kind) {
+            ++active_kinds;
+          }
+        }
+        if (active_kinds >= config_.critical_active_kinds) {
+          alarm.level = WardAlarmLevel::kCritical;
+          ++escalations_;
+          escalations_metric_->add(1);
+        }
+        alarm_queue_.push_back(alarm);
+        ++state.alarms_active;
+      } else {
+        for (auto it = alarm_queue_.rbegin(); it != alarm_queue_.rend(); ++it) {
+          if (it->active && it->session_id == event.session_id &&
+              it->kind == event.alarm_kind) {
+            it->active = false;
+            break;
+          }
+        }
+        if (state.alarms_active > 0) --state.alarms_active;
+      }
+      break;
+  }
+}
+
+void WardAggregator::run_escalations_() {
+  for (auto& alarm : alarm_queue_) {
+    if (!alarm.active || alarm.level != WardAlarmLevel::kNotice) continue;
+    // Session stream time inferred from consumed codes — the aggregator
+    // never reads session objects while workers may be stepping them.
+    std::size_t index = 0;
+    while (index < sessions_.size() && sessions_[index].id != alarm.session_id) ++index;
+    if (index == sessions_.size()) continue;
+    const double stream_s =
+        static_cast<double>(sessions_[index].codes) / entries_[index].output_rate_hz;
+    if (stream_s - alarm.raised_s >= config_.escalate_after_s) {
+      alarm.level = WardAlarmLevel::kUrgent;
+      ++escalations_;
+      escalations_metric_->add(1);
+    }
+  }
+}
+
+std::size_t WardAggregator::alarms_active() const noexcept {
+  std::size_t n = 0;
+  for (const auto& a : alarm_queue_) {
+    if (a.active) ++n;
+  }
+  return n;
+}
+
+std::uint64_t WardAggregator::total_drops() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions_) n += s.code_drops + s.event_drops;
+  return n;
+}
+
+std::uint64_t WardAggregator::event_drops() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions_) n += s.event_drops;
+  return n;
+}
+
+const std::vector<std::int16_t>& WardAggregator::recorded_codes(
+    std::uint32_t session_id) const {
+  if (!config_.record_codes) {
+    throw std::logic_error{"WardAggregator: code recording is disabled"};
+  }
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i].id == session_id) return entries_[i].code_log;
+  }
+  throw std::out_of_range{"WardAggregator: unknown session id"};
+}
+
+void WardAggregator::export_jsonl(std::ostream& os) const {
+  for (const auto& s : sessions_) {
+    os << "{\"type\":\"session\",\"id\":" << s.id << ",\"label\":\""
+       << json_escape(s.label) << "\",\"state\":\"" << to_string(s.lifecycle)
+       << "\",\"codes\":" << s.codes << ",\"beats\":" << s.beats
+       << ",\"systolic_mmhg\":" << s.last_systolic_mmhg
+       << ",\"diastolic_mmhg\":" << s.last_diastolic_mmhg << ",\"sqi\":" << s.last_sqi
+       << ",\"sqi_usable\":" << (s.sqi_usable ? "true" : "false")
+       << ",\"alarms_active\":" << s.alarms_active << ",\"code_drops\":" << s.code_drops
+       << ",\"event_drops\":" << s.event_drops << ",\"blocks\":" << s.block_events;
+    if (!s.note.empty()) os << ",\"note\":\"" << json_escape(s.note) << "\"";
+    os << "}\n";
+  }
+  os << "{\"type\":\"ward\",\"sessions\":" << sessions_.size()
+     << ",\"codes_consumed\":" << codes_consumed_
+     << ",\"events_consumed\":" << events_consumed_
+     << ",\"alarms_active\":" << alarms_active()
+     << ",\"alarms_total\":" << alarm_queue_.size()
+     << ",\"escalations\":" << escalations_ << ",\"drops\":" << total_drops()
+     << ",\"event_drops\":" << event_drops() << "}\n";
+}
+
+}  // namespace tono::fleet

@@ -1,0 +1,276 @@
+// Tests for the fleet serving layer (src/fleet/): the determinism contract
+// (parallel fleet == serial fleet == solo sessions, bit for bit), metrics
+// on/off bit-exactness, session lifecycle including quarantine crash
+// isolation, and the ward aggregator's escalation policy. The Fleet and
+// Ward suites run under the CI TSan job.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/bio/pulse_generator.hpp"
+#include "src/common/metrics.hpp"
+#include "src/fleet/fleet_scheduler.hpp"
+
+namespace {
+
+using namespace tono;
+using fleet::FleetConfig;
+using fleet::FleetEvent;
+using fleet::FleetEventKind;
+using fleet::FleetScheduler;
+using fleet::PatientSession;
+using fleet::SessionConfig;
+using fleet::SessionState;
+using fleet::WardAggregator;
+using fleet::WardAlarmLevel;
+using fleet::WardConfig;
+
+/// The mixed 3-session ward every determinism test runs: a quiet patient,
+/// an alarm-worthy preset, a scenario-driven one.
+SessionConfig mixed_config(std::size_t index) {
+  SessionConfig config;
+  if (index == 1) config.wrist.pulse = bio::PatientPresets::hypertensive();
+  if (index == 2) config.scenario = "exercise";
+  return config;
+}
+
+/// Runs a 3-session fleet for `duration_s` and returns the recorded code
+/// stream of every session.
+std::vector<std::vector<std::int16_t>> run_fleet(std::size_t threads,
+                                                 double duration_s) {
+  WardConfig ward_config;
+  ward_config.record_codes = true;
+  WardAggregator ward{ward_config};
+  FleetConfig fleet_config;
+  fleet_config.threads = threads;
+  FleetScheduler scheduler{fleet_config, ward};
+  for (std::size_t i = 0; i < 3; ++i) {
+    (void)scheduler.admit(mixed_config(i));
+  }
+  scheduler.run(duration_s);
+  std::vector<std::vector<std::int16_t>> codes;
+  for (std::uint32_t id = 0; id < 3; ++id) {
+    codes.push_back(ward.recorded_codes(id));
+  }
+  return codes;
+}
+
+TEST(Fleet, SessionSeedDependsOnlyOnBaseSeedStreamAndIndex) {
+  WardAggregator ward_a, ward_b, ward_c;
+  FleetConfig config;
+  FleetScheduler a{config, ward_a};
+  FleetScheduler b{config, ward_b};
+  EXPECT_EQ(a.session_seed(0), b.session_seed(0));
+  EXPECT_EQ(a.session_seed(7), b.session_seed(7));
+  EXPECT_NE(a.session_seed(0), a.session_seed(1));
+  config.stream_name = "other";
+  FleetScheduler c{config, ward_c};
+  EXPECT_NE(a.session_seed(0), c.session_seed(0));
+}
+
+TEST(Fleet, ParallelIsBitIdenticalToSerial) {
+  const auto serial = run_fleet(1, 1.0);
+  const auto parallel = run_fleet(4, 1.0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_FALSE(serial[i].empty()) << "session " << i << " produced no codes";
+    EXPECT_EQ(serial[i], parallel[i]) << "session " << i << " diverged";
+  }
+}
+
+TEST(Fleet, FleetSessionIsBitIdenticalToSoloRun) {
+  const auto fleet_codes = run_fleet(1, 1.0);
+
+  // Reproduce each session solo: same derived seed, same config, same step
+  // schedule — the fleet must be invisible to the session.
+  WardAggregator ward;
+  FleetScheduler seeder{FleetConfig{}, ward};
+  for (std::uint32_t id = 0; id < 3; ++id) {
+    SessionConfig config = mixed_config(id);
+    config.seed = seeder.session_seed(id);
+    PatientSession solo{id, std::move(config)};
+    std::vector<std::int16_t> codes;
+    while (solo.stream_time_s() < 1.0) {
+      solo.step(FleetConfig{}.frames_per_step);
+      solo.codes().pop_all(codes);
+    }
+    EXPECT_EQ(codes, fleet_codes[id]) << "session " << id << " diverged solo";
+  }
+}
+
+TEST(Fleet, MetricsOnOffIsBitExact) {
+  const auto with_metrics = run_fleet(1, 0.5);
+  metrics::set_enabled(false);
+  const auto without_metrics = run_fleet(1, 0.5);
+  metrics::set_enabled(true);
+  EXPECT_EQ(with_metrics, without_metrics);
+}
+
+TEST(Fleet, AdmitRejectsCodeRingSmallerThanOneBatch) {
+  WardAggregator ward;
+  FleetConfig config;
+  config.threads = 1;
+  config.frames_per_step = 64;
+  FleetScheduler scheduler{config, ward};
+  SessionConfig session;
+  session.code_ring_capacity = 16;  // < frames_per_step: serial deadlock risk
+  EXPECT_THROW((void)scheduler.admit(std::move(session)), std::invalid_argument);
+}
+
+TEST(Fleet, UnknownScenarioIsRejectedAtAdmission) {
+  WardAggregator ward;
+  FleetScheduler scheduler{FleetConfig{}, ward};
+  SessionConfig session;
+  session.scenario = "zombie-apocalypse";
+  EXPECT_THROW((void)scheduler.admit(std::move(session)), std::invalid_argument);
+}
+
+TEST(Fleet, ThrowingSessionIsQuarantinedNotFatal) {
+  WardAggregator ward;
+  FleetConfig config;
+  config.threads = 1;
+  FleetScheduler scheduler{config, ward};
+  // A calibration window far too short to contain a usable pulse: admission
+  // (which runs inside the first batch) throws and must quarantine only
+  // this session.
+  SessionConfig bad;
+  bad.calibration_window_s = 0.25;
+  const auto bad_id = scheduler.admit(std::move(bad));
+  const auto good_id = scheduler.admit(SessionConfig{});
+
+  scheduler.run(0.2);
+
+  EXPECT_EQ(scheduler.state(bad_id), SessionState::kQuarantined);
+  EXPECT_FALSE(scheduler.quarantine_reason(bad_id).empty());
+  EXPECT_EQ(scheduler.state(good_id), SessionState::kRunning);
+  EXPECT_GT(ward.session(good_id)->codes, 0u);
+  // The ward snapshot carries the reason as the session note.
+  EXPECT_EQ(ward.session(bad_id)->lifecycle, SessionState::kQuarantined);
+  EXPECT_FALSE(ward.session(bad_id)->note.empty());
+}
+
+TEST(Fleet, LifecyclePauseResumeDischarge) {
+  WardAggregator ward;
+  FleetConfig config;
+  config.threads = 1;
+  FleetScheduler scheduler{config, ward};
+  const auto id = scheduler.admit(SessionConfig{});
+  EXPECT_EQ(scheduler.state(id), SessionState::kAdmitted);
+  EXPECT_EQ(scheduler.active_sessions(), 1u);
+
+  scheduler.pause(id);
+  EXPECT_EQ(scheduler.state(id), SessionState::kPaused);
+  EXPECT_EQ(scheduler.active_sessions(), 0u);
+  EXPECT_EQ(scheduler.step_all(), 0u) << "paused sessions are skipped";
+
+  scheduler.resume(id);
+  EXPECT_EQ(scheduler.step_all(), 1u);
+  EXPECT_EQ(scheduler.state(id), SessionState::kRunning);
+
+  scheduler.discharge(id);
+  EXPECT_EQ(scheduler.state(id), SessionState::kDischarged);
+  EXPECT_EQ(scheduler.step_all(), 0u) << "discharged sessions never step";
+  // Everything produced before discharge reached the ward.
+  EXPECT_EQ(ward.session(id)->codes, scheduler.config().frames_per_step);
+}
+
+// --- Ward aggregator unit tests: fabricated events through real rings -----
+
+/// A session used purely as a ring carrier (never admitted or stepped);
+/// the test plays producer.
+class WardHarness : public ::testing::Test {
+ protected:
+  WardHarness() : session_{0, SessionConfig{}} {}
+
+  void attach(WardConfig config) {
+    ward_ = std::make_unique<WardAggregator>(config);
+    ward_->attach(session_, "harness");
+  }
+
+  /// Advances the ward's inferred stream clock: time = codes / output rate.
+  void push_codes(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)session_.codes().push(0, BackpressurePolicy::kBlock);
+    }
+  }
+
+  void push_alarm(core::AlarmKind kind, bool active, double t_s) {
+    (void)session_.events().push(
+        FleetEvent{.kind = FleetEventKind::kAlarm,
+                   .session_id = 0,
+                   .alarm_kind = kind,
+                   .flag = active,
+                   .time_s = t_s},
+        BackpressurePolicy::kBlock);
+  }
+
+  PatientSession session_;
+  std::unique_ptr<WardAggregator> ward_;
+};
+
+TEST_F(WardHarness, AlarmRaiseClearTracksActiveCount) {
+  attach(WardConfig{});
+  push_alarm(core::AlarmKind::kSystolicHigh, true, 0.0);
+  (void)ward_->drain_once();
+  EXPECT_EQ(ward_->alarms_active(), 1u);
+  EXPECT_EQ(ward_->alarm_queue().front().level, WardAlarmLevel::kNotice);
+  EXPECT_EQ(ward_->session(0)->alarms_active, 1u);
+
+  push_alarm(core::AlarmKind::kSystolicHigh, false, 1.0);
+  (void)ward_->drain_once();
+  EXPECT_EQ(ward_->alarms_active(), 0u);
+  EXPECT_EQ(ward_->session(0)->alarms_active, 0u);
+  EXPECT_EQ(ward_->escalations(), 0u);
+}
+
+TEST_F(WardHarness, UnresolvedAlarmEscalatesToUrgent) {
+  WardConfig config;
+  config.escalate_after_s = 0.05;
+  attach(config);
+  push_alarm(core::AlarmKind::kRateHigh, true, 0.0);
+  (void)ward_->drain_once();
+  EXPECT_EQ(ward_->alarm_queue().front().level, WardAlarmLevel::kNotice);
+
+  // Nobody resolves it while the session streams on: notice → urgent once
+  // the inferred stream time passes escalate_after_s.
+  push_codes(static_cast<std::size_t>(0.1 * session_.output_rate_hz()));
+  (void)ward_->drain_once();
+  EXPECT_EQ(ward_->alarm_queue().front().level, WardAlarmLevel::kUrgent);
+  EXPECT_EQ(ward_->escalations(), 1u);
+
+  // Urgent is terminal for time-based escalation: no double counting.
+  push_codes(static_cast<std::size_t>(0.1 * session_.output_rate_hz()));
+  (void)ward_->drain_once();
+  EXPECT_EQ(ward_->escalations(), 1u);
+}
+
+TEST_F(WardHarness, MultiVitalDeteriorationGoesStraightToCritical) {
+  attach(WardConfig{});  // critical_active_kinds == 2
+  push_alarm(core::AlarmKind::kSystolicLow, true, 0.0);
+  push_alarm(core::AlarmKind::kRateHigh, true, 0.1);
+  (void)ward_->drain_once();
+  ASSERT_EQ(ward_->alarm_queue().size(), 2u);
+  EXPECT_EQ(ward_->alarm_queue()[0].level, WardAlarmLevel::kNotice);
+  EXPECT_EQ(ward_->alarm_queue()[1].level, WardAlarmLevel::kCritical)
+      << "second distinct active kind on one patient is critical";
+  EXPECT_EQ(ward_->escalations(), 1u);
+}
+
+TEST_F(WardHarness, DropAccountingMirrorsTheRings) {
+  attach(WardConfig{});
+  // Overflow the codes ring (drop-oldest): capacity survives, the rest drop.
+  const std::size_t capacity = session_.codes().capacity();
+  push_codes(capacity);
+  for (std::size_t i = 0; i < 100; ++i) {
+    (void)session_.codes().push(1, BackpressurePolicy::kDropOldest);
+  }
+  (void)ward_->drain_once();
+  EXPECT_EQ(ward_->session(0)->code_drops, 100u);
+  EXPECT_EQ(ward_->session(0)->codes, capacity);
+  EXPECT_EQ(ward_->total_drops(), 100u);
+  EXPECT_EQ(ward_->event_drops(), 0u) << "event ring never dropped";
+}
+
+}  // namespace

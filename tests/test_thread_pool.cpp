@@ -1,0 +1,76 @@
+// Tests for the ThreadPool hardening (src/common/thread_pool.{hpp,cpp}):
+// exception propagation to the submitter and the queue-depth gauge. The
+// basic execute/wait behavior is exercised indirectly everywhere SweepRunner
+// and FleetScheduler run; here we pin the contracts directly. Runs under the
+// CI TSan job.
+#include "src/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "src/common/metrics.hpp"
+
+namespace {
+
+using tono::ThreadPool;
+
+TEST(ThreadPool, ExecutesEveryTask) {
+  ThreadPool pool{4};
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskException) {
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error{"task failed"}; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The rethrow consumed it: the pool is clean again.
+  EXPECT_EQ(pool.first_exception(), nullptr);
+  pool.submit([] {});
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, OnlyFirstOfManyExceptionsPropagates) {
+  ThreadPool pool{2};
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&executed] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error{"boom"};
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // Every task still ran — a throwing task never takes the queue down.
+  EXPECT_EQ(executed.load(), 20);
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, FirstExceptionIsNonDestructivePeek) {
+  ThreadPool pool{1};
+  pool.submit([] { throw std::logic_error{"peekable"}; });
+  // Busy-wait until the worker has stored it (submit returns immediately).
+  while (pool.first_exception() == nullptr) std::this_thread::yield();
+  EXPECT_NE(pool.first_exception(), nullptr);
+  EXPECT_NE(pool.first_exception(), nullptr) << "peek must not consume";
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+}
+
+TEST(ThreadPool, QueueDepthGaugeReturnsToZeroWhenIdle) {
+  auto& gauge = tono::metrics::Registry::global().gauge(
+      tono::metrics::names::kPoolQueueDepth);
+  ThreadPool pool{2};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([] {});
+  }
+  pool.wait_idle();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+}  // namespace
