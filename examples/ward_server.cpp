@@ -3,6 +3,7 @@
 //
 //   ward_server --sessions 16 --duration 10 --seed 11
 //               [--threads 0] [--frames-per-step 64] [--code-policy drop]
+//               [--fault-plan contact=1,link=1,element=1] [--max-readmits 3]
 //               [--snapshot ward.jsonl] [--metrics metrics.jsonl] [--verbose]
 //
 // Each session is a full vertical slice (scenario → transducer → ΔΣ →
@@ -11,6 +12,8 @@
 // ward aggregator drains codes/events concurrently, escalating unresolved
 // alarms. The session mix cycles through the patient presets and scenarios
 // so a default run exercises alarms, quality gating and escalation.
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <fstream>
 #include <string>
@@ -57,6 +60,48 @@ const char* mix_label(std::size_t index) {
   return "rest";
 }
 
+/// "--fault-plan contact=1,link=1,element=1[,unrecoverable=0.1]": per-session
+/// event counts (and the unrecoverable probability) of the seeded schedule
+/// each session generates from its own forked fault stream.
+bool parse_fault_plan(const std::string& spec, fleet::FaultPlanConfig* plan,
+                      std::string* error) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      *error = "--fault-plan: expected key=value, got '" + item + "'";
+      return false;
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    char* end = nullptr;
+    const double v = std::strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0' || v < 0.0) {
+      *error = "--fault-plan: bad value in '" + item + "'";
+      return false;
+    }
+    if (key == "contact") {
+      plan->contact_loss_events = static_cast<std::size_t>(v);
+    } else if (key == "link") {
+      plan->link_bursts = static_cast<std::size_t>(v);
+    } else if (key == "element") {
+      plan->element_faults = static_cast<std::size_t>(v);
+    } else if (key == "unrecoverable") {
+      plan->unrecoverable_prob = v;
+    } else {
+      *error = "--fault-plan: unknown key '" + key +
+               "' (want contact, link, element, unrecoverable)";
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,6 +112,9 @@ int main(int argc, char** argv) {
   args.add_int("threads", "worker threads (0 = hardware, 1 = serial reference)", 0);
   args.add_int("frames-per-step", "output frames per session per batch", 64);
   args.add_string("code-policy", "codes-ring backpressure: drop | block", "drop");
+  args.add_string("fault-plan",
+                  "per-session fault schedule, e.g. contact=1,link=1,element=1", "");
+  args.add_int("max-readmits", "readmissions before a quarantined session retires", 3);
   args.add_string("snapshot", "write the ward JSONL snapshot to this file", "");
   args.add_string("metrics", "write a JSONL runtime-metrics snapshot to this file", "");
   args.add_flag("verbose", "print per-session rows (always printed for quarantines)");
@@ -81,6 +129,18 @@ int main(int argc, char** argv) {
     std::cerr << "--code-policy must be 'drop' or 'block'\n";
     return 2;
   }
+  fleet::FaultPlanConfig fault_plan;
+  {
+    std::string plan_error;
+    if (!parse_fault_plan(args.string_value("fault-plan"), &fault_plan, &plan_error)) {
+      std::cerr << plan_error << "\n";
+      return 2;
+    }
+  }
+  // Fault onsets land inside the run (the config default horizon assumes a
+  // longer session than a smoke run's --duration 2).
+  fault_plan.horizon_s =
+      std::max(fault_plan.min_onset_s + 0.1, 0.75 * duration_s);
 
   fleet::WardConfig ward_config;
   fleet::WardAggregator ward{ward_config};
@@ -89,12 +149,14 @@ int main(int argc, char** argv) {
   fleet_config.base_seed = static_cast<std::uint64_t>(args.int_value("seed"));
   fleet_config.frames_per_step =
       static_cast<std::size_t>(args.int_value("frames-per-step"));
+  fleet_config.max_readmits = static_cast<std::size_t>(args.int_value("max-readmits"));
   fleet::FleetScheduler scheduler{fleet_config, ward};
 
   for (std::size_t i = 0; i < n_sessions; ++i) {
     fleet::SessionConfig config = session_mix(i);
     config.code_policy = policy_name == "block" ? BackpressurePolicy::kBlock
                                                 : BackpressurePolicy::kDropOldest;
+    config.fault_plan = fault_plan;
     (void)scheduler.admit(std::move(config), mix_label(i));
   }
   std::cout << "ward_server: " << n_sessions << " sessions admitted, "
@@ -105,8 +167,10 @@ int main(int argc, char** argv) {
 
   std::size_t quarantined = 0;
   for (const auto& s : ward.sessions()) {
-    if (s.lifecycle == fleet::SessionState::kQuarantined) ++quarantined;
-    if (args.flag("verbose") || s.lifecycle == fleet::SessionState::kQuarantined) {
+    const bool parked = s.lifecycle == fleet::SessionState::kQuarantined ||
+                        s.lifecycle == fleet::SessionState::kRetired;
+    if (parked) ++quarantined;
+    if (args.flag("verbose") || parked) {
       std::cout << "  [" << s.id << "] " << s.label << " (" << to_string(s.lifecycle)
                 << "): " << s.codes << " codes, " << s.beats << " beats, BP "
                 << s.last_systolic_mmhg << "/" << s.last_diastolic_mmhg << " mmHg, SQI "
@@ -121,6 +185,12 @@ int main(int argc, char** argv) {
             << ", escalations " << ward.escalations() << "); drops "
             << ward.total_drops() << " (events " << ward.event_drops()
             << "); quarantined " << quarantined << "\n";
+  if (ward.recoveries() > 0 || ward.retired() > 0) {
+    // Only printed once the recovery machinery engaged, so clean runs keep
+    // their pre-fault-plan output bytes.
+    std::cout << "recovery: readmitted " << ward.recoveries()
+              << " session(s), retired " << ward.retired() << "\n";
+  }
 
   const std::string snapshot = args.string_value("snapshot");
   if (!snapshot.empty()) {

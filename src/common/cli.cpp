@@ -1,5 +1,6 @@
 #include "src/common/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -71,11 +72,25 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       return false;
     }
     const std::string value = argv[++i];
-    if (it->second.kind == Kind::kDouble || it->second.kind == Kind::kInt) {
+    if (it->second.kind == Kind::kDouble) {
       char* end = nullptr;
       (void)std::strtod(value.c_str(), &end);
       if (end == value.c_str() || *end != '\0') {
         error_ = "option --" + name + " expects a number, got '" + value + "'";
+        return false;
+      }
+    } else if (it->second.kind == Kind::kInt) {
+      // Validate with the same parser int_value() reads with: strtod would
+      // accept "1.5" here only for strtol to truncate it silently later.
+      char* end = nullptr;
+      errno = 0;
+      (void)std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        error_ = "option --" + name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      if (errno == ERANGE) {
+        error_ = "option --" + name + " integer out of range: '" + value + "'";
         return false;
       }
     }

@@ -243,6 +243,7 @@ void register_standard_instruments(Registry& r) {
         kMonitorQualityRejections, kMonitorRescans, kMonitorAlarmsRaised,
         kFleetSessionsAdmitted, kFleetSessionsDischarged, kFleetSessionsQuarantined,
         kFleetBatches, kFleetFrames, kFleetRingDrops, kFleetRingBlocks,
+        kFleetRecoveries, kFleetRetired, kFleetFaultsInjected,
         kWardCodesConsumed, kWardEventsConsumed, kWardEscalations}) {
     (void)r.counter(name);
   }

@@ -236,6 +236,9 @@ inline constexpr const char* kFleetBatchWall = "fleet.batch_wall";
 inline constexpr const char* kFleetSessionsActive = "fleet.sessions_active";
 inline constexpr const char* kFleetRingDrops = "fleet.ring_drops";
 inline constexpr const char* kFleetRingBlocks = "fleet.ring_blocks";
+inline constexpr const char* kFleetRecoveries = "fleet.recoveries";
+inline constexpr const char* kFleetRetired = "fleet.retired";
+inline constexpr const char* kFleetFaultsInjected = "fleet.faults_injected";
 inline constexpr const char* kWardCodesConsumed = "ward.codes_consumed";
 inline constexpr const char* kWardEventsConsumed = "ward.events_consumed";
 inline constexpr const char* kWardAlarmsActive = "ward.alarms_active";

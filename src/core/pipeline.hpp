@@ -89,6 +89,14 @@ class AcquisitionPipeline {
   /// existing calibration gain must be multiplied by.
   double set_feedback_capacitor(double c_fb1_f);
 
+  /// Runtime element-fault injection (fleet fault plans): the membrane at
+  /// (row, col) fails mid-run. If the faulted element is the selected one,
+  /// readout continues at its (now pressure-independent) fault capacitance
+  /// until the caller re-routes via select().
+  void inject_element_fault(std::size_t row, std::size_t col, ElementFault fault) {
+    array_.inject_fault(row, col, fault);
+  }
+
   /// Die temperature [K]; body contact warms the chip and drifts the
   /// membrane capacitance through its tempco.
   void set_temperature(double kelvin) noexcept { temperature_k_ = kelvin; }

@@ -29,10 +29,15 @@ ArrayElement::ArrayElement(const mems::TransducerConfig& config, ElementPosition
                            ElementFault fault)
     : transducer_(config),
       position_(position),
-      lut_(build_lut(transducer_, pressure_min_pa, pressure_max_pa)),
-      fault_(fault) {
+      lut_(build_lut(transducer_, pressure_min_pa, pressure_max_pa)) {
+  set_fault(fault);
+}
+
+void ArrayElement::set_fault(ElementFault fault) noexcept {
+  fault_ = fault;
   switch (fault_) {
     case ElementFault::kNone:
+      fault_capacitance_ = 0.0;
       break;
     case ElementFault::kNotReleased:
       // The sacrificial layer is still in place: the reference-structure
@@ -98,6 +103,19 @@ const ArrayElement& SensorArray::element(std::size_t row, std::size_t col) const
 const ArrayElement& SensorArray::element(std::size_t index) const {
   if (index >= elements_.size()) throw std::out_of_range{"SensorArray::element"};
   return elements_[index];
+}
+
+void SensorArray::inject_fault(std::size_t row, std::size_t col, ElementFault fault) {
+  if (row >= rows_ || col >= cols_) throw std::out_of_range{"SensorArray::inject_fault"};
+  elements_[row * cols_ + col].set_fault(fault);
+}
+
+std::size_t SensorArray::healthy_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : elements_) {
+    if (e.is_healthy()) ++n;
+  }
+  return n;
 }
 
 double SensorArray::capacitance(std::size_t row, std::size_t col,

@@ -49,6 +49,11 @@ class ArrayElement {
   [[nodiscard]] ElementFault fault() const noexcept { return fault_; }
   [[nodiscard]] bool is_healthy() const noexcept { return fault_ == ElementFault::kNone; }
 
+  /// Changes the element's fault state at runtime — a membrane failing
+  /// mid-run (fleet fault plans), not just a config-time yield defect. The
+  /// fault capacitance is recomputed exactly as at construction.
+  void set_fault(ElementFault fault) noexcept;
+
  private:
   mems::PressureTransducer transducer_;
   ElementPosition position_;
@@ -74,6 +79,14 @@ class SensorArray {
 
   /// The on-chip reference capacitance [F] (§3: "a reference structure").
   [[nodiscard]] double reference_capacitance() const noexcept { return c_ref_; }
+
+  /// Runtime fault injection: an element failing mid-run (fleet fault
+  /// plans), as opposed to the config-time yield faults in
+  /// ChipConfig::faults. Throws std::out_of_range on a bad coordinate.
+  void inject_fault(std::size_t row, std::size_t col, ElementFault fault);
+
+  /// Number of elements currently reporting ElementFault::kNone.
+  [[nodiscard]] std::size_t healthy_count() const noexcept;
 
   /// Capacitance of element (row, col) under a contact pressure [Pa].
   [[nodiscard]] double capacitance(std::size_t row, std::size_t col,

@@ -164,4 +164,64 @@ void FrameDecoder::reset() {
   last_sequence_.reset();
 }
 
+LinkFaultInjector::LinkFaultInjector(const LinkFaultConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  const double total = config_.drop_prob + config_.bit_flip_prob +
+                       config_.truncate_prob + config_.garbage_prob;
+  if (config_.drop_prob < 0.0 || config_.bit_flip_prob < 0.0 ||
+      config_.truncate_prob < 0.0 || config_.garbage_prob < 0.0 || total > 1.0) {
+    throw std::invalid_argument{"LinkFaultInjector: probabilities must be >= 0 and sum <= 1"};
+  }
+}
+
+bool LinkFaultInjector::corrupt(std::vector<std::uint8_t>& wire) {
+  const double u = rng_.uniform();
+  double edge = config_.drop_prob;
+  if (u < edge) {
+    wire.clear();
+    ++frames_corrupted_;
+    return true;
+  }
+  edge += config_.bit_flip_prob;
+  if (u < edge) {
+    if (!wire.empty()) {
+      const std::size_t flips = 1 + static_cast<std::size_t>(rng_.uniform_below(3));
+      for (std::size_t i = 0; i < flips; ++i) {
+        const std::uint64_t bit = rng_.uniform_below(wire.size() * 8);
+        wire[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+    }
+    ++frames_corrupted_;
+    return true;
+  }
+  edge += config_.truncate_prob;
+  if (u < edge) {
+    if (wire.size() > 2) {
+      const std::size_t keep = 2 + static_cast<std::size_t>(rng_.uniform_below(wire.size() - 2));
+      wire.resize(keep);
+    }
+    ++frames_corrupted_;
+    return true;
+  }
+  edge += config_.garbage_prob;
+  if (u < edge) {
+    const std::size_t n = config_.max_garbage_bytes == 0
+                              ? 0
+                              : 1 + static_cast<std::size_t>(
+                                        rng_.uniform_below(config_.max_garbage_bytes));
+    std::vector<std::uint8_t> junk(n);
+    for (auto& b : junk) {
+      // Any value but the sync lead-in: a fake 0xA5 could swallow the real
+      // frame's header into a hunt that outlives this chunk.
+      do {
+        b = static_cast<std::uint8_t>(rng_.uniform_below(256));
+      } while (b == kFrameSync0);
+    }
+    wire.insert(wire.begin(), junk.begin(), junk.end());
+    ++frames_corrupted_;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace tono::core

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/common/metrics.hpp"
+#include "src/common/rng.hpp"
 
 namespace tono::core {
 
@@ -89,6 +90,41 @@ class FrameDecoder {
   metrics::Counter* crc_errors_metric_;
   metrics::Counter* resyncs_metric_;
   metrics::Counter* lost_frames_metric_;
+};
+
+/// Per-frame corruption probabilities for LinkFaultInjector. The four modes
+/// are mutually exclusive per frame (first match on one uniform draw); their
+/// probabilities must sum to ≤ 1, any remainder passes the frame clean.
+struct LinkFaultConfig {
+  double drop_prob{0.20};      ///< frame vanishes on the wire entirely
+  double bit_flip_prob{0.50};  ///< 1–3 random bit flips (usually a CRC error)
+  double truncate_prob{0.15};  ///< tail cut off mid-frame
+  double garbage_prob{0.15};   ///< line noise prepended before the sync word
+  std::size_t max_garbage_bytes{12};
+};
+
+/// Deterministic wire-level fault model for the Fig. 3 USB link: corrupts
+/// encoded frames the same way the telemetry fuzz tests do, but as a library
+/// component driven by an explicitly seeded Rng — so a fleet fault plan can
+/// schedule "link corruption bursts" that are bit-identical across runs and
+/// thread counts. FrameDecoder's CRC/resync/sequence accounting turns every
+/// corruption into a counted loss, never a wrong sample.
+class LinkFaultInjector {
+ public:
+  LinkFaultInjector(const LinkFaultConfig& config, std::uint64_t seed);
+
+  /// Mutates one encoded frame in place (possibly clearing it = dropped).
+  /// Returns true if the frame was touched.
+  bool corrupt(std::vector<std::uint8_t>& wire);
+
+  [[nodiscard]] std::uint64_t frames_corrupted() const noexcept {
+    return frames_corrupted_;
+  }
+
+ private:
+  LinkFaultConfig config_;
+  Rng rng_;
+  std::uint64_t frames_corrupted_{0};
 };
 
 }  // namespace tono::core

@@ -9,13 +9,15 @@
 #include "src/dsp/fft.hpp"
 
 namespace tono::dsp {
-namespace {
 
-/// Integrates power over [center - halfwidth, center + halfwidth], clamped to
-/// the spectrum, and zeroes those bins so later passes skip them.
-double claim_band(std::vector<double>& pwr, std::size_t center, std::size_t halfwidth) {
+double claim_band(std::vector<double>& pwr, std::size_t center,
+                  std::size_t halfwidth) noexcept {
+  // Empty spectrum: pwr.size() - 1 below would wrap to SIZE_MAX and the loop
+  // would read past the (nonexistent) buffer.
+  if (pwr.empty()) return 0.0;
   const std::size_t lo = center > halfwidth ? center - halfwidth : 0;
   const std::size_t hi = std::min(center + halfwidth, pwr.size() - 1);
+  if (lo > hi) return 0.0;
   double acc = 0.0;
   for (std::size_t k = lo; k <= hi; ++k) {
     acc += pwr[k];
@@ -23,8 +25,6 @@ double claim_band(std::vector<double>& pwr, std::size_t center, std::size_t half
   }
   return acc;
 }
-
-}  // namespace
 
 double coherent_frequency(double target_hz, double sample_rate_hz,
                           std::size_t record_length) noexcept {

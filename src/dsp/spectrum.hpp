@@ -67,4 +67,10 @@ struct SpectrumAnalysis {
 /// ENOB from an SNDR figure: (sndr_db − 1.76) / 6.02.
 [[nodiscard]] double enob_from_sndr(double sndr_db) noexcept;
 
+/// Integrates power over bins [center − halfwidth, center + halfwidth],
+/// clamped to the spectrum, and zeroes the claimed bins so later passes skip
+/// them. An empty spectrum claims nothing and returns 0.0.
+double claim_band(std::vector<double>& pwr, std::size_t center,
+                  std::size_t halfwidth) noexcept;
+
 }  // namespace tono::dsp

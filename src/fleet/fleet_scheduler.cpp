@@ -1,5 +1,6 @@
 #include "src/fleet/fleet_scheduler.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <stdexcept>
@@ -20,6 +21,8 @@ FleetScheduler::FleetScheduler(FleetConfig config, WardAggregator& ward)
   admitted_metric_ = &reg.counter(metrics::names::kFleetSessionsAdmitted);
   discharged_metric_ = &reg.counter(metrics::names::kFleetSessionsDischarged);
   quarantined_metric_ = &reg.counter(metrics::names::kFleetSessionsQuarantined);
+  recoveries_metric_ = &reg.counter(metrics::names::kFleetRecoveries);
+  retired_metric_ = &reg.counter(metrics::names::kFleetRetired);
   batches_metric_ = &reg.counter(metrics::names::kFleetBatches);
   frames_metric_ = &reg.counter(metrics::names::kFleetFrames);
   batch_wall_ = &reg.timer(metrics::names::kFleetBatchWall);
@@ -89,12 +92,14 @@ void FleetScheduler::discharge(std::uint32_t id) {
   Slot* slot = find_(id);
   if (slot == nullptr) return;
   if (slot->state == SessionState::kDischarged ||
-      slot->state == SessionState::kQuarantined) {
+      slot->state == SessionState::kQuarantined ||
+      slot->state == SessionState::kRetired) {
     return;
   }
   slot->state = SessionState::kDischarged;
   ward_.set_lifecycle(id, slot->state);
   (void)ward_.drain_once();  // collect anything still queued
+  ward_.settle();
   discharged_metric_->add(1);
   active_gauge_->set(static_cast<double>(active_sessions()));
 }
@@ -119,15 +124,28 @@ PatientSession* FleetScheduler::session(std::uint32_t id) {
 std::size_t FleetScheduler::active_sessions() const {
   std::size_t n = 0;
   for (const auto& slot : sessions_) {
-    if (slot.state == SessionState::kAdmitted || slot.state == SessionState::kRunning) {
+    if (slot.state == SessionState::kAdmitted || slot.state == SessionState::kRunning ||
+        slot.state == SessionState::kRecovering) {
       ++n;
     }
   }
   return n;
 }
 
+std::size_t FleetScheduler::strikes(std::uint32_t id) const {
+  const Slot* slot = find_(id);
+  if (slot == nullptr) throw std::out_of_range{"FleetScheduler: unknown session id"};
+  return slot->strikes;
+}
+
+void FleetScheduler::sync_fault_log_(Slot& slot) {
+  const auto& log = slot.session->fault_log();
+  for (; slot.fault_log_synced < log.size(); ++slot.fault_log_synced) {
+    ward_.note_fault(slot.session->id(), log[slot.fault_log_synced]);
+  }
+}
+
 void FleetScheduler::quarantine_(Slot& slot, const std::exception_ptr& error) {
-  slot.state = SessionState::kQuarantined;
   try {
     std::rethrow_exception(error);
   } catch (const std::exception& e) {
@@ -135,16 +153,47 @@ void FleetScheduler::quarantine_(Slot& slot, const std::exception_ptr& error) {
   } catch (...) {
     slot.quarantine_reason = "unknown exception";
   }
-  ward_.set_lifecycle(slot.session->id(), slot.state, slot.quarantine_reason);
+  sync_fault_log_(slot);  // the injected fault precedes the verdict in the log
+  const std::uint32_t id = slot.session->id();
+  ++slot.strikes;
+  if (slot.strikes > config_.max_readmits) {
+    slot.state = SessionState::kRetired;
+    ward_.note_fault(id, "retired after " + std::to_string(config_.max_readmits) +
+                             " readmission(s): " + slot.quarantine_reason);
+    ward_.set_lifecycle(id, slot.state, slot.quarantine_reason);
+    retired_metric_->add(1);
+    return;
+  }
+  slot.state = SessionState::kQuarantined;
+  // Deterministic backoff: batches, not wall time, doubling per strike.
+  const std::size_t shift = std::min<std::size_t>(slot.strikes - 1, 16);
+  const std::uint64_t backoff =
+      static_cast<std::uint64_t>(config_.readmit_backoff_batches) << shift;
+  slot.eligible_batch = batch_index_ + backoff;
+  ward_.note_fault(id, "quarantined (strike " + std::to_string(slot.strikes) + "/" +
+                           std::to_string(config_.max_readmits + 1) +
+                           "): " + slot.quarantine_reason);
+  ward_.set_lifecycle(id, slot.state, slot.quarantine_reason);
   quarantined_metric_->add(1);
 }
 
 std::size_t FleetScheduler::step_all(double until_s) {
+  // Readmission backoff is measured against this counter, so it advances on
+  // every call — including batches that end up empty.
+  ++batch_index_;
   // Batch membership decided up front on the caller thread; workers never
   // touch lifecycle state.
   std::vector<Slot*> batch;
   batch.reserve(sessions_.size());
   for (auto& slot : sessions_) {
+    if (slot.state == SessionState::kQuarantined) {
+      if (batch_index_ < slot.eligible_batch) continue;
+      if (slot.session->stream_time_s() >= until_s) continue;
+      slot.state = SessionState::kRecovering;
+      ward_.set_lifecycle(slot.session->id(), slot.state);
+      batch.push_back(&slot);
+      continue;
+    }
     if (slot.state != SessionState::kAdmitted && slot.state != SessionState::kRunning) {
       continue;
     }
@@ -192,26 +241,55 @@ std::size_t FleetScheduler::step_all(double until_s) {
 
   std::size_t stepped = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    Slot& slot = *batch[i];
     if (errors[i]) {
-      quarantine_(*batch[i], errors[i]);
+      quarantine_(slot, errors[i]);
       continue;
     }
-    if (batch[i]->state == SessionState::kAdmitted) {
-      batch[i]->state = SessionState::kRunning;
-      ward_.set_lifecycle(batch[i]->session->id(), SessionState::kRunning);
+    if (slot.state == SessionState::kRecovering) {
+      // Readmission succeeded: the session resumed streaming this batch.
+      ward_.note_fault(slot.session->id(),
+                       "readmitted after strike " + std::to_string(slot.strikes));
+      slot.state = SessionState::kRunning;
+      ward_.set_lifecycle(slot.session->id(), slot.state);
+      recoveries_metric_->add(1);
+    } else if (slot.state == SessionState::kAdmitted) {
+      slot.state = SessionState::kRunning;
+      ward_.set_lifecycle(slot.session->id(), SessionState::kRunning);
     }
+    sync_fault_log_(slot);  // silent degradations (re-routes, bursts) too
     frames_metric_->add(frames);
     ++stepped;
   }
   active_gauge_->set(static_cast<double>(active_sessions()));
   (void)ward_.drain_once();
+  // Escalation runs only here, at the batch barrier, where every code and
+  // event of the batch has been consumed — mid-batch drains see partial
+  // counts and would make notice→urgent timing depend on the thread count.
+  ward_.settle();
   return stepped;
 }
 
+bool FleetScheduler::recovery_pending_(double until_s) const {
+  for (const auto& slot : sessions_) {
+    if (slot.state == SessionState::kQuarantined &&
+        slot.session->stream_time_s() < until_s) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void FleetScheduler::run(double duration_s) {
-  while (step_all(duration_s) > 0) {
+  for (;;) {
+    if (step_all(duration_s) > 0) continue;
+    // Nothing stepped: done, unless a quarantined session is waiting out
+    // its readmission backoff — then keep ticking batches until it gets
+    // every retry its budget allows (it either recovers or retires).
+    if (!recovery_pending_(duration_s)) break;
   }
   (void)ward_.drain_once();
+  ward_.settle();
 }
 
 }  // namespace tono::fleet

@@ -18,6 +18,15 @@
 // Crash isolation: an admit()/step() that throws quarantines that session —
 // the exception is recorded as the quarantine reason, the batch and every
 // other session continue, and nothing propagates to the caller.
+//
+// Recovery (this is what makes quarantine non-terminal): each quarantine is
+// a strike; after a deterministic backoff measured in batch counts
+// (readmit_backoff_batches, doubling per strike) the session is readmitted
+// as kRecovering and stepped again — back to kRunning on success, another
+// strike on a throw. A session exceeding max_readmits strikes is kRetired
+// for good. Backoff in batches (not wall time) keeps the whole state
+// machine, and therefore every snapshot byte, identical across thread
+// counts and runs.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +51,12 @@ struct FleetConfig {
   std::string stream_name{"fleet"};
   /// Output frames (1 ms each at the paper rate) per session per batch.
   std::size_t frames_per_step{64};
+  /// Bounded re-admissions: a quarantined session is retried up to this many
+  /// times before it is retired for good. 0 makes the first strike terminal.
+  std::size_t max_readmits{3};
+  /// Readmission delay after the first strike, in batches; doubles with each
+  /// further strike (deterministic backoff — no wall clock anywhere).
+  std::size_t readmit_backoff_batches{2};
 };
 
 class FleetScheduler {
@@ -81,33 +96,49 @@ class FleetScheduler {
   [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
 
   /// One batch: every admitted/running session with stream_time_s() <
-  /// `until_s` advances frames_per_step frames. Returns sessions stepped.
+  /// `until_s` advances frames_per_step frames; quarantined sessions whose
+  /// readmission backoff has elapsed join the batch as kRecovering. Returns
+  /// sessions stepped successfully. Every call — even one that steps nothing
+  /// — advances the batch counter that readmission backoff is measured in.
   std::size_t step_all(double until_s = 1e300);
 
   /// Batches until every admitted/running session has produced `duration_s`
-  /// of monitoring stream (or quarantined trying), then fully drains the
-  /// ward. Paused sessions are skipped, not waited for.
+  /// of monitoring stream (or retired trying), then fully drains the ward.
+  /// Keeps ticking empty batches while a quarantined session is waiting out
+  /// its backoff, so every readmission the budget allows actually happens.
+  /// Paused sessions are skipped, not waited for.
   void run(double duration_s);
+
+  /// Quarantine strikes accrued by a session so far.
+  [[nodiscard]] std::size_t strikes(std::uint32_t id) const;
 
  private:
   struct Slot {
     std::unique_ptr<PatientSession> session;
     SessionState state{SessionState::kAdmitted};
     std::string quarantine_reason;
+    std::size_t strikes{0};           ///< quarantines so far
+    std::uint64_t eligible_batch{0};  ///< batch index the next readmit may run
+    std::size_t fault_log_synced{0};  ///< session fault_log entries mirrored to ward
   };
 
   [[nodiscard]] Slot* find_(std::uint32_t id);
   [[nodiscard]] const Slot* find_(std::uint32_t id) const;
   void quarantine_(Slot& slot, const std::exception_ptr& error);
+  void sync_fault_log_(Slot& slot);
+  [[nodiscard]] bool recovery_pending_(double until_s) const;
 
   FleetConfig config_;
   WardAggregator& ward_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when threads == 1
   std::vector<Slot> sessions_;
+  std::uint64_t batch_index_{0};
   // Observability (resolved once at construction; batch-rate updates).
   metrics::Counter* admitted_metric_;
   metrics::Counter* discharged_metric_;
   metrics::Counter* quarantined_metric_;
+  metrics::Counter* recoveries_metric_;
+  metrics::Counter* retired_metric_;
   metrics::Counter* batches_metric_;
   metrics::Counter* frames_metric_;
   metrics::Timer* batch_wall_;

@@ -1,9 +1,11 @@
 #include "src/fleet/patient_session.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "src/bio/cuff.hpp"
+#include "src/common/fixed_point.hpp"
 #include "src/core/quality.hpp"
 #include "src/core/scan.hpp"
 
@@ -20,16 +22,21 @@ struct DerivedSeeds {
   std::uint64_t pulse;
   std::uint64_t artifacts;
   std::uint64_t cuff;
+  std::uint64_t fault;
 };
 
 DerivedSeeds derive_seeds(std::uint64_t session_seed) {
   Rng root{session_seed};
+  // The fault stream MUST stay the last fork: each fork advances `root` by
+  // one draw, so appending here keeps every pre-existing stream (and with an
+  // empty fault plan, the whole session) bit-identical to older builds.
   return DerivedSeeds{
       .chip = root.fork_named("chip").next_u64(),
       .modulator = root.fork_named("modulator").next_u64(),
       .pulse = root.fork_named("pulse").next_u64(),
       .artifacts = root.fork_named("artifacts").next_u64(),
       .cuff = root.fork_named("cuff").next_u64(),
+      .fault = root.fork_named("fault-plan").next_u64(),
   };
 }
 
@@ -54,6 +61,8 @@ std::string to_string(SessionState state) {
     case SessionState::kPaused: return "paused";
     case SessionState::kDischarged: return "discharged";
     case SessionState::kQuarantined: return "quarantined";
+    case SessionState::kRecovering: return "recovering";
+    case SessionState::kRetired: return "retired";
   }
   return "unknown";
 }
@@ -71,6 +80,42 @@ PatientSession::PatientSession(std::uint32_t id, SessionConfig config)
   config_.wrist.scenario = make_scenario(config_.scenario);
   inner_ = std::make_unique<core::BloodPressureMonitor>(config_.chip, config_.wrist);
   field_ = inner_->contact_field();
+
+  // Fault plan: schedule and link-injector seeds both fork from the
+  // session's dedicated fault stream, so the plan is a pure function of the
+  // session seed — the fleet determinism contract extends to faults.
+  Rng fault_root{seeds.fault};
+  const std::uint64_t plan_seed = fault_root.fork_named("schedule").next_u64();
+  const std::uint64_t link_seed = fault_root.fork_named("link").next_u64();
+  plan_ = FaultPlan{config_.fault_plan, plan_seed, config_.chip.array.rows,
+                    config_.chip.array.cols};
+  for (const auto& e : config_.manual_faults) plan_.add(e);
+  throws_left_.reserve(plan_.events().size());
+  bool has_contact_loss = false;
+  for (const auto& e : plan_.events()) {
+    throws_left_.push_back(e.throw_count);
+    has_contact_loss |= (e.kind == FaultKind::kContactLoss);
+  }
+  fired_.assign(plan_.events().size(), 0);
+  if (plan_.has_link_bursts()) {
+    link_encoder_ = std::make_unique<core::FrameEncoder>();
+    link_decoder_ = std::make_unique<core::FrameDecoder>();
+    link_injector_ =
+        std::make_unique<core::LinkFaultInjector>(plan_.link_config(), link_seed);
+  }
+  // Only sessions with contact-loss events pay the window scan; everyone
+  // else keeps the exact pre-fault-plan field object.
+  effective_field_ = field_;
+  if (has_contact_loss) {
+    effective_field_ = [this](double x, double y, double t) {
+      for (const auto& w : contact_loss_windows_) {
+        if (t >= w.first && t < w.second) return 0.0;
+      }
+      return field_(x, y, t);
+    };
+  }
+  faults_injected_metric_ =
+      &metrics::Registry::global().counter(metrics::names::kFleetFaultsInjected);
 }
 
 PatientSession::~PatientSession() = default;
@@ -150,21 +195,140 @@ void PatientSession::admit() {
                               .time_s = t_s,
                               .value_a = q.sqi});
   });
+  // Monitoring starts here: fault-plan onsets (stream time) map onto the
+  // pipeline clock from this epoch.
+  stream_epoch_clock_s_ = pipeline.time_s();
   admitted_ = true;
 }
 
 void PatientSession::step(std::size_t frames) {
   if (!admitted_) admit();
   if (frames == 0) return;
+  apply_due_faults_();
   auto& pipeline = inner_->pipeline();
-  const auto samples = pipeline.acquire_block(field_, frames);
-  for (const auto& s : samples) {
-    (void)codes_.push(static_cast<std::int16_t>(s.code), config_.code_policy);
-    // The streaming monitor's callbacks fire inside push(): beats and
-    // alarms land in the events ring with bounded latency (one hop).
-    stream_->push(calibration_.to_mmhg(s.value));
+  const auto samples = pipeline.acquire_block(effective_field_, frames);
+  if (link_decoder_ == nullptr) {
+    for (const auto& s : samples) {
+      (void)codes_.push(static_cast<std::int16_t>(s.code), config_.code_policy);
+      // The streaming monitor's callbacks fire inside push(): beats and
+      // alarms land in the events ring with bounded latency (one hop).
+      stream_->push(calibration_.to_mmhg(s.value));
+    }
+  } else {
+    publish_via_link_(samples);
   }
   frames_produced_ += frames;
+}
+
+void PatientSession::apply_due_faults_() {
+  if (array_dead_) {
+    throw std::runtime_error{
+        "fault-plan: no healthy array element left for readout"};
+  }
+  const double now_s = stream_time_s();
+  const auto& events = plan_.events();
+  while (next_fault_ < events.size() && events[next_fault_].at_s <= now_s) {
+    const FaultEvent& event = events[next_fault_];
+    if (!fired_[next_fault_]) {
+      fired_[next_fault_] = 1;
+      faults_injected_metric_->add(1);
+    }
+    if (throws_left_[next_fault_] > 0) {
+      // The injected disturbance aborts this step; the scheduler quarantines
+      // and (maybe) readmits. Stream time has not advanced, so the event is
+      // due again on the next attempt — with one less throw in its budget,
+      // which is what lets a transient fault eventually admit the session
+      // back while an unrecoverable one strikes it out.
+      if (throws_left_[next_fault_] != kUnrecoverableThrows) {
+        --throws_left_[next_fault_];
+      }
+      fault_log_.push_back("injected: " + FaultPlan::describe(event));
+      throw std::runtime_error{"fault-plan: " + FaultPlan::describe(event)};
+    }
+    ++next_fault_;
+    fault_log_.push_back("applied: " + FaultPlan::describe(event));
+    apply_fault_(event);  // may throw (dead array) — event stays consumed
+  }
+}
+
+void PatientSession::apply_fault_(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kContactLoss:
+      contact_loss_windows_.emplace_back(
+          stream_epoch_clock_s_ + event.at_s,
+          stream_epoch_clock_s_ + event.at_s + event.duration_s);
+      break;
+    case FaultKind::kLinkBurst:
+      link_burst_windows_.emplace_back(event.at_s, event.at_s + event.duration_s);
+      break;
+    case FaultKind::kElementFault:
+      apply_element_fault_(event);
+      break;
+  }
+}
+
+void PatientSession::apply_element_fault_(const FaultEvent& event) {
+  auto& pipeline = inner_->pipeline();
+  pipeline.inject_element_fault(event.row, event.col, event.element_fault);
+  const auto& array = pipeline.array();
+  if (array.element(pipeline.selected_row(), pipeline.selected_col()).is_healthy()) {
+    return;  // fault landed off the readout path; array degraded, stream intact
+  }
+  // Graceful degradation: re-route readout to the first healthy element.
+  // select() restarts the mux transient, so the next frames transparently
+  // take the pipeline's scalar fallback path until the switch settles.
+  for (std::size_t r = 0; r < array.rows(); ++r) {
+    for (std::size_t c = 0; c < array.cols(); ++c) {
+      if (!array.element(r, c).is_healthy()) continue;
+      pipeline.select(r, c);
+      fault_log_.push_back("rerouted readout to healthy element (" +
+                           std::to_string(r) + "," + std::to_string(c) + ")");
+      return;
+    }
+  }
+  array_dead_ = true;
+  throw std::runtime_error{
+      "fault-plan: no healthy array element left for readout"};
+}
+
+void PatientSession::publish_via_link_(const std::vector<dsp::DecimatedSample>& samples) {
+  // Round-trip every code through the simulated Fig. 3 USB link. Outside
+  // burst windows this is bit-identical to direct publishing: the decimated
+  // value is dequantize_from_bits(code, output_bits) by construction, so the
+  // decoder-side rebuild reproduces it exactly. Inside a burst the injector
+  // corrupts frames and the decoder's CRC/resync accounting drops them —
+  // counted losses, never wrong samples.
+  const int bits = config_.chip.decimation.output_bits;
+  const double rate = output_rate_hz();
+  std::vector<std::int16_t> chunk;
+  std::size_t i = 0;
+  while (i < samples.size()) {
+    const std::size_t n = std::min(samples.size() - i, core::kMaxSamplesPerFrame);
+    chunk.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      chunk.push_back(static_cast<std::int16_t>(samples[i + j].code));
+    }
+    auto wire = link_encoder_->encode(chunk);
+    const double chunk_start_s =
+        static_cast<double>(frames_produced_ + i) / rate;
+    if (link_burst_active_(chunk_start_s)) {
+      (void)link_injector_->corrupt(wire);
+    }
+    for (const auto& frame : link_decoder_->push(wire)) {
+      for (const std::int16_t code : frame.samples) {
+        (void)codes_.push(code, config_.code_policy);
+        stream_->push(calibration_.to_mmhg(dequantize_from_bits(code, bits)));
+      }
+    }
+    i += n;
+  }
+}
+
+bool PatientSession::link_burst_active_(double stream_s) const noexcept {
+  for (const auto& w : link_burst_windows_) {
+    if (stream_s >= w.first && stream_s < w.second) return true;
+  }
+  return false;
 }
 
 void PatientSession::publish_event_(const FleetEvent& event) {

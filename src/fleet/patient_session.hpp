@@ -25,10 +25,15 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "src/common/metrics.hpp"
 #include "src/common/ring_buffer.hpp"
 #include "src/core/monitor.hpp"
 #include "src/core/streaming_monitor.hpp"
+#include "src/core/telemetry.hpp"
+#include "src/fleet/fault_plan.hpp"
 
 namespace tono::fleet {
 
@@ -37,16 +42,25 @@ namespace tono::fleet {
 ///   kAdmitted ──step──► kRunning ◄──resume── kPaused
 ///       │                  │  │──pause──────────▲
 ///       │                  └──discharge──► kDischarged
-///       └──────── admit()/step() throws ──► kQuarantined
+///       │                  │                      readmit (backoff elapsed)
+///       └── admit()/step() throws ──► kQuarantined ──────► kRecovering
+///                                         ▲                   │   │
+///                                         │ throws again      │   └─step OK─► kRunning
+///                                         └───────────────────┘
+///                                             (strikes > max_readmits ⇒ kRetired)
 ///
 /// Quarantine is crash isolation: a throwing session is parked with its
-/// reason recorded; the batch and every other session continue.
+/// reason recorded; the batch and every other session continue. It is no
+/// longer terminal: the scheduler readmits after a deterministic batch-count
+/// backoff, up to FleetConfig::max_readmits strikes, then retires for good.
 enum class SessionState : std::uint8_t {
   kAdmitted,     ///< registered, not yet calibrated
   kRunning,      ///< producing frames every batch
   kPaused,       ///< retained but skipped by the scheduler
   kDischarged,   ///< finished; rings drained and retired
-  kQuarantined,  ///< threw during admit/step; isolated, not fatal
+  kQuarantined,  ///< threw during admit/step; parked until readmission
+  kRecovering,   ///< readmitted this batch; kRunning on success, back on throw
+  kRetired,      ///< readmission budget exhausted; terminal
 };
 
 [[nodiscard]] std::string to_string(SessionState state);
@@ -88,6 +102,13 @@ struct SessionConfig {
   std::size_t event_ring_capacity{256};
   BackpressurePolicy code_policy{BackpressurePolicy::kDropOldest};
   BackpressurePolicy event_policy{BackpressurePolicy::kBlock};
+  /// Runtime fault schedule, generated from this config plus the session's
+  /// forked fault stream; manual_faults are appended verbatim (tests,
+  /// targeted scenarios). An empty plan leaves the fault machinery fully
+  /// disengaged: the session's output is byte-identical to a build without
+  /// it (docs/FLEET.md determinism contract).
+  FaultPlanConfig fault_plan{};
+  std::vector<FaultEvent> manual_faults{};
 };
 
 class PatientSession {
@@ -129,19 +150,59 @@ class PatientSession {
     return calibration_;
   }
 
+  /// The session's resolved fault schedule (empty for clean sessions).
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return plan_; }
+  /// Everything the plan has done so far, one human-readable line per
+  /// entry (fault injections, element re-routes). The scheduler mirrors new
+  /// entries into the ward's per-session fault log after every batch.
+  [[nodiscard]] const std::vector<std::string>& fault_log() const noexcept {
+    return fault_log_;
+  }
+  /// Link accounting when the plan routes codes over the simulated USB link
+  /// (any kLinkBurst event); nullptr for direct-publish sessions.
+  [[nodiscard]] const core::LinkStats* link_stats() const noexcept {
+    return link_decoder_ ? &link_decoder_->stats() : nullptr;
+  }
+
  private:
   void publish_event_(const FleetEvent& event);
+  /// Applies every plan event whose onset has passed. Throws (→ quarantine)
+  /// while an event still has throw budget; otherwise installs the
+  /// degradation (contact window, link burst window, element fault).
+  void apply_due_faults_();
+  void apply_fault_(const FaultEvent& event);
+  void apply_element_fault_(const FaultEvent& event);
+  void publish_via_link_(const std::vector<dsp::DecimatedSample>& samples);
+  [[nodiscard]] bool link_burst_active_(double stream_s) const noexcept;
 
   std::uint32_t id_;
   SessionConfig config_;
   std::unique_ptr<core::BloodPressureMonitor> inner_;
   core::ContactField field_;
+  core::ContactField effective_field_;  ///< field_ masked by contact-loss windows
   core::TwoPointCalibration calibration_;
   std::unique_ptr<core::StreamingMonitor> stream_;
   RingBuffer<std::int16_t> codes_;
   RingBuffer<FleetEvent> events_;
   bool admitted_{false};
   std::uint64_t frames_produced_{0};
+  // Fault-plan execution state. Windows on the pipeline clock are offset by
+  // stream_epoch_clock_s_ (pipeline time at monitoring start): the pipeline
+  // evaluates the contact field at its own clock, which includes the
+  // admission acquisition, while the plan schedules in stream time.
+  FaultPlan plan_;
+  std::size_t next_fault_{0};
+  std::vector<std::size_t> throws_left_;  ///< parallel to plan_.events()
+  std::vector<char> fired_;               ///< metric fired once per event
+  std::vector<std::string> fault_log_;
+  std::vector<std::pair<double, double>> contact_loss_windows_;  ///< pipeline clock
+  std::vector<std::pair<double, double>> link_burst_windows_;    ///< stream time
+  double stream_epoch_clock_s_{0.0};
+  bool array_dead_{false};  ///< no healthy element left; every step throws
+  std::unique_ptr<core::FrameEncoder> link_encoder_;
+  std::unique_ptr<core::FrameDecoder> link_decoder_;
+  std::unique_ptr<core::LinkFaultInjector> link_injector_;
+  metrics::Counter* faults_injected_metric_;
 };
 
 }  // namespace tono::fleet

@@ -7,19 +7,33 @@
 namespace tono::fleet {
 namespace {
 
-/// Minimal JSON string escape (labels and notes are simulator-generated,
-/// but a quarantine reason can carry arbitrary exception text).
+/// JSON string escape (labels and notes are simulator-generated, but a
+/// quarantine reason carries arbitrary exception text). Control characters
+/// below 0x20 without a shorthand become \u00XX — dropping them, as this
+/// once did, silently corrupts quarantine reasons in snapshots.
 std::string json_escape(const std::string& s) {
+  static constexpr char kHex[] = "0123456789abcdef";
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+      default: {
+        const auto u = static_cast<unsigned char>(c);
+        if (u >= 0x20) {
+          out += c;
+        } else {
+          out += "\\u00";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xF];
+        }
+      }
     }
   }
   return out;
@@ -62,8 +76,27 @@ void WardAggregator::set_lifecycle(std::uint32_t session_id, SessionState state,
                                    std::string note) {
   for (auto& s : sessions_) {
     if (s.id == session_id) {
+      if (s.lifecycle == SessionState::kRecovering && state == SessionState::kRunning) {
+        // A completed readmission; the stale quarantine reason comes off the
+        // snapshot (the fault log keeps the history).
+        ++s.recoveries;
+        ++recoveries_;
+        s.note.clear();
+      }
+      if (state == SessionState::kRetired && s.lifecycle != SessionState::kRetired) {
+        ++retired_;
+      }
       s.lifecycle = state;
       if (!note.empty()) s.note = std::move(note);
+      return;
+    }
+  }
+}
+
+void WardAggregator::note_fault(std::uint32_t session_id, std::string entry) {
+  for (auto& s : sessions_) {
+    if (s.id == session_id) {
+      s.fault_log.push_back(std::move(entry));
       return;
     }
   }
@@ -119,9 +152,12 @@ std::size_t WardAggregator::drain_once() {
 
     consumed += n_codes + n_events;
   }
+  return consumed;
+}
+
+void WardAggregator::settle() {
   run_escalations_();
   alarms_active_gauge_->set(static_cast<double>(alarms_active()));
-  return consumed;
 }
 
 void WardAggregator::consume_event_(WardSessionState& state, const FleetEvent& event) {
@@ -232,6 +268,17 @@ void WardAggregator::export_jsonl(std::ostream& os) const {
        << ",\"sqi_usable\":" << (s.sqi_usable ? "true" : "false")
        << ",\"alarms_active\":" << s.alarms_active << ",\"code_drops\":" << s.code_drops
        << ",\"event_drops\":" << s.event_drops << ",\"blocks\":" << s.block_events;
+    // Fault-plan fields only appear once the machinery engaged, keeping
+    // clean-run snapshots byte-identical to pre-fault-plan builds.
+    if (s.recoveries > 0) os << ",\"recoveries\":" << s.recoveries;
+    if (!s.fault_log.empty()) {
+      os << ",\"fault_log\":[";
+      for (std::size_t i = 0; i < s.fault_log.size(); ++i) {
+        if (i > 0) os << ',';
+        os << '"' << json_escape(s.fault_log[i]) << '"';
+      }
+      os << ']';
+    }
     if (!s.note.empty()) os << ",\"note\":\"" << json_escape(s.note) << "\"";
     os << "}\n";
   }
@@ -241,7 +288,11 @@ void WardAggregator::export_jsonl(std::ostream& os) const {
      << ",\"alarms_active\":" << alarms_active()
      << ",\"alarms_total\":" << alarm_queue_.size()
      << ",\"escalations\":" << escalations_ << ",\"drops\":" << total_drops()
-     << ",\"event_drops\":" << event_drops() << "}\n";
+     << ",\"event_drops\":" << event_drops();
+  if (recoveries_ > 0 || retired_ > 0) {
+    os << ",\"recoveries\":" << recoveries_ << ",\"retired\":" << retired_;
+  }
+  os << "}\n";
 }
 
 }  // namespace tono::fleet

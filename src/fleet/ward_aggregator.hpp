@@ -63,6 +63,10 @@ struct WardSessionState {
   std::uint64_t event_drops{0};   ///< mirrored from the events ring
   std::uint64_t block_events{0};  ///< producer stalls (both rings)
   std::size_t alarms_active{0};
+  std::uint64_t recoveries{0};    ///< completed readmissions (kRecovering → kRunning)
+  /// Scheduler-mirrored fault history: injected faults, re-routes,
+  /// quarantine strikes, readmissions, retirement. Exported in snapshots.
+  std::vector<std::string> fault_log;
 };
 
 struct WardConfig {
@@ -83,15 +87,28 @@ class WardAggregator {
   void attach(PatientSession& session, std::string label = "");
 
   /// Scheduler lifecycle note (shown in snapshots; quarantine reasons land
-  /// here).
+  /// here). Tracks recovery/retire accounting: a kRecovering → kRunning
+  /// transition counts one recovery and clears the stale quarantine note, a
+  /// first transition to kRetired counts one retirement.
   void set_lifecycle(std::uint32_t session_id, SessionState state,
                      std::string note = "");
 
-  /// Drains every attached ring once and updates per-session state, the
-  /// escalation queue and the ward.* metrics. Returns items consumed.
-  /// Safe to call while producers are mid-batch (that is the design: the
-  /// scheduler's caller thread drains concurrently with the workers).
+  /// Appends one line to a session's fault log (scheduler mirror of the
+  /// session-side log plus quarantine/readmit/retire verdicts).
+  void note_fault(std::uint32_t session_id, std::string entry);
+
+  /// Drains every attached ring once and updates per-session state and the
+  /// ward.* consumption metrics. Returns items consumed. Safe to call while
+  /// producers are mid-batch (that is the design: the scheduler's caller
+  /// thread drains concurrently with the workers).
   std::size_t drain_once();
+
+  /// Runs the time-based escalation policy and refreshes the alarms-active
+  /// gauge. Deliberately split from drain_once(): mid-batch drains see
+  /// partial code counts, so notice→urgent decisions only fire here — the
+  /// scheduler calls it at batch barriers, after a full drain, which keeps
+  /// escalation (and snapshot bytes) identical across thread counts.
+  void settle();
 
   [[nodiscard]] const std::vector<WardSessionState>& sessions() const noexcept {
     return sessions_;
@@ -102,6 +119,8 @@ class WardAggregator {
   }
   [[nodiscard]] std::size_t alarms_active() const noexcept;
   [[nodiscard]] std::uint64_t escalations() const noexcept { return escalations_; }
+  [[nodiscard]] std::uint64_t recoveries() const noexcept { return recoveries_; }
+  [[nodiscard]] std::uint64_t retired() const noexcept { return retired_; }
   [[nodiscard]] std::uint64_t codes_consumed() const noexcept { return codes_consumed_; }
   [[nodiscard]] std::uint64_t events_consumed() const noexcept { return events_consumed_; }
   /// Total items lost to drop-oldest backpressure across all rings.
@@ -134,6 +153,8 @@ class WardAggregator {
   std::vector<Entry> entries_;  ///< parallel to sessions_
   std::vector<WardAlarm> alarm_queue_;
   std::uint64_t escalations_{0};
+  std::uint64_t recoveries_{0};
+  std::uint64_t retired_{0};
   std::uint64_t codes_consumed_{0};
   std::uint64_t events_consumed_{0};
   std::vector<std::int16_t> code_scratch_;

@@ -65,6 +65,31 @@ TEST(ArgParser, NonNumericValueFails) {
   EXPECT_NE(p.error().find("expects a number"), std::string::npos);
 }
 
+TEST(ArgParser, FractionalIntValueFails) {
+  // kInt used to validate with strtod and then read with strtol: "1.5"
+  // passed validation and silently truncated to 1. It must be rejected.
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--required-thing", "x", "--count", "1.5"};
+  EXPECT_FALSE(p.parse(5, argv));
+  EXPECT_NE(p.error().find("expects an integer"), std::string::npos);
+}
+
+TEST(ArgParser, OverflowingIntValueFails) {
+  // Out-of-range integers used to saturate via strtol without any error.
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--required-thing", "x", "--count",
+                        "99999999999999999999"};
+  EXPECT_FALSE(p.parse(5, argv));
+  EXPECT_NE(p.error().find("out of range"), std::string::npos);
+}
+
+TEST(ArgParser, NegativeIntAccepted) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--required-thing", "x", "--count", "-12"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.int_value("count"), -12);
+}
+
 TEST(ArgParser, NegativeNumbersAccepted) {
   auto p = make_parser();
   const char* argv[] = {"prog", "--required-thing", "x", "--rate", "-2.5"};

@@ -5,17 +5,22 @@
 // Ward suites run under the CI TSan job.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/bio/pulse_generator.hpp"
 #include "src/common/metrics.hpp"
+#include "src/fleet/fault_plan.hpp"
 #include "src/fleet/fleet_scheduler.hpp"
 
 namespace {
 
 using namespace tono;
+using fleet::FaultEvent;
+using fleet::FaultKind;
+using fleet::FaultPlanConfig;
 using fleet::FleetConfig;
 using fleet::FleetEvent;
 using fleet::FleetEventKind;
@@ -127,14 +132,16 @@ TEST(Fleet, UnknownScenarioIsRejectedAtAdmission) {
   EXPECT_THROW((void)scheduler.admit(std::move(session)), std::invalid_argument);
 }
 
-TEST(Fleet, ThrowingSessionIsQuarantinedNotFatal) {
+TEST(Fleet, ThrowingSessionIsRetriedThenRetiredNotFatal) {
   WardAggregator ward;
   FleetConfig config;
   config.threads = 1;
+  config.max_readmits = 1;
   FleetScheduler scheduler{config, ward};
   // A calibration window far too short to contain a usable pulse: admission
-  // (which runs inside the first batch) throws and must quarantine only
-  // this session.
+  // (which runs inside the first batch) throws on every attempt, so the
+  // session burns through its readmission budget and retires — while every
+  // other session keeps streaming.
   SessionConfig bad;
   bad.calibration_window_s = 0.25;
   const auto bad_id = scheduler.admit(std::move(bad));
@@ -142,13 +149,199 @@ TEST(Fleet, ThrowingSessionIsQuarantinedNotFatal) {
 
   scheduler.run(0.2);
 
-  EXPECT_EQ(scheduler.state(bad_id), SessionState::kQuarantined);
+  EXPECT_EQ(scheduler.state(bad_id), SessionState::kRetired);
+  EXPECT_EQ(scheduler.strikes(bad_id), config.max_readmits + 1);
   EXPECT_FALSE(scheduler.quarantine_reason(bad_id).empty());
   EXPECT_EQ(scheduler.state(good_id), SessionState::kRunning);
   EXPECT_GT(ward.session(good_id)->codes, 0u);
-  // The ward snapshot carries the reason as the session note.
-  EXPECT_EQ(ward.session(bad_id)->lifecycle, SessionState::kQuarantined);
+  // The ward snapshot carries the reason as the session note plus the full
+  // strike history in the fault log.
+  EXPECT_EQ(ward.session(bad_id)->lifecycle, SessionState::kRetired);
   EXPECT_FALSE(ward.session(bad_id)->note.empty());
+  EXPECT_EQ(ward.retired(), 1u);
+  const auto& log = ward.session(bad_id)->fault_log;
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_NE(log[0].find("quarantined (strike 1/2)"), std::string::npos);
+  EXPECT_NE(log[1].find("retired after 1 readmission(s)"), std::string::npos);
+}
+
+TEST(Fleet, TransientFaultIsReadmittedAndResumesStreaming) {
+  WardAggregator ward;
+  FleetConfig config;
+  config.threads = 1;
+  FleetScheduler scheduler{config, ward};
+  // A hand-written transient contact loss: throws exactly once (one strike),
+  // then applies as a plain signal degradation on the readmission attempt.
+  SessionConfig session;
+  session.manual_faults.push_back(FaultEvent{.kind = FaultKind::kContactLoss,
+                                             .at_s = 0.05,
+                                             .duration_s = 0.10,
+                                             .throw_count = 1});
+  const auto id = scheduler.admit(std::move(session));
+
+  scheduler.run(0.4);
+
+  EXPECT_EQ(scheduler.state(id), SessionState::kRunning);
+  EXPECT_EQ(scheduler.strikes(id), 1u);
+  EXPECT_EQ(ward.recoveries(), 1u);
+  EXPECT_EQ(ward.session(id)->recoveries, 1u);
+  EXPECT_TRUE(ward.session(id)->note.empty()) << "stale quarantine note kept";
+  // The session streamed to the end despite the mid-run quarantine.
+  EXPECT_GE(scheduler.session(id)->stream_time_s(), 0.4);
+  const auto& log = ward.session(id)->fault_log;
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_NE(log[0].find("injected: contact loss"), std::string::npos);
+  EXPECT_NE(log[1].find("quarantined (strike 1/4)"), std::string::npos);
+  EXPECT_NE(log[2].find("readmitted after strike 1"), std::string::npos);
+  EXPECT_NE(log[3].find("applied: contact loss"), std::string::npos);
+}
+
+TEST(Fleet, UnrecoverableFaultStrikesOutToRetired) {
+  WardAggregator ward;
+  FleetConfig config;
+  config.threads = 1;
+  config.max_readmits = 2;
+  FleetScheduler scheduler{config, ward};
+  SessionConfig session;
+  session.manual_faults.push_back(
+      FaultEvent{.kind = FaultKind::kContactLoss,
+                 .at_s = 0.05,
+                 .duration_s = 0.10,
+                 .throw_count = fleet::kUnrecoverableThrows});
+  const auto id = scheduler.admit(std::move(session));
+
+  scheduler.run(0.4);
+
+  EXPECT_EQ(scheduler.state(id), SessionState::kRetired);
+  EXPECT_EQ(scheduler.strikes(id), 3u);
+  EXPECT_EQ(ward.retired(), 1u);
+  EXPECT_EQ(ward.recoveries(), 0u);
+  // Full history: one injection + one strike per attempt, then the verdict.
+  const auto& log = ward.session(id)->fault_log;
+  std::size_t injections = 0, strikes = 0;
+  for (const auto& line : log) {
+    injections += line.find("injected:") != std::string::npos;
+    strikes += line.find("quarantined (strike") != std::string::npos;
+  }
+  EXPECT_EQ(injections, 3u);
+  EXPECT_EQ(strikes, 2u) << "third strike is the retirement verdict";
+  ASSERT_FALSE(log.empty());
+  EXPECT_NE(log.back().find("retired after 2 readmission(s)"), std::string::npos);
+  EXPECT_NE(log.back().find("(unrecoverable)"), std::string::npos);
+}
+
+/// A nonempty generated schedule whose onsets all land inside a 1 s run:
+/// one transient contact loss (one quarantine + readmission), one link
+/// corruption burst, one element fault per session.
+FaultPlanConfig faulty_plan() {
+  FaultPlanConfig plan;
+  plan.contact_loss_events = 1;
+  plan.link_bursts = 1;
+  plan.element_faults = 1;
+  plan.min_onset_s = 0.10;
+  plan.horizon_s = 0.80;
+  return plan;
+}
+
+struct FaultyRun {
+  std::vector<std::vector<std::int16_t>> codes;
+  std::string snapshot;
+  std::uint64_t recoveries;
+};
+
+/// The 3-session mixed fleet with faulty_plan() active on every session.
+FaultyRun run_faulty_fleet(std::size_t threads) {
+  WardConfig ward_config;
+  ward_config.record_codes = true;
+  WardAggregator ward{ward_config};
+  FleetConfig fleet_config;
+  fleet_config.threads = threads;
+  FleetScheduler scheduler{fleet_config, ward};
+  for (std::size_t i = 0; i < 3; ++i) {
+    SessionConfig config = mixed_config(i);
+    config.fault_plan = faulty_plan();
+    (void)scheduler.admit(std::move(config));
+  }
+  scheduler.run(1.0);
+  FaultyRun result;
+  for (std::uint32_t id = 0; id < 3; ++id) {
+    result.codes.push_back(ward.recorded_codes(id));
+  }
+  std::ostringstream os;
+  ward.export_jsonl(os);
+  result.snapshot = os.str();
+  result.recoveries = ward.recoveries();
+  return result;
+}
+
+TEST(Fleet, FaultPlanParallelIsBitIdenticalToSerial) {
+  const auto serial = run_faulty_fleet(1);
+  const auto parallel = run_faulty_fleet(4);
+  // Every session hits its transient contact loss and is readmitted.
+  EXPECT_EQ(serial.recoveries, 3u);
+  EXPECT_EQ(parallel.recoveries, 3u);
+  ASSERT_EQ(serial.codes.size(), parallel.codes.size());
+  for (std::size_t i = 0; i < serial.codes.size(); ++i) {
+    ASSERT_FALSE(serial.codes[i].empty()) << "session " << i << " produced no codes";
+    EXPECT_EQ(serial.codes[i], parallel.codes[i]) << "session " << i << " diverged";
+  }
+  // The whole ward snapshot — fault logs, recovery counts, vitals — is
+  // byte-identical across thread counts.
+  EXPECT_EQ(serial.snapshot, parallel.snapshot);
+}
+
+TEST(Fleet, FaultySessionSoloCatchRetryMatchesFleet) {
+  const auto fleet = run_faulty_fleet(1);
+
+  // Solo reproduction: same derived seed, same plan config; a bare try/step
+  // loop is the solo analogue of quarantine + readmission. A throwing
+  // attempt consumes no RNG draws and no stream time, so the retried stream
+  // is bit-identical to the fleet's.
+  WardAggregator ward;
+  FleetScheduler seeder{FleetConfig{}, ward};
+  for (std::uint32_t id = 0; id < 3; ++id) {
+    SessionConfig config = mixed_config(id);
+    config.seed = seeder.session_seed(id);
+    config.fault_plan = faulty_plan();
+    PatientSession solo{id, std::move(config)};
+    std::vector<std::int16_t> codes;
+    while (solo.stream_time_s() < 1.0) {
+      try {
+        solo.step(FleetConfig{}.frames_per_step);
+      } catch (const std::exception&) {
+        continue;
+      }
+      solo.codes().pop_all(codes);
+    }
+    solo.codes().pop_all(codes);
+    EXPECT_EQ(codes, fleet.codes[id]) << "session " << id << " diverged solo";
+    EXPECT_FALSE(solo.fault_log().empty());
+  }
+}
+
+TEST(Fleet, EmptyFaultPlanLeavesStreamsUntouched) {
+  // The fault machinery must be invisible until a plan asks for it: a
+  // default (empty) plan produces the exact same codes as run_fleet, which
+  // never mentions fault plans at all.
+  const auto baseline = run_fleet(1, 0.5);
+  WardConfig ward_config;
+  ward_config.record_codes = true;
+  WardAggregator ward{ward_config};
+  FleetConfig fleet_config;
+  fleet_config.threads = 1;
+  FleetScheduler scheduler{fleet_config, ward};
+  for (std::size_t i = 0; i < 3; ++i) {
+    SessionConfig config = mixed_config(i);
+    config.fault_plan = FaultPlanConfig{};  // explicit empty plan
+    (void)scheduler.admit(std::move(config));
+  }
+  scheduler.run(0.5);
+  for (std::uint32_t id = 0; id < 3; ++id) {
+    EXPECT_EQ(ward.recorded_codes(id), baseline[id]);
+    EXPECT_TRUE(ward.session(id)->fault_log.empty());
+  }
+  EXPECT_EQ(ward.recoveries(), 0u);
+  EXPECT_EQ(ward.retired(), 0u);
 }
 
 TEST(Fleet, LifecyclePauseResumeDischarge) {
@@ -231,18 +424,23 @@ TEST_F(WardHarness, UnresolvedAlarmEscalatesToUrgent) {
   attach(config);
   push_alarm(core::AlarmKind::kRateHigh, true, 0.0);
   (void)ward_->drain_once();
+  ward_->settle();
   EXPECT_EQ(ward_->alarm_queue().front().level, WardAlarmLevel::kNotice);
 
   // Nobody resolves it while the session streams on: notice → urgent once
-  // the inferred stream time passes escalate_after_s.
+  // the inferred stream time passes escalate_after_s. Time-based escalation
+  // runs at settle() (the batch barrier), never inside drain_once().
   push_codes(static_cast<std::size_t>(0.1 * session_.output_rate_hz()));
   (void)ward_->drain_once();
+  EXPECT_EQ(ward_->escalations(), 0u) << "mid-batch drains must not escalate";
+  ward_->settle();
   EXPECT_EQ(ward_->alarm_queue().front().level, WardAlarmLevel::kUrgent);
   EXPECT_EQ(ward_->escalations(), 1u);
 
   // Urgent is terminal for time-based escalation: no double counting.
   push_codes(static_cast<std::size_t>(0.1 * session_.output_rate_hz()));
   (void)ward_->drain_once();
+  ward_->settle();
   EXPECT_EQ(ward_->escalations(), 1u);
 }
 
@@ -256,6 +454,63 @@ TEST_F(WardHarness, MultiVitalDeteriorationGoesStraightToCritical) {
   EXPECT_EQ(ward_->alarm_queue()[1].level, WardAlarmLevel::kCritical)
       << "second distinct active kind on one patient is critical";
   EXPECT_EQ(ward_->escalations(), 1u);
+}
+
+/// Minimal JSON string unescape for the round-trip check below.
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        out += static_cast<char>(std::stoi(s.substr(i + 1, 4), nullptr, 16));
+        i += 4;
+        break;
+      default: out += s[i]; break;
+    }
+  }
+  return out;
+}
+
+TEST_F(WardHarness, SnapshotRoundTripsControlCharactersInNotes) {
+  attach(WardConfig{});
+  // A quarantine reason carries arbitrary exception text; \r, \t and a raw
+  // 0x01 must all survive the snapshot (escaped, never dropped).
+  const std::string reason =
+      std::string("bad\rnews:\tcode ") + '\x01' + " end";
+  ward_->set_lifecycle(0, SessionState::kQuarantined, reason);
+  ward_->note_fault(0, reason);
+  std::ostringstream os;
+  ward_->export_jsonl(os);
+  const std::string snapshot = os.str();
+
+  // No raw control byte may leak into the JSONL (newline separates lines).
+  for (char c : snapshot) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control byte leaked";
+  }
+  EXPECT_NE(snapshot.find("\\r"), std::string::npos);
+  EXPECT_NE(snapshot.find("\\t"), std::string::npos);
+  EXPECT_NE(snapshot.find("\\u0001"), std::string::npos);
+
+  // Round-trip: un-escaping the note field yields the original reason.
+  const std::string key = "\"note\":\"";
+  const auto start = snapshot.find(key);
+  ASSERT_NE(start, std::string::npos);
+  const auto value_start = start + key.size();
+  const auto value_end = snapshot.find('"', value_start);
+  ASSERT_NE(value_end, std::string::npos);
+  EXPECT_EQ(json_unescape(snapshot.substr(value_start, value_end - value_start)),
+            reason);
 }
 
 TEST_F(WardHarness, DropAccountingMirrorsTheRings) {

@@ -137,6 +137,26 @@ TEST(AnalyzeTone, RejectsBadRecord) {
   EXPECT_THROW((void)analyze_tone(tiny, cfg), std::invalid_argument);
 }
 
+TEST(ClaimBand, EmptySpectrumClaimsNothing) {
+  // `center - halfwidth` on an empty spectrum used to underflow std::size_t
+  // and index into nothing; the guard must return 0.0 untouched.
+  std::vector<double> empty;
+  EXPECT_EQ(claim_band(empty, 0, 3), 0.0);
+  EXPECT_EQ(claim_band(empty, 100, 0), 0.0);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ClaimBand, IntegratesAndZeroesTheClaimedBins) {
+  std::vector<double> pwr{1.0, 2.0, 4.0, 8.0, 16.0};
+  EXPECT_DOUBLE_EQ(claim_band(pwr, 2, 1), 2.0 + 4.0 + 8.0);
+  EXPECT_DOUBLE_EQ(pwr[1] + pwr[2] + pwr[3], 0.0);
+  EXPECT_DOUBLE_EQ(pwr[0], 1.0);
+  EXPECT_DOUBLE_EQ(pwr[4], 16.0);
+  // Clamped at both edges; a center beyond the spectrum claims nothing.
+  EXPECT_DOUBLE_EQ(claim_band(pwr, 0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(claim_band(pwr, 10, 1), 0.0);
+}
+
 TEST(AnalyzeTone, DcOffsetDoesNotBecomeFundamental) {
   const double fs = 1000.0;
   const std::size_t n = 4096;
