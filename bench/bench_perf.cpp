@@ -36,6 +36,7 @@
 #include "src/dsp/decimation.hpp"
 #include "src/dsp/fft.hpp"
 #include "src/fleet/fleet_scheduler.hpp"
+#include "src/fleet/hospital_scheduler.hpp"
 #include "src/mems/transducer.hpp"
 
 namespace {
@@ -155,6 +156,9 @@ void BM_CapacitanceExactIntegral(benchmark::State& state) {
     benchmark::DoNotOptimize(t.capacitance(p));
     p = p < 20e3 ? p + 13.0 : 1000.0;
   }
+  // One evaluation per iteration; without this the trajectory entry records
+  // items_per_second: 0 and the regression guard cannot cover the exact path.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CapacitanceExactIntegral);
 
@@ -278,6 +282,66 @@ void BM_FleetSteadyState(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetSteadyState)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->UseRealTime();
 
+// A pre-admitted hospital at steady state: sessions split across shards,
+// each shard on its own driver thread with a serial scheduler
+// (threads_per_shard = 1), so the scaling factor across shard counts
+// isolates exactly what sharding buys. Cached like the fleet fixture —
+// admission (cuff calibration per session) stays out of the timed region.
+struct HospitalFixture {
+  std::unique_ptr<fleet::HospitalScheduler> hospital;
+  double cursor_s{0.0};
+
+  HospitalFixture(std::size_t n_sessions, std::size_t shards) {
+    fleet::HospitalConfig config;
+    config.shards = shards;
+    config.threads_per_shard = 1;  // shard drivers are the parallelism
+    config.base_seed = 11;
+    hospital = std::make_unique<fleet::HospitalScheduler>(config);
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+      (void)hospital->admit(fleet::SessionConfig{});
+    }
+    hospital->run(cursor_s += 0.064);  // admission + calibration, untimed
+  }
+};
+
+HospitalFixture& hospital_fixture(std::size_t n_sessions, std::size_t shards) {
+  static std::map<std::pair<std::size_t, std::size_t>,
+                  std::unique_ptr<HospitalFixture>> cache;
+  auto& slot = cache[{n_sessions, shards}];
+  if (!slot) slot = std::make_unique<HospitalFixture>(n_sessions, shards);
+  return *slot;
+}
+
+void BM_HospitalSteadyState(benchmark::State& state) {
+  // Args = (admitted sessions, shards). One iteration = one batch of stream
+  // time hospital-wide (every session advances frames_per_step frames,
+  // wards drained, shards epoch-synchronized). Items are output codes, so
+  // items_per_second across shard counts is the sharding speedup and
+  // items_per_second / 1 kHz is how many real-time patients this host
+  // serves at that hospital size.
+  auto& fixture = hospital_fixture(static_cast<std::size_t>(state.range(0)),
+                                   static_cast<std::size_t>(state.range(1)));
+  const double step_s =
+      static_cast<double>(fixture.hospital->config().frames_per_step) / 1000.0;
+  for (auto _ : state) {
+    fixture.cursor_s += step_s;
+    fixture.hospital->run(fixture.cursor_s);
+  }
+  const auto codes = static_cast<std::int64_t>(state.iterations()) *
+                     state.range(0) *
+                     static_cast<std::int64_t>(
+                         fixture.hospital->config().frames_per_step);
+  state.SetItemsProcessed(codes);
+  state.counters["realtime_sessions"] = benchmark::Counter(
+      static_cast<double>(codes) / 1000.0, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HospitalSteadyState)
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({256, 4})
+    ->Args({1024, 4})
+    ->UseRealTime();
+
 void BM_Fft8k(benchmark::State& state) {
   std::vector<dsp::Complex> x(8192);
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -382,6 +446,10 @@ std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
   const double fleet1 = rate_of(results, "BM_FleetSteadyState/1/real_time");
   const double fleet16 = rate_of(results, "BM_FleetSteadyState/16/real_time");
   const double fleet64 = rate_of(results, "BM_FleetSteadyState/64/real_time");
+  const double hospital64_1 = rate_of(results, "BM_HospitalSteadyState/64/1/real_time");
+  const double hospital64_4 = rate_of(results, "BM_HospitalSteadyState/64/4/real_time");
+  const double hospital256 = rate_of(results, "BM_HospitalSteadyState/256/4/real_time");
+  const double hospital1024 = rate_of(results, "BM_HospitalSteadyState/1024/4/real_time");
   os << "    \"derived\": {\n";
   os << "      \"pipeline_block_vs_scalar\": " << ratio(block_pipe, scalar_pipe) << ",\n";
   os << "      \"modulator_block_vs_scalar\": " << ratio(block_mod, scalar_mod) << ",\n";
@@ -391,7 +459,12 @@ std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
   os << "      \"sweep_speedup_2t\": " << ratio(sweep2, sweep1) << ",\n";
   os << "      \"sweep_speedup_4t\": " << ratio(sweep4, sweep1) << ",\n";
   os << "      \"fleet_scaling_16_vs_1\": " << ratio(fleet16, fleet1) << ",\n";
-  os << "      \"fleet_realtime_sessions_64\": " << fleet64 / 1000.0 << "\n";
+  os << "      \"fleet_realtime_sessions_64\": " << fleet64 / 1000.0 << ",\n";
+  os << "      \"hospital_scaling_4shards_vs_1\": " << ratio(hospital64_4, hospital64_1)
+     << ",\n";
+  os << "      \"hospital_scaling_256_vs_64\": " << ratio(hospital256, hospital64_4)
+     << ",\n";
+  os << "      \"hospital_realtime_sessions_1024\": " << hospital1024 / 1000.0 << "\n";
   os << "    }\n";
   os << "  }";
   return os.str();

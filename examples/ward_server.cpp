@@ -1,17 +1,21 @@
-// ward_server — the fleet serving loop: N concurrent patient sessions,
-// bounded telemetry rings, ward-level alarm aggregation.
+// ward_server — the hospital serving loop: N concurrent patient sessions
+// across independent ward shards, bounded telemetry rings, hospital-level
+// alarm aggregation, asynchronous JSONL snapshots.
 //
-//   ward_server --sessions 16 --duration 10 --seed 11
-//               [--threads 0] [--frames-per-step 64] [--code-policy drop]
-//               [--fault-plan contact=1,link=1,element=1] [--max-readmits 3]
-//               [--snapshot ward.jsonl] [--metrics metrics.jsonl] [--verbose]
+//   ward_server --sessions 256 --shards 4 --duration 10 --seed 11
+//               [--threads 0] [--frames-per-step 64] [--epoch-batches 16]
+//               [--code-policy drop] [--fault-plan contact=1,link=1,element=1]
+//               [--max-readmits 3] [--snapshot ward.jsonl] [--snapshot-every 0]
+//               [--metrics metrics.jsonl] [--verbose]
 //
 // Each session is a full vertical slice (scenario → transducer → ΔΣ →
-// decimation → streaming monitor); the scheduler steps them in deterministic
-// parallel batches (bit-identical to serial, see docs/FLEET.md) and the
-// ward aggregator drains codes/events concurrently, escalating unresolved
-// alarms. The session mix cycles through the patient presets and scenarios
-// so a default run exercises alarms, quality gating and escalation.
+// decimation → streaming monitor). Sessions are assigned to shards purely by
+// id (id % shards); each shard steps its sessions in deterministic lockstep
+// batches on its own scheduler and thread pool, so results — including the
+// snapshot bytes — are bit-identical across shard and thread counts (see
+// docs/FLEET.md). The session mix cycles through the patient presets and
+// scenarios so a default run exercises alarms, quality gating and
+// escalation.
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -20,7 +24,7 @@
 
 #include "src/common/cli.hpp"
 #include "src/common/metrics.hpp"
-#include "src/fleet/fleet_scheduler.hpp"
+#include "src/fleet/hospital_scheduler.hpp"
 
 namespace {
 
@@ -109,21 +113,74 @@ int main(int argc, char** argv) {
   args.add_int("sessions", "number of patient sessions to admit", 16);
   args.add_double("duration", "monitoring stream per session [s]", 10.0);
   args.add_int("seed", "fleet base seed (per-session seeds derive from it)", 11);
-  args.add_int("threads", "worker threads (0 = hardware, 1 = serial reference)", 0);
+  args.add_int("shards", "independent ward shards, each with its own scheduler", 1);
+  args.add_int("threads",
+               "worker threads per shard (0 = hardware/shards, 1 = serial shard)", 0);
   args.add_int("frames-per-step", "output frames per session per batch", 64);
+  args.add_int("epoch-batches", "batches per shard between hospital epochs", 16);
   args.add_string("code-policy", "codes-ring backpressure: drop | block", "drop");
   args.add_string("fault-plan",
                   "per-session fault schedule, e.g. contact=1,link=1,element=1", "");
   args.add_int("max-readmits", "readmissions before a quarantined session retires", 3);
   args.add_string("snapshot", "write the ward JSONL snapshot to this file", "");
+  args.add_int("snapshot-every",
+               "async-snapshot period in epochs (0 = final snapshot only)", 0);
   args.add_string("metrics", "write a JSONL runtime-metrics snapshot to this file", "");
   args.add_flag("verbose", "print per-session rows (always printed for quarantines)");
   if (!args.parse(argc, argv)) {
     std::cerr << (args.help_requested() ? args.help_text() : args.error() + "\n");
     return args.help_requested() ? 0 : 2;
   }
-  const auto n_sessions = static_cast<std::size_t>(args.int_value("sessions"));
+  // Range validation up front: every flag was already syntax-checked by the
+  // parser (strtol, no trailing junk, no overflow), so what is left is
+  // rejecting values that would otherwise be silently clamped by a cast —
+  // `--shards -3` must be a clear error, not a 4-billion-shard hospital.
+  const long sessions_raw = args.int_value("sessions");
+  const long shards_raw = args.int_value("shards");
+  const long threads_raw = args.int_value("threads");
+  const long frames_raw = args.int_value("frames-per-step");
+  const long epoch_raw = args.int_value("epoch-batches");
+  const long readmits_raw = args.int_value("max-readmits");
+  const long seed_raw = args.int_value("seed");
+  const long snapshot_every_raw = args.int_value("snapshot-every");
   const double duration_s = args.double_value("duration");
+  if (shards_raw < 1) {
+    std::cerr << "--shards must be >= 1 (got " << shards_raw << ")\n";
+    return 2;
+  }
+  if (sessions_raw < 0) {
+    std::cerr << "--sessions must be >= 0 (got " << sessions_raw << ")\n";
+    return 2;
+  }
+  if (threads_raw < 0) {
+    std::cerr << "--threads must be >= 0 (got " << threads_raw << ")\n";
+    return 2;
+  }
+  if (frames_raw < 1) {
+    std::cerr << "--frames-per-step must be >= 1 (got " << frames_raw << ")\n";
+    return 2;
+  }
+  if (epoch_raw < 1) {
+    std::cerr << "--epoch-batches must be >= 1 (got " << epoch_raw << ")\n";
+    return 2;
+  }
+  if (readmits_raw < 0) {
+    std::cerr << "--max-readmits must be >= 0 (got " << readmits_raw << ")\n";
+    return 2;
+  }
+  if (seed_raw < 0) {
+    std::cerr << "--seed must be >= 0 (got " << seed_raw << ")\n";
+    return 2;
+  }
+  if (snapshot_every_raw < 0) {
+    std::cerr << "--snapshot-every must be >= 0 (got " << snapshot_every_raw << ")\n";
+    return 2;
+  }
+  if (!(duration_s > 0.0)) {
+    std::cerr << "--duration must be > 0 (got " << duration_s << ")\n";
+    return 2;
+  }
+  const auto n_sessions = static_cast<std::size_t>(sessions_raw);
   const std::string policy_name = args.string_value("code-policy");
   if (policy_name != "drop" && policy_name != "block") {
     std::cerr << "--code-policy must be 'drop' or 'block'\n";
@@ -142,31 +199,36 @@ int main(int argc, char** argv) {
   fault_plan.horizon_s =
       std::max(fault_plan.min_onset_s + 0.1, 0.75 * duration_s);
 
-  fleet::WardConfig ward_config;
-  fleet::WardAggregator ward{ward_config};
-  fleet::FleetConfig fleet_config;
-  fleet_config.threads = static_cast<std::size_t>(args.int_value("threads"));
-  fleet_config.base_seed = static_cast<std::uint64_t>(args.int_value("seed"));
-  fleet_config.frames_per_step =
-      static_cast<std::size_t>(args.int_value("frames-per-step"));
-  fleet_config.max_readmits = static_cast<std::size_t>(args.int_value("max-readmits"));
-  fleet::FleetScheduler scheduler{fleet_config, ward};
+  fleet::HospitalConfig hospital_config;
+  hospital_config.shards = static_cast<std::size_t>(shards_raw);
+  hospital_config.threads_per_shard = static_cast<std::size_t>(threads_raw);
+  hospital_config.base_seed = static_cast<std::uint64_t>(seed_raw);
+  hospital_config.frames_per_step = static_cast<std::size_t>(frames_raw);
+  hospital_config.epoch_batches = static_cast<std::size_t>(epoch_raw);
+  hospital_config.max_readmits = static_cast<std::size_t>(readmits_raw);
+  hospital_config.snapshot_path = args.string_value("snapshot");
+  hospital_config.snapshot_every_epochs =
+      static_cast<std::size_t>(snapshot_every_raw);
+  fleet::HospitalScheduler hospital{hospital_config};
 
   for (std::size_t i = 0; i < n_sessions; ++i) {
     fleet::SessionConfig config = session_mix(i);
     config.code_policy = policy_name == "block" ? BackpressurePolicy::kBlock
                                                 : BackpressurePolicy::kDropOldest;
     config.fault_plan = fault_plan;
-    (void)scheduler.admit(std::move(config), mix_label(i));
+    (void)hospital.admit(std::move(config), mix_label(i));
   }
   std::cout << "ward_server: " << n_sessions << " sessions admitted, "
-            << scheduler.thread_count() << " worker thread(s), " << duration_s
-            << " s per session\n";
+            << hospital.shards() << " shard(s) x " << hospital.threads_per_shard()
+            << " worker thread(s), " << duration_s << " s per session\n";
 
-  scheduler.run(duration_s);
+  hospital.run(duration_s);
 
+  // The merged snapshot is exact after run() and shard-count-invariant:
+  // sessions in global-id order, totals summed across shards.
+  const fleet::WardSnapshot ward = hospital.snapshot();
   std::size_t quarantined = 0;
-  for (const auto& s : ward.sessions()) {
+  for (const auto& s : ward.sessions) {
     const bool parked = s.lifecycle == fleet::SessionState::kQuarantined ||
                         s.lifecycle == fleet::SessionState::kRetired;
     if (parked) ++quarantined;
@@ -179,28 +241,33 @@ int main(int argc, char** argv) {
                 << (s.note.empty() ? "" : " — " + s.note) << "\n";
     }
   }
-  std::cout << "ward: " << ward.codes_consumed() << " codes, "
-            << ward.events_consumed() << " events consumed; alarms active "
-            << ward.alarms_active() << " (queue " << ward.alarm_queue().size()
-            << ", escalations " << ward.escalations() << "); drops "
-            << ward.total_drops() << " (events " << ward.event_drops()
+  std::cout << "ward: " << ward.codes_consumed << " codes, "
+            << ward.events_consumed << " events consumed; alarms active "
+            << ward.alarms_active << " (queue " << ward.alarms_total
+            << ", escalations " << ward.escalations << "); drops "
+            << ward.drops << " (events " << ward.event_drops
             << "); quarantined " << quarantined << "\n";
-  if (ward.recoveries() > 0 || ward.retired() > 0) {
+  if (ward.recoveries > 0 || ward.retired > 0) {
     // Only printed once the recovery machinery engaged, so clean runs keep
     // their pre-fault-plan output bytes.
-    std::cout << "recovery: readmitted " << ward.recoveries()
-              << " session(s), retired " << ward.retired() << "\n";
+    std::cout << "recovery: readmitted " << ward.recoveries
+              << " session(s), retired " << ward.retired << "\n";
   }
 
   const std::string snapshot = args.string_value("snapshot");
   if (!snapshot.empty()) {
-    std::ofstream out{snapshot};
-    if (!out) {
+    // run() already handed the final exact snapshot to the async writer and
+    // flushed; any periodic epoch snapshots were superseded along the way.
+    if (hospital.snapshots_written() == 0) {
       std::cerr << "cannot write snapshot to " << snapshot << "\n";
       return 1;
     }
-    ward.export_jsonl(out);
-    std::cout << "wrote ward snapshot to " << snapshot << "\n";
+    std::cout << "wrote ward snapshot to " << snapshot;
+    if (snapshot_every_raw > 0) {
+      std::cout << " (" << hospital.snapshots_written() << " written, "
+                << hospital.snapshots_skipped() << " superseded)";
+    }
+    std::cout << "\n";
   }
   const std::string metrics_path = args.string_value("metrics");
   if (!metrics_path.empty()) {
@@ -212,8 +279,8 @@ int main(int argc, char** argv) {
     std::cout << "wrote metrics snapshot to " << metrics_path << "\n";
   }
   // The blocking events ring is the clinical contract: nothing may be lost.
-  if (ward.event_drops() != 0) {
-    std::cerr << "ERROR: " << ward.event_drops() << " beat/alarm events dropped\n";
+  if (ward.event_drops != 0) {
+    std::cerr << "ERROR: " << ward.event_drops << " beat/alarm events dropped\n";
     return 1;
   }
   return 0;

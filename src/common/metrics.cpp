@@ -244,21 +244,25 @@ void register_standard_instruments(Registry& r) {
         kFleetSessionsAdmitted, kFleetSessionsDischarged, kFleetSessionsQuarantined,
         kFleetBatches, kFleetFrames, kFleetRingDrops, kFleetRingBlocks,
         kFleetRecoveries, kFleetRetired, kFleetFaultsInjected,
-        kWardCodesConsumed, kWardEventsConsumed, kWardEscalations}) {
+        kWardCodesConsumed, kWardEventsConsumed, kWardEscalations,
+        kHospitalEpochs, kHospitalSnapshotsWritten, kHospitalSnapshotsSkipped,
+        kShardMirrorPublishes}) {
     (void)r.counter(name);
   }
   for (const char* name :
        {kModulatorPeakState1V, kModulatorPeakState2V, kModulatorClipCount,
         kModulatorBankLanes, kSweepThreads, kPoolPeakQueueDepth, kPoolQueueDepth,
         kMonitorLastSqi, kMonitorAlarmLatencyS, kFleetSessionsActive,
-        kWardAlarmsActive}) {
+        kWardAlarmsActive, kHospitalShards, kHospitalShardsActive,
+        kHospitalCodesConsumed, kHospitalAlarmsActive}) {
     (void)r.gauge(name);
   }
   static constexpr double kStrandBounds[] = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
                                              64.0, 128.0, 256.0, 1024.0};
   (void)r.histogram(kSweepTrialsPerStrand, kStrandBounds);
   for (const char* name :
-       {kSweepRunWall, kMonitorSessionWall, kBankStepBlock, kFleetBatchWall}) {
+       {kSweepRunWall, kMonitorSessionWall, kBankStepBlock, kFleetBatchWall,
+        kHospitalSnapshotWall, kShardEpochWall}) {
     (void)r.timer(name);
   }
 }

@@ -243,6 +243,18 @@ inline constexpr const char* kWardCodesConsumed = "ward.codes_consumed";
 inline constexpr const char* kWardEventsConsumed = "ward.events_consumed";
 inline constexpr const char* kWardAlarmsActive = "ward.alarms_active";
 inline constexpr const char* kWardEscalations = "ward.escalations";
+// Hospital sharding layer (HospitalScheduler / AggregationTree /
+// AsyncSnapshotWriter; see docs/FLEET.md "Sharding")
+inline constexpr const char* kHospitalEpochs = "hospital.epochs";
+inline constexpr const char* kHospitalSnapshotsWritten = "hospital.snapshots_written";
+inline constexpr const char* kHospitalSnapshotsSkipped = "hospital.snapshots_skipped";
+inline constexpr const char* kHospitalShards = "hospital.shards";
+inline constexpr const char* kHospitalShardsActive = "hospital.shards_active";
+inline constexpr const char* kHospitalCodesConsumed = "hospital.codes_consumed";
+inline constexpr const char* kHospitalAlarmsActive = "hospital.alarms_active";
+inline constexpr const char* kHospitalSnapshotWall = "hospital.snapshot_wall";
+inline constexpr const char* kShardMirrorPublishes = "shard.mirror_publishes";
+inline constexpr const char* kShardEpochWall = "shard.epoch_wall";
 }  // namespace names
 
 /// Pre-registers the full canonical instrument set in `r` (all zero until

@@ -1,0 +1,162 @@
+// aggregation_tree.hpp — lock-free cross-shard telemetry aggregation.
+//
+// The hospital scheduler (hospital_scheduler.hpp) runs N ward shards on N
+// driver threads. Each shard owns all of its mutable state; the only thing
+// the hospital needs continuously is a telemetry roll-up (codes consumed,
+// drops, alarms active, …) across every shard. Sharing mutable counters for
+// that would put cross-thread cache-line traffic on the batch hot path — so
+// instead each shard *publishes* its totals into its own cache-line-aligned
+// mirror leaf (plain relaxed atomic stores, single writer, no RMW, no
+// contention), and readers combine the leaves through a cached binary
+// reduction tree.
+//
+// Consistency model, deliberately two-tier:
+//   * live reads (sum(), reduce() between epochs) are lock-free and may see
+//     a mirror mid-publish — each *field* is exact, the cross-field cut may
+//     be torn by one batch. Fine for gauges and progress lines.
+//   * exact reads happen at quiescence points: the hospital's epoch barrier
+//     (every shard parked) and after run() joins the drivers. There the
+//     publish(release) / version(acquire) pair makes the whole mirror a
+//     consistent snapshot.
+//
+// reduce() caches per-node partial sums keyed by leaf versions, so an epoch
+// roll-up after k shards published is O(k log N) field additions instead of
+// O(N); it must be called from one thread at a time (the epoch completion
+// step — phases are sequential, so this holds by construction). sum() is
+// stateless and callable from any thread concurrently with publishers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tono::fleet {
+
+/// Field indices of one shard's telemetry mirror. Counters unless noted;
+/// kShardAlarmsActive / kShardActiveSessions are gauge-like (non-monotone).
+enum ShardField : std::size_t {
+  kShardCodes = 0,       ///< codes consumed by the shard's ward
+  kShardEvents,          ///< events consumed
+  kShardCodeDrops,       ///< codes lost to drop-oldest backpressure
+  kShardEventDrops,      ///< events lost (must stay 0: blocking policy)
+  kShardBlocks,          ///< producer stalls on blocking rings
+  kShardAlarmsActive,    ///< alarms currently active (gauge)
+  kShardEscalations,     ///< notice→urgent / →critical transitions
+  kShardRecoveries,      ///< completed readmissions
+  kShardRetired,         ///< sessions retired for good
+  kShardActiveSessions,  ///< admitted/running/recovering sessions (gauge)
+  kShardBatches,         ///< scheduler batches ticked
+  kShardFieldCount
+};
+
+/// One shard's published totals (or any reduction of several shards').
+struct ShardStats {
+  std::array<std::uint64_t, kShardFieldCount> v{};
+
+  [[nodiscard]] std::uint64_t operator[](std::size_t i) const noexcept { return v[i]; }
+  std::uint64_t& operator[](std::size_t i) noexcept { return v[i]; }
+
+  ShardStats& operator+=(const ShardStats& o) noexcept {
+    for (std::size_t i = 0; i < kShardFieldCount; ++i) v[i] += o.v[i];
+    return *this;
+  }
+};
+
+class AggregationTree {
+ public:
+  explicit AggregationTree(std::size_t leaf_count)
+      : leaf_count_(leaf_count == 0 ? 1 : leaf_count) {
+    std::size_t width = 1;
+    while (width < leaf_count_) width <<= 1;
+    width_ = width;
+    leaves_ = std::vector<Leaf>(leaf_count_);
+    nodes_ = std::vector<Node>(2 * width_ - 1);
+  }
+
+  AggregationTree(const AggregationTree&) = delete;
+  AggregationTree& operator=(const AggregationTree&) = delete;
+
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return leaf_count_; }
+
+  /// Publishes a shard's totals into its mirror. Single writer per leaf (the
+  /// shard's driver thread); relaxed stores + one release version bump, so a
+  /// publish never contends with another shard or with readers.
+  void publish(std::size_t leaf, const ShardStats& stats) noexcept {
+    Leaf& l = leaves_[leaf];
+    for (std::size_t i = 0; i < kShardFieldCount; ++i) {
+      l.v[i].store(stats.v[i], std::memory_order_relaxed);
+    }
+    l.version.fetch_add(1, std::memory_order_release);
+  }
+
+  /// One leaf's mirror (relaxed loads — see the consistency model above).
+  [[nodiscard]] ShardStats read_leaf(std::size_t leaf) const noexcept {
+    ShardStats out;
+    const Leaf& l = leaves_[leaf];
+    for (std::size_t i = 0; i < kShardFieldCount; ++i) {
+      out.v[i] = l.v[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  /// Stateless lock-free roll-up of every leaf; safe from any thread, any
+  /// time, concurrently with publishers and with reduce().
+  [[nodiscard]] ShardStats sum() const noexcept {
+    ShardStats out;
+    for (std::size_t i = 0; i < leaf_count_; ++i) out += read_leaf(i);
+    return out;
+  }
+
+  /// Cached tree reduction: recomputes only subtrees whose leaves published
+  /// since the last call. Single reader at a time (the node cache is plain
+  /// state); the hospital calls this from the epoch completion step, where
+  /// phases are sequential by construction.
+  [[nodiscard]] const ShardStats& reduce() noexcept {
+    (void)update_(0);
+    return nodes_[0].sum;
+  }
+
+ private:
+  struct alignas(64) Leaf {
+    std::array<std::atomic<std::uint64_t>, kShardFieldCount> v{};
+    std::atomic<std::uint64_t> version{0};
+  };
+  struct Node {
+    ShardStats sum{};
+    std::uint64_t version{0};  ///< sum of covered leaf versions at last compute
+  };
+
+  /// Recomputes the subtree under heap index `node` if any covered leaf
+  /// published; returns the subtree's combined leaf-version stamp. Version
+  /// sums only ever grow, so a stale cache can never alias a fresh one.
+  std::uint64_t update_(std::size_t node) noexcept {
+    Node& n = nodes_[node];
+    if (node >= width_ - 1) {  // leaf slot
+      const std::size_t leaf = node - (width_ - 1);
+      if (leaf >= leaf_count_) return 0;  // padding: stays zero
+      const std::uint64_t version =
+          leaves_[leaf].version.load(std::memory_order_acquire);
+      if (version != n.version) {
+        n.sum = read_leaf(leaf);
+        n.version = version;
+      }
+      return n.version;
+    }
+    const std::uint64_t combined = update_(2 * node + 1) + update_(2 * node + 2);
+    if (combined != n.version) {
+      n.sum = nodes_[2 * node + 1].sum;
+      n.sum += nodes_[2 * node + 2].sum;
+      n.version = combined;
+    }
+    return n.version;
+  }
+
+  std::size_t leaf_count_;
+  std::size_t width_{1};  ///< leaves rounded up to a power of two
+  std::vector<Leaf> leaves_;
+  std::vector<Node> nodes_;  ///< heap array: internal nodes then leaf slots
+};
+
+}  // namespace tono::fleet

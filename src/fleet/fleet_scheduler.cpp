@@ -16,6 +16,9 @@ FleetScheduler::FleetScheduler(FleetConfig config, WardAggregator& ward)
   if (config_.frames_per_step == 0) {
     throw std::invalid_argument{"FleetScheduler: frames_per_step must be > 0"};
   }
+  if (config_.session_id_stride == 0) {
+    throw std::invalid_argument{"FleetScheduler: session_id_stride must be > 0"};
+  }
   if (config_.threads != 1) pool_ = std::make_unique<ThreadPool>(config_.threads);
   auto& reg = metrics::Registry::global();
   admitted_metric_ = &reg.counter(metrics::names::kFleetSessionsAdmitted);
@@ -31,18 +34,22 @@ FleetScheduler::FleetScheduler(FleetConfig config, WardAggregator& ward)
 
 FleetScheduler::~FleetScheduler() = default;
 
-std::uint64_t FleetScheduler::session_seed(std::size_t admission_index) const {
+std::uint64_t FleetScheduler::session_seed(std::size_t session_id) const {
   // The SweepRunner derivation: depends only on (base_seed, stream_name,
-  // index), so a solo harness can reproduce any fleet session exactly.
+  // global session id), so a solo harness can reproduce any fleet session
+  // exactly — and a shard of a hospital (same base_seed/stream_name, ids
+  // mapped through offset/stride) draws the very same seed for it.
   return Rng{config_.base_seed}
       .fork_named(config_.stream_name)
-      .fork(static_cast<std::uint64_t>(admission_index))
+      .fork(static_cast<std::uint64_t>(session_id))
       .next_u64();
 }
 
 std::uint32_t FleetScheduler::admit(SessionConfig config, std::string label) {
   const auto index = sessions_.size();
-  if (config.seed == 0) config.seed = session_seed(index);
+  const auto id = static_cast<std::uint32_t>(
+      config_.session_id_offset + index * config_.session_id_stride);
+  if (config.seed == 0) config.seed = session_seed(id);
   if (config.code_ring_capacity < config_.frames_per_step) {
     // In serial mode nothing drains mid-batch; a ring smaller than one
     // batch would wedge a blocking push forever.
@@ -50,7 +57,6 @@ std::uint32_t FleetScheduler::admit(SessionConfig config, std::string label) {
         "FleetScheduler: code ring capacity must cover one batch "
         "(frames_per_step)"};
   }
-  const auto id = static_cast<std::uint32_t>(index);
   Slot slot;
   slot.session = std::make_unique<PatientSession>(id, std::move(config));
   ward_.attach(*slot.session, std::move(label));
@@ -62,11 +68,16 @@ std::uint32_t FleetScheduler::admit(SessionConfig config, std::string label) {
 }
 
 FleetScheduler::Slot* FleetScheduler::find_(std::uint32_t id) {
-  return id < sessions_.size() ? &sessions_[id] : nullptr;
+  // Invert the id mapping: id = offset + index·stride.
+  if (id < config_.session_id_offset) return nullptr;
+  const std::uint32_t delta = id - config_.session_id_offset;
+  if (delta % config_.session_id_stride != 0) return nullptr;
+  const std::size_t index = delta / config_.session_id_stride;
+  return index < sessions_.size() ? &sessions_[index] : nullptr;
 }
 
 const FleetScheduler::Slot* FleetScheduler::find_(std::uint32_t id) const {
-  return id < sessions_.size() ? &sessions_[id] : nullptr;
+  return const_cast<FleetScheduler*>(this)->find_(id);
 }
 
 void FleetScheduler::pause(std::uint32_t id) {
@@ -270,7 +281,7 @@ std::size_t FleetScheduler::step_all(double until_s) {
   return stepped;
 }
 
-bool FleetScheduler::recovery_pending_(double until_s) const {
+bool FleetScheduler::recovery_pending(double until_s) const {
   for (const auto& slot : sessions_) {
     if (slot.state == SessionState::kQuarantined &&
         slot.session->stream_time_s() < until_s) {
@@ -286,7 +297,7 @@ void FleetScheduler::run(double duration_s) {
     // Nothing stepped: done, unless a quarantined session is waiting out
     // its readmission backoff — then keep ticking batches until it gets
     // every retry its budget allows (it either recovers or retires).
-    if (!recovery_pending_(duration_s)) break;
+    if (!recovery_pending(duration_s)) break;
   }
   (void)ward_.drain_once();
   ward_.settle();

@@ -57,6 +57,16 @@ struct FleetConfig {
   /// Readmission delay after the first strike, in batches; doubles with each
   /// further strike (deterministic backoff — no wall clock anywhere).
   std::size_t readmit_backoff_batches{2};
+  /// Global-id mapping for sharded fleets (hospital_scheduler.hpp): the
+  /// n-th admitted session gets id `session_id_offset + n *
+  /// session_id_stride`, and its seed derives from that *global* id. With
+  /// the defaults (offset 0, stride 1) ids equal admission order and
+  /// nothing changes. Shard s of an S-shard hospital uses (offset=s,
+  /// stride=S), which makes shard assignment `id % S` — a pure function of
+  /// session id — and keeps every session's seed, and therefore its entire
+  /// stream, bit-identical to the unsharded and solo runs.
+  std::uint32_t session_id_offset{0};
+  std::uint32_t session_id_stride{1};
 };
 
 class FleetScheduler {
@@ -67,13 +77,15 @@ class FleetScheduler {
   FleetScheduler(const FleetScheduler&) = delete;
   FleetScheduler& operator=(const FleetScheduler&) = delete;
 
-  /// The deterministic seed of admission index i — depends only on
-  /// (base_seed, stream_name, i). A solo harness reproducing fleet session
-  /// i bit-for-bit seeds its session with this value.
-  [[nodiscard]] std::uint64_t session_seed(std::size_t admission_index) const;
+  /// The deterministic seed of global session id i — depends only on
+  /// (base_seed, stream_name, i). For an unsharded fleet (default id
+  /// mapping) the id equals the admission index. A solo harness reproducing
+  /// fleet session i bit-for-bit seeds its session with this value.
+  [[nodiscard]] std::uint64_t session_seed(std::size_t session_id) const;
 
   /// Registers a session (state kAdmitted) and attaches it to the ward.
-  /// config.seed == 0 is replaced with session_seed(admission index).
+  /// The id is session_id_offset + n·session_id_stride for the n-th
+  /// admission; config.seed == 0 is replaced with session_seed(id).
   /// Admission work (localization + calibration) runs inside the session's
   /// first batch task, so it parallelizes and quarantines like a step.
   /// Throws std::invalid_argument if the code ring cannot hold one batch
@@ -112,6 +124,15 @@ class FleetScheduler {
   /// Quarantine strikes accrued by a session so far.
   [[nodiscard]] std::size_t strikes(std::uint32_t id) const;
 
+  /// True while a quarantined session still has readmission budget and
+  /// stream time left before `until_s` — i.e. an empty batch is not "done",
+  /// it is a backoff tick. run() loops on this; a sharded driver
+  /// (hospital_scheduler.cpp) needs it for the same loop.
+  [[nodiscard]] bool recovery_pending(double until_s) const;
+
+  /// Batches ticked so far (every step_all call counts, stepped or empty).
+  [[nodiscard]] std::uint64_t batches() const noexcept { return batch_index_; }
+
  private:
   struct Slot {
     std::unique_ptr<PatientSession> session;
@@ -126,7 +147,6 @@ class FleetScheduler {
   [[nodiscard]] const Slot* find_(std::uint32_t id) const;
   void quarantine_(Slot& slot, const std::exception_ptr& error);
   void sync_fault_log_(Slot& slot);
-  [[nodiscard]] bool recovery_pending_(double until_s) const;
 
   FleetConfig config_;
   WardAggregator& ward_;

@@ -1,0 +1,99 @@
+#include "src/fleet/snapshot_writer.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace tono::fleet {
+
+AsyncSnapshotWriter::AsyncSnapshotWriter(std::string path)
+    : path_(std::move(path)) {
+  auto& reg = metrics::Registry::global();
+  written_metric_ = &reg.counter(metrics::names::kHospitalSnapshotsWritten);
+  skipped_metric_ = &reg.counter(metrics::names::kHospitalSnapshotsSkipped);
+  write_wall_ = &reg.timer(metrics::names::kHospitalSnapshotWall);
+  thread_ = std::thread{[this] { loop_(); }};
+}
+
+AsyncSnapshotWriter::~AsyncSnapshotWriter() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  thread_.join();
+}
+
+void AsyncSnapshotWriter::submit(WardSnapshot snapshot) {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (pending_.has_value()) {
+      // The writer is behind; latest wins and the loser is counted, never
+      // silently vanished.
+      ++skipped_;
+      skipped_metric_->add(1);
+    }
+    pending_ = std::move(snapshot);
+  }
+  wake_cv_.notify_one();
+}
+
+void AsyncSnapshotWriter::flush() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  idle_cv_.wait(lock, [this] { return !pending_.has_value() && !writing_; });
+}
+
+std::uint64_t AsyncSnapshotWriter::written() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return written_;
+}
+
+std::uint64_t AsyncSnapshotWriter::skipped() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return skipped_;
+}
+
+std::uint64_t AsyncSnapshotWriter::failures() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return failures_;
+}
+
+void AsyncSnapshotWriter::loop_() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  for (;;) {
+    wake_cv_.wait(lock, [this] { return stop_ || pending_.has_value(); });
+    if (!pending_.has_value()) break;  // stop requested, queue drained
+    WardSnapshot snapshot = std::move(*pending_);
+    pending_.reset();
+    writing_ = true;
+    lock.unlock();
+
+    // Off-lock serialization + write: this is the stall the barrier never
+    // sees. Serialize to memory first so the file rewrite is one pass and
+    // the file never holds a half-snapshot for longer than the write itself.
+    bool ok = false;
+    {
+      metrics::TraceSpan span{*write_wall_};
+      std::ostringstream buffer;
+      export_jsonl(snapshot, buffer);
+      std::ofstream file{path_, std::ios::trunc};
+      if (file) {
+        file << buffer.str();
+        file.flush();
+        ok = file.good();
+      }
+    }
+
+    lock.lock();
+    writing_ = false;
+    if (ok) {
+      ++written_;
+      written_metric_->add(1);
+    } else {
+      ++failures_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace tono::fleet

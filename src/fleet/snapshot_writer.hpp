@@ -1,0 +1,77 @@
+// snapshot_writer.hpp — double-buffered asynchronous JSONL snapshots.
+//
+// Serializing a 1k-session ward snapshot takes milliseconds; doing it inside
+// a batch barrier stalls every shard (the flat-scaling failure mode the
+// hospital exists to fix). So the epoch step only *copies* ward state into a
+// WardSnapshot value and hands it here; serialization and the file write run
+// on a dedicated writer thread.
+//
+// Double buffering, latest-wins: there is exactly one pending slot plus the
+// writer's in-flight snapshot. submit() never blocks on I/O — if an earlier
+// snapshot is still pending (the writer is behind), it is replaced and
+// counted as skipped (hospital.snapshots_skipped). The file is always a
+// complete, self-consistent snapshot: the writer serializes to memory first
+// and rewrites the file in one pass. flush() waits until the queue is empty
+// and the writer is idle — call it before reading the file; the destructor
+// flushes implicitly, so the final submitted snapshot is never lost.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "src/common/metrics.hpp"
+#include "src/fleet/ward_aggregator.hpp"
+
+namespace tono::fleet {
+
+class AsyncSnapshotWriter {
+ public:
+  /// Starts the writer thread. Snapshots are rewritten to `path` (truncate,
+  /// not append — the file holds the latest snapshot, JSONL inside).
+  explicit AsyncSnapshotWriter(std::string path);
+
+  /// Flushes pending work, then joins the writer thread.
+  ~AsyncSnapshotWriter();
+
+  AsyncSnapshotWriter(const AsyncSnapshotWriter&) = delete;
+  AsyncSnapshotWriter& operator=(const AsyncSnapshotWriter&) = delete;
+
+  /// Queues a snapshot for writing; never blocks on serialization or I/O.
+  /// Replaces (and counts as skipped) a still-pending earlier snapshot.
+  void submit(WardSnapshot snapshot);
+
+  /// Blocks until every submitted snapshot is written (or superseded).
+  void flush();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Snapshots fully written to disk so far.
+  [[nodiscard]] std::uint64_t written() const;
+  /// Snapshots superseded in the pending slot before the writer got to them.
+  [[nodiscard]] std::uint64_t skipped() const;
+  /// File-open/write failures (the writer keeps running; check after flush).
+  [[nodiscard]] std::uint64_t failures() const;
+
+ private:
+  void loop_();
+
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_cv_;  ///< signals the writer: work or stop
+  std::condition_variable idle_cv_;  ///< signals flush(): queue drained
+  std::optional<WardSnapshot> pending_;  ///< the single latest-wins slot
+  bool writing_{false};                  ///< writer holds an in-flight snapshot
+  bool stop_{false};
+  std::uint64_t written_{0};
+  std::uint64_t skipped_{0};
+  std::uint64_t failures_{0};
+  metrics::Counter* written_metric_;
+  metrics::Counter* skipped_metric_;
+  metrics::Timer* write_wall_;
+  std::thread thread_;
+};
+
+}  // namespace tono::fleet

@@ -247,6 +247,52 @@ std::uint64_t WardAggregator::event_drops() const noexcept {
   return n;
 }
 
+std::uint64_t WardAggregator::total_blocks() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions_) n += s.block_events;
+  return n;
+}
+
+WardSnapshot WardAggregator::snapshot() const {
+  WardSnapshot snap;
+  snap.sessions = sessions_;
+  snap.codes_consumed = codes_consumed_;
+  snap.events_consumed = events_consumed_;
+  snap.alarms_active = alarms_active();
+  snap.alarms_total = alarm_queue_.size();
+  snap.escalations = escalations_;
+  snap.drops = total_drops();
+  snap.event_drops = event_drops();
+  snap.recoveries = recoveries_;
+  snap.retired = retired_;
+  return snap;
+}
+
+WardSnapshot merge_snapshots(std::vector<WardSnapshot> parts) {
+  WardSnapshot out;
+  for (auto& part : parts) {
+    out.sessions.insert(out.sessions.end(),
+                        std::make_move_iterator(part.sessions.begin()),
+                        std::make_move_iterator(part.sessions.end()));
+    out.codes_consumed += part.codes_consumed;
+    out.events_consumed += part.events_consumed;
+    out.alarms_active += part.alarms_active;
+    out.alarms_total += part.alarms_total;
+    out.escalations += part.escalations;
+    out.drops += part.drops;
+    out.event_drops += part.event_drops;
+    out.recoveries += part.recoveries;
+    out.retired += part.retired;
+  }
+  // Global session-id order: round-robin shard assignment interleaves ids,
+  // so a merged snapshot re-sorts to match the equivalent single-ward run.
+  std::sort(out.sessions.begin(), out.sessions.end(),
+            [](const WardSessionState& a, const WardSessionState& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
 const std::vector<std::int16_t>& WardAggregator::recorded_codes(
     std::uint32_t session_id) const {
   if (!config_.record_codes) {
@@ -259,7 +305,11 @@ const std::vector<std::int16_t>& WardAggregator::recorded_codes(
 }
 
 void WardAggregator::export_jsonl(std::ostream& os) const {
-  for (const auto& s : sessions_) {
+  fleet::export_jsonl(snapshot(), os);
+}
+
+void export_jsonl(const WardSnapshot& snapshot, std::ostream& os) {
+  for (const auto& s : snapshot.sessions) {
     os << "{\"type\":\"session\",\"id\":" << s.id << ",\"label\":\""
        << json_escape(s.label) << "\",\"state\":\"" << to_string(s.lifecycle)
        << "\",\"codes\":" << s.codes << ",\"beats\":" << s.beats
@@ -282,15 +332,17 @@ void WardAggregator::export_jsonl(std::ostream& os) const {
     if (!s.note.empty()) os << ",\"note\":\"" << json_escape(s.note) << "\"";
     os << "}\n";
   }
-  os << "{\"type\":\"ward\",\"sessions\":" << sessions_.size()
-     << ",\"codes_consumed\":" << codes_consumed_
-     << ",\"events_consumed\":" << events_consumed_
-     << ",\"alarms_active\":" << alarms_active()
-     << ",\"alarms_total\":" << alarm_queue_.size()
-     << ",\"escalations\":" << escalations_ << ",\"drops\":" << total_drops()
-     << ",\"event_drops\":" << event_drops();
-  if (recoveries_ > 0 || retired_ > 0) {
-    os << ",\"recoveries\":" << recoveries_ << ",\"retired\":" << retired_;
+  os << "{\"type\":\"ward\",\"sessions\":" << snapshot.sessions.size()
+     << ",\"codes_consumed\":" << snapshot.codes_consumed
+     << ",\"events_consumed\":" << snapshot.events_consumed
+     << ",\"alarms_active\":" << snapshot.alarms_active
+     << ",\"alarms_total\":" << snapshot.alarms_total
+     << ",\"escalations\":" << snapshot.escalations
+     << ",\"drops\":" << snapshot.drops
+     << ",\"event_drops\":" << snapshot.event_drops;
+  if (snapshot.recoveries > 0 || snapshot.retired > 0) {
+    os << ",\"recoveries\":" << snapshot.recoveries
+       << ",\"retired\":" << snapshot.retired;
   }
   os << "}\n";
 }

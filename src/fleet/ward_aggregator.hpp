@@ -79,6 +79,35 @@ struct WardConfig {
   bool record_codes{false};
 };
 
+/// A value-type copy of everything a ward snapshot serializes: the
+/// per-session states plus the ward-level totals. Decoupling this from
+/// WardAggregator is what makes hospital sharding and async snapshots work —
+/// shard snapshots merge into one (merge_snapshots) and serialization
+/// (export_jsonl below) can run on a dedicated writer thread while the wards
+/// keep draining.
+struct WardSnapshot {
+  std::vector<WardSessionState> sessions;
+  std::uint64_t codes_consumed{0};
+  std::uint64_t events_consumed{0};
+  std::size_t alarms_active{0};
+  std::size_t alarms_total{0};
+  std::uint64_t escalations{0};
+  std::uint64_t drops{0};        ///< total ring losses (codes + events)
+  std::uint64_t event_drops{0};  ///< events lost (0 under blocking policy)
+  std::uint64_t recoveries{0};
+  std::uint64_t retired{0};
+};
+
+/// Serializes a snapshot as JSONL: one "session" object per line, then one
+/// "ward" summary line. Byte-compatible with WardAggregator::export_jsonl —
+/// and shard-count-invariant: merging N shard snapshots and serializing
+/// yields the same bytes as the equivalent single-ward run.
+void export_jsonl(const WardSnapshot& snapshot, std::ostream& os);
+
+/// Merges shard snapshots into one hospital-wide snapshot: sessions are
+/// re-ordered by global session id, totals are summed.
+[[nodiscard]] WardSnapshot merge_snapshots(std::vector<WardSnapshot> parts);
+
 class WardAggregator {
  public:
   explicit WardAggregator(WardConfig config = {});
@@ -127,6 +156,12 @@ class WardAggregator {
   [[nodiscard]] std::uint64_t total_drops() const noexcept;
   /// Alarm/beat/quality events lost (must stay 0 under the blocking policy).
   [[nodiscard]] std::uint64_t event_drops() const noexcept;
+  /// Producer stalls on blocking rings, summed across sessions.
+  [[nodiscard]] std::uint64_t total_blocks() const noexcept;
+
+  /// Copies the full ward state into a value-type snapshot (same threading
+  /// contract as export_jsonl: call at a barrier or after the run).
+  [[nodiscard]] WardSnapshot snapshot() const;
 
   /// Recorded code stream of a session (requires WardConfig::record_codes).
   [[nodiscard]] const std::vector<std::int16_t>& recorded_codes(
@@ -134,7 +169,8 @@ class WardAggregator {
 
   /// Ward snapshot as JSONL: one "session" object per line, then one "ward"
   /// summary line. Complements the metrics registry export (ward.* totals)
-  /// with per-session detail the flat registry cannot carry.
+  /// with per-session detail the flat registry cannot carry. Equivalent to
+  /// fleet::export_jsonl(snapshot(), os).
   void export_jsonl(std::ostream& os) const;
 
  private:
