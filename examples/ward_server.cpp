@@ -6,7 +6,14 @@
 //               [--threads 0] [--frames-per-step 64] [--epoch-batches 16]
 //               [--code-policy drop] [--fault-plan contact=1,link=1,element=1]
 //               [--max-readmits 3] [--snapshot ward.jsonl] [--snapshot-every 0]
+//               [--checkpoint ward.ckpt] [--checkpoint-every 0] [--resume]
 //               [--metrics metrics.jsonl] [--verbose]
+//
+// Checkpoint & resume: --checkpoint makes the hospital write a crash-safe
+// binary checkpoint (atomic tmp+fsync+rename) every --checkpoint-every
+// epochs and at the end of the run. A killed server restarted with the same
+// flags plus --resume picks up from the last checkpoint and finishes with
+// byte-identical snapshot output — resume, not replay.
 //
 // Each session is a full vertical slice (scenario → transducer → ΔΣ →
 // decimation → streaming monitor). Sessions are assigned to shards purely by
@@ -22,6 +29,7 @@
 #include <fstream>
 #include <string>
 
+#include "src/common/checkpoint.hpp"
 #include "src/common/cli.hpp"
 #include "src/common/metrics.hpp"
 #include "src/fleet/hospital_scheduler.hpp"
@@ -125,6 +133,12 @@ int main(int argc, char** argv) {
   args.add_string("snapshot", "write the ward JSONL snapshot to this file", "");
   args.add_int("snapshot-every",
                "async-snapshot period in epochs (0 = final snapshot only)", 0);
+  args.add_string("checkpoint",
+                  "write a resumable crash-safe checkpoint to this file", "");
+  args.add_int("checkpoint-every",
+               "checkpoint period in epochs (0 = end-of-run checkpoint only)", 0);
+  args.add_flag("resume",
+                "restore from --checkpoint before running (fresh start if absent)");
   args.add_string("metrics", "write a JSONL runtime-metrics snapshot to this file", "");
   args.add_flag("verbose", "print per-session rows (always printed for quarantines)");
   if (!args.parse(argc, argv)) {
@@ -176,6 +190,21 @@ int main(int argc, char** argv) {
     std::cerr << "--snapshot-every must be >= 0 (got " << snapshot_every_raw << ")\n";
     return 2;
   }
+  const long checkpoint_every_raw = args.int_value("checkpoint-every");
+  const std::string checkpoint_path = args.string_value("checkpoint");
+  if (checkpoint_every_raw < 0) {
+    std::cerr << "--checkpoint-every must be >= 0 (got " << checkpoint_every_raw
+              << ")\n";
+    return 2;
+  }
+  if (checkpoint_path.empty() && checkpoint_every_raw > 0) {
+    std::cerr << "--checkpoint-every requires --checkpoint\n";
+    return 2;
+  }
+  if (checkpoint_path.empty() && args.flag("resume")) {
+    std::cerr << "--resume requires --checkpoint\n";
+    return 2;
+  }
   if (!(duration_s > 0.0)) {
     std::cerr << "--duration must be > 0 (got " << duration_s << ")\n";
     return 2;
@@ -209,6 +238,9 @@ int main(int argc, char** argv) {
   hospital_config.snapshot_path = args.string_value("snapshot");
   hospital_config.snapshot_every_epochs =
       static_cast<std::size_t>(snapshot_every_raw);
+  hospital_config.checkpoint_path = checkpoint_path;
+  hospital_config.checkpoint_every_epochs =
+      static_cast<std::size_t>(checkpoint_every_raw);
   fleet::HospitalScheduler hospital{hospital_config};
 
   for (std::size_t i = 0; i < n_sessions; ++i) {
@@ -221,6 +253,24 @@ int main(int argc, char** argv) {
   std::cout << "ward_server: " << n_sessions << " sessions admitted, "
             << hospital.shards() << " shard(s) x " << hospital.threads_per_shard()
             << " worker thread(s), " << duration_s << " s per session\n";
+
+  if (args.flag("resume")) {
+    // Resume means resume: a checkpoint that exists but fails validation is
+    // a hard error (exit 1), never a silent restart from zero.
+    try {
+      if (hospital.try_restore_checkpoint()) {
+        std::cout << "resumed from checkpoint " << checkpoint_path << " ("
+                  << hospital.epochs() << " epoch(s) already run)\n";
+      } else {
+        std::cout << "no checkpoint at " << checkpoint_path
+                  << ", starting fresh\n";
+      }
+    } catch (const CheckpointError& e) {
+      std::cerr << "cannot resume from " << checkpoint_path << ": " << e.what()
+                << "\n";
+      return 1;
+    }
+  }
 
   hospital.run(duration_s);
 
@@ -268,6 +318,13 @@ int main(int argc, char** argv) {
                 << hospital.snapshots_skipped() << " superseded)";
     }
     std::cout << "\n";
+  }
+  if (!checkpoint_path.empty()) {
+    if (hospital.checkpoints_saved() == 0) {
+      std::cerr << "cannot write checkpoint to " << checkpoint_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote checkpoint to " << checkpoint_path << "\n";
   }
   const std::string metrics_path = args.string_value("metrics");
   if (!metrics_path.empty()) {

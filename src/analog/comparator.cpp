@@ -1,5 +1,7 @@
 #include "src/analog/comparator.hpp"
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono::analog {
 
 void Comparator::plan(double* noise_dest, std::size_t n) noexcept {
@@ -36,6 +38,20 @@ bool Comparator::planned_metastable_() noexcept {
   rng_.fill_gaussian(plan_buf_ + plan_idx_, plan_len_ - plan_idx_, 0.0,
                      config_.noise_vrms);
   return bit;
+}
+
+void Comparator::serialize(CheckpointWriter& out) const {
+  out.section("comparator");
+  rng_.serialize(out);
+  out.i64(last_);
+}
+
+void Comparator::restore(CheckpointReader& in) {
+  in.section("comparator");
+  rng_.restore(in);
+  last_ = static_cast<int>(in.i64());
+  plan_buf_ = nullptr;
+  plan_len_ = plan_idx_ = segment_start_ = 0;
 }
 
 }  // namespace tono::analog

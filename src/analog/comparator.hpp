@@ -71,6 +71,12 @@ class Comparator {
   [[nodiscard]] int last_decision() const noexcept { return last_; }
   [[nodiscard]] const ComparatorConfig& config() const noexcept { return config_; }
 
+  /// Checkpointing: the noise stream and the hysteresis memory. The planned
+  /// block state is transient (plans live inside one frame; checkpoints are
+  /// taken at frame/batch boundaries) and is neither stored nor restored.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
  private:
   /// Slow path: metastable Bernoulli during a planned block (see plan()).
   bool planned_metastable_() noexcept;

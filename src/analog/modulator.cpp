@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
 #include "src/common/units.hpp"
 
 namespace tono::analog {
@@ -295,6 +296,39 @@ void DeltaSigmaModulator::reset() {
   max_x1_ = 0.0;
   max_x2_ = 0.0;
   clip_count_ = 0;
+}
+
+void DeltaSigmaModulator::serialize(CheckpointWriter& out) const {
+  out.section("modulator");
+  out.f64(config_.c_fb1_f);  // runtime-switchable via set_feedback_capacitor
+  out.f64(x1_);
+  out.f64(x2_);
+  out.i64(bit_);
+  out.f64(time_s_);
+  out.f64(max_x1_);
+  out.f64(max_x2_);
+  out.size(clip_count_);
+  rng_.serialize(out);
+  flicker1_.serialize(out);
+  flicker2_.serialize(out);
+  comparator_.serialize(out);
+}
+
+void DeltaSigmaModulator::restore(CheckpointReader& in) {
+  in.section("modulator");
+  config_.c_fb1_f = in.f64();
+  x1_ = in.f64();
+  x2_ = in.f64();
+  bit_ = static_cast<int>(in.i64());
+  time_s_ = in.f64();
+  max_x1_ = in.f64();
+  max_x2_ = in.f64();
+  clip_count_ = in.size();
+  rng_.restore(in);
+  flicker1_.restore(in);
+  flicker2_.restore(in);
+  comparator_.restore(in);
+  plan_.len = plan_.idx = 0;  // transient: plans never span a checkpoint
 }
 
 }  // namespace tono::analog

@@ -149,6 +149,15 @@ class DeltaSigmaModulator {
   [[nodiscard]] std::size_t clip_count() const noexcept { return clip_count_; }
   [[nodiscard]] double time_s() const noexcept { return time_s_; }
 
+  /// Checkpointing: integrator states, output bit, clock, telemetry peaks,
+  /// every noise stream (white, both flicker generators, comparator) and the
+  /// runtime-switchable C_fb1. The per-die mismatch draws, settle thresholds
+  /// and LUT-free invariants are construction-time state and reproduce from
+  /// the config; the per-frame noise plan is transient (checkpoints are
+  /// taken between frames, when the plan is fully consumed).
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
  private:
   friend class ModulatorBank;
 

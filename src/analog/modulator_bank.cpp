@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono::analog {
 namespace {
 
@@ -82,6 +84,23 @@ void ModulatorBank::step_capacitive_block(const double* c_sense_f, int* bits_out
 
 void ModulatorBank::reset() {
   for (auto& lane : lanes_) lane.reset();
+}
+
+void ModulatorBank::serialize(CheckpointWriter& out) const {
+  out.section("modulator_bank");
+  out.size(lanes_.size());
+  for (const auto& lane : lanes_) lane.serialize(out);
+}
+
+void ModulatorBank::restore(CheckpointReader& in) {
+  in.section("modulator_bank");
+  const std::size_t lanes = in.size();
+  if (lanes != lanes_.size()) {
+    throw CheckpointError{"ModulatorBank checkpoint lane count " +
+                          std::to_string(lanes) + " != configured " +
+                          std::to_string(lanes_.size())};
+  }
+  for (auto& lane : lanes_) lane.restore(in);
 }
 
 }  // namespace tono::analog

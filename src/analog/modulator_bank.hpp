@@ -50,6 +50,11 @@ class ModulatorBank {
 
   void reset();
 
+  /// Checkpointing: every lane's full modulator state, in lane order. The
+  /// lane count is config-derived and verified on restore.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
   [[nodiscard]] std::size_t lanes() const noexcept { return lanes_.size(); }
   [[nodiscard]] DeltaSigmaModulator& lane(std::size_t k) { return lanes_[k]; }
   [[nodiscard]] const DeltaSigmaModulator& lane(std::size_t k) const {

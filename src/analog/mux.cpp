@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono::analog {
 
 AnalogMux::AnalogMux(const MuxConfig& config) : config_(config) {
@@ -38,6 +40,23 @@ double AnalogMux::settling_tau_s() const noexcept {
 double AnalogMux::settling_time_s(double relative_error) const noexcept {
   if (relative_error <= 0.0 || relative_error >= 1.0) return 0.0;
   return -settling_tau_s() * std::log(relative_error);
+}
+
+void AnalogMux::serialize(CheckpointWriter& out) const {
+  out.section("mux");
+  out.size(row_);
+  out.size(col_);
+  out.f64(previous_c_);
+}
+
+void AnalogMux::restore(CheckpointReader& in) {
+  in.section("mux");
+  row_ = in.size();
+  col_ = in.size();
+  previous_c_ = in.f64();
+  if (row_ >= config_.rows || col_ >= config_.cols) {
+    throw CheckpointError{"mux checkpoint selects element outside the array"};
+  }
 }
 
 }  // namespace tono::analog

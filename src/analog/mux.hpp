@@ -15,6 +15,11 @@
 #include <cstddef>
 #include <stdexcept>
 
+namespace tono {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace tono
+
 namespace tono::analog {
 
 struct MuxConfig {
@@ -71,6 +76,10 @@ class AnalogMux {
   [[nodiscard]] double settling_time_s(double relative_error) const noexcept;
 
   [[nodiscard]] const MuxConfig& config() const noexcept { return config_; }
+
+  /// Checkpointing: selected element and the pre-switch blend capacitance.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   MuxConfig config_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono::bio {
 
 ArtifactInjector::ArtifactInjector(const ArtifactConfig& config)
@@ -33,6 +35,24 @@ double ArtifactInjector::next(double dt_s) {
                            ? rng_.gaussian(0.0, config_.contact_noise_mmhg)
                            : 0.0;
   return wander_mmhg_ + spike_level_mmhg_ + noise;
+}
+
+void ArtifactInjector::serialize(CheckpointWriter& out) const {
+  out.section("artifact_injector");
+  rng_.serialize(out);
+  out.f64(wander_mmhg_);
+  out.f64(spike_level_mmhg_);
+  out.f64(next_spike_in_s_);
+  out.size(spike_count_);
+}
+
+void ArtifactInjector::restore(CheckpointReader& in) {
+  in.section("artifact_injector");
+  rng_.restore(in);
+  wander_mmhg_ = in.f64();
+  spike_level_mmhg_ = in.f64();
+  next_spike_in_s_ = in.f64();
+  spike_count_ = in.size();
 }
 
 void ArtifactInjector::apply(std::span<double> samples, double sample_rate_hz) {

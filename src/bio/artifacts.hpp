@@ -41,6 +41,10 @@ class ArtifactInjector {
   /// Number of spikes injected so far.
   [[nodiscard]] std::size_t spike_count() const noexcept { return spike_count_; }
 
+  /// Checkpointing: Rng stream, wander/spike state and spike count.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
  private:
   ArtifactConfig config_;
   Rng rng_;

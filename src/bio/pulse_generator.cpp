@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
 #include "src/common/units.hpp"
 
 namespace tono::bio {
@@ -164,6 +165,58 @@ PulseConfig PatientPresets::atrial_fibrillation() {
   c.hrv_jitter = 0.08;
   c.seed = 15;
   return c;
+}
+
+void ArterialPulseGenerator::serialize(CheckpointWriter& out) const {
+  out.section("pulse_generator");
+  out.f64(config_.systolic_mmhg);  // set_targets can retarget these three
+  out.f64(config_.diastolic_mmhg);
+  out.f64(config_.heart_rate_bpm);
+  rng_.serialize(out);
+  out.f64(time_s_);
+  out.f64(beat_start_s_);
+  out.f64(beat_interval_s_);
+  out.f64(beat_sys_mmhg_);
+  out.f64(beat_dia_mmhg_);
+  out.f64(drift_mmhg_);
+  out.f64(cur_min_);
+  out.f64(cur_max_);
+  out.f64(cur_sum_);
+  out.size(cur_n_);
+  out.size(truth_.size());
+  for (const auto& b : truth_) {
+    out.f64(b.onset_s);
+    out.f64(b.interval_s);
+    out.f64(b.systolic_mmhg);
+    out.f64(b.diastolic_mmhg);
+    out.f64(b.map_mmhg);
+  }
+}
+
+void ArterialPulseGenerator::restore(CheckpointReader& in) {
+  in.section("pulse_generator");
+  config_.systolic_mmhg = in.f64();
+  config_.diastolic_mmhg = in.f64();
+  config_.heart_rate_bpm = in.f64();
+  rng_.restore(in);
+  time_s_ = in.f64();
+  beat_start_s_ = in.f64();
+  beat_interval_s_ = in.f64();
+  beat_sys_mmhg_ = in.f64();
+  beat_dia_mmhg_ = in.f64();
+  drift_mmhg_ = in.f64();
+  cur_min_ = in.f64();
+  cur_max_ = in.f64();
+  cur_sum_ = in.f64();
+  cur_n_ = in.size();
+  truth_.resize(in.size());
+  for (auto& b : truth_) {
+    b.onset_s = in.f64();
+    b.interval_s = in.f64();
+    b.systolic_mmhg = in.f64();
+    b.diastolic_mmhg = in.f64();
+    b.map_mmhg = in.f64();
+  }
 }
 
 double ArterialPulseGenerator::mean_systolic_mmhg() const noexcept {

@@ -89,6 +89,12 @@ class ArterialPulseGenerator {
   [[nodiscard]] double time_s() const noexcept { return time_s_; }
   [[nodiscard]] const PulseConfig& config() const noexcept { return config_; }
 
+  /// Checkpointing: Rng stream, beat/clock state, setpoints (which
+  /// set_targets can retarget at runtime), drift, the current beat's truth
+  /// accumulators and all completed-beat ground truth.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
  private:
   void start_new_beat();
 

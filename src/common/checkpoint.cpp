@@ -1,0 +1,256 @@
+#include "src/common/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace tono {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'T', 'C', 'K', 'P'};
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;  // magic, version, len, fnv
+
+/// 32-bit FNV-1a of a section name — the tag both sides derive.
+constexpr std::uint32_t section_tag(std::string_view name) noexcept {
+  std::uint32_t h = 0x811c9dc5u;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t checkpoint_fnv1a(const std::uint8_t* data, std::size_t n) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size) noexcept {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const char* p = static_cast<const char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      (void)::unlink(tmp.c_str());
+      return false;
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  // The data must be durable *before* the rename publishes it: rename is
+  // atomic in the namespace, but without the fsync a crash could publish a
+  // name pointing at unwritten blocks.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream file{path, std::ios::binary};
+  if (!file) {
+    throw CheckpointError{"cannot open file for reading: " + path};
+  }
+  std::vector<std::uint8_t> bytes;
+  file.seekg(0, std::ios::end);
+  const auto end = file.tellg();
+  file.seekg(0, std::ios::beg);
+  if (end > 0) {
+    bytes.resize(static_cast<std::size_t>(end));
+    file.read(reinterpret_cast<char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  if (!file) {
+    throw CheckpointError{"failed reading file: " + path};
+  }
+  return bytes;
+}
+
+void CheckpointWriter::u8(std::uint8_t v) { payload_.push_back(v); }
+
+void CheckpointWriter::u16(std::uint16_t v) {
+  payload_.push_back(static_cast<std::uint8_t>(v));
+  payload_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void CheckpointWriter::u32(std::uint32_t v) { put_u32(payload_, v); }
+
+void CheckpointWriter::u64(std::uint64_t v) { put_u64(payload_, v); }
+
+void CheckpointWriter::i64(std::int64_t v) {
+  u64(static_cast<std::uint64_t>(v));
+}
+
+void CheckpointWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void CheckpointWriter::boolean(bool v) { u8(v ? 1 : 0); }
+
+void CheckpointWriter::str(std::string_view s) {
+  size(s.size());
+  payload_.insert(payload_.end(), s.begin(), s.end());
+}
+
+void CheckpointWriter::section(std::string_view name) {
+  u32(section_tag(name));
+}
+
+std::vector<std::uint8_t> CheckpointWriter::finish(
+    std::uint32_t schema_version) const {
+  std::vector<std::uint8_t> blob;
+  blob.reserve(kHeaderBytes + payload_.size());
+  blob.insert(blob.end(), kMagic, kMagic + 4);
+  put_u32(blob, schema_version);
+  put_u64(blob, payload_.size());
+  put_u64(blob, checkpoint_fnv1a(payload_.data(), payload_.size()));
+  blob.insert(blob.end(), payload_.begin(), payload_.end());
+  return blob;
+}
+
+CheckpointReader::CheckpointReader(const std::uint8_t* data, std::size_t size) {
+  if (size < kHeaderBytes) {
+    throw CheckpointError{"checkpoint blob truncated: " +
+                          std::to_string(size) + " bytes, header needs " +
+                          std::to_string(kHeaderBytes)};
+  }
+  if (std::memcmp(data, kMagic, 4) != 0) {
+    throw CheckpointError{"checkpoint blob has wrong magic (not TCKP)"};
+  }
+  version_ = get_u32(data + 4);
+  const std::uint64_t declared = get_u64(data + 8);
+  const std::uint64_t stored_fnv = get_u64(data + 16);
+  if (declared != size - kHeaderBytes) {
+    throw CheckpointError{
+        "checkpoint payload length mismatch: header declares " +
+        std::to_string(declared) + " bytes, blob carries " +
+        std::to_string(size - kHeaderBytes)};
+  }
+  payload_ = data + kHeaderBytes;
+  size_ = static_cast<std::size_t>(declared);
+  const std::uint64_t actual_fnv = checkpoint_fnv1a(payload_, size_);
+  if (actual_fnv != stored_fnv) {
+    throw CheckpointError{"checkpoint checksum mismatch: blob is corrupted"};
+  }
+}
+
+CheckpointReader::CheckpointReader(const std::vector<std::uint8_t>& blob)
+    : CheckpointReader(blob.data(), blob.size()) {
+  // Keep a copy so the reader stays valid if the caller's blob goes away.
+  owned_ = blob;
+  payload_ = owned_.data() + kHeaderBytes;
+}
+
+void CheckpointReader::require_version(std::uint32_t expected) const {
+  if (version_ != expected) {
+    throw CheckpointError{"unsupported checkpoint schema version " +
+                          std::to_string(version_) + " (expected " +
+                          std::to_string(expected) + ")"};
+  }
+}
+
+const std::uint8_t* CheckpointReader::take_(std::size_t n, const char* what) {
+  if (size_ - pos_ < n) {
+    throw CheckpointError{std::string{"checkpoint payload underflow reading "} +
+                          what + " at offset " + std::to_string(pos_)};
+  }
+  const std::uint8_t* p = payload_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t CheckpointReader::u8() { return *take_(1, "u8"); }
+
+std::uint16_t CheckpointReader::u16() {
+  const std::uint8_t* p = take_(2, "u16");
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t CheckpointReader::u32() { return get_u32(take_(4, "u32")); }
+
+std::uint64_t CheckpointReader::u64() { return get_u64(take_(8, "u64")); }
+
+std::int64_t CheckpointReader::i64() {
+  return static_cast<std::int64_t>(u64());
+}
+
+double CheckpointReader::f64() { return std::bit_cast<double>(u64()); }
+
+bool CheckpointReader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) {
+    throw CheckpointError{"checkpoint boolean field holds " +
+                          std::to_string(v)};
+  }
+  return v != 0;
+}
+
+std::string CheckpointReader::str() {
+  const std::size_t n = size();
+  const std::uint8_t* p = take_(n, "string body");
+  return std::string{reinterpret_cast<const char*>(p), n};
+}
+
+void CheckpointReader::section(std::string_view name) {
+  const std::uint32_t expected = section_tag(name);
+  const std::uint32_t actual = u32();
+  if (actual != expected) {
+    throw CheckpointError{"checkpoint section mismatch: expected '" +
+                          std::string{name} + "'"};
+  }
+}
+
+void CheckpointReader::expect_end() const {
+  if (pos_ != size_) {
+    throw CheckpointError{"checkpoint has " + std::to_string(size_ - pos_) +
+                          " trailing byte(s): blob and reader disagree"};
+  }
+}
+
+}  // namespace tono

@@ -1,0 +1,131 @@
+// checkpoint.hpp — versioned, checksummed binary state blobs.
+//
+// Every stateful stage of a patient session (RNG streams, modulator
+// integrators, filter delay lines, monitor windows, fault cursors) exposes a
+// `serialize(CheckpointWriter&)` / `restore(CheckpointReader&)` pair built on
+// this layer. The contract that makes checkpoints useful for crash recovery
+// and session migration (docs/FLEET.md "Checkpoint & resume"):
+//
+//   * Restore targets a *freshly constructed* object built from the identical
+//     config. Construction-time derived state (mismatch draws, LUTs, derived
+//     seeds) reproduces deterministically, so only dynamic state is stored.
+//   * Doubles are stored as their exact IEEE-754 bit patterns — a round trip
+//     is bit-identical, never "close".
+//   * Blobs are framed with a magic, a schema version, the payload length and
+//     a 64-bit FNV-1a checksum. A truncated, corrupted or
+//     version-incompatible blob fails loudly (CheckpointError) at open or at
+//     the first misaligned section read — it can never yield a plausible but
+//     wrong session.
+//
+// Encoding is explicit little-endian regardless of host order, so blobs are
+// byte-identical across compilers (the same discipline as the golden-code
+// transcripts).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tono {
+
+/// Thrown on any malformed blob: bad magic, checksum mismatch, truncation,
+/// section-tag mismatch, trailing bytes or an unsupported schema version.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// 64-bit FNV-1a over a byte range; the blob checksum.
+[[nodiscard]] std::uint64_t checkpoint_fnv1a(const std::uint8_t* data,
+                                             std::size_t n) noexcept;
+
+/// Crash-safe whole-file replacement: writes `<path>.tmp`, fsyncs it, then
+/// atomically rename(2)s over `path`. A crash or kill at any instant leaves
+/// either the previous complete file or the new complete file — never a torn
+/// one. Returns false on any failure (open, short write, fsync, rename); the
+/// target is left untouched on failure.
+[[nodiscard]] bool atomic_write_file(const std::string& path, const void* data,
+                                     std::size_t size) noexcept;
+
+/// Reads a whole file as bytes; throws CheckpointError when unreadable.
+[[nodiscard]] std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+/// Appends primitive values to a growing payload; `finish()` frames it.
+class CheckpointWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  /// Exact IEEE-754 bit pattern; round trip is bit-identical.
+  void f64(double v);
+  void boolean(bool v);
+  void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void str(std::string_view s);
+
+  /// Writes a 32-bit tag derived from `name`. The matching
+  /// CheckpointReader::section call re-derives and compares it, so a reader
+  /// that drifts out of alignment with the writer fails at the next section
+  /// boundary with the section's name in the error, not downstream with
+  /// garbage values.
+  void section(std::string_view name);
+
+  [[nodiscard]] std::size_t bytes_written() const noexcept {
+    return payload_.size();
+  }
+
+  /// Frames the payload: magic "TCKP", schema version, payload length,
+  /// FNV-1a checksum, payload.
+  [[nodiscard]] std::vector<std::uint8_t> finish(
+      std::uint32_t schema_version) const;
+
+ private:
+  std::vector<std::uint8_t> payload_;
+};
+
+/// Validates the frame (magic, length, checksum) at construction and then
+/// reads primitives back in writer order. Every read bounds-checks; reading
+/// past the payload throws instead of fabricating state.
+class CheckpointReader {
+ public:
+  CheckpointReader(const std::uint8_t* data, std::size_t size);
+  explicit CheckpointReader(const std::vector<std::uint8_t>& blob);
+
+  [[nodiscard]] std::uint32_t schema_version() const noexcept {
+    return version_;
+  }
+  /// Throws unless the blob's schema version equals `expected`.
+  void require_version(std::uint32_t expected) const;
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean();
+  [[nodiscard]] std::size_t size() { return static_cast<std::size_t>(u64()); }
+  [[nodiscard]] std::string str();
+
+  /// Reads a section tag and throws (naming `name`) unless it matches.
+  void section(std::string_view name);
+
+  /// Throws unless the whole payload was consumed — trailing bytes mean the
+  /// blob and the reader disagree about the schema.
+  void expect_end() const;
+
+ private:
+  const std::uint8_t* take_(std::size_t n, const char* what);
+
+  std::vector<std::uint8_t> owned_;  ///< storage when constructed from a blob
+  const std::uint8_t* payload_{nullptr};
+  std::size_t size_{0};
+  std::size_t pos_{0};
+  std::uint32_t version_{0};
+};
+
+}  // namespace tono

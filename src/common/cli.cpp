@@ -1,6 +1,7 @@
 #include "src/common/cli.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -73,10 +74,21 @@ bool ArgParser::parse(int argc, const char* const* argv) {
     }
     const std::string value = argv[++i];
     if (it->second.kind == Kind::kDouble) {
+      // strtod's end pointer alone accepts "nan", "inf" and overflowing
+      // exponents ("1e999" parses to +inf with ERANGE) — all of which would
+      // propagate NaN/inf into scenario math. Finite values only.
       char* end = nullptr;
-      (void)std::strtod(value.c_str(), &end);
+      errno = 0;
+      const double parsed = std::strtod(value.c_str(), &end);
       if (end == value.c_str() || *end != '\0') {
         error_ = "option --" + name + " expects a number, got '" + value + "'";
+        return false;
+      }
+      if (!std::isfinite(parsed)) {
+        error_ = errno == ERANGE
+                     ? "option --" + name + " number out of range: '" + value + "'"
+                     : "option --" + name + " expects a finite number, got '" +
+                           value + "'";
         return false;
       }
     } else if (it->second.kind == Kind::kInt) {
@@ -133,13 +145,28 @@ std::string ArgParser::string_value(const std::string& name) const {
 double ArgParser::double_value(const std::string& name) const {
   const auto& opt = option_or_throw(name, Kind::kDouble);
   const std::string raw = opt.value ? *opt.value : opt.default_value.value_or("0");
-  return std::strtod(raw.c_str(), nullptr);
+  // parse() already validated user input; a failure here means a registered
+  // default was malformed — a programming error, not a usage error.
+  char* end = nullptr;
+  const double parsed = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0' || !std::isfinite(parsed)) {
+    throw std::logic_error{"ArgParser: --" + name +
+                           " holds unparsable double '" + raw + "'"};
+  }
+  return parsed;
 }
 
 long ArgParser::int_value(const std::string& name) const {
   const auto& opt = option_or_throw(name, Kind::kInt);
   const std::string raw = opt.value ? *opt.value : opt.default_value.value_or("0");
-  return std::strtol(raw.c_str(), nullptr, 10);
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::logic_error{"ArgParser: --" + name +
+                           " holds unparsable integer '" + raw + "'"};
+  }
+  return parsed;
 }
 
 std::string ArgParser::help_text() const {

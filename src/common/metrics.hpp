@@ -239,6 +239,9 @@ inline constexpr const char* kFleetRingBlocks = "fleet.ring_blocks";
 inline constexpr const char* kFleetRecoveries = "fleet.recoveries";
 inline constexpr const char* kFleetRetired = "fleet.retired";
 inline constexpr const char* kFleetFaultsInjected = "fleet.faults_injected";
+inline constexpr const char* kFleetCheckpointsWritten = "fleet.checkpoints_written";
+inline constexpr const char* kFleetCheckpointsRestored = "fleet.checkpoints_restored";
+inline constexpr const char* kFleetCheckpointsRejected = "fleet.checkpoints_rejected";
 inline constexpr const char* kWardCodesConsumed = "ward.codes_consumed";
 inline constexpr const char* kWardEventsConsumed = "ward.events_consumed";
 inline constexpr const char* kWardAlarmsActive = "ward.alarms_active";

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono {
 
 PinkNoise::PinkNoise(Rng rng, std::size_t octaves) : rng_(rng), octaves_(octaves) {
@@ -59,6 +61,27 @@ void PinkNoise::fill_next(double* dest, std::size_t n) noexcept {
     }
     done += chunk;
   }
+}
+
+void PinkNoise::serialize(CheckpointWriter& out) const {
+  out.section("pink_noise");
+  rng_.serialize(out);
+  out.size(octaves_);
+  for (std::size_t k = 0; k < octaves_; ++k) out.f64(rows_[k]);
+  out.u64(counter_);
+}
+
+void PinkNoise::restore(CheckpointReader& in) {
+  in.section("pink_noise");
+  rng_.restore(in);
+  const std::size_t octaves = in.size();
+  if (octaves != octaves_) {
+    throw CheckpointError{"PinkNoise checkpoint octave count " +
+                          std::to_string(octaves) + " != configured " +
+                          std::to_string(octaves_)};
+  }
+  for (std::size_t k = 0; k < octaves_; ++k) rows_[k] = in.f64();
+  counter_ = in.u64();
 }
 
 }  // namespace tono

@@ -32,6 +32,14 @@ class PinkNoise {
 
   [[nodiscard]] std::size_t octaves() const noexcept { return octaves_; }
 
+  /// Checkpointing: the RNG stream, the live row values and the sample
+  /// counter — a stream suspended mid pink-noise row resumes bit-identically.
+  /// `octaves_`/`white_scale_` are construction-time config and are verified,
+  /// not restored; restore into a generator built with a different octave
+  /// count fails loudly.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
  private:
   static constexpr std::size_t kMaxOctaves = 24;
   /// Stack chunk for fill_next's bulk Gaussian draws (one modulator frame).

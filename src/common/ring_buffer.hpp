@@ -29,6 +29,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono {
 
 enum class BackpressurePolicy {
@@ -166,6 +168,32 @@ class RingBuffer {
   /// Times a kBlock push found the ring full and had to wait.
   [[nodiscard]] std::uint64_t block_events() const noexcept {
     return blocked_.load(std::memory_order_relaxed);
+  }
+
+  /// Checkpointing, accounting only. Sessions checkpoint at batch barriers,
+  /// where the ward has drained every ring — so a ring's restorable state is
+  /// exactly its lifetime counters (the ward mirrors them as absolute values
+  /// and meters deltas; fresh-zero counters after a restore would underflow
+  /// the mirror). Quiescent-only: serialize requires the ring empty, restore
+  /// requires it untouched (cursors at zero).
+  void serialize_accounting(CheckpointWriter& out) const {
+    out.section("ring");
+    out.boolean(empty());
+    out.u64(pushed());
+    out.u64(popped());
+    out.u64(dropped());
+    out.u64(block_events());
+  }
+  void restore_accounting(CheckpointReader& in) {
+    in.section("ring");
+    if (!in.boolean()) {
+      throw CheckpointError{
+          "ring checkpoint was taken non-quiescent (ring not empty)"};
+    }
+    pushed_.store(in.u64(), std::memory_order_relaxed);
+    popped_.store(in.u64(), std::memory_order_relaxed);
+    dropped_.store(in.u64(), std::memory_order_relaxed);
+    blocked_.store(in.u64(), std::memory_order_relaxed);
   }
 
  private:

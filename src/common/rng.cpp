@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono {
 namespace {
 
@@ -118,5 +120,19 @@ Rng Rng::fork(std::uint64_t salt) noexcept {
 }
 
 Rng Rng::fork_named(std::string_view name) noexcept { return fork(fnv1a(name)); }
+
+void Rng::serialize(CheckpointWriter& out) const {
+  out.section("rng");
+  for (std::uint64_t word : state_) out.u64(word);
+  out.f64(spare_gaussian_);
+  out.boolean(has_spare_gaussian_);
+}
+
+void Rng::restore(CheckpointReader& in) {
+  in.section("rng");
+  for (auto& word : state_) word = in.u64();
+  spare_gaussian_ = in.f64();
+  has_spare_gaussian_ = in.boolean();
+}
 
 }  // namespace tono

@@ -17,6 +17,9 @@
 
 namespace tono {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Deterministic pseudo-random generator with explicit seeding.
 ///
 /// Satisfies the needs of all tonosim noise models: uniform, Gaussian,
@@ -102,6 +105,13 @@ class Rng {
   /// Convenience: derive a stream from a component name (FNV-1a of the name
   /// as salt). Lets each circuit block own `rng.fork_named("comparator")`.
   [[nodiscard]] Rng fork_named(std::string_view name) noexcept;
+
+  /// Checkpointing (src/common/checkpoint.hpp): the full stream position —
+  /// the 256-bit xoshiro state *and* the Marsaglia spare cache, so a stream
+  /// suspended between the two halves of a Gaussian pair resumes with the
+  /// cached spare, bit-identical to never having stopped.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono::core {
 
 TwoPointCalibration::TwoPointCalibration(double value_at_systolic, double value_at_diastolic,
@@ -39,6 +41,21 @@ TwoPointCalibration TwoPointCalibration::rescaled(double full_scale_ratio) const
   out.gain_ = gain_ * full_scale_ratio;
   out.offset_ = offset_;
   return out;
+}
+
+void TwoPointCalibration::serialize(CheckpointWriter& out) const {
+  out.section("calibration");
+  out.f64(gain_);
+  out.f64(offset_);
+}
+
+void TwoPointCalibration::restore(CheckpointReader& in) {
+  in.section("calibration");
+  gain_ = in.f64();
+  offset_ = in.f64();
+  if (!(gain_ != 0.0) || !std::isfinite(gain_) || !std::isfinite(offset_)) {
+    throw CheckpointError{"calibration checkpoint gain/offset invalid"};
+  }
 }
 
 std::vector<double> TwoPointCalibration::apply(std::span<const double> values) const {

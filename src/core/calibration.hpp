@@ -15,6 +15,11 @@
 
 #include "src/core/beat_detection.hpp"
 
+namespace tono {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace tono
+
 namespace tono::core {
 
 /// Affine calibration value → mmHg.
@@ -55,6 +60,11 @@ class TwoPointCalibration {
   /// raw values shrink by that ratio, so the gain grows by it. The offset
   /// (mmHg at raw 0) is unchanged.
   [[nodiscard]] TwoPointCalibration rescaled(double full_scale_ratio) const;
+
+  /// Checkpointing: the fitted gain/offset pair (the cuff anchor). Unlike
+  /// the 4-arg constructor this accepts the identity map unchanged.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   double gain_{1.0};

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
 #include "src/common/units.hpp"
 
 namespace tono::core {
@@ -93,6 +94,42 @@ void BloodPressureMonitor::advance_to(double t_s) {
         wrist_.ambient_temperature_k +
         (wrist_.skin_temperature_k - wrist_.ambient_temperature_k) * warm);
   }
+}
+
+void BloodPressureMonitor::serialize(CheckpointWriter& out) const {
+  out.section("monitor");
+  pipeline_.serialize(out);
+  pulse_->serialize(out);
+  out.boolean(artifacts_ != nullptr);
+  if (artifacts_) artifacts_->serialize(out);
+  calibration_.serialize(out);
+  out.f64(sim_time_s_);
+  out.f64(arterial_mmhg_);
+  out.f64(artifact_mmhg_);
+  out.f64(map_estimate_mmhg_);
+  out.f64(last_scenario_apply_s_);
+  out.f64(wrist_.placement_offset_m);  // shift_placement mutates it
+  link_encoder_.serialize(out);
+  link_decoder_.serialize(out);
+}
+
+void BloodPressureMonitor::restore(CheckpointReader& in) {
+  in.section("monitor");
+  pipeline_.restore(in);
+  pulse_->restore(in);
+  if (in.boolean() != (artifacts_ != nullptr)) {
+    throw CheckpointError{"monitor checkpoint artefact-injector presence mismatch"};
+  }
+  if (artifacts_) artifacts_->restore(in);
+  calibration_.restore(in);
+  sim_time_s_ = in.f64();
+  arterial_mmhg_ = in.f64();
+  artifact_mmhg_ = in.f64();
+  map_estimate_mmhg_ = in.f64();
+  last_scenario_apply_s_ = in.f64();
+  wrist_.placement_offset_m = in.f64();
+  link_encoder_.restore(in);
+  link_decoder_.restore(in);
 }
 
 ContactField BloodPressureMonitor::contact_field() {

@@ -132,6 +132,13 @@ class BloodPressureMonitor {
   [[nodiscard]] const bio::ArterialPulseGenerator& pulse() const noexcept { return *pulse_; }
   [[nodiscard]] const WristModel& wrist() const noexcept { return wrist_; }
 
+  /// Checkpointing: the full session state — acquisition pipeline, patient
+  /// physiology, artefacts, calibration, cached physiological state, the
+  /// runtime placement offset and the simulated link's encoder/decoder.
+  /// Tissue coupling and the scenario profile are config-static.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
  private:
   /// Arterial pressure and artefacts advanced to pipeline time.
   void advance_to(double t_s);

@@ -1,5 +1,7 @@
 #include "src/core/pipeline.hpp"
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono::core {
 namespace {
 
@@ -150,6 +152,32 @@ double AcquisitionPipeline::set_feedback_capacitor(double c_fb1_f) {
   return modulator_.full_scale_delta_c() / before;
 }
 
+void AcquisitionPipeline::serialize(CheckpointWriter& out) const {
+  out.section("pipeline");
+  out.f64(config_.modulator.c_fb1_f);  // tracks set_feedback_capacitor
+  array_.serialize(out);
+  mux_.serialize(out);
+  modulator_.serialize(out);
+  chain_.serialize(out);
+  out.f64(time_s_);
+  out.f64(last_switch_s_);
+  out.f64(last_capacitance_);
+  out.f64(temperature_k_);
+}
+
+void AcquisitionPipeline::restore(CheckpointReader& in) {
+  in.section("pipeline");
+  config_.modulator.c_fb1_f = in.f64();
+  array_.restore(in);
+  mux_.restore(in);
+  modulator_.restore(in);
+  chain_.restore(in);
+  time_s_ = in.f64();
+  last_switch_s_ = in.f64();
+  last_capacitance_ = in.f64();
+  temperature_k_ = in.f64();
+}
+
 double AcquisitionPipeline::clock_rate_hz() const noexcept {
   return config_.modulator.sampling_rate_hz;
 }
@@ -212,6 +240,28 @@ void ArrayAcquisition::reset() {
 
 double ArrayAcquisition::output_rate_hz() const noexcept {
   return chains_.front().output_rate_hz();
+}
+
+void ArrayAcquisition::serialize(CheckpointWriter& out) const {
+  out.section("array_acquisition");
+  array_.serialize(out);
+  bank_.serialize(out);
+  out.size(chains_.size());
+  for (const auto& chain : chains_) chain.serialize(out);
+  out.f64(time_s_);
+  out.f64(temperature_k_);
+}
+
+void ArrayAcquisition::restore(CheckpointReader& in) {
+  in.section("array_acquisition");
+  array_.restore(in);
+  bank_.restore(in);
+  if (in.size() != chains_.size()) {
+    throw CheckpointError{"array acquisition checkpoint chain count mismatch"};
+  }
+  for (auto& chain : chains_) chain.restore(in);
+  time_s_ = in.f64();
+  temperature_k_ = in.f64();
 }
 
 }  // namespace tono::core

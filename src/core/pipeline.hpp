@@ -107,6 +107,12 @@ class AcquisitionPipeline {
   [[nodiscard]] const dsp::DecimationChain& decimation() const noexcept { return chain_; }
   [[nodiscard]] const ChipConfig& config() const noexcept { return config_; }
 
+  /// Checkpointing: array fault state, mux, modulator (including a
+  /// runtime-switched feedback capacitor), decimation chain, clock time and
+  /// mux-transient bookkeeping. Per-frame scratch is transient.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
  private:
   /// Frame-rate (1 kHz) instrumentation hook: counts the produced frame and
   /// publishes the modulator's saturation telemetry as gauges. Never called
@@ -172,6 +178,11 @@ class ArrayAcquisition {
   void set_temperature(double kelvin) noexcept { temperature_k_ = kelvin; }
   [[nodiscard]] const SensorArray& array() const noexcept { return array_; }
   [[nodiscard]] analog::ModulatorBank& bank() noexcept { return bank_; }
+
+  /// Checkpointing: array faults, every lane's modulator, every decimation
+  /// chain, frame clock and die temperature.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   ChipConfig config_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
 #include "src/common/rng.hpp"
 
 namespace tono::core {
@@ -116,6 +117,28 @@ std::size_t SensorArray::healthy_count() const noexcept {
     if (e.is_healthy()) ++n;
   }
   return n;
+}
+
+void SensorArray::serialize(CheckpointWriter& out) const {
+  out.section("sensor_array");
+  out.size(elements_.size());
+  for (const auto& e : elements_) {
+    out.u8(static_cast<std::uint8_t>(e.fault()));
+  }
+}
+
+void SensorArray::restore(CheckpointReader& in) {
+  in.section("sensor_array");
+  if (in.size() != elements_.size()) {
+    throw CheckpointError{"sensor array checkpoint element count mismatch"};
+  }
+  for (auto& e : elements_) {
+    const std::uint8_t code = in.u8();
+    if (code > static_cast<std::uint8_t>(ElementFault::kStuckDown)) {
+      throw CheckpointError{"sensor array checkpoint has unknown fault code"};
+    }
+    e.set_fault(static_cast<ElementFault>(code));
+  }
 }
 
 double SensorArray::capacitance(std::size_t row, std::size_t col,

@@ -16,6 +16,11 @@
 #include "src/core/chip_config.hpp"
 #include "src/mems/transducer.hpp"
 
+namespace tono {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace tono
+
 namespace tono::core {
 
 /// Physical position of an element's center relative to the array center.
@@ -91,6 +96,12 @@ class SensorArray {
   /// Capacitance of element (row, col) under a contact pressure [Pa].
   [[nodiscard]] double capacitance(std::size_t row, std::size_t col,
                                    double contact_pressure_pa) const;
+
+  /// Checkpointing: the runtime fault state of every element (restored via
+  /// set_fault so fault capacitances are recomputed exactly as injected).
+  /// Geometry and mismatch are config-derived and are not serialized.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   std::size_t rows_;

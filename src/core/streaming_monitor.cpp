@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono::core {
 
 std::string to_string(AlarmKind kind) {
@@ -36,6 +38,50 @@ StreamingMonitor::StreamingMonitor(const StreamingConfig& config) : config_(conf
   alarm_latency_gauge_ = &reg.gauge(metrics::names::kMonitorAlarmLatencyS);
   config_.detector.sample_rate_hz = config_.sample_rate_hz;
   config_.quality.detector = config_.detector;
+}
+
+void StreamingMonitor::serialize(CheckpointWriter& out) const {
+  out.section("streaming_monitor");
+  out.size(buffer_.size());
+  for (double v : buffer_) out.f64(v);
+  out.size(since_hop_);
+  out.f64(time_s_);
+  out.f64(buffer_start_s_);
+  out.f64(last_emitted_beat_s_);
+  out.size(beats_emitted_);
+  out.f64(last_rate_bpm_);
+  out.size(alarm_states_.size());
+  for (const auto& state : alarm_states_) {
+    out.size(state.violations);
+    out.size(state.recoveries);
+    out.boolean(state.active);
+    out.f64(state.first_violation_s);
+  }
+}
+
+void StreamingMonitor::restore(CheckpointReader& in) {
+  in.section("streaming_monitor");
+  const std::size_t buffered = in.size();
+  if (buffered > window_samples_) {
+    throw CheckpointError{"streaming monitor checkpoint window overflows config"};
+  }
+  buffer_.resize(buffered);
+  for (auto& v : buffer_) v = in.f64();
+  since_hop_ = in.size();
+  time_s_ = in.f64();
+  buffer_start_s_ = in.f64();
+  last_emitted_beat_s_ = in.f64();
+  beats_emitted_ = in.size();
+  last_rate_bpm_ = in.f64();
+  if (in.size() != alarm_states_.size()) {
+    throw CheckpointError{"streaming monitor checkpoint alarm count mismatch"};
+  }
+  for (auto& state : alarm_states_) {
+    state.violations = in.size();
+    state.recoveries = in.size();
+    state.active = in.boolean();
+    state.first_violation_s = in.f64();
+  }
 }
 
 void StreamingMonitor::push(double mmhg) {

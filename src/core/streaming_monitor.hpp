@@ -18,6 +18,11 @@
 #include "src/core/beat_detection.hpp"
 #include "src/core/quality.hpp"
 
+namespace tono {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace tono
+
 namespace tono::core {
 
 enum class AlarmKind {
@@ -86,6 +91,12 @@ class StreamingMonitor {
   [[nodiscard]] std::size_t beats_emitted() const noexcept { return beats_emitted_; }
   [[nodiscard]] bool alarm_active(AlarmKind kind) const;
   [[nodiscard]] const StreamingConfig& config() const noexcept { return config_; }
+
+  /// Checkpointing: the trailing sample window, hop/beat/clock state and
+  /// every alarm's confirmation state. Callbacks are not serialized — the
+  /// owner re-registers them on the restored instance.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   void process_window();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono::core {
 namespace {
 
@@ -164,6 +166,41 @@ void FrameDecoder::reset() {
   last_sequence_.reset();
 }
 
+void FrameEncoder::serialize(CheckpointWriter& out) const {
+  out.section("frame_encoder");
+  out.u16(sequence_);
+}
+
+void FrameEncoder::restore(CheckpointReader& in) {
+  in.section("frame_encoder");
+  sequence_ = in.u16();
+}
+
+void FrameDecoder::serialize(CheckpointWriter& out) const {
+  out.section("frame_decoder");
+  out.size(buffer_.size());
+  for (std::uint8_t b : buffer_) out.u8(b);
+  out.size(stats_.frames_ok);
+  out.size(stats_.crc_errors);
+  out.size(stats_.resyncs);
+  out.size(stats_.lost_frames);
+  out.boolean(last_sequence_.has_value());
+  out.u16(last_sequence_.value_or(0));
+}
+
+void FrameDecoder::restore(CheckpointReader& in) {
+  in.section("frame_decoder");
+  buffer_.resize(in.size());
+  for (auto& b : buffer_) b = in.u8();
+  stats_.frames_ok = in.size();
+  stats_.crc_errors = in.size();
+  stats_.resyncs = in.size();
+  stats_.lost_frames = in.size();
+  const bool has_seq = in.boolean();
+  const std::uint16_t seq = in.u16();
+  last_sequence_ = has_seq ? std::optional<std::uint16_t>{seq} : std::nullopt;
+}
+
 LinkFaultInjector::LinkFaultInjector(const LinkFaultConfig& config, std::uint64_t seed)
     : config_(config), rng_(seed) {
   const double total = config_.drop_prob + config_.bit_flip_prob +
@@ -172,6 +209,18 @@ LinkFaultInjector::LinkFaultInjector(const LinkFaultConfig& config, std::uint64_
       config_.truncate_prob < 0.0 || config_.garbage_prob < 0.0 || total > 1.0) {
     throw std::invalid_argument{"LinkFaultInjector: probabilities must be >= 0 and sum <= 1"};
   }
+}
+
+void LinkFaultInjector::serialize(CheckpointWriter& out) const {
+  out.section("link_fault_injector");
+  rng_.serialize(out);
+  out.u64(frames_corrupted_);
+}
+
+void LinkFaultInjector::restore(CheckpointReader& in) {
+  in.section("link_fault_injector");
+  rng_.restore(in);
+  frames_corrupted_ = in.u64();
 }
 
 bool LinkFaultInjector::corrupt(std::vector<std::uint8_t>& wire) {

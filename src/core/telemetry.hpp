@@ -45,6 +45,10 @@ class FrameEncoder {
 
   [[nodiscard]] std::uint16_t next_sequence() const noexcept { return sequence_; }
 
+  /// Checkpointing: the wire sequence counter.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
  private:
   std::uint16_t sequence_{0};
 };
@@ -75,6 +79,12 @@ class FrameDecoder {
 
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
   void reset();
+
+  /// Checkpointing: parse buffer, per-decoder stats and sequence tracking.
+  /// The registry mirrors are process-lifetime counters and are untouched —
+  /// restore() repositions this decoder without re-counting its history.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   /// Tries to parse one frame at buffer_[offset..]; returns consumed bytes
@@ -120,6 +130,10 @@ class LinkFaultInjector {
   [[nodiscard]] std::uint64_t frames_corrupted() const noexcept {
     return frames_corrupted_;
   }
+
+  /// Checkpointing: the fault Rng stream position and corruption count.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   LinkFaultConfig config_;

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono::dsp {
 namespace {
 
@@ -22,6 +24,18 @@ double Biquad::push(double x) noexcept {
   s1_ = b1_ * x - a1_ * y + s2_;
   s2_ = b2_ * x - a2_ * y;
   return y;
+}
+
+void Biquad::serialize(CheckpointWriter& out) const {
+  out.section("biquad");
+  out.f64(s1_);
+  out.f64(s2_);
+}
+
+void Biquad::restore(CheckpointReader& in) {
+  in.section("biquad");
+  s1_ = in.f64();
+  s2_ = in.f64();
 }
 
 double Biquad::magnitude_at(double freq_hz, double sample_rate_hz) const noexcept {
@@ -90,6 +104,20 @@ std::vector<double> BiquadCascade::process(std::span<const double> xs) {
 
 void BiquadCascade::reset() noexcept {
   for (auto& s : sections_) s.reset();
+}
+
+void BiquadCascade::serialize(CheckpointWriter& out) const {
+  out.section("biquad_cascade");
+  out.size(sections_.size());
+  for (const auto& s : sections_) s.serialize(out);
+}
+
+void BiquadCascade::restore(CheckpointReader& in) {
+  in.section("biquad_cascade");
+  if (in.size() != sections_.size()) {
+    throw CheckpointError{"biquad cascade checkpoint section count mismatch"};
+  }
+  for (auto& s : sections_) s.restore(in);
 }
 
 double BiquadCascade::magnitude_at(double freq_hz, double sample_rate_hz) const noexcept {

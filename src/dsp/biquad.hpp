@@ -8,6 +8,11 @@
 #include <span>
 #include <vector>
 
+namespace tono {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace tono
+
 namespace tono::dsp {
 
 /// Direct-form-II-transposed biquad: y = b0 x + s1; s1 = b1 x - a1 y + s2;
@@ -32,6 +37,11 @@ class Biquad {
   /// Notch at center_hz with quality factor q.
   [[nodiscard]] static Biquad notch(double center_hz, double q, double sample_rate_hz);
 
+  /// Checkpointing: the two DF2T state registers (coefficients are design
+  /// constants and are not serialized).
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
  private:
   double b0_, b1_, b2_, a1_, a2_;
   double s1_{0.0}, s2_{0.0};
@@ -51,6 +61,10 @@ class BiquadCascade {
 
   [[nodiscard]] std::size_t section_count() const noexcept { return sections_.size(); }
   [[nodiscard]] double magnitude_at(double freq_hz, double sample_rate_hz) const noexcept;
+
+  /// Checkpointing: every section's state; the section count is verified.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   std::vector<Biquad> sections_;

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <string>
+
+#include "src/common/checkpoint.hpp"
 
 namespace tono::dsp {
 
@@ -95,6 +98,44 @@ double CicDecimator::magnitude_at(double freq_hz, double input_rate_hz) const no
   const double den = rm * std::sin(x);
   if (den == 0.0) return 1.0;
   return std::pow(std::abs(num / den), order_);
+}
+
+void CicDecimator::serialize(CheckpointWriter& out) const {
+  out.section("cic");
+  out.size(integrators_.size());
+  for (std::int64_t acc : integrators_) out.i64(acc);
+  out.size(comb_delays_.size());
+  for (std::size_t s = 0; s < comb_delays_.size(); ++s) {
+    out.size(comb_delays_[s].size());
+    for (std::int64_t v : comb_delays_[s]) out.i64(v);
+    out.size(comb_pos_[s]);
+  }
+  out.size(phase_);
+}
+
+void CicDecimator::restore(CheckpointReader& in) {
+  in.section("cic");
+  if (in.size() != integrators_.size()) {
+    throw CheckpointError{"cic checkpoint integrator count mismatch"};
+  }
+  for (auto& acc : integrators_) acc = in.i64();
+  if (in.size() != comb_delays_.size()) {
+    throw CheckpointError{"cic checkpoint comb stage count mismatch"};
+  }
+  for (std::size_t s = 0; s < comb_delays_.size(); ++s) {
+    if (in.size() != comb_delays_[s].size()) {
+      throw CheckpointError{"cic checkpoint comb delay depth mismatch"};
+    }
+    for (auto& v : comb_delays_[s]) v = in.i64();
+    comb_pos_[s] = in.size();
+    if (comb_pos_[s] >= comb_delays_[s].size()) {
+      throw CheckpointError{"cic checkpoint comb position out of range"};
+    }
+  }
+  phase_ = in.size();
+  if (phase_ >= decimation_) {
+    throw CheckpointError{"cic checkpoint phase out of range"};
+  }
 }
 
 }  // namespace tono::dsp

@@ -14,6 +14,11 @@
 #include <span>
 #include <vector>
 
+namespace tono {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace tono
+
 namespace tono::dsp {
 
 class CicDecimator {
@@ -91,6 +96,11 @@ class CicDecimator {
 
   [[nodiscard]] int order() const noexcept { return order_; }
   [[nodiscard]] std::size_t decimation() const noexcept { return decimation_; }
+
+  /// Checkpointing: integrator accumulators, comb delay lines/positions and
+  /// the decimation phase. Geometry (order, R, M) is config and is verified.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   /// Comb cascade at the output rate; shared by push() and push_block().

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
 #include "src/common/fixed_point.hpp"
 #include "src/dsp/fir_design.hpp"
 
@@ -139,6 +140,18 @@ std::vector<double> DecimationChain::process_values(std::span<const int> bits) {
 void DecimationChain::reset() {
   cic_.reset();
   fir_.reset();
+}
+
+void DecimationChain::serialize(CheckpointWriter& out) const {
+  out.section("decimation_chain");
+  cic_.serialize(out);
+  fir_.serialize(out);
+}
+
+void DecimationChain::restore(CheckpointReader& in) {
+  in.section("decimation_chain");
+  cic_.restore(in);
+  fir_.restore(in);
 }
 
 double DecimationChain::output_rate_hz() const noexcept {

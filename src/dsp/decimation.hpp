@@ -89,6 +89,11 @@ class DecimationChain {
     return fir_coeffs_;
   }
 
+  /// Checkpointing: the CIC and fixed-point FIR stage states. The scratch
+  /// buffer is frame-local and is not serialized.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
  private:
   /// Rounds/saturates a raw FIR word into the output sample and records the
   /// output-rate (1 kHz) instrumentation: samples produced and saturations.

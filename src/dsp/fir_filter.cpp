@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
 #include "src/common/fixed_point.hpp"
 
 namespace tono::dsp {
@@ -42,6 +43,27 @@ void FirFilter::reset() {
   delay_.assign(delay_.size(), 0.0);
   write_pos_ = 0;
   phase_ = 0;
+}
+
+void FirFilter::serialize(CheckpointWriter& out) const {
+  out.section("fir");
+  out.size(delay_.size());
+  for (double v : delay_) out.f64(v);
+  out.size(write_pos_);
+  out.size(phase_);
+}
+
+void FirFilter::restore(CheckpointReader& in) {
+  in.section("fir");
+  if (in.size() != delay_.size()) {
+    throw CheckpointError{"fir checkpoint delay length mismatch"};
+  }
+  for (auto& v : delay_) v = in.f64();
+  write_pos_ = in.size();
+  phase_ = in.size();
+  if (write_pos_ >= delay_.size() || phase_ >= decimation_) {
+    throw CheckpointError{"fir checkpoint cursor out of range"};
+  }
 }
 
 FixedPointFir::FixedPointFir(std::vector<std::int32_t> coefficient_codes, int coeff_frac_bits,
@@ -101,6 +123,27 @@ void FixedPointFir::reset() {
   delay_.assign(delay_.size(), 0);
   write_pos_ = 0;
   phase_ = 0;
+}
+
+void FixedPointFir::serialize(CheckpointWriter& out) const {
+  out.section("fixed_fir");
+  out.size(delay_.size());
+  for (std::int64_t v : delay_) out.i64(v);
+  out.size(write_pos_);
+  out.size(phase_);
+}
+
+void FixedPointFir::restore(CheckpointReader& in) {
+  in.section("fixed_fir");
+  if (in.size() != delay_.size()) {
+    throw CheckpointError{"fixed fir checkpoint delay length mismatch"};
+  }
+  for (auto& v : delay_) v = in.i64();
+  write_pos_ = in.size();
+  phase_ = in.size();
+  if (write_pos_ >= delay_.size() || phase_ >= decimation_) {
+    throw CheckpointError{"fixed fir checkpoint cursor out of range"};
+  }
 }
 
 }  // namespace tono::dsp

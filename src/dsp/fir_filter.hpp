@@ -8,6 +8,11 @@
 #include <span>
 #include <vector>
 
+namespace tono {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace tono
+
 namespace tono::dsp {
 
 /// Streaming direct-form FIR with optional decimation.
@@ -35,6 +40,10 @@ class FirFilter {
   [[nodiscard]] double group_delay_samples() const noexcept {
     return (static_cast<double>(coeffs_.size()) - 1.0) / 2.0;
   }
+
+  /// Checkpointing: delay line, write cursor and decimation phase.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   std::vector<double> coeffs_;
@@ -67,6 +76,10 @@ class FixedPointFir {
 
   [[nodiscard]] int output_bits() const noexcept { return output_bits_; }
   [[nodiscard]] std::size_t tap_count() const noexcept { return coeffs_.size(); }
+
+  /// Checkpointing: delay line, write cursor and decimation phase.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   std::vector<std::int32_t> coeffs_;

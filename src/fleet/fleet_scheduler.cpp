@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/checkpoint.hpp"
 #include "src/common/rng.hpp"
 
 namespace tono::fleet {
@@ -28,6 +29,9 @@ FleetScheduler::FleetScheduler(FleetConfig config, WardAggregator& ward)
   retired_metric_ = &reg.counter(metrics::names::kFleetRetired);
   batches_metric_ = &reg.counter(metrics::names::kFleetBatches);
   frames_metric_ = &reg.counter(metrics::names::kFleetFrames);
+  checkpoints_written_metric_ = &reg.counter(metrics::names::kFleetCheckpointsWritten);
+  checkpoints_restored_metric_ = &reg.counter(metrics::names::kFleetCheckpointsRestored);
+  checkpoints_rejected_metric_ = &reg.counter(metrics::names::kFleetCheckpointsRejected);
   batch_wall_ = &reg.timer(metrics::names::kFleetBatchWall);
   active_gauge_ = &reg.gauge(metrics::names::kFleetSessionsActive);
 }
@@ -188,6 +192,34 @@ void FleetScheduler::quarantine_(Slot& slot, const std::exception_ptr& error) {
   quarantined_metric_->add(1);
 }
 
+void FleetScheduler::readmit_from_checkpoint_(Slot& slot) {
+  // A throwing step consumes nothing — no frames, no Rng draws, and the
+  // quarantining batch ended with a full drain — so the parked object IS the
+  // last good checkpoint. Capture it and resume a freshly constructed
+  // session from the blob: recovery goes through the same restore path a
+  // process restart uses, instead of trusting whatever state the quarantined
+  // object accumulated.
+  const std::uint32_t id = slot.session->id();
+  try {
+    const auto blob = slot.session->checkpoint();
+    ++checkpoints_written_;
+    checkpoints_written_metric_->add(1);
+    auto fresh = std::make_unique<PatientSession>(id, slot.session->config());
+    fresh->restore_checkpoint(blob);
+    ward_.reattach(*fresh);  // keep the accumulated WardSessionState
+    slot.session = std::move(fresh);
+    ++checkpoints_restored_;
+    checkpoints_restored_metric_->add(1);
+  } catch (const CheckpointError& e) {
+    // Validation refused the blob; the quarantined object resumes in place
+    // (state-equivalent, just not via the restore path). Counted and logged.
+    ++checkpoints_rejected_;
+    checkpoints_rejected_metric_->add(1);
+    ward_.note_fault(id, std::string{"checkpoint rejected, resuming in place: "} +
+                             e.what());
+  }
+}
+
 std::size_t FleetScheduler::step_all(double until_s) {
   // Readmission backoff is measured against this counter, so it advances on
   // every call — including batches that end up empty.
@@ -200,6 +232,7 @@ std::size_t FleetScheduler::step_all(double until_s) {
     if (slot.state == SessionState::kQuarantined) {
       if (batch_index_ < slot.eligible_batch) continue;
       if (slot.session->stream_time_s() >= until_s) continue;
+      readmit_from_checkpoint_(slot);
       slot.state = SessionState::kRecovering;
       ward_.set_lifecycle(slot.session->id(), slot.state);
       batch.push_back(&slot);
@@ -289,6 +322,47 @@ bool FleetScheduler::recovery_pending(double until_s) const {
     }
   }
   return false;
+}
+
+void FleetScheduler::serialize(CheckpointWriter& out) const {
+  out.section("fleet_scheduler");
+  out.u64(batch_index_);
+  out.u64(checkpoints_written_);
+  out.u64(checkpoints_restored_);
+  out.u64(checkpoints_rejected_);
+  out.size(sessions_.size());
+  for (const auto& slot : sessions_) {
+    out.u8(static_cast<std::uint8_t>(slot.state));
+    out.str(slot.quarantine_reason);
+    out.size(slot.strikes);
+    out.u64(slot.eligible_batch);
+    out.size(slot.fault_log_synced);
+    slot.session->serialize(out);
+  }
+}
+
+void FleetScheduler::restore(CheckpointReader& in) {
+  in.section("fleet_scheduler");
+  batch_index_ = in.u64();
+  checkpoints_written_ = in.u64();
+  checkpoints_restored_ = in.u64();
+  checkpoints_rejected_ = in.u64();
+  if (in.size() != sessions_.size()) {
+    throw CheckpointError{"scheduler checkpoint session count mismatch"};
+  }
+  for (auto& slot : sessions_) {
+    const std::uint8_t state = in.u8();
+    if (state > static_cast<std::uint8_t>(SessionState::kRetired)) {
+      throw CheckpointError{"scheduler checkpoint has unknown session state"};
+    }
+    slot.state = static_cast<SessionState>(state);
+    slot.quarantine_reason = in.str();
+    slot.strikes = in.size();
+    slot.eligible_batch = in.u64();
+    slot.fault_log_synced = in.size();
+    slot.session->restore(in);
+  }
+  active_gauge_->set(static_cast<double>(active_sessions()));
 }
 
 void FleetScheduler::run(double duration_s) {

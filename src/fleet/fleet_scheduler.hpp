@@ -133,6 +133,27 @@ class FleetScheduler {
   /// Batches ticked so far (every step_all call counts, stepped or empty).
   [[nodiscard]] std::uint64_t batches() const noexcept { return batch_index_; }
 
+  /// Checkpoint accounting for the readmission path: blobs captured from
+  /// quarantined sessions, blobs successfully restored into fresh sessions,
+  /// and blobs rejected by validation (the session then resumes in place).
+  [[nodiscard]] std::uint64_t checkpoints_written() const noexcept {
+    return checkpoints_written_;
+  }
+  [[nodiscard]] std::uint64_t checkpoints_restored() const noexcept {
+    return checkpoints_restored_;
+  }
+  [[nodiscard]] std::uint64_t checkpoints_rejected() const noexcept {
+    return checkpoints_rejected_;
+  }
+
+  /// Checkpointing of the whole scheduler: the batch counter plus every
+  /// slot's lifecycle (state, strikes, backoff, quarantine reason, fault-log
+  /// sync cursor) and the full session dump. Restore expects a scheduler
+  /// with the same sessions admitted in the same order; call only at a
+  /// batch barrier (between step_all calls).
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
  private:
   struct Slot {
     std::unique_ptr<PatientSession> session;
@@ -147,12 +168,21 @@ class FleetScheduler {
   [[nodiscard]] const Slot* find_(std::uint32_t id) const;
   void quarantine_(Slot& slot, const std::exception_ptr& error);
   void sync_fault_log_(Slot& slot);
+  /// Readmission = resume-from-checkpoint: captures the quarantined
+  /// session's last-barrier state as a blob, rebuilds a fresh session from
+  /// the same config, restores the blob into it and re-points the ward's
+  /// rings at the replacement. On a rejected blob the old object resumes in
+  /// place (counted, noted in the ward fault log).
+  void readmit_from_checkpoint_(Slot& slot);
 
   FleetConfig config_;
   WardAggregator& ward_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when threads == 1
   std::vector<Slot> sessions_;
   std::uint64_t batch_index_{0};
+  std::uint64_t checkpoints_written_{0};
+  std::uint64_t checkpoints_restored_{0};
+  std::uint64_t checkpoints_rejected_{0};
   // Observability (resolved once at construction; batch-rate updates).
   metrics::Counter* admitted_metric_;
   metrics::Counter* discharged_metric_;
@@ -161,6 +191,9 @@ class FleetScheduler {
   metrics::Counter* retired_metric_;
   metrics::Counter* batches_metric_;
   metrics::Counter* frames_metric_;
+  metrics::Counter* checkpoints_written_metric_;
+  metrics::Counter* checkpoints_restored_metric_;
+  metrics::Counter* checkpoints_rejected_metric_;
   metrics::Timer* batch_wall_;
   metrics::Gauge* active_gauge_;
 };

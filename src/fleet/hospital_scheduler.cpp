@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono::fleet {
 namespace {
 
@@ -119,6 +121,65 @@ std::uint64_t HospitalScheduler::snapshots_skipped() const {
   return writer_ ? writer_->skipped() : 0;
 }
 
+std::vector<std::uint8_t> HospitalScheduler::checkpoint() const {
+  CheckpointWriter out;
+  out.section("hospital");
+  out.u64(epochs_.load(std::memory_order_relaxed));
+  out.size(admitted_);
+  out.size(shards_.size());
+  for (const auto& shard : shards_) {
+    shard.scheduler->serialize(out);
+    shard.ward->serialize(out);
+  }
+  return out.finish(kHospitalCheckpointVersion);
+}
+
+void HospitalScheduler::restore_checkpoint(const std::vector<std::uint8_t>& blob) {
+  CheckpointReader in{blob};
+  in.require_version(kHospitalCheckpointVersion);
+  in.section("hospital");
+  const std::uint64_t epochs = in.u64();
+  if (in.size() != admitted_) {
+    throw CheckpointError{"hospital checkpoint admission count mismatch"};
+  }
+  if (in.size() != shards_.size()) {
+    throw CheckpointError{"hospital checkpoint shard count mismatch"};
+  }
+  for (auto& shard : shards_) {
+    shard.scheduler->restore(in);
+    shard.ward->restore(in);
+  }
+  in.expect_end();
+  // Committed only after the whole blob validated — a throw above leaves the
+  // epoch counter (and, because shard restores validate shape before
+  // touching sessions, most state) untouched.
+  epochs_.store(epochs, std::memory_order_relaxed);
+}
+
+bool HospitalScheduler::save_checkpoint() {
+  if (config_.checkpoint_path.empty()) return false;
+  const auto blob = checkpoint();
+  if (!atomic_write_file(config_.checkpoint_path, blob.data(), blob.size())) {
+    return false;  // previous complete checkpoint stays in place
+  }
+  ++checkpoints_saved_;
+  return true;
+}
+
+bool HospitalScheduler::try_restore_checkpoint() {
+  if (config_.checkpoint_path.empty()) return false;
+  std::vector<std::uint8_t> blob;
+  try {
+    blob = read_file_bytes(config_.checkpoint_path);
+  } catch (const CheckpointError&) {
+    return false;  // no checkpoint yet — fresh start
+  }
+  // A corrupt or mismatched blob throws out of here: failing loudly beats
+  // silently restarting a monitored patient from zero.
+  restore_checkpoint(blob);
+  return true;
+}
+
 void HospitalScheduler::publish_shard_(std::size_t s) {
   const Shard& shard = shards_[s];
   const WardAggregator& ward = *shard.ward;
@@ -156,6 +217,14 @@ void HospitalScheduler::on_epoch_() {
     // Copy ward state and hand it off; serialization and the file write
     // happen on the writer thread, never inside this barrier.
     writer_->submit(merge_snapshot_());
+  }
+  if (!config_.checkpoint_path.empty() && config_.checkpoint_every_epochs > 0 &&
+      epoch % config_.checkpoint_every_epochs == 0) {
+    // Every shard is parked at the barrier (or done and drained), every
+    // batch ended with a full drain — the rings are quiescent and the blob
+    // is a clean batch-boundary cut. The atomic write means a kill at any
+    // instant leaves a complete checkpoint on disk.
+    (void)save_checkpoint();
   }
 }
 
@@ -214,6 +283,9 @@ void HospitalScheduler::run(double duration_s) {
     writer_->submit(merge_snapshot_());
     writer_->flush();
   }
+  // Final checkpoint after the epilogue drain: a completed run leaves a blob
+  // a restarted process can resume (or verify) from.
+  (void)save_checkpoint();
 }
 
 }  // namespace tono::fleet

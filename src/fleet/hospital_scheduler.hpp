@@ -69,7 +69,20 @@ struct HospitalConfig {
   /// snapshot only) and always one exact snapshot at the end of run().
   std::string snapshot_path{};
   std::size_t snapshot_every_epochs{0};
+  /// When non-empty, run() writes a resumable binary checkpoint here —
+  /// crash-safe (tmp + fsync + rename, see atomic_write_file) — at every
+  /// `checkpoint_every_epochs`-th epoch barrier and once more at the end of
+  /// run(). A restarted process re-admits the identical session mix, calls
+  /// try_restore_checkpoint() and continues run(): the completed stream is
+  /// bit-identical to one that was never interrupted.
+  std::string checkpoint_path{};
+  /// 0 disables the periodic writes (the end-of-run checkpoint still lands).
+  std::size_t checkpoint_every_epochs{0};
 };
+
+/// Schema version of the whole-hospital checkpoint blob (embeds every
+/// shard's scheduler, session and ward sections).
+inline constexpr std::uint32_t kHospitalCheckpointVersion = 1;
 
 class HospitalScheduler {
  public:
@@ -132,6 +145,33 @@ class HospitalScheduler {
   [[nodiscard]] std::uint64_t snapshots_written() const;
   [[nodiscard]] std::uint64_t snapshots_skipped() const;
 
+  /// Full-hospital checkpoint: the epoch counter plus every shard's
+  /// scheduler (batch counters, slot lifecycles, complete session dumps)
+  /// and ward (vitals, alarm queue, fault logs). Call only at quiescence —
+  /// between run() calls or from the epoch barrier, never concurrently
+  /// with stepping shards.
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint() const;
+
+  /// Restores from a checkpoint() blob. Expects a hospital constructed with
+  /// the same shard count and the same sessions admitted in the same order
+  /// as when the blob was captured; throws CheckpointError on any mismatch.
+  void restore_checkpoint(const std::vector<std::uint8_t>& blob);
+
+  /// checkpoint() → atomic replace of config.checkpoint_path. Returns false
+  /// (and leaves any previous checkpoint intact) without a configured path
+  /// or on a write failure.
+  bool save_checkpoint();
+
+  /// Resume hook: restores from config.checkpoint_path if the file exists.
+  /// Returns false on no path / no file (fresh start); a corrupt or
+  /// mismatched blob throws CheckpointError — it never half-restores.
+  bool try_restore_checkpoint();
+
+  /// Checkpoints successfully written to checkpoint_path so far.
+  [[nodiscard]] std::uint64_t checkpoints_saved() const noexcept {
+    return checkpoints_saved_;
+  }
+
  private:
   struct Shard {
     std::unique_ptr<WardAggregator> ward;
@@ -156,6 +196,7 @@ class HospitalScheduler {
   AggregationTree tree_;
   std::unique_ptr<AsyncSnapshotWriter> writer_;  ///< null without snapshot_path
   std::size_t admitted_{0};
+  std::uint64_t checkpoints_saved_{0};
   std::atomic<std::uint64_t> epochs_{0};
   std::atomic<std::size_t> live_shards_{0};
   // Observability (resolved once at construction).

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/bio/cuff.hpp"
+#include "src/common/checkpoint.hpp"
 #include "src/common/fixed_point.hpp"
 #include "src/core/quality.hpp"
 #include "src/core/scan.hpp"
@@ -171,7 +172,15 @@ void PatientSession::admit() {
   calibration_ = core::TwoPointCalibration::from_waveform(
       values, det, reading.systolic_mmhg, reading.diastolic_mmhg);
 
-  config_.streaming.sample_rate_hz = pipeline.output_rate_hz();
+  make_stream_();
+  // Monitoring starts here: fault-plan onsets (stream time) map onto the
+  // pipeline clock from this epoch.
+  stream_epoch_clock_s_ = pipeline.time_s();
+  admitted_ = true;
+}
+
+void PatientSession::make_stream_() {
+  config_.streaming.sample_rate_hz = inner_->pipeline().output_rate_hz();
   stream_ = std::make_unique<core::StreamingMonitor>(config_.streaming);
   stream_->on_beat([this](const core::Beat& b) {
     publish_event_(FleetEvent{.kind = FleetEventKind::kBeat,
@@ -195,10 +204,6 @@ void PatientSession::admit() {
                               .time_s = t_s,
                               .value_a = q.sqi});
   });
-  // Monitoring starts here: fault-plan onsets (stream time) map onto the
-  // pipeline clock from this epoch.
-  stream_epoch_clock_s_ = pipeline.time_s();
-  admitted_ = true;
 }
 
 void PatientSession::step(std::size_t frames) {
@@ -333,6 +338,115 @@ bool PatientSession::link_burst_active_(double stream_s) const noexcept {
 
 void PatientSession::publish_event_(const FleetEvent& event) {
   (void)events_.push(event, config_.event_policy);
+}
+
+std::vector<std::uint8_t> PatientSession::checkpoint() const {
+  CheckpointWriter out;
+  serialize(out);
+  return out.finish(kSessionCheckpointVersion);
+}
+
+void PatientSession::restore_checkpoint(const std::vector<std::uint8_t>& blob) {
+  CheckpointReader in{blob};
+  in.require_version(kSessionCheckpointVersion);
+  restore(in);
+  in.expect_end();
+}
+
+void PatientSession::serialize(CheckpointWriter& out) const {
+  out.section("patient_session");
+  out.u32(id_);
+  out.boolean(admitted_);
+  // Pipeline, calibration and frame accounting are carried even for a
+  // not-yet-admitted session: an admit() that throws midway (cuff failure,
+  // quality reject) has already advanced the pipeline through the scan and
+  // the calibration block, and resume-equivalence with an in-place retry
+  // requires the replacement to pick up from exactly that point. Only the
+  // streaming monitor is admission-gated — it does not exist until admit()
+  // completes.
+  inner_->serialize(out);
+  calibration_.serialize(out);
+  out.u64(frames_produced_);
+  out.f64(stream_epoch_clock_s_);
+  if (admitted_) stream_->serialize(out);
+  // Fault-plan execution state. The plan itself is a pure function of the
+  // session config and seed, so only the cursor and budgets are carried.
+  out.boolean(array_dead_);
+  out.size(next_fault_);
+  out.size(throws_left_.size());
+  for (std::size_t budget : throws_left_) out.size(budget);
+  for (char f : fired_) out.u8(static_cast<std::uint8_t>(f));
+  out.size(fault_log_.size());
+  for (const auto& line : fault_log_) out.str(line);
+  out.size(contact_loss_windows_.size());
+  for (const auto& w : contact_loss_windows_) {
+    out.f64(w.first);
+    out.f64(w.second);
+  }
+  out.size(link_burst_windows_.size());
+  for (const auto& w : link_burst_windows_) {
+    out.f64(w.first);
+    out.f64(w.second);
+  }
+  out.boolean(link_encoder_ != nullptr);
+  if (link_encoder_) {
+    link_encoder_->serialize(out);
+    link_decoder_->serialize(out);
+    link_injector_->serialize(out);
+  }
+  codes_.serialize_accounting(out);
+  events_.serialize_accounting(out);
+}
+
+void PatientSession::restore(CheckpointReader& in) {
+  in.section("patient_session");
+  const std::uint32_t id = in.u32();
+  if (id != id_) {
+    throw CheckpointError{"session checkpoint is for id " + std::to_string(id) +
+                          ", not " + std::to_string(id_)};
+  }
+  const bool was_admitted = in.boolean();
+  inner_->restore(in);
+  calibration_.restore(in);
+  frames_produced_ = in.u64();
+  stream_epoch_clock_s_ = in.f64();
+  if (was_admitted) {
+    make_stream_();
+    stream_->restore(in);
+    admitted_ = true;
+  }
+  array_dead_ = in.boolean();
+  next_fault_ = in.size();
+  if (in.size() != throws_left_.size()) {
+    throw CheckpointError{"session checkpoint fault-plan event count mismatch"};
+  }
+  if (next_fault_ > throws_left_.size()) {
+    throw CheckpointError{"session checkpoint fault cursor out of range"};
+  }
+  for (auto& budget : throws_left_) budget = in.size();
+  for (auto& f : fired_) f = static_cast<char>(in.u8());
+  fault_log_.resize(in.size());
+  for (auto& line : fault_log_) line = in.str();
+  contact_loss_windows_.resize(in.size());
+  for (auto& w : contact_loss_windows_) {
+    w.first = in.f64();
+    w.second = in.f64();
+  }
+  link_burst_windows_.resize(in.size());
+  for (auto& w : link_burst_windows_) {
+    w.first = in.f64();
+    w.second = in.f64();
+  }
+  if (in.boolean() != (link_encoder_ != nullptr)) {
+    throw CheckpointError{"session checkpoint link-path presence mismatch"};
+  }
+  if (link_encoder_) {
+    link_encoder_->restore(in);
+    link_decoder_->restore(in);
+    link_injector_->restore(in);
+  }
+  codes_.restore_accounting(in);
+  events_.restore_accounting(in);
 }
 
 }  // namespace tono::fleet

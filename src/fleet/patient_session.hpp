@@ -37,6 +37,11 @@
 
 namespace tono::fleet {
 
+/// Schema version of the PatientSession checkpoint blob. Bump whenever the
+/// serialized layout changes; CheckpointReader::require_version turns a
+/// stale blob into a loud CheckpointError instead of a silent misparse.
+inline constexpr std::uint32_t kSessionCheckpointVersion = 1;
+
 /// Lifecycle of a session inside the scheduler (docs/FLEET.md):
 ///
 ///   kAdmitted ──step──► kRunning ◄──resume── kPaused
@@ -164,7 +169,32 @@ class PatientSession {
     return link_decoder_ ? &link_decoder_->stats() : nullptr;
   }
 
+  /// Serializes the whole session — every stateful stage of the vertical
+  /// slice plus the fault-plan cursor — into one framed SessionCheckpoint
+  /// blob (magic, schema version, checksum; see src/common/checkpoint.hpp).
+  /// Must be taken at a batch barrier: per-frame scratch is excluded and
+  /// both rings must be drained (quiescent), which the scheduler guarantees.
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint() const;
+
+  /// Restores from a checkpoint() blob into a session freshly constructed
+  /// with the SAME id and SessionConfig — construction-time statics
+  /// (mismatch draws, LUTs, derived seeds) are reproduced by the
+  /// constructor; the blob carries only dynamic state. Continuing from the
+  /// restored session is bit-identical to never having stopped. Throws
+  /// CheckpointError on any framing/versioning/shape mismatch.
+  void restore_checkpoint(const std::vector<std::uint8_t>& blob);
+
+  /// Raw (unframed) stage dump, used by checkpoint() and by whole-scheduler
+  /// snapshots that embed many sessions into one frame.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
+
  private:
+  /// Builds the streaming monitor and registers the ring-publishing
+  /// callbacks. Shared by admit() and restore(): a restored session gets a
+  /// fresh StreamingMonitor whose state is then overwritten from the blob,
+  /// with callbacks freshly bound to this instance.
+  void make_stream_();
   void publish_event_(const FleetEvent& event);
   /// Applies every plan event whose onset has passed. Throws (→ quarantine)
   /// while an event still has throw budget; otherwise installs the

@@ -1,8 +1,9 @@
 #include "src/fleet/snapshot_writer.hpp"
 
-#include <fstream>
 #include <sstream>
 #include <utility>
+
+#include "src/common/checkpoint.hpp"
 
 namespace tono::fleet {
 
@@ -69,19 +70,18 @@ void AsyncSnapshotWriter::loop_() {
     lock.unlock();
 
     // Off-lock serialization + write: this is the stall the barrier never
-    // sees. Serialize to memory first so the file rewrite is one pass and
-    // the file never holds a half-snapshot for longer than the write itself.
+    // sees. Serialize to memory first, then publish via tmp-file + fsync +
+    // atomic rename — a crash or SIGKILL at any instant leaves the previous
+    // complete snapshot in place, never a torn or empty file (a restart
+    // resumes from whatever snapshot the rename last published). Open,
+    // write, fsync and rename failures all land in failures().
     bool ok = false;
     {
       metrics::TraceSpan span{*write_wall_};
       std::ostringstream buffer;
       export_jsonl(snapshot, buffer);
-      std::ofstream file{path_, std::ios::trunc};
-      if (file) {
-        file << buffer.str();
-        file.flush();
-        ok = file.good();
-      }
+      const std::string serialized = buffer.str();
+      ok = atomic_write_file(path_, serialized.data(), serialized.size());
     }
 
     lock.lock();

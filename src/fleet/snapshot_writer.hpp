@@ -10,8 +10,10 @@
 // writer's in-flight snapshot. submit() never blocks on I/O — if an earlier
 // snapshot is still pending (the writer is behind), it is replaced and
 // counted as skipped (hospital.snapshots_skipped). The file is always a
-// complete, self-consistent snapshot: the writer serializes to memory first
-// and rewrites the file in one pass. flush() waits until the queue is empty
+// complete, self-consistent snapshot: the writer serializes to memory, writes
+// `<path>.tmp`, fsyncs and atomically renames over the target — so even a
+// SIGKILL mid-write leaves the previous complete snapshot, never a torn
+// file. flush() waits until the queue is empty
 // and the writer is idle — call it before reading the file; the destructor
 // flushes implicitly, so the final submitted snapshot is never lost.
 #pragma once
@@ -30,8 +32,8 @@ namespace tono::fleet {
 
 class AsyncSnapshotWriter {
  public:
-  /// Starts the writer thread. Snapshots are rewritten to `path` (truncate,
-  /// not append — the file holds the latest snapshot, JSONL inside).
+  /// Starts the writer thread. Snapshots atomically replace `path` (not
+  /// append — the file holds the latest complete snapshot, JSONL inside).
   explicit AsyncSnapshotWriter(std::string path);
 
   /// Flushes pending work, then joins the writer thread.
@@ -52,7 +54,8 @@ class AsyncSnapshotWriter {
   [[nodiscard]] std::uint64_t written() const;
   /// Snapshots superseded in the pending slot before the writer got to them.
   [[nodiscard]] std::uint64_t skipped() const;
-  /// File-open/write failures (the writer keeps running; check after flush).
+  /// File-open/write/fsync/rename failures (the writer keeps running and the
+  /// previous complete snapshot stays in place; check after flush).
   [[nodiscard]] std::uint64_t failures() const;
 
  private:

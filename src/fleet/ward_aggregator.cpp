@@ -4,6 +4,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "src/common/checkpoint.hpp"
+
 namespace tono::fleet {
 namespace {
 
@@ -70,6 +72,17 @@ void WardAggregator::attach(PatientSession& session, std::string label) {
                            .events = &session.events(),
                            .output_rate_hz = session.output_rate_hz(),
                            .code_log = {}});
+}
+
+void WardAggregator::reattach(PatientSession& session) {
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i].id != session.id()) continue;
+    entries_[i].codes = &session.codes();
+    entries_[i].events = &session.events();
+    entries_[i].output_rate_hz = session.output_rate_hz();
+    return;
+  }
+  throw std::out_of_range{"WardAggregator::reattach: unknown session id"};
 }
 
 void WardAggregator::set_lifecycle(std::uint32_t session_id, SessionState state,
@@ -306,6 +319,132 @@ const std::vector<std::int16_t>& WardAggregator::recorded_codes(
 
 void WardAggregator::export_jsonl(std::ostream& os) const {
   fleet::export_jsonl(snapshot(), os);
+}
+
+namespace {
+
+void serialize_session_state(CheckpointWriter& out, const WardSessionState& s) {
+  out.u32(s.id);
+  out.str(s.label);
+  out.u8(static_cast<std::uint8_t>(s.lifecycle));
+  out.str(s.note);
+  out.u64(s.codes);
+  out.u64(s.events);
+  out.u64(s.beats);
+  out.i64(s.last_code);
+  out.f64(s.last_systolic_mmhg);
+  out.f64(s.last_diastolic_mmhg);
+  out.f64(s.last_beat_s);
+  out.f64(s.last_sqi);
+  out.boolean(s.sqi_usable);
+  out.u64(s.code_drops);
+  out.u64(s.event_drops);
+  out.u64(s.block_events);
+  out.size(s.alarms_active);
+  out.u64(s.recoveries);
+  out.size(s.fault_log.size());
+  for (const auto& line : s.fault_log) out.str(line);
+}
+
+void restore_session_state(CheckpointReader& in, WardSessionState& s) {
+  const std::uint32_t id = in.u32();
+  if (id != s.id) {
+    throw CheckpointError{"ward checkpoint session id " + std::to_string(id) +
+                          " does not match attached id " + std::to_string(s.id)};
+  }
+  s.label = in.str();
+  const std::uint8_t lifecycle = in.u8();
+  if (lifecycle > static_cast<std::uint8_t>(SessionState::kRetired)) {
+    throw CheckpointError{"ward checkpoint has unknown lifecycle state"};
+  }
+  s.lifecycle = static_cast<SessionState>(lifecycle);
+  s.note = in.str();
+  s.codes = in.u64();
+  s.events = in.u64();
+  s.beats = in.u64();
+  s.last_code = static_cast<std::int16_t>(in.i64());
+  s.last_systolic_mmhg = in.f64();
+  s.last_diastolic_mmhg = in.f64();
+  s.last_beat_s = in.f64();
+  s.last_sqi = in.f64();
+  s.sqi_usable = in.boolean();
+  s.code_drops = in.u64();
+  s.event_drops = in.u64();
+  s.block_events = in.u64();
+  s.alarms_active = in.size();
+  s.recoveries = in.u64();
+  s.fault_log.resize(in.size());
+  for (auto& line : s.fault_log) line = in.str();
+}
+
+}  // namespace
+
+void WardAggregator::serialize(CheckpointWriter& out) const {
+  out.section("ward_aggregator");
+  out.size(sessions_.size());
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    serialize_session_state(out, sessions_[i]);
+    out.boolean(config_.record_codes);
+    if (config_.record_codes) {
+      out.size(entries_[i].code_log.size());
+      for (std::int16_t code : entries_[i].code_log) out.i64(code);
+    }
+  }
+  out.size(alarm_queue_.size());
+  for (const auto& a : alarm_queue_) {
+    out.u32(a.session_id);
+    out.u8(static_cast<std::uint8_t>(a.kind));
+    out.u8(static_cast<std::uint8_t>(a.level));
+    out.f64(a.raised_s);
+    out.f64(a.value);
+    out.boolean(a.active);
+  }
+  out.u64(escalations_);
+  out.u64(recoveries_);
+  out.u64(retired_);
+  out.u64(codes_consumed_);
+  out.u64(events_consumed_);
+}
+
+void WardAggregator::restore(CheckpointReader& in) {
+  in.section("ward_aggregator");
+  if (in.size() != sessions_.size()) {
+    throw CheckpointError{"ward checkpoint session count mismatch"};
+  }
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    restore_session_state(in, sessions_[i]);
+    if (in.boolean() != config_.record_codes) {
+      throw CheckpointError{"ward checkpoint record_codes mismatch"};
+    }
+    if (config_.record_codes) {
+      entries_[i].code_log.resize(in.size());
+      for (auto& code : entries_[i].code_log) {
+        code = static_cast<std::int16_t>(in.i64());
+      }
+    }
+  }
+  alarm_queue_.resize(in.size());
+  for (auto& a : alarm_queue_) {
+    a.session_id = in.u32();
+    const std::uint8_t kind = in.u8();
+    if (kind > static_cast<std::uint8_t>(core::AlarmKind::kRateHigh)) {
+      throw CheckpointError{"ward checkpoint has unknown alarm kind"};
+    }
+    a.kind = static_cast<core::AlarmKind>(kind);
+    const std::uint8_t level = in.u8();
+    if (level > static_cast<std::uint8_t>(WardAlarmLevel::kCritical)) {
+      throw CheckpointError{"ward checkpoint has unknown alarm level"};
+    }
+    a.level = static_cast<WardAlarmLevel>(level);
+    a.raised_s = in.f64();
+    a.value = in.f64();
+    a.active = in.boolean();
+  }
+  escalations_ = in.u64();
+  recoveries_ = in.u64();
+  retired_ = in.u64();
+  codes_consumed_ = in.u64();
+  events_consumed_ = in.u64();
 }
 
 void export_jsonl(const WardSnapshot& snapshot, std::ostream& os) {

@@ -115,6 +115,15 @@ class WardAggregator {
   /// Registers a session's rings. Call before the session's first step.
   void attach(PatientSession& session, std::string label = "");
 
+  /// Re-points an already-attached session id at a new PatientSession
+  /// object (checkpoint-restored readmission). The accumulated
+  /// WardSessionState — vitals, ring-loss accounting, fault log, alarm
+  /// history — is preserved; only the ring pointers move. The replacement
+  /// carries the old object's ring lifetime counters in its checkpoint, so
+  /// the delta mirrors continue seamlessly. Throws std::out_of_range for an
+  /// unknown id.
+  void reattach(PatientSession& session);
+
   /// Scheduler lifecycle note (shown in snapshots; quarantine reasons land
   /// here). Tracks recovery/retire accounting: a kRecovering → kRunning
   /// transition counts one recovery and clears the stale quarantine note, a
@@ -172,6 +181,13 @@ class WardAggregator {
   /// with per-session detail the flat registry cannot carry. Equivalent to
   /// fleet::export_jsonl(snapshot(), os).
   void export_jsonl(std::ostream& os) const;
+
+  /// Checkpointing: per-session ward state (vitals, loss accounting, fault
+  /// logs, recorded codes), the alarm queue and the ward totals. Restore
+  /// expects the same sessions attached in the same order; the registry
+  /// mirrors are process-lifetime and are untouched.
+  void serialize(CheckpointWriter& out) const;
+  void restore(CheckpointReader& in);
 
  private:
   struct Entry {

@@ -83,6 +83,31 @@ TEST(ArgParser, OverflowingIntValueFails) {
   EXPECT_NE(p.error().find("out of range"), std::string::npos);
 }
 
+TEST(ArgParser, NanDoubleValueFails) {
+  // strtod happily parses "nan" — which would then poison every scenario
+  // computation downstream. The parser must reject non-finite doubles.
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--required-thing", "x", "--rate", "nan"};
+  EXPECT_FALSE(p.parse(5, argv));
+  EXPECT_NE(p.error().find("finite"), std::string::npos);
+}
+
+TEST(ArgParser, InfDoubleValueFails) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--required-thing", "x", "--rate", "-inf"};
+  EXPECT_FALSE(p.parse(5, argv));
+  EXPECT_NE(p.error().find("finite"), std::string::npos);
+}
+
+TEST(ArgParser, OverflowingDoubleValueFails) {
+  // "1e999" parses to +inf with ERANGE — an overflow, reported as such
+  // rather than as a generic non-finite value.
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--required-thing", "x", "--rate", "1e999"};
+  EXPECT_FALSE(p.parse(5, argv));
+  EXPECT_NE(p.error().find("out of range"), std::string::npos);
+}
+
 TEST(ArgParser, NegativeIntAccepted) {
   auto p = make_parser();
   const char* argv[] = {"prog", "--required-thing", "x", "--count", "-12"};

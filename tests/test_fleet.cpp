@@ -247,6 +247,9 @@ struct FaultyRun {
   std::vector<std::vector<std::int16_t>> codes;
   std::string snapshot;
   std::uint64_t recoveries;
+  std::uint64_t checkpoints_written;
+  std::uint64_t checkpoints_restored;
+  std::uint64_t checkpoints_rejected;
 };
 
 /// The 3-session mixed fleet with faulty_plan() active on every session.
@@ -271,6 +274,9 @@ FaultyRun run_faulty_fleet(std::size_t threads) {
   ward.export_jsonl(os);
   result.snapshot = os.str();
   result.recoveries = ward.recoveries();
+  result.checkpoints_written = scheduler.checkpoints_written();
+  result.checkpoints_restored = scheduler.checkpoints_restored();
+  result.checkpoints_rejected = scheduler.checkpoints_rejected();
   return result;
 }
 
@@ -292,6 +298,13 @@ TEST(Fleet, FaultPlanParallelIsBitIdenticalToSerial) {
 
 TEST(Fleet, FaultySessionSoloCatchRetryMatchesFleet) {
   const auto fleet = run_faulty_fleet(1);
+  // Every readmission went through the checkpoint path: the quarantined
+  // object was dumped to a blob and a fresh session restored from it — and
+  // the streams below still match the solo retry-in-place reference, which
+  // is the resume-not-replay equivalence the checkpoint layer promises.
+  EXPECT_EQ(fleet.checkpoints_written, 3u);
+  EXPECT_EQ(fleet.checkpoints_restored, 3u);
+  EXPECT_EQ(fleet.checkpoints_rejected, 0u);
 
   // Solo reproduction: same derived seed, same plan config; a bare try/step
   // loop is the solo analogue of quarantine + readmission. A throwing

@@ -11,12 +11,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/bio/pulse_generator.hpp"
+#include "src/common/checkpoint.hpp"
 #include "src/fleet/aggregation_tree.hpp"
 #include "src/fleet/snapshot_writer.hpp"
 
@@ -277,6 +279,105 @@ TEST(Hospital, AsyncEpochSnapshotsLandOnDiskShardCountInvariant) {
       << "snapshot bytes depend on the shard count";
   std::remove(path3.c_str());
   std::remove(path1.c_str());
+}
+
+TEST(Hospital, CheckpointResumeMatchesContinuingTheSameProcess) {
+  const std::string path = temp_path("hospital_resume.ckpt");
+  std::remove(path.c_str());
+
+  auto admit_all = [](HospitalScheduler& hospital) {
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      SessionConfig session = mixed_config(i);
+      session.fault_plan = faulty_plan();  // recovery state must survive too
+      (void)hospital.admit(std::move(session));
+    }
+  };
+  auto make_config = [&](const std::string& checkpoint_path) {
+    HospitalConfig config;
+    config.shards = 2;
+    config.threads_per_shard = 1;
+    config.ward.record_codes = true;
+    config.checkpoint_path = checkpoint_path;
+    return config;
+  };
+
+  // Reference: one process that pauses at 0.5 s and continues to 1.0 s on
+  // the same objects — the behaviour resume must be indistinguishable from.
+  std::string continued;
+  {
+    HospitalScheduler hospital{make_config("")};
+    admit_all(hospital);
+    hospital.run(0.5);
+    hospital.run(1.0);
+    std::ostringstream os;
+    hospital.export_jsonl(os);
+    continued = os.str();
+  }
+
+  // "Killed" process: runs to 0.5 s and leaves its end-of-run checkpoint.
+  std::uint64_t epochs_at_stop = 0;
+  {
+    HospitalScheduler hospital{make_config(path)};
+    admit_all(hospital);
+    hospital.run(0.5);
+    epochs_at_stop = hospital.epochs();
+    EXPECT_GE(hospital.checkpoints_saved(), 1u);
+  }
+
+  // Restarted process: identical admissions, restore, continue. The final
+  // snapshot must be byte-identical to never having stopped.
+  {
+    HospitalScheduler hospital{make_config(path)};
+    admit_all(hospital);
+    ASSERT_TRUE(hospital.try_restore_checkpoint());
+    EXPECT_EQ(hospital.epochs(), epochs_at_stop);
+    hospital.run(1.0);
+    std::ostringstream os;
+    hospital.export_jsonl(os);
+    EXPECT_EQ(os.str(), continued) << "resumed run diverged from the reference";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Hospital, CheckpointRestoreRejectsMismatchAndMissingFileIsFreshStart) {
+  const std::string path = temp_path("hospital_mismatch.ckpt");
+  std::remove(path.c_str());
+
+  auto make = [&](std::size_t shards, std::size_t sessions) {
+    HospitalConfig config;
+    config.shards = shards;
+    config.threads_per_shard = 1;
+    config.checkpoint_path = path;
+    auto hospital = std::make_unique<HospitalScheduler>(config);
+    for (std::size_t i = 0; i < sessions; ++i) {
+      (void)hospital->admit(mixed_config(i));
+    }
+    return hospital;
+  };
+
+  {
+    auto fresh = make(2, 3);
+    EXPECT_FALSE(fresh->try_restore_checkpoint()) << "no file yet";
+    fresh->run(0.2);  // leaves the end-of-run checkpoint behind
+    EXPECT_GE(fresh->checkpoints_saved(), 1u);
+  }
+  // Wrong shard count and wrong admission count both fail loudly instead of
+  // silently restarting the ward from zero.
+  EXPECT_THROW((void)make(3, 3)->try_restore_checkpoint(), CheckpointError);
+  EXPECT_THROW((void)make(2, 2)->try_restore_checkpoint(), CheckpointError);
+  {
+    // A matching hospital restores fine from the same file.
+    auto match = make(2, 3);
+    EXPECT_TRUE(match->try_restore_checkpoint());
+    EXPECT_GE(match->epochs(), 1u);
+  }
+  {
+    // Corrupt the file: resume must throw, not half-restore.
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out << "definitely not a TCKP blob";
+  }
+  EXPECT_THROW((void)make(2, 3)->try_restore_checkpoint(), CheckpointError);
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------
