@@ -31,6 +31,7 @@
 #include "src/analog/modulator.hpp"
 #include "src/analog/modulator_bank.hpp"
 #include "src/common/metrics.hpp"
+#include "src/common/simd.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/sweep_runner.hpp"
 #include "src/dsp/decimation.hpp"
@@ -82,28 +83,35 @@ void BM_ModulatorStepCapacitiveBlock(benchmark::State& state) {
 BENCHMARK(BM_ModulatorStepCapacitiveBlock);
 
 void BM_ModulatorBankBlock(benchmark::State& state) {
-  // The paper's 2×2 array as four lockstep lanes. Items are *lane-clocks*
-  // (lanes × modulator clocks), so items_per_second is the aggregate
-  // conversion rate and the derived modulator_bank_vs_scalar ratio reads as
-  // "how many scalar-stepped single modulators one bank is worth". Lane
-  // seeds come from the sweep engine's per-trial stream so the bench uses
-  // the same decorrelation path as a real sweep.
-  constexpr std::size_t kLanes = 4;
+  // Arg = lanes. The 4-lane point is the paper's 2×2 array; 8 and 64 are
+  // the §4 per-element-converter direction where the SIMD kernels earn
+  // their keep. Items are *lane-clocks* (lanes × modulator clocks), so
+  // items_per_second is the aggregate conversion rate and the derived
+  // modulator_bank_vs_scalar ratio reads as "how many scalar-stepped
+  // single modulators one bank is worth". Lane seeds come from the sweep
+  // engine's per-trial stream so the bench uses the same decorrelation
+  // path as a real sweep; homogeneous configs keep every lane inside the
+  // vector packets, which is also the production layout (identical chips).
+  const auto lanes = static_cast<std::size_t>(state.range(0));
   core::SweepRunner seeder{{.threads = 1, .base_seed = 11, .stream_name = "bank-bench"}};
-  std::vector<analog::ModulatorConfig> configs(kLanes);
-  for (std::size_t k = 0; k < kLanes; ++k) configs[k].seed = seeder.trial_seed(k);
+  std::vector<analog::ModulatorConfig> configs(lanes);
+  for (std::size_t k = 0; k < lanes; ++k) configs[k].seed = seeder.trial_seed(k);
   analog::ModulatorBank bank{configs};
-  const std::vector<double> c_sense{95e-15, 104e-15, 112e-15, 99e-15};
-  const std::vector<double> c_ref(kLanes, 100e-15);
-  std::vector<int> bits(kLanes * kOsr);
+  std::vector<double> c_sense(lanes);
+  for (std::size_t k = 0; k < lanes; ++k) {
+    c_sense[k] = (95.0 + static_cast<double>((k * 7) % 18)) * 1e-15;
+  }
+  const std::vector<double> c_ref(lanes, 100e-15);
+  std::vector<int> bits(lanes * kOsr);
   for (auto _ : state) {
     bank.step_capacitive_block(c_sense.data(), c_ref.data(), bits.data(), kOsr);
     benchmark::DoNotOptimize(bits.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(kLanes * kOsr));
+                          static_cast<std::int64_t>(lanes * kOsr));
+  state.counters["simd_width"] = static_cast<double>(bank.simd_width());
 }
-BENCHMARK(BM_ModulatorBankBlock);
+BENCHMARK(BM_ModulatorBankBlock)->Arg(4)->Arg(8)->Arg(64);
 
 void BM_ArrayAcquisitionFrame(benchmark::State& state) {
   // Full parallel readout: one 2×2 image (4 lanes × kOsr clocks + 4
@@ -421,9 +429,18 @@ std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
   std::ostringstream os;
   os.precision(6);
   os << "  {\n";
-  os << "    \"schema_version\": 2,\n";
+  os << "    \"schema_version\": 3,\n";
   os << "    \"timestamp\": \"" << utc_timestamp() << "\",\n";
   os << "    \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  // Schema v3: record what the ModulatorBank actually dispatched to, so a
+  // trajectory regression can be told apart from a dispatch change (e.g. a
+  // CI runner without AVX2, or TONO_SIMD forced off).
+  const char* simd_env = std::getenv("TONO_SIMD");
+  os << "    \"simd\": {\"dispatch\": \"" << simd::level_name(simd::active_level())
+     << "\", \"width\": " << simd::level_width(simd::active_level())
+     << ", \"compiled\": \"" << simd::level_name(simd::compiled_level())
+     << "\", \"cpu_features\": \"" << simd::cpu_features()
+     << "\", \"env\": \"" << (simd_env != nullptr ? simd_env : "") << "\"},\n";
   os << "    \"benchmarks\": {\n";
   bool first = true;
   for (const auto& [name, run] : results) {
@@ -437,7 +454,8 @@ std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
   const double block_pipe = rate_of(results, "BM_FullPipelineClockBlock");
   const double scalar_mod = rate_of(results, "BM_ModulatorStepCapacitive");
   const double block_mod = rate_of(results, "BM_ModulatorStepCapacitiveBlock");
-  const double bank_mod = rate_of(results, "BM_ModulatorBankBlock");
+  const double bank_mod = rate_of(results, "BM_ModulatorBankBlock/8");
+  const double bank_wide = rate_of(results, "BM_ModulatorBankBlock/64");
   const double scalar_dec = rate_of(results, "BM_DecimationPush");
   const double frame_dec = rate_of(results, "BM_DecimationPushFrame");
   const double sweep1 = rate_of(results, "BM_SweepTrials/1/real_time");
@@ -454,6 +472,8 @@ std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
   os << "      \"pipeline_block_vs_scalar\": " << ratio(block_pipe, scalar_pipe) << ",\n";
   os << "      \"modulator_block_vs_scalar\": " << ratio(block_mod, scalar_mod) << ",\n";
   os << "      \"modulator_bank_vs_scalar\": " << ratio(bank_mod, scalar_mod) << ",\n";
+  os << "      \"modulator_bank_wide_vs_scalar\": " << ratio(bank_wide, scalar_mod)
+     << ",\n";
   os << "      \"decimation_frame_vs_push\": " << ratio(frame_dec, scalar_dec) << ",\n";
   os << "      \"pipeline_block_realtime_x\": " << block_pipe / 128000.0 << ",\n";
   os << "      \"sweep_speedup_2t\": " << ratio(sweep2, sweep1) << ",\n";

@@ -1,0 +1,286 @@
+// bank_kernel.hpp — width-W ΔΣ step kernel shared by the ISA translation
+// units of the vectorized ModulatorBank.
+//
+// One PacketView describes a *packet*: W lanes whose configs share the same
+// control structure (loop order, settling, which noise sources exist), laid
+// out SoA — per-lane state and invariants as width-sized arrays, per-frame
+// noise plans transposed to [clock][lane] so each clock is one contiguous
+// vector load. Lane *values* (seeds, capacitances, noise magnitudes, inputs)
+// are free to differ; only the branch structure must be uniform, because the
+// kernel's `if (p.op1)`-style branches are per-packet, not per-lane.
+//
+// The kernel mirrors DeltaSigmaModulator::step_planned_ expression for
+// expression; every arithmetic operation is elementwise IEEE (add/sub/mul/
+// div, compare, select, sign flip), which vector units round exactly like
+// scalar units — that is the entire bit-exactness argument. The two places
+// the scalar model is not elementwise-expressible stay scalar per lane,
+// behind masks:
+//   * op-amp partial settling (OpAmp::settle calls exp()): lanes whose step
+//     exceeds the provable full-settle threshold drop out of the vector for
+//     that clock via `settle_fn` and rejoin with the returned value;
+//   * comparator metastability (data-dependent Bernoulli + plan resync):
+//     lanes inside the metastable band resolve through `metastable_fn`,
+//     which replays the scalar slow path and rewrites the lane's comparator
+//     plan tail (including the packet's transposed copy) before returning
+//     the decision.
+// Both are rare at the paper's operating point; their cost amortizes away.
+//
+// Loop order is clock-outer / packet-inner (mirroring the scalar bank's
+// clock-outer / lane-inner lockstep): each packet's per-clock dependency
+// chain is long (two divisions plus the comparator decide feed the next
+// clock), so interleaving packets lets independent chains overlap in the
+// core instead of serializing.
+#pragma once
+
+#include <cstddef>
+
+namespace tono::analog::bankkernel {
+
+/// Widest kernel lane count (AVX2: 4 × f64). Packet storage pads to this.
+inline constexpr std::size_t kMaxWidth = 4;
+
+struct PacketView {
+  std::size_t width{0};  ///< lanes in this packet (== kernel width)
+
+  // Per-lane state, width entries. The owner loads these from the lane
+  // objects before a block and writes them back after (see ModulatorBank).
+  double* x1{nullptr};
+  double* x2{nullptr};
+  double* d{nullptr};     ///< previous output bit as ±1.0
+  double* last{nullptr};  ///< comparator hysteresis memory as ±1.0
+  double* time_s{nullptr};
+  double* max1{nullptr};
+  double* max2{nullptr};
+  double* clips{nullptr};  ///< clipped-update count accumulator (double)
+
+  // Per-lane invariants.
+  const double* u{nullptr};       ///< normalized input
+  const double* g1{nullptr};      ///< loop.g1
+  const double* a1{nullptr};      ///< loop.a1
+  const double* p2{nullptr};      ///< loop.g2 * g2_mismatch (pre-multiplied,
+                                  ///< same association as the scalar expression)
+  const double* a2{nullptr};      ///< loop.a2
+  const double* scale{nullptr};   ///< loop.state_scale_v
+  const double* leak1{nullptr};   ///< opamp leak factors
+  const double* leak2{nullptr};
+  const double* swing1{nullptr};  ///< output swings (clip bounds)
+  const double* swing2{nullptr};
+  const double* settle1{nullptr};  ///< full-settle thresholds
+  const double* settle2{nullptr};
+  const double* comp_offset{nullptr};
+  const double* comp_halfhyst{nullptr};  ///< 0.5 * hysteresis_v, pre-multiplied
+  const double* comp_band{nullptr};      ///< metastable band
+  const double* clock_period{nullptr};
+
+  // Transposed per-frame noise plans, [clock][lane] with stride = width;
+  // nullptr when the source is disabled for this packet (matching the
+  // scalar path's conditional adds).
+  const double* ktc{nullptr};
+  const double* ref{nullptr};
+  const double* op1{nullptr};
+  const double* fl1{nullptr};
+  const double* op2{nullptr};
+  const double* fl2{nullptr};
+  const double* comp{nullptr};  ///< comparator noise (nullptr = noise off)
+
+  bool order2{true};
+  bool settling{true};
+
+  /// Per-lane output bit pointers: lane slot w's bit for clock i goes to
+  /// bits[w][i].
+  int* const* bits{nullptr};
+
+  // Masked scalar escapes (see file comment). `slot` is the lane's index
+  // within this packet; `ctx` identifies the packet to the owner.
+  void* ctx{nullptr};
+  double (*settle_fn)(void* ctx, std::size_t slot, int stage,
+                      double v){nullptr};
+  double (*metastable_fn)(void* ctx, std::size_t slot,
+                          std::size_t clock){nullptr};
+};
+
+/// ISA entry points, one TU each (modulator_bank_avx2.cpp / _neon.cpp).
+/// Every packet must have width == the kernel's lane count.
+void run_packets_avx2(PacketView* packets, std::size_t n_packets,
+                      std::size_t n_clocks);
+void run_packets_neon(PacketView* packets, std::size_t n_packets,
+                      std::size_t n_clocks);
+
+/// One packet's shared-stream fusion job: turn each lane's raw standard
+/// normals (interleaved [kT/C, ref, op1, op2] per clock) directly into the
+/// packet's scaled, [clock][lane]-transposed plan buffers, skipping the
+/// intermediate per-lane NoisePlan arrays entirely. Only built for packets
+/// with all four shared sources enabled (four draws per clock — the
+/// default operating point); other structures take the generic path in
+/// ModulatorBank::fuse_shared_packet_plans_.
+struct SharedFuseJob {
+  const double* raw[kMaxWidth];  ///< per-slot raw stream, 4 normals/clock
+  double* ktc;                   ///< dest [clock*width + slot]
+  double* ref;
+  double* op1;
+  double* op2;
+  // Per-slot scale constants, width entries each, mirroring
+  // DeltaSigmaModulator::build_shared_plan_'s draw-site expressions.
+  double sigma_u[kMaxWidth];   ///< kT/C:  0 + sigma_u·raw
+  double ref_vrms[kMaxWidth];  ///< ref:   (0 + ref_vrms·raw) / vref
+  double vref[kMaxWidth];
+  double op1_vrms[kMaxWidth];  ///< op1:   (0 + op1_vrms·raw) / scale
+  double op2_vrms[kMaxWidth];  ///< op2:   (0 + op2_vrms·raw) / scale
+  double scale[kMaxWidth];
+};
+
+/// AVX2 fused de-interleave + scale + 4×4 transpose (width must be 4).
+/// Elementwise mul/add/div in the exact scalar association, so each value
+/// is bit-identical to build_shared_plan_ + the old copy-transpose.
+void fuse_shared4_avx2(const SharedFuseJob& job, std::size_t n_clocks);
+
+/// The kernel template the ISA TUs instantiate with their vector-ops policy
+/// V (width V::kW, vector type V::D, mask type V::M plus the elementwise ops
+/// used below). Defined in the header so each ISA TU compiles its own copy
+/// with its own target flags; nothing here is ISA-specific.
+template <class V>
+inline void run_packets(PacketView* packets, std::size_t n_packets,
+                        std::size_t n_clocks) {
+  using D = typename V::D;
+  for (std::size_t i = 0; i < n_clocks; ++i) {
+    for (std::size_t pi = 0; pi < n_packets; ++pi) {
+      PacketView& p = packets[pi];
+      const std::size_t off = i * V::kW;
+      const D scale = V::load(p.scale);
+      const D d = V::load(p.d);
+      D x1 = V::load(p.x1);
+
+      // u_total = u + extra_noise_u + ref_err_u * d  (zeros when off, exactly
+      // as the scalar path computes with its zero-initialized locals).
+      const D ref = p.ref ? V::load(p.ref + off) : V::zero();
+      const D ktc = p.ktc ? V::load(p.ktc + off) : V::zero();
+      const D u_total = V::add(V::add(V::load(p.u), ktc), V::mul(ref, d));
+
+      // delta1 = g1*u_total - a1*d*(1 + ref_err_u)
+      D delta1 = V::sub(
+          V::mul(V::load(p.g1), u_total),
+          V::mul(V::mul(V::load(p.a1), d), V::add(V::one(), ref)));
+      if (p.op1) delta1 = V::add(delta1, V::load(p.op1 + off));
+      if (p.fl1) delta1 = V::add(delta1, V::load(p.fl1 + off));
+      if (p.settling) {
+        const D v1 = V::mul(delta1, scale);
+        D numer = V::select(V::cmp_eq(v1, V::zero()), V::zero(), v1);
+        const typename V::M slow = V::cmp_nle(V::abs(v1), V::load(p.settle1));
+        if (V::any(slow)) {
+          double va[V::kW];
+          double na[V::kW];
+          V::store(va, v1);
+          V::store(na, numer);
+          unsigned m = V::mask(slow);
+          do {
+            const unsigned w = V::ctz(m);
+            m &= m - 1;
+            na[w] = p.settle_fn(p.ctx, w, 1, va[w]);
+          } while (m != 0);
+          numer = V::load(na);
+        }
+        delta1 = V::div(numer, scale);
+      }
+      const D x1_prev = x1;
+      const D x1_new = V::add(V::mul(V::load(p.leak1), x1), delta1);
+      const D v_x1 = V::mul(x1_new, scale);
+      const D sw1 = V::load(p.swing1);
+      const D nsw1 = V::neg(sw1);
+      const D clipped1 =
+          V::select(V::cmp_lt(v_x1, nsw1), nsw1,
+                    V::select(V::cmp_lt(sw1, v_x1), sw1, v_x1));
+      x1 = V::div(clipped1, scale);
+      D clips = V::load(p.clips);
+      clips = V::add(
+          clips, V::select(V::cmp_neq(x1, x1_new), V::one(), V::zero()));
+      {
+        const D ax1 = V::abs(V::mul(x1, scale));
+        const D mx1 = V::load(p.max1);
+        V::store(p.max1, V::select(V::cmp_lt(mx1, ax1), ax1, mx1));
+      }
+      V::store(p.x1, x1);
+
+      D y;
+      if (p.order2) {
+        D x2 = V::load(p.x2);
+        // delta2 = (g2 * g2_mismatch) * x1_prev - a2 * d
+        D delta2 = V::sub(V::mul(V::load(p.p2), x1_prev),
+                          V::mul(V::load(p.a2), d));
+        if (p.op2) delta2 = V::add(delta2, V::load(p.op2 + off));
+        if (p.fl2) delta2 = V::add(delta2, V::load(p.fl2 + off));
+        if (p.settling) {
+          const D v2 = V::mul(delta2, scale);
+          D numer = V::select(V::cmp_eq(v2, V::zero()), V::zero(), v2);
+          const typename V::M slow =
+              V::cmp_nle(V::abs(v2), V::load(p.settle2));
+          if (V::any(slow)) {
+            double va[V::kW];
+            double na[V::kW];
+            V::store(va, v2);
+            V::store(na, numer);
+            unsigned m = V::mask(slow);
+            do {
+              const unsigned w = V::ctz(m);
+              m &= m - 1;
+              na[w] = p.settle_fn(p.ctx, w, 2, va[w]);
+            } while (m != 0);
+            numer = V::load(na);
+          }
+          delta2 = V::div(numer, scale);
+        }
+        const D x2_new = V::add(V::mul(V::load(p.leak2), x2), delta2);
+        const D v_x2 = V::mul(x2_new, scale);
+        const D sw2 = V::load(p.swing2);
+        const D nsw2 = V::neg(sw2);
+        const D clipped2 =
+            V::select(V::cmp_lt(v_x2, nsw2), nsw2,
+                      V::select(V::cmp_lt(sw2, v_x2), sw2, v_x2));
+        x2 = V::div(clipped2, scale);
+        clips = V::add(
+            clips, V::select(V::cmp_neq(x2, x2_new), V::one(), V::zero()));
+        {
+          const D ax2 = V::abs(V::mul(x2, scale));
+          const D mx2 = V::load(p.max2);
+          V::store(p.max2, V::select(V::cmp_lt(mx2, ax2), ax2, mx2));
+        }
+        V::store(p.x2, x2);
+        y = V::mul(x2, scale);
+      } else {
+        y = V::mul(x1, scale);
+      }
+      V::store(p.clips, clips);
+
+      // Comparator decide (decide_planned): v = y - offset [+ noise];
+      // v -= halfhyst * (-last); |v| < band → metastable slow path.
+      D cv = V::sub(y, V::load(p.comp_offset));
+      if (p.comp) cv = V::add(cv, V::load(p.comp + off));
+      cv = V::sub(cv,
+                  V::mul(V::load(p.comp_halfhyst), V::neg(V::load(p.last))));
+      D newlast =
+          V::select(V::cmp_ge(cv, V::zero()), V::one(), V::neg(V::one()));
+      const typename V::M meta = V::cmp_lt(V::abs(cv), V::load(p.comp_band));
+      if (V::any(meta)) {
+        double la[V::kW];
+        V::store(la, newlast);
+        unsigned m = V::mask(meta);
+        do {
+          const unsigned w = V::ctz(m);
+          m &= m - 1;
+          la[w] = p.metastable_fn(p.ctx, w, i);
+        } while (m != 0);
+        newlast = V::load(la);
+      }
+      V::store(p.last, newlast);
+      V::store(p.d, newlast);
+      V::store(p.time_s,
+               V::add(V::load(p.time_s), V::load(p.clock_period)));
+      double lb[V::kW];
+      V::store(lb, newlast);
+      for (std::size_t w = 0; w < V::kW; ++w) {
+        p.bits[w][i] = static_cast<int>(lb[w]);
+      }
+    }
+  }
+}
+
+}  // namespace tono::analog::bankkernel

@@ -18,6 +18,16 @@ void Comparator::plan(double* noise_dest, std::size_t n) noexcept {
   // through planned_metastable_() in the same order. Nothing to pre-draw.
 }
 
+Rng* Comparator::plan_external(double* noise_dest, std::size_t n) noexcept {
+  plan_buf_ = noise_dest;
+  plan_len_ = n;
+  plan_idx_ = 0;
+  segment_start_ = 0;
+  if (config_.noise_vrms <= 0.0) return nullptr;
+  plan_snapshot_ = rng_;
+  return &rng_;
+}
+
 bool Comparator::planned_metastable_() noexcept {
   if (config_.noise_vrms <= 0.0) return rng_.bernoulli(0.5);
   // The scalar stream interleaves this Bernoulli between the Gaussian just

@@ -68,6 +68,30 @@ class Comparator {
     return last_;
   }
 
+  /// Bank fill-path variant of plan(): identical bookkeeping (snapshot taken
+  /// BEFORE any draw — it anchors the metastable resync), but the bulk fill
+  /// itself is left to the caller, who batches it across lanes through the
+  /// returned stream (Rng::fill_gaussian_multi) and then applies the same
+  /// `0.0 + noise_vrms * x` affine map fill_gaussian(mean, sigma) would.
+  /// Returns nullptr when noise is off (nothing to pre-draw — see plan()).
+  [[nodiscard]] Rng* plan_external(double* noise_dest, std::size_t n) noexcept;
+
+  /// Vectorized-bank escape hatch: the width-W kernel evaluated this lane's
+  /// decision for plan index `idx` (consuming its noise entry, when noise is
+  /// on) and landed in the metastable band. Replays the scalar slow path —
+  /// resync the stream, draw the Bernoulli at its scalar position, refill
+  /// plan entries (idx+1, len) — and returns the ±1 decision, updating the
+  /// hysteresis memory exactly as decide_planned() would have.
+  [[nodiscard]] int decide_metastable_at(std::size_t idx) noexcept {
+    plan_idx_ = idx + (config_.noise_vrms > 0.0 ? 1 : 0);
+    last_ = planned_metastable_() ? 1 : -1;
+    return last_;
+  }
+
+  /// Writes the hysteresis memory back after a vectorized block, where the
+  /// per-clock decisions lived in the bank's SoA state. `last` must be ±1.
+  void set_last_decision(int last) noexcept { last_ = last; }
+
   [[nodiscard]] int last_decision() const noexcept { return last_; }
   [[nodiscard]] const ComparatorConfig& config() const noexcept { return config_; }
 

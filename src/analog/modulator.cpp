@@ -193,24 +193,26 @@ DeltaSigmaModulator::CapacitiveInput DeltaSigmaModulator::capacitive_input_(
   return in;
 }
 
-void DeltaSigmaModulator::fill_noise_plan_(std::size_t n, double sigma_u,
-                                           bool ktc) noexcept {
-  // The shared stream's draw order per clock is [kT/C, ref, op-amp1,
-  // op-amp2], each present only when its source is enabled — and
-  // gaussian(mean, sigma) is an affine map over gaussian(), so the standard
-  // normals behind all of them form ONE sequence. Generate the whole frame's
-  // worth in a single bulk fill (same end state as the interleaved scalar
-  // draws), then de-interleave into the SoA buffers applying each source's
-  // exact draw-site expression, including its `0.0 +` (which turns a −0.0
-  // product into +0.0, as the scalar path's mean addition does).
+std::size_t DeltaSigmaModulator::shared_draws_per_clock_(bool ktc) const noexcept {
   const bool ref_on = config_.ref_noise_vrms > 0.0;
   const bool op1_on = config_.opamp1.noise_vrms > 0.0;
   const bool op2_on = config_.order == 2 && config_.opamp2.noise_vrms > 0.0;
-  const std::size_t per_clock =
-      static_cast<std::size_t>(ktc) + static_cast<std::size_t>(ref_on) +
-      static_cast<std::size_t>(op1_on) + static_cast<std::size_t>(op2_on);
-  double raw[4 * NoisePlan::kFrame];
-  rng_.fill_gaussian(raw, n * per_clock);
+  return static_cast<std::size_t>(ktc) + static_cast<std::size_t>(ref_on) +
+         static_cast<std::size_t>(op1_on) + static_cast<std::size_t>(op2_on);
+}
+
+void DeltaSigmaModulator::build_shared_plan_(std::size_t n, double sigma_u,
+                                             bool ktc, const double* raw) noexcept {
+  // The shared stream's draw order per clock is [kT/C, ref, op-amp1,
+  // op-amp2], each present only when its source is enabled — and
+  // gaussian(mean, sigma) is an affine map over gaussian(), so the standard
+  // normals behind all of them form ONE sequence (`raw`). De-interleave into
+  // the SoA buffers applying each source's exact draw-site expression,
+  // including its `0.0 +` (which turns a −0.0 product into +0.0, as the
+  // scalar path's mean addition does).
+  const bool ref_on = config_.ref_noise_vrms > 0.0;
+  const bool op1_on = config_.opamp1.noise_vrms > 0.0;
+  const bool op2_on = config_.order == 2 && config_.opamp2.noise_vrms > 0.0;
   const double vref = config_.vref_v;
   const double scale = config_.loop.state_scale_v;
   std::size_t j = 0;
@@ -220,30 +222,52 @@ void DeltaSigmaModulator::fill_noise_plan_(std::size_t n, double sigma_u,
     if (op1_on) plan_.op1[i] = (0.0 + config_.opamp1.noise_vrms * raw[j++]) / scale;
     if (op2_on) plan_.op2[i] = (0.0 + config_.opamp2.noise_vrms * raw[j++]) / scale;
   }
-  const bool flick1_on = flicker_scale1_ > 0.0;
-  if (flick1_on) {
-    flicker1_.fill_next(plan_.flick1.data(), n);
-    for (std::size_t i = 0; i < n; ++i) {
-      plan_.flick1[i] = plan_.flick1[i] * flicker_scale1_ / scale;
-    }
+}
+
+void DeltaSigmaModulator::apply_flicker_scale1_(std::size_t n) noexcept {
+  const double scale = config_.loop.state_scale_v;
+  for (std::size_t i = 0; i < n; ++i) {
+    plan_.flick1[i] = plan_.flick1[i] * flicker_scale1_ / scale;
   }
-  const bool flick2_on = config_.order == 2 && flicker_scale2_ > 0.0;
-  if (flick2_on) {
-    flicker2_.fill_next(plan_.flick2.data(), n);
-    for (std::size_t i = 0; i < n; ++i) {
-      plan_.flick2[i] = plan_.flick2[i] * flicker_scale2_ / scale;
-    }
+}
+
+void DeltaSigmaModulator::apply_flicker_scale2_(std::size_t n) noexcept {
+  const double scale = config_.loop.state_scale_v;
+  for (std::size_t i = 0; i < n; ++i) {
+    plan_.flick2[i] = plan_.flick2[i] * flicker_scale2_ / scale;
   }
-  comparator_.plan(plan_.comp.data(), n);
+}
+
+void DeltaSigmaModulator::finish_plan_(std::size_t n, bool ktc) noexcept {
   plan_.len = n;
   plan_.idx = 0;
   plan_.ktc_on = ktc;
-  plan_.ref_on = ref_on;
-  plan_.op1_on = op1_on;
-  plan_.flick1_on = flick1_on;
-  plan_.op2_on = op2_on;
-  plan_.flick2_on = flick2_on;
+  plan_.ref_on = config_.ref_noise_vrms > 0.0;
+  plan_.op1_on = config_.opamp1.noise_vrms > 0.0;
+  plan_.flick1_on = flicker_scale1_ > 0.0;
+  plan_.op2_on = config_.order == 2 && config_.opamp2.noise_vrms > 0.0;
+  plan_.flick2_on = config_.order == 2 && flicker_scale2_ > 0.0;
   noise_plan_fills_metric_->add(1);  // frame rate — inside the hot-path contract
+}
+
+void DeltaSigmaModulator::fill_noise_plan_(std::size_t n, double sigma_u,
+                                           bool ktc) noexcept {
+  // Generate the whole frame's worth of shared-stream normals in a single
+  // bulk fill (same end state as the interleaved scalar draws), then
+  // de-interleave. See build_shared_plan_.
+  double raw[4 * NoisePlan::kFrame];
+  rng_.fill_gaussian(raw, n * shared_draws_per_clock_(ktc));
+  build_shared_plan_(n, sigma_u, ktc, raw);
+  if (flicker_scale1_ > 0.0) {
+    flicker1_.fill_next(plan_.flick1.data(), n);
+    apply_flicker_scale1_(n);
+  }
+  if (config_.order == 2 && flicker_scale2_ > 0.0) {
+    flicker2_.fill_next(plan_.flick2.data(), n);
+    apply_flicker_scale2_(n);
+  }
+  comparator_.plan(plan_.comp.data(), n);
+  finish_plan_(n, ktc);
 }
 
 void DeltaSigmaModulator::step_capacitive_block(double c_sense_f, double c_ref_f,

@@ -210,6 +210,25 @@ class DeltaSigmaModulator {
   /// every noise stream exactly as n scalar steps would.
   void fill_noise_plan_(std::size_t n, double sigma_u, bool ktc) noexcept;
 
+  // fill_noise_plan_ is split into the pieces below so the ModulatorBank can
+  // drive the same plan construction with cross-lane batched Gaussian fills
+  // (Rng::fill_gaussian_multi): the bank bulk-draws each stream group for a
+  // whole lane packet, then calls the per-lane de-interleave/replay helpers.
+  // Scalar and bank paths share these bodies, so they cannot drift apart.
+
+  /// Shared-stream (rng_) standard normals consumed per clock.
+  [[nodiscard]] std::size_t shared_draws_per_clock_(bool ktc) const noexcept;
+  /// De-interleaves a shared-stream raw fill (n * shared_draws_per_clock_
+  /// standard normals) into plan_.{ktc,ref,op1,op2} with each source's exact
+  /// draw-site expression.
+  void build_shared_plan_(std::size_t n, double sigma_u, bool ktc,
+                          const double* raw) noexcept;
+  /// Draw-site scaling of the unit pink samples in plan_.flick1 / flick2.
+  void apply_flicker_scale1_(std::size_t n) noexcept;
+  void apply_flicker_scale2_(std::size_t n) noexcept;
+  /// Plan flags, length, cursor and the fills metric.
+  void finish_plan_(std::size_t n, bool ktc) noexcept;
+
   /// Planned twin of step_normalized: same expressions in the same order,
   /// noise read from plan_ instead of drawn, settle() skipped when the step
   /// is provably exact. Inline — this IS the block hot loop.

@@ -1,28 +1,46 @@
-// modulator_bank.hpp — K independent ΔΣ modulators stepped in lockstep.
+// modulator_bank.hpp — K independent ΔΣ modulators stepped in lockstep,
+// vectorized across lanes.
 //
 // The paper's sensor is a 2×2 array (§3: four electrodes over the pressure
 // membrane), and characterization sweeps run hundreds of independent trials;
 // both want "step K modulators over the same clock window" as one operation.
-// The bank does that over the modulators' per-frame noise plans: each frame,
-// every lane's noise is bulk-generated (one Rng::fill_gaussian per lane per
-// source group), then the lanes advance clock-by-clock in lockstep so their
-// state (integrators, bits, plan cursors) is touched in a cache-friendly
-// round-robin.
+// The bank exploits that the lanes are *independent*: their per-clock loop
+// recurrences are K parallel dependency chains of elementwise IEEE
+// arithmetic, which map directly onto SIMD lanes. At construction the bank
+// resolves a kernel via simd::active_level() (AVX2 ×4, NEON ×2, or scalar —
+// overridable with the TONO_SIMD env knob) and groups lanes into width-W
+// *packets* of matching control structure; per frame it batch-generates
+// every packet's noise (one Rng::fill_gaussian_multi per source group),
+// transposes the plans to [clock][lane], and runs the width-W step kernel
+// (bank_kernel.hpp). Lanes that don't fill a packet — remainders,
+// heterogeneous structures, or banks built under a scalar dispatch — run the
+// original scalar lockstep.
 //
 // Lane semantics — the contract tests pin:
 //   * each lane is a full DeltaSigmaModulator with its own config, seed and
 //     noise streams; lanes never share draws;
 //   * lane k's bitstream is bit-identical to running that modulator alone
 //     through step_capacitive_block (and therefore to n scalar
-//     step_capacitive calls) — the bank changes scheduling, never values;
-//   * outputs are lane-major: bits_out[k * n + i] is lane k, clock i.
+//     step_capacitive calls) — the bank changes scheduling, never values.
+//     This holds under EVERY dispatch level: the vector kernel mirrors
+//     step_planned_ expression for expression using only elementwise IEEE
+//     ops, and the two transcendental paths (op-amp partial settling,
+//     comparator metastability) drop to per-lane scalar callbacks;
+//   * outputs are lane-major: bits_out[k * n + i] is lane k, clock i;
+//   * a disabled lane (set_lane_enabled — element fault masking) is frozen:
+//     not stepped, no noise drawn, its bits region untouched. Re-enabling
+//     resumes bit-identically from the frozen state.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "src/analog/bank_kernel.hpp"
 #include "src/analog/modulator.hpp"
 #include "src/common/metrics.hpp"
+#include "src/common/simd.hpp"
 
 namespace tono::analog {
 
@@ -37,9 +55,10 @@ class ModulatorBank {
   /// `base.seed` unchanged, so lane 0 reproduces the single-modulator run.
   ModulatorBank(const ModulatorConfig& base, std::size_t lanes);
 
-  /// Runs `n` clocks on every lane in capacitive mode. `c_sense_f` /
+  /// Runs `n` clocks on every enabled lane in capacitive mode. `c_sense_f` /
   /// `c_ref_f` hold one capacitance per lane; `bits_out` has room for
   /// lanes()·n ints and is filled lane-major (lane k at bits_out[k*n]).
+  /// Disabled lanes' regions are left untouched.
   void step_capacitive_block(const double* c_sense_f, const double* c_ref_f,
                              int* bits_out, std::size_t n);
 
@@ -50,8 +69,21 @@ class ModulatorBank {
 
   void reset();
 
-  /// Checkpointing: every lane's full modulator state, in lane order. The
-  /// lane count is config-derived and verified on restore.
+  /// Fault masking (a dead array element mid-run): a disabled lane drops out
+  /// of its packet — the survivors regroup into new packets — and is frozen
+  /// entirely: no state updates, no noise-stream draws, no output. This is
+  /// deliberately NOT "keep converting and discard": a faulted element's
+  /// modulator has nothing physical to convert, and freezing its streams
+  /// keeps the lane resumable bit-identically if the fault is cleared.
+  void set_lane_enabled(std::size_t k, bool enabled);
+  [[nodiscard]] bool lane_enabled(std::size_t k) const {
+    return enabled_.at(k) != 0;
+  }
+  [[nodiscard]] std::size_t enabled_lanes() const noexcept;
+
+  /// Checkpointing: every lane's full modulator state plus the enable mask,
+  /// in lane order. The lane count is config-derived and verified on
+  /// restore; the packet grouping is layout, rebuilt lazily.
   void serialize(CheckpointWriter& out) const;
   void restore(CheckpointReader& in);
 
@@ -61,12 +93,141 @@ class ModulatorBank {
     return lanes_[k];
   }
 
+  /// The SIMD dispatch this bank resolved at construction (fixed for its
+  /// lifetime; simd::force_active_level before construction to override).
+  [[nodiscard]] simd::Level simd_level() const noexcept { return level_; }
+  /// Kernel lane width (1 = scalar lockstep).
+  [[nodiscard]] std::size_t simd_width() const noexcept { return width_; }
+
  private:
+  static constexpr std::size_t kFrame = DeltaSigmaModulator::NoisePlan::kFrame;
+  static constexpr std::size_t kMaxW = bankkernel::kMaxWidth;
+
+  /// W lanes whose configs share one control structure (loop order, settling,
+  /// which noise sources exist — the kernel's per-packet branches), laid out
+  /// SoA. Lane values (seeds, capacitances, magnitudes) are free to differ.
+  struct Packet {
+    std::array<std::size_t, kMaxW> lane{};  ///< bank lane index per slot
+
+    // Per-lane state, loaded from the lane objects at block start and
+    // written back at block end (the lane objects stay authoritative
+    // between blocks, so checkpointing never sees this scratch).
+    alignas(64) std::array<double, kMaxW> x1{};
+    std::array<double, kMaxW> x2{};
+    std::array<double, kMaxW> d{};
+    std::array<double, kMaxW> last{};
+    std::array<double, kMaxW> time_s{};
+    std::array<double, kMaxW> max1{};
+    std::array<double, kMaxW> max2{};
+    std::array<double, kMaxW> clips{};
+
+    // Per-lane invariants (construction-time except u, set per block).
+    alignas(64) std::array<double, kMaxW> u{};
+    std::array<double, kMaxW> g1{};
+    std::array<double, kMaxW> a1{};
+    std::array<double, kMaxW> p2{};
+    std::array<double, kMaxW> a2{};
+    std::array<double, kMaxW> scale{};
+    std::array<double, kMaxW> leak1{};
+    std::array<double, kMaxW> leak2{};
+    std::array<double, kMaxW> swing1{};
+    std::array<double, kMaxW> swing2{};
+    std::array<double, kMaxW> settle1{};
+    std::array<double, kMaxW> settle2{};
+    std::array<double, kMaxW> comp_offset{};
+    std::array<double, kMaxW> comp_halfhyst{};
+    std::array<double, kMaxW> comp_band{};
+    std::array<double, kMaxW> clock_period{};
+
+    // Per-frame noise plans transposed to [clock][lane], stride = the bank's
+    // kernel width (one contiguous vector load per clock per source).
+    alignas(64) std::array<double, kFrame * kMaxW> ktc{};
+    std::array<double, kFrame * kMaxW> ref{};
+    std::array<double, kFrame * kMaxW> op1{};
+    std::array<double, kFrame * kMaxW> fl1{};
+    std::array<double, kFrame * kMaxW> op2{};
+    std::array<double, kFrame * kMaxW> fl2{};
+    std::array<double, kFrame * kMaxW> comp{};
+
+    std::array<int*, kMaxW> bits{};  ///< per-slot output cursor (per frame)
+
+    // Control structure shared by every lane in the packet.
+    bool order2{true};
+    bool settling{true};
+    bool ktc_on{false};
+    bool ref_on{false};
+    bool op1_on{false};
+    bool fl1_on{false};
+    bool op2_on{false};
+    bool fl2_on{false};
+    bool comp_on{false};
+
+    std::size_t frame_len{0};  ///< current frame length (metastable resync)
+    ModulatorBank* owner{nullptr};
+  };
+
+  /// Control-structure key: lanes group into a packet iff equal. Matches the
+  /// kernel's per-packet branch set exactly.
+  [[nodiscard]] std::uint32_t structure_key_(std::size_t k) const noexcept;
+
   void init_metrics_();
+  /// Regroups enabled lanes into packets of width_ + scalar remainder.
+  void rebuild_packets_();
+  /// Loads lane state/invariants into the packets at block start.
+  void load_packet_state_();
+  /// Writes packet state back into the lane objects at block end.
+  void store_packet_state_();
+  /// One frame's noise for every enabled lane: the scalar fill_noise_plan_
+  /// pieces, with each source group's Gaussian draws batched across lanes
+  /// through Rng::fill_gaussian_multi (bit-identical per stream).
+  void fill_lane_plans_(std::size_t frame);
+  /// Shared-stream de-interleave + scale for packet lanes, written straight
+  /// into the transposed packet buffers (the per-lane NoisePlan arrays are
+  /// only materialized for scalar-stepped lanes). AVX2 banks with all four
+  /// shared sources enabled take the fused 4×4-transpose kernel.
+  void fuse_shared_packet_plans_(std::size_t frame);
+  /// Copies the packets' lanes' remaining plan-sourced arrays (flicker) into
+  /// the transposed buffers. The shared sources and comparator noise are
+  /// written transposed at generation time and never pass through here.
+  void transpose_packet_plans_(std::size_t frame);
+  /// Original clock-outer / lane-inner scalar lockstep over `lanes`.
+  void step_scalar_lanes_(const std::vector<std::size_t>& lanes, int* bits_out,
+                          std::size_t n_total, std::size_t done,
+                          std::size_t frame);
+
+  // Masked scalar escapes for the vector kernel (bank_kernel.hpp): `ctx` is
+  // the Packet, `slot` the lane's index within it.
+  static double settle_cb_(void* ctx, std::size_t slot, int stage, double v);
+  static double metastable_cb_(void* ctx, std::size_t slot, std::size_t clock);
 
   std::vector<DeltaSigmaModulator> lanes_;
   std::vector<DeltaSigmaModulator::CapacitiveInput> inputs_;  ///< scratch
+  std::vector<std::uint8_t> enabled_;
+
+  // Kernel dispatch, resolved once at construction.
+  simd::Level level_{simd::Level::kScalar};
+  std::size_t width_{1};
+  void (*kernel_)(bankkernel::PacketView*, std::size_t, std::size_t){nullptr};
+
+  // Packet layout (lazy: rebuilt when the enable mask changes).
+  bool packets_dirty_{true};
+  std::vector<Packet> packets_;
+  std::vector<std::size_t> scalar_lanes_;  ///< enabled lanes outside packets
+  std::vector<bankkernel::PacketView> views_;
+  static constexpr std::size_t kNoPacket = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> lane_packet_;  ///< packet index or kNoPacket
+  std::vector<std::size_t> lane_slot_;    ///< slot within that packet
+
+  // Batched-fill scratch (sized at construction).
+  std::vector<double> shared_raw_;            ///< lanes × 4·kFrame normals
+  std::vector<double> flicker_raw_;           ///< lanes × kFrame normals
+  std::vector<Rng*> fill_rngs_;
+  std::vector<double*> fill_dests_;
+  std::vector<std::size_t> fill_ns_;
+  std::vector<std::size_t> fill_lanes_;
+
   metrics::Gauge* bank_lanes_gauge_{nullptr};
+  metrics::Gauge* simd_width_gauge_{nullptr};
   metrics::Timer* step_block_timer_{nullptr};
 };
 

@@ -1,0 +1,58 @@
+// modulator_bank_neon.cpp — NEON (aarch64) policy for the bank kernel
+// (2 × f64). Same exactness contract as the AVX2 policy: elementwise IEEE
+// arithmetic, compare+bsl select with scalar-matching NaN behavior, sign-bit
+// abs/neg. NEON f64 is aarch64 baseline, so no extra target flags.
+#if defined(TONO_SIMD_NEON)
+
+#include <arm_neon.h>
+
+#include "src/analog/bank_kernel.hpp"
+
+namespace tono::analog::bankkernel {
+namespace {
+
+struct VecNeon {
+  static constexpr std::size_t kW = 2;
+  using D = float64x2_t;
+  using M = uint64x2_t;
+
+  static D load(const double* ptr) noexcept { return vld1q_f64(ptr); }
+  static void store(double* ptr, D v) noexcept { vst1q_f64(ptr, v); }
+  static D zero() noexcept { return vdupq_n_f64(0.0); }
+  static D one() noexcept { return vdupq_n_f64(1.0); }
+  static D add(D a, D b) noexcept { return vaddq_f64(a, b); }
+  static D sub(D a, D b) noexcept { return vsubq_f64(a, b); }
+  static D mul(D a, D b) noexcept { return vmulq_f64(a, b); }
+  static D div(D a, D b) noexcept { return vdivq_f64(a, b); }
+  static D abs(D a) noexcept { return vabsq_f64(a); }
+  static D neg(D a) noexcept { return vnegq_f64(a); }
+  /// mask ? a : b
+  static D select(M mask, D a, D b) noexcept { return vbslq_f64(mask, a, b); }
+  static M cmp_lt(D a, D b) noexcept { return vcltq_f64(a, b); }
+  static M cmp_ge(D a, D b) noexcept { return vcgeq_f64(a, b); }
+  static M cmp_eq(D a, D b) noexcept { return vceqq_f64(a, b); }
+  static M not_(M m) noexcept {
+    return vreinterpretq_u64_u32(vmvnq_u32(vreinterpretq_u32_u64(m)));
+  }
+  static M cmp_neq(D a, D b) noexcept { return not_(vceqq_f64(a, b)); }
+  static M cmp_nle(D a, D b) noexcept { return not_(vcleq_f64(a, b)); }
+  static unsigned mask(M m) noexcept {
+    return static_cast<unsigned>(vgetq_lane_u64(m, 0) & 1u) |
+           (static_cast<unsigned>(vgetq_lane_u64(m, 1) & 1u) << 1);
+  }
+  static bool any(M m) noexcept { return mask(m) != 0; }
+  static unsigned ctz(unsigned m) noexcept {
+    return static_cast<unsigned>(__builtin_ctz(m));
+  }
+};
+
+}  // namespace
+
+void run_packets_neon(PacketView* packets, std::size_t n_packets,
+                      std::size_t n_clocks) {
+  run_packets<VecNeon>(packets, n_packets, n_clocks);
+}
+
+}  // namespace tono::analog::bankkernel
+
+#endif  // TONO_SIMD_NEON

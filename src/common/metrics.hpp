@@ -196,6 +196,8 @@ inline constexpr const char* kModulatorNoisePlanFills = "modulator.noise_plan_fi
 // ModulatorBank
 inline constexpr const char* kModulatorBankLanes = "modulator.bank_lanes";
 inline constexpr const char* kBankStepBlock = "bank.step_block";
+/// Kernel lane width the bank dispatched to (4 = AVX2, 2 = NEON, 1 = scalar).
+inline constexpr const char* kBankSimdWidth = "bank.simd_width";
 // DecimationChain (output rate, 1 kHz)
 inline constexpr const char* kDecimationSamples = "decimation.samples";
 inline constexpr const char* kDecimationFirSaturations = "decimation.fir_saturations";

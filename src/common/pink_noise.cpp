@@ -36,30 +36,36 @@ double PinkNoise::next() noexcept {
 
 void PinkNoise::fill_next(double* dest, std::size_t n) noexcept {
   // next() consumes exactly one Gaussian per sample regardless of state, so
-  // the draws bulk-generate; the Voss-McCartney row replacement and the
-  // full-row sum then replay in the scalar order (the sum must be recomputed
-  // per sample — a running sum would reorder the additions and break
-  // bit-identity with next()).
+  // the draws bulk-generate; the replay of the row updates lives in
+  // fill_next_from (shared with the bank's batched-draw path).
   double draws[kFillChunk];
   std::size_t done = 0;
   while (done < n) {
     const std::size_t chunk = std::min(n - done, kFillChunk);
     rng_.fill_gaussian(draws, chunk);
-    for (std::size_t j = 0; j < chunk; ++j) {
-      ++counter_;
-      const std::uint64_t ctz_mask = counter_ & (~counter_ + 1);
-      std::size_t row = 0;
-      std::uint64_t m = ctz_mask;
-      while (m > 1 && row + 1 < octaves_) {
-        m >>= 1;
-        ++row;
-      }
-      rows_[row] = draws[j];
-      double sum = 0.0;
-      for (std::size_t k = 0; k < octaves_; ++k) sum += rows_[k];
-      dest[done + j] = sum * white_scale_;
-    }
+    fill_next_from(draws, dest + done, chunk);
     done += chunk;
+  }
+}
+
+void PinkNoise::fill_next_from(const double* draws, double* dest,
+                               std::size_t n) noexcept {
+  // The Voss-McCartney row replacement and the full-row sum replay in the
+  // scalar order (the sum must be recomputed per sample — a running sum
+  // would reorder the additions and break bit-identity with next()).
+  for (std::size_t j = 0; j < n; ++j) {
+    ++counter_;
+    const std::uint64_t ctz_mask = counter_ & (~counter_ + 1);
+    std::size_t row = 0;
+    std::uint64_t m = ctz_mask;
+    while (m > 1 && row + 1 < octaves_) {
+      m >>= 1;
+      ++row;
+    }
+    rows_[row] = draws[j];
+    double sum = 0.0;
+    for (std::size_t k = 0; k < octaves_; ++k) sum += rows_[k];
+    dest[j] = sum * white_scale_;
   }
 }
 

@@ -30,6 +30,18 @@ class PinkNoise {
   /// modulator's per-frame noise plan.
   void fill_next(double* dest, std::size_t n) noexcept;
 
+  /// fill_next with the n bulk Gaussians already drawn from noise_stream()
+  /// by the caller (the ModulatorBank batches the draws of a whole lane
+  /// packet into one Rng::fill_gaussian_multi call). Because next() consumes
+  /// exactly one Gaussian per sample and fill_gaussian is chunk-invariant,
+  /// [fill_gaussian(draws, n); fill_next_from(draws, dest, n)] is
+  /// bit-identical to fill_next(dest, n) — pinned by test_rng.cpp.
+  void fill_next_from(const double* draws, double* dest, std::size_t n) noexcept;
+
+  /// The generator's own Gaussian stream, exposed for the batched fill path
+  /// (fill_next_from's contract: its draws come from exactly this stream).
+  [[nodiscard]] Rng& noise_stream() noexcept { return rng_; }
+
   [[nodiscard]] std::size_t octaves() const noexcept { return octaves_; }
 
   /// Checkpointing: the RNG stream, the live row values and the sample

@@ -1,8 +1,11 @@
 #include "src/common/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/checkpoint.hpp"
+#include "src/common/gauss_log.hpp"
+#include "src/common/simd.hpp"
 
 namespace tono {
 namespace {
@@ -49,7 +52,9 @@ double Rng::gaussian_pair_() noexcept {
     v = uniform(-1.0, 1.0);
     s = u * u + v * v;
   } while (s >= 1.0 || s == 0.0);
-  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  // gausslog::polar_factor, not libm: the SIMD batched fills must reproduce
+  // this factor bit-exactly, which libm's log does not guarantee.
+  const double factor = gausslog::polar_factor(s);
   spare_gaussian_ = v * factor;
   has_spare_gaussian_ = true;
   return u * factor;
@@ -91,7 +96,7 @@ void Rng::fill_gaussian(double* dest, std::size_t n) noexcept {
       v = uniform_pm1();
       sq = u * u + v * v;
     } while (sq >= 1.0 || sq == 0.0);
-    const double factor = std::sqrt(-2.0 * std::log(sq) / sq);
+    const double factor = gausslog::polar_factor(sq);
     dest[i++] = u * factor;
     if (i < n) {
       dest[i++] = v * factor;
@@ -108,6 +113,72 @@ void Rng::fill_gaussian(double* dest, std::size_t n, double mean, double sigma) 
   // gaussian(mean, sigma) is mean + sigma * gaussian(); applying the same
   // affine map after the fact gives the same doubles.
   for (std::size_t i = 0; i < n; ++i) dest[i] = mean + sigma * dest[i];
+}
+
+void Rng::fill_gaussian_multi(Rng* const* rngs, double* const* dests,
+                              const std::size_t* ns, std::size_t k) noexcept {
+  std::size_t done = 0;
+#if defined(TONO_SIMD_AVX2)
+  constexpr std::size_t kGroup = 4;
+#elif defined(TONO_SIMD_NEON)
+  constexpr std::size_t kGroup = 2;
+#else
+  constexpr std::size_t kGroup = 1;
+#endif
+  if constexpr (kGroup > 1) {
+    // Worth a vector group only when every member still has a meaningful
+    // fill ahead after its pending spare (below that, the setup + the
+    // post-first-finisher scalar tails dominate).
+    constexpr std::size_t kMinVectorFill = 8;
+    const bool simd_on = simd::level_width(simd::active_level()) >= kGroup;
+    while (simd_on && done + kGroup <= k) {
+      Rng* group_rngs[kGroup];
+      double* group_dests[kGroup];
+      std::size_t pos[kGroup];
+      std::size_t group_ns[kGroup];
+      bool viable = true;
+      for (std::size_t w = 0; w < kGroup; ++w) {
+        Rng* rng = rngs[done + w];
+        double* dest = dests[done + w];
+        std::size_t n = ns[done + w];
+        std::size_t at = 0;
+        // Pending spare becomes dest[0], exactly as fill_gaussian's entry.
+        if (at < n && rng->has_spare_gaussian_) {
+          rng->has_spare_gaussian_ = false;
+          dest[at++] = rng->spare_gaussian_;
+        }
+        group_rngs[w] = rng;
+        group_dests[w] = dest;
+        pos[w] = at;
+        group_ns[w] = n;
+        if (n - at < kMinVectorFill) viable = false;
+      }
+      if (!viable) {
+        // Spares are already emitted; the scalar fill continues from `pos`.
+        for (std::size_t w = 0; w < kGroup; ++w) {
+          group_rngs[w]->fill_gaussian(group_dests[w] + pos[w],
+                                       group_ns[w] - pos[w]);
+        }
+        done += kGroup;
+        continue;
+      }
+#if defined(TONO_SIMD_AVX2)
+      fill_gaussian_x4_avx2_(group_rngs, group_dests, pos, group_ns);
+#elif defined(TONO_SIMD_NEON)
+      fill_gaussian_x2_neon_(group_rngs, group_dests, pos, group_ns);
+#endif
+      // Rejection rates differ per stream, so the vector phase stops when
+      // the first stream completes; the rest finish scalar.
+      for (std::size_t w = 0; w < kGroup; ++w) {
+        if (pos[w] < group_ns[w]) {
+          group_rngs[w]->fill_gaussian(group_dests[w] + pos[w],
+                                       group_ns[w] - pos[w]);
+        }
+      }
+      done += kGroup;
+    }
+  }
+  for (; done < k; ++done) rngs[done]->fill_gaussian(dests[done], ns[done]);
 }
 
 double Rng::exponential(double lambda) noexcept {

@@ -91,6 +91,27 @@ class Rng {
   /// Same, matching n sequential gaussian(mean, sigma) calls.
   void fill_gaussian(double* dest, std::size_t n, double mean, double sigma) noexcept;
 
+  /// Batched multi-stream fill: for each stream w in [0, k),
+  /// `rngs[w]->fill_gaussian(dests[w], ns[w])` — same destination bits, same
+  /// end state per stream — but executed together so the independent xoshiro
+  /// advances and polar-method uniforms vectorize across streams (one SIMD
+  /// lane per stream; see rng_avx2.cpp). The transcendental tail of each
+  /// accepted pair (std::log / std::sqrt) stays scalar per stream, which is
+  /// what keeps every lane bit-identical to its solo fill: libm functions
+  /// carry no vector-width reproducibility guarantee, elementwise IEEE
+  /// arithmetic does.
+  ///
+  /// The streams must be distinct Rng objects. Falls back to per-stream
+  /// scalar fills when no SIMD kernel is active (simd::active_level()), when
+  /// k doesn't fill a vector, and for each stream's tail once the first
+  /// stream of a vector group runs out (streams consume draws at different
+  /// rejection rates).
+  ///
+  /// This is the ModulatorBank's frame-fill primitive: one call per noise
+  /// source group per frame for a whole lane packet.
+  static void fill_gaussian_multi(Rng* const* rngs, double* const* dests,
+                                  const std::size_t* ns, std::size_t k) noexcept;
+
   /// Exponential draw with given rate lambda (> 0).
   [[nodiscard]] double exponential(double lambda) noexcept;
 
@@ -121,6 +142,19 @@ class Rng {
   /// Slow path of gaussian(): runs one polar-method rejection loop and
   /// stores the spare value.
   double gaussian_pair_() noexcept;
+
+  /// Vector phase of fill_gaussian_multi for one 4-stream group (defined in
+  /// rng_avx2.cpp, compiled with -mavx2, called only behind the runtime
+  /// dispatch check). Advances pos[w] toward ns[w] and updates each stream's
+  /// state/spare; returns with at least one stream complete. Callers finish
+  /// the remaining tails with scalar fill_gaussian.
+  static void fill_gaussian_x4_avx2_(Rng* const* rngs, double* const* dests,
+                                     std::size_t* pos,
+                                     const std::size_t* ns) noexcept;
+  /// NEON twin for one 2-stream group (rng_neon.cpp).
+  static void fill_gaussian_x2_neon_(Rng* const* rngs, double* const* dests,
+                                     std::size_t* pos,
+                                     const std::size_t* ns) noexcept;
 
   std::array<std::uint64_t, 4> state_{};
   double spare_gaussian_{0.0};

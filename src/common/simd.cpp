@@ -1,0 +1,154 @@
+#include "src/common/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tono::simd {
+namespace {
+
+/// Case-insensitive ASCII compare (env values are short keywords).
+bool eq_nocase(const char* a, const char* b) noexcept {
+  for (; *a && *b; ++a, ++b) {
+    const char ca = (*a >= 'A' && *a <= 'Z') ? static_cast<char>(*a + 32) : *a;
+    const char cb = (*b >= 'A' && *b <= 'Z') ? static_cast<char>(*b + 32) : *b;
+    if (ca != cb) return false;
+  }
+  return *a == *b;
+}
+
+// __builtin_cpu_supports only accepts literals, hence a macro.
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define TONO_CPU_HAS(feature) (__builtin_cpu_supports(feature) != 0)
+#else
+#define TONO_CPU_HAS(feature) false
+#endif
+
+}  // namespace
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kAvx2: return "avx2";
+    case Level::kNeon: return "neon";
+    case Level::kScalar: break;
+  }
+  return "scalar";
+}
+
+std::size_t level_width(Level level) noexcept {
+  switch (level) {
+    case Level::kAvx2: return 4;
+    case Level::kNeon: return 2;
+    case Level::kScalar: break;
+  }
+  return 1;
+}
+
+Level compiled_level() noexcept {
+#if defined(TONO_SIMD_AVX2)
+  return Level::kAvx2;
+#elif defined(TONO_SIMD_NEON)
+  return Level::kNeon;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level runtime_level() noexcept {
+#if defined(TONO_SIMD_AVX2)
+  // The AVX2 kernels use vfmadd (the pinned log mirrors std::fma), so the
+  // runtime gate requires both feature bits.
+  return TONO_CPU_HAS("avx2") && TONO_CPU_HAS("fma") ? Level::kAvx2
+                                                     : Level::kScalar;
+#elif defined(TONO_SIMD_NEON)
+  // NEON with double lanes is baseline on aarch64 — no runtime probe needed.
+  return Level::kNeon;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level resolve_level(const char* env, Level runtime) noexcept {
+  if (env == nullptr || *env == '\0' || eq_nocase(env, "auto")) return runtime;
+  if (eq_nocase(env, "scalar") || eq_nocase(env, "off") || eq_nocase(env, "0")) {
+    return Level::kScalar;
+  }
+  Level requested = runtime;
+  bool known = false;
+  if (eq_nocase(env, "avx2")) {
+    requested = Level::kAvx2;
+    known = true;
+  } else if (eq_nocase(env, "neon")) {
+    requested = Level::kNeon;
+    known = true;
+  }
+  if (!known) {
+    std::fprintf(stderr,
+                 "tonosim: TONO_SIMD=\"%s\" not recognized "
+                 "(scalar|avx2|neon|auto); using %s\n",
+                 env, level_name(runtime));
+    return runtime;
+  }
+  if (requested != runtime) {
+    // A kernel that is not compiled in / not supported by this CPU cannot be
+    // forced on; fall back to what can actually run.
+    std::fprintf(stderr,
+                 "tonosim: TONO_SIMD=\"%s\" unavailable on this build/CPU; "
+                 "using %s\n",
+                 env, level_name(runtime));
+    return runtime;
+  }
+  return requested;
+}
+
+namespace {
+
+std::atomic<int> g_active_level{-1};
+
+}  // namespace
+
+Level active_level() noexcept {
+  int cached = g_active_level.load(std::memory_order_acquire);
+  if (cached < 0) {
+    const Level resolved = resolve_level(std::getenv("TONO_SIMD"), runtime_level());
+    cached = static_cast<int>(resolved);
+    int expected = -1;
+    // First resolver wins; a concurrent force_active_level() is preserved.
+    g_active_level.compare_exchange_strong(expected, cached,
+                                           std::memory_order_acq_rel);
+    cached = g_active_level.load(std::memory_order_acquire);
+  }
+  return static_cast<Level>(cached);
+}
+
+Level force_active_level(Level level) noexcept {
+  const Level clamped = (level == Level::kScalar) ? Level::kScalar
+                        : (level == runtime_level()) ? level
+                                                     : runtime_level();
+  g_active_level.store(static_cast<int>(clamped), std::memory_order_release);
+  return clamped;
+}
+
+std::string cpu_features() {
+#if defined(__aarch64__)
+  return "neon";
+#elif defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  std::string out;
+  const auto append = [&out](bool present, const char* name) {
+    if (!present) return;
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  append(TONO_CPU_HAS("sse2"), "sse2");
+  append(TONO_CPU_HAS("avx"), "avx");
+  append(TONO_CPU_HAS("avx2"), "avx2");
+  append(TONO_CPU_HAS("fma"), "fma");
+  append(TONO_CPU_HAS("avx512f"), "avx512f");
+  return out;
+#else
+  return {};
+#endif
+}
+
+}  // namespace tono::simd

@@ -202,7 +202,16 @@ void ArrayAcquisition::acquire_frame(const ContactField& field,
                                      dsp::DecimatedSample* out) {
   const std::size_t lanes = bank_.lanes();
   const std::size_t n = config_.decimation.total_decimation;
+  // Element health gates the lane mask: a dead membrane has nothing physical
+  // to convert, so its lane is masked out of the bank (frozen — no stepping,
+  // no noise draws) rather than left converting a meaningless fault
+  // capacitance. The mask follows the array both ways, so a cleared fault
+  // resumes the lane bit-identically from its frozen state. Healthy lanes
+  // are unaffected either way: lanes never share draws.
   for (std::size_t k = 0; k < lanes; ++k) {
+    const bool healthy = array_.element(k).is_healthy();
+    if (healthy != bank_.lane_enabled(k)) bank_.set_lane_enabled(k, healthy);
+    if (!healthy) continue;
     const auto& elem = array_.element(k);
     const auto& pos = elem.position();
     c_sense_[k] =
@@ -215,7 +224,11 @@ void ArrayAcquisition::acquire_frame(const ContactField& field,
   const double dt = 1.0 / clock_rate_hz();
   for (std::size_t i = 0; i < n; ++i) time_s_ += dt;
   for (std::size_t k = 0; k < lanes; ++k) {
-    out[k] = chains_[k].push_frame({bit_scratch_.data() + k * n, n});
+    if (bank_.lane_enabled(k)) {
+      out[k] = chains_[k].push_frame({bit_scratch_.data() + k * n, n});
+    } else {
+      out[k] = dsp::DecimatedSample{};  // masked lane: no sample this frame
+    }
   }
 }
 

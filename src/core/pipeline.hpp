@@ -179,6 +179,14 @@ class ArrayAcquisition {
   [[nodiscard]] const SensorArray& array() const noexcept { return array_; }
   [[nodiscard]] analog::ModulatorBank& bank() noexcept { return bank_; }
 
+  /// Runtime element-fault injection (fleet fault plans). A faulted
+  /// element's lane is masked out of the bank on the next frame — frozen,
+  /// emitting default samples — and resumes bit-identically if the fault is
+  /// cleared (ElementFault::kNone). Healthy lanes are unaffected.
+  void inject_element_fault(std::size_t row, std::size_t col, ElementFault fault) {
+    array_.inject_fault(row, col, fault);
+  }
+
   /// Checkpointing: array faults, every lane's modulator, every decimation
   /// chain, frame clock and die temperature.
   void serialize(CheckpointWriter& out) const;
