@@ -20,9 +20,12 @@
 #include <cstdint>
 #include <cstdlib>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <map>
 #include <numbers>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -38,6 +41,9 @@
 #include "src/dsp/fft.hpp"
 #include "src/fleet/fleet_scheduler.hpp"
 #include "src/fleet/hospital_scheduler.hpp"
+#include "src/gateway/gateway.hpp"
+#include "src/gateway/recorder.hpp"
+#include "src/gateway/transport.hpp"
 #include "src/mems/transducer.hpp"
 
 namespace {
@@ -350,6 +356,106 @@ BENCHMARK(BM_HospitalSteadyState)
     ->Args({1024, 4})
     ->UseRealTime();
 
+// The gateway wire at steady state: N channels multiplexed over one
+// loopback transport, one batch (frames_per_step codes per channel) muxed,
+// shipped and demuxed per iteration. Items are codes through the wire, so
+// items_per_second across Args is the gateway scaling factor and
+// items_per_second / 1 kHz is how many real-time 1 kS/s session streams
+// this host can carry per gateway.
+struct GatewayFixture {
+  gateway::LoopbackTransport wire{1 << 22};
+  std::unique_ptr<gateway::GatewayMux> mux;
+  std::unique_ptr<gateway::GatewayDemux> demux;
+  std::vector<std::int16_t> batch;
+  std::uint64_t delivered{0};
+
+  explicit GatewayFixture(std::size_t channels) {
+    mux = std::make_unique<gateway::GatewayMux>(wire);
+    demux = std::make_unique<gateway::GatewayDemux>(wire);
+    for (std::uint32_t c = 0; c < channels; ++c) {
+      mux->open_channel(c);
+      demux->open_channel(c);
+    }
+    demux->on_codes([this](std::uint32_t, std::span<const std::int16_t> codes) {
+      delivered += codes.size();
+    });
+    batch.resize(64);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i] = static_cast<std::int16_t>((i * 37) % 2048);
+    }
+  }
+};
+
+GatewayFixture& gateway_fixture(std::size_t channels) {
+  static std::map<std::size_t, std::unique_ptr<GatewayFixture>> cache;
+  auto& slot = cache[channels];
+  if (!slot) slot = std::make_unique<GatewayFixture>(channels);
+  return *slot;
+}
+
+void BM_GatewayThroughput(benchmark::State& state) {
+  auto& fixture = gateway_fixture(static_cast<std::size_t>(state.range(0)));
+  const std::uint32_t channels = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::uint32_t c = 0; c < channels; ++c) fixture.mux->send(c, fixture.batch);
+    benchmark::DoNotOptimize(fixture.demux->pump());
+  }
+  const auto codes = static_cast<std::int64_t>(state.iterations()) *
+                     state.range(0) * static_cast<std::int64_t>(fixture.batch.size());
+  state.SetItemsProcessed(codes);
+  state.counters["realtime_sessions"] = benchmark::Counter(
+      static_cast<double>(codes) / 1000.0, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GatewayThroughput)->Arg(1)->Arg(16)->Arg(64);
+
+// Time-compressed replay of a recorded session through the gateway: one
+// iteration streams the whole record file back (original frame sequence
+// numbers preserved) and pumps it through the demux. Items are codes, so
+// items_per_second / 1 kS/s is the replay speedup over the paced hardware
+// rate — the derived gateway_replay_speedup entry.
+void BM_GatewayReplay(benchmark::State& state) {
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           "tono_bench_replay")
+                              .string();
+  constexpr std::size_t kFrames = 512;
+  constexpr std::size_t kBatch = 64;
+  {
+    std::filesystem::remove_all(dir);
+    gateway::SessionRecorder rec{dir};
+    rec.open_session(0);
+    core::FrameEncoder enc;
+    std::vector<std::int16_t> codes(kBatch);
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      for (std::size_t k = 0; k < codes.size(); ++k) {
+        codes[k] = static_cast<std::int16_t>((i * 131 + k * 17) % 2048);
+      }
+      rec.record(0, enc.encode(codes), static_cast<std::uint16_t>(codes.size()));
+    }
+  }
+  gateway::LoopbackTransport wire{1 << 22};
+  gateway::GatewayMux mux{wire};
+  gateway::GatewayDemux demux{wire};
+  mux.open_channel(0);
+  demux.open_channel(0);
+  std::uint64_t delivered = 0;
+  demux.on_codes([&delivered](std::uint32_t, std::span<const std::int16_t> codes) {
+    delivered += codes.size();
+  });
+  std::vector<std::uint8_t> frame;
+  std::uint16_t n_codes = 0;
+  for (auto _ : state) {
+    gateway::SessionReplayer replay{dir, 0};
+    while (replay.next(frame, n_codes)) {
+      mux.send_encoded(0, frame, n_codes);
+      (void)demux.pump();
+    }
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kFrames * kBatch));
+}
+BENCHMARK(BM_GatewayReplay);
+
 void BM_Fft8k(benchmark::State& state) {
   std::vector<dsp::Complex> x(8192);
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -468,6 +574,9 @@ std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
   const double hospital64_4 = rate_of(results, "BM_HospitalSteadyState/64/4/real_time");
   const double hospital256 = rate_of(results, "BM_HospitalSteadyState/256/4/real_time");
   const double hospital1024 = rate_of(results, "BM_HospitalSteadyState/1024/4/real_time");
+  const double gateway1 = rate_of(results, "BM_GatewayThroughput/1");
+  const double gateway64 = rate_of(results, "BM_GatewayThroughput/64");
+  const double gateway_replay = rate_of(results, "BM_GatewayReplay");
   os << "    \"derived\": {\n";
   os << "      \"pipeline_block_vs_scalar\": " << ratio(block_pipe, scalar_pipe) << ",\n";
   os << "      \"modulator_block_vs_scalar\": " << ratio(block_mod, scalar_mod) << ",\n";
@@ -484,7 +593,10 @@ std::string make_entry_json(const std::map<std::string, CapturedRun>& results) {
      << ",\n";
   os << "      \"hospital_scaling_256_vs_64\": " << ratio(hospital256, hospital64_4)
      << ",\n";
-  os << "      \"hospital_realtime_sessions_1024\": " << hospital1024 / 1000.0 << "\n";
+  os << "      \"hospital_realtime_sessions_1024\": " << hospital1024 / 1000.0 << ",\n";
+  os << "      \"gateway_scaling_64_vs_1\": " << ratio(gateway64, gateway1) << ",\n";
+  os << "      \"gateway_realtime_sessions_64\": " << gateway64 / 1000.0 << ",\n";
+  os << "      \"gateway_replay_speedup\": " << gateway_replay / 1000.0 << "\n";
   os << "    }\n";
   os << "  }";
   return os.str();

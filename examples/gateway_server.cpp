@@ -1,0 +1,675 @@
+// gateway_server — the hospital serving loop with the Fig. 3 USB link made a
+// real wire: every session's 12-bit code stream leaves its producer through a
+// GatewayMux channel, crosses a Transport (in-process loopback or a real TCP
+// socket), and is demultiplexed ward-side back into the session rings at each
+// batch barrier (docs/GATEWAY.md).
+//
+//   live:    gateway_server --sessions 16 --duration 10 --seed 11
+//                [--transport loopback|tcp] [--listen 127.0.0.1:0]
+//                [--wire-policy block|drop] [--wire-capacity 1048576]
+//                [--record DIR] [--dump-codes DIR] [+ the ward_server flags]
+//   replay:  gateway_server --replay DIR [--replay-speed 0]
+//                [--dump-codes DIR] [+ matching fleet flags]
+//
+// Determinism contract (asserted by tests/test_gateway.cpp and CI): a
+// loopback run writes a hospital snapshot byte-identical to ward_server with
+// the same flags — the wire adds latency, never different bytes. A --record
+// run captures exactly the frames the ward consumed; --replay feeds them back
+// through the gateway (original frame sequence numbers preserved) and the
+// delivered code stream is byte-for-byte the recorded one. --replay-speed 0
+// is time-compressed (as fast as the host allows); N > 0 paces the replay at
+// N× the 1 kS/s hardware rate.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "src/common/checkpoint.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/metrics.hpp"
+#include "src/fleet/hospital_scheduler.hpp"
+#include "src/gateway/gateway.hpp"
+#include "src/gateway/recorder.hpp"
+#include "src/gateway/tcp_transport.hpp"
+#include "src/gateway/transport.hpp"
+// Shared with ward_server so both binaries admit byte-identical configs.
+#include "examples/session_mix.hpp"
+
+namespace {
+
+using namespace tono;
+using tono::examples::mix_label;
+using tono::examples::parse_fault_plan;
+using tono::examples::session_mix;
+
+/// "host:port" with a numeric port in [0, 65535]; no silent clamping.
+bool parse_listen(const std::string& spec, std::string* host, int* port,
+                  std::string* error) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    *error = "--listen: expected host:port, got '" + spec + "'";
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  char* end = nullptr;
+  const long p = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || p < 0 || p > 65535) {
+    *error = "--listen: port must be 0..65535, got '" + port_str + "'";
+    return false;
+  }
+  *port = static_cast<int>(p);
+  return true;
+}
+
+/// One gateway stack per shard: the wire, its two ends, and the shard's
+/// session ids. Shards share nothing, so each driver thread pumps only its
+/// own demux.
+struct ShardGateway {
+  std::unique_ptr<gateway::LoopbackTransport> loop;
+  std::unique_ptr<gateway::TcpTransport> tx;  ///< connect side (mux)
+  std::unique_ptr<gateway::TcpTransport> rx;  ///< accepted side (demux)
+  std::unique_ptr<gateway::GatewayMux> mux;
+  std::unique_ptr<gateway::GatewayDemux> demux;
+  std::vector<std::uint32_t> session_ids;
+};
+
+/// Per-session little-endian int16 dump of every code the demux delivered,
+/// in delivery order — the byte-level artifact CI compares across live,
+/// record and replay runs.
+class CodeDumper {
+ public:
+  explicit CodeDumper(std::string dir) : dir_(std::move(dir)) {}
+
+  bool open(std::uint32_t id) {
+    auto& out = files_[id];
+    out.open(dir_ + "/session_" + std::to_string(id) + ".i16",
+             std::ios::binary | std::ios::trunc);
+    return out.good();
+  }
+
+  void write(std::uint32_t id, std::span<const std::int16_t> codes) {
+    auto it = files_.find(id);
+    if (it == files_.end()) return;
+    for (const std::int16_t code : codes) {
+      const auto u = static_cast<std::uint16_t>(code);
+      const char b[2] = {static_cast<char>(u & 0xFF), static_cast<char>(u >> 8)};
+      it->second.write(b, 2);
+    }
+  }
+
+  bool flush() {
+    bool ok = true;
+    for (auto& [id, out] : files_) {
+      out.flush();
+      ok = ok && out.good();
+    }
+    return ok;
+  }
+
+ private:
+  std::string dir_;
+  std::map<std::uint32_t, std::ofstream> files_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args{"gateway_server",
+                 "serve N patient sessions through the streaming gateway wire"};
+  args.add_int("sessions", "number of patient sessions to admit", 16);
+  args.add_double("duration", "monitoring stream per session [s]", 10.0);
+  args.add_int("seed", "fleet base seed (per-session seeds derive from it)", 11);
+  args.add_int("shards", "independent ward shards, each with its own gateway", 1);
+  args.add_int("threads",
+               "worker threads per shard (0 = hardware/shards, 1 = serial shard)", 0);
+  args.add_int("frames-per-step", "output frames per session per batch", 64);
+  args.add_int("epoch-batches", "batches per shard between hospital epochs", 16);
+  args.add_string("code-policy", "codes-ring backpressure: drop | block", "drop");
+  args.add_string("fault-plan",
+                  "per-session fault schedule, e.g. contact=1,link=1,element=1", "");
+  args.add_int("max-readmits", "readmissions before a quarantined session retires", 3);
+  args.add_string("snapshot", "write the ward JSONL snapshot to this file", "");
+  args.add_int("snapshot-every",
+               "async-snapshot period in epochs (0 = final snapshot only)", 0);
+  args.add_string("metrics", "write a JSONL runtime-metrics snapshot to this file", "");
+  args.add_flag("verbose", "print per-session rows (always printed for quarantines)");
+  args.add_string("transport", "wire implementation: loopback | tcp", "loopback");
+  args.add_string("listen", "TCP bind address (tcp transport; port 0 = ephemeral)",
+                  "127.0.0.1:0");
+  args.add_string("wire-policy",
+                  "gateway backpressure on a saturated wire: block | drop", "block");
+  args.add_int("wire-capacity", "loopback wire queue capacity in bytes", 1 << 20);
+  args.add_string("record", "record every consumed session stream into this directory",
+                  "");
+  args.add_string("replay", "replay a recorded directory instead of producing live",
+                  "");
+  args.add_double("replay-speed",
+                  "replay pacing multiple of the 1 kS/s hardware rate (0 = max speed)",
+                  0.0);
+  args.add_string("dump-codes",
+                  "write per-session delivered-code dumps (LE int16) into this dir",
+                  "");
+  if (!args.parse(argc, argv)) {
+    std::cerr << (args.help_requested() ? args.help_text() : args.error() + "\n");
+    return args.help_requested() ? 0 : 2;
+  }
+
+  // Strict range validation, ward_server style: a bad value is a clear exit-2
+  // error, never a silently clamped cast.
+  const long sessions_raw = args.int_value("sessions");
+  const long shards_raw = args.int_value("shards");
+  const long threads_raw = args.int_value("threads");
+  const long frames_raw = args.int_value("frames-per-step");
+  const long epoch_raw = args.int_value("epoch-batches");
+  const long readmits_raw = args.int_value("max-readmits");
+  const long seed_raw = args.int_value("seed");
+  const long snapshot_every_raw = args.int_value("snapshot-every");
+  const long wire_capacity_raw = args.int_value("wire-capacity");
+  const double duration_flag_s = args.double_value("duration");
+  const double replay_speed = args.double_value("replay-speed");
+  if (shards_raw < 1) {
+    std::cerr << "--shards must be >= 1 (got " << shards_raw << ")\n";
+    return 2;
+  }
+  if (sessions_raw < 0) {
+    std::cerr << "--sessions must be >= 0 (got " << sessions_raw << ")\n";
+    return 2;
+  }
+  if (threads_raw < 0) {
+    std::cerr << "--threads must be >= 0 (got " << threads_raw << ")\n";
+    return 2;
+  }
+  if (frames_raw < 1) {
+    std::cerr << "--frames-per-step must be >= 1 (got " << frames_raw << ")\n";
+    return 2;
+  }
+  if (epoch_raw < 1) {
+    std::cerr << "--epoch-batches must be >= 1 (got " << epoch_raw << ")\n";
+    return 2;
+  }
+  if (readmits_raw < 0) {
+    std::cerr << "--max-readmits must be >= 0 (got " << readmits_raw << ")\n";
+    return 2;
+  }
+  if (seed_raw < 0) {
+    std::cerr << "--seed must be >= 0 (got " << seed_raw << ")\n";
+    return 2;
+  }
+  if (snapshot_every_raw < 0) {
+    std::cerr << "--snapshot-every must be >= 0 (got " << snapshot_every_raw << ")\n";
+    return 2;
+  }
+  if (!(duration_flag_s > 0.0)) {
+    std::cerr << "--duration must be > 0 (got " << duration_flag_s << ")\n";
+    return 2;
+  }
+  const std::string policy_name = args.string_value("code-policy");
+  if (policy_name != "drop" && policy_name != "block") {
+    std::cerr << "--code-policy must be 'drop' or 'block'\n";
+    return 2;
+  }
+  const std::string transport_name = args.string_value("transport");
+  if (transport_name != "loopback" && transport_name != "tcp") {
+    std::cerr << "--transport must be 'loopback' or 'tcp' (got '" << transport_name
+              << "')\n";
+    return 2;
+  }
+  std::string listen_host;
+  int listen_port = 0;
+  {
+    std::string listen_error;
+    if (!parse_listen(args.string_value("listen"), &listen_host, &listen_port,
+                      &listen_error)) {
+      std::cerr << listen_error << "\n";
+      return 2;
+    }
+  }
+  const std::string wire_policy_name = args.string_value("wire-policy");
+  if (wire_policy_name != "drop" && wire_policy_name != "block") {
+    std::cerr << "--wire-policy must be 'drop' or 'block'\n";
+    return 2;
+  }
+  if (wire_capacity_raw < 1) {
+    std::cerr << "--wire-capacity must be >= 1 (got " << wire_capacity_raw << ")\n";
+    return 2;
+  }
+  if (!(replay_speed >= 0.0)) {
+    std::cerr << "--replay-speed must be >= 0 (got " << replay_speed << ")\n";
+    return 2;
+  }
+  const std::string record_dir = args.string_value("record");
+  const std::string replay_dir = args.string_value("replay");
+  if (!record_dir.empty() && !replay_dir.empty()) {
+    std::cerr << "--record and --replay are mutually exclusive\n";
+    return 2;
+  }
+  const bool replay_mode = !replay_dir.empty();
+  fleet::FaultPlanConfig fault_plan;
+  {
+    std::string plan_error;
+    if (!parse_fault_plan(args.string_value("fault-plan"), &fault_plan, &plan_error)) {
+      std::cerr << plan_error << "\n";
+      return 2;
+    }
+  }
+
+  // ---- Resolve the run parameters -----------------------------------------
+  // Live mode takes them from the flags. Replay mode takes them from the
+  // recording: the finalize()-written index when present (explicit flags must
+  // then match — a replay against the wrong seed would calibrate a different
+  // hospital, so a mismatch is exit 2, not a warning), else flags plus a
+  // tail-truncating scan of the session files (killed recording).
+  std::size_t n_sessions = static_cast<std::size_t>(sessions_raw);
+  std::uint64_t base_seed = static_cast<std::uint64_t>(seed_raw);
+  std::size_t frames_per_step = static_cast<std::size_t>(frames_raw);
+  double duration_s = duration_flag_s;
+  std::vector<std::uint32_t> replay_ids;
+  std::uint64_t replay_codes_per_session = 0;  ///< floor-aligned ingest cap
+  bool replay_torn = false;
+  if (replay_mode) {
+    replay_ids = gateway::SessionReplayer::list_sessions(replay_dir);
+    if (replay_ids.empty()) {
+      std::cerr << "no session records found in " << replay_dir << "\n";
+      return 1;
+    }
+    std::optional<gateway::RecordIndex> index;
+    try {
+      index = gateway::read_record_index(replay_dir);
+    } catch (const CheckpointError& e) {
+      std::cerr << "corrupt record index in " << replay_dir << ": " << e.what()
+                << "\n";
+      return 1;
+    }
+    if (index.has_value()) {
+      const auto& meta = index->meta;
+      if (args.has("seed") &&
+          static_cast<std::uint64_t>(seed_raw) != meta.base_seed) {
+        std::cerr << "--seed " << seed_raw << " mismatches the recording (seed "
+                  << meta.base_seed << ")\n";
+        return 2;
+      }
+      if (args.has("frames-per-step") &&
+          static_cast<std::uint64_t>(frames_raw) != meta.frames_per_step) {
+        std::cerr << "--frames-per-step " << frames_raw
+                  << " mismatches the recording (" << meta.frames_per_step << ")\n";
+        return 2;
+      }
+      if (args.has("sessions") &&
+          static_cast<std::uint64_t>(sessions_raw) != meta.sessions) {
+        std::cerr << "--sessions " << sessions_raw << " mismatches the recording ("
+                  << meta.sessions << ")\n";
+        return 2;
+      }
+      base_seed = meta.base_seed;
+      frames_per_step = static_cast<std::size_t>(meta.frames_per_step);
+      n_sessions = static_cast<std::size_t>(meta.sessions);
+    } else {
+      n_sessions = replay_ids.size();
+    }
+    if (replay_ids.size() != n_sessions) {
+      std::cerr << "recording has " << replay_ids.size() << " session file(s), "
+                << "expected " << n_sessions << "\n";
+      return 1;
+    }
+    // The replay horizon is gated by the shortest stream (a killed recording
+    // leaves unequal tails), floor-aligned to whole batches so every session
+    // crosses the finish line on the same batch.
+    std::uint64_t min_codes = UINT64_MAX;
+    for (const std::uint32_t id : replay_ids) {
+      const auto totals = gateway::SessionReplayer::scan(replay_dir, id);
+      min_codes = std::min(min_codes, totals.codes);
+      replay_torn = replay_torn || totals.torn;
+    }
+    replay_codes_per_session =
+        (min_codes / frames_per_step) * frames_per_step;
+    if (replay_codes_per_session == 0) {
+      std::cerr << "recording in " << replay_dir
+                << " has no complete batch to replay\n";
+      return 1;
+    }
+    duration_s = static_cast<double>(replay_codes_per_session) / 1000.0;
+  }
+  fault_plan.horizon_s = std::max(fault_plan.min_onset_s + 0.1, 0.75 * duration_s);
+
+  // ---- Hospital + per-shard gateways --------------------------------------
+  fleet::HospitalConfig hospital_config;
+  hospital_config.shards = static_cast<std::size_t>(shards_raw);
+  hospital_config.threads_per_shard = static_cast<std::size_t>(threads_raw);
+  hospital_config.base_seed = base_seed;
+  hospital_config.frames_per_step = frames_per_step;
+  hospital_config.epoch_batches = static_cast<std::size_t>(epoch_raw);
+  hospital_config.max_readmits = static_cast<std::size_t>(readmits_raw);
+  hospital_config.snapshot_path = args.string_value("snapshot");
+  hospital_config.snapshot_every_epochs =
+      static_cast<std::size_t>(snapshot_every_raw);
+  fleet::HospitalScheduler hospital{hospital_config};
+  const std::size_t n_shards = hospital.shards();
+
+  gateway::GatewayConfig gateway_config;
+  gateway_config.wire_policy = wire_policy_name == "drop"
+                                   ? BackpressurePolicy::kDropOldest
+                                   : BackpressurePolicy::kBlock;
+  // A blocking loopback wire has no concurrent consumer between barriers, so
+  // (like the admission ring guard) its capacity must cover one whole shard
+  // batch or the producers would spin forever.
+  const std::size_t sessions_per_shard = (n_sessions + n_shards - 1) / n_shards;
+  const std::size_t envelopes_per_session =
+      (frames_per_step + core::kMaxSamplesPerFrame - 1) / core::kMaxSamplesPerFrame;
+  const std::size_t batch_wire_bytes =
+      sessions_per_shard * envelopes_per_session *
+      gateway::envelope_wire_bytes(
+          core::frame_wire_bytes(std::min(frames_per_step, core::kMaxSamplesPerFrame)));
+  if (!replay_mode && transport_name == "loopback" &&
+      gateway_config.wire_policy == BackpressurePolicy::kBlock &&
+      static_cast<std::size_t>(wire_capacity_raw) < batch_wire_bytes) {
+    std::cerr << "--wire-capacity " << wire_capacity_raw
+              << " cannot hold one shard batch (" << batch_wire_bytes
+              << " B) under --wire-policy block\n";
+    return 2;
+  }
+
+  std::vector<ShardGateway> gateways(n_shards);
+  std::unique_ptr<gateway::TcpListener> listener;
+  try {
+    if (transport_name == "tcp") {
+      listener = std::make_unique<gateway::TcpListener>(
+          listen_host, static_cast<std::uint16_t>(listen_port));
+      for (auto& g : gateways) {
+        // Connect then accept: pairs match in order because the listener
+        // backlog queues the pending connection.
+        g.tx = gateway::TcpTransport::connect(listen_host, listener->port());
+        g.rx = listener->accept();
+        g.mux = std::make_unique<gateway::GatewayMux>(*g.tx, gateway_config);
+        g.demux = std::make_unique<gateway::GatewayDemux>(*g.rx);
+      }
+    } else {
+      for (auto& g : gateways) {
+        g.loop = std::make_unique<gateway::LoopbackTransport>(
+            static_cast<std::size_t>(wire_capacity_raw));
+        g.mux = std::make_unique<gateway::GatewayMux>(*g.loop, gateway_config);
+        g.demux = std::make_unique<gateway::GatewayDemux>(*g.loop);
+      }
+    }
+  } catch (const gateway::TransportError& e) {
+    std::cerr << "cannot set up " << transport_name << " transport: " << e.what()
+              << "\n";
+    return 1;
+  }
+
+  std::unique_ptr<gateway::SessionRecorder> recorder;
+  if (!record_dir.empty()) {
+    try {
+      recorder = std::make_unique<gateway::SessionRecorder>(record_dir);
+    } catch (const gateway::RecorderError& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+  }
+  const std::string dump_dir = args.string_value("dump-codes");
+  std::unique_ptr<CodeDumper> dumper;
+  if (!dump_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dump_dir, ec);
+    dumper = std::make_unique<CodeDumper>(dump_dir);
+  }
+
+  // ---- Admission ----------------------------------------------------------
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    fleet::SessionConfig config = session_mix(i);
+    config.code_policy = policy_name == "block" ? BackpressurePolicy::kBlock
+                                                : BackpressurePolicy::kDropOldest;
+    config.fault_plan = fault_plan;
+    const std::size_t s = i % n_shards;
+    auto& g = gateways[s];
+    if (replay_mode) {
+      config.external_ingest = true;  // codes arrive only through the wire
+    } else {
+      // The producer side of the wire: the session hands its batch codes to
+      // the shard mux instead of publishing in-process.
+      gateway::GatewayMux* mux = g.mux.get();
+      config.code_sink = [mux](std::uint32_t id,
+                               std::span<const std::int16_t> codes) {
+        mux->send(id, codes);
+      };
+    }
+    const std::uint32_t id = hospital.admit(std::move(config), mix_label(i));
+    g.session_ids.push_back(id);
+    g.mux->open_channel(id);
+    g.demux->open_channel(id);
+    if (recorder) recorder->open_session(id);
+    if (dumper && !dumper->open(id)) {
+      std::cerr << "cannot open code dump for session " << id << " in "
+                << dump_dir << "\n";
+      return 1;
+    }
+  }
+
+  // ---- Delivery: demux → session rings (and the taps) ---------------------
+  std::uint64_t delivery_drops = 0;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    auto& g = gateways[s];
+    g.demux->on_codes([&hospital, &dumper, &delivery_drops, s](
+                          std::uint32_t id, std::span<const std::int16_t> codes) {
+      if (dumper) dumper->write(id, codes);
+      fleet::PatientSession* session = hospital.shard(s).session(id);
+      if (session == nullptr) {
+        ++delivery_drops;
+        return;
+      }
+      try {
+        session->ingest_codes(codes);
+      } catch (const std::exception&) {
+        ++delivery_drops;  // e.g. codes in flight for a just-quarantined session
+      }
+    });
+    if (recorder) {
+      g.demux->on_envelope([&recorder](std::uint32_t id,
+                                       std::span<const std::uint8_t> frame,
+                                       std::uint16_t n_codes) {
+        recorder->record(id, frame, n_codes);
+      });
+    }
+  }
+
+  // ---- Barrier pumps ------------------------------------------------------
+  // Live: every batch's envelopes are on the wire when the production barrier
+  // lands (code_sink runs inside step()), so one pump drains them all; TCP
+  // additionally waits for the kernel to hand over everything the mux sent.
+  // Replay: the hook *is* the producer — it feeds each session one batch of
+  // recorded frames (original sequence numbers preserved), pumping as it
+  // goes, and paces itself against wall time when --replay-speed > 0.
+  struct ReplayState {
+    std::vector<std::unique_ptr<gateway::SessionReplayer>> replayers;
+    std::vector<std::uint64_t> fed;  ///< codes shipped per session
+    std::uint64_t batches{0};
+    std::chrono::steady_clock::time_point start;
+    bool started{false};
+  };
+  std::vector<ReplayState> replay_states(n_shards);
+  const bool tcp = transport_name == "tcp";
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    auto& g = gateways[s];
+    if (!replay_mode) {
+      hospital.shard(s).set_batch_hook([&g, tcp] {
+        if (tcp) {
+          (void)g.demux->pump_until_bytes(g.mux->bytes_sent());
+        } else {
+          (void)g.demux->pump();
+        }
+      });
+      continue;
+    }
+    auto& st = replay_states[s];
+    for (const std::uint32_t id : g.session_ids) {
+      st.replayers.push_back(
+          std::make_unique<gateway::SessionReplayer>(replay_dir, id));
+      st.fed.push_back(0);
+    }
+    const std::uint64_t cap = replay_codes_per_session;
+    const std::size_t fps = frames_per_step;
+    hospital.shard(s).set_batch_hook([&g, &st, cap, fps, tcp, replay_speed] {
+      std::vector<std::uint8_t> frame;
+      std::uint16_t n_codes = 0;
+      for (std::size_t i = 0; i < st.replayers.size(); ++i) {
+        const std::uint64_t left = cap > st.fed[i] ? cap - st.fed[i] : 0;
+        std::uint64_t quota = std::min<std::uint64_t>(fps, left);
+        while (quota > 0 && st.replayers[i]->next(frame, n_codes)) {
+          g.mux->send_encoded(st.replayers[i]->session_id(), frame, n_codes);
+          st.fed[i] += n_codes;
+          quota -= std::min<std::uint64_t>(quota, n_codes);
+          // Pump behind every envelope: the loopback queue never holds more
+          // than one, so a blocking wire policy cannot wedge the hook.
+          if (!tcp) (void)g.demux->pump();
+        }
+      }
+      if (tcp) (void)g.demux->pump_until_bytes(g.mux->bytes_sent());
+      ++st.batches;
+      if (replay_speed > 0.0) {
+        if (!st.started) {
+          st.start = std::chrono::steady_clock::now();
+          st.started = true;
+        }
+        // Batch k ends at stream time (k+1)·fps ms; sleep until that point
+        // scaled by the speed multiple.
+        const double target_s =
+            static_cast<double>(st.batches * fps) / 1000.0 / replay_speed;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::max(0.0, target_s - std::chrono::duration<double>(
+                                         std::chrono::steady_clock::now() - st.start)
+                                         .count())));
+      }
+    });
+  }
+
+  std::cout << "gateway_server: " << n_sessions << " sessions "
+            << (replay_mode ? "replayed" : "admitted") << ", " << n_shards
+            << " shard(s) x " << hospital.threads_per_shard()
+            << " worker thread(s), " << transport_name << " wire, " << duration_s
+            << " s per session\n";
+  if (tcp) {
+    std::cout << "tcp: listening on " << listen_host << ":" << listener->port()
+              << ", " << n_shards << " connection(s)\n";
+  }
+  if (replay_mode && replay_torn) {
+    std::cout << "replay: torn record tail detected, truncated to "
+              << replay_codes_per_session << " codes per session\n";
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  hospital.run(duration_s);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  // ---- Epilogue: ward report (ward_server format), wire report, taps ------
+  const fleet::WardSnapshot ward = hospital.snapshot();
+  std::size_t quarantined = 0;
+  for (const auto& s : ward.sessions) {
+    const bool parked = s.lifecycle == fleet::SessionState::kQuarantined ||
+                        s.lifecycle == fleet::SessionState::kRetired;
+    if (parked) ++quarantined;
+    if (args.flag("verbose") || parked) {
+      std::cout << "  [" << s.id << "] " << s.label << " (" << to_string(s.lifecycle)
+                << "): " << s.codes << " codes, " << s.beats << " beats, BP "
+                << s.last_systolic_mmhg << "/" << s.last_diastolic_mmhg << " mmHg, SQI "
+                << s.last_sqi << ", alarms " << s.alarms_active << ", drops "
+                << s.code_drops + s.event_drops
+                << (s.note.empty() ? "" : " — " + s.note) << "\n";
+    }
+  }
+  std::cout << "ward: " << ward.codes_consumed << " codes, "
+            << ward.events_consumed << " events consumed; alarms active "
+            << ward.alarms_active << " (queue " << ward.alarms_total
+            << ", escalations " << ward.escalations << "); drops "
+            << ward.drops << " (events " << ward.event_drops
+            << "); quarantined " << quarantined << "\n";
+
+  std::uint64_t frames_muxed = 0, codes_sent = 0, bytes_sent = 0;
+  std::uint64_t envelopes_dropped = 0, codes_dropped = 0, blocks = 0;
+  std::uint64_t crc_errors = 0, resync_bytes = 0, lost = 0;
+  for (const auto& g : gateways) {
+    frames_muxed += g.mux->frames_muxed();
+    codes_sent += g.mux->codes_sent();
+    bytes_sent += g.mux->bytes_sent();
+    envelopes_dropped += g.mux->envelopes_dropped();
+    codes_dropped += g.mux->codes_dropped();
+    blocks += g.mux->backpressure_blocks();
+    crc_errors += g.demux->crc_errors();
+    resync_bytes += g.demux->resync_bytes();
+    for (const std::uint32_t id : g.session_ids) {
+      lost += g.demux->channel_stats(id).lost_envelopes;
+    }
+  }
+  std::cout << "wire: " << frames_muxed << " frames (" << codes_sent
+            << " codes, " << bytes_sent << " B) muxed; dropped "
+            << envelopes_dropped << " envelope(s) / " << codes_dropped
+            << " code(s), " << blocks << " block stall(s); demux "
+            << crc_errors << " CRC error(s), " << resync_bytes
+            << " resync byte(s), " << lost << " lost envelope(s), "
+            << delivery_drops << " delivery drop(s)\n";
+  if (replay_mode) {
+    const double speedup = wall_s > 0.0 ? duration_s / wall_s : 0.0;
+    metrics::Registry::global()
+        .gauge(metrics::names::kGatewayReplaySpeedup)
+        .set(speedup);
+    std::cout << "replay: " << duration_s << " s of stream in " << wall_s
+              << " s wall (" << speedup << "x)\n";
+  }
+
+  if (recorder) {
+    gateway::RecordMeta meta;
+    meta.base_seed = base_seed;
+    meta.sessions = n_sessions;
+    meta.frames_per_step = frames_per_step;
+    meta.duration_s = duration_s;
+    if (!recorder->finalize(meta)) {
+      std::cerr << "cannot finalize recording in " << record_dir << "\n";
+      return 1;
+    }
+    std::cout << "recorded " << recorder->frames_recorded() << " frame(s), "
+              << recorder->bytes_written() << " B to " << record_dir << "\n";
+  }
+  if (dumper && !dumper->flush()) {
+    std::cerr << "cannot write code dumps to " << dump_dir << "\n";
+    return 1;
+  }
+
+  const std::string snapshot = args.string_value("snapshot");
+  if (!snapshot.empty()) {
+    if (hospital.snapshots_written() == 0) {
+      std::cerr << "cannot write snapshot to " << snapshot << "\n";
+      return 1;
+    }
+    std::cout << "wrote ward snapshot to " << snapshot;
+    if (snapshot_every_raw > 0) {
+      std::cout << " (" << hospital.snapshots_written() << " written, "
+                << hospital.snapshots_skipped() << " superseded)";
+    }
+    std::cout << "\n";
+  }
+  const std::string metrics_path = args.string_value("metrics");
+  if (!metrics_path.empty()) {
+    metrics::register_standard_instruments();
+    if (!metrics::Registry::global().write_jsonl_file(metrics_path)) {
+      std::cerr << "cannot write metrics to " << metrics_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote metrics snapshot to " << metrics_path << "\n";
+  }
+  if (ward.event_drops != 0) {
+    std::cerr << "ERROR: " << ward.event_drops << " beat/alarm events dropped\n";
+    return 1;
+  }
+  return 0;
+}

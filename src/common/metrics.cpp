@@ -246,7 +246,10 @@ void register_standard_instruments(Registry& r) {
         kFleetRecoveries, kFleetRetired, kFleetFaultsInjected,
         kWardCodesConsumed, kWardEventsConsumed, kWardEscalations,
         kHospitalEpochs, kHospitalSnapshotsWritten, kHospitalSnapshotsSkipped,
-        kShardMirrorPublishes}) {
+        kShardMirrorPublishes, kGatewayFramesMuxed, kGatewayFramesDemuxed,
+        kGatewayBytesSent, kGatewayBytesReceived, kGatewayBackpressureBlocks,
+        kGatewayEnvelopesDropped, kGatewayCodesDropped, kGatewayCrcErrors,
+        kGatewayResyncs, kGatewayLostEnvelopes, kGatewayRecorderBytes}) {
     (void)r.counter(name);
   }
   for (const char* name :
@@ -254,7 +257,8 @@ void register_standard_instruments(Registry& r) {
         kModulatorBankLanes, kSweepThreads, kPoolPeakQueueDepth, kPoolQueueDepth,
         kMonitorLastSqi, kMonitorAlarmLatencyS, kFleetSessionsActive,
         kWardAlarmsActive, kHospitalShards, kHospitalShardsActive,
-        kHospitalCodesConsumed, kHospitalAlarmsActive}) {
+        kHospitalCodesConsumed, kHospitalAlarmsActive, kGatewayChannels,
+        kGatewayReplaySpeedup}) {
     (void)r.gauge(name);
   }
   static constexpr double kStrandBounds[] = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0,

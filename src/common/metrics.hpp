@@ -260,6 +260,21 @@ inline constexpr const char* kHospitalAlarmsActive = "hospital.alarms_active";
 inline constexpr const char* kHospitalSnapshotWall = "hospital.snapshot_wall";
 inline constexpr const char* kShardMirrorPublishes = "shard.mirror_publishes";
 inline constexpr const char* kShardEpochWall = "shard.epoch_wall";
+// Streaming gateway (GatewayMux/GatewayDemux/SessionRecorder/SessionReplayer;
+// see docs/GATEWAY.md)
+inline constexpr const char* kGatewayFramesMuxed = "gateway.frames_muxed";
+inline constexpr const char* kGatewayFramesDemuxed = "gateway.frames_demuxed";
+inline constexpr const char* kGatewayBytesSent = "gateway.bytes_sent";
+inline constexpr const char* kGatewayBytesReceived = "gateway.bytes_received";
+inline constexpr const char* kGatewayBackpressureBlocks = "gateway.backpressure_blocks";
+inline constexpr const char* kGatewayEnvelopesDropped = "gateway.envelopes_dropped";
+inline constexpr const char* kGatewayCodesDropped = "gateway.codes_dropped";
+inline constexpr const char* kGatewayCrcErrors = "gateway.crc_errors";
+inline constexpr const char* kGatewayResyncs = "gateway.resyncs";
+inline constexpr const char* kGatewayLostEnvelopes = "gateway.lost_envelopes";
+inline constexpr const char* kGatewayChannels = "gateway.channels";
+inline constexpr const char* kGatewayRecorderBytes = "gateway.recorder_bytes";
+inline constexpr const char* kGatewayReplaySpeedup = "gateway.replay_speedup";
 }  // namespace names
 
 /// Pre-registers the full canonical instrument set in `r` (all zero until

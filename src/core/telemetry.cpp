@@ -8,10 +8,14 @@
 namespace tono::core {
 namespace {
 
-constexpr std::size_t kHeaderBytes = 6;  // sync(2) + flags(1) + seq(2) + count(1)
-constexpr std::size_t kCrcBytes = 2;
+// The public sizing helpers (telemetry.hpp) under the names this file has
+// always used.
+constexpr std::size_t kHeaderBytes = kFrameHeaderBytes;
+constexpr std::size_t kCrcBytes = kFrameCrcBytes;
 
-std::size_t payload_bytes(std::size_t n_samples) { return (n_samples * 12 + 7) / 8; }
+constexpr std::size_t payload_bytes(std::size_t n_samples) {
+  return frame_payload_bytes(n_samples);
+}
 
 }  // namespace
 

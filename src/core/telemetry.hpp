@@ -33,6 +33,18 @@ inline constexpr std::uint8_t kFrameSync1 = 0x5A;
 inline constexpr std::size_t kMaxSamplesPerFrame = 80;
 inline constexpr std::uint8_t kProtocolVersion = 1;
 
+/// Exact wire sizing of one frame. The gateway envelope layer
+/// (src/gateway/) wraps whole frames in per-session channel envelopes and
+/// needs these to size, validate and account envelopes byte-exactly.
+inline constexpr std::size_t kFrameHeaderBytes = 6;  // sync(2)+version(1)+seq(2)+count(1)
+inline constexpr std::size_t kFrameCrcBytes = 2;
+[[nodiscard]] constexpr std::size_t frame_payload_bytes(std::size_t n_samples) noexcept {
+  return (n_samples * 12 + 7) / 8;
+}
+[[nodiscard]] constexpr std::size_t frame_wire_bytes(std::size_t n_samples) noexcept {
+  return kFrameHeaderBytes + frame_payload_bytes(n_samples) + kFrameCrcBytes;
+}
+
 /// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection).
 [[nodiscard]] std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) noexcept;
 

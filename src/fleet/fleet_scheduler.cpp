@@ -283,6 +283,11 @@ std::size_t FleetScheduler::step_all(double until_s) {
     }
   }
 
+  // Production barrier: every batch task has returned. The gateway pump
+  // (set_batch_hook) delivers this batch's wire traffic into the session
+  // rings here, before the ward's final drain and escalation below.
+  if (batch_hook_) batch_hook_();
+
   std::size_t stepped = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Slot& slot = *batch[i];

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -133,6 +134,16 @@ class FleetScheduler {
   /// Batches ticked so far (every step_all call counts, stepped or empty).
   [[nodiscard]] std::uint64_t batches() const noexcept { return batch_index_; }
 
+  /// Barrier hook: runs on the caller thread inside every non-empty
+  /// step_all(), after the production barrier (all batch steps done) and
+  /// before lifecycle processing and the final drain/settle. The gateway
+  /// integration (docs/GATEWAY.md) pumps its demux here — codes that
+  /// crossed the wire this batch are delivered into the session rings
+  /// before the ward consumes and escalates, which is what keeps
+  /// gateway-fed runs bit-identical to direct-publish runs. Runtime wiring
+  /// only: never serialized with the scheduler.
+  void set_batch_hook(std::function<void()> hook) { batch_hook_ = std::move(hook); }
+
   /// Checkpoint accounting for the readmission path: blobs captured from
   /// quarantined sessions, blobs successfully restored into fresh sessions,
   /// and blobs rejected by validation (the session then resumes in place).
@@ -177,6 +188,7 @@ class FleetScheduler {
 
   FleetConfig config_;
   WardAggregator& ward_;
+  std::function<void()> batch_hook_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when threads == 1
   std::vector<Slot> sessions_;
   std::uint64_t batch_index_{0};

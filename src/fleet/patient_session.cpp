@@ -208,11 +208,28 @@ void PatientSession::make_stream_() {
 
 void PatientSession::step(std::size_t frames) {
   if (!admitted_) admit();
-  if (frames == 0) return;
+  // External ingest (gateway replay): admission above is the whole step —
+  // codes arrive via ingest_codes() and advance stream time there.
+  if (config_.external_ingest || frames == 0) return;
   apply_due_faults_();
   auto& pipeline = inner_->pipeline();
   const auto samples = pipeline.acquire_block(effective_field_, frames);
-  if (link_decoder_ == nullptr) {
+  if (config_.code_sink) {
+    // Gateway mode: hand the surviving codes to the wire instead of
+    // publishing locally; the demux delivers them back via ingest_codes()
+    // at the batch barrier. A link-burst plan still corrupts first — the
+    // sink sees only what survived the simulated USB hop.
+    sink_scratch_.clear();
+    if (link_decoder_ == nullptr) {
+      sink_scratch_.reserve(samples.size());
+      for (const auto& s : samples) {
+        sink_scratch_.push_back(static_cast<std::int16_t>(s.code));
+      }
+    } else {
+      link_roundtrip_(samples, sink_scratch_);
+    }
+    config_.code_sink(id_, sink_scratch_);
+  } else if (link_decoder_ == nullptr) {
     for (const auto& s : samples) {
       (void)codes_.push(static_cast<std::int16_t>(s.code), config_.code_policy);
       // The streaming monitor's callbacks fire inside push(): beats and
@@ -220,9 +237,31 @@ void PatientSession::step(std::size_t frames) {
       stream_->push(calibration_.to_mmhg(s.value));
     }
   } else {
-    publish_via_link_(samples);
+    sink_scratch_.clear();
+    link_roundtrip_(samples, sink_scratch_);
+    const int bits = config_.chip.decimation.output_bits;
+    for (const std::int16_t code : sink_scratch_) {
+      (void)codes_.push(code, config_.code_policy);
+      stream_->push(calibration_.to_mmhg(dequantize_from_bits(code, bits)));
+    }
   }
   frames_produced_ += frames;
+}
+
+void PatientSession::ingest_codes(std::span<const std::int16_t> codes) {
+  if (!admitted_) {
+    throw std::runtime_error{
+        "PatientSession: ingest_codes before admission (gateway pump must "
+        "run after the session's first step)"};
+  }
+  const int bits = config_.chip.decimation.output_bits;
+  for (const std::int16_t code : codes) {
+    (void)codes_.push(code, config_.code_policy);
+    stream_->push(calibration_.to_mmhg(dequantize_from_bits(code, bits)));
+  }
+  // Gateway-live sessions advanced stream time in step() when they
+  // acquired; only an externally-fed session advances it on delivery.
+  if (config_.external_ingest) frames_produced_ += codes.size();
 }
 
 void PatientSession::apply_due_faults_() {
@@ -296,14 +335,14 @@ void PatientSession::apply_element_fault_(const FaultEvent& event) {
       "fault-plan: no healthy array element left for readout"};
 }
 
-void PatientSession::publish_via_link_(const std::vector<dsp::DecimatedSample>& samples) {
+void PatientSession::link_roundtrip_(const std::vector<dsp::DecimatedSample>& samples,
+                                     std::vector<std::int16_t>& out) {
   // Round-trip every code through the simulated Fig. 3 USB link. Outside
   // burst windows this is bit-identical to direct publishing: the decimated
   // value is dequantize_from_bits(code, output_bits) by construction, so the
   // decoder-side rebuild reproduces it exactly. Inside a burst the injector
   // corrupts frames and the decoder's CRC/resync accounting drops them —
   // counted losses, never wrong samples.
-  const int bits = config_.chip.decimation.output_bits;
   const double rate = output_rate_hz();
   std::vector<std::int16_t> chunk;
   std::size_t i = 0;
@@ -320,10 +359,7 @@ void PatientSession::publish_via_link_(const std::vector<dsp::DecimatedSample>& 
       (void)link_injector_->corrupt(wire);
     }
     for (const auto& frame : link_decoder_->push(wire)) {
-      for (const std::int16_t code : frame.samples) {
-        (void)codes_.push(code, config_.code_policy);
-        stream_->push(calibration_.to_mmhg(dequantize_from_bits(code, bits)));
-      }
+      out.insert(out.end(), frame.samples.begin(), frame.samples.end());
     }
     i += n;
   }

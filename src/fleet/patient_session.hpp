@@ -23,7 +23,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -114,6 +116,18 @@ struct SessionConfig {
   /// it (docs/FLEET.md determinism contract).
   FaultPlanConfig fault_plan{};
   std::vector<FaultEvent> manual_faults{};
+  /// Gateway wiring (src/gateway/, docs/GATEWAY.md). When set, step() hands
+  /// the block's surviving 12-bit codes to the sink instead of publishing
+  /// them locally; the gateway demux delivers what crossed the wire back
+  /// via ingest_codes() at the batch barrier. Lives in the config so a
+  /// checkpoint-readmitted replacement session keeps its wiring.
+  std::function<void(std::uint32_t, std::span<const std::int16_t>)> code_sink{};
+  /// External code source (gateway replay): after admission — which runs
+  /// normally, so calibration stays deterministic — step() never acquires
+  /// from the pipeline; codes arrive only through ingest_codes(). The fault
+  /// machinery stays disengaged: a recorded stream already embodies
+  /// whatever faults shaped it.
+  bool external_ingest{false};
 };
 
 class PatientSession {
@@ -136,6 +150,15 @@ class PatientSession {
   /// events ring. Must only run on one thread at a time (the scheduler
   /// guarantees one task per session per batch).
   void step(std::size_t frames);
+
+  /// Delivers codes that arrived over the gateway wire: pushes each to the
+  /// codes ring (session code_policy) and feeds the streaming monitor via
+  /// dequantize + calibration — bit-identical to the direct path, because
+  /// the decimated value IS dequantize_from_bits(code, output_bits) by
+  /// construction. Under external_ingest this also advances stream time.
+  /// Requires an admitted session (the scheduler admits on first step, and
+  /// the gateway pump runs only at batch barriers, after that step).
+  void ingest_codes(std::span<const std::int16_t> codes);
 
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
   [[nodiscard]] const SessionConfig& config() const noexcept { return config_; }
@@ -202,7 +225,11 @@ class PatientSession {
   void apply_due_faults_();
   void apply_fault_(const FaultEvent& event);
   void apply_element_fault_(const FaultEvent& event);
-  void publish_via_link_(const std::vector<dsp::DecimatedSample>& samples);
+  /// Round-trips `samples` through the simulated USB link (encoder →
+  /// injector → decoder), appending every surviving code to `out` —
+  /// counted losses, never wrong samples.
+  void link_roundtrip_(const std::vector<dsp::DecimatedSample>& samples,
+                       std::vector<std::int16_t>& out);
   [[nodiscard]] bool link_burst_active_(double stream_s) const noexcept;
 
   std::uint32_t id_;
@@ -232,6 +259,7 @@ class PatientSession {
   std::unique_ptr<core::FrameEncoder> link_encoder_;
   std::unique_ptr<core::FrameDecoder> link_decoder_;
   std::unique_ptr<core::LinkFaultInjector> link_injector_;
+  std::vector<std::int16_t> sink_scratch_;  ///< per-step scratch, never serialized
   metrics::Counter* faults_injected_metric_;
 };
 

@@ -1,0 +1,54 @@
+#include "src/gateway/transport.hpp"
+
+namespace tono::gateway {
+
+LoopbackTransport::LoopbackTransport(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes == 0 ? 1 : capacity_bytes) {}
+
+bool LoopbackTransport::try_send(std::span<const std::uint8_t> chunk) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  if (!queue_.empty() && queued_bytes_ + chunk.size() > capacity_bytes_) {
+    return false;
+  }
+  queue_.emplace_back(chunk.begin(), chunk.end());
+  queued_bytes_ += chunk.size();
+  return true;
+}
+
+std::vector<std::uint8_t> LoopbackTransport::drop_oldest() {
+  std::lock_guard<std::mutex> lock{mutex_};
+  if (queue_.empty()) return {};
+  std::vector<std::uint8_t> dropped = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= dropped.size();
+  return dropped;
+}
+
+std::size_t LoopbackTransport::recv(std::vector<std::uint8_t>& out) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  std::size_t appended = 0;
+  for (const auto& chunk : queue_) {
+    out.insert(out.end(), chunk.begin(), chunk.end());
+    appended += chunk.size();
+  }
+  queue_.clear();
+  queued_bytes_ = 0;
+  return appended;
+}
+
+void LoopbackTransport::close() {
+  std::lock_guard<std::mutex> lock{mutex_};
+  closed_ = true;
+}
+
+bool LoopbackTransport::closed() const noexcept {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return closed_;
+}
+
+std::size_t LoopbackTransport::queued_bytes() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return queued_bytes_;
+}
+
+}  // namespace tono::gateway

@@ -1,0 +1,86 @@
+// transport.hpp — the wire under the gateway (docs/GATEWAY.md).
+//
+// The paper's Fig. 3 link ("an interface (USB) to a computer system") is a
+// byte pipe; everything the gateway promises — determinism, backpressure
+// mapping, exact drop accounting — is built on this minimal interface. Two
+// implementations ship:
+//
+//   * LoopbackTransport — an in-process bounded byte queue. The reference
+//     wire: clean, deterministic, and the only transport that can *shed*
+//     load (drop_oldest), which is what maps the codes-ring kDropOldest
+//     policy onto the wire.
+//   * TcpTransport (tcp_transport.hpp) — a real localhost/network socket.
+//     Lossless by construction (the kernel either buffers or blocks the
+//     writer), so it only supports the kBlock mapping.
+//
+// Chunks, not bytes: the mux hands the transport whole channel envelopes.
+// A transport may coalesce chunks on the receive side (TCP does), but a
+// shedding transport drops *whole* envelopes — that is what keeps drop
+// accounting exact (an envelope's header carries its code count) and the
+// demux parser free of torn-envelope states on the loopback path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace tono::gateway {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sender side: enqueues one whole wire chunk (a channel envelope).
+  /// Returns false when the transport is saturated and accepting the chunk
+  /// would require either waiting or shedding — the caller (GatewayMux)
+  /// decides which, per its backpressure policy.
+  [[nodiscard]] virtual bool try_send(std::span<const std::uint8_t> chunk) = 0;
+
+  /// Sheds the oldest queued chunk to make room, returning its bytes so the
+  /// caller can account exactly what was lost. Empty when nothing can be
+  /// shed — a lossless transport, or an already-empty queue.
+  [[nodiscard]] virtual std::vector<std::uint8_t> drop_oldest() = 0;
+
+  /// True when this transport can never lose a chunk (drop_oldest is a
+  /// no-op and try_send == false means "wait", not "shed").
+  [[nodiscard]] virtual bool lossless() const noexcept = 0;
+
+  /// Receiver side: appends every currently available byte to `out`.
+  /// Returns the byte count appended (0 = nothing pending right now).
+  virtual std::size_t recv(std::vector<std::uint8_t>& out) = 0;
+
+  /// Sender-side end-of-stream. After close(), recv() drains what is queued
+  /// and then reports 0 with closed() true.
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool closed() const noexcept = 0;
+};
+
+/// In-process wire: a mutex-guarded bounded queue of envelope chunks.
+/// try_send refuses once `capacity_bytes` of envelopes are queued — except
+/// for the first chunk, which is always accepted so an envelope larger than
+/// the whole capacity degrades to lockstep instead of wedging forever.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(std::size_t capacity_bytes = 1 << 20);
+
+  [[nodiscard]] bool try_send(std::span<const std::uint8_t> chunk) override;
+  [[nodiscard]] std::vector<std::uint8_t> drop_oldest() override;
+  [[nodiscard]] bool lossless() const noexcept override { return false; }
+  std::size_t recv(std::vector<std::uint8_t>& out) override;
+  void close() override;
+  [[nodiscard]] bool closed() const noexcept override;
+
+  [[nodiscard]] std::size_t queued_bytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::vector<std::uint8_t>> queue_;
+  std::size_t queued_bytes_{0};
+  std::size_t capacity_bytes_;
+  bool closed_{false};
+};
+
+}  // namespace tono::gateway

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/checkpoint.hpp"
 #include "src/common/rng.hpp"
 
 namespace tono::core {
@@ -179,6 +180,59 @@ TEST(TelemetryFuzz, SequenceWrapsWithoutPhantomLoss) {
   EXPECT_EQ(decoded, kFrames);
   EXPECT_EQ(dec.stats().frames_ok, kFrames);
   EXPECT_EQ(dec.stats().lost_frames, 0u) << "wrap misread as a 65535-frame gap";
+  EXPECT_EQ(dec.stats().crc_errors, 0u);
+  EXPECT_EQ(dec.stats().resyncs, 0u);
+}
+
+TEST(TelemetryFuzz, FrameDropsAcrossTheWrapAreCountedExactly) {
+  // Park the encoder just below the wrap via its checkpoint hook, so the
+  // whole run straddles 0xFFFF → 0x0000, then drop frames with a seeded
+  // injector: the decoder's gap arithmetic must count every vanished frame
+  // exactly once, wrap included.
+  FrameEncoder enc;
+  {
+    CheckpointWriter out;
+    out.section("frame_encoder");
+    out.u16(65536 - 400);
+    const auto blob = out.finish(1);
+    CheckpointReader in{blob};
+    enc.restore(in);
+  }
+  FrameDecoder dec;
+  Rng rng{0xD20BEEF};
+  LinkFaultConfig config;
+  config.drop_prob = 0.3;  // drop-only: the one fault class with exact gaps
+  config.bit_flip_prob = 0.0;
+  config.truncate_prob = 0.0;
+  config.garbage_prob = 0.0;
+  LinkFaultInjector injector{config, 0xF417};
+
+  constexpr std::size_t kFrames = 800;
+  std::size_t dropped = 0;
+  std::size_t decoded = 0;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    const std::uint16_t expected_seq =
+        static_cast<std::uint16_t>(65536 - 400 + i);
+    const auto payload = random_samples(rng, 1 + rng.uniform_below(16));
+    auto wire = enc.encode(payload);
+    // Keep the endpoints: a dropped first frame precedes any sequence
+    // baseline and dropped trailing frames leave no gap to observe, so
+    // neither can be counted — exactness is only defined between them.
+    if (i != 0 && i + 1 != kFrames && injector.corrupt(wire)) {
+      ++dropped;
+      continue;
+    }
+    for (const auto& f : push_chunked(dec, wire, rng)) {
+      EXPECT_EQ(f.sequence, expected_seq) << i;
+      EXPECT_EQ(f.samples, payload) << i;
+      ++decoded;
+    }
+  }
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(decoded, kFrames - dropped);
+  EXPECT_EQ(dec.stats().frames_ok, decoded);
+  EXPECT_EQ(dec.stats().lost_frames, dropped)
+      << "gap accounting drifted across the sequence wrap";
   EXPECT_EQ(dec.stats().crc_errors, 0u);
   EXPECT_EQ(dec.stats().resyncs, 0u);
 }
