@@ -1,0 +1,189 @@
+#include "src/bio/population.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+
+namespace tono::bio {
+namespace {
+
+/// Age-band cohort label (the roll-up key WardAggregator grades by).
+std::string age_cohort(double age_years) {
+  if (age_years < 40.0) return "age18-39";
+  if (age_years < 60.0) return "age40-59";
+  if (age_years < 75.0) return "age60-74";
+  return "age75plus";
+}
+
+/// Retarget a preset profile's keyframes to a member's baseline: diastolic
+/// is shifted, pulse pressure is scaled, heart rate is scaled. Shapes (the
+/// transition timing) are the family's; levels are the member's. Pulse
+/// pressure stays positive under scaling, so the result is always a valid
+/// profile.
+ScenarioProfile personalize(const ScenarioProfile& base, double dia_mmhg, double pp_mmhg,
+                            double hr_bpm, std::string name) {
+  const auto& frames = base.keyframes();
+  const double base_dia = frames.front().diastolic_mmhg;
+  const double base_pp = frames.front().systolic_mmhg - base_dia;
+  const double base_hr = frames.front().heart_rate_bpm;
+  const double dia_offset = dia_mmhg - base_dia;
+  const double pp_ratio = pp_mmhg / base_pp;
+  const double hr_ratio = hr_bpm / base_hr;
+  std::vector<ScenarioKeyframe> out;
+  out.reserve(frames.size());
+  for (const auto& f : frames) {
+    const double dia = std::max(f.diastolic_mmhg + dia_offset, 30.0);
+    const double pp = (f.systolic_mmhg - f.diastolic_mmhg) * pp_ratio;
+    const double hr = std::clamp(f.heart_rate_bpm * hr_ratio, 35.0, 245.0);
+    out.push_back(ScenarioKeyframe{f.time_s, dia + pp, dia, hr});
+  }
+  return ScenarioProfile{std::move(out), std::move(name)};
+}
+
+}  // namespace
+
+const char* to_string(ScenarioFamily family) noexcept {
+  switch (family) {
+    case ScenarioFamily::kRest: return "rest";
+    case ScenarioFamily::kExercise: return "exercise";
+    case ScenarioFamily::kHypotensive: return "hypotensive";
+    case ScenarioFamily::kArrhythmia: return "arrhythmia";
+    case ScenarioFamily::kCuffDrift: return "cuff-drift";
+    case ScenarioFamily::kSensorAging: return "sensor-aging";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<const ScenarioProfile> ScenarioConfig::make_profile() const {
+  const double dia = pulse.diastolic_mmhg;
+  const double pp = pulse.systolic_mmhg - pulse.diastolic_mmhg;
+  const double hr = pulse.heart_rate_bpm;
+  const double dur = scenario_duration_s;
+  switch (family) {
+    case ScenarioFamily::kRest:
+      return std::make_shared<ScenarioProfile>(
+          std::vector<ScenarioKeyframe>{
+              ScenarioKeyframe{0.0, dia + pp, dia, hr},
+              ScenarioKeyframe{dur, dia + pp, dia, hr},
+          },
+          "rest");
+    case ScenarioFamily::kExercise:
+      return std::make_shared<ScenarioProfile>(
+          personalize(ScenarioProfile::exercise(dur), dia, pp, hr, "exercise"));
+    case ScenarioFamily::kHypotensive:
+      return std::make_shared<ScenarioProfile>(personalize(
+          ScenarioProfile::hypotensive_episode(dur), dia, pp, hr, "hypotensive-episode"));
+    case ScenarioFamily::kArrhythmia:
+      return std::make_shared<ScenarioProfile>(
+          personalize(ScenarioProfile::arrhythmia_train(dur), dia, pp, hr, "arrhythmia-train"));
+    case ScenarioFamily::kCuffDrift:
+      return std::make_shared<ScenarioProfile>(personalize(
+          ScenarioProfile::cuff_recalibration_drift(dur), dia, pp, hr,
+          "cuff-recalibration-drift"));
+    case ScenarioFamily::kSensorAging:
+      return std::make_shared<ScenarioProfile>(
+          personalize(ScenarioProfile::sensor_aging(dur), dia, pp, hr, "sensor-aging"));
+  }
+  throw std::logic_error{"ScenarioConfig: unknown family"};
+}
+
+PopulationGenerator::PopulationGenerator(PopulationConfig config) : config_(config) {
+  if (!(config_.age_min_years < config_.age_max_years)) {
+    throw std::invalid_argument{"PopulationGenerator: age_min must be < age_max"};
+  }
+  if (config_.scenario_duration_s <= 0.0) {
+    throw std::invalid_argument{"PopulationGenerator: scenario duration must be > 0"};
+  }
+  const double weights[] = {config_.weight_rest,       config_.weight_exercise,
+                            config_.weight_hypotensive, config_.weight_arrhythmia,
+                            config_.weight_cuff_drift,  config_.weight_sensor_aging};
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument{"PopulationGenerator: negative family weight"};
+  }
+}
+
+ScenarioConfig PopulationGenerator::member(std::size_t index) const {
+  // Exactly the SweepRunner trial-stream derivation: base → named stream →
+  // per-index fork. Pure in (config, index) by construction.
+  Rng rng = Rng{config_.seed}.fork_named("population").fork(index);
+
+  ScenarioConfig m;
+  m.member_index = index;
+  m.scenario_duration_s = config_.scenario_duration_s;
+
+  // --- Demographics → physiology (fixed draw order; see header contract).
+  m.age_years = rng.uniform(config_.age_min_years, config_.age_max_years);
+  m.cohort = age_cohort(m.age_years);
+  const double age_frac =
+      std::clamp((m.age_years - 18.0) / (90.0 - 18.0), 0.0, 1.0);
+  m.stiffness = std::clamp(0.10 + 0.80 * age_frac + 0.12 * rng.gaussian(), 0.02, 0.98);
+
+  // Baseline BP rises with stiffness, pulse pressure widens (aortic
+  // stiffening), resting HR and HRV fall.
+  double pp = std::clamp(34.0 + 28.0 * m.stiffness + 4.0 * rng.gaussian(), 25.0, 75.0);
+  double dia = std::clamp(70.0 + 12.0 * m.stiffness + 5.0 * rng.gaussian(), 48.0, 95.0);
+  double hr = std::clamp(77.0 - 10.0 * m.stiffness + 9.0 * rng.gaussian(), 45.0, 115.0);
+
+  m.pulse.diastolic_mmhg = dia;
+  m.pulse.systolic_mmhg = dia + pp;
+  m.pulse.heart_rate_bpm = hr;
+  m.pulse.hrv_jitter =
+      std::clamp(0.050 - 0.035 * m.stiffness + 0.012 * rng.gaussian(), 0.005, 0.090);
+  m.pulse.rsa_depth = std::clamp(0.040 - 0.025 * m.stiffness, 0.008, 0.050);
+  // Stiff arteries reflect early and strongly (same mechanism as the
+  // elderly_stiff preset, but continuous in the stiffness index).
+  m.pulse.morphology.lobes[1].amplitude = 0.38 + 0.28 * m.stiffness;
+  m.pulse.morphology.lobes[1].center_phase = 0.33 - 0.06 * m.stiffness;
+
+  // --- Scenario family (weighted pick, one uniform draw).
+  const std::array<double, kScenarioFamilyCount> weights = {
+      config_.weight_rest,       config_.weight_exercise, config_.weight_hypotensive,
+      config_.weight_arrhythmia, config_.weight_cuff_drift, config_.weight_sensor_aging};
+  double total = 0.0;
+  for (double w : weights) total += w;
+  const double pick = rng.uniform() * total;
+  m.family = ScenarioFamily::kRest;
+  double acc = 0.0;
+  for (std::size_t f = 0; f < weights.size(); ++f) {
+    acc += weights[f];
+    if (total > 0.0 && pick < acc) {
+      m.family = static_cast<ScenarioFamily>(f);
+      break;
+    }
+  }
+
+  // --- Family- and member-specific colour. The draws below run for every
+  // member (not just the families that use them) so the draw sequence —
+  // and with it every later value — is independent of which family the
+  // weights selected.
+  const double af_draw = rng.uniform();
+  const double motion_draw = rng.uniform();
+  if (m.family == ScenarioFamily::kArrhythmia) {
+    m.pulse.af_irregularity = 0.12 + 0.18 * af_draw;
+    m.pulse.hrv_jitter = std::max(m.pulse.hrv_jitter, 0.06);
+  }
+  if (m.family == ScenarioFamily::kSensorAging) {
+    m.pulse.drift_mmhg_per_sqrt_s = 0.30;  // an aging transducer drifts harder
+  }
+
+  m.artifacts.wander_mmhg_per_sqrt_s = 0.20 + 0.30 * motion_draw;
+  m.artifacts.spike_rate_hz = 0.02 + 0.06 * motion_draw;
+  m.enable_artifacts = config_.enable_artifacts;
+
+  // --- Stream seeds, last: one per consumer.
+  m.seed = rng.next_u64();
+  m.pulse.seed = rng.next_u64();
+  m.artifacts.seed = rng.next_u64();
+  return m;
+}
+
+std::vector<ScenarioConfig> PopulationGenerator::generate(std::size_t count) const {
+  std::vector<ScenarioConfig> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(member(i));
+  return out;
+}
+
+}  // namespace tono::bio

@@ -1,0 +1,105 @@
+// population.hpp — seeded patient-population generator.
+//
+// The paper validates one test person (§3.2); a production fleet has to
+// hold up across *populations*. This module draws per-session scenario
+// configurations from age/stiffness/heart-rate/HRV/artifact distributions,
+// so validation sweeps (examples/validation_report) can grade the pipeline
+// over thousands of distinct-but-reproducible synthetic patients.
+//
+// Determinism contract: `member(i)` is a pure function of
+// (PopulationConfig, i). Seeds are forked exactly the way SweepRunner
+// derives trial streams — `Rng{seed}.fork_named("population").fork(i)` —
+// so the same population comes out bit-identical regardless of thread
+// count, shard layout, or the order members are materialized in.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bio/artifacts.hpp"
+#include "src/bio/pulse_generator.hpp"
+#include "src/bio/scenario.hpp"
+
+namespace tono::bio {
+
+/// Scenario families a population member can be assigned to. kRest holds
+/// the member's baseline; the rest layer the shipped ScenarioProfile
+/// presets, retargeted to the member's own baseline physiology.
+enum class ScenarioFamily : std::uint8_t {
+  kRest = 0,
+  kExercise,
+  kHypotensive,
+  kArrhythmia,
+  kCuffDrift,
+  kSensorAging,
+};
+
+inline constexpr std::size_t kScenarioFamilyCount = 6;
+
+[[nodiscard]] const char* to_string(ScenarioFamily family) noexcept;
+
+/// One fully resolved population member: everything a session needs to
+/// run and to be graded (the per-beat truth comes from the generator the
+/// pulse config seeds).
+struct ScenarioConfig {
+  std::size_t member_index{0};
+  /// Per-member session seed (drives the session's chip/pulse/artifact
+  /// stream derivation, same role as SessionConfig::seed).
+  std::uint64_t seed{0};
+  ScenarioFamily family{ScenarioFamily::kRest};
+  /// Age-band cohort label for fleet roll-ups ("age18-39", ... "age75plus").
+  std::string cohort;
+  double age_years{45.0};
+  /// Arterial stiffness index in [0, 1] (drives baseline BP, pulse
+  /// pressure, HRV decline and the reflected-wave morphology).
+  double stiffness{0.3};
+  double scenario_duration_s{120.0};
+  /// Baseline physiology, morphology and variability, fully resolved.
+  PulseConfig pulse;
+  /// Motion/contact artefact model for the member (sessions opt in via
+  /// enable_artifacts).
+  ArtifactConfig artifacts;
+  bool enable_artifacts{false};
+
+  /// The member's scenario profile: the family preset retargeted to the
+  /// member's baseline (kRest = flat hold at baseline).
+  [[nodiscard]] std::shared_ptr<const ScenarioProfile> make_profile() const;
+};
+
+struct PopulationConfig {
+  std::uint64_t seed{0x70A05EEDull};
+  double age_min_years{18.0};
+  double age_max_years{90.0};
+  double scenario_duration_s{120.0};
+  /// Relative family weights (normalized internally; all-zero falls back
+  /// to kRest).
+  double weight_rest{0.30};
+  double weight_exercise{0.18};
+  double weight_hypotensive{0.12};
+  double weight_arrhythmia{0.14};
+  double weight_cuff_drift{0.13};
+  double weight_sensor_aging{0.13};
+  bool enable_artifacts{false};
+};
+
+class PopulationGenerator {
+ public:
+  explicit PopulationGenerator(PopulationConfig config);
+
+  /// Pure function of (config, index): materializing member 7 never
+  /// depends on whether members 0..6 were generated, on which thread, or
+  /// in which shard.
+  [[nodiscard]] ScenarioConfig member(std::size_t index) const;
+
+  /// Convenience: members [0, count).
+  [[nodiscard]] std::vector<ScenarioConfig> generate(std::size_t count) const;
+
+  [[nodiscard]] const PopulationConfig& config() const noexcept { return config_; }
+
+ private:
+  PopulationConfig config_;
+};
+
+}  // namespace tono::bio

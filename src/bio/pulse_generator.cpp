@@ -17,17 +17,19 @@ ArterialPulseGenerator::ArterialPulseGenerator(const PulseConfig& config)
   if (config_.heart_rate_bpm <= 20.0 || config_.heart_rate_bpm > 250.0) {
     throw std::invalid_argument{"ArterialPulseGenerator: implausible heart rate"};
   }
-  start_new_beat();
-  beat_start_s_ = 0.0;
+  start_new_beat(0.0);
 }
 
-void ArterialPulseGenerator::start_new_beat() {
-  // Nominal interval modulated by Mayer wave, RSA and white jitter.
+void ArterialPulseGenerator::start_new_beat(double onset_s) {
+  // Nominal interval modulated by Mayer wave, RSA and white jitter. All
+  // slow-wave phases are evaluated at the beat's scheduled onset (not the
+  // sampling clock), so a large dt that spans several beats produces the
+  // same beat train as fine-grained stepping would.
   const double nominal = 60.0 / config_.heart_rate_bpm;
   const double mayer =
-      config_.mayer_depth * std::sin(units::two_pi * config_.mayer_freq_hz * time_s_);
+      config_.mayer_depth * std::sin(units::two_pi * config_.mayer_freq_hz * onset_s);
   const double rsa =
-      config_.rsa_depth * std::sin(units::two_pi * config_.respiration_freq_hz * time_s_);
+      config_.rsa_depth * std::sin(units::two_pi * config_.respiration_freq_hz * onset_s);
   const double jitter = config_.hrv_jitter * rng_.gaussian();
   double interval = nominal * (1.0 + mayer + rsa + jitter);
   // AF-like rhythm: large uniform interval spread on top of the modulation.
@@ -37,13 +39,13 @@ void ArterialPulseGenerator::start_new_beat() {
   interval = std::max(interval, 0.3 * nominal);
   const double prev_interval = beat_interval_s_;
   beat_interval_s_ = interval;
-  beat_start_s_ = time_s_;
+  beat_start_s_ = onset_s;
 
   // Per-beat pressure setpoints: respiration modulates pulse pressure;
   // drift moves both endpoints.
   const double resp_pp =
       1.0 + config_.respiration_pp_depth *
-                std::sin(units::two_pi * config_.respiration_freq_hz * time_s_);
+                std::sin(units::two_pi * config_.respiration_freq_hz * onset_s);
   double pp = (config_.systolic_mmhg - config_.diastolic_mmhg) * resp_pp;
   if (config_.af_irregularity > 0.0) {
     // Short preceding interval → reduced ventricular filling → weaker beat
@@ -60,6 +62,43 @@ void ArterialPulseGenerator::start_new_beat() {
   cur_n_ = 0;
 }
 
+void ArterialPulseGenerator::close_out_beat() {
+  if (cur_n_ > 0) {
+    push_truth(BeatTruth{beat_start_s_, beat_interval_s_, cur_max_, cur_min_,
+                         cur_sum_ / static_cast<double>(cur_n_)});
+  } else {
+    // No samples landed inside this beat (dt spanned it entirely). It still
+    // happened: record the setpoint truth so per-beat ground truth stays
+    // contiguous instead of silently merging skipped beats into neighbours.
+    const double pp = beat_sys_mmhg_ - beat_dia_mmhg_;
+    push_truth(BeatTruth{beat_start_s_, beat_interval_s_, beat_sys_mmhg_, beat_dia_mmhg_,
+                         beat_dia_mmhg_ + pp / 3.0});
+  }
+}
+
+void ArterialPulseGenerator::push_truth(const BeatTruth& beat) {
+  ++beats_completed_;
+  truth_sum_sys_ += beat.systolic_mmhg;
+  truth_sum_dia_ += beat.diastolic_mmhg;
+  truth_.push_back(beat);
+  if (config_.truth_capacity > 0) {
+    // Amortized trim: let the log overshoot by 25% before one bulk erase,
+    // so the steady-state cost is O(1) per beat, not O(capacity).
+    const std::size_t cap = config_.truth_capacity;
+    if (truth_.size() > cap + cap / 4) {
+      const std::size_t excess = truth_.size() - cap;
+      truth_.erase(truth_.begin(), truth_.begin() + static_cast<std::ptrdiff_t>(excess));
+      truth_dropped_ += excess;
+    }
+  }
+}
+
+std::vector<BeatTruth> ArterialPulseGenerator::drain_truth() {
+  std::vector<BeatTruth> out;
+  out.swap(truth_);
+  return out;
+}
+
 double ArterialPulseGenerator::sample(double dt_s) {
   if (dt_s <= 0.0) throw std::invalid_argument{"ArterialPulseGenerator: dt must be > 0"};
   time_s_ += dt_s;
@@ -67,13 +106,11 @@ double ArterialPulseGenerator::sample(double dt_s) {
   // Drift as a random walk, scaled with sqrt(dt).
   drift_mmhg_ += config_.drift_mmhg_per_sqrt_s * std::sqrt(dt_s) * rng_.gaussian();
 
-  if (time_s_ - beat_start_s_ >= beat_interval_s_) {
-    // Close out the finished beat's ground truth.
-    if (cur_n_ > 0) {
-      truth_.push_back(BeatTruth{beat_start_s_, beat_interval_s_, cur_max_, cur_min_,
-                                 cur_sum_ / static_cast<double>(cur_n_)});
-    }
-    start_new_beat();
+  // Close out *every* beat the step crossed — a dt spanning several beat
+  // intervals must emit each beat's truth, not merge them into one.
+  while (time_s_ - beat_start_s_ >= beat_interval_s_) {
+    close_out_beat();
+    start_new_beat(beat_start_s_ + beat_interval_s_);
   }
 
   const double phase = (time_s_ - beat_start_s_) / beat_interval_s_;
@@ -183,6 +220,10 @@ void ArterialPulseGenerator::serialize(CheckpointWriter& out) const {
   out.f64(cur_max_);
   out.f64(cur_sum_);
   out.size(cur_n_);
+  out.u64(beats_completed_);
+  out.u64(truth_dropped_);
+  out.f64(truth_sum_sys_);
+  out.f64(truth_sum_dia_);
   out.size(truth_.size());
   for (const auto& b : truth_) {
     out.f64(b.onset_s);
@@ -209,6 +250,10 @@ void ArterialPulseGenerator::restore(CheckpointReader& in) {
   cur_max_ = in.f64();
   cur_sum_ = in.f64();
   cur_n_ = in.size();
+  beats_completed_ = in.u64();
+  truth_dropped_ = in.u64();
+  truth_sum_sys_ = in.f64();
+  truth_sum_dia_ = in.f64();
   truth_.resize(in.size());
   for (auto& b : truth_) {
     b.onset_s = in.f64();
@@ -220,17 +265,13 @@ void ArterialPulseGenerator::restore(CheckpointReader& in) {
 }
 
 double ArterialPulseGenerator::mean_systolic_mmhg() const noexcept {
-  if (truth_.empty()) return config_.systolic_mmhg;
-  double acc = 0.0;
-  for (const auto& b : truth_) acc += b.systolic_mmhg;
-  return acc / static_cast<double>(truth_.size());
+  if (beats_completed_ == 0) return config_.systolic_mmhg;
+  return truth_sum_sys_ / static_cast<double>(beats_completed_);
 }
 
 double ArterialPulseGenerator::mean_diastolic_mmhg() const noexcept {
-  if (truth_.empty()) return config_.diastolic_mmhg;
-  double acc = 0.0;
-  for (const auto& b : truth_) acc += b.diastolic_mmhg;
-  return acc / static_cast<double>(truth_.size());
+  if (beats_completed_ == 0) return config_.diastolic_mmhg;
+  return truth_sum_dia_ / static_cast<double>(beats_completed_);
 }
 
 }  // namespace tono::bio

@@ -42,6 +42,11 @@ struct PulseConfig {
   /// pulse pressure varying with the preceding interval (shorter filling
   /// time → weaker beat).
   double af_irregularity{0.0};
+  /// Retained completed-beat truth entries. The log is a bounded window:
+  /// once it exceeds this, the oldest entries are dropped (session means
+  /// keep counting every beat via running sums). 4096 beats ≈ 55 min at
+  /// 72 bpm — far wider than any calibration/report window. 0 = unbounded.
+  std::size_t truth_capacity{4096};
   BeatMorphology morphology{BeatMorphology::radial()};
   std::uint64_t seed{7};
 };
@@ -79,10 +84,23 @@ class ArterialPulseGenerator {
   /// Generates `n` samples at fixed rate into a vector.
   [[nodiscard]] std::vector<double> generate(double sample_rate_hz, std::size_t n);
 
-  /// Ground-truth annotations for all *completed* beats so far.
+  /// Ground-truth annotations for recently completed beats (bounded window
+  /// of the last `truth_capacity` beats; see PulseConfig::truth_capacity).
   [[nodiscard]] const std::vector<BeatTruth>& beat_truth() const noexcept { return truth_; }
 
-  /// Session-level ground truth: mean systolic/diastolic over completed beats.
+  /// Consume-and-clear the retained truth log (validation harness drains
+  /// periodically so long sessions never pay for the window at all).
+  /// Session-level counters and means are unaffected.
+  [[nodiscard]] std::vector<BeatTruth> drain_truth();
+
+  /// Beats completed since construction (drained/dropped ones included).
+  [[nodiscard]] std::uint64_t beats_completed() const noexcept { return beats_completed_; }
+  /// Truth entries evicted from the bounded window (not drained — lost to
+  /// capacity). Nonzero means a consumer fell behind the window.
+  [[nodiscard]] std::uint64_t truth_dropped() const noexcept { return truth_dropped_; }
+
+  /// Session-level ground truth: mean systolic/diastolic over *all*
+  /// completed beats (running sums — unaffected by window eviction/drain).
   [[nodiscard]] double mean_systolic_mmhg() const noexcept;
   [[nodiscard]] double mean_diastolic_mmhg() const noexcept;
 
@@ -91,12 +109,15 @@ class ArterialPulseGenerator {
 
   /// Checkpointing: Rng stream, beat/clock state, setpoints (which
   /// set_targets can retarget at runtime), drift, the current beat's truth
-  /// accumulators and all completed-beat ground truth.
+  /// accumulators, whole-session truth counters and the bounded retained
+  /// truth window (so checkpoints stay O(truth_capacity), not O(runtime)).
   void serialize(CheckpointWriter& out) const;
   void restore(CheckpointReader& in);
 
  private:
-  void start_new_beat();
+  void start_new_beat(double onset_s);
+  void close_out_beat();
+  void push_truth(const BeatTruth& beat);
 
   PulseConfig config_;
   BeatTemplate beat_;
@@ -112,6 +133,11 @@ class ArterialPulseGenerator {
   double cur_max_{-1e9};
   double cur_sum_{0.0};
   std::size_t cur_n_{0};
+  // Running whole-session aggregates, independent of the bounded window.
+  std::uint64_t beats_completed_{0};
+  std::uint64_t truth_dropped_{0};
+  double truth_sum_sys_{0.0};
+  double truth_sum_dia_{0.0};
   std::vector<BeatTruth> truth_;
 };
 

@@ -1,13 +1,14 @@
 #include "src/bio/scenario.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tono::bio {
 
 struct ScenarioProfile::Columns {
   std::vector<double> t;
-  std::vector<double> sys;
   std::vector<double> dia;
+  std::vector<double> pp;
   std::vector<double> hr;
 
   static Columns from(const std::vector<ScenarioKeyframe>& frames) {
@@ -22,28 +23,36 @@ struct ScenarioProfile::Columns {
       if (f.systolic_mmhg <= f.diastolic_mmhg) {
         throw std::invalid_argument{"ScenarioProfile: systolic must exceed diastolic"};
       }
+      if (!(f.heart_rate_bpm > 20.0) || !(f.heart_rate_bpm <= 250.0)) {
+        throw std::invalid_argument{"ScenarioProfile: heart rate must be in (20, 250] bpm"};
+      }
       c.t.push_back(f.time_s);
-      c.sys.push_back(f.systolic_mmhg);
       c.dia.push_back(f.diastolic_mmhg);
+      c.pp.push_back(f.systolic_mmhg - f.diastolic_mmhg);
       c.hr.push_back(f.heart_rate_bpm);
     }
     return c;
   }
 };
 
-ScenarioProfile::ScenarioProfile(const Columns& c, std::string name)
+ScenarioProfile::ScenarioProfile(const std::vector<ScenarioKeyframe>& keyframes,
+                                 const Columns& c, std::string name)
     : name_(std::move(name)),
-      sys_(c.t, c.sys),
+      keyframes_(keyframes),
       dia_(c.t, c.dia),
+      pp_(c.t, c.pp),
       hr_(c.t, c.hr),
       t_min_(c.t.front()),
       t_max_(c.t.back()) {}
 
 ScenarioProfile::ScenarioProfile(std::vector<ScenarioKeyframe> keyframes, std::string name)
-    : ScenarioProfile(Columns::from(keyframes), std::move(name)) {}
+    : ScenarioProfile(keyframes, Columns::from(keyframes), std::move(name)) {}
 
 ScenarioKeyframe ScenarioProfile::at(double t_s) const {
-  return ScenarioKeyframe{t_s, sys_(t_s), dia_(t_s), hr_(t_s)};
+  const double t = std::clamp(t_s, t_min_, t_max_);
+  const double dia = dia_(t);
+  const double pp = std::max(pp_(t), kMinPulsePressureMmhg);
+  return ScenarioKeyframe{t, dia + pp, dia, hr_(t)};
 }
 
 void ScenarioProfile::apply(ArterialPulseGenerator& generator, double t_s) const {
@@ -80,6 +89,56 @@ ScenarioProfile ScenarioProfile::hypotensive_episode(double total_s) {
           ScenarioKeyframe{total_s, 106.0, 70.0, 82.0},
       },
       "hypotensive-episode"};
+}
+
+ScenarioProfile ScenarioProfile::arrhythmia_train(double total_s) {
+  // Two paroxysmal bursts: abrupt rate jumps with pulse pressure narrowed
+  // by the shortened filling time, each reverting to sinus baseline.
+  return ScenarioProfile{
+      {
+          ScenarioKeyframe{0.0, 118.0, 76.0, 72.0},
+          ScenarioKeyframe{0.15 * total_s, 117.0, 76.0, 75.0},
+          ScenarioKeyframe{0.20 * total_s, 104.0, 78.0, 148.0},  // burst 1 onset
+          ScenarioKeyframe{0.30 * total_s, 102.0, 78.0, 142.0},
+          ScenarioKeyframe{0.35 * total_s, 116.0, 77.0, 80.0},   // reversion
+          ScenarioKeyframe{0.55 * total_s, 117.0, 76.0, 74.0},
+          ScenarioKeyframe{0.60 * total_s, 103.0, 79.0, 150.0},  // burst 2 onset
+          ScenarioKeyframe{0.72 * total_s, 101.0, 78.0, 145.0},
+          ScenarioKeyframe{0.78 * total_s, 115.0, 76.0, 82.0},   // reversion
+          ScenarioKeyframe{total_s, 118.0, 76.0, 73.0},
+      },
+      "arrhythmia-train"};
+}
+
+ScenarioProfile ScenarioProfile::cuff_recalibration_drift(double total_s) {
+  // Sawtooth: readings sag over each inter-calibration interval, then snap
+  // back when the cuff re-anchors the offset. Three calibration cycles.
+  constexpr int kCycles = 3;
+  const double cycle_s = total_s / kCycles;
+  std::vector<ScenarioKeyframe> frames;
+  frames.push_back(ScenarioKeyframe{0.0, 122.0, 80.0, 70.0});
+  for (int k = 1; k <= kCycles; ++k) {
+    const double t_recal = k * cycle_s;
+    // Bottom of the sag just before recalibration, then the fast snap-back.
+    frames.push_back(ScenarioKeyframe{t_recal - 0.02 * cycle_s, 113.5, 73.5, 71.0});
+    frames.push_back(ScenarioKeyframe{t_recal, 122.0, 80.0, 70.0});
+  }
+  return ScenarioProfile{std::move(frames), "cuff-recalibration-drift"};
+}
+
+ScenarioProfile ScenarioProfile::sensor_aging(double total_s) {
+  // Monotone decline with no recovery: pulse pressure tapers (44 → 34 mmHg)
+  // and the baseline sags a few mmHg, the trend a drifting/aging transducer
+  // must keep resolving.
+  return ScenarioProfile{
+      {
+          ScenarioKeyframe{0.0, 124.0, 80.0, 74.0},
+          ScenarioKeyframe{0.25 * total_s, 121.0, 79.0, 74.0},
+          ScenarioKeyframe{0.50 * total_s, 117.5, 78.0, 75.0},
+          ScenarioKeyframe{0.75 * total_s, 114.0, 77.0, 75.0},
+          ScenarioKeyframe{total_s, 110.0, 76.0, 76.0},
+      },
+      "sensor-aging"};
 }
 
 }  // namespace tono::bio

@@ -5,6 +5,14 @@
 // or a fast trend. A scenario drives the pulse generator's setpoints over
 // time (exercise ramps, hypotensive episodes, recovery), producing the
 // dynamics that only a continuous sensor can follow.
+//
+// Interpolation contract: setpoints are traced with a monotonicity-
+// preserving cubic (PCHIP), with diastolic and pulse pressure (sys − dia)
+// as the interpolated quantities. Because pulse pressure is positive at
+// every keyframe and PCHIP never overshoots the keyframe envelope, the
+// interpolated systolic strictly exceeds diastolic at *every* query time —
+// `apply()` can never throw out of `set_targets` mid-transition. Queries
+// outside [t_min, t_max] clamp to the boundary keyframes.
 #pragma once
 
 #include <string>
@@ -15,7 +23,8 @@
 
 namespace tono::bio {
 
-/// One setpoint keyframe; values are interpolated linearly between frames.
+/// One setpoint keyframe; values are traced with monotone cubics between
+/// frames (smooth, and never overshooting the keyframe envelope).
 struct ScenarioKeyframe {
   double time_s{0.0};
   double systolic_mmhg{120.0};
@@ -25,33 +34,68 @@ struct ScenarioKeyframe {
 
 class ScenarioProfile {
  public:
-  /// Keyframes must be in strictly increasing time order, with >= 2 frames.
+  /// Interpolated pulse pressure never drops below this floor, even for
+  /// adversarial keyframe sets that pinch sys towards dia.
+  static constexpr double kMinPulsePressureMmhg = 5.0;
+
+  /// Keyframes must be in strictly increasing time order, with >= 2 frames,
+  /// systolic > diastolic and heart rate in (20, 250] at every frame.
   explicit ScenarioProfile(std::vector<ScenarioKeyframe> keyframes,
                            std::string name = "scenario");
 
-  /// Interpolated targets at a given time (clamped at the ends).
+  /// Interpolated targets at a given time. t_s is clamped to
+  /// [t_min, t_max]; the result always satisfies
+  /// systolic >= diastolic + kMinPulsePressureMmhg.
   [[nodiscard]] ScenarioKeyframe at(double t_s) const;
 
-  /// Pushes the targets for time t into a generator.
+  /// Pushes the targets for time t into a generator. Never throws for a
+  /// validly constructed profile.
   void apply(ArterialPulseGenerator& generator, double t_s) const;
 
   [[nodiscard]] double duration_s() const noexcept;
+  [[nodiscard]] double t_min() const noexcept { return t_min_; }
+  [[nodiscard]] double t_max() const noexcept { return t_max_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// The raw keyframes (validation uses these to locate setpoint
+  /// transitions for transient-response metrics).
+  [[nodiscard]] const std::vector<ScenarioKeyframe>& keyframes() const noexcept {
+    return keyframes_;
+  }
 
   /// Preset: rest → exercise ramp (HR 72→130, BP 120/80→165/95) → recovery.
   [[nodiscard]] static ScenarioProfile exercise(double total_s = 180.0);
   /// Preset: stable, then a fast hypotensive episode and partial recovery
   /// (the intensive-care event a cuff cycle would miss, cf. ref. [2]).
   [[nodiscard]] static ScenarioProfile hypotensive_episode(double total_s = 120.0);
+  /// Preset: paroxysmal arrhythmia — bursts of rapid irregular rate with
+  /// narrowed pulse pressure (reduced ventricular filling), interleaved
+  /// with sinus rest. Pair with PulseConfig::af_irregularity for the
+  /// beat-to-beat component; this profile carries the rate/BP envelope.
+  [[nodiscard]] static ScenarioProfile arrhythmia_train(double total_s = 240.0);
+  /// Preset: slow reference drift between cuff recalibrations — BP readings
+  /// sag a few mmHg over each inter-calibration interval, then snap back
+  /// when the cuff re-anchors the offset (sawtooth with fast recovery
+  /// edges).
+  [[nodiscard]] static ScenarioProfile cuff_recalibration_drift(double total_s = 300.0);
+  /// Preset: sensor aging surrogate — the truth trace a degrading membrane
+  /// would be fighting: slowly decaying pulse pressure and a small baseline
+  /// sag over the session, monotone and without recovery.
+  [[nodiscard]] static ScenarioProfile sensor_aging(double total_s = 600.0);
 
  private:
   struct Columns;  // keyframes split into per-quantity knot vectors
-  ScenarioProfile(const Columns& columns, std::string name);
+  ScenarioProfile(const std::vector<ScenarioKeyframe>& keyframes, const Columns& columns,
+                  std::string name);
 
   std::string name_;
-  LinearInterpolator sys_;
-  LinearInterpolator dia_;
-  LinearInterpolator hr_;
+  std::vector<ScenarioKeyframe> keyframes_;
+  // Diastolic and pulse pressure are the interpolated pair (both positive,
+  // PCHIP keeps them inside the keyframe envelope), so sys = dia + pp is
+  // valid by construction. Interpolating sys directly alongside dia would
+  // let independent curvature pinch them together mid-segment.
+  MonotoneCubicInterpolator dia_;
+  MonotoneCubicInterpolator pp_;
+  MonotoneCubicInterpolator hr_;
   double t_min_;
   double t_max_;
 };

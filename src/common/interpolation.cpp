@@ -1,6 +1,7 @@
 #include "src/common/interpolation.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -33,6 +34,83 @@ double LinearInterpolator::operator()(double x) const noexcept {
   const std::size_t lo = hi - 1;
   const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
   return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+MonotoneCubicInterpolator::MonotoneCubicInterpolator(std::span<const double> xs,
+                                                     std::span<const double> ys)
+    : xs_(xs.begin(), xs.end()), ys_(ys.begin(), ys.end()) {
+  validate_knots(xs, ys, 2, "MonotoneCubicInterpolator");
+  const std::size_t n = xs_.size();
+  slope_.assign(n, 0.0);
+  // Secant slopes per segment.
+  std::vector<double> delta(n - 1, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    delta[i] = (ys_[i + 1] - ys_[i]) / (xs_[i + 1] - xs_[i]);
+  }
+  if (n == 2) {
+    slope_[0] = slope_[1] = delta[0];
+    return;
+  }
+  // Fritsch–Carlson tangents: weighted harmonic mean of adjacent secants
+  // when they share a sign, zero at local extrema. This keeps every
+  // segment's value inside its endpoint interval (no overshoot).
+  slope_[0] = delta[0];
+  slope_[n - 1] = delta[n - 2];
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (delta[i - 1] == 0.0 || delta[i] == 0.0 || (delta[i - 1] > 0.0) != (delta[i] > 0.0)) {
+      slope_[i] = 0.0;
+    } else {
+      const double h_lo = xs_[i] - xs_[i - 1];
+      const double h_hi = xs_[i + 1] - xs_[i];
+      const double w_lo = 2.0 * h_hi + h_lo;
+      const double w_hi = h_hi + 2.0 * h_lo;
+      slope_[i] = (w_lo + w_hi) / (w_lo / delta[i - 1] + w_hi / delta[i]);
+    }
+  }
+  // End tangents: clip one-sided estimates so the boundary segments stay
+  // monotone too (standard PCHIP end treatment).
+  auto clip_end = [](double slope, double d) {
+    if (d == 0.0) return 0.0;
+    if ((slope > 0.0) != (d > 0.0)) return 0.0;
+    return (std::abs(slope) > 3.0 * std::abs(d)) ? 3.0 * d : slope;
+  };
+  slope_[0] = clip_end(slope_[0], delta[0]);
+  slope_[n - 1] = clip_end(slope_[n - 1], delta[n - 2]);
+}
+
+std::size_t MonotoneCubicInterpolator::segment_of(double x) const noexcept {
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - xs_.begin());
+  if (idx == 0) return 0;
+  return std::min(idx - 1, xs_.size() - 2);
+}
+
+double MonotoneCubicInterpolator::operator()(double x) const noexcept {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const std::size_t i = segment_of(x);
+  const double h = xs_[i + 1] - xs_[i];
+  const double t = (x - xs_[i]) / h;
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  const double h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+  const double h10 = t3 - 2.0 * t2 + t;
+  const double h01 = -2.0 * t3 + 3.0 * t2;
+  const double h11 = t3 - t2;
+  return h00 * ys_[i] + h10 * h * slope_[i] + h01 * ys_[i + 1] + h11 * h * slope_[i + 1];
+}
+
+double MonotoneCubicInterpolator::derivative(double x) const noexcept {
+  if (x <= xs_.front() || x >= xs_.back()) return 0.0;
+  const std::size_t i = segment_of(x);
+  const double h = xs_[i + 1] - xs_[i];
+  const double t = (x - xs_[i]) / h;
+  const double t2 = t * t;
+  const double dh00 = (6.0 * t2 - 6.0 * t) / h;
+  const double dh10 = 3.0 * t2 - 4.0 * t + 1.0;
+  const double dh01 = (-6.0 * t2 + 6.0 * t) / h;
+  const double dh11 = 3.0 * t2 - 2.0 * t;
+  return dh00 * ys_[i] + dh10 * slope_[i] + dh01 * ys_[i + 1] + dh11 * slope_[i + 1];
 }
 
 CubicSpline::CubicSpline(std::span<const double> xs, std::span<const double> ys)

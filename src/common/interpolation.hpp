@@ -31,9 +31,43 @@ class LinearInterpolator {
   std::vector<double> ys_;
 };
 
+/// Monotonicity-preserving piecewise-cubic interpolant (PCHIP, the
+/// Fritsch–Carlson scheme): C¹ smooth like a spline, but the value on every
+/// segment stays within [min(y_i, y_{i+1}), max(y_i, y_{i+1})] — no
+/// overshoot, ever. This is the right tool for physiological setpoint
+/// trajectories: a natural cubic spline fitted through a fast blood-pressure
+/// transition rings past the keyframes and can momentarily invert
+/// systolic/diastolic ordering; PCHIP cannot, by construction.
+/// Evaluation outside the knot range clamps to the end values.
+class MonotoneCubicInterpolator {
+ public:
+  /// Throws std::invalid_argument unless xs is strictly increasing and
+  /// xs.size() == ys.size() >= 2. Two points degenerate to linear.
+  MonotoneCubicInterpolator(std::span<const double> xs, std::span<const double> ys);
+
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// First derivative (clamped region has slope 0).
+  [[nodiscard]] double derivative(double x) const noexcept;
+
+  [[nodiscard]] double x_min() const noexcept { return xs_.front(); }
+  [[nodiscard]] double x_max() const noexcept { return xs_.back(); }
+  [[nodiscard]] std::size_t size() const noexcept { return xs_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t segment_of(double x) const noexcept;
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> slope_;  ///< Fritsch–Carlson limited tangents at knots
+};
+
 /// Natural cubic spline over strictly increasing knots (second derivative
 /// zero at both ends). Clamped evaluation outside the range like
-/// LinearInterpolator.
+/// LinearInterpolator. NOTE: between knots a natural spline can overshoot
+/// the data (Runge ringing at sharp transitions) — use
+/// MonotoneCubicInterpolator when values must stay inside the keyframe
+/// envelope.
 class CubicSpline {
  public:
   /// Throws std::invalid_argument unless xs is strictly increasing and

@@ -249,7 +249,9 @@ void register_standard_instruments(Registry& r) {
         kShardMirrorPublishes, kGatewayFramesMuxed, kGatewayFramesDemuxed,
         kGatewayBytesSent, kGatewayBytesReceived, kGatewayBackpressureBlocks,
         kGatewayEnvelopesDropped, kGatewayCodesDropped, kGatewayCrcErrors,
-        kGatewayResyncs, kGatewayLostEnvelopes, kGatewayRecorderBytes}) {
+        kGatewayResyncs, kGatewayLostEnvelopes, kGatewayRecorderBytes,
+        kValidationSessions, kValidationBeatsMatched, kValidationBeatsUnmatched,
+        kValidationAamiPass, kValidationAamiFail}) {
     (void)r.counter(name);
   }
   for (const char* name :
@@ -258,7 +260,7 @@ void register_standard_instruments(Registry& r) {
         kMonitorLastSqi, kMonitorAlarmLatencyS, kFleetSessionsActive,
         kWardAlarmsActive, kHospitalShards, kHospitalShardsActive,
         kHospitalCodesConsumed, kHospitalAlarmsActive, kGatewayChannels,
-        kGatewayReplaySpeedup}) {
+        kGatewayReplaySpeedup, kValidationLastSysBias, kValidationLastSysSd}) {
     (void)r.gauge(name);
   }
   static constexpr double kStrandBounds[] = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0,

@@ -275,6 +275,15 @@ inline constexpr const char* kGatewayLostEnvelopes = "gateway.lost_envelopes";
 inline constexpr const char* kGatewayChannels = "gateway.channels";
 inline constexpr const char* kGatewayRecorderBytes = "gateway.recorder_bytes";
 inline constexpr const char* kGatewayReplaySpeedup = "gateway.replay_speedup";
+// Validation harness (SessionValidator / validation_report; see
+// docs/VALIDATION.md)
+inline constexpr const char* kValidationSessions = "validation.sessions_scored";
+inline constexpr const char* kValidationBeatsMatched = "validation.beats_matched";
+inline constexpr const char* kValidationBeatsUnmatched = "validation.beats_unmatched";
+inline constexpr const char* kValidationAamiPass = "validation.aami_pass";
+inline constexpr const char* kValidationAamiFail = "validation.aami_fail";
+inline constexpr const char* kValidationLastSysBias = "validation.last_sys_bias_mmhg";
+inline constexpr const char* kValidationLastSysSd = "validation.last_sys_sd_mmhg";
 }  // namespace names
 
 /// Pre-registers the full canonical instrument set in `r` (all zero until

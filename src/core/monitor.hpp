@@ -130,6 +130,8 @@ class BloodPressureMonitor {
     return calibration_;
   }
   [[nodiscard]] const bio::ArterialPulseGenerator& pulse() const noexcept { return *pulse_; }
+  /// Mutable access so truth consumers can drain the bounded beat-truth log.
+  [[nodiscard]] bio::ArterialPulseGenerator& pulse() noexcept { return *pulse_; }
   [[nodiscard]] const WristModel& wrist() const noexcept { return wrist_; }
 
   /// Checkpointing: the full session state — acquisition pipeline, patient

@@ -78,7 +78,8 @@ PatientSession::PatientSession(std::uint32_t id, SessionConfig config)
   config_.chip.modulator.seed = seeds.modulator;
   config_.wrist.pulse.seed = seeds.pulse;
   config_.wrist.artifacts.seed = seeds.artifacts;
-  config_.wrist.scenario = make_scenario(config_.scenario);
+  config_.wrist.scenario = config_.scenario_profile ? config_.scenario_profile
+                                                    : make_scenario(config_.scenario);
   inner_ = std::make_unique<core::BloodPressureMonitor>(config_.chip, config_.wrist);
   field_ = inner_->contact_field();
 
@@ -127,6 +128,10 @@ double PatientSession::output_rate_hz() const noexcept {
 
 double PatientSession::stream_time_s() const noexcept {
   return static_cast<double>(frames_produced_) / output_rate_hz();
+}
+
+std::vector<bio::BeatTruth> PatientSession::drain_beat_truth() {
+  return inner_->pulse().drain_truth();
 }
 
 void PatientSession::admit() {

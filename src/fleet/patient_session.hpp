@@ -42,7 +42,7 @@ namespace tono::fleet {
 /// Schema version of the PatientSession checkpoint blob. Bump whenever the
 /// serialized layout changes; CheckpointReader::require_version turns a
 /// stale blob into a loud CheckpointError instead of a silent misparse.
-inline constexpr std::uint32_t kSessionCheckpointVersion = 1;
+inline constexpr std::uint32_t kSessionCheckpointVersion = 2;
 
 /// Lifecycle of a session inside the scheduler (docs/FLEET.md):
 ///
@@ -92,6 +92,11 @@ struct SessionConfig {
   std::uint64_t seed{0};
   /// Bio scenario preset: "rest", "exercise" or "hypotensive".
   std::string scenario{"rest"};
+  /// Explicit scenario profile; overrides the `scenario` preset string when
+  /// set. This is how population members (bio::ScenarioConfig::make_profile)
+  /// ride a session — the profile is config-static, so checkpoint/restore
+  /// and readmission reproduce it from the config.
+  std::shared_ptr<const bio::ScenarioProfile> scenario_profile{};
   core::ChipConfig chip{core::ChipConfig::paper_chip()};
   core::WristModel wrist{};
   core::StreamingConfig streaming{};
@@ -166,6 +171,15 @@ class PatientSession {
   /// Monitoring stream time: frames produced / output rate. Excludes the
   /// admission (localization + calibration) acquisition.
   [[nodiscard]] double stream_time_s() const noexcept;
+  /// Pipeline-clock time at monitoring start. Subtract from pulse-generator
+  /// truth onsets to align them with stream-time beat events (validation).
+  [[nodiscard]] double stream_epoch_clock_s() const noexcept {
+    return stream_epoch_clock_s_;
+  }
+  /// Consume-and-clear the pulse generator's per-beat ground truth (onsets
+  /// on the generator clock; see stream_epoch_clock_s). The validation
+  /// harness drains at scoring points so long sessions stay bounded.
+  [[nodiscard]] std::vector<bio::BeatTruth> drain_beat_truth();
   [[nodiscard]] std::uint64_t frames_produced() const noexcept { return frames_produced_; }
   [[nodiscard]] double output_rate_hz() const noexcept;
 

@@ -115,5 +115,83 @@ TEST(CubicSpline, ContinuityAtKnots) {
   }
 }
 
+TEST(MonotoneCubic, ExactAtKnotsAndLinearForTwoPoints) {
+  const std::vector<double> xs{0.0, 1.0, 2.5, 4.0};
+  const std::vector<double> ys{1.0, 3.0, 3.0, -2.0};
+  MonotoneCubicInterpolator m{xs, ys};
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_NEAR(m(xs[i]), ys[i], 1e-12);
+
+  MonotoneCubicInterpolator line{std::vector<double>{0.0, 2.0},
+                                 std::vector<double>{10.0, 30.0}};
+  EXPECT_NEAR(line(0.5), 15.0, 1e-12);
+  EXPECT_NEAR(line(1.5), 25.0, 1e-12);
+  EXPECT_NEAR(line.derivative(1.0), 10.0, 1e-12);
+}
+
+TEST(MonotoneCubic, NeverOvershootsTheDataEnvelope) {
+  // A sharp step: a natural cubic spline rings around it; the monotone
+  // interpolant must stay inside [segment min, segment max] everywhere.
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> ys{80.0, 80.0, 80.0, 120.0, 120.0, 120.0};
+  MonotoneCubicInterpolator m{xs, ys};
+  CubicSpline s{xs, ys};
+  bool spline_overshoots = false;
+  for (double x = 0.0; x <= 5.0; x += 1e-3) {
+    const double v = m(x);
+    ASSERT_GE(v, 80.0 - 1e-9) << "x=" << x;
+    ASSERT_LE(v, 120.0 + 1e-9) << "x=" << x;
+    if (s(x) < 80.0 - 0.5 || s(x) > 120.0 + 0.5) spline_overshoots = true;
+  }
+  // Sanity: the bug being fixed is real — the old spline DOES leave the
+  // envelope on this data.
+  EXPECT_TRUE(spline_overshoots);
+}
+
+TEST(MonotoneCubic, PreservesMonotonicity) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{0.0, 0.1, 5.0, 9.9, 10.0};
+  MonotoneCubicInterpolator m{xs, ys};
+  double prev = m(0.0);
+  for (double x = 1e-3; x <= 4.0; x += 1e-3) {
+    const double v = m(x);
+    ASSERT_GE(v, prev - 1e-9) << "x=" << x;
+    prev = v;
+  }
+}
+
+TEST(MonotoneCubic, FlatAtLocalExtrema) {
+  // Knot 2 is a local maximum: the limited tangent there must be zero, so
+  // the curve does not poke above the peak value.
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{0.0, 4.0, 1.0, 2.0};
+  MonotoneCubicInterpolator m{xs, ys};
+  EXPECT_NEAR(m.derivative(1.0), 0.0, 1e-12);
+  for (double x = 0.0; x <= 3.0; x += 1e-3) {
+    ASSERT_LE(m(x), 4.0 + 1e-9);
+    ASSERT_GE(m(x), 0.0 - 1e-9);
+  }
+}
+
+TEST(MonotoneCubic, ClampsOutsideRange) {
+  MonotoneCubicInterpolator m{std::vector<double>{0.0, 1.0, 2.0},
+                              std::vector<double>{1.0, 2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(m(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(m(99.0), 3.0);
+  EXPECT_DOUBLE_EQ(m.derivative(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.derivative(99.0), 0.0);
+}
+
+TEST(MonotoneCubic, RejectsBadKnots) {
+  EXPECT_THROW((MonotoneCubicInterpolator{std::vector<double>{0.0},
+                                          std::vector<double>{1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((MonotoneCubicInterpolator{std::vector<double>{0.0, 0.0},
+                                          std::vector<double>{1.0, 2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((MonotoneCubicInterpolator{std::vector<double>{0.0, 1.0, 2.0},
+                                          std::vector<double>{1.0, 2.0}}),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace tono

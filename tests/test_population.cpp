@@ -1,0 +1,224 @@
+// Tests for the seeded patient-population generator (docs/VALIDATION.md).
+#include "src/bio/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/bio/pulse_generator.hpp"
+#include "src/core/sweep_runner.hpp"
+
+namespace tono::bio {
+namespace {
+
+bool same_member(const ScenarioConfig& a, const ScenarioConfig& b) {
+  return a.member_index == b.member_index && a.seed == b.seed &&
+         a.family == b.family && a.cohort == b.cohort &&
+         a.age_years == b.age_years && a.stiffness == b.stiffness &&
+         a.pulse.seed == b.pulse.seed &&
+         a.pulse.systolic_mmhg == b.pulse.systolic_mmhg &&
+         a.pulse.diastolic_mmhg == b.pulse.diastolic_mmhg &&
+         a.pulse.heart_rate_bpm == b.pulse.heart_rate_bpm &&
+         a.pulse.hrv_jitter == b.pulse.hrv_jitter &&
+         a.pulse.af_irregularity == b.pulse.af_irregularity &&
+         a.artifacts.seed == b.artifacts.seed;
+}
+
+TEST(Population, MemberIsPureFunctionOfSeedAndIndex) {
+  const PopulationGenerator gen{{}};
+  // Same index twice, and out-of-order access, give identical members.
+  const auto a = gen.member(17);
+  const auto b = gen.member(3);
+  const auto a2 = gen.member(17);
+  EXPECT_TRUE(same_member(a, a2));
+  EXPECT_FALSE(same_member(a, b));
+
+  // A second generator with the same config reproduces the same population.
+  const PopulationGenerator gen2{{}};
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_TRUE(same_member(gen.member(i), gen2.member(i))) << "member " << i;
+  }
+}
+
+TEST(Population, DifferentSeedsDecorrelate) {
+  PopulationConfig a_cfg;
+  PopulationConfig b_cfg;
+  b_cfg.seed = a_cfg.seed + 1;
+  const PopulationGenerator a{a_cfg};
+  const PopulationGenerator b{b_cfg};
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (same_member(a.member(i), b.member(i))) ++same;
+  }
+  EXPECT_EQ(same, 0u);
+}
+
+TEST(Population, MembersAreValidAndInRange) {
+  PopulationConfig cfg;
+  cfg.enable_artifacts = true;
+  const PopulationGenerator gen{cfg};
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const auto m = gen.member(i);
+    EXPECT_GE(m.age_years, cfg.age_min_years);
+    EXPECT_LE(m.age_years, cfg.age_max_years);
+    EXPECT_GT(m.stiffness, 0.0);
+    EXPECT_LT(m.stiffness, 1.0);
+    EXPECT_GT(m.pulse.systolic_mmhg, m.pulse.diastolic_mmhg + 5.0);
+    EXPECT_GE(m.pulse.diastolic_mmhg, 40.0);
+    EXPECT_LE(m.pulse.systolic_mmhg, 200.0);
+    EXPECT_GE(m.pulse.heart_rate_bpm, 35.0);
+    EXPECT_LE(m.pulse.heart_rate_bpm, 245.0);
+    EXPECT_NE(m.seed, 0u);
+    EXPECT_NE(m.pulse.seed, 0u);
+    EXPECT_FALSE(m.cohort.empty());
+    EXPECT_TRUE(m.enable_artifacts);
+  }
+}
+
+TEST(Population, EveryFamilyProfileProducesValidTargetsAtAllTimes) {
+  const PopulationGenerator gen{{}};
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const auto m = gen.member(i);
+    const auto profile = m.make_profile();
+    ASSERT_NE(profile, nullptr);
+    // Dense sweep incl. far outside the keyframe range: targets must always
+    // be physiologically ordered (the satellite-1 invariant).
+    const double t_max = profile->t_max();
+    for (double t = -30.0; t <= t_max + 60.0; t += t_max / 97.0 + 0.01) {
+      const auto kf = profile->at(t);
+      ASSERT_GE(kf.systolic_mmhg,
+                kf.diastolic_mmhg + ScenarioProfile::kMinPulsePressureMmhg - 1e-9)
+          << profile->name() << " member " << i << " t=" << t;
+      ASSERT_GT(kf.heart_rate_bpm, 20.0);
+      ASSERT_LE(kf.heart_rate_bpm, 250.0);
+      ASSERT_GT(kf.diastolic_mmhg, 25.0);
+      ASSERT_LT(kf.systolic_mmhg, 260.0);
+    }
+  }
+}
+
+TEST(Population, AllScenarioFamiliesAppear) {
+  const PopulationGenerator gen{{}};
+  std::set<ScenarioFamily> seen;
+  for (const auto& m : gen.generate(256)) seen.insert(m.family);
+  EXPECT_EQ(seen.size(), kScenarioFamilyCount);
+}
+
+TEST(Population, CohortsTrackAge) {
+  const PopulationGenerator gen{{}};
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto m = gen.member(i);
+    if (m.age_years < 40.0) EXPECT_EQ(m.cohort, "age18-39");
+    if (m.age_years >= 75.0) EXPECT_EQ(m.cohort, "age75plus");
+  }
+}
+
+TEST(Population, StiffnessRaisesPulsePressureOnAverage) {
+  const PopulationGenerator gen{{}};
+  double stiff_pp = 0.0, soft_pp = 0.0;
+  std::size_t stiff_n = 0, soft_n = 0;
+  for (const auto& m : gen.generate(500)) {
+    const double pp = m.pulse.systolic_mmhg - m.pulse.diastolic_mmhg;
+    if (m.stiffness > 0.6) {
+      stiff_pp += pp;
+      ++stiff_n;
+    } else if (m.stiffness < 0.3) {
+      soft_pp += pp;
+      ++soft_n;
+    }
+  }
+  ASSERT_GT(stiff_n, 10u);
+  ASSERT_GT(soft_n, 10u);
+  EXPECT_GT(stiff_pp / stiff_n, soft_pp / soft_n + 5.0);
+}
+
+TEST(Population, GenerateMatchesMemberAndIsThreadInvariant) {
+  const PopulationGenerator gen{{}};
+  const auto serial = gen.generate(64);
+  ASSERT_EQ(serial.size(), 64u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(same_member(serial[i], gen.member(i)));
+  }
+
+  // member() is const and pure, so a SweepRunner fan-out at any thread count
+  // reproduces the serial population bit-for-bit.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    core::SweepConfig sc;
+    sc.threads = threads;
+    core::SweepRunner runner{sc};
+    const auto members =
+        runner.run(serial.size(), [&](std::size_t i) { return gen.member(i); });
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(same_member(serial[i], members[i]))
+          << "threads=" << threads << " member " << i;
+    }
+  }
+}
+
+TEST(Population, FamilyWeightsRespected) {
+  PopulationConfig cfg;
+  cfg.weight_rest = 1.0;
+  cfg.weight_exercise = 0.0;
+  cfg.weight_hypotensive = 0.0;
+  cfg.weight_arrhythmia = 0.0;
+  cfg.weight_cuff_drift = 0.0;
+  cfg.weight_sensor_aging = 0.0;
+  const PopulationGenerator gen{cfg};
+  for (const auto& m : gen.generate(100)) {
+    EXPECT_EQ(m.family, ScenarioFamily::kRest);
+  }
+
+  // All-zero weights degrade to the rest family, not an error.
+  cfg.weight_rest = 0.0;
+  const PopulationGenerator zero{cfg};
+  for (const auto& m : zero.generate(20)) {
+    EXPECT_EQ(m.family, ScenarioFamily::kRest);
+  }
+}
+
+TEST(Population, RejectsBadConfig) {
+  PopulationConfig bad_age;
+  bad_age.age_min_years = 80.0;
+  bad_age.age_max_years = 30.0;
+  EXPECT_THROW((PopulationGenerator{bad_age}), std::invalid_argument);
+
+  PopulationConfig bad_duration;
+  bad_duration.scenario_duration_s = 0.0;
+  EXPECT_THROW((PopulationGenerator{bad_duration}), std::invalid_argument);
+
+  PopulationConfig negative_weight;
+  negative_weight.weight_hypotensive = -0.5;
+  EXPECT_THROW((PopulationGenerator{negative_weight}), std::invalid_argument);
+}
+
+TEST(Population, ProfilesRunnableOnPulseGenerator) {
+  // Every family's profile can actually drive a generator: apply() at a
+  // coarse cadence while sampling never throws and never produces
+  // non-finite pressure.
+  for (std::size_t i = 0; i < kScenarioFamilyCount; ++i) {
+    PopulationConfig cfg;
+    double* weights[] = {&cfg.weight_rest,       &cfg.weight_exercise,
+                         &cfg.weight_hypotensive, &cfg.weight_arrhythmia,
+                         &cfg.weight_cuff_drift,  &cfg.weight_sensor_aging};
+    for (double* w : weights) *w = 0.0;
+    *weights[i] = 1.0;
+    cfg.scenario_duration_s = 20.0;
+    const PopulationGenerator only{cfg};
+    const auto m = only.member(0);
+    const auto profile = m.make_profile();
+    ArterialPulseGenerator pulse{m.pulse};
+    for (int k = 0; k < 20 * 50; ++k) {
+      const double t = k / 50.0;
+      if (k % 10 == 0) profile->apply(pulse, t);
+      const double p = pulse.sample(1.0 / 50.0);
+      ASSERT_TRUE(std::isfinite(p)) << to_string(m.family) << " t=" << t;
+      ASSERT_GT(p, 0.0);
+      ASSERT_LT(p, 400.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tono::bio

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "src/common/checkpoint.hpp"
 #include "src/common/statistics.hpp"
 
 namespace tono::bio {
@@ -158,6 +160,128 @@ INSTANTIATE_TEST_SUITE_P(Clinical, SetpointTest,
                                            Setpoint{100.0, 65.0, 55.0},
                                            Setpoint{150.0, 95.0, 90.0},
                                            Setpoint{180.0, 110.0, 110.0}));
+
+// --- Regression tests for PR 10's unbounded-truth and single-close-out
+// bugs: sample() used to close at most one beat per call (a large dt lost
+// every beat but one), and every closed beat stayed in truth_ forever (every
+// checkpoint serialized an ever-growing log).
+
+TEST(PulseGenerator, LargeDtClosesEveryElapsedBeat) {
+  PulseConfig cfg;
+  cfg.heart_rate_bpm = 60.0;
+  cfg.hrv_jitter = 0.0;
+  ArterialPulseGenerator gen{cfg};
+  // 30 s advanced in 5 s strides: ~30 one-second beats must close, not ~6.
+  for (int i = 0; i < 6; ++i) (void)gen.sample(5.0);
+  EXPECT_NEAR(static_cast<double>(gen.beats_completed()), 30.0, 3.0);
+  // The log is ordered and contiguous even though whole beats had zero
+  // samples.
+  const auto& truth = gen.beat_truth();
+  ASSERT_GE(truth.size(), 25u);
+  for (std::size_t i = 1; i < truth.size(); ++i) {
+    EXPECT_NEAR(truth[i].onset_s, truth[i - 1].onset_s + truth[i - 1].interval_s, 1e-9);
+    // Zero-sample beats carry setpoint truth; one-sample beats have equal
+    // empirical extrema — either way the pair stays ordered.
+    EXPECT_GE(truth[i].systolic_mmhg, truth[i].diastolic_mmhg);
+  }
+}
+
+TEST(PulseGenerator, LargeDtKeepsBeatRateOnSchedule) {
+  // With jitter disabled the interval stream is deterministic, so a coarse
+  // stride must close the same number of beats as a fine one over the same
+  // span (the pre-fix code closed one beat per sample() call at most).
+  PulseConfig cfg;
+  cfg.heart_rate_bpm = 75.0;
+  cfg.hrv_jitter = 0.0;
+  ArterialPulseGenerator coarse{cfg};
+  ArterialPulseGenerator fine{cfg};
+  for (int i = 0; i < 10; ++i) (void)coarse.sample(2.0);
+  for (int i = 0; i < 2000; ++i) (void)fine.sample(0.01);
+  const auto coarse_beats = coarse.beats_completed();
+  const auto fine_beats = fine.beats_completed();
+  EXPECT_NEAR(static_cast<double>(coarse_beats), static_cast<double>(fine_beats), 2.0);
+  EXPECT_GT(coarse_beats, 20u);  // ~25 beats in 20 s at 75 bpm
+}
+
+TEST(PulseGenerator, TruthLogStaysBounded) {
+  PulseConfig cfg;
+  cfg.heart_rate_bpm = 120.0;
+  cfg.truth_capacity = 64;
+  ArterialPulseGenerator gen{cfg};
+  for (int i = 0; i < 60 * 500; ++i) (void)gen.sample(0.01);  // 300 s, ~600 beats
+  EXPECT_GT(gen.beats_completed(), 550u);
+  // Bounded: capacity plus the 25% amortization headroom, never more.
+  EXPECT_LE(gen.beat_truth().size(), 64u + 16u);
+  EXPECT_EQ(gen.truth_dropped() + gen.beat_truth().size(), gen.beats_completed());
+  // All-beats running means keep covering dropped beats.
+  EXPECT_NEAR(gen.mean_systolic_mmhg(), cfg.systolic_mmhg, 6.0);
+  EXPECT_NEAR(gen.mean_diastolic_mmhg(), cfg.diastolic_mmhg, 6.0);
+  // The retained tail is the most recent beats, still contiguous.
+  const auto& truth = gen.beat_truth();
+  for (std::size_t i = 1; i < truth.size(); ++i) {
+    EXPECT_NEAR(truth[i].onset_s, truth[i - 1].onset_s + truth[i - 1].interval_s, 1e-9);
+  }
+}
+
+TEST(PulseGenerator, UnboundedModeKeepsEverything) {
+  PulseConfig cfg;
+  cfg.heart_rate_bpm = 120.0;
+  cfg.truth_capacity = 0;  // opt-out
+  ArterialPulseGenerator gen{cfg};
+  for (int i = 0; i < 60 * 100; ++i) (void)gen.sample(0.01);
+  EXPECT_EQ(gen.truth_dropped(), 0u);
+  EXPECT_EQ(gen.beat_truth().size(), gen.beats_completed());
+}
+
+TEST(PulseGenerator, DrainTruthEmptiesLogAndKeepsCounters) {
+  PulseConfig cfg;
+  cfg.heart_rate_bpm = 60.0;
+  ArterialPulseGenerator gen{cfg};
+  for (int i = 0; i < 1000; ++i) (void)gen.sample(0.01);
+  const auto completed = gen.beats_completed();
+  ASSERT_GT(completed, 5u);
+  const auto drained = gen.drain_truth();
+  EXPECT_EQ(drained.size(), completed);
+  EXPECT_TRUE(gen.beat_truth().empty());
+  EXPECT_EQ(gen.beats_completed(), completed);  // counters survive the drain
+
+  // New beats land in the emptied log and drain again cleanly.
+  for (int i = 0; i < 500; ++i) (void)gen.sample(0.01);
+  const auto second = gen.drain_truth();
+  EXPECT_EQ(gen.beats_completed(), completed + second.size());
+  ASSERT_FALSE(second.empty());
+  EXPECT_GT(second.front().onset_s, drained.back().onset_s);
+}
+
+TEST(PulseGenerator, BoundedLogCheckpointRoundTripIsBitIdentical) {
+  PulseConfig cfg;
+  cfg.heart_rate_bpm = 90.0;
+  cfg.truth_capacity = 32;
+  ArterialPulseGenerator a{cfg};
+  for (int i = 0; i < 12000; ++i) (void)a.sample(0.01);  // far past the cap
+
+  CheckpointWriter out;
+  a.serialize(out);
+  const auto blob = out.finish(1);
+  // The bounded log keeps the blob small no matter how long the run was.
+  EXPECT_LT(blob.size(), 16u * 1024u);
+
+  ArterialPulseGenerator b{cfg};
+  CheckpointReader in{blob};
+  b.restore(in);
+  EXPECT_EQ(b.beats_completed(), a.beats_completed());
+  EXPECT_EQ(b.truth_dropped(), a.truth_dropped());
+  ASSERT_EQ(b.beat_truth().size(), a.beat_truth().size());
+  for (std::size_t i = 0; i < a.beat_truth().size(); ++i) {
+    EXPECT_EQ(b.beat_truth()[i].onset_s, a.beat_truth()[i].onset_s);
+    EXPECT_EQ(b.beat_truth()[i].systolic_mmhg, a.beat_truth()[i].systolic_mmhg);
+  }
+  // Continuing both generators stays bit-identical.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(a.sample(0.01), b.sample(0.01)) << "sample " << i;
+  }
+  EXPECT_EQ(a.mean_systolic_mmhg(), b.mean_systolic_mmhg());
+}
 
 }  // namespace
 }  // namespace tono::bio

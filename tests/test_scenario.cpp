@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "src/core/monitor.hpp"
 
@@ -92,6 +94,123 @@ TEST(Scenario, MonitorTracksHypotensiveEpisode) {
   EXPECT_GT(nadir.beats.heart_rate_bpm, before.beats.heart_rate_bpm + 10.0);
   // And it still tracks the (changing) ground truth decently.
   EXPECT_LT(std::abs(nadir.map_error_mmhg), 10.0);
+}
+
+// --- Regression tests for the invalid-target bug (PR 10): the old natural
+// cubic spline overshot sharp keyframe transitions, which could push the
+// interpolated diastolic above the systolic (or blood pressure outside any
+// physiological envelope). The profile now interpolates (diastolic, pulse
+// pressure) with a monotone cubic and floors the pulse pressure.
+
+TEST(Scenario, SharpStepStaysInsideKeyframeEnvelope) {
+  const ScenarioProfile p{{ScenarioKeyframe{0.0, 120.0, 80.0, 70.0},
+                           ScenarioKeyframe{10.0, 120.0, 80.0, 70.0},
+                           ScenarioKeyframe{10.5, 150.0, 90.0, 95.0},
+                           ScenarioKeyframe{30.0, 150.0, 90.0, 95.0}},
+                          "step"};
+  for (double t = -5.0; t <= 35.0; t += 0.01) {
+    const auto kf = p.at(t);
+    ASSERT_GE(kf.systolic_mmhg, 120.0 - 1e-9) << "t=" << t;
+    ASSERT_LE(kf.systolic_mmhg, 150.0 + 1e-9) << "t=" << t;
+    ASSERT_GE(kf.diastolic_mmhg, 80.0 - 1e-9) << "t=" << t;
+    ASSERT_LE(kf.diastolic_mmhg, 90.0 + 1e-9) << "t=" << t;
+    ASSERT_GE(kf.heart_rate_bpm, 70.0 - 1e-9) << "t=" << t;
+    ASSERT_LE(kf.heart_rate_bpm, 95.0 + 1e-9) << "t=" << t;
+  }
+}
+
+TEST(Scenario, AdversarialProfilesAlwaysProduceValidTargets) {
+  // Profiles engineered to trip interpolation pathologies: near-touching
+  // sys/dia, abrupt reversals, long flats followed by spikes.
+  const std::vector<ScenarioProfile> profiles{
+      ScenarioProfile{{ScenarioKeyframe{0.0, 86.0, 80.0, 70.0},
+                       ScenarioKeyframe{1.0, 180.0, 60.0, 160.0},
+                       ScenarioKeyframe{2.0, 86.0, 80.0, 70.0},
+                       ScenarioKeyframe{3.0, 180.0, 60.0, 160.0}},
+                      "whipsaw"},
+      ScenarioProfile{{ScenarioKeyframe{0.0, 120.0, 119.0, 70.0},
+                       ScenarioKeyframe{5.0, 121.0, 120.0, 71.0}},
+                      "paper-thin-pp"},
+      ScenarioProfile{{ScenarioKeyframe{0.0, 120.0, 80.0, 70.0},
+                       ScenarioKeyframe{60.0, 120.0, 80.0, 70.0},
+                       ScenarioKeyframe{60.1, 200.0, 120.0, 240.0},
+                       ScenarioKeyframe{120.0, 90.0, 55.0, 40.0}},
+                      "flat-then-spike"},
+  };
+  for (const auto& p : profiles) {
+    for (double t = -10.0; t <= p.t_max() + 20.0; t += 0.005) {
+      const auto kf = p.at(t);
+      ASSERT_GE(kf.systolic_mmhg,
+                kf.diastolic_mmhg + ScenarioProfile::kMinPulsePressureMmhg - 1e-9)
+          << p.name() << " t=" << t;
+      ASSERT_GT(kf.heart_rate_bpm, 20.0) << p.name() << " t=" << t;
+      ASSERT_LE(kf.heart_rate_bpm, 250.0 + 1e-9) << p.name() << " t=" << t;
+      ASSERT_GT(kf.diastolic_mmhg, 0.0) << p.name() << " t=" << t;
+    }
+  }
+}
+
+TEST(Scenario, PulsePressureFloorEnforced) {
+  // Keyframes are allowed down to sys > dia; the query-time floor keeps the
+  // generator's targets apart even there.
+  const ScenarioProfile p{{ScenarioKeyframe{0.0, 82.0, 80.0, 70.0},
+                           ScenarioKeyframe{10.0, 83.0, 81.0, 70.0}},
+                          "thin"};
+  for (double t = 0.0; t <= 10.0; t += 0.05) {
+    const auto kf = p.at(t);
+    EXPECT_GE(kf.systolic_mmhg - kf.diastolic_mmhg,
+              ScenarioProfile::kMinPulsePressureMmhg - 1e-12);
+  }
+}
+
+TEST(Scenario, ApplyNeverThrowsOnAdversarialProfile) {
+  const ScenarioProfile p{{ScenarioKeyframe{0.0, 86.0, 80.0, 70.0},
+                           ScenarioKeyframe{1.0, 180.0, 60.0, 160.0},
+                           ScenarioKeyframe{2.0, 86.0, 80.0, 70.0}},
+                          "whipsaw"};
+  ArterialPulseGenerator gen{PulseConfig{}};
+  for (double t = -2.0; t <= 6.0; t += 0.01) {
+    EXPECT_NO_THROW(p.apply(gen, t)) << "t=" << t;
+  }
+}
+
+TEST(Scenario, NewPresetsWellFormed) {
+  const auto arr = ScenarioProfile::arrhythmia_train(240.0);
+  EXPECT_NEAR(arr.duration_s(), 240.0, 1e-9);
+  // The paroxysmal bursts drive the rate well above baseline.
+  double peak_hr = 0.0;
+  for (double t = 0.0; t <= 240.0; t += 0.25) {
+    peak_hr = std::max(peak_hr, arr.at(t).heart_rate_bpm);
+  }
+  EXPECT_GT(peak_hr, arr.at(0.0).heart_rate_bpm + 40.0);
+
+  const auto drift = ScenarioProfile::cuff_recalibration_drift(300.0);
+  EXPECT_NEAR(drift.duration_s(), 300.0, 1e-9);
+  // Sawtooth: systolic sags below baseline, then snaps back at recalibration.
+  double min_sys = 1e9;
+  for (double t = 0.0; t <= 300.0; t += 0.25) {
+    min_sys = std::min(min_sys, drift.at(t).systolic_mmhg);
+  }
+  EXPECT_LT(min_sys, drift.at(0.0).systolic_mmhg - 5.0);
+  EXPECT_NEAR(drift.at(300.0).systolic_mmhg, drift.at(0.0).systolic_mmhg, 2.0);
+
+  const auto aging = ScenarioProfile::sensor_aging(600.0);
+  EXPECT_NEAR(aging.duration_s(), 600.0, 1e-9);
+  // Monotone decline of both pressure and pulse pressure.
+  const auto start = aging.at(0.0);
+  const auto end = aging.at(600.0);
+  EXPECT_LT(end.systolic_mmhg, start.systolic_mmhg - 8.0);
+  EXPECT_LT(end.systolic_mmhg - end.diastolic_mmhg,
+            start.systolic_mmhg - start.diastolic_mmhg - 5.0);
+  // All three presets obey the global target invariant.
+  for (const auto* p : {&arr, &drift, &aging}) {
+    for (double t = -5.0; t <= p->t_max() + 10.0; t += 0.2) {
+      const auto kf = p->at(t);
+      ASSERT_GE(kf.systolic_mmhg,
+                kf.diastolic_mmhg + ScenarioProfile::kMinPulsePressureMmhg - 1e-9)
+          << p->name() << " t=" << t;
+    }
+  }
 }
 
 }  // namespace
